@@ -1,0 +1,70 @@
+//! End-to-end trainer benchmarks: discrete-event vs threaded executors
+//! (DESIGN.md ablation #1) and weighted vs unweighted training
+//! (ablation #2), measured in wall-clock per training run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eqc_bench::clients_for;
+use eqc_core::{train_threaded, EqcConfig, EqcTrainer, WeightBounds};
+use vqa::QaoaProblem;
+
+const DEVICES: [&str; 4] = ["belem", "manila", "bogota", "quito"];
+
+fn small_config() -> EqcConfig {
+    EqcConfig::paper_qaoa().with_epochs(5).with_shots(512)
+}
+
+fn bench_des_executor(c: &mut Criterion) {
+    let problem = QaoaProblem::maxcut_ring4();
+    let mut group = c.benchmark_group("executor_ablation");
+    group.sample_size(10);
+    group.bench_function("des_unweighted", |b| {
+        b.iter(|| {
+            EqcTrainer::new(small_config())
+                .train(&problem, clients_for(&problem, &DEVICES, 1))
+        })
+    });
+    group.bench_function("des_weighted", |b| {
+        b.iter(|| {
+            EqcTrainer::new(small_config().with_weights(WeightBounds::new(0.5, 1.5)))
+                .train(&problem, clients_for(&problem, &DEVICES, 1))
+        })
+    });
+    group.bench_function("threaded_unweighted", |b| {
+        b.iter(|| {
+            train_threaded(
+                &problem,
+                clients_for(&problem, &DEVICES, 1),
+                small_config(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_client_task(c: &mut Criterion) {
+    // One gradient task end-to-end on one device (transpile excluded).
+    let problem = QaoaProblem::maxcut_ring4();
+    let params = vqa::VqaProblem::initial_point(&problem, 1);
+    let task = vqa::VqaProblem::tasks(&problem)[0];
+    let mut group = c.benchmark_group("client_task");
+    group.sample_size(20);
+    for shots in [1024usize, 8192] {
+        group.bench_with_input(
+            criterion::BenchmarkId::new("qaoa_full_gradient", shots),
+            &shots,
+            |b, &s| {
+                let mut client = clients_for(&problem, &["bogota"], 3).pop().unwrap();
+                let mut t = qdevice::SimTime::ZERO;
+                b.iter(|| {
+                    let r = client.run_task(&problem, task, &params, s, t);
+                    t = r.completed;
+                    r
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_des_executor, bench_client_task);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Gradient-path microbenchmarks: the parameter-shift rule on the paper's
+//! workloads, and the measurement-grouping ablation (DESIGN.md #3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcircuit::measure::MeasurementPlan;
+use vqa::gradient::shift_gradient;
+use vqa::problem::{VqaProblem, VqeProblem};
+use vqa::QaoaProblem;
+
+fn bench_shift_gradient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shift_gradient_ideal");
+    group.sample_size(20);
+
+    let vqe = VqeProblem::heisenberg_4q();
+    let vqe_params = vqe.initial_point(1);
+    let h = vqe.hamiltonian().clone();
+    group.bench_function("vqe_heisenberg_16p", |b| {
+        b.iter(|| {
+            shift_gradient(vqe.ansatz(), &vqe_params, |circ| {
+                h.expectation(&circ.run_statevector(&[]).unwrap())
+            })
+        })
+    });
+
+    let qaoa = QaoaProblem::maxcut_ring4();
+    let qaoa_params = qaoa.initial_point(1);
+    let hq = vqa::hamiltonians::maxcut(qaoa.graph());
+    group.bench_function("qaoa_ring4_2p", |b| {
+        b.iter(|| {
+            shift_gradient(qaoa.ansatz(), &qaoa_params, |circ| {
+                hq.expectation(&circ.run_statevector(&[]).unwrap())
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_grouping_ablation(c: &mut Criterion) {
+    // Qubit-wise commuting grouping cuts circuit executions per loss
+    // evaluation; measure the planning cost and the group count effect.
+    let vqe = VqeProblem::heisenberg_4q();
+    let h = vqe.hamiltonian();
+    let mut group = c.benchmark_group("measurement_planning_ablation");
+    group.bench_function("grouped", |b| b.iter(|| MeasurementPlan::grouped(h)));
+    group.bench_function("per_term", |b| b.iter(|| MeasurementPlan::per_term(h)));
+    group.finish();
+
+    let grouped = MeasurementPlan::grouped(h).groups().len();
+    let per_term = MeasurementPlan::per_term(h).groups().len();
+    // Printed once so `cargo bench` output records the circuit-count win.
+    println!("grouping ablation: {grouped} circuits/loss vs {per_term} ungrouped");
+}
+
+fn bench_expectation_paths(c: &mut Criterion) {
+    let vqe = VqeProblem::heisenberg_4q();
+    let params = vqe.initial_point(3);
+    let sv = vqe.ansatz().run_statevector(&params).unwrap();
+    let h = vqe.hamiltonian();
+    let mut group = c.benchmark_group("expectation");
+    group.bench_function("pauli_terms", |b| b.iter(|| h.expectation(&sv)));
+    let dense = h.matrix();
+    group.bench_with_input(BenchmarkId::new("dense_matrix", 16), &dense, |b, m| {
+        b.iter(|| qsim::linalg::expectation(m, sv.amplitudes()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_shift_gradient,
+    bench_grouping_ablation,
+    bench_expectation_paths
+);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Transpiler microbenchmarks across Table I topologies, plus the
+//! routing-strategy and optimization-level ablations (DESIGN.md #4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use transpile::{transpile, LayoutStrategy, RoutingStrategy, Topology, TranspileOptions};
+
+fn ansatz() -> qcircuit::Circuit {
+    vqa::ansatz::hardware_efficient(4)
+}
+
+fn bench_topologies(c: &mut Criterion) {
+    let circuit = ansatz();
+    let mut group = c.benchmark_group("transpile_fig8_ansatz");
+    let topologies = [
+        ("line5", Topology::line(5)),
+        ("t_shape", Topology::t_shape()),
+        ("full5", Topology::fully_connected(5)),
+        ("h_shape", Topology::h_shape()),
+        ("heavy_hex_27", Topology::heavy_hex_27()),
+        ("heavy_hex_65", Topology::heavy_hex_65()),
+    ];
+    for (name, topo) in topologies {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &topo, |b, t| {
+            b.iter(|| transpile(&circuit, t, &TranspileOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_routing_ablation(c: &mut Criterion) {
+    let circuit = ansatz();
+    let topo = Topology::heavy_hex_27();
+    let mut group = c.benchmark_group("routing_strategy_ablation");
+    for (name, strategy) in [
+        ("shortest_path", RoutingStrategy::ShortestPath),
+        ("meet_in_middle", RoutingStrategy::MeetInMiddle),
+    ] {
+        let options = TranspileOptions {
+            routing: strategy,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &options, |b, o| {
+            b.iter(|| transpile(&circuit, &topo, o).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_optimization_levels(c: &mut Criterion) {
+    let circuit = ansatz();
+    let topo = Topology::t_shape();
+    let mut group = c.benchmark_group("optimization_level_ablation");
+    for level in [0u8, 1] {
+        let options = TranspileOptions {
+            optimization_level: level,
+            layout: LayoutStrategy::Greedy,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(level), &options, |b, o| {
+            b.iter(|| transpile(&circuit, &topo, o).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_topologies,
+    bench_routing_ablation,
+    bench_optimization_levels
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Fig. 1: VQE error rate and running time — Casablanca, x2, Bogota vs
+//! EQC.
+//!
+//! The paper's opening figure: three single-machine VQE trainings with
+//! their error rates relative to the ideal solution (left panel:
+//! Casablanca 4.6%, x2 1.798%, Bogota 0.865%, EQC 0.379%) and their
+//! running times (middle panel: tens of hours for singles, a fraction for
+//! EQC).
+//!
+//! Run with: `cargo run --release -p eqc-bench --bin fig1`
+//! (override scale with EQC_EPOCHS / EQC_SHOTS)
+
+use eqc_bench::{clients_for, epochs_or, markdown_table, shots_or, write_csv};
+use eqc_core::{train_ideal, EqcConfig, EqcTrainer, SingleDeviceTrainer};
+use vqa::VqeProblem;
+
+fn main() {
+    let epochs = epochs_or(250);
+    let shots = shots_or(8192);
+    let problem = VqeProblem::heisenberg_4q();
+    let cfg = EqcConfig::paper_vqe().with_epochs(epochs).with_shots(shots);
+    println!("# Fig. 1 — VQE error rate and running time ({epochs} epochs)\n");
+
+    let ideal_energy = train_ideal(&problem, cfg).converged_loss(20);
+
+    let mut rows = Vec::new();
+    let mut csv = String::from("system,error_pct,hours\n");
+    let mut results = Vec::new();
+    for name in ["casablanca", "x2", "bogota"] {
+        let client = clients_for(&problem, &[name], 0xF161).pop().expect("client");
+        let r = SingleDeviceTrainer::new(cfg).train(&problem, client);
+        results.push((name.to_string(), r));
+    }
+    let names: Vec<&str> = qdevice::catalog::vqe_ensemble().iter().map(|d| d.name).collect();
+    let eqc = EqcTrainer::new(cfg).train(&problem, clients_for(&problem, &names, 0xE9C1));
+    results.push(("EQC".to_string(), eqc));
+
+    for (name, r) in &results {
+        let err = (r.converged_loss(20) - ideal_energy).abs() / ideal_energy.abs() * 100.0;
+        rows.push(vec![
+            name.clone(),
+            format!("{err:.3}%"),
+            format!("{:.1}", r.total_hours),
+        ]);
+        csv.push_str(&format!("{name},{err:.4},{:.3}\n", r.total_hours));
+    }
+    println!(
+        "{}",
+        markdown_table(&["system", "error vs ideal", "runtime (hours)"], &rows)
+    );
+    println!(
+        "Paper: Casablanca 4.6%, x2 1.798%, Bogota 0.865%, EQC 0.379%;\n\
+         runtimes ~37h (Casablanca), ~28h (x2), ~42h (Bogota), ~5h (EQC)."
+    );
+    write_csv("fig1.csv", &csv);
+
+    if epochs >= 100 {
+        let eqc_hours = results.last().map(|(_, r)| r.total_hours).expect("eqc ran");
+        for (name, r) in &results[..3] {
+            assert!(
+                eqc_hours < r.total_hours,
+                "EQC should finish before single {name}"
+            );
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Fig. 4: calculated vs observed 5-qubit GHZ error.
+//!
+//! For each 5-qubit device and several times-since-calibration, build the
+//! GHZ probe, predict the error chance with Eq. 2 from the *reported*
+//! (frozen) calibration, then measure the observed error fraction (any
+//! outcome other than 00000/11111) under the *actual* (drifted) noise.
+//! The paper reports R^2 = 0.605, Pearson r = 0.784, p = 1.28e-7 and a
+//! fit line of y = 0.86 x + 0.05; the reproduction should show the same
+//! strong positive correlation with stale calibrations overpredicting
+//! quality.
+//!
+//! Run with: `cargo run --release -p eqc-bench --bin fig4`
+
+use eqc_bench::{markdown_table, shots_or, write_csv};
+use eqc_core::stats::{linear_fit, pearson, pearson_p_value};
+use eqc_core::weighting::p_correct;
+use qdevice::SimTime;
+use transpile::{transpile, TranspileOptions};
+
+fn main() {
+    println!("# Fig. 4 — calculated vs observed 5-qubit GHZ error\n");
+    let shots = shots_or(8192);
+    // 5-qubit GHZ probe (Section IV of the paper).
+    let mut b = qcircuit::CircuitBuilder::new(5);
+    b.h(0);
+    for q in 0..4 {
+        b.cx(q, q + 1);
+    }
+    let ghz = b.build();
+
+    let devices = ["lima", "x2", "belem", "quito", "manila", "bogota"];
+    let ages_h = [0.02, 4.0, 8.0, 12.0, 16.0, 20.0, 23.0];
+    let mut calculated = Vec::new();
+    let mut observed = Vec::new();
+    let mut rows = Vec::new();
+    let mut csv = String::from("device,age_hours,calculated_error,observed_error\n");
+
+    for name in devices {
+        let spec = qdevice::catalog::by_name(name).expect("catalog device");
+        let t = transpile(&ghz, &spec.topology(), &TranspileOptions::default())
+            .expect("GHZ fits all 5q devices");
+        let (compact, logical_bits) = t.compact_for_simulation().expect("compacts");
+        let active = t.active_qubits();
+        let mut backend = spec.backend(0xF16_4 + name.len() as u64);
+        for &age in &ages_h {
+            let at = SimTime::from_hours(age);
+            // Predicted error chance from the frozen calibration report.
+            let reported = backend.reported_calibration(at);
+            let predicted_error = 1.0 - p_correct(&t.metrics, &reported);
+            // Observed error under the actual drifted noise.
+            let bound = compact.bind(&[]).expect("GHZ has no parameters");
+            let job = backend.execute(&bound, &active, shots, at);
+            let logical = t.remap_counts(&job.counts, &logical_bits);
+            let ok = logical.fraction_where(|basis| basis == 0 || basis == 0b11111);
+            let observed_error = 1.0 - ok;
+            calculated.push(predicted_error);
+            observed.push(observed_error);
+            rows.push(vec![
+                name.to_string(),
+                format!("{age:.1}"),
+                format!("{predicted_error:.4}"),
+                format!("{observed_error:.4}"),
+            ]);
+            csv.push_str(&format!("{name},{age},{predicted_error:.6},{observed_error:.6}\n"));
+        }
+    }
+
+    println!(
+        "{}",
+        markdown_table(&["Device", "age (h)", "calculated err", "observed err"], &rows)
+    );
+
+    let r = pearson(&calculated, &observed);
+    let p = pearson_p_value(r, calculated.len());
+    let (slope, intercept, r2) = linear_fit(&calculated, &observed);
+    println!("## Correlation (paper: R^2 0.605, Pearson 0.784, p 1.28e-7, fit y=0.86x+0.05)\n");
+    println!("| metric | paper | measured |");
+    println!("|---|---|---|");
+    println!("| Pearson r | 0.784 | {r:.3} |");
+    println!("| R^2 | 0.605 | {r2:.3} |");
+    println!("| p-value | 1.28e-7 | {p:.3e} |");
+    println!("| fit | y = 0.86x + 0.05 | y = {slope:.2}x + {intercept:.2} |");
+    write_csv("fig4.csv", &csv);
+
+    assert!(r > 0.3, "calculated and observed error should correlate (r = {r})");
+}

@@ -1,0 +1,71 @@
+//! Table I: the IBMQ platforms used for evaluation.
+//!
+//! Prints the paper's device table from the simulated catalog, plus the
+//! simulation-side noise/queue parameters standing in for each real
+//! device.
+//!
+//! Run with: `cargo run --release -p eqc-bench --bin table1`
+
+use eqc_bench::{markdown_table, write_csv};
+use qdevice::catalog;
+
+fn main() {
+    println!("# Table I — IBMQ platforms used for evaluation\n");
+    let rows: Vec<Vec<String>> = catalog::catalog()
+        .iter()
+        .map(|d| {
+            vec![
+                d.name.to_string(),
+                d.qubits.to_string(),
+                d.processor.to_string(),
+                d.quantum_volume.to_string(),
+                d.topology_class.label().to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(&["Device", "Qubits", "Processor", "QV", "Topology"], &rows)
+    );
+
+    println!("\n## Simulation stand-in parameters (per DESIGN.md substitution)\n");
+    let sim_rows: Vec<Vec<String>> = catalog::catalog()
+        .iter()
+        .map(|d| {
+            vec![
+                d.name.to_string(),
+                format!("{:.0}/{:.0}", d.t1_us, d.t2_us),
+                format!("{:.4}", d.cx_error),
+                format!("{:.3}", d.readout_error),
+                format!("{:.0}", d.queue_mean_s),
+                format!("{:.1}", d.queue_amplitude),
+                if d.episode.is_some() { "yes" } else { "no" }.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(
+            &["Device", "T1/T2 (us)", "CX err", "RO err", "queue (s)", "amp", "episode"],
+            &sim_rows
+        )
+    );
+
+    let mut csv = String::from("device,qubits,processor,qv,topology,t1_us,t2_us,cx_error,readout_error,queue_mean_s\n");
+    for d in catalog::catalog() {
+        csv.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{}\n",
+            d.name,
+            d.qubits,
+            d.processor,
+            d.quantum_volume,
+            d.topology_class.label(),
+            d.t1_us,
+            d.t2_us,
+            d.cx_error,
+            d.readout_error,
+            d.queue_mean_s
+        ));
+    }
+    write_csv("table1.csv", &csv);
+}

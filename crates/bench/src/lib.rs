@@ -1,0 +1,164 @@
+//! Shared harness utilities for the experiment binaries.
+//!
+//! Every `fig*`/`table1` binary regenerates one table or figure of the
+//! EQC paper: it runs the experiment on the simulated device fleet,
+//! prints the series/rows the paper reports, and writes CSVs under
+//! `results/`. Binaries honour two environment overrides for quick
+//! passes: `EQC_EPOCHS` and `EQC_SHOTS`.
+
+use eqc_core::ClientNode;
+use std::fs;
+use std::path::PathBuf;
+use vqa::VqaProblem;
+
+/// Reads a `usize` parameter from the environment with a default.
+pub fn env_param(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Epoch budget for figure runs (`EQC_EPOCHS`, default = paper value).
+pub fn epochs_or(default: usize) -> usize {
+    env_param("EQC_EPOCHS", default)
+}
+
+/// Shot budget for figure runs (`EQC_SHOTS`, default 8192 as in the
+/// paper).
+pub fn shots_or(default: usize) -> usize {
+    env_param("EQC_SHOTS", default)
+}
+
+/// Builds client nodes for the named catalog devices.
+///
+/// # Panics
+///
+/// Panics if a name is missing from the catalog or a template does not
+/// fit the device.
+pub fn clients_for(problem: &dyn VqaProblem, names: &[&str], seed_base: u64) -> Vec<ClientNode> {
+    names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            let spec = qdevice::catalog::by_name(n)
+                .unwrap_or_else(|| panic!("unknown device {n}"));
+            ClientNode::new(i, spec.backend(seed_base + i as u64), problem)
+                .unwrap_or_else(|e| panic!("{n}: {e}"))
+        })
+        .collect()
+}
+
+/// The `results/` directory (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Writes a CSV artifact and reports its path on stdout.
+pub fn write_csv(name: &str, content: &str) {
+    let path = results_dir().join(name);
+    fs::write(&path, content).expect("write results file");
+    println!("  [wrote {}]", path.display());
+}
+
+/// Renders a markdown table.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push('|');
+    for h in headers {
+        out.push_str(&format!(" {h} |"));
+    }
+    out.push('\n');
+    out.push('|');
+    for _ in headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push('|');
+        for cell in row {
+            out.push_str(&format!(" {cell} |"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Downsamples an epoch history to at most `n` evenly spaced points for
+/// terminal-friendly series output.
+pub fn downsample<T: Clone>(xs: &[T], n: usize) -> Vec<T> {
+    if xs.len() <= n || n == 0 {
+        return xs.to_vec();
+    }
+    let step = xs.len() as f64 / n as f64;
+    (0..n)
+        .map(|i| xs[((i as f64 + 0.5) * step) as usize % xs.len()].clone())
+        .collect()
+}
+
+/// Renders an ASCII sparkline of a series (low = worst, high = best) for
+/// quick visual inspection of convergence curves in the terminal.
+pub fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|v| LEVELS[(((v - min) / span) * 7.0).round() as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_param_default_and_parse() {
+        assert_eq!(env_param("EQC_DOES_NOT_EXIST", 17), 17);
+        std::env::set_var("EQC_TEST_PARAM_X", "42");
+        assert_eq!(env_param("EQC_TEST_PARAM_X", 1), 42);
+        std::env::set_var("EQC_TEST_PARAM_X", "junk");
+        assert_eq!(env_param("EQC_TEST_PARAM_X", 3), 3);
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let t = markdown_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(t.lines().count(), 3);
+        assert!(t.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn downsample_limits_length() {
+        let xs: Vec<usize> = (0..100).collect();
+        let d = downsample(&xs, 10);
+        assert_eq!(d.len(), 10);
+        let short = downsample(&xs[..5], 10);
+        assert_eq!(short.len(), 5);
+    }
+
+    #[test]
+    fn sparkline_monotone() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        let first = s.chars().next().unwrap();
+        let last = s.chars().last().unwrap();
+        assert_ne!(first, last);
+    }
+
+    #[test]
+    fn clients_for_builds_ensemble() {
+        let problem = vqa::QaoaProblem::maxcut_ring4();
+        let clients = clients_for(&problem, &["belem", "manila"], 0);
+        assert_eq!(clients.len(), 2);
+        assert_eq!(clients[0].device_name(), "belem");
+    }
+}

@@ -1,0 +1,151 @@
+//! Training configuration.
+
+use crate::weighting::WeightBounds;
+
+/// Configuration of an EQC (or baseline) training run.
+///
+/// Defaults follow the paper's evaluation: learning rate 0.1 (Section
+/// V-B), 8192 shots, no gradient clipping.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EqcConfig {
+    /// ASGD learning rate `alpha` (paper: 0.1).
+    pub learning_rate: f64,
+    /// Epochs to train; one epoch cycles every parameter once
+    /// (Algorithm 1's `epsilon`).
+    pub epochs: usize,
+    /// Shots per circuit execution (paper: 8192).
+    pub shots: usize,
+    /// Weight band for the adaptive weighting system; `None` trains
+    /// unweighted (`w = 1`).
+    pub weight_bounds: Option<WeightBounds>,
+    /// Seed for initial parameters and any sampling the trainer owns.
+    pub seed: u64,
+    /// Optional clip on each applied parameter update's magnitude.
+    pub gradient_clip: Option<f64>,
+    /// Optional cap on virtual training time; training stops once a
+    /// completed task crosses it (the paper terminates single-machine
+    /// experiments "beyond 2-weeks of running time", Fig. 6).
+    pub max_virtual_hours: Option<f64>,
+}
+
+impl EqcConfig {
+    /// The paper's VQE setup: `alpha = 0.1`, 8192 shots, 250 epochs,
+    /// unweighted.
+    pub fn paper_vqe() -> Self {
+        EqcConfig {
+            learning_rate: 0.1,
+            epochs: 250,
+            shots: 8192,
+            weight_bounds: None,
+            seed: 7,
+            gradient_clip: None,
+            max_virtual_hours: None,
+        }
+    }
+
+    /// The paper's QAOA setup: 50 iterations over 2 parameters.
+    pub fn paper_qaoa() -> Self {
+        EqcConfig {
+            learning_rate: 0.1,
+            epochs: 50,
+            shots: 8192,
+            weight_bounds: None,
+            seed: 7,
+            gradient_clip: None,
+            max_virtual_hours: None,
+        }
+    }
+
+    /// Builder-style override of the epoch budget.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Builder-style override of the shot budget.
+    pub fn with_shots(mut self, shots: usize) -> Self {
+        self.shots = shots;
+        self
+    }
+
+    /// Builder-style weighting activation.
+    pub fn with_weights(mut self, bounds: WeightBounds) -> Self {
+        self.weight_bounds = Some(bounds);
+        self
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style learning-rate override.
+    pub fn with_learning_rate(mut self, alpha: f64) -> Self {
+        self.learning_rate = alpha;
+        self
+    }
+
+    /// Builder-style virtual-time cap (hours).
+    pub fn with_time_cap_hours(mut self, hours: f64) -> Self {
+        self.max_virtual_hours = Some(hours);
+        self
+    }
+
+    /// Validates ranges; called by trainers before running.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive learning rate, zero epochs or zero shots.
+    pub fn validate(&self) {
+        assert!(self.learning_rate > 0.0, "learning rate must be positive");
+        assert!(self.epochs > 0, "epoch budget must be positive");
+        assert!(self.shots > 0, "shot budget must be positive");
+        if let Some(c) = self.gradient_clip {
+            assert!(c > 0.0, "gradient clip must be positive");
+        }
+    }
+}
+
+impl Default for EqcConfig {
+    fn default() -> Self {
+        EqcConfig::paper_vqe()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = EqcConfig::paper_vqe();
+        assert_eq!(c.learning_rate, 0.1);
+        assert_eq!(c.shots, 8192);
+        assert_eq!(c.epochs, 250);
+        assert!(c.weight_bounds.is_none());
+        c.validate();
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = EqcConfig::paper_qaoa()
+            .with_epochs(10)
+            .with_shots(128)
+            .with_seed(3)
+            .with_learning_rate(0.2)
+            .with_weights(WeightBounds::new(0.25, 1.75));
+        assert_eq!(c.epochs, 10);
+        assert_eq!(c.shots, 128);
+        assert_eq!(c.seed, 3);
+        assert_eq!(c.learning_rate, 0.2);
+        assert!(c.weight_bounds.is_some());
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch budget")]
+    fn zero_epochs_rejected() {
+        EqcConfig::paper_vqe().with_epochs(0).validate();
+    }
+}

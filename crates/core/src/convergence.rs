@@ -1,0 +1,158 @@
+//! The appendix convergence bound of asynchronous SGD (paper Eqs. 12-14).
+//!
+//! For a cyclic, partially asynchronous SGD with bounded gradients
+//! `||g|| <= C`, bounded delay `D`, cyclic-order slack `T`, `m`
+//! parameters and step size `alpha`, the paper (following Nedic et al.)
+//! bounds the asymptotic loss gap by
+//!
+//! ```text
+//! lim l(theta) <= l* + m C^2 (1/2 + m + 2D + T) alpha      (Eq. 14)
+//! ```
+//!
+//! This module computes the bound, extracts its empirical inputs from a
+//! training run, and provides a miniature delayed-gradient SGD simulator
+//! used by tests and the `convergence` harness binary to check the bound
+//! numerically.
+
+use crate::report::TrainingReport;
+
+/// The quantities entering Eq. 14.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConvergenceParams {
+    /// Number of parameters `m`.
+    pub m: usize,
+    /// Gradient norm bound `C`.
+    pub c: f64,
+    /// Maximum update staleness `D`.
+    pub d: usize,
+    /// Cyclic-order slack `T` (`|pi(t) - t| <= T`).
+    pub t: usize,
+    /// Step size `alpha`.
+    pub alpha: f64,
+}
+
+impl ConvergenceParams {
+    /// The asymptotic gap term of Eq. 14:
+    /// `m C^2 (1/2 + m + 2D + T) alpha`.
+    pub fn asymptotic_gap(&self) -> f64 {
+        self.m as f64
+            * self.c
+            * self.c
+            * (0.5 + self.m as f64 + 2.0 * self.d as f64 + self.t as f64)
+            * self.alpha
+    }
+
+    /// Extracts empirical parameters from a finished EQC run: `D` from
+    /// the observed staleness, `T` conservatively set to one cycle, `C`
+    /// supplied by the caller (e.g. the largest gradient magnitude seen
+    /// or a Hamiltonian-norm bound).
+    pub fn from_report(report: &TrainingReport, m: usize, c: f64, alpha: f64) -> Self {
+        ConvergenceParams {
+            m,
+            c,
+            d: report.max_staleness,
+            t: m,
+            alpha,
+        }
+    }
+}
+
+/// A miniature delayed-gradient ASGD simulator on the quadratic
+/// `l(x) = 0.5 * sum lambda_i x_i^2` (whose optimum is `l* = 0`), with
+/// every applied gradient `delay` steps stale. Returns the sequence of
+/// loss values.
+///
+/// The quadratic keeps the experiment analytic: gradients are bounded on
+/// the trajectory and the fixed point is known, so harness code can check
+/// `lim l <= l* + gap` directly.
+pub fn delayed_sgd_quadratic(
+    lambdas: &[f64],
+    x0: &[f64],
+    alpha: f64,
+    delay: usize,
+    steps: usize,
+) -> Vec<f64> {
+    assert_eq!(lambdas.len(), x0.len(), "dimension mismatch");
+    let m = x0.len();
+    let mut x = x0.to_vec();
+    // History of parameter snapshots for stale gradient evaluation.
+    let mut snapshots: Vec<Vec<f64>> = vec![x.clone(); delay + 1];
+    let mut losses = Vec::with_capacity(steps);
+    for step in 0..steps {
+        let stale = &snapshots[step % (delay + 1)];
+        // Cyclic coordinate update with a stale gradient (the paper's
+        // partially asynchronous model).
+        let i = step % m;
+        let g = lambdas[i] * stale[i];
+        x[i] -= alpha * g;
+        snapshots[step % (delay + 1)] = x.clone();
+        let loss: f64 = x
+            .iter()
+            .zip(lambdas)
+            .map(|(xi, l)| 0.5 * l * xi * xi)
+            .sum();
+        losses.push(loss);
+    }
+    losses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_formula() {
+        let p = ConvergenceParams {
+            m: 16,
+            c: 2.0,
+            d: 3,
+            t: 16,
+            alpha: 0.1,
+        };
+        let expected = 16.0 * 4.0 * (0.5 + 16.0 + 6.0 + 16.0) * 0.1;
+        assert!((p.asymptotic_gap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gap_grows_with_staleness_and_step() {
+        let base = ConvergenceParams { m: 4, c: 1.0, d: 0, t: 4, alpha: 0.1 };
+        let stale = ConvergenceParams { d: 8, ..base };
+        let big_step = ConvergenceParams { alpha: 0.5, ..base };
+        assert!(stale.asymptotic_gap() > base.asymptotic_gap());
+        assert!(big_step.asymptotic_gap() > base.asymptotic_gap());
+    }
+
+    #[test]
+    fn delayed_sgd_converges_within_bound() {
+        let lambdas = [1.0, 2.0, 0.5, 1.5];
+        let x0 = [2.0, -1.0, 3.0, 0.5];
+        let alpha = 0.05;
+        for delay in [0usize, 2, 5] {
+            let losses = delayed_sgd_quadratic(&lambdas, &x0, alpha, delay, 4000);
+            let tail = losses[3900..].iter().copied().fold(0.0f64, f64::max);
+            // Gradient bound along the trajectory: lambda_max * max|x0|.
+            let c = 2.0 * 3.0;
+            let p = ConvergenceParams { m: 4, c, d: delay, t: 4, alpha };
+            assert!(
+                tail <= p.asymptotic_gap(),
+                "delay {delay}: tail loss {tail} above bound {}",
+                p.asymptotic_gap()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_delay_converges_to_optimum() {
+        let losses = delayed_sgd_quadratic(&[1.0, 1.0], &[1.0, -1.0], 0.1, 0, 2000);
+        assert!(losses.last().unwrap() < &1e-10);
+    }
+
+    #[test]
+    fn larger_delay_slower_or_noisier() {
+        let fast = delayed_sgd_quadratic(&[1.0, 1.0], &[1.0, -1.0], 0.3, 0, 200);
+        let slow = delayed_sgd_quadratic(&[1.0, 1.0], &[1.0, -1.0], 0.3, 6, 200);
+        let f_tail: f64 = fast[150..].iter().sum();
+        let s_tail: f64 = slow[150..].iter().sum();
+        assert!(s_tail >= f_tail, "stale ASGD should not beat synchronous SGD");
+    }
+}

@@ -1,0 +1,60 @@
+//! # eqc-core — the EQC framework (the paper's primary contribution)
+//!
+//! Ensembled Quantum Computing for variational quantum algorithms
+//! (Stein et al., ISCA 2022): instead of training a VQA against one noisy
+//! QPU, a master node asynchronously distributes gradient tasks across a
+//! *quantum ensemble*, weighting each device's contribution by an analytic
+//! quality score computed from its transpiled circuit and live calibration
+//! (Eq. 2).
+//!
+//! * [`client`] — the client node (Algorithm 2): transpile once, serve
+//!   batched shift-rule jobs, report gradients + `P_correct`;
+//! * [`trainer`] — the master node (Algorithm 1) over a deterministic
+//!   discrete-event executor, plus single-device and ideal baselines;
+//! * [`threaded`] — the same master/client protocol over real OS threads
+//!   (the Ray.io analogue);
+//! * [`weighting`] — Eq. 2 and the bounded linear weight normalization of
+//!   Figs. 5/9/12;
+//! * [`convergence`] — the appendix ASGD bound (Eq. 14);
+//! * [`stats`] — the estimators behind Fig. 4 (R^2, Pearson, p-value);
+//! * [`report`] — per-epoch histories and device statistics for every
+//!   figure harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use eqc_core::{ClientNode, EqcConfig, EqcTrainer};
+//! use vqa::QaoaProblem;
+//!
+//! let problem = QaoaProblem::maxcut_ring4();
+//! let clients: Vec<ClientNode> = ["belem", "manila"]
+//!     .iter()
+//!     .enumerate()
+//!     .map(|(i, name)| {
+//!         let backend = qdevice::catalog::by_name(name).unwrap().backend(i as u64);
+//!         ClientNode::new(i, backend, &problem).unwrap()
+//!     })
+//!     .collect();
+//! let config = EqcConfig::paper_qaoa().with_epochs(3).with_shots(256);
+//! let report = EqcTrainer::new(config).train(&problem, clients);
+//! assert_eq!(report.epochs, 3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod config;
+pub mod convergence;
+pub mod report;
+pub mod stats;
+pub mod threaded;
+pub mod trainer;
+pub mod weighting;
+
+pub use client::{ClientNode, ClientTaskResult};
+pub use config::EqcConfig;
+pub use convergence::ConvergenceParams;
+pub use report::{ClientStats, EpochRecord, TrainingReport, WeightSample};
+pub use threaded::train_threaded;
+pub use trainer::{ideal_backend, train_ideal, EqcTrainer, SingleDeviceTrainer, SyncEnsembleTrainer};
+pub use weighting::{normalize_weights, p_correct, WeightBounds};

@@ -1,0 +1,254 @@
+//! Training reports: per-epoch history, timing, device statistics.
+//!
+//! Reports carry everything the figure harnesses print: energy-vs-epoch
+//! curves (Figs. 6, 9, 11, 12), epochs/hour (Fig. 6-right, Fig. 1-middle),
+//! final error vs the exact reference (Fig. 1-left) and weight traces
+//! (Fig. 5). Serialization is CSV/markdown via own writers — no JSON
+//! serializer exists offline.
+
+use std::fmt;
+
+/// One recorded epoch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EpochRecord {
+    /// Epoch index (1-based: recorded after the epoch completes).
+    pub epoch: usize,
+    /// Virtual hours since training start.
+    pub virtual_hours: f64,
+    /// Exact (ideal-simulator) loss of the parameters at this epoch.
+    pub ideal_loss: f64,
+}
+
+/// Per-client statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClientStats {
+    /// Device name.
+    pub device: String,
+    /// Gradient tasks completed.
+    pub tasks_completed: u64,
+    /// Circuits executed.
+    pub circuits_run: u64,
+    /// Mean Eq. 2 score across the run.
+    pub mean_p_correct: f64,
+    /// Mean applied weight across the run (1.0 when unweighted).
+    pub mean_weight: f64,
+    /// Fraction of the run's virtual timeline the device spent executing
+    /// shots (the paper's utilization motivation, Section I).
+    pub utilization: f64,
+}
+
+/// One weight-trace sample: the ensemble's weights at a virtual time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WeightSample {
+    /// Virtual hours since start.
+    pub virtual_hours: f64,
+    /// Weight per client, indexed by client id.
+    pub weights: Vec<f64>,
+}
+
+/// The full record of a training run.
+#[derive(Clone, Debug)]
+pub struct TrainingReport {
+    /// Problem name.
+    pub problem: String,
+    /// Trainer label (`eqc`, `single:<device>`, `ideal`, ...).
+    pub trainer: String,
+    /// Epochs completed.
+    pub epochs: usize,
+    /// Per-epoch history.
+    pub history: Vec<EpochRecord>,
+    /// Final parameters.
+    pub final_params: Vec<f64>,
+    /// Final ideal loss.
+    pub final_loss: f64,
+    /// Exact optimum for error normalization.
+    pub reference_minimum: f64,
+    /// Total virtual hours of the run.
+    pub total_hours: f64,
+    /// Per-client statistics (one entry for single-device runs).
+    pub clients: Vec<ClientStats>,
+    /// Weight trace over time (empty when unweighted).
+    pub weight_trace: Vec<WeightSample>,
+    /// Maximum observed update staleness (ASGD delay `D` of Eq. 12-14).
+    pub max_staleness: usize,
+    /// Mean observed update staleness.
+    pub mean_staleness: f64,
+}
+
+impl TrainingReport {
+    /// Relative error of the final loss vs the reference minimum, in
+    /// percent: `|final - ref| / |ref| * 100` (how Fig. 1/9 report error).
+    pub fn error_vs_reference_pct(&self) -> f64 {
+        if self.reference_minimum == 0.0 {
+            return (self.final_loss.abs()) * 100.0;
+        }
+        (self.final_loss - self.reference_minimum).abs() / self.reference_minimum.abs() * 100.0
+    }
+
+    /// Mean training speed in epochs per virtual hour.
+    pub fn epochs_per_hour(&self) -> f64 {
+        if self.total_hours <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.epochs as f64 / self.total_hours
+    }
+
+    /// First epoch whose ideal loss stays within `tol` of the best loss
+    /// seen over the rest of the run — a simple convergence-epoch
+    /// estimator for the "converges at epoch N" comparisons.
+    pub fn convergence_epoch(&self, tol: f64) -> Option<usize> {
+        if self.history.is_empty() {
+            return None;
+        }
+        let best = self
+            .history
+            .iter()
+            .map(|r| r.ideal_loss)
+            .fold(f64::INFINITY, f64::min);
+        self.history
+            .iter()
+            .find(|r| r.ideal_loss <= best + tol)
+            .map(|r| r.epoch)
+    }
+
+    /// Mean ideal loss over the final `n` epochs (converged-energy
+    /// estimate, robust to per-epoch shot noise).
+    pub fn converged_loss(&self, n: usize) -> f64 {
+        if self.history.is_empty() {
+            return self.final_loss;
+        }
+        let tail = &self.history[self.history.len().saturating_sub(n)..];
+        tail.iter().map(|r| r.ideal_loss).sum::<f64>() / tail.len() as f64
+    }
+
+    /// Relative error of [`TrainingReport::converged_loss`] vs the
+    /// reference, percent.
+    pub fn converged_error_pct(&self, n: usize) -> f64 {
+        if self.reference_minimum == 0.0 {
+            return self.converged_loss(n).abs() * 100.0;
+        }
+        (self.converged_loss(n) - self.reference_minimum).abs() / self.reference_minimum.abs()
+            * 100.0
+    }
+
+    /// Renders the epoch history as CSV (`epoch,hours,ideal_loss`).
+    pub fn history_csv(&self) -> String {
+        let mut out = String::from("epoch,virtual_hours,ideal_loss\n");
+        for r in &self.history {
+            out.push_str(&format!(
+                "{},{:.6},{:.8}\n",
+                r.epoch, r.virtual_hours, r.ideal_loss
+            ));
+        }
+        out
+    }
+
+    /// Renders a one-line markdown summary row:
+    /// `| trainer | epochs | eph | final | err% |`.
+    pub fn summary_row(&self) -> String {
+        format!(
+            "| {} | {} | {:.3} | {:.4} | {:.3}% |",
+            self.trainer,
+            self.epochs,
+            self.epochs_per_hour(),
+            self.final_loss,
+            self.error_vs_reference_pct()
+        )
+    }
+}
+
+impl fmt::Display for TrainingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} on {}: {} epochs in {:.2} h ({:.2} epochs/h)",
+            self.trainer,
+            self.problem,
+            self.epochs,
+            self.total_hours,
+            self.epochs_per_hour()
+        )?;
+        writeln!(
+            f,
+            "  final loss {:.5} (reference {:.5}, error {:.3}%)",
+            self.final_loss,
+            self.reference_minimum,
+            self.error_vs_reference_pct()
+        )?;
+        for c in &self.clients {
+            writeln!(
+                f,
+                "  {}: {} tasks, {} circuits, mean P_correct {:.4}, mean weight {:.3}, util {:.1}%",
+                c.device,
+                c.tasks_completed,
+                c.circuits_run,
+                c.mean_p_correct,
+                c.mean_weight,
+                c.utilization * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> TrainingReport {
+        TrainingReport {
+            problem: "test".into(),
+            trainer: "eqc".into(),
+            epochs: 4,
+            history: vec![
+                EpochRecord { epoch: 1, virtual_hours: 0.5, ideal_loss: -1.0 },
+                EpochRecord { epoch: 2, virtual_hours: 1.0, ideal_loss: -3.0 },
+                EpochRecord { epoch: 3, virtual_hours: 1.5, ideal_loss: -3.9 },
+                EpochRecord { epoch: 4, virtual_hours: 2.0, ideal_loss: -3.95 },
+            ],
+            final_params: vec![0.0; 4],
+            final_loss: -3.95,
+            reference_minimum: -4.0,
+            total_hours: 2.0,
+            clients: vec![],
+            weight_trace: vec![],
+            max_staleness: 3,
+            mean_staleness: 1.2,
+        }
+    }
+
+    #[test]
+    fn error_and_speed() {
+        let r = sample_report();
+        assert!((r.error_vs_reference_pct() - 1.25).abs() < 1e-9);
+        assert!((r.epochs_per_hour() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn convergence_epoch_detection() {
+        let r = sample_report();
+        assert_eq!(r.convergence_epoch(0.1), Some(3));
+        assert_eq!(r.convergence_epoch(5.0), Some(1));
+    }
+
+    #[test]
+    fn converged_loss_tail_mean() {
+        let r = sample_report();
+        assert!((r.converged_loss(2) + 3.925).abs() < 1e-12);
+        assert!((r.converged_error_pct(2) - 1.875).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = sample_report().history_csv();
+        assert!(csv.starts_with("epoch,virtual_hours,ideal_loss\n"));
+        assert_eq!(csv.lines().count(), 5);
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let s = sample_report().to_string();
+        assert!(s.contains("epochs/h"));
+        assert!(s.contains("error 1.250%"));
+    }
+}

@@ -1,0 +1,309 @@
+//! Statistics utilities for the evaluation harness.
+//!
+//! Fig. 4 of the paper reports an `R^2` of 0.605, a Pearson correlation of
+//! 0.784 and a two-tailed p-value of 1.28e-7 between calculated and
+//! observed GHZ error; this module provides those estimators (the p-value
+//! via the regularized incomplete beta function, as no stats crate is
+//! available offline).
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance; 0 for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// # Panics
+///
+/// Panics if lengths differ or fewer than 2 points are given.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "sample length mismatch");
+    assert!(xs.len() >= 2, "need at least 2 points");
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        0.0
+    } else {
+        sxy / (sxx * syy).sqrt()
+    }
+}
+
+/// Ordinary least squares fit `y = slope * x + intercept`.
+///
+/// Returns `(slope, intercept, r_squared)`.
+///
+/// # Panics
+///
+/// Panics if lengths differ or fewer than 2 points are given.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    assert_eq!(xs.len(), ys.len(), "sample length mismatch");
+    assert!(xs.len() >= 2, "need at least 2 points");
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+    }
+    if sxx == 0.0 {
+        return (0.0, my, 0.0);
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    // R^2 = 1 - SS_res / SS_tot.
+    let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let pred = slope * x + intercept;
+            (y - pred) * (y - pred)
+        })
+        .sum();
+    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    (slope, intercept, r2)
+}
+
+/// Two-tailed p-value of a Pearson correlation `r` over `n` samples,
+/// under the null hypothesis of no correlation (Student-t with `n - 2`
+/// degrees of freedom).
+///
+/// # Panics
+///
+/// Panics if `n < 3` or `|r| > 1`.
+pub fn pearson_p_value(r: f64, n: usize) -> f64 {
+    assert!(n >= 3, "p-value needs at least 3 samples");
+    assert!(r.abs() <= 1.0 + 1e-12, "|r| must be <= 1");
+    let r = r.clamp(-1.0, 1.0);
+    if (r.abs() - 1.0).abs() < 1e-15 {
+        return 0.0;
+    }
+    let df = (n - 2) as f64;
+    let t = r.abs() * (df / (1.0 - r * r)).sqrt();
+    // Two-tailed: p = I_{df/(df+t^2)}(df/2, 1/2).
+    regularized_incomplete_beta(df / (df + t * t), df / 2.0, 0.5)
+}
+
+/// Natural log of the gamma function (Lanczos approximation).
+pub fn ln_gamma(x: f64) -> f64 {
+    // Lanczos coefficients (g = 7, n = 9).
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEFFS[0];
+    let t = x + 7.5;
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via the continued
+/// fraction expansion (Numerical Recipes `betai`).
+///
+/// # Panics
+///
+/// Panics if `x` is outside `[0, 1]` or `a`/`b` are non-positive.
+pub fn regularized_incomplete_beta(x: f64, a: f64, b: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x), "x out of [0,1]: {x}");
+    assert!(a > 0.0 && b > 0.0, "a and b must be positive");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let front = (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln())
+        .exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(x, a, b) / a
+    } else {
+        1.0 - front * beta_cf(1.0 - x, b, a) / b
+    }
+}
+
+/// Continued fraction for the incomplete beta (Lentz's method).
+fn beta_cf(x: f64, a: f64, b: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&xs) - 2.5).abs() < 1e-12);
+        assert!((variance(&xs) - 1.25).abs() < 1e-12);
+        assert!((std_dev(&xs) - 1.25f64.sqrt()).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn pearson_perfect_correlations() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        let dn: Vec<f64> = xs.iter().map(|x| -0.5 * x).collect();
+        assert!((pearson(&xs, &up) - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &dn) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_uncorrelated() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [1.0, -1.0, 1.0, -1.0];
+        assert!(pearson(&xs, &ys).abs() < 0.5);
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 / 4.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 0.86 * x + 0.05).collect();
+        let (slope, intercept, r2) = linear_fit(&xs, &ys);
+        assert!((slope - 0.86).abs() < 1e-10);
+        assert!((intercept - 0.05).abs() < 1e-10);
+        assert!((r2 - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn linear_fit_r2_with_noise() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x + if i % 2 == 0 { 5.0 } else { -5.0 })
+            .collect();
+        let (_, _, r2) = linear_fit(&xs, &ys);
+        assert!(r2 > 0.8 && r2 < 1.0, "r2 {r2}");
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Gamma(5) = 24.
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        // Gamma(0.5) = sqrt(pi).
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+        // Gamma(1) = 1.
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_boundaries_and_symmetry() {
+        assert_eq!(regularized_incomplete_beta(0.0, 2.0, 3.0), 0.0);
+        assert_eq!(regularized_incomplete_beta(1.0, 2.0, 3.0), 1.0);
+        // I_x(1, 1) = x (uniform CDF).
+        for x in [0.1, 0.35, 0.8] {
+            assert!((regularized_incomplete_beta(x, 1.0, 1.0) - x).abs() < 1e-10);
+        }
+        // Symmetry: I_x(a, b) = 1 - I_{1-x}(b, a).
+        let lhs = regularized_incomplete_beta(0.3, 2.5, 4.0);
+        let rhs = 1.0 - regularized_incomplete_beta(0.7, 4.0, 2.5);
+        assert!((lhs - rhs).abs() < 1e-10);
+    }
+
+    #[test]
+    fn p_value_extremes() {
+        assert_eq!(pearson_p_value(1.0, 10), 0.0);
+        // Weak correlation over few samples: not significant.
+        let p = pearson_p_value(0.1, 10);
+        assert!(p > 0.5, "p {p}");
+        // Strong correlation over many samples: highly significant.
+        let p = pearson_p_value(0.784, 39);
+        assert!(p < 1e-6, "p {p}");
+        assert!(p > 1e-10, "p {p}");
+    }
+
+    #[test]
+    fn p_value_matches_known_t_distribution_point() {
+        // r = 0.5, n = 20 -> t = 2.4495, df = 18 -> p ~ 0.0249.
+        let p = pearson_p_value(0.5, 20);
+        assert!((p - 0.0249).abs() < 0.002, "p {p}");
+    }
+}

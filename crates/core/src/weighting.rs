@@ -1,0 +1,199 @@
+//! The QPU quality model and adaptive weighting system (Section IV).
+//!
+//! Eq. 2 of the paper scores a (device, transpiled circuit) pair by the
+//! probability that no error event occurs:
+//!
+//! ```text
+//! P_correct = exp(-CD * (mu_G1 + mu_G2)/2 / (T1 * T2))
+//!           * (1 - gamma)^G1 * (1 - beta)^G2 * (1 - omega)^M
+//! ```
+//!
+//! with `CD` the critical depth, `mu` the mean gate times, `gamma`/`beta`
+//! the 1q/CNOT errors, `omega` the readout error and `M` the measurement
+//! count. The ensemble then linearly rescales all clients' `P_correct`
+//! values into a configured band (e.g. `[0.5, 1.5]`), which multiplies the
+//! ASGD learning rate per Eq. 4.
+//!
+//! Units note: the paper leaves Eq. 2 dimensionless; we evaluate the
+//! exponent with gate times and T1/T2 both in microseconds, under which
+//! the fidelity products dominate (consistent with Fig. 4's strong
+//! correlation between error rates and gate counts).
+
+use qdevice::Calibration;
+use transpile::CircuitMetrics;
+
+/// Computes the paper's Eq. 2 for a transpiled circuit on a device
+/// calibration, clamped into `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use eqc_core::weighting::p_correct;
+/// use qdevice::Calibration;
+/// use transpile::CircuitMetrics;
+///
+/// let cal = Calibration::uniform(4, 100.0, 80.0, 0.001, 0.01, 0.02);
+/// let light = CircuitMetrics { g1: 4, g2: 2, measurements: 4, critical_depth: 5, depth: 6, swaps_inserted: 0 };
+/// let heavy = CircuitMetrics { g1: 24, g2: 18, measurements: 4, critical_depth: 30, depth: 40, swaps_inserted: 5 };
+/// assert!(p_correct(&light, &cal) > p_correct(&heavy, &cal));
+/// ```
+pub fn p_correct(metrics: &CircuitMetrics, cal: &Calibration) -> f64 {
+    let mu_us = (cal.gate_time_1q_ns + cal.gate_time_2q_ns) / 2.0 * 1e-3;
+    let t1 = cal.mean_t1_us().max(1e-9);
+    let t2 = cal.mean_t2_us().max(1e-9);
+    let coherence = (-(metrics.critical_depth as f64) * mu_us / (t1 * t2)).exp();
+    let gamma = cal.mean_gate_error_1q().clamp(0.0, 1.0);
+    let beta = cal.mean_cx_error().clamp(0.0, 1.0);
+    let omega = cal.mean_readout_error().clamp(0.0, 1.0);
+    let fidelity = (1.0 - gamma).powi(metrics.g1 as i32)
+        * (1.0 - beta).powi(metrics.g2 as i32)
+        * (1.0 - omega).powi(metrics.measurements as i32);
+    (coherence * fidelity).clamp(0.0, 1.0)
+}
+
+/// The inclusive weight band the ensemble's `P_correct` values are
+/// rescaled into (the paper sweeps `[0.75,1.25]`, `[0.5,1.5]`,
+/// `[0.25,1.75]` in Fig. 9).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WeightBounds {
+    /// Weight given to the worst device.
+    pub lo: f64,
+    /// Weight given to the best device.
+    pub hi: f64,
+}
+
+impl WeightBounds {
+    /// Creates a band.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo` is negative or exceeds `hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo >= 0.0, "weights must be non-negative");
+        assert!(lo <= hi, "lower bound must not exceed upper bound");
+        WeightBounds { lo, hi }
+    }
+
+    /// The midpoint of the band (weight used when devices are
+    /// indistinguishable).
+    pub fn midpoint(self) -> f64 {
+        (self.lo + self.hi) / 2.0
+    }
+
+    /// The paper's default band `[0.5, 1.5]`.
+    pub fn default_band() -> Self {
+        WeightBounds::new(0.5, 1.5)
+    }
+}
+
+/// Linearly rescales a set of `P_correct` values into the band: the
+/// minimum maps to `lo`, the maximum to `hi` ("the P_correct values over
+/// all client nodes are normalized and shifted", Section V-D). Degenerate
+/// spreads map everything to the midpoint.
+pub fn normalize_weights(p_corrects: &[f64], bounds: WeightBounds) -> Vec<f64> {
+    if p_corrects.is_empty() {
+        return Vec::new();
+    }
+    let min = p_corrects.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = p_corrects.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    if span < 1e-12 {
+        return vec![bounds.midpoint(); p_corrects.len()];
+    }
+    p_corrects
+        .iter()
+        .map(|p| bounds.lo + (p - min) / span * (bounds.hi - bounds.lo))
+        .collect()
+}
+
+/// Clamps a raw `P_correct` into `[0, 1]` — the `Bound()` step of
+/// Algorithm 1.
+pub fn bound_p_correct(p: f64) -> f64 {
+    if p.is_nan() {
+        0.0
+    } else {
+        p.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cal() -> Calibration {
+        Calibration::uniform(4, 100.0, 80.0, 0.001, 0.015, 0.02)
+    }
+
+    fn metrics(g1: usize, g2: usize, cd: usize) -> CircuitMetrics {
+        CircuitMetrics {
+            g1,
+            g2,
+            measurements: 4,
+            critical_depth: cd,
+            depth: cd + 2,
+            swaps_inserted: 0,
+        }
+    }
+
+    #[test]
+    fn p_correct_in_unit_interval() {
+        let p = p_correct(&metrics(10, 6, 12), &cal());
+        assert!((0.0..=1.0).contains(&p), "p {p}");
+        assert!(p > 0.5, "moderate circuit should retain fidelity: {p}");
+    }
+
+    #[test]
+    fn more_gates_lower_p_correct() {
+        let p_small = p_correct(&metrics(4, 2, 5), &cal());
+        let p_big = p_correct(&metrics(30, 20, 40), &cal());
+        assert!(p_small > p_big);
+    }
+
+    #[test]
+    fn worse_calibration_lower_p_correct() {
+        let m = metrics(10, 6, 12);
+        let good = cal();
+        let mut bad = cal();
+        bad.degrade(5.0, 2.0);
+        assert!(p_correct(&m, &good) > p_correct(&m, &bad));
+    }
+
+    #[test]
+    fn topology_awareness_through_g2() {
+        // "topological constraints will drive this value up due to
+        // increased SWAP gates ... thereby decreasing weights" (Sec. IV).
+        let direct = metrics(8, 4, 10);
+        let routed = metrics(8, 4 + 9, 19); // 3 swaps -> 9 extra CX
+        assert!(p_correct(&direct, &cal()) > p_correct(&routed, &cal()));
+    }
+
+    #[test]
+    fn normalization_maps_extremes_to_bounds() {
+        let w = normalize_weights(&[0.2, 0.5, 0.8], WeightBounds::new(0.5, 1.5));
+        assert!((w[0] - 0.5).abs() < 1e-12);
+        assert!((w[1] - 1.0).abs() < 1e-12);
+        assert!((w[2] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_degenerate_spread() {
+        let w = normalize_weights(&[0.7, 0.7, 0.7], WeightBounds::default_band());
+        assert_eq!(w, vec![1.0, 1.0, 1.0]);
+        assert!(normalize_weights(&[], WeightBounds::default_band()).is_empty());
+    }
+
+    #[test]
+    fn bounds_validation() {
+        assert!((WeightBounds::new(0.25, 1.75).midpoint() - 1.0).abs() < 1e-12);
+        let r = std::panic::catch_unwind(|| WeightBounds::new(1.5, 0.5));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn bound_p_correct_handles_garbage() {
+        assert_eq!(bound_p_correct(f64::NAN), 0.0);
+        assert_eq!(bound_p_correct(-0.3), 0.0);
+        assert_eq!(bound_p_correct(1.7), 1.0);
+        assert_eq!(bound_p_correct(0.42), 0.42);
+    }
+}

@@ -1,0 +1,183 @@
+//! Fluent circuit construction.
+//!
+//! [`CircuitBuilder`] trades the `Result` per push of
+//! [`crate::circuit::Circuit`] for panics on malformed gates, which is the
+//! right ergonomics for the statically known ansatz shapes in `vqa` and
+//! the examples.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::param::Angle;
+
+/// A non-consuming builder over [`Circuit`].
+///
+/// # Panics
+///
+/// Every gate method panics immediately on out-of-range or duplicate
+/// operands; the builder is meant for statically shaped circuits.
+///
+/// # Examples
+///
+/// ```
+/// use qcircuit::CircuitBuilder;
+///
+/// // Fig. 10 of the paper: one QAOA round over a 4-cycle, 2 parameters.
+/// let mut b = CircuitBuilder::new(4);
+/// for q in 0..4 {
+///     b.h(q);
+/// }
+/// for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+///     b.rzz_sym(u, v, 0); // beta
+/// }
+/// for q in 0..4 {
+///     b.rx_sym(q, 1); // alpha
+/// }
+/// let circuit = b.build();
+/// assert_eq!(circuit.num_params(), 2);
+/// assert_eq!(circuit.g2_count(), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CircuitBuilder {
+    circuit: Circuit,
+}
+
+impl CircuitBuilder {
+    /// Starts an empty builder over `n_qubits`.
+    pub fn new(n_qubits: usize) -> Self {
+        CircuitBuilder {
+            circuit: Circuit::new(n_qubits),
+        }
+    }
+
+    fn add(&mut self, g: Gate) -> &mut Self {
+        self.circuit.push(g).unwrap_or_else(|e| panic!("builder: {e}"));
+        self
+    }
+
+    /// Hadamard.
+    pub fn h(&mut self, q: usize) -> &mut Self {
+        self.add(Gate::H(q))
+    }
+
+    /// Pauli X.
+    pub fn x(&mut self, q: usize) -> &mut Self {
+        self.add(Gate::X(q))
+    }
+
+    /// Pauli Y.
+    pub fn y(&mut self, q: usize) -> &mut Self {
+        self.add(Gate::Y(q))
+    }
+
+    /// Pauli Z.
+    pub fn z(&mut self, q: usize) -> &mut Self {
+        self.add(Gate::Z(q))
+    }
+
+    /// S gate.
+    pub fn s(&mut self, q: usize) -> &mut Self {
+        self.add(Gate::S(q))
+    }
+
+    /// S-dagger gate.
+    pub fn sdg(&mut self, q: usize) -> &mut Self {
+        self.add(Gate::Sdg(q))
+    }
+
+    /// Square-root-of-X gate.
+    pub fn sx(&mut self, q: usize) -> &mut Self {
+        self.add(Gate::Sx(q))
+    }
+
+    /// Fixed-angle RX.
+    pub fn rx(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.add(Gate::Rx(q, Angle::Fixed(theta)))
+    }
+
+    /// Symbolic RX bound to parameter `p`.
+    pub fn rx_sym(&mut self, q: usize, p: usize) -> &mut Self {
+        self.add(Gate::Rx(q, Angle::sym(p)))
+    }
+
+    /// Fixed-angle RY.
+    pub fn ry(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.add(Gate::Ry(q, Angle::Fixed(theta)))
+    }
+
+    /// Symbolic RY bound to parameter `p`.
+    pub fn ry_sym(&mut self, q: usize, p: usize) -> &mut Self {
+        self.add(Gate::Ry(q, Angle::sym(p)))
+    }
+
+    /// Fixed-angle RZ.
+    pub fn rz(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.add(Gate::Rz(q, Angle::Fixed(theta)))
+    }
+
+    /// Symbolic RZ bound to parameter `p`.
+    pub fn rz_sym(&mut self, q: usize, p: usize) -> &mut Self {
+        self.add(Gate::Rz(q, Angle::sym(p)))
+    }
+
+    /// CNOT with explicit `(control, target)`.
+    pub fn cx(&mut self, control: usize, target: usize) -> &mut Self {
+        self.add(Gate::Cx(control, target))
+    }
+
+    /// Controlled-Z.
+    pub fn cz(&mut self, a: usize, b: usize) -> &mut Self {
+        self.add(Gate::Cz(a, b))
+    }
+
+    /// SWAP.
+    pub fn swap(&mut self, a: usize, b: usize) -> &mut Self {
+        self.add(Gate::Swap(a, b))
+    }
+
+    /// Fixed-angle RZZ.
+    pub fn rzz(&mut self, a: usize, b: usize, theta: f64) -> &mut Self {
+        self.add(Gate::Rzz(a, b, Angle::Fixed(theta)))
+    }
+
+    /// Symbolic RZZ bound to parameter `p`.
+    pub fn rzz_sym(&mut self, a: usize, b: usize, p: usize) -> &mut Self {
+        self.add(Gate::Rzz(a, b, Angle::sym(p)))
+    }
+
+    /// Finishes and returns the circuit.
+    pub fn build(&self) -> Circuit {
+        self.circuit.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaining_builds_in_order() {
+        let mut b = CircuitBuilder::new(2);
+        b.h(0).cx(0, 1).ry_sym(1, 0);
+        let c = b.build();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.gates()[0], Gate::H(0));
+        assert_eq!(c.num_params(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "builder")]
+    fn builder_panics_on_bad_qubit() {
+        CircuitBuilder::new(1).cx(0, 1);
+    }
+
+    #[test]
+    fn builder_is_reusable_after_build() {
+        let mut b = CircuitBuilder::new(1);
+        b.h(0);
+        let one = b.build();
+        b.x(0);
+        let two = b.build();
+        assert_eq!(one.len(), 1);
+        assert_eq!(two.len(), 2);
+    }
+}

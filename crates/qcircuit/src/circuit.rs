@@ -1,0 +1,488 @@
+//! The quantum circuit IR.
+//!
+//! A [`Circuit`] is an ordered gate list over `n` qubits with symbolic
+//! parameters. It carries the structural metrics the paper's analytic
+//! model (Eq. 2) consumes — single/two-qubit gate counts `G1`/`G2`,
+//! measurement count `M` and *critical depth* `CD` — and can execute
+//! directly on the ideal state-vector simulator.
+
+use crate::gate::Gate;
+use crate::param::{Angle, ParamId};
+use qsim::StateVector;
+use std::fmt;
+
+/// Errors raised by circuit construction and execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CircuitError {
+    /// A gate referenced a qubit `>= n_qubits`.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: usize,
+        /// The circuit width.
+        n_qubits: usize,
+    },
+    /// A two-qubit gate used the same qubit twice.
+    DuplicateOperand(usize),
+    /// Execution or binding found an unbound symbolic angle.
+    UnboundParameter(ParamId),
+    /// A parameter vector had the wrong length.
+    ParameterCountMismatch {
+        /// Parameters expected by the circuit.
+        expected: usize,
+        /// Parameters supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, n_qubits } => {
+                write!(f, "qubit {qubit} out of range for a {n_qubits}-qubit circuit")
+            }
+            CircuitError::DuplicateOperand(q) => {
+                write!(f, "two-qubit gate uses qubit {q} twice")
+            }
+            CircuitError::UnboundParameter(p) => write!(f, "unbound parameter {p}"),
+            CircuitError::ParameterCountMismatch { expected, got } => {
+                write!(f, "expected {expected} parameters, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+/// An ordered list of gates over a fixed-width qubit register.
+///
+/// All qubits are measured at the end of the circuit (the workloads in the
+/// paper measure every qubit), so the measurement count `M` equals the
+/// width.
+///
+/// # Examples
+///
+/// ```
+/// use qcircuit::{Circuit, Gate, Angle};
+///
+/// // The paper's GHZ calibration probe (Section IV) on 3 qubits.
+/// let mut c = Circuit::new(3);
+/// c.push(Gate::H(0))?;
+/// c.push(Gate::Cx(0, 1))?;
+/// c.push(Gate::Cx(1, 2))?;
+/// let sv = c.run_statevector(&[])?;
+/// assert!((sv.probability_of(0) - 0.5).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Circuit {
+    n_qubits: usize,
+    gates: Vec<Gate>,
+    num_params: usize,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `n_qubits`.
+    pub fn new(n_qubits: usize) -> Self {
+        Circuit {
+            n_qubits,
+            gates: Vec::new(),
+            num_params: 0,
+        }
+    }
+
+    /// Appends a gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::QubitOutOfRange`] or
+    /// [`CircuitError::DuplicateOperand`] on malformed operands.
+    pub fn push(&mut self, gate: Gate) -> Result<(), CircuitError> {
+        let qs = gate.qubits();
+        for &q in &qs {
+            if q >= self.n_qubits {
+                return Err(CircuitError::QubitOutOfRange {
+                    qubit: q,
+                    n_qubits: self.n_qubits,
+                });
+            }
+        }
+        if qs.len() == 2 && qs[0] == qs[1] {
+            return Err(CircuitError::DuplicateOperand(qs[0]));
+        }
+        if let Some(p) = gate.angle().and_then(Angle::param) {
+            self.num_params = self.num_params.max(p.index() + 1);
+        }
+        self.gates.push(gate);
+        Ok(())
+    }
+
+    /// Appends every gate of an iterator.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast on the first malformed gate.
+    pub fn extend<I: IntoIterator<Item = Gate>>(&mut self, gates: I) -> Result<(), CircuitError> {
+        for g in gates {
+            self.push(g)?;
+        }
+        Ok(())
+    }
+
+    /// Circuit width (and measurement count `M`).
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Number of distinct symbolic parameters referenced
+    /// (`max ParamId + 1`).
+    #[inline]
+    pub fn num_params(&self) -> usize {
+        self.num_params
+    }
+
+    /// Borrows the gate list in program order.
+    #[inline]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Total gate count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Returns `true` if the circuit has no gates.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Number of *physical* single-qubit operations — the paper's `G1`.
+    /// Virtual RZ frame changes are excluded.
+    pub fn g1_count(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| !g.is_two_qubit() && !g.is_virtual())
+            .count()
+    }
+
+    /// Number of two-qubit operations — the paper's `G2`.
+    pub fn g2_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_two_qubit()).count()
+    }
+
+    /// Measurement count `M`: all qubits are measured once.
+    pub fn measurement_count(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Standard circuit depth: the longest chain of gates over any qubit
+    /// timeline, counting every non-virtual gate as one layer.
+    pub fn depth(&self) -> usize {
+        self.depth_with(|_| 1)
+    }
+
+    /// The paper's *critical depth* `CD`: the longest weighted path through
+    /// the qubit timelines where two-qubit gates weigh 1, physical
+    /// single-qubit gates weigh 1 and virtual gates weigh 0.
+    pub fn critical_depth(&self) -> usize {
+        self.depth_with(|g| if g.is_virtual() { 0 } else { 1 })
+    }
+
+    fn depth_with<F: Fn(&Gate) -> usize>(&self, weight: F) -> usize {
+        let mut frontier = vec![0usize; self.n_qubits];
+        for g in &self.gates {
+            let w = weight(g);
+            let qs = g.qubits();
+            let start = qs.iter().map(|&q| frontier[q]).max().unwrap_or(0);
+            for q in qs {
+                frontier[q] = start + w;
+            }
+        }
+        frontier.into_iter().max().unwrap_or(0)
+    }
+
+    /// The ordered set of parameter ids actually used by the circuit.
+    pub fn parameter_ids(&self) -> Vec<ParamId> {
+        let mut ids: Vec<ParamId> = self
+            .gates
+            .iter()
+            .filter_map(|g| g.angle().and_then(Angle::param))
+            .collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+
+    /// Positions (gate indices) where parameter `p` occurs. The
+    /// parameter-shift rule shifts each occurrence separately.
+    pub fn occurrences_of(&self, p: ParamId) -> Vec<usize> {
+        self.gates
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.angle().and_then(Angle::param) == Some(p))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Produces a fully bound copy with every symbolic angle resolved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::ParameterCountMismatch`] if `params` is
+    /// shorter than [`Circuit::num_params`].
+    pub fn bind(&self, params: &[f64]) -> Result<Circuit, CircuitError> {
+        if params.len() < self.num_params {
+            return Err(CircuitError::ParameterCountMismatch {
+                expected: self.num_params,
+                got: params.len(),
+            });
+        }
+        let gates = self
+            .gates
+            .iter()
+            .map(|g| match g.angle() {
+                Some(a) if a.is_symbolic() => g.with_angle(Angle::Fixed(a.resolve(params))),
+                _ => *g,
+            })
+            .collect();
+        Ok(Circuit {
+            n_qubits: self.n_qubits,
+            gates,
+            num_params: 0,
+        })
+    }
+
+    /// Produces a copy with the occurrence at gate index `gate_idx` shifted
+    /// by `delta` radians (all other angles bound from `params`). This is
+    /// the building block of the parameter-shift rule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates binding errors; returns `UnboundParameter` semantics via
+    /// `ParameterCountMismatch` if `params` is too short.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate_idx` does not point at a parameterized gate.
+    pub fn bind_with_shift(
+        &self,
+        params: &[f64],
+        gate_idx: usize,
+        delta: f64,
+    ) -> Result<Circuit, CircuitError> {
+        let mut bound = self.bind(params)?;
+        let g = bound.gates[gate_idx];
+        let a = g
+            .angle()
+            .unwrap_or_else(|| panic!("gate {gate_idx} is not parameterized"));
+        let v = a.value().expect("bound circuit must have fixed angles");
+        bound.gates[gate_idx] = g.with_angle(Angle::Fixed(v + delta));
+        Ok(bound)
+    }
+
+    /// Runs the circuit on the ideal state-vector simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::ParameterCountMismatch`] if `params` does
+    /// not cover the symbolic angles.
+    pub fn run_statevector(&self, params: &[f64]) -> Result<StateVector, CircuitError> {
+        if params.len() < self.num_params {
+            return Err(CircuitError::ParameterCountMismatch {
+                expected: self.num_params,
+                got: params.len(),
+            });
+        }
+        let mut sv = StateVector::new(self.n_qubits);
+        for g in &self.gates {
+            let m = g.matrix(params);
+            match g.qubits()[..] {
+                [q] => sv.apply_1q(&m, q),
+                [a, b] => sv.apply_2q(&m, a, b),
+                _ => unreachable!("gates are 1- or 2-qubit"),
+            }
+        }
+        Ok(sv)
+    }
+
+    /// Dense unitary of the whole circuit (small circuits only — used by
+    /// equivalence tests).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Circuit::run_statevector`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits > 10`.
+    pub fn unitary(&self, params: &[f64]) -> Result<qsim::CMatrix, CircuitError> {
+        assert!(self.n_qubits <= 10, "unitary extraction capped at 10 qubits");
+        if params.len() < self.num_params {
+            return Err(CircuitError::ParameterCountMismatch {
+                expected: self.num_params,
+                got: params.len(),
+            });
+        }
+        let dim = 1usize << self.n_qubits;
+        let mut u = qsim::CMatrix::zeros(dim, dim);
+        for col in 0..dim {
+            // Evolve each basis state through the circuit.
+            let mut amps = vec![qsim::C64::ZERO; dim];
+            amps[col] = qsim::C64::ONE;
+            let mut sv = StateVector::from_amplitudes(amps).expect("valid basis state");
+            for g in &self.gates {
+                let m = g.matrix(params);
+                match g.qubits()[..] {
+                    [q] => sv.apply_1q(&m, q),
+                    [a, b] => sv.apply_2q(&m, a, b),
+                    _ => unreachable!(),
+                }
+            }
+            for (row, amp) in sv.amplitudes().iter().enumerate() {
+                u[(row, col)] = *amp;
+            }
+        }
+        Ok(u)
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Circuit[{} qubits, {} gates, {} params]",
+            self.n_qubits,
+            self.gates.len(),
+            self.num_params
+        )?;
+        for g in &self.gates {
+            writeln!(f, "  {g}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0)).unwrap();
+        c.push(Gate::Cx(0, 1)).unwrap();
+        c
+    }
+
+    #[test]
+    fn push_validates_operands() {
+        let mut c = Circuit::new(2);
+        assert_eq!(
+            c.push(Gate::H(5)),
+            Err(CircuitError::QubitOutOfRange { qubit: 5, n_qubits: 2 })
+        );
+        assert_eq!(c.push(Gate::Cx(1, 1)), Err(CircuitError::DuplicateOperand(1)));
+        assert!(c.push(Gate::Cx(0, 1)).is_ok());
+    }
+
+    #[test]
+    fn num_params_tracks_max_id() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::Ry(0, Angle::sym(3))).unwrap();
+        assert_eq!(c.num_params(), 4);
+        c.push(Gate::Rz(0, Angle::sym(1))).unwrap();
+        assert_eq!(c.num_params(), 4);
+        assert_eq!(c.parameter_ids(), vec![ParamId(1), ParamId(3)]);
+    }
+
+    #[test]
+    fn gate_counts_exclude_virtual_rz() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Sx(0)).unwrap();
+        c.push(Gate::Rz(0, Angle::Fixed(0.3))).unwrap();
+        c.push(Gate::X(1)).unwrap();
+        c.push(Gate::Cx(0, 1)).unwrap();
+        assert_eq!(c.g1_count(), 2);
+        assert_eq!(c.g2_count(), 1);
+        assert_eq!(c.measurement_count(), 2);
+    }
+
+    #[test]
+    fn depth_and_critical_depth() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::H(0)).unwrap(); // layer 1 on q0
+        c.push(Gate::Rz(0, Angle::Fixed(0.1))).unwrap(); // virtual
+        c.push(Gate::Cx(0, 1)).unwrap(); // layer 2 on q0,q1
+        c.push(Gate::Cx(1, 2)).unwrap(); // layer 3 on q1,q2
+        c.push(Gate::H(2)).unwrap(); // layer 4 on q2
+        // depth counts the RZ layer; critical depth skips virtual gates.
+        assert_eq!(c.depth(), 5);
+        assert_eq!(c.critical_depth(), 4);
+        // A pure-RZ circuit has critical depth 0.
+        let mut v = Circuit::new(1);
+        v.push(Gate::Rz(0, Angle::Fixed(1.0))).unwrap();
+        assert_eq!(v.critical_depth(), 0);
+        assert_eq!(v.depth(), 1);
+    }
+
+    #[test]
+    fn bind_resolves_all_symbols() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::Ry(0, Angle::sym(0))).unwrap();
+        c.push(Gate::Rz(0, Angle::sym(1))).unwrap();
+        let b = c.bind(&[0.5, 0.7]).unwrap();
+        assert_eq!(b.num_params(), 0);
+        assert_eq!(b.gates()[0].angle(), Some(Angle::Fixed(0.5)));
+        assert_eq!(b.gates()[1].angle(), Some(Angle::Fixed(0.7)));
+        assert!(matches!(
+            c.bind(&[0.5]),
+            Err(CircuitError::ParameterCountMismatch { expected: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn bind_with_shift_moves_one_occurrence() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Rzz(0, 1, Angle::sym(0))).unwrap();
+        c.push(Gate::Rzz(0, 1, Angle::sym(0))).unwrap();
+        let occ = c.occurrences_of(ParamId(0));
+        assert_eq!(occ, vec![0, 1]);
+        let shifted = c.bind_with_shift(&[1.0], 1, PI / 2.0).unwrap();
+        assert_eq!(shifted.gates()[0].angle(), Some(Angle::Fixed(1.0)));
+        assert_eq!(shifted.gates()[1].angle(), Some(Angle::Fixed(1.0 + PI / 2.0)));
+    }
+
+    #[test]
+    fn run_statevector_bell() {
+        let sv = bell().run_statevector(&[]).unwrap();
+        assert!((sv.probability_of(0b00) - 0.5).abs() < 1e-12);
+        assert!((sv.probability_of(0b11) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unitary_matches_known_gate() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::H(0)).unwrap();
+        c.push(Gate::H(0)).unwrap();
+        let u = c.unitary(&[]).unwrap();
+        assert!(u.approx_eq(&qsim::CMatrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn unitary_of_parameterized_circuit() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::Ry(0, Angle::sym(0))).unwrap();
+        let u = c.unitary(&[0.42]).unwrap();
+        assert!(u.approx_eq(&qsim::gates::ry(0.42), 1e-12));
+    }
+
+    #[test]
+    fn display_lists_gates() {
+        let s = bell().to_string();
+        assert!(s.contains("h [0]"));
+        assert!(s.contains("cx [0, 1]"));
+    }
+}

@@ -1,0 +1,49 @@
+//! # qcircuit — circuit IR and Pauli algebra for the EQC reproduction
+//!
+//! Sits between the raw simulator ([`qsim`]) and the transpiler/VQA
+//! layers:
+//!
+//! * [`gate::Gate`] + [`circuit::Circuit`] — a parameterized gate-list IR
+//!   carrying the structural metrics of the paper's Eq. 2 (`G1`, `G2`,
+//!   `CD`, `M`);
+//! * [`param`] — symbolic angles over a shared `theta` vector, with the
+//!   per-occurrence shifting the parameter-shift rule needs;
+//! * [`pauli`] — Pauli strings and Hamiltonians (Eq. 1);
+//! * [`measure`] — measurement-basis planning and expectation estimation
+//!   from shot counts;
+//! * [`builder::CircuitBuilder`] — fluent construction for the fixed
+//!   ansatz shapes.
+//!
+//! ## Example: energy of a Bell state
+//!
+//! ```
+//! use qcircuit::{CircuitBuilder, pauli::Hamiltonian};
+//!
+//! let mut b = CircuitBuilder::new(2);
+//! b.h(0).cx(0, 1);
+//! let circuit = b.build();
+//!
+//! let mut h = Hamiltonian::new(2);
+//! h.add_label(1.0, "ZZ").unwrap();
+//! let sv = circuit.run_statevector(&[])?;
+//! assert!((h.expectation(&sv) - 1.0).abs() < 1e-12);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod diagram;
+pub mod circuit;
+pub mod gate;
+pub mod measure;
+pub mod param;
+pub mod qasm;
+pub mod pauli;
+
+pub use builder::CircuitBuilder;
+pub use circuit::{Circuit, CircuitError};
+pub use gate::Gate;
+pub use measure::{MeasurementGroup, MeasurementPlan};
+pub use param::{Angle, ParamId};
+pub use pauli::{Hamiltonian, PauliString, PauliTerm};

@@ -1,0 +1,209 @@
+//! Circuit parameters: fixed angles and symbolic placeholders.
+//!
+//! VQA circuits are *templates*: rotation angles reference entries of a
+//! shared parameter vector `theta` (the paper's `[theta]`). A [`ParamId`]
+//! names one entry; [`Angle`] is either a bound constant or a symbolic
+//! reference that [`crate::circuit::Circuit::bind`] resolves.
+
+use std::fmt;
+
+/// Index into the shared VQA parameter vector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParamId(pub usize);
+
+impl ParamId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ParamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "theta[{}]", self.0)
+    }
+}
+
+/// A rotation angle: a bound constant, a symbolic parameter, or an affine
+/// function of one.
+///
+/// The affine form exists because basis rewriting is angle-shifting: the
+/// transpiler turns `RX(theta)` into `RZ(pi/2) SX RZ(theta + pi) SX
+/// RZ(pi/2)`, so a transpiled template must represent `theta + pi`
+/// symbolically to stay re-bindable across gradient steps.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Angle {
+    /// A concrete angle in radians.
+    Fixed(f64),
+    /// A reference to the shared parameter vector.
+    Sym(ParamId),
+    /// `scale * theta[id] + offset`.
+    Affine {
+        /// Referenced parameter.
+        id: ParamId,
+        /// Multiplier applied to the parameter (chain-rule factor for
+        /// gradients).
+        scale: f64,
+        /// Additive offset in radians.
+        offset: f64,
+    },
+}
+
+impl Angle {
+    /// Convenience constructor for a symbolic angle.
+    pub fn sym(index: usize) -> Angle {
+        Angle::Sym(ParamId(index))
+    }
+
+    /// Convenience constructor for `scale * theta[index] + offset`.
+    pub fn affine(index: usize, scale: f64, offset: f64) -> Angle {
+        Angle::Affine {
+            id: ParamId(index),
+            scale,
+            offset,
+        }
+    }
+
+    /// Returns `self + offset`, preserving symbolic structure.
+    pub fn shifted(self, delta: f64) -> Angle {
+        match self {
+            Angle::Fixed(v) => Angle::Fixed(v + delta),
+            Angle::Sym(p) => Angle::Affine {
+                id: p,
+                scale: 1.0,
+                offset: delta,
+            },
+            Angle::Affine { id, scale, offset } => Angle::Affine {
+                id,
+                scale,
+                offset: offset + delta,
+            },
+        }
+    }
+
+    /// Returns the bound value, or `None` if symbolic.
+    pub fn value(self) -> Option<f64> {
+        match self {
+            Angle::Fixed(v) => Some(v),
+            Angle::Sym(_) | Angle::Affine { .. } => None,
+        }
+    }
+
+    /// Returns the parameter id, or `None` if fixed.
+    pub fn param(self) -> Option<ParamId> {
+        match self {
+            Angle::Fixed(_) => None,
+            Angle::Sym(p) => Some(p),
+            Angle::Affine { id, .. } => Some(id),
+        }
+    }
+
+    /// The `d(angle)/d(theta)` chain-rule factor: 0 for fixed angles,
+    /// 1 for plain symbols, `scale` for affine angles.
+    pub fn gradient_scale(self) -> f64 {
+        match self {
+            Angle::Fixed(_) => 0.0,
+            Angle::Sym(_) => 1.0,
+            Angle::Affine { scale, .. } => scale,
+        }
+    }
+
+    /// Resolves the angle against a parameter vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if symbolic and the id is out of range of `params`.
+    pub fn resolve(self, params: &[f64]) -> f64 {
+        match self {
+            Angle::Fixed(v) => v,
+            Angle::Sym(p) => params[p.0],
+            Angle::Affine { id, scale, offset } => scale * params[id.0] + offset,
+        }
+    }
+
+    /// Returns `true` if the angle references a parameter.
+    pub fn is_symbolic(self) -> bool {
+        !matches!(self, Angle::Fixed(_))
+    }
+}
+
+impl From<f64> for Angle {
+    fn from(v: f64) -> Self {
+        Angle::Fixed(v)
+    }
+}
+
+impl From<ParamId> for Angle {
+    fn from(p: ParamId) -> Self {
+        Angle::Sym(p)
+    }
+}
+
+impl fmt::Display for Angle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Angle::Fixed(v) => write!(f, "{v:.4}"),
+            Angle::Sym(p) => write!(f, "{p}"),
+            Angle::Affine { id, scale, offset } => {
+                write!(f, "{scale:.4}*{id}{offset:+.4}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_fixed_ignores_params() {
+        assert_eq!(Angle::Fixed(1.5).resolve(&[]), 1.5);
+    }
+
+    #[test]
+    fn resolve_symbolic_indexes_vector() {
+        assert_eq!(Angle::sym(1).resolve(&[0.0, 2.5]), 2.5);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Angle::from(0.5), Angle::Fixed(0.5));
+        assert_eq!(Angle::from(ParamId(3)), Angle::sym(3));
+        assert_eq!(Angle::sym(3).param(), Some(ParamId(3)));
+        assert_eq!(Angle::Fixed(0.1).param(), None);
+        assert_eq!(Angle::sym(3).value(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Angle::sym(2).to_string(), "theta[2]");
+        assert_eq!(Angle::Fixed(0.25).to_string(), "0.2500");
+    }
+
+    #[test]
+    #[should_panic]
+    fn resolve_out_of_range_panics() {
+        let _ = Angle::sym(5).resolve(&[1.0]);
+    }
+
+    #[test]
+    fn affine_resolution_and_scale() {
+        let a = Angle::affine(0, 2.0, 0.5);
+        assert!((a.resolve(&[1.5]) - 3.5).abs() < 1e-12);
+        assert_eq!(a.gradient_scale(), 2.0);
+        assert_eq!(Angle::sym(0).gradient_scale(), 1.0);
+        assert_eq!(Angle::Fixed(1.0).gradient_scale(), 0.0);
+        assert_eq!(a.param(), Some(ParamId(0)));
+        assert!(a.is_symbolic());
+    }
+
+    #[test]
+    fn shifted_preserves_symbolic_structure() {
+        let s = Angle::sym(2).shifted(std::f64::consts::PI);
+        assert!((s.resolve(&[0.0, 0.0, 1.0]) - (1.0 + std::f64::consts::PI)).abs() < 1e-12);
+        assert_eq!(Angle::Fixed(1.0).shifted(0.5), Angle::Fixed(1.5));
+        let t = Angle::affine(0, 3.0, 1.0).shifted(1.0);
+        assert!((t.resolve(&[2.0]) - 8.0).abs() < 1e-12);
+    }
+}

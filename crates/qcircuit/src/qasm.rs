@@ -1,0 +1,314 @@
+//! OpenQASM 2.0 interchange.
+//!
+//! The paper's stack sits on OpenQASM (Cross et al., cited as \[12\]):
+//! circuits shipped to IBMQ are QASM programs. This module exports any
+//! *bound* [`Circuit`] to OpenQASM 2.0 and parses the same subset back,
+//! enabling interchange with Qiskit-era tooling and round-trip tests.
+//!
+//! Supported gate subset: `h x y z s sdg sx rx ry rz cx cz swap rzz`
+//! (everything [`crate::gate::Gate`] models; all are `qelib1.inc` gates).
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::param::Angle;
+use std::fmt;
+
+/// Errors from QASM emission or parsing.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QasmError {
+    /// Export requires fully bound circuits (QASM 2.0 has no symbols).
+    SymbolicAngle(usize),
+    /// The parser met a line it does not understand.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for QasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QasmError::SymbolicAngle(i) => {
+                write!(f, "gate {i} has a symbolic angle; bind the circuit before export")
+            }
+            QasmError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for QasmError {}
+
+/// Serializes a bound circuit as an OpenQASM 2.0 program with a final
+/// measurement of every qubit.
+///
+/// # Errors
+///
+/// Returns [`QasmError::SymbolicAngle`] if any angle is unbound.
+///
+/// # Examples
+///
+/// ```
+/// use qcircuit::{CircuitBuilder, qasm};
+///
+/// let mut b = CircuitBuilder::new(2);
+/// b.h(0).cx(0, 1);
+/// let text = qasm::to_qasm(&b.build())?;
+/// assert!(text.contains("h q[0];"));
+/// assert!(text.contains("cx q[0],q[1];"));
+/// # Ok::<(), qcircuit::qasm::QasmError>(())
+/// ```
+pub fn to_qasm(circuit: &Circuit) -> Result<String, QasmError> {
+    let n = circuit.num_qubits();
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\n");
+    out.push_str("include \"qelib1.inc\";\n");
+    out.push_str(&format!("qreg q[{n}];\n"));
+    out.push_str(&format!("creg c[{n}];\n"));
+    for (i, g) in circuit.gates().iter().enumerate() {
+        if let Some(a) = g.angle() {
+            if a.is_symbolic() {
+                return Err(QasmError::SymbolicAngle(i));
+            }
+        }
+        let qs = g.qubits();
+        match (g.angle(), qs.len()) {
+            (None, 1) => out.push_str(&format!("{} q[{}];\n", g.name(), qs[0])),
+            (None, 2) => out.push_str(&format!("{} q[{}],q[{}];\n", g.name(), qs[0], qs[1])),
+            (Some(a), 1) => out.push_str(&format!(
+                "{}({}) q[{}];\n",
+                g.name(),
+                fmt_angle(a.value().expect("checked bound")),
+                qs[0]
+            )),
+            (Some(a), 2) => out.push_str(&format!(
+                "{}({}) q[{}],q[{}];\n",
+                g.name(),
+                fmt_angle(a.value().expect("checked bound")),
+                qs[0],
+                qs[1]
+            )),
+            _ => unreachable!("gates are 1- or 2-qubit"),
+        }
+    }
+    for q in 0..n {
+        out.push_str(&format!("measure q[{q}] -> c[{q}];\n"));
+    }
+    Ok(out)
+}
+
+fn fmt_angle(a: f64) -> String {
+    // 17 significant digits round-trip f64 exactly.
+    format!("{a:.17}")
+}
+
+/// Parses the subset of OpenQASM 2.0 emitted by [`to_qasm`] (plus
+/// whitespace/comment tolerance). Measurements and barriers are accepted
+/// and ignored; the register width comes from the `qreg` declaration.
+///
+/// # Errors
+///
+/// Returns [`QasmError::Parse`] on unsupported or malformed input.
+pub fn from_qasm(text: &str) -> Result<Circuit, QasmError> {
+    let mut circuit: Option<Circuit> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split("//").next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: &str| QasmError::Parse {
+            line: lineno + 1,
+            message: message.to_string(),
+        };
+        if line.starts_with("OPENQASM") || line.starts_with("include") {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("qreg") {
+            let n = parse_reg_size(rest).ok_or_else(|| err("malformed qreg"))?;
+            circuit = Some(Circuit::new(n));
+            continue;
+        }
+        if line.starts_with("creg") || line.starts_with("measure") || line.starts_with("barrier") {
+            continue;
+        }
+        let c = circuit.as_mut().ok_or_else(|| err("gate before qreg"))?;
+        let stmt = line.strip_suffix(';').ok_or_else(|| err("missing semicolon"))?;
+        let (head, operands) = stmt
+            .split_once(' ')
+            .ok_or_else(|| err("missing operands"))?;
+        let (name, angle) = match head.split_once('(') {
+            Some((n, rest)) => {
+                let inner = rest.strip_suffix(')').ok_or_else(|| err("unclosed angle"))?;
+                let v: f64 = parse_angle(inner).ok_or_else(|| err("bad angle"))?;
+                (n.trim(), Some(v))
+            }
+            None => (head.trim(), None),
+        };
+        let qubits: Vec<usize> = operands
+            .split(',')
+            .map(|t| parse_qubit(t.trim()))
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(|| err("bad qubit operand"))?;
+        let gate = build_gate(name, angle, &qubits).ok_or_else(|| err("unsupported gate"))?;
+        c.push(gate)
+            .map_err(|e| err(&format!("invalid gate: {e}")))?;
+    }
+    circuit.ok_or(QasmError::Parse {
+        line: 0,
+        message: "no qreg declaration found".to_string(),
+    })
+}
+
+fn parse_reg_size(rest: &str) -> Option<usize> {
+    // e.g. ` q[4];`
+    let inner = rest.trim().strip_suffix(';')?.trim();
+    let open = inner.find('[')?;
+    let close = inner.find(']')?;
+    inner[open + 1..close].parse().ok()
+}
+
+fn parse_qubit(token: &str) -> Option<usize> {
+    let open = token.find('[')?;
+    let close = token.find(']')?;
+    token[open + 1..close].parse().ok()
+}
+
+fn parse_angle(token: &str) -> Option<f64> {
+    let t = token.trim();
+    // Accept plain floats plus the common `pi`-based spellings Qiskit
+    // emits.
+    if let Ok(v) = t.parse::<f64>() {
+        return Some(v);
+    }
+    let pi = std::f64::consts::PI;
+    match t {
+        "pi" => Some(pi),
+        "-pi" => Some(-pi),
+        "pi/2" => Some(pi / 2.0),
+        "-pi/2" => Some(-pi / 2.0),
+        "pi/4" => Some(pi / 4.0),
+        "-pi/4" => Some(-pi / 4.0),
+        _ => {
+            // `<float>*pi` or `<float>*pi/<int>`
+            let t = t.replace(' ', "");
+            if let Some(rest) = t.strip_suffix("*pi") {
+                return rest.parse::<f64>().ok().map(|v| v * pi);
+            }
+            None
+        }
+    }
+}
+
+fn build_gate(name: &str, angle: Option<f64>, qubits: &[usize]) -> Option<Gate> {
+    let fixed = angle.map(Angle::Fixed);
+    match (name, qubits, fixed) {
+        ("h", [q], None) => Some(Gate::H(*q)),
+        ("x", [q], None) => Some(Gate::X(*q)),
+        ("y", [q], None) => Some(Gate::Y(*q)),
+        ("z", [q], None) => Some(Gate::Z(*q)),
+        ("s", [q], None) => Some(Gate::S(*q)),
+        ("sdg", [q], None) => Some(Gate::Sdg(*q)),
+        ("sx", [q], None) => Some(Gate::Sx(*q)),
+        ("rx", [q], Some(a)) => Some(Gate::Rx(*q, a)),
+        ("ry", [q], Some(a)) => Some(Gate::Ry(*q, a)),
+        ("rz", [q], Some(a)) => Some(Gate::Rz(*q, a)),
+        ("cx" | "CX", [a, b], None) => Some(Gate::Cx(*a, *b)),
+        ("cz", [a, b], None) => Some(Gate::Cz(*a, *b)),
+        ("swap", [a, b], None) => Some(Gate::Swap(*a, *b)),
+        ("rzz", [a, b], Some(t)) => Some(Gate::Rzz(*a, *b, t)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+
+    fn paper_circuit() -> Circuit {
+        // Bound Fig. 8 ansatz.
+        let mut b = CircuitBuilder::new(4);
+        for q in 0..4 {
+            b.ry(q, 0.1 + q as f64 * 0.2);
+        }
+        for q in 0..4 {
+            b.rz(q, -0.3 + q as f64 * 0.1);
+        }
+        for q in 0..3 {
+            b.cx(q, q + 1);
+        }
+        b.rzz(0, 3, 0.7).swap(1, 2).sx(0).sdg(3);
+        b.build()
+    }
+
+    #[test]
+    fn export_contains_prologue_and_measurements() {
+        let text = to_qasm(&paper_circuit()).unwrap();
+        assert!(text.starts_with("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n"));
+        assert!(text.contains("qreg q[4];"));
+        assert!(text.contains("creg c[4];"));
+        for q in 0..4 {
+            assert!(text.contains(&format!("measure q[{q}] -> c[{q}];")));
+        }
+    }
+
+    #[test]
+    fn symbolic_circuits_are_rejected() {
+        let mut b = CircuitBuilder::new(1);
+        b.ry_sym(0, 0);
+        assert_eq!(to_qasm(&b.build()), Err(QasmError::SymbolicAngle(0)));
+    }
+
+    #[test]
+    fn roundtrip_preserves_unitary() {
+        let original = paper_circuit();
+        let text = to_qasm(&original).unwrap();
+        let parsed = from_qasm(&text).unwrap();
+        assert_eq!(parsed.num_qubits(), 4);
+        assert_eq!(parsed.len(), original.len());
+        let u0 = original.unitary(&[]).unwrap();
+        let u1 = parsed.unitary(&[]).unwrap();
+        assert!(u1.approx_eq_up_to_phase(&u0, 1e-10));
+    }
+
+    #[test]
+    fn parses_qiskit_style_pi_angles() {
+        let text = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[1];\ncreg c[1];\n\
+                    rz(pi/2) q[0];\nrx(-pi/4) q[0];\nry(0.5*pi) q[0];\nmeasure q[0] -> c[0];\n";
+        let c = from_qasm(text).unwrap();
+        assert_eq!(c.len(), 3);
+        let angles: Vec<f64> = c
+            .gates()
+            .iter()
+            .map(|g| g.angle().unwrap().value().unwrap())
+            .collect();
+        let pi = std::f64::consts::PI;
+        assert!((angles[0] - pi / 2.0).abs() < 1e-12);
+        assert!((angles[1] + pi / 4.0).abs() < 1e-12);
+        assert!((angles[2] - pi / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_tolerated() {
+        let text = "// a comment\nOPENQASM 2.0;\n\nqreg q[2]; // register\nh q[0];\ncx q[0],q[1];\n";
+        let c = from_qasm(text).unwrap();
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "OPENQASM 2.0;\nqreg q[2];\nfrobnicate q[0];\n";
+        match from_qasm(text) {
+            Err(QasmError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(from_qasm("h q[0];\n").is_err(), "gate before qreg must fail");
+    }
+
+    #[test]
+    fn out_of_range_qubit_rejected() {
+        let text = "OPENQASM 2.0;\nqreg q[2];\nh q[5];\n";
+        assert!(matches!(from_qasm(text), Err(QasmError::Parse { line: 3, .. })));
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests of the circuit IR and Pauli layer.
+
+use proptest::prelude::*;
+use qcircuit::measure::MeasurementPlan;
+use qcircuit::pauli::{Hamiltonian, PauliString};
+use qcircuit::{Angle, Circuit, Gate, ParamId};
+use qsim::Pauli;
+
+fn arb_pauli() -> impl Strategy<Value = Pauli> {
+    prop_oneof![
+        Just(Pauli::I),
+        Just(Pauli::X),
+        Just(Pauli::Y),
+        Just(Pauli::Z),
+    ]
+}
+
+fn arb_string(n: usize) -> impl Strategy<Value = PauliString> {
+    proptest::collection::vec(arb_pauli(), n).prop_map(PauliString::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Label round trip: parse(display(s)) == s.
+    #[test]
+    fn pauli_label_roundtrip(s in arb_string(5)) {
+        let label = s.to_string();
+        let parsed = PauliString::from_label(&label).expect("valid label");
+        prop_assert_eq!(parsed, s);
+    }
+
+    /// Qubit-wise commutation is symmetric and reflexive.
+    #[test]
+    fn qubitwise_commutation_properties(a in arb_string(4), b in arb_string(4)) {
+        prop_assert!(a.commutes_qubitwise(&a));
+        prop_assert_eq!(a.commutes_qubitwise(&b), b.commutes_qubitwise(&a));
+    }
+
+    /// Pauli-string matrices are unitary, Hermitian and traceless unless
+    /// identity.
+    #[test]
+    fn pauli_matrix_structure(s in arb_string(3)) {
+        let m = s.matrix();
+        prop_assert!(m.is_unitary(1e-10));
+        prop_assert!(m.is_hermitian(1e-10));
+        if s.is_identity() {
+            prop_assert!((m.trace().re - 8.0).abs() < 1e-10);
+        } else {
+            prop_assert!(m.trace().abs() < 1e-10);
+        }
+    }
+
+    /// A measurement plan always partitions the Hamiltonian's terms, and
+    /// grouping never produces more groups than terms.
+    #[test]
+    fn plan_partitions_terms(
+        strings in proptest::collection::vec(arb_string(4), 1..12),
+        coeffs in proptest::collection::vec(-2.0..2.0f64, 12),
+    ) {
+        let mut h = Hamiltonian::new(4);
+        for (s, c) in strings.iter().zip(&coeffs) {
+            h.add_term(*c, s.clone());
+        }
+        let plan = MeasurementPlan::grouped(&h);
+        let mut covered: Vec<usize> = plan
+            .groups()
+            .iter()
+            .flat_map(|g| g.term_indices().iter().copied())
+            .collect();
+        covered.sort_unstable();
+        let expected: Vec<usize> = (0..h.num_terms()).collect();
+        prop_assert_eq!(covered, expected);
+        prop_assert!(plan.groups().len() <= h.num_terms().max(1));
+        // Every term must qubit-wise commute with its group's basis.
+        for g in plan.groups() {
+            for &idx in g.term_indices() {
+                let term = &h.terms()[idx];
+                for (q, p) in term.string.sparse_ops() {
+                    prop_assert!(g.basis()[q] == p || g.basis()[q] == Pauli::I);
+                }
+            }
+        }
+    }
+
+    /// Hamiltonian expectation from terms equals the dense-matrix path.
+    #[test]
+    fn expectation_paths_agree(
+        strings in proptest::collection::vec(arb_string(3), 1..6),
+        coeffs in proptest::collection::vec(-1.5..1.5f64, 6),
+        a in -3.0..3.0f64,
+        b in -3.0..3.0f64,
+    ) {
+        let mut h = Hamiltonian::new(3);
+        for (s, c) in strings.iter().zip(&coeffs) {
+            h.add_term(*c, s.clone());
+        }
+        let mut circ = Circuit::new(3);
+        circ.push(Gate::Ry(0, Angle::Fixed(a))).unwrap();
+        circ.push(Gate::Rx(1, Angle::Fixed(b))).unwrap();
+        circ.push(Gate::Cx(0, 2)).unwrap();
+        let sv = circ.run_statevector(&[]).unwrap();
+        let by_terms = h.expectation(&sv);
+        let dense = qsim::linalg::expectation(&h.matrix(), sv.amplitudes());
+        prop_assert!((by_terms - dense).abs() < 1e-9);
+    }
+
+    /// Binding then running equals running with the parameter vector.
+    #[test]
+    fn bind_and_run_commute(
+        p0 in -3.0..3.0f64,
+        p1 in -3.0..3.0f64,
+    ) {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Ry(0, Angle::sym(0))).unwrap();
+        c.push(Gate::Rzz(0, 1, Angle::sym(1))).unwrap();
+        c.push(Gate::Rx(1, Angle::affine(0, 2.0, 0.5))).unwrap();
+        let params = [p0, p1];
+        let direct = c.run_statevector(&params).unwrap();
+        let bound = c.bind(&params).unwrap().run_statevector(&[]).unwrap();
+        prop_assert!((direct.fidelity(&bound) - 1.0).abs() < 1e-9);
+    }
+
+    /// Occurrence lists are consistent with the parameter count.
+    #[test]
+    fn occurrences_cover_parameters(reps in 1usize..4) {
+        let mut c = Circuit::new(2);
+        for _ in 0..reps {
+            c.push(Gate::Ry(0, Angle::sym(0))).unwrap();
+            c.push(Gate::Rz(1, Angle::sym(1))).unwrap();
+        }
+        prop_assert_eq!(c.occurrences_of(ParamId(0)).len(), reps);
+        prop_assert_eq!(c.occurrences_of(ParamId(1)).len(), reps);
+        prop_assert_eq!(c.num_params(), 2);
+    }
+
+    /// Depth is monotone under gate append.
+    #[test]
+    fn depth_monotone(gates_n in 1usize..20) {
+        let mut c = Circuit::new(3);
+        let mut last_depth = 0;
+        for k in 0..gates_n {
+            c.push(Gate::H(k % 3)).unwrap();
+            let d = c.depth();
+            prop_assert!(d >= last_depth);
+            last_depth = d;
+        }
+    }
+}

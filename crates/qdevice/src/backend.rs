@@ -1,0 +1,443 @@
+//! The simulated QPU backend.
+//!
+//! One [`QpuBackend`] stands in for one IBMQ cloud device: it owns a
+//! topology, a recalibration schedule with per-cycle jitter, a drift model
+//! separating *reported* from *actual* noise, a queue latency model, and a
+//! seeded RNG for shot sampling. Executing a job advances virtual time
+//! only — a 40-hour training run simulates in milliseconds.
+
+use crate::calibration::Calibration;
+use crate::clock::SimTime;
+use crate::drift::DriftModel;
+use crate::noise_model::{execute_density, execute_trajectories, NoiseModel};
+use crate::queue::QueueModel;
+use qcircuit::Circuit;
+use qsim::{Counts, DensityMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use transpile::Topology;
+
+/// Which simulation engine executes circuits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimulatorKind {
+    /// Exact density-matrix evolution (default; capped at
+    /// [`DensityMatrix::MAX_QUBITS`] active qubits).
+    Density,
+    /// Monte-Carlo quantum trajectories with the given trajectory count.
+    Trajectories(usize),
+}
+
+/// The result of one executed job.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// Measured counts over the *compact* register (see
+    /// [`transpile::Transpiled::compact_for_simulation`]).
+    pub counts: Counts,
+    /// Virtual time the job was submitted.
+    pub submitted: SimTime,
+    /// Virtual time the job started executing (after queue wait).
+    pub started: SimTime,
+    /// Virtual time results became available.
+    pub completed: SimTime,
+    /// Scheduled duration of one circuit repetition, nanoseconds.
+    pub circuit_duration_ns: f64,
+}
+
+/// A simulated cloud QPU.
+#[derive(Clone, Debug)]
+pub struct QpuBackend {
+    name: String,
+    topology: Topology,
+    base_calibration: Calibration,
+    drift: DriftModel,
+    queue: QueueModel,
+    /// Hours between recalibrations.
+    cal_period_hours: f64,
+    /// Maintenance downtime at the start of each calibration cycle, hours.
+    downtime_hours: f64,
+    /// Per-cycle jitter magnitude on error rates (lognormal sigma).
+    recal_jitter: f64,
+    simulator: SimulatorKind,
+    seed: u64,
+    rng: StdRng,
+    busy_until: SimTime,
+    jobs_executed: u64,
+    /// Accumulated execution time (seconds the QPU actually ran shots).
+    busy_seconds: f64,
+}
+
+impl QpuBackend {
+    /// Creates a backend.
+    ///
+    /// `seed` drives both shot sampling and the per-cycle recalibration
+    /// jitter; two backends built with the same arguments behave
+    /// identically.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: &str,
+        topology: Topology,
+        base_calibration: Calibration,
+        drift: DriftModel,
+        queue: QueueModel,
+        cal_period_hours: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(cal_period_hours > 0.0, "calibration period must be positive");
+        assert_eq!(
+            base_calibration.num_qubits(),
+            topology.num_qubits(),
+            "calibration width must match topology"
+        );
+        QpuBackend {
+            name: name.to_string(),
+            topology,
+            base_calibration,
+            drift,
+            queue,
+            cal_period_hours,
+            downtime_hours: 0.25,
+            recal_jitter: 0.12,
+            simulator: SimulatorKind::Density,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+            busy_until: SimTime::ZERO,
+            jobs_executed: 0,
+            busy_seconds: 0.0,
+        }
+    }
+
+    /// Selects the simulation engine (builder style).
+    pub fn with_simulator(mut self, simulator: SimulatorKind) -> Self {
+        self.simulator = simulator;
+        self
+    }
+
+    /// Overrides the maintenance downtime (builder style).
+    pub fn with_downtime_hours(mut self, hours: f64) -> Self {
+        self.downtime_hours = hours.max(0.0);
+        self
+    }
+
+    /// Device name (e.g. `"ibmq_bogota"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Coupling graph.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Queue latency model.
+    pub fn queue(&self) -> &QueueModel {
+        &self.queue
+    }
+
+    /// Jobs executed so far.
+    pub fn jobs_executed(&self) -> u64 {
+        self.jobs_executed
+    }
+
+    /// Seconds the QPU spent actually executing shots (queue waits
+    /// excluded).
+    pub fn busy_seconds(&self) -> f64 {
+        self.busy_seconds
+    }
+
+    /// Fraction of the elapsed virtual timeline the QPU spent executing —
+    /// the utilization figure of the paper's third motivation
+    /// ("quantum computers can be underutilized", Section I).
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now.as_secs() <= 0.0 {
+            0.0
+        } else {
+            (self.busy_seconds / now.as_secs()).min(1.0)
+        }
+    }
+
+    /// Index of the calibration cycle containing `t`.
+    fn cycle_of(&self, t: SimTime) -> u64 {
+        (t.as_hours() / self.cal_period_hours).floor() as u64
+    }
+
+    /// Hours elapsed within the calibration cycle containing `t` — the
+    /// "time since calibration" of the paper's Fig. 4.
+    pub fn hours_since_calibration(&self, t: SimTime) -> f64 {
+        t.as_hours() - self.cycle_of(t) as f64 * self.cal_period_hours
+    }
+
+    /// The calibration the device *reports* at `t`: the base profile with
+    /// this cycle's deterministic jitter, frozen for the whole cycle.
+    ///
+    /// This is what the paper's client nodes read when computing
+    /// `P_correct` (Eq. 2).
+    pub fn reported_calibration(&self, t: SimTime) -> Calibration {
+        let cycle = self.cycle_of(t);
+        let mut cal = self.base_calibration.clone();
+        // Deterministic per-cycle jitter independent of query order.
+        let mut jrng = StdRng::seed_from_u64(
+            self.seed ^ cycle.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        let jitter = |r: &mut StdRng, sigma: f64| -> f64 {
+            // Cheap lognormal-ish factor from a uniform sample.
+            let u: f64 = r.gen::<f64>() * 2.0 - 1.0;
+            (sigma * u).exp()
+        };
+        let ef = jitter(&mut jrng, self.recal_jitter);
+        let cf = jitter(&mut jrng, self.recal_jitter / 2.0);
+        cal.degrade(ef, cf);
+        cal.calibrated_at_hours = cycle as f64 * self.cal_period_hours;
+        cal
+    }
+
+    /// The *actual* noise at `t`: the reported calibration plus drift
+    /// accumulated since the cycle started. The gap between reported and
+    /// actual is exactly the paper's stale-calibration effect.
+    pub fn actual_calibration(&self, t: SimTime) -> Calibration {
+        let reported = self.reported_calibration(t);
+        self.drift
+            .apply(&reported, self.hours_since_calibration(t), t.as_hours())
+    }
+
+    /// Virtual time at which a job submitted at `t` would start, given
+    /// queue wait, device serialization and maintenance downtime.
+    fn start_time(&mut self, submit: SimTime) -> SimTime {
+        let u: f64 = self.rng.gen();
+        let wait = self.queue.wait_with_jitter_s(submit, u) + self.queue.overhead_s;
+        let mut start = (submit + wait).max(self.busy_until);
+        // Defer out of maintenance windows, which occupy the tail of each
+        // calibration cycle (the device goes down, recalibrates, and the
+        // next cycle starts fresh).
+        if self.downtime_hours > 0.0 {
+            let in_cycle = self.hours_since_calibration(start);
+            if in_cycle >= self.cal_period_hours - self.downtime_hours {
+                let next_cycle_start =
+                    (self.cycle_of(start) + 1) as f64 * self.cal_period_hours;
+                start = SimTime::from_hours(next_cycle_start);
+            }
+        }
+        start
+    }
+
+    /// Executes a fully bound, compacted physical circuit.
+    ///
+    /// `active_physical[i]` names the physical qubit behind compact qubit
+    /// `i` (from [`transpile::Transpiled::compact_for_simulation`]).
+    /// Returns the counts and the virtual timing of the job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has unbound parameters, if an active qubit is
+    /// out of range, or if the density engine is asked for more than
+    /// [`DensityMatrix::MAX_QUBITS`] qubits.
+    pub fn execute(
+        &mut self,
+        circuit: &Circuit,
+        active_physical: &[usize],
+        shots: usize,
+        submit: SimTime,
+    ) -> JobResult {
+        assert_eq!(
+            circuit.num_qubits(),
+            active_physical.len(),
+            "compact circuit width must match active qubit list"
+        );
+        let started = self.start_time(submit);
+        let cal = self.actual_calibration(started);
+        let noise = NoiseModel::from_calibration(&cal, active_physical);
+        let (counts, circuit_duration_ns) = match self.simulator {
+            SimulatorKind::Density => {
+                assert!(
+                    circuit.num_qubits() <= DensityMatrix::MAX_QUBITS,
+                    "{} active qubits exceed the density engine cap; use trajectories",
+                    circuit.num_qubits()
+                );
+                execute_density(circuit, &noise, shots, &mut self.rng)
+            }
+            SimulatorKind::Trajectories(n) => {
+                execute_trajectories(circuit, &noise, shots, n, &mut self.rng)
+            }
+        };
+        let exec_s = self
+            .queue
+            .execution_s(circuit_duration_ns, cal.readout_time_ns, shots);
+        let completed = started + exec_s;
+        self.busy_until = completed;
+        self.jobs_executed += 1;
+        self.busy_seconds += exec_s;
+        JobResult {
+            counts,
+            submitted: submit,
+            started,
+            completed,
+            circuit_duration_ns,
+        }
+    }
+
+    /// Executes several circuits as **one** cloud job: a single queue wait
+    /// covers the whole batch, then the circuits run back-to-back.
+    ///
+    /// This mirrors how the paper's client submits the forward and
+    /// backward shift circuits together (Algorithm 2:
+    /// `Job <- Submit C_Transpiled(theta)_FWD,BCK`).
+    ///
+    /// Returns one counts histogram per circuit plus the batch timing.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`QpuBackend::execute`]; additionally panics on
+    /// an empty batch.
+    pub fn execute_batch(
+        &mut self,
+        batch: &[(&Circuit, &[usize])],
+        shots: usize,
+        submit: SimTime,
+    ) -> (Vec<Counts>, JobResult) {
+        assert!(!batch.is_empty(), "batch must contain at least one circuit");
+        let started = self.start_time(submit);
+        let cal = self.actual_calibration(started);
+        let mut all_counts = Vec::with_capacity(batch.len());
+        let mut total_exec_s = 0.0;
+        let mut last_duration_ns = 0.0;
+        for (circuit, active_physical) in batch {
+            assert_eq!(
+                circuit.num_qubits(),
+                active_physical.len(),
+                "compact circuit width must match active qubit list"
+            );
+            let noise = NoiseModel::from_calibration(&cal, active_physical);
+            let (counts, duration_ns) = match self.simulator {
+                SimulatorKind::Density => {
+                    assert!(
+                        circuit.num_qubits() <= DensityMatrix::MAX_QUBITS,
+                        "{} active qubits exceed the density engine cap",
+                        circuit.num_qubits()
+                    );
+                    execute_density(circuit, &noise, shots, &mut self.rng)
+                }
+                SimulatorKind::Trajectories(n) => {
+                    execute_trajectories(circuit, &noise, shots, n, &mut self.rng)
+                }
+            };
+            total_exec_s += self
+                .queue
+                .execution_s(duration_ns, cal.readout_time_ns, shots);
+            last_duration_ns = duration_ns;
+            all_counts.push(counts);
+        }
+        let completed = started + total_exec_s;
+        self.busy_until = completed;
+        self.jobs_executed += 1;
+        self.busy_seconds += total_exec_s;
+        let timing = JobResult {
+            counts: all_counts.last().cloned().expect("non-empty batch"),
+            submitted: submit,
+            started,
+            completed,
+            circuit_duration_ns: last_duration_ns,
+        };
+        (all_counts, timing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcircuit::CircuitBuilder;
+
+    fn small_backend(seed: u64) -> QpuBackend {
+        QpuBackend::new(
+            "test_device",
+            Topology::line(3),
+            Calibration::uniform(3, 90.0, 70.0, 0.001, 0.01, 0.02),
+            DriftModel::linear(0.05, 0.01),
+            QueueModel::light(5.0),
+            24.0,
+            seed,
+        )
+    }
+
+    fn bell_compact() -> Circuit {
+        let mut b = CircuitBuilder::new(2);
+        b.h(0).cx(0, 1);
+        b.build()
+    }
+
+    #[test]
+    fn execute_advances_virtual_time() {
+        let mut be = small_backend(1);
+        let r = be.execute(&bell_compact(), &[0, 1], 1024, SimTime::ZERO);
+        assert!(r.started.as_secs() > 0.0);
+        assert!(r.completed > r.started);
+        assert_eq!(r.counts.total(), 1024);
+        assert_eq!(be.jobs_executed(), 1);
+    }
+
+    #[test]
+    fn device_serializes_jobs() {
+        let mut be = small_backend(2);
+        let a = be.execute(&bell_compact(), &[0, 1], 1024, SimTime::ZERO);
+        let b = be.execute(&bell_compact(), &[0, 1], 1024, SimTime::ZERO);
+        assert!(b.started >= a.completed, "second job must wait for the first");
+    }
+
+    #[test]
+    fn reported_calibration_is_frozen_within_cycle() {
+        let be = small_backend(3);
+        let a = be.reported_calibration(SimTime::from_hours(1.0));
+        let b = be.reported_calibration(SimTime::from_hours(23.0));
+        assert_eq!(a, b);
+        // New cycle -> new jitter.
+        let c = be.reported_calibration(SimTime::from_hours(25.0));
+        assert_ne!(a.mean_cx_error(), c.mean_cx_error());
+    }
+
+    #[test]
+    fn actual_noise_degrades_with_staleness() {
+        let be = small_backend(4);
+        let fresh = be.actual_calibration(SimTime::from_hours(0.1));
+        let stale = be.actual_calibration(SimTime::from_hours(20.0));
+        assert!(stale.mean_cx_error() > fresh.mean_cx_error());
+        // Reported stays flat.
+        let rf = be.reported_calibration(SimTime::from_hours(0.1));
+        let rs = be.reported_calibration(SimTime::from_hours(20.0));
+        assert_eq!(rf.mean_cx_error(), rs.mean_cx_error());
+    }
+
+    #[test]
+    fn determinism_under_same_seed() {
+        let mut a = small_backend(7);
+        let mut b = small_backend(7);
+        let ra = a.execute(&bell_compact(), &[0, 1], 2048, SimTime::ZERO);
+        let rb = b.execute(&bell_compact(), &[0, 1], 2048, SimTime::ZERO);
+        assert_eq!(ra.counts, rb.counts);
+        assert_eq!(ra.completed.as_secs(), rb.completed.as_secs());
+    }
+
+    #[test]
+    fn downtime_defers_jobs() {
+        let mut be = small_backend(5).with_downtime_hours(1.0);
+        // Submit inside the maintenance tail of the first cycle: the job
+        // must start after recalibration at hour 24.
+        let r = be.execute(&bell_compact(), &[0, 1], 16, SimTime::from_hours(23.5));
+        assert!(r.started.as_hours() >= 24.0, "started {}", r.started.as_hours());
+        // A job submitted at cycle start runs promptly.
+        let mut be2 = small_backend(5).with_downtime_hours(1.0);
+        let r2 = be2.execute(&bell_compact(), &[0, 1], 16, SimTime::ZERO);
+        assert!(r2.started.as_hours() < 0.1, "started {}", r2.started.as_hours());
+    }
+
+    #[test]
+    fn hours_since_calibration_wraps() {
+        let be = small_backend(6);
+        assert!((be.hours_since_calibration(SimTime::from_hours(30.0)) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trajectories_simulator_works() {
+        let mut be = small_backend(8).with_simulator(SimulatorKind::Trajectories(64));
+        let r = be.execute(&bell_compact(), &[0, 1], 4096, SimTime::ZERO);
+        let p = r.counts.probability(0) + r.counts.probability(0b11);
+        assert!(p > 0.8, "Bell correlation lost: {p}");
+    }
+}

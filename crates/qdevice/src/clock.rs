@@ -1,0 +1,117 @@
+//! Virtual simulation time.
+//!
+//! All device latencies (queue waits, execution, calibration cycles) are
+//! expressed in *virtual* seconds so a 40-hour training run (Fig. 6 of the
+//! paper) simulates in milliseconds and deterministically. [`SimTime`] is
+//! an instant; durations are plain `f64` seconds.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant on the virtual timeline, in seconds since simulation start.
+#[derive(Clone, Copy, Debug, Default, PartialEq, PartialOrd)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The simulation origin.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates an instant from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is negative or non-finite.
+    pub fn from_secs(seconds: f64) -> Self {
+        assert!(seconds.is_finite() && seconds >= 0.0, "invalid sim time {seconds}");
+        SimTime(seconds)
+    }
+
+    /// Creates an instant from hours.
+    pub fn from_hours(hours: f64) -> Self {
+        SimTime::from_secs(hours * 3600.0)
+    }
+
+    /// Seconds since simulation start.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Hours since simulation start.
+    #[inline]
+    pub fn as_hours(self) -> f64 {
+        self.0 / 3600.0
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    /// Advances by a duration in seconds.
+    fn add(self, seconds: f64) -> SimTime {
+        SimTime::from_secs(self.0 + seconds)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, seconds: f64) {
+        *self = *self + seconds;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = f64;
+    /// Elapsed seconds between two instants (may be negative).
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let h = (self.0 / 3600.0).floor();
+        let m = ((self.0 - h * 3600.0) / 60.0).floor();
+        let s = self.0 - h * 3600.0 - m * 60.0;
+        write!(f, "{h:02.0}:{m:02.0}:{s:04.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_units() {
+        let t = SimTime::from_hours(2.0);
+        assert_eq!(t.as_secs(), 7200.0);
+        assert_eq!(t.as_hours(), 2.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(10.0) + 5.0;
+        assert_eq!(t.as_secs(), 15.0);
+        assert_eq!(t - SimTime::from_secs(4.0), 11.0);
+        assert_eq!(SimTime::from_secs(3.0).max(SimTime::from_secs(9.0)).as_secs(), 9.0);
+    }
+
+    #[test]
+    fn display_formats_hms() {
+        let t = SimTime::from_secs(3723.5);
+        assert_eq!(t.to_string(), "01:02:03.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sim time")]
+    fn negative_time_rejected() {
+        let _ = SimTime::from_secs(-1.0);
+    }
+}

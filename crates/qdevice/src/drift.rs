@@ -1,0 +1,156 @@
+//! Time-dependent calibration drift.
+//!
+//! "These volatile systems vary in spatial and temporal noise ... each QPU
+//! has its own unique noise profile that changes with frequent
+//! calibration" (Section II-B). The drift model degrades a device's
+//! *actual* noise as time-since-calibration grows, while the *reported*
+//! calibration stays frozen — exactly the stale-calibration mismatch the
+//! paper observes in Fig. 4, and the mechanism behind Casablanca's
+//! mid-training divergence in Fig. 6.
+
+use crate::calibration::Calibration;
+
+/// A bounded window of severe degradation on the absolute timeline
+/// (e.g. Casablanca destabilizing mid-run in Fig. 6).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DriftEpisode {
+    /// Episode start, absolute virtual hours.
+    pub start_hours: f64,
+    /// Episode end, absolute virtual hours.
+    pub end_hours: f64,
+    /// Multiplier on every error rate while the episode is active.
+    pub error_factor: f64,
+}
+
+/// Deterministic drift applied on top of a base calibration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DriftModel {
+    /// Fractional error growth per hour since calibration
+    /// (0.05 = +5%/hour, compounding linearly).
+    pub error_growth_per_hour: f64,
+    /// Fractional coherence (T1/T2) loss per hour since calibration.
+    pub coherence_loss_per_hour: f64,
+    /// Absolute-time degradation episodes.
+    pub episodes: Vec<DriftEpisode>,
+}
+
+impl DriftModel {
+    /// No drift at all: the actual noise always matches the report.
+    pub fn none() -> Self {
+        DriftModel {
+            error_growth_per_hour: 0.0,
+            coherence_loss_per_hour: 0.0,
+            episodes: Vec::new(),
+        }
+    }
+
+    /// Linear-only drift.
+    pub fn linear(error_growth_per_hour: f64, coherence_loss_per_hour: f64) -> Self {
+        DriftModel {
+            error_growth_per_hour,
+            coherence_loss_per_hour,
+            episodes: Vec::new(),
+        }
+    }
+
+    /// Adds an absolute-time degradation episode (builder style).
+    pub fn with_episode(mut self, start_hours: f64, end_hours: f64, error_factor: f64) -> Self {
+        assert!(end_hours > start_hours, "episode must have positive length");
+        assert!(error_factor >= 1.0, "episodes only degrade");
+        self.episodes.push(DriftEpisode {
+            start_hours,
+            end_hours,
+            error_factor,
+        });
+        self
+    }
+
+    /// Applies drift to a calibration snapshot.
+    ///
+    /// * `hours_since_calibration` drives the linear terms;
+    /// * `absolute_hours` drives episode membership.
+    pub fn apply(
+        &self,
+        base: &Calibration,
+        hours_since_calibration: f64,
+        absolute_hours: f64,
+    ) -> Calibration {
+        let mut cal = base.clone();
+        let h = hours_since_calibration.max(0.0);
+        let mut error_factor = 1.0 + self.error_growth_per_hour * h;
+        let coherence_factor = 1.0 + self.coherence_loss_per_hour * h;
+        for ep in &self.episodes {
+            if absolute_hours >= ep.start_hours && absolute_hours < ep.end_hours {
+                error_factor *= ep.error_factor;
+            }
+        }
+        cal.degrade(error_factor, coherence_factor);
+        cal
+    }
+
+    /// Returns `true` if any episode is active at `absolute_hours`.
+    pub fn in_episode(&self, absolute_hours: f64) -> bool {
+        self.episodes
+            .iter()
+            .any(|ep| absolute_hours >= ep.start_hours && absolute_hours < ep.end_hours)
+    }
+}
+
+impl Default for DriftModel {
+    fn default() -> Self {
+        DriftModel::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Calibration {
+        Calibration::uniform(2, 100.0, 80.0, 0.001, 0.01, 0.02)
+    }
+
+    #[test]
+    fn no_drift_is_identity() {
+        let cal = DriftModel::none().apply(&base(), 10.0, 10.0);
+        assert_eq!(cal.mean_cx_error(), base().mean_cx_error());
+        assert_eq!(cal.mean_t1_us(), base().mean_t1_us());
+    }
+
+    #[test]
+    fn linear_drift_grows_with_staleness() {
+        let d = DriftModel::linear(0.10, 0.02);
+        let fresh = d.apply(&base(), 0.0, 0.0);
+        let stale = d.apply(&base(), 12.0, 12.0);
+        assert_eq!(fresh.mean_cx_error(), 0.01);
+        assert!((stale.mean_cx_error() - 0.01 * 2.2).abs() < 1e-12);
+        assert!(stale.mean_t1_us() < fresh.mean_t1_us());
+    }
+
+    #[test]
+    fn episode_multiplies_errors_inside_window_only() {
+        let d = DriftModel::none().with_episode(20.0, 32.0, 6.0);
+        let before = d.apply(&base(), 1.0, 19.0);
+        let during = d.apply(&base(), 1.0, 25.0);
+        let after = d.apply(&base(), 1.0, 33.0);
+        assert_eq!(before.mean_cx_error(), 0.01);
+        assert!((during.mean_cx_error() - 0.06).abs() < 1e-12);
+        assert_eq!(after.mean_cx_error(), 0.01);
+        assert!(d.in_episode(25.0));
+        assert!(!d.in_episode(33.0));
+    }
+
+    #[test]
+    fn combined_drift_composes() {
+        let d = DriftModel::linear(0.05, 0.0).with_episode(0.0, 100.0, 2.0);
+        let cal = d.apply(&base(), 10.0, 10.0);
+        // (1 + 0.05*10) * 2 = 3.0
+        assert!((cal.mean_cx_error() - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive length")]
+    fn bad_episode_rejected() {
+        let _ = DriftModel::none().with_episode(5.0, 5.0, 2.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Cloud queue and execution latency model.
+//!
+//! "Most QC platforms are provided as a cloud service and shared by many
+//! users ... wait for each trial going through the waiting queue"
+//! (Section I). Queue waits dominate VQA wall-clock (hours on Manhattan
+//! vs seconds on Belem) and swing diurnally, producing the paper's
+//! epochs/hour spread in Fig. 6 and Toronto's 6.5 -> 0.03 epochs/hour
+//! fluctuation. The model: a per-device mean wait modulated by a
+//! log-sinusoidal congestion cycle, plus deterministic per-job jitter.
+
+use crate::clock::SimTime;
+use std::f64::consts::TAU;
+
+/// Latency model of one device's submission queue.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueueModel {
+    /// Fixed per-job overhead: submission, compilation, result transfer
+    /// (seconds).
+    pub overhead_s: f64,
+    /// Baseline queue wait (seconds) at neutral congestion.
+    pub mean_wait_s: f64,
+    /// Amplitude of the log-sinusoidal congestion cycle; wait swings
+    /// within `[mean/e^amp, mean*e^amp]`.
+    pub diurnal_amplitude: f64,
+    /// Phase of the congestion cycle, hours.
+    pub phase_hours: f64,
+    /// Congestion cycle period, hours (24 = daily load pattern).
+    pub period_hours: f64,
+    /// Per-shot reset + repetition delay, microseconds.
+    pub reset_time_us: f64,
+}
+
+impl QueueModel {
+    /// A lightly loaded device: seconds of queueing.
+    pub fn light(mean_wait_s: f64) -> Self {
+        QueueModel {
+            overhead_s: 1.0,
+            mean_wait_s,
+            diurnal_amplitude: 0.4,
+            phase_hours: 0.0,
+            period_hours: 24.0,
+            reset_time_us: 250.0,
+        }
+    }
+
+    /// A congested device with pronounced diurnal swings.
+    pub fn congested(mean_wait_s: f64, diurnal_amplitude: f64, phase_hours: f64) -> Self {
+        QueueModel {
+            overhead_s: 2.0,
+            mean_wait_s,
+            diurnal_amplitude,
+            phase_hours,
+            period_hours: 24.0,
+            reset_time_us: 250.0,
+        }
+    }
+
+    /// Queue wait (seconds) for a job submitted at `t`, before jitter.
+    pub fn wait_s(&self, t: SimTime) -> f64 {
+        let phase = TAU * (t.as_hours() + self.phase_hours) / self.period_hours;
+        self.mean_wait_s * (self.diurnal_amplitude * phase.sin()).exp()
+    }
+
+    /// Queue wait with deterministic per-job jitter in `[0.8, 1.2]`,
+    /// derived from a caller-supplied uniform sample in `[0, 1)`.
+    pub fn wait_with_jitter_s(&self, t: SimTime, uniform: f64) -> f64 {
+        self.wait_s(t) * (0.8 + 0.4 * uniform.clamp(0.0, 1.0))
+    }
+
+    /// Execution time (seconds) of `shots` repetitions of a circuit whose
+    /// gates span `circuit_duration_ns`, plus readout.
+    pub fn execution_s(&self, circuit_duration_ns: f64, readout_ns: f64, shots: usize) -> f64 {
+        let per_shot_ns = circuit_duration_ns + readout_ns + self.reset_time_us * 1e3;
+        shots as f64 * per_shot_ns * 1e-9
+    }
+
+    /// Total virtual latency of one job: queue wait + overhead +
+    /// execution.
+    pub fn job_latency_s(
+        &self,
+        t: SimTime,
+        uniform: f64,
+        circuit_duration_ns: f64,
+        readout_ns: f64,
+        shots: usize,
+    ) -> f64 {
+        self.wait_with_jitter_s(t, uniform)
+            + self.overhead_s
+            + self.execution_s(circuit_duration_ns, readout_ns, shots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_oscillates_around_mean() {
+        let q = QueueModel::congested(100.0, 1.0, 0.0);
+        let min = (0..48)
+            .map(|h| q.wait_s(SimTime::from_hours(h as f64 * 0.5)))
+            .fold(f64::MAX, f64::min);
+        let max = (0..48)
+            .map(|h| q.wait_s(SimTime::from_hours(h as f64 * 0.5)))
+            .fold(0.0, f64::max);
+        assert!((min - 100.0 / std::f64::consts::E).abs() < 2.0);
+        assert!((max - 100.0 * std::f64::consts::E).abs() < 2.0);
+    }
+
+    #[test]
+    fn light_queue_is_stable() {
+        let q = QueueModel::light(5.0);
+        for h in 0..24 {
+            let w = q.wait_s(SimTime::from_hours(h as f64));
+            assert!(w > 3.0 && w < 8.0, "wait {w} out of band");
+        }
+    }
+
+    #[test]
+    fn execution_scales_with_shots() {
+        let q = QueueModel::light(1.0);
+        let one = q.execution_s(5000.0, 4000.0, 1);
+        let many = q.execution_s(5000.0, 4000.0, 8192);
+        assert!((many / one - 8192.0).abs() < 1e-6);
+        // 8192 shots at ~259 us/shot is on the order of 2 seconds.
+        assert!(many > 1.5 && many < 3.0, "unexpected execution time {many}");
+    }
+
+    #[test]
+    fn jitter_bounds() {
+        let q = QueueModel::light(10.0);
+        let t = SimTime::ZERO;
+        let lo = q.wait_with_jitter_s(t, 0.0);
+        let hi = q.wait_with_jitter_s(t, 1.0);
+        assert!((hi / lo - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn job_latency_combines_terms() {
+        let q = QueueModel::light(5.0);
+        let total = q.job_latency_s(SimTime::ZERO, 0.5, 5000.0, 4000.0, 100);
+        assert!(total > q.overhead_s);
+        assert!(total < 60.0);
+    }
+
+    #[test]
+    fn period_and_phase_shift_the_cycle() {
+        let a = QueueModel::congested(100.0, 1.0, 0.0);
+        let b = QueueModel::congested(100.0, 1.0, 12.0);
+        let t = SimTime::from_hours(6.0);
+        // Half-period phase shift inverts the congestion.
+        assert!((a.wait_s(t) * b.wait_s(t) - 100.0 * 100.0).abs() < 1.0);
+    }
+}

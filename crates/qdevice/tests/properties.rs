@@ -1,0 +1,123 @@
+//! Property-based tests of the device layer: timing, drift and noise
+//! invariants across randomized configurations.
+
+use proptest::prelude::*;
+use qcircuit::{Angle, Circuit, Gate};
+use qdevice::{Calibration, DriftModel, QpuBackend, QueueModel, SimTime};
+use transpile::Topology;
+
+fn small_backend(cx_error: f64, readout: f64, wait: f64, seed: u64) -> QpuBackend {
+    QpuBackend::new(
+        "prop",
+        Topology::line(3),
+        Calibration::uniform(3, 90.0, 70.0, 0.001, cx_error, readout),
+        DriftModel::linear(0.02, 0.002),
+        QueueModel::light(wait),
+        24.0,
+        seed,
+    )
+}
+
+fn bell3() -> Circuit {
+    let mut c = Circuit::new(3);
+    c.push(Gate::H(0)).unwrap();
+    c.push(Gate::Cx(0, 1)).unwrap();
+    c.push(Gate::Cx(1, 2)).unwrap();
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Jobs never complete before submission, never start before
+    /// submission, and counts always match the shot budget.
+    #[test]
+    fn job_timing_invariants(
+        wait in 0.5..30.0f64,
+        shots in 1usize..4096,
+        submit_h in 0.0..100.0f64,
+        seed in 0u64..1000,
+    ) {
+        let mut be = small_backend(0.01, 0.02, wait, seed);
+        let t = SimTime::from_hours(submit_h);
+        let job = be.execute(&bell3(), &[0, 1, 2], shots, t);
+        prop_assert!(job.started >= t);
+        prop_assert!(job.completed > job.started);
+        prop_assert_eq!(job.counts.total(), shots as u64);
+        prop_assert!(job.circuit_duration_ns > 0.0);
+    }
+
+    /// Sequential jobs on one device never overlap.
+    #[test]
+    fn device_serialization(seed in 0u64..500, wait in 0.5..5.0f64) {
+        let mut be = small_backend(0.01, 0.02, wait, seed);
+        let a = be.execute(&bell3(), &[0, 1, 2], 64, SimTime::ZERO);
+        let b = be.execute(&bell3(), &[0, 1, 2], 64, SimTime::ZERO);
+        prop_assert!(b.started >= a.completed);
+    }
+
+    /// Reported calibration is piecewise constant over a cycle; actual
+    /// calibration is monotonically worse within a cycle.
+    #[test]
+    fn drift_monotone_within_cycle(h1 in 0.1..11.0f64, dh in 0.1..11.0f64) {
+        let be = small_backend(0.01, 0.02, 1.0, 3);
+        let h2 = (h1 + dh).min(23.0);
+        let a = be.actual_calibration(SimTime::from_hours(h1));
+        let b = be.actual_calibration(SimTime::from_hours(h2));
+        prop_assert!(b.mean_cx_error() >= a.mean_cx_error() - 1e-12);
+        let ra = be.reported_calibration(SimTime::from_hours(h1));
+        let rb = be.reported_calibration(SimTime::from_hours(h2));
+        prop_assert_eq!(ra.mean_cx_error(), rb.mean_cx_error());
+    }
+
+    /// Utilization is a fraction and busy time accumulates.
+    #[test]
+    fn utilization_is_fractional(shots in 64usize..2048, seed in 0u64..100) {
+        let mut be = small_backend(0.01, 0.02, 1.0, seed);
+        let j1 = be.execute(&bell3(), &[0, 1, 2], shots, SimTime::ZERO);
+        let busy1 = be.busy_seconds();
+        let j2 = be.execute(&bell3(), &[0, 1, 2], shots, j1.completed);
+        let busy2 = be.busy_seconds();
+        prop_assert!(busy2 > busy1);
+        let u = be.utilization(j2.completed);
+        prop_assert!((0.0..=1.0).contains(&u), "utilization {}", u);
+    }
+
+    /// Higher noise never *reduces* the GHZ error beyond sampling jitter.
+    #[test]
+    fn noise_ordering(seed in 0u64..50) {
+        let ghz_err = |cx: f64, ro: f64| {
+            let mut be = small_backend(cx, ro, 1.0, seed);
+            let job = be.execute(&bell3(), &[0, 1, 2], 20_000, SimTime::ZERO);
+            1.0 - job.counts.fraction_where(|b| b == 0 || b == 0b111)
+        };
+        let clean = ghz_err(0.002, 0.005);
+        let dirty = ghz_err(0.05, 0.05);
+        prop_assert!(dirty > clean, "dirty {} vs clean {}", dirty, clean);
+    }
+
+    /// Queue waits respect the configured band around the mean.
+    #[test]
+    fn queue_wait_bounds(mean in 1.0..100.0f64, amp in 0.0..2.0f64, h in 0.0..48.0f64) {
+        let q = QueueModel::congested(mean, amp, 0.0);
+        let w = q.wait_s(SimTime::from_hours(h));
+        prop_assert!(w >= mean * (-amp).exp() - 1e-9);
+        prop_assert!(w <= mean * amp.exp() + 1e-9);
+    }
+
+    /// Batch execution returns one histogram per circuit and a single
+    /// coherent time window.
+    #[test]
+    fn batch_invariants(k in 1usize..6, shots in 16usize..512) {
+        let mut be = small_backend(0.01, 0.02, 1.0, 9);
+        let circ = bell3();
+        let batch: Vec<(&Circuit, &[usize])> =
+            (0..k).map(|_| (&circ, [0usize, 1, 2].as_slice())).collect();
+        let (counts, timing) = be.execute_batch(&batch, shots, SimTime::ZERO);
+        prop_assert_eq!(counts.len(), k);
+        for c in &counts {
+            prop_assert_eq!(c.total(), shots as u64);
+        }
+        prop_assert!(timing.completed > timing.started);
+    }
+}

@@ -1,0 +1,310 @@
+//! A minimal double-precision complex number type.
+//!
+//! The offline dependency set does not include `num-complex`, so the
+//! simulator carries its own [`C64`]. It implements exactly the operations
+//! the quantum substrate needs: field arithmetic, conjugation, modulus,
+//! polar form and the exponential map used for rotation gates.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+///
+/// # Examples
+///
+/// ```
+/// use qsim::complex::C64;
+///
+/// let z = C64::new(3.0, 4.0);
+/// assert_eq!(z.norm_sqr(), 25.0);
+/// assert_eq!(z.conj(), C64::new(3.0, -4.0));
+/// ```
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `i`.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        C64 { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r * e^{i theta}`.
+    ///
+    /// ```
+    /// use qsim::complex::C64;
+    /// let z = C64::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!((z - C64::new(0.0, 2.0)).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        C64::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Returns `e^{i theta}`, a point on the unit circle.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        C64::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        C64::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `|z|^2`, cheaper than [`C64::abs`].
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in `(-pi, pi]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        C64::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `z` is zero.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let n = self.norm_sqr();
+        debug_assert!(n > 0.0, "inverse of zero complex number");
+        C64::new(self.re / n, -self.im / n)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        C64::new(self.re * s, self.im * s)
+    }
+
+    /// Returns `true` if both parts are within `eps` of `other`'s.
+    #[inline]
+    pub fn approx_eq(self, other: C64, eps: f64) -> bool {
+        (self.re - other.re).abs() <= eps && (self.im - other.im).abs() <= eps
+    }
+
+    /// Returns `true` if either part is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+}
+
+impl From<f64> for C64 {
+    fn from(re: f64) -> Self {
+        C64::from_real(re)
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: C64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: f64) -> C64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<C64> for f64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: C64) -> C64 {
+        self * rhs.inv()
+    }
+}
+
+impl Div<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: f64) -> C64 {
+        C64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = C64::new(1.5, -2.0);
+        let b = C64::new(-0.5, 3.25);
+        assert!((a + b - b).approx_eq(a, 1e-15));
+        assert!((a * b / b).approx_eq(a, 1e-12));
+        assert!((a * C64::ONE).approx_eq(a, 0.0));
+        assert!((a + C64::ZERO).approx_eq(a, 0.0));
+        assert!((-a + a).approx_eq(C64::ZERO, 0.0));
+    }
+
+    #[test]
+    fn conjugate_and_modulus() {
+        let z = C64::new(3.0, -4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert!((z * z.conj()).approx_eq(C64::from_real(25.0), 1e-12));
+        assert_eq!(z.conj().conj(), z);
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = C64::new(-1.0, 1.0);
+        let w = C64::from_polar(z.abs(), z.arg());
+        assert!(w.approx_eq(z, 1e-12));
+    }
+
+    #[test]
+    fn cis_is_unit() {
+        for k in 0..16 {
+            let t = k as f64 * PI / 8.0;
+            assert!((C64::cis(t).abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn exp_of_imaginary_is_rotation() {
+        let z = C64::new(0.0, PI).exp();
+        assert!(z.approx_eq(C64::from_real(-1.0), 1e-12));
+    }
+
+    #[test]
+    fn inverse_of_unit() {
+        let z = C64::cis(0.73);
+        assert!(z.inv().approx_eq(z.conj(), 1e-12));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: C64 = (0..4).map(|k| C64::new(k as f64, -(k as f64))).sum();
+        assert!(total.approx_eq(C64::new(6.0, -6.0), 1e-12));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(format!("{}", C64::new(1.0, -2.0)), "1.000000-2.000000i");
+        assert_eq!(format!("{}", C64::new(1.0, 2.0)), "1.000000+2.000000i");
+    }
+}

@@ -1,0 +1,49 @@
+//! # qsim — quantum simulation substrate for the EQC reproduction
+//!
+//! This crate is the from-scratch replacement for the real IBMQ hardware
+//! used by the EQC paper (Stein et al., ISCA 2022). It provides:
+//!
+//! * [`complex::C64`] / [`matrix::CMatrix`] — the numerical base layer
+//!   (`num-complex`/`ndarray` are not available offline);
+//! * [`gates`] — standard gate matrices in a little-endian convention;
+//! * [`statevector::StateVector`] — ideal simulation, the "ideal
+//!   simulator" baseline of the paper's figures;
+//! * [`density::DensityMatrix`] + [`noise::KrausChannel`] — noisy
+//!   simulation with depolarizing, thermal-relaxation (T1/T2) and dephasing
+//!   channels, the physics behind each simulated QPU;
+//! * [`sampler`] — shot sampling and SPAM/readout corruption, producing the
+//!   `Counts` histograms a cloud backend would return;
+//! * [`linalg`] — exact Hermitian eigendecomposition for ground-truth
+//!   reference energies.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qsim::statevector::StateVector;
+//! use qsim::gates;
+//!
+//! // A noiseless Bell pair.
+//! let mut sv = StateVector::new(2);
+//! sv.apply_1q(&gates::h(), 0);
+//! sv.apply_2q(&gates::cx(), 0, 1);
+//! assert!((sv.probability_of(0b00) - 0.5).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod density;
+pub mod gates;
+pub mod linalg;
+pub mod matrix;
+pub mod noise;
+pub mod sampler;
+pub mod statevector;
+
+pub use complex::C64;
+pub use density::DensityMatrix;
+pub use gates::Pauli;
+pub use matrix::CMatrix;
+pub use noise::KrausChannel;
+pub use sampler::{Counts, ReadoutError};
+pub use statevector::StateVector;

@@ -1,0 +1,358 @@
+//! Kraus-operator noise channels.
+//!
+//! The paper's three NISQ error classes (Section II-B) map onto completely
+//! positive trace-preserving (CPTP) channels:
+//!
+//! * **Gate error** (depolarization) — [`KrausChannel::depolarizing_1q`] /
+//!   [`KrausChannel::depolarizing_2q`], the paper's `gamma` (1q) and `beta` (CNOT)
+//!   fidelity losses;
+//! * **Coherence error** (T1 energy decay, T2 dephasing) —
+//!   [`KrausChannel::thermal_relaxation`] built from [`KrausChannel::amplitude_damping`] and
+//!   [`KrausChannel::phase_damping`];
+//! * **SPAM error** — handled at the sampling layer by
+//!   [`crate::sampler::ReadoutError`] (readout is classical confusion, not
+//!   a unitary-domain channel).
+
+use crate::complex::C64;
+use crate::gates::Pauli;
+use crate::matrix::CMatrix;
+
+/// A noise channel in Kraus representation: `rho -> sum_k K_k rho K_k^dag`.
+///
+/// # Examples
+///
+/// ```
+/// use qsim::noise::KrausChannel;
+///
+/// let ch = KrausChannel::depolarizing_1q(0.01);
+/// assert!(ch.is_cptp(1e-12));
+/// assert_eq!(ch.num_qubits(), 1);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct KrausChannel {
+    n_qubits: usize,
+    kraus: Vec<CMatrix>,
+}
+
+impl KrausChannel {
+    /// Builds a channel from explicit Kraus operators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operator list is empty, operators have mismatched or
+    /// non-square power-of-4 shapes, or the channel is not trace preserving
+    /// to within `1e-9`.
+    pub fn new(kraus: Vec<CMatrix>) -> Self {
+        assert!(!kraus.is_empty(), "channel needs at least one Kraus operator");
+        let dim = kraus[0].rows();
+        assert!(
+            kraus.iter().all(|k| k.rows() == dim && k.cols() == dim),
+            "all Kraus operators must share a square shape"
+        );
+        assert!(
+            dim.is_power_of_two() && dim >= 2,
+            "Kraus dimension must be 2^n, got {dim}"
+        );
+        let n_qubits = dim.trailing_zeros() as usize;
+        let ch = KrausChannel { n_qubits, kraus };
+        assert!(ch.is_cptp(1e-9), "Kraus operators do not satisfy sum K^dag K = I");
+        ch
+    }
+
+    /// The identity (no-op) channel on `n_qubits`.
+    pub fn identity(n_qubits: usize) -> Self {
+        KrausChannel {
+            n_qubits,
+            kraus: vec![CMatrix::identity(1 << n_qubits)],
+        }
+    }
+
+    /// Single-qubit depolarizing channel with error probability `p`:
+    /// with probability `p` one of X/Y/Z is applied uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn depolarizing_1q(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        let mut kraus = vec![CMatrix::identity(2).scale(C64::from_real((1.0 - p).sqrt()))];
+        let w = C64::from_real((p / 3.0).sqrt());
+        for pauli in [Pauli::X, Pauli::Y, Pauli::Z] {
+            kraus.push(pauli.matrix().scale(w));
+        }
+        KrausChannel { n_qubits: 1, kraus }
+    }
+
+    /// Two-qubit depolarizing channel: with probability `p`, one of the 15
+    /// non-identity Pauli pairs is applied uniformly. Models CNOT error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn depolarizing_2q(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        let mut kraus = vec![CMatrix::identity(4).scale(C64::from_real((1.0 - p).sqrt()))];
+        let w = C64::from_real((p / 15.0).sqrt());
+        for a in Pauli::ALL {
+            for b in Pauli::ALL {
+                if a == Pauli::I && b == Pauli::I {
+                    continue;
+                }
+                kraus.push(a.matrix().kron(&b.matrix()).scale(w));
+            }
+        }
+        KrausChannel { n_qubits: 2, kraus }
+    }
+
+    /// Amplitude damping (T1 energy relaxation) with decay probability
+    /// `gamma = 1 - e^{-t/T1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is outside `[0, 1]`.
+    pub fn amplitude_damping(gamma: f64) -> Self {
+        assert!((0.0..=1.0).contains(&gamma), "gamma out of range");
+        let k0 = CMatrix::from_real(2, 2, &[1.0, 0.0, 0.0, (1.0 - gamma).sqrt()]);
+        let k1 = CMatrix::from_real(2, 2, &[0.0, gamma.sqrt(), 0.0, 0.0]);
+        KrausChannel {
+            n_qubits: 1,
+            kraus: vec![k0, k1],
+        }
+    }
+
+    /// Phase damping (pure dephasing) with parameter `lambda`; off-diagonal
+    /// density elements shrink by `sqrt(1 - lambda)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is outside `[0, 1]`.
+    pub fn phase_damping(lambda: f64) -> Self {
+        assert!((0.0..=1.0).contains(&lambda), "lambda out of range");
+        let k0 = CMatrix::from_real(2, 2, &[1.0, 0.0, 0.0, (1.0 - lambda).sqrt()]);
+        let k1 = CMatrix::from_real(2, 2, &[0.0, 0.0, 0.0, lambda.sqrt()]);
+        KrausChannel {
+            n_qubits: 1,
+            kraus: vec![k0, k1],
+        }
+    }
+
+    /// Bit-flip channel: X applied with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn bit_flip(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        KrausChannel {
+            n_qubits: 1,
+            kraus: vec![
+                CMatrix::identity(2).scale(C64::from_real((1.0 - p).sqrt())),
+                Pauli::X.matrix().scale(C64::from_real(p.sqrt())),
+            ],
+        }
+    }
+
+    /// Phase-flip channel: Z applied with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn phase_flip(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        KrausChannel {
+            n_qubits: 1,
+            kraus: vec![
+                CMatrix::identity(2).scale(C64::from_real((1.0 - p).sqrt())),
+                Pauli::Z.matrix().scale(C64::from_real(p.sqrt())),
+            ],
+        }
+    }
+
+    /// Combined T1/T2 thermal relaxation over a gate of the given duration.
+    ///
+    /// Composes amplitude damping `gamma = 1 - e^{-t/T1}` with the pure
+    /// dephasing remainder so that coherences decay as `e^{-t/T2}` overall.
+    /// Durations and times must share units (the device layer uses
+    /// nanoseconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t1 <= 0`, `t2 <= 0`, `duration < 0`, or `t2 > 2 t1`
+    /// (physically impossible).
+    pub fn thermal_relaxation(t1: f64, t2: f64, duration: f64) -> Self {
+        assert!(t1 > 0.0 && t2 > 0.0, "T1/T2 must be positive");
+        assert!(duration >= 0.0, "duration must be non-negative");
+        assert!(t2 <= 2.0 * t1 + 1e-9, "T2 cannot exceed 2*T1");
+        let gamma = 1.0 - (-duration / t1).exp();
+        // Total coherence decay e^{-t/T2} = sqrt(1-gamma) * sqrt(1-lambda)
+        // where sqrt(1-gamma) = e^{-t/(2 T1)} comes from amplitude damping.
+        let target = (-duration / t2).exp();
+        let from_t1 = (-duration / (2.0 * t1)).exp();
+        let ratio = (target / from_t1).clamp(0.0, 1.0);
+        let lambda = 1.0 - ratio * ratio;
+        Self::amplitude_damping(gamma).compose(&Self::phase_damping(lambda))
+    }
+
+    /// Sequential composition: `other` applied **after** `self`
+    /// (`rho -> other(self(rho))`). Kraus sets multiply pairwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if qubit counts differ.
+    pub fn compose(&self, other: &KrausChannel) -> KrausChannel {
+        assert_eq!(self.n_qubits, other.n_qubits, "channel arity mismatch");
+        let mut kraus = Vec::with_capacity(self.kraus.len() * other.kraus.len());
+        for b in &other.kraus {
+            for a in &self.kraus {
+                kraus.push(b.clone() * a.clone());
+            }
+        }
+        KrausChannel {
+            n_qubits: self.n_qubits,
+            kraus,
+        }
+    }
+
+    /// Number of qubits the channel acts on.
+    pub fn num_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Borrows the Kraus operators.
+    pub fn operators(&self) -> &[CMatrix] {
+        &self.kraus
+    }
+
+    /// Checks the CPTP completeness relation `sum_k K_k^dag K_k = I` within
+    /// `eps` per entry.
+    pub fn is_cptp(&self, eps: f64) -> bool {
+        let dim = 1usize << self.n_qubits;
+        let mut acc = CMatrix::zeros(dim, dim);
+        for k in &self.kraus {
+            acc = acc + (k.dagger() * k.clone());
+        }
+        acc.approx_eq(&CMatrix::identity(dim), eps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::density::DensityMatrix;
+
+    #[test]
+    fn all_builtin_channels_are_cptp() {
+        let channels = [
+            KrausChannel::identity(1),
+            KrausChannel::depolarizing_1q(0.03),
+            KrausChannel::amplitude_damping(0.2),
+            KrausChannel::phase_damping(0.35),
+            KrausChannel::bit_flip(0.1),
+            KrausChannel::phase_flip(0.1),
+            KrausChannel::thermal_relaxation(100_000.0, 80_000.0, 300.0),
+        ];
+        for ch in &channels {
+            assert!(ch.is_cptp(1e-9), "{ch:?} not CPTP");
+        }
+        assert!(KrausChannel::depolarizing_2q(0.04).is_cptp(1e-9));
+    }
+
+    #[test]
+    fn depolarizing_extremes() {
+        // p = 0 is the identity channel.
+        let ch = KrausChannel::depolarizing_1q(0.0);
+        let mut rho = DensityMatrix::new(1);
+        rho.apply_unitary_1q(&crate::gates::h(), 0);
+        let before = rho.clone();
+        rho.apply_channel(&ch, &[0]);
+        assert!(rho.matrix().approx_eq(&before.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn full_depolarizing_gives_maximally_mixed() {
+        // p = 1 with uniform Paulis: rho -> (X rho X + Y rho Y + Z rho Z)/3.
+        // Applied to |+><+| the X-basis polarization shrinks to -1/3.
+        let ch = KrausChannel::depolarizing_1q(1.0);
+        let mut rho = DensityMatrix::new(1);
+        rho.apply_unitary_1q(&crate::gates::h(), 0);
+        rho.apply_channel(&ch, &[0]);
+        let x_exp = rho.expectation_pauli(&[(0, Pauli::X)]);
+        assert!((x_exp + 1.0 / 3.0).abs() < 1e-12, "got {x_exp}");
+    }
+
+    #[test]
+    fn amplitude_damping_decays_excited_state() {
+        let gamma = 0.3;
+        let ch = KrausChannel::amplitude_damping(gamma);
+        let mut rho = DensityMatrix::new(1);
+        rho.apply_unitary_1q(&crate::gates::x(), 0); // |1>
+        rho.apply_channel(&ch, &[0]);
+        // P(1) = 1 - gamma.
+        let probs = rho.probabilities();
+        assert!((probs[1] - (1.0 - gamma)).abs() < 1e-12);
+        assert!((probs[0] - gamma).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_damping_kills_coherence_not_population() {
+        let ch = KrausChannel::phase_damping(1.0);
+        let mut rho = DensityMatrix::new(1);
+        rho.apply_unitary_1q(&crate::gates::h(), 0);
+        rho.apply_channel(&ch, &[0]);
+        let probs = rho.probabilities();
+        assert!((probs[0] - 0.5).abs() < 1e-12);
+        assert!((probs[1] - 0.5).abs() < 1e-12);
+        assert!(rho.expectation_pauli(&[(0, Pauli::X)]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thermal_relaxation_matches_exponentials() {
+        let (t1, t2, dt) = (120_000.0, 90_000.0, 5_000.0);
+        let ch = KrausChannel::thermal_relaxation(t1, t2, dt);
+        // Excited-state population decays as e^{-t/T1}.
+        let mut rho = DensityMatrix::new(1);
+        rho.apply_unitary_1q(&crate::gates::x(), 0);
+        rho.apply_channel(&ch, &[0]);
+        assert!((rho.probabilities()[1] - (-dt / t1).exp()).abs() < 1e-10);
+        // Coherence decays as e^{-t/T2}.
+        let mut plus = DensityMatrix::new(1);
+        plus.apply_unitary_1q(&crate::gates::h(), 0);
+        plus.apply_channel(&ch, &[0]);
+        let coherence = plus.expectation_pauli(&[(0, Pauli::X)]);
+        assert!(
+            (coherence - (-dt / t2).exp()).abs() < 1e-10,
+            "coherence {coherence} vs {}",
+            (-dt / t2).exp()
+        );
+    }
+
+    #[test]
+    fn compose_is_cptp_and_ordered() {
+        // X-then-damp differs from damp-then-X on |0>.
+        let flip = KrausChannel::new(vec![Pauli::X.matrix()]);
+        let damp = KrausChannel::amplitude_damping(0.5);
+        let a = flip.compose(&damp); // damp after flip
+        let b = damp.compose(&flip); // flip after damp
+        assert!(a.is_cptp(1e-9) && b.is_cptp(1e-9));
+        let mut ra = DensityMatrix::new(1);
+        ra.apply_channel(&a, &[0]);
+        let mut rb = DensityMatrix::new(1);
+        rb.apply_channel(&b, &[0]);
+        // a: |0> -> |1> -> half decayed: P(1) = 0.5.
+        assert!((ra.probabilities()[1] - 0.5).abs() < 1e-12);
+        // b: |0> -> unaffected by damping -> flipped: P(1) = 1.
+        assert!((rb.probabilities()[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "T2 cannot exceed")]
+    fn thermal_relaxation_rejects_unphysical_t2() {
+        let _ = KrausChannel::thermal_relaxation(50.0, 150.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum K^dag K = I")]
+    fn new_rejects_non_cptp() {
+        let _ = KrausChannel::new(vec![Pauli::X.matrix().scale(C64::from_real(0.5))]);
+    }
+}

@@ -1,0 +1,345 @@
+//! Rewriting to the IBMQ native basis {CX, RZ, SX, X}.
+//!
+//! "All quantum circuits need to be transpiled to basis gates eventually in
+//! order to be executed by a QPU" (Section II-A). The rewrite has two
+//! stages: two-qubit composites (SWAP, CZ, RZZ) expand into CX plus
+//! single-qubit gates, then every remaining single-qubit gate becomes a
+//! `RZ - SX - RZ - SX - RZ` Euler sequence. RZ is virtual on hardware, so
+//! the rewrite only adds *physical* cost through SX gates.
+//!
+//! Symbolic angles survive: `RX(theta)` rewrites with an affine middle
+//! angle `theta + pi`, keeping transpiled templates re-bindable across
+//! gradient steps (the paper's client nodes transpile once per device).
+
+use qcircuit::{Angle, Circuit, CircuitError, Gate};
+use qsim::CMatrix;
+use std::f64::consts::PI;
+
+const EPS: f64 = 1e-9;
+
+/// Normalizes an angle to `(-pi, pi]`.
+fn norm_angle(a: f64) -> f64 {
+    let two_pi = 2.0 * PI;
+    let mut x = a % two_pi;
+    if x <= -PI {
+        x += two_pi;
+    } else if x > PI {
+        x -= two_pi;
+    }
+    x
+}
+
+/// ZYZ Euler angles `(theta, phi, lambda)` with `U ~ RZ(phi) RY(theta)
+/// RZ(lambda)` up to global phase.
+///
+/// # Panics
+///
+/// Panics if `u` is not a 2x2 unitary.
+pub fn euler_zyz(u: &CMatrix) -> (f64, f64, f64) {
+    assert!(u.is_unitary(1e-9), "euler_zyz requires a unitary matrix");
+    assert_eq!((u.rows(), u.cols()), (2, 2), "euler_zyz requires a 2x2 matrix");
+    // Normalize to SU(2): divide by sqrt(det).
+    let det = u[(0, 0)] * u[(1, 1)] - u[(0, 1)] * u[(1, 0)];
+    let s = qsim::C64::cis(det.arg() / 2.0);
+    let u00 = u[(0, 0)] / s;
+    let u10 = u[(1, 0)] / s;
+    let u11 = u[(1, 1)] / s;
+
+    let theta = 2.0 * u10.abs().atan2(u00.abs());
+    if u10.abs() < EPS {
+        // theta ~ 0: only phi + lambda matters.
+        (0.0, 0.0, norm_angle(2.0 * u11.arg()))
+    } else if u00.abs() < EPS {
+        // theta ~ pi: only phi - lambda matters.
+        (PI, norm_angle(2.0 * u10.arg()), 0.0)
+    } else {
+        let phi = u11.arg() + u10.arg();
+        let lam = u11.arg() - u10.arg();
+        (theta, norm_angle(phi), norm_angle(lam))
+    }
+}
+
+/// Emits `{RZ, SX}` gates realizing `RZ(phi) RY(theta) RZ(lambda)` on
+/// `qubit`, up to global phase, in circuit (application) order.
+///
+/// Uses the standard ZSXZSXZ identity
+/// `U = RZ(phi + pi) SX RZ(theta + pi) SX RZ(lambda)`, with shortcuts for
+/// `theta ~ 0` (single RZ) and `theta ~ pi/2` (single SX).
+pub fn zsx_sequence(theta: f64, phi: f64, lam: f64, qubit: usize) -> Vec<Gate> {
+    let mut out = Vec::with_capacity(5);
+    let push_rz = |gates: &mut Vec<Gate>, a: f64| {
+        let a = norm_angle(a);
+        if a.abs() > EPS {
+            gates.push(Gate::Rz(qubit, Angle::Fixed(a)));
+        }
+    };
+    if theta.abs() < EPS {
+        push_rz(&mut out, phi + lam);
+    } else if (theta - PI / 2.0).abs() < EPS {
+        push_rz(&mut out, lam - PI / 2.0);
+        out.push(Gate::Sx(qubit));
+        push_rz(&mut out, phi + PI / 2.0);
+    } else {
+        push_rz(&mut out, lam);
+        out.push(Gate::Sx(qubit));
+        push_rz(&mut out, theta + PI);
+        out.push(Gate::Sx(qubit));
+        push_rz(&mut out, phi + PI);
+    }
+    out
+}
+
+/// Rewrites a single gate into basis gates (circuit order). Symbolic
+/// rotations keep their parameter references.
+fn rewrite_gate(g: &Gate) -> Vec<Gate> {
+    match *g {
+        // Native gates pass through.
+        Gate::X(_) | Gate::Sx(_) | Gate::Rz(..) | Gate::Cx(..) => vec![*g],
+        // Phase-family gates are virtual RZs up to global phase.
+        Gate::Z(q) => vec![Gate::Rz(q, Angle::Fixed(PI))],
+        Gate::S(q) => vec![Gate::Rz(q, Angle::Fixed(PI / 2.0))],
+        Gate::Sdg(q) => vec![Gate::Rz(q, Angle::Fixed(-PI / 2.0))],
+        // Symbolic-capable rotations use fixed algebraic identities so the
+        // parameter reference survives.
+        Gate::Rx(q, a) => match a {
+            // RX(t) ~ RZ(pi/2) . SX . RZ(t + pi) . SX . RZ(pi/2)
+            Angle::Fixed(t) => {
+                let (theta, phi, lam) = euler_zyz(&qsim::gates::rx(t));
+                zsx_sequence(theta, phi, lam, q)
+            }
+            _ => vec![
+                Gate::Rz(q, Angle::Fixed(PI / 2.0)),
+                Gate::Sx(q),
+                Gate::Rz(q, a.shifted(PI)),
+                Gate::Sx(q),
+                Gate::Rz(q, Angle::Fixed(PI / 2.0)),
+            ],
+        },
+        Gate::Ry(q, a) => match a {
+            Angle::Fixed(t) => {
+                let (theta, phi, lam) = euler_zyz(&qsim::gates::ry(t));
+                zsx_sequence(theta, phi, lam, q)
+            }
+            // RY(t) ~ SX . RZ(t + pi) . SX . RZ(pi) (ZYZ with phi=lam=0).
+            _ => vec![
+                Gate::Sx(q),
+                Gate::Rz(q, a.shifted(PI)),
+                Gate::Sx(q),
+                Gate::Rz(q, Angle::Fixed(PI)),
+            ],
+        },
+        Gate::H(q) | Gate::Y(q) => {
+            let m = g.matrix(&[]);
+            let (theta, phi, lam) = euler_zyz(&m);
+            zsx_sequence(theta, phi, lam, q)
+        }
+        // Two-qubit composites.
+        Gate::Cz(a, b) => {
+            // CZ = (I x H) CX (I x H), H on the target side.
+            let mut out = rewrite_gate(&Gate::H(b));
+            out.push(Gate::Cx(a, b));
+            out.extend(rewrite_gate(&Gate::H(b)));
+            out
+        }
+        Gate::Swap(a, b) => vec![Gate::Cx(a, b), Gate::Cx(b, a), Gate::Cx(a, b)],
+        Gate::Rzz(a, b, t) => vec![Gate::Cx(a, b), Gate::Rz(b, t), Gate::Cx(a, b)],
+    }
+}
+
+/// Rewrites every gate of `circuit` into the IBMQ basis {CX, RZ, SX, X}.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] (cannot occur for well-formed inputs; kept
+/// for API robustness).
+pub fn rewrite_to_basis(circuit: &Circuit) -> Result<Circuit, CircuitError> {
+    let mut out = Circuit::new(circuit.num_qubits());
+    for g in circuit.gates() {
+        out.extend(rewrite_gate(g))?;
+    }
+    Ok(out)
+}
+
+/// Returns `true` if every gate is in the IBMQ native basis.
+pub fn is_in_basis(circuit: &Circuit) -> bool {
+    circuit
+        .gates()
+        .iter()
+        .all(|g| matches!(g, Gate::X(_) | Gate::Sx(_) | Gate::Rz(..) | Gate::Cx(..)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcircuit::CircuitBuilder;
+
+    /// Checks that rewriting preserves the circuit unitary up to phase.
+    fn check_equivalent(original: &Circuit, params: &[f64]) {
+        let rewritten = rewrite_to_basis(original).unwrap();
+        assert!(is_in_basis(&rewritten), "rewrite left non-basis gates");
+        let u0 = original.unitary(params).unwrap();
+        let u1 = rewritten.unitary(params).unwrap();
+        assert!(
+            u1.approx_eq_up_to_phase(&u0, 1e-9),
+            "unitaries differ after basis rewrite"
+        );
+    }
+
+    #[test]
+    fn hadamard_is_rz_sx_rz() {
+        let mut b = CircuitBuilder::new(1);
+        b.h(0);
+        let c = rewrite_to_basis(&b.build()).unwrap();
+        assert_eq!(c.len(), 3, "H should be RZ SX RZ, got {c}");
+        let angles: Vec<f64> = c
+            .gates()
+            .iter()
+            .filter_map(|g| g.angle().and_then(Angle::value))
+            .collect();
+        assert_eq!(angles.len(), 2);
+        for a in angles {
+            assert!((a - PI / 2.0).abs() < 1e-12, "angle {a}");
+        }
+        assert!(matches!(c.gates()[1], Gate::Sx(0)));
+        check_equivalent(&b.build(), &[]);
+    }
+
+    #[test]
+    fn fixed_rotations_over_angle_grid() {
+        for k in -8..=8 {
+            let t = k as f64 * PI / 7.0 + 0.05;
+            for gate in [Gate::Rx(0, Angle::Fixed(t)), Gate::Ry(0, Angle::Fixed(t))] {
+                let mut c = Circuit::new(1);
+                c.push(gate).unwrap();
+                check_equivalent(&c, &[]);
+            }
+        }
+    }
+
+    #[test]
+    fn special_angles_hit_shortcuts() {
+        // theta = 0 -> single RZ (or empty), theta = pi/2 -> single SX.
+        let mut c = Circuit::new(1);
+        c.push(Gate::Rx(0, Angle::Fixed(PI / 2.0))).unwrap();
+        let r = rewrite_to_basis(&c).unwrap();
+        assert_eq!(r.gates().iter().filter(|g| matches!(g, Gate::Sx(_))).count(), 1);
+        check_equivalent(&c, &[]);
+
+        let mut z = Circuit::new(1);
+        z.push(Gate::Ry(0, Angle::Fixed(0.0))).unwrap();
+        let rz = rewrite_to_basis(&z).unwrap();
+        assert_eq!(rz.g1_count(), 0, "RY(0) should produce no physical gates");
+    }
+
+    #[test]
+    fn every_fixed_gate_kind_is_equivalent() {
+        let gates = [
+            Gate::H(0),
+            Gate::X(0),
+            Gate::Y(0),
+            Gate::Z(0),
+            Gate::S(0),
+            Gate::Sdg(0),
+            Gate::Sx(0),
+            Gate::Rx(0, Angle::Fixed(0.3)),
+            Gate::Ry(0, Angle::Fixed(1.1)),
+            Gate::Rz(0, Angle::Fixed(-0.7)),
+        ];
+        for g in gates {
+            let mut c = Circuit::new(1);
+            c.push(g).unwrap();
+            check_equivalent(&c, &[]);
+        }
+    }
+
+    #[test]
+    fn two_qubit_composites_are_equivalent() {
+        for g in [
+            Gate::Cz(0, 1),
+            Gate::Swap(0, 1),
+            Gate::Rzz(0, 1, Angle::Fixed(0.9)),
+            Gate::Cx(1, 0),
+        ] {
+            let mut c = Circuit::new(2);
+            c.push(g).unwrap();
+            check_equivalent(&c, &[]);
+        }
+    }
+
+    #[test]
+    fn symbolic_rotations_stay_symbolic_and_correct() {
+        let mut b = CircuitBuilder::new(2);
+        b.ry_sym(0, 0).rx_sym(1, 1).rzz_sym(0, 1, 2);
+        let c = b.build();
+        let r = rewrite_to_basis(&c).unwrap();
+        assert!(is_in_basis(&r));
+        assert_eq!(r.num_params(), 3);
+        for params in [[0.3, -1.2, 0.8], [2.0, 0.0, -0.5], [PI, PI / 2.0, PI / 4.0]] {
+            let u0 = c.unitary(&params).unwrap();
+            let u1 = r.unitary(&params).unwrap();
+            assert!(u1.approx_eq_up_to_phase(&u0, 1e-9), "params {params:?}");
+        }
+    }
+
+    #[test]
+    fn paper_vqe_ansatz_rewrites_correctly() {
+        // Fig. 8 shape: RY layer, RZ layer, CX chain, RY, RZ on 4 qubits.
+        let mut b = CircuitBuilder::new(4);
+        let mut p = 0;
+        for q in 0..4 {
+            b.ry_sym(q, p);
+            p += 1;
+        }
+        for q in 0..4 {
+            b.rz_sym(q, p);
+            p += 1;
+        }
+        for q in 0..3 {
+            b.cx(q, q + 1);
+        }
+        for q in 0..4 {
+            b.ry_sym(q, p);
+            p += 1;
+        }
+        for q in 0..4 {
+            b.rz_sym(q, p);
+            p += 1;
+        }
+        let c = b.build();
+        let r = rewrite_to_basis(&c).unwrap();
+        assert!(is_in_basis(&r));
+        let params: Vec<f64> = (0..16).map(|i| 0.1 * i as f64 - 0.8).collect();
+        let u0 = c.unitary(&params).unwrap();
+        let u1 = r.unitary(&params).unwrap();
+        assert!(u1.approx_eq_up_to_phase(&u0, 1e-8));
+    }
+
+    #[test]
+    fn euler_angles_roundtrip_random_unitaries() {
+        // Deterministic pseudo-random SU(2) sampling.
+        let mut seed = 0x1234_5678_9abc_def0u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 11) as f64 / (1u64 << 53) as f64) * 2.0 * PI
+        };
+        for _ in 0..50 {
+            let (a, b, c) = (next(), next(), next());
+            let u = qsim::gates::rz(a) * qsim::gates::ry(b) * qsim::gates::rz(c);
+            let (theta, phi, lam) = euler_zyz(&u);
+            let rebuilt =
+                qsim::gates::rz(phi) * qsim::gates::ry(theta) * qsim::gates::rz(lam);
+            assert!(rebuilt.approx_eq_up_to_phase(&u, 1e-8));
+            // And the ZSX sequence matches too.
+            let mut circ = Circuit::new(1);
+            circ.extend(zsx_sequence(theta, phi, lam, 0)).unwrap();
+            assert!(circ.unitary(&[]).unwrap().approx_eq_up_to_phase(&u, 1e-8));
+        }
+    }
+
+    #[test]
+    fn norm_angle_range() {
+        assert!((norm_angle(3.0 * PI) - PI).abs() < 1e-12);
+        assert!((norm_angle(-3.0 * PI) - PI).abs() < 1e-12);
+        assert!(norm_angle(0.5).abs() - 0.5 < 1e-12);
+    }
+}

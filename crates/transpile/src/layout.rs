@@ -1,0 +1,492 @@
+//! Initial placement of logical qubits onto physical qubits.
+//!
+//! A [`Layout`] is an injective map `logical -> physical`. The quality of
+//! the initial layout decides how many SWAPs routing must insert, which
+//! feeds straight into the paper's Eq. 2 through the two-qubit gate count
+//! `G2`.
+
+use crate::topology::Topology;
+use qcircuit::Circuit;
+use std::fmt;
+
+/// An injective map from logical circuit qubits to physical device qubits.
+///
+/// # Examples
+///
+/// ```
+/// use transpile::layout::Layout;
+///
+/// let l = Layout::new(vec![2, 0, 1]).unwrap();
+/// assert_eq!(l.physical(0), 2);
+/// assert_eq!(l.logical(2), Some(0));
+/// assert_eq!(l.logical(5), None);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Layout {
+    log_to_phys: Vec<usize>,
+}
+
+/// Errors raised by layout construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LayoutError {
+    /// The same physical qubit was assigned twice.
+    DuplicatePhysical(usize),
+    /// The circuit needs more qubits than the device has.
+    DeviceTooSmall {
+        /// Logical qubits required.
+        needed: usize,
+        /// Physical qubits available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::DuplicatePhysical(q) => {
+                write!(f, "physical qubit {q} assigned to two logical qubits")
+            }
+            LayoutError::DeviceTooSmall { needed, available } => {
+                write!(f, "circuit needs {needed} qubits but device has {available}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+impl Layout {
+    /// Builds a layout from a `logical -> physical` vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::DuplicatePhysical`] if the map is not
+    /// injective.
+    pub fn new(log_to_phys: Vec<usize>) -> Result<Self, LayoutError> {
+        let mut seen = std::collections::HashSet::new();
+        for &p in &log_to_phys {
+            if !seen.insert(p) {
+                return Err(LayoutError::DuplicatePhysical(p));
+            }
+        }
+        Ok(Layout { log_to_phys })
+    }
+
+    /// The identity layout over the first `n` physical qubits.
+    pub fn trivial(n: usize) -> Self {
+        Layout {
+            log_to_phys: (0..n).collect(),
+        }
+    }
+
+    /// Number of logical qubits mapped.
+    pub fn num_logical(&self) -> usize {
+        self.log_to_phys.len()
+    }
+
+    /// Physical qubit hosting logical qubit `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    #[inline]
+    pub fn physical(&self, l: usize) -> usize {
+        self.log_to_phys[l]
+    }
+
+    /// Logical qubit hosted on physical qubit `p`, if any.
+    pub fn logical(&self, p: usize) -> Option<usize> {
+        self.log_to_phys.iter().position(|&x| x == p)
+    }
+
+    /// The raw `logical -> physical` vector.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.log_to_phys
+    }
+
+    /// Swaps the logical occupants of two physical qubits (router update
+    /// after a SWAP gate). Qubits not in the layout are ignored.
+    pub fn swap_physical(&mut self, pa: usize, pb: usize) {
+        let la = self.logical(pa);
+        let lb = self.logical(pb);
+        if let Some(l) = la {
+            self.log_to_phys[l] = pb;
+        }
+        if let Some(l) = lb {
+            self.log_to_phys[l] = pa;
+        }
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Layout[")?;
+        for (l, p) in self.log_to_phys.iter().enumerate() {
+            if l > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "q{l}->Q{p}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Layout selection strategy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LayoutStrategy {
+    /// Logical qubit `i` on physical qubit `i`.
+    Trivial,
+    /// Interaction-aware greedy placement (default): frequently
+    /// interacting logical qubits land on well-connected physical ones.
+    #[default]
+    Greedy,
+}
+
+/// Chooses an initial layout for `circuit` on `topology`.
+///
+/// The greedy strategy builds the logical interaction graph (edge weight =
+/// number of two-qubit gates between a pair), then grows a connected
+/// physical region from the highest-degree physical qubit, assigning the
+/// most-interacting logical qubits first, each placed to minimize the
+/// summed distance to its already-placed interaction partners.
+///
+/// # Errors
+///
+/// Returns [`LayoutError::DeviceTooSmall`] if the device has fewer qubits
+/// than the circuit.
+pub fn choose_layout(
+    circuit: &Circuit,
+    topology: &Topology,
+    strategy: LayoutStrategy,
+) -> Result<Layout, LayoutError> {
+    let n_log = circuit.num_qubits();
+    let n_phys = topology.num_qubits();
+    if n_log > n_phys {
+        return Err(LayoutError::DeviceTooSmall {
+            needed: n_log,
+            available: n_phys,
+        });
+    }
+    match strategy {
+        LayoutStrategy::Trivial => Ok(Layout::trivial(n_log)),
+        LayoutStrategy::Greedy => Ok(greedy_layout(circuit, topology)),
+    }
+}
+
+/// Noise-aware placement: like the greedy strategy, but physical qubits
+/// additionally pay their error rate, steering the circuit onto the
+/// cleanest connected region of the device.
+///
+/// `qubit_error[p]` is a per-physical-qubit badness figure (e.g. combined
+/// 1q-gate + readout error from a calibration snapshot); `cx_error(a, b)`
+/// scores an edge. The placement score of a candidate is
+/// `sum_partners weight * (distance + kappa_e * cx_error_along_first_hop)
+///  + kappa_q * qubit_error\[p\]`, with fixed `kappa` constants chosen so a
+/// percent of error trades against one SWAP hop.
+///
+/// # Errors
+///
+/// Returns [`LayoutError::DeviceTooSmall`] if the device is too small.
+///
+/// # Panics
+///
+/// Panics if `qubit_error.len() != topology.num_qubits()`.
+pub fn noise_aware_layout(
+    circuit: &Circuit,
+    topology: &Topology,
+    qubit_error: &[f64],
+    cx_error: &dyn Fn(usize, usize) -> f64,
+) -> Result<Layout, LayoutError> {
+    assert_eq!(
+        qubit_error.len(),
+        topology.num_qubits(),
+        "qubit_error must cover every physical qubit"
+    );
+    let n_log = circuit.num_qubits();
+    let n_phys = topology.num_qubits();
+    if n_log > n_phys {
+        return Err(LayoutError::DeviceTooSmall {
+            needed: n_log,
+            available: n_phys,
+        });
+    }
+    // One SWAP (3 CX) ~ a few percent of error: weigh errors so that a
+    // 1% error difference competes with ~0.5 hops of distance.
+    const KAPPA_QUBIT: f64 = 50.0;
+    const KAPPA_EDGE: f64 = 50.0;
+
+    let mut weight = vec![vec![0usize; n_log]; n_log];
+    for g in circuit.gates() {
+        let qs = g.qubits();
+        if qs.len() == 2 {
+            weight[qs[0]][qs[1]] += 1;
+            weight[qs[1]][qs[0]] += 1;
+        }
+    }
+    let mut order: Vec<usize> = (0..n_log).collect();
+    let strength = |l: usize| weight[l].iter().sum::<usize>();
+    order.sort_by(|&a, &b| strength(b).cmp(&strength(a)).then(a.cmp(&b)));
+
+    // Seed: the cleanest well-connected qubit.
+    let seed = (0..n_phys)
+        .min_by(|&a, &b| {
+            let sa = qubit_error[a] - 0.002 * topology.degree(a) as f64;
+            let sb = qubit_error[b] - 0.002 * topology.degree(b) as f64;
+            sa.total_cmp(&sb)
+        })
+        .unwrap_or(0);
+
+    let mut assignment = vec![usize::MAX; n_log];
+    let mut used = vec![false; n_phys];
+    for &l in &order {
+        let mut best: Option<(f64, usize)> = None;
+        for p in 0..n_phys {
+            if used[p] {
+                continue;
+            }
+            let mut score = KAPPA_QUBIT * qubit_error[p];
+            let mut connected = false;
+            for other in 0..n_log {
+                if weight[l][other] > 0 && assignment[other] != usize::MAX {
+                    let q = assignment[other];
+                    let d = topology.distance(p, q);
+                    if d == usize::MAX {
+                        score += 1e9;
+                    } else {
+                        let edge_err = if d == 1 { cx_error(p, q) } else { 0.02 };
+                        score += weight[l][other] as f64 * (d as f64 + KAPPA_EDGE * edge_err);
+                    }
+                    connected = true;
+                }
+            }
+            if !connected {
+                let d = topology.distance(p, seed);
+                score += if d == usize::MAX { 1e9 } else { d as f64 };
+            }
+            match best {
+                Some((s, _)) if s <= score => {}
+                _ => best = Some((score, p)),
+            }
+        }
+        let (_, p) = best.expect("device has enough qubits");
+        assignment[l] = p;
+        used[p] = true;
+    }
+    Ok(Layout {
+        log_to_phys: assignment,
+    })
+}
+
+fn greedy_layout(circuit: &Circuit, topology: &Topology) -> Layout {
+    let n_log = circuit.num_qubits();
+    let n_phys = topology.num_qubits();
+
+    // Logical interaction weights.
+    let mut weight = vec![vec![0usize; n_log]; n_log];
+    for g in circuit.gates() {
+        let qs = g.qubits();
+        if qs.len() == 2 {
+            weight[qs[0]][qs[1]] += 1;
+            weight[qs[1]][qs[0]] += 1;
+        }
+    }
+    // Order logical qubits by total interaction, descending; ties by index
+    // for determinism.
+    let mut order: Vec<usize> = (0..n_log).collect();
+    let strength = |l: usize| weight[l].iter().sum::<usize>();
+    order.sort_by(|&a, &b| strength(b).cmp(&strength(a)).then(a.cmp(&b)));
+
+    // Seed: highest-degree physical qubit.
+    let seed = (0..n_phys)
+        .max_by_key(|&p| (topology.degree(p), usize::MAX - p))
+        .unwrap_or(0);
+
+    let mut assignment = vec![usize::MAX; n_log];
+    let mut used = vec![false; n_phys];
+
+    for &l in &order {
+        // Candidate physical qubits: unused; score by summed distance to
+        // already-placed partners (weighted), falling back to closeness to
+        // the seed for the first placement.
+        let mut best: Option<(usize, usize)> = None; // (score, phys)
+        for p in 0..n_phys {
+            if used[p] {
+                continue;
+            }
+            let mut score = 0usize;
+            let mut connected = false;
+            for other in 0..n_log {
+                if weight[l][other] > 0 && assignment[other] != usize::MAX {
+                    let d = topology.distance(p, assignment[other]);
+                    if d == usize::MAX {
+                        score = usize::MAX / 2;
+                    } else {
+                        score += weight[l][other] * d;
+                    }
+                    connected = true;
+                }
+            }
+            if !connected {
+                // No placed partner yet: stay close to the seed region.
+                let d = topology.distance(p, seed);
+                score = if d == usize::MAX { usize::MAX / 2 } else { d };
+            }
+            match best {
+                Some((s, _)) if s <= score => {}
+                _ => best = Some((score, p)),
+            }
+        }
+        let (_, p) = best.expect("device has enough qubits");
+        assignment[l] = p;
+        used[p] = true;
+    }
+    Layout {
+        log_to_phys: assignment,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcircuit::CircuitBuilder;
+
+    fn ring_circuit(n: usize) -> Circuit {
+        let mut b = CircuitBuilder::new(n);
+        for q in 0..n {
+            b.cx(q, (q + 1) % n);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn layout_injectivity_enforced() {
+        assert_eq!(
+            Layout::new(vec![0, 1, 0]),
+            Err(LayoutError::DuplicatePhysical(0))
+        );
+        assert!(Layout::new(vec![3, 1, 2]).is_ok());
+    }
+
+    #[test]
+    fn trivial_layout_is_identity() {
+        let l = Layout::trivial(4);
+        for q in 0..4 {
+            assert_eq!(l.physical(q), q);
+            assert_eq!(l.logical(q), Some(q));
+        }
+    }
+
+    #[test]
+    fn swap_physical_updates_both_sides() {
+        let mut l = Layout::new(vec![0, 2]).unwrap();
+        l.swap_physical(0, 2);
+        assert_eq!(l.physical(0), 2);
+        assert_eq!(l.physical(1), 0);
+        // Swapping with an unoccupied physical qubit moves one occupant.
+        l.swap_physical(2, 4);
+        assert_eq!(l.physical(0), 4);
+    }
+
+    #[test]
+    fn rejects_too_small_device() {
+        let c = ring_circuit(6);
+        let t = Topology::line(5);
+        assert!(matches!(
+            choose_layout(&c, &t, LayoutStrategy::Greedy),
+            Err(LayoutError::DeviceTooSmall { needed: 6, available: 5 })
+        ));
+    }
+
+    #[test]
+    fn greedy_layout_is_injective_and_total() {
+        let c = ring_circuit(4);
+        for t in [
+            Topology::line(5),
+            Topology::t_shape(),
+            Topology::fully_connected(5),
+            Topology::h_shape(),
+            Topology::heavy_hex_27(),
+        ] {
+            let l = choose_layout(&c, &t, LayoutStrategy::Greedy).unwrap();
+            assert_eq!(l.num_logical(), 4);
+            let mut phys: Vec<usize> = l.as_slice().to_vec();
+            phys.sort_unstable();
+            phys.dedup();
+            assert_eq!(phys.len(), 4, "layout must be injective on {}", t.name());
+            assert!(phys.iter().all(|&p| p < t.num_qubits()));
+        }
+    }
+
+    #[test]
+    fn greedy_beats_trivial_on_offset_line() {
+        // Circuit entangles qubit 0 with qubit 3 heavily; on a line the
+        // greedy layout should place them closer than |0-3| if possible.
+        let mut b = CircuitBuilder::new(4);
+        for _ in 0..5 {
+            b.cx(0, 3);
+        }
+        let c = b.build();
+        let t = Topology::line(6);
+        let l = choose_layout(&c, &t, LayoutStrategy::Greedy).unwrap();
+        let d = t.distance(l.physical(0), l.physical(3));
+        assert_eq!(d, 1, "heavily interacting pair should be adjacent: {l}");
+    }
+
+    #[test]
+    fn noise_aware_avoids_bad_qubits() {
+        // A 2-qubit circuit on a 5-qubit line where qubits 0-2 are bad:
+        // the noise-aware layout must land on the clean 3-4 pair.
+        let mut b = CircuitBuilder::new(2);
+        b.cx(0, 1);
+        let c = b.build();
+        let t = Topology::line(5);
+        let errors = [0.08, 0.09, 0.07, 0.002, 0.003];
+        let layout = noise_aware_layout(&c, &t, &errors, &|_, _| 0.01).unwrap();
+        let placed: std::collections::HashSet<usize> =
+            layout.as_slice().iter().copied().collect();
+        assert!(
+            placed.contains(&3) && placed.contains(&4),
+            "expected clean pair 3-4, got {layout}"
+        );
+    }
+
+    #[test]
+    fn noise_aware_prefers_clean_edges() {
+        // Ring of 4 where edge (0,1) is terrible: avoid pairing across it.
+        let mut b = CircuitBuilder::new(2);
+        b.cx(0, 1);
+        let c = b.build();
+        let t = Topology::ring(4);
+        let layout = noise_aware_layout(&c, &t, &[0.01; 4], &|a, b| {
+            if (a.min(b), a.max(b)) == (0, 1) {
+                0.2
+            } else {
+                0.005
+            }
+        })
+        .unwrap();
+        let pa = layout.physical(0).min(layout.physical(1));
+        let pb = layout.physical(0).max(layout.physical(1));
+        assert_ne!((pa, pb), (0, 1), "should avoid the noisy edge");
+        assert!(t.are_adjacent(pa, pb), "pair must still be coupled");
+    }
+
+    #[test]
+    fn noise_aware_respects_device_size() {
+        let c = ring_circuit(6);
+        let t = Topology::line(5);
+        assert!(matches!(
+            noise_aware_layout(&c, &t, &[0.01; 5], &|_, _| 0.01),
+            Err(LayoutError::DeviceTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn greedy_is_deterministic() {
+        let c = ring_circuit(4);
+        let t = Topology::t_shape();
+        let a = choose_layout(&c, &t, LayoutStrategy::Greedy).unwrap();
+        let b = choose_layout(&c, &t, LayoutStrategy::Greedy).unwrap();
+        assert_eq!(a, b);
+    }
+}

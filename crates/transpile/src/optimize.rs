@@ -1,0 +1,275 @@
+//! Peephole optimization of basis circuits.
+//!
+//! Every physical gate removed is error avoided (Eq. 2's `(1-gamma)^G1
+//! (1-beta)^G2` terms), so after basis rewriting the transpiler runs a
+//! small fixpoint peephole pass:
+//!
+//! * drop fixed `RZ(0 mod 2pi)`;
+//! * merge adjacent RZs on the same qubit (fixed+fixed, fixed+symbolic);
+//! * cancel adjacent self-inverse pairs (`X X`, `H H`, `CX CX`,
+//!   `SWAP SWAP`, `CZ CZ`);
+//! * fuse `SX SX -> X`.
+
+use qcircuit::{Angle, Circuit, CircuitError, Gate};
+use std::f64::consts::PI;
+
+const EPS: f64 = 1e-10;
+
+fn is_zero_rz(g: &Gate) -> bool {
+    if let Gate::Rz(_, Angle::Fixed(a)) = g {
+        let r = a.rem_euclid(2.0 * PI);
+        r < EPS || (2.0 * PI - r) < EPS
+    } else {
+        false
+    }
+}
+
+/// Attempts to merge two adjacent RZs on the same qubit into one.
+fn merge_rz(a: &Gate, b: &Gate) -> Option<Gate> {
+    match (a, b) {
+        (Gate::Rz(q1, x), Gate::Rz(q2, y)) if q1 == q2 => match (x, y) {
+            (Angle::Fixed(u), Angle::Fixed(v)) => Some(Gate::Rz(*q1, Angle::Fixed(u + v))),
+            (Angle::Fixed(u), sym) if sym.is_symbolic() => {
+                Some(Gate::Rz(*q1, sym.shifted(*u)))
+            }
+            (sym, Angle::Fixed(v)) if sym.is_symbolic() => {
+                Some(Gate::Rz(*q1, sym.shifted(*v)))
+            }
+            _ => None, // symbolic + symbolic: left alone
+        },
+        _ => None,
+    }
+}
+
+/// Returns `true` if the two gates are an adjacent self-inverse pair.
+fn cancels(a: &Gate, b: &Gate) -> bool {
+    match (a, b) {
+        (Gate::X(p), Gate::X(q)) | (Gate::H(p), Gate::H(q)) => p == q,
+        (Gate::Cx(c1, t1), Gate::Cx(c2, t2)) => c1 == c2 && t1 == t2,
+        (Gate::Cz(a1, b1), Gate::Cz(a2, b2)) | (Gate::Swap(a1, b1), Gate::Swap(a2, b2)) => {
+            (a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2)
+        }
+        _ => false,
+    }
+}
+
+/// Returns `Some(fused)` if the two gates fuse into one (`SX SX -> X`).
+fn fuses(a: &Gate, b: &Gate) -> Option<Gate> {
+    match (a, b) {
+        (Gate::Sx(p), Gate::Sx(q)) if p == q => Some(Gate::X(*p)),
+        _ => merge_rz(a, b),
+    }
+}
+
+/// One peephole sweep. Returns the rewritten gate list and whether
+/// anything changed.
+fn sweep(gates: &[Gate], n_qubits: usize) -> (Vec<Gate>, bool) {
+    let mut out: Vec<Gate> = Vec::with_capacity(gates.len());
+    // last_touch[q] = index in `out` of the last gate touching q.
+    let mut last_touch: Vec<Option<usize>> = vec![None; n_qubits];
+    let mut changed = false;
+
+    for g in gates {
+        if is_zero_rz(g) {
+            changed = true;
+            continue;
+        }
+        let qs = g.qubits();
+        // The candidate predecessor must be the last gate on *all* of g's
+        // qubits, otherwise something interleaves.
+        let pred_idx = qs
+            .iter()
+            .map(|&q| last_touch[q])
+            .collect::<Option<Vec<usize>>>()
+            .and_then(|v| {
+                if v.windows(2).all(|w| w[0] == w[1]) {
+                    Some(v[0])
+                } else {
+                    None
+                }
+            });
+        // A 1q gate may only pair with a predecessor that is itself 1q on
+        // the same qubit; a 2q gate's predecessor must cover exactly the
+        // same qubit pair (guaranteed by last_touch agreement + qubit sets).
+        if let Some(pi) = pred_idx {
+            let pred = out[pi];
+            let same_support = {
+                let mut a = pred.qubits();
+                let mut b = qs.clone();
+                a.sort_unstable();
+                b.sort_unstable();
+                a == b
+            };
+            if same_support {
+                if cancels(&pred, g) {
+                    // Remove predecessor, skip g.
+                    out.remove(pi);
+                    changed = true;
+                    rebuild_last_touch(&out, &mut last_touch);
+                    continue;
+                }
+                if let Some(fused) = fuses(&pred, g) {
+                    if is_zero_rz(&fused) {
+                        out.remove(pi);
+                    } else {
+                        out[pi] = fused;
+                    }
+                    changed = true;
+                    rebuild_last_touch(&out, &mut last_touch);
+                    continue;
+                }
+            }
+        }
+        for &q in &qs {
+            last_touch[q] = Some(out.len());
+        }
+        out.push(*g);
+    }
+    (out, changed)
+}
+
+fn rebuild_last_touch(out: &[Gate], last_touch: &mut [Option<usize>]) {
+    for s in last_touch.iter_mut() {
+        *s = None;
+    }
+    for (i, g) in out.iter().enumerate() {
+        for q in g.qubits() {
+            last_touch[q] = Some(i);
+        }
+    }
+}
+
+/// Runs peephole sweeps to fixpoint (bounded at 20 iterations).
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] from circuit reconstruction (cannot occur
+/// for well-formed inputs).
+pub fn optimize(circuit: &Circuit) -> Result<Circuit, CircuitError> {
+    let mut gates = circuit.gates().to_vec();
+    for _ in 0..20 {
+        let (next, changed) = sweep(&gates, circuit.num_qubits());
+        gates = next;
+        if !changed {
+            break;
+        }
+    }
+    let mut out = Circuit::new(circuit.num_qubits());
+    out.extend(gates)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcircuit::CircuitBuilder;
+
+    fn optimize_builder(b: &CircuitBuilder) -> Circuit {
+        optimize(&b.build()).unwrap()
+    }
+
+    #[test]
+    fn zero_rz_dropped() {
+        let mut b = CircuitBuilder::new(1);
+        b.rz(0, 0.0).rz(0, 2.0 * PI).sx(0);
+        let c = optimize_builder(&b);
+        assert_eq!(c.len(), 1);
+        assert!(matches!(c.gates()[0], Gate::Sx(0)));
+    }
+
+    #[test]
+    fn adjacent_rz_merge() {
+        let mut b = CircuitBuilder::new(1);
+        b.rz(0, 0.3).rz(0, 0.4);
+        let c = optimize_builder(&b);
+        assert_eq!(c.len(), 1);
+        assert!(matches!(c.gates()[0], Gate::Rz(0, Angle::Fixed(a)) if (a - 0.7).abs() < 1e-12));
+    }
+
+    #[test]
+    fn rz_merge_to_zero_disappears() {
+        let mut b = CircuitBuilder::new(1);
+        b.rz(0, 0.5).rz(0, -0.5);
+        assert!(optimize_builder(&b).is_empty());
+    }
+
+    #[test]
+    fn symbolic_rz_absorbs_fixed_neighbor() {
+        let mut b = CircuitBuilder::new(1);
+        b.rz(0, 0.25).rz_sym(0, 0);
+        let c = optimize_builder(&b);
+        assert_eq!(c.len(), 1);
+        let a = c.gates()[0].angle().unwrap();
+        assert!((a.resolve(&[1.0]) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_pairs_cancel_and_sx_fuses() {
+        let mut b = CircuitBuilder::new(1);
+        b.x(0).x(0).sx(0).sx(0);
+        let c = optimize_builder(&b);
+        // X X -> gone; SX SX -> X.
+        assert_eq!(c.gates(), &[Gate::X(0)]);
+    }
+
+    #[test]
+    fn cx_pairs_cancel_only_same_orientation() {
+        let mut b = CircuitBuilder::new(2);
+        b.cx(0, 1).cx(0, 1);
+        assert!(optimize_builder(&b).is_empty());
+
+        let mut b2 = CircuitBuilder::new(2);
+        b2.cx(0, 1).cx(1, 0);
+        assert_eq!(optimize_builder(&b2).len(), 2);
+    }
+
+    #[test]
+    fn interleaved_gate_blocks_cancellation() {
+        let mut b = CircuitBuilder::new(2);
+        b.cx(0, 1).x(0).cx(0, 1);
+        assert_eq!(optimize_builder(&b).len(), 3);
+        // But an interleaved gate on an unrelated qubit does not block 1q merging.
+        let mut b2 = CircuitBuilder::new(2);
+        b2.rz(0, 0.1).x(1).rz(0, 0.2);
+        let c = optimize_builder(&b2);
+        assert_eq!(c.g1_count(), 1); // the X
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn optimization_preserves_unitary() {
+        let mut b = CircuitBuilder::new(3);
+        b.h(0)
+            .h(0)
+            .sx(1)
+            .sx(1)
+            .rz(1, 0.4)
+            .rz(1, -0.1)
+            .cx(0, 1)
+            .cx(0, 1)
+            .cx(1, 2)
+            .rz(2, 2.0 * PI)
+            .x(2);
+        let orig = b.build();
+        let opt = optimize(&orig).unwrap();
+        assert!(opt.len() < orig.len());
+        let u0 = orig.unitary(&[]).unwrap();
+        let u1 = opt.unitary(&[]).unwrap();
+        assert!(u1.approx_eq_up_to_phase(&u0, 1e-9));
+    }
+
+    #[test]
+    fn cascade_cancellation() {
+        // SX SX SX SX -> X X -> nothing.
+        let mut b = CircuitBuilder::new(1);
+        b.sx(0).sx(0).sx(0).sx(0);
+        assert!(optimize_builder(&b).is_empty());
+    }
+
+    #[test]
+    fn swap_pair_cancels_regardless_of_operand_order() {
+        let mut b = CircuitBuilder::new(2);
+        b.swap(0, 1).swap(1, 0);
+        assert!(optimize_builder(&b).is_empty());
+    }
+}

@@ -1,0 +1,282 @@
+//! SWAP-insertion routing.
+//!
+//! Turns a logical circuit into a physical one that only applies two-qubit
+//! gates across coupled pairs, inserting SWAP chains along BFS shortest
+//! paths (Section II-A of the paper: "the qubits must be moved next to
+//! each other using SWAP-gates ... a costly operation").
+
+use crate::layout::Layout;
+use crate::topology::Topology;
+use qcircuit::{Circuit, CircuitError, Gate};
+use std::fmt;
+
+/// Routing strategy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RoutingStrategy {
+    /// Walk the full shortest path, swapping the first operand toward the
+    /// second until adjacent (default).
+    #[default]
+    ShortestPath,
+    /// Meet in the middle: alternate swaps from both endpoints. Fewer
+    /// timeline stalls on long paths; same swap count. Kept as an ablation.
+    MeetInMiddle,
+}
+
+/// The result of routing: a physical-width circuit plus layout tracking.
+#[derive(Clone, Debug)]
+pub struct Routed {
+    /// Physical circuit (width = device size) containing only gates on
+    /// coupled pairs.
+    pub circuit: Circuit,
+    /// Layout at circuit start.
+    pub initial_layout: Layout,
+    /// Layout after all routing swaps: logical qubit `l` is measured on
+    /// physical qubit `final_layout.physical(l)`.
+    pub final_layout: Layout,
+    /// Number of SWAP gates inserted.
+    pub swaps_inserted: usize,
+}
+
+/// Errors raised by routing.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RouteError {
+    /// The topology cannot connect two qubits the circuit entangles.
+    Disconnected(usize, usize),
+    /// Rebuilding the physical circuit failed (should not happen for
+    /// well-formed inputs).
+    Circuit(CircuitError),
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::Disconnected(a, b) => {
+                write!(f, "no path between physical qubits {a} and {b}")
+            }
+            RouteError::Circuit(e) => write!(f, "routing produced invalid circuit: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+impl From<CircuitError> for RouteError {
+    fn from(e: CircuitError) -> Self {
+        RouteError::Circuit(e)
+    }
+}
+
+/// Routes `circuit` onto `topology` starting from `layout`.
+///
+/// Every emitted gate acts on physical qubits; two-qubit gates only on
+/// coupled pairs. The layout is updated through inserted SWAPs so
+/// measurement remapping stays consistent.
+///
+/// # Errors
+///
+/// Returns [`RouteError::Disconnected`] if two entangled qubits have no
+/// path in the coupling graph.
+pub fn route(
+    circuit: &Circuit,
+    topology: &Topology,
+    layout: &Layout,
+    strategy: RoutingStrategy,
+) -> Result<Routed, RouteError> {
+    let mut physical = Circuit::new(topology.num_qubits());
+    let mut current = layout.clone();
+    let mut swaps = 0usize;
+
+    for gate in circuit.gates() {
+        let qs = gate.qubits();
+        match qs[..] {
+            [l] => {
+                physical.push(gate.map_qubits(|_| current.physical(l)))?;
+            }
+            [la, lb] => {
+                let mut pa = current.physical(la);
+                let mut pb = current.physical(lb);
+                while !topology.are_adjacent(pa, pb) {
+                    let path = topology
+                        .shortest_path(pa, pb)
+                        .ok_or(RouteError::Disconnected(pa, pb))?;
+                    debug_assert!(path.len() >= 3, "non-adjacent implies path length >= 3");
+                    match strategy {
+                        RoutingStrategy::ShortestPath => {
+                            // Move the first operand one hop toward the second.
+                            let next = path[1];
+                            physical.push(Gate::Swap(pa, next))?;
+                            current.swap_physical(pa, next);
+                            swaps += 1;
+                        }
+                        RoutingStrategy::MeetInMiddle => {
+                            // Swap from whichever side has the longer
+                            // remaining path; alternate on ties.
+                            let next_a = path[1];
+                            let next_b = path[path.len() - 2];
+                            if swaps % 2 == 0 {
+                                physical.push(Gate::Swap(pa, next_a))?;
+                                current.swap_physical(pa, next_a);
+                            } else {
+                                physical.push(Gate::Swap(pb, next_b))?;
+                                current.swap_physical(pb, next_b);
+                            }
+                            swaps += 1;
+                        }
+                    }
+                    pa = current.physical(la);
+                    pb = current.physical(lb);
+                }
+                physical.push(gate.map_qubits(|q| {
+                    if q == la {
+                        pa
+                    } else {
+                        pb
+                    }
+                }))?;
+            }
+            _ => unreachable!("gates are 1- or 2-qubit"),
+        }
+    }
+
+    Ok(Routed {
+        circuit: physical,
+        initial_layout: layout.clone(),
+        final_layout: current,
+        swaps_inserted: swaps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcircuit::CircuitBuilder;
+
+    fn check_respects_coupling(c: &Circuit, t: &Topology) {
+        for g in c.gates() {
+            let qs = g.qubits();
+            if qs.len() == 2 {
+                assert!(
+                    t.are_adjacent(qs[0], qs[1]),
+                    "gate {g} violates coupling on {}",
+                    t.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn already_adjacent_needs_no_swaps() {
+        let mut b = CircuitBuilder::new(2);
+        b.h(0).cx(0, 1);
+        let c = b.build();
+        let t = Topology::line(5);
+        let r = route(&c, &t, &Layout::trivial(2), RoutingStrategy::ShortestPath).unwrap();
+        assert_eq!(r.swaps_inserted, 0);
+        assert_eq!(r.circuit.g2_count(), 1);
+        assert_eq!(r.final_layout, Layout::trivial(2));
+    }
+
+    #[test]
+    fn distant_pair_gets_swap_chain() {
+        let mut b = CircuitBuilder::new(5);
+        b.cx(0, 4);
+        let c = b.build();
+        let t = Topology::line(5);
+        let r = route(&c, &t, &Layout::trivial(5), RoutingStrategy::ShortestPath).unwrap();
+        // Distance 4 -> 3 swaps to become adjacent.
+        assert_eq!(r.swaps_inserted, 3);
+        check_respects_coupling(&r.circuit, &t);
+        // Logical 0 has migrated.
+        assert_ne!(r.final_layout.physical(0), 0);
+    }
+
+    #[test]
+    fn routing_preserves_semantics_up_to_final_layout() {
+        // Run ideal simulations of logical and routed circuits and compare
+        // through the final layout permutation.
+        let mut b = CircuitBuilder::new(3);
+        b.h(0).cx(0, 2).ry(1, 0.7).cx(1, 2).cx(0, 1);
+        let c = b.build();
+        let t = Topology::line(3);
+        let r = route(&c, &t, &Layout::trivial(3), RoutingStrategy::ShortestPath).unwrap();
+        check_respects_coupling(&r.circuit, &t);
+
+        let logical_sv = c.run_statevector(&[]).unwrap();
+        let physical_sv = r.circuit.run_statevector(&[]).unwrap();
+        let log_probs = logical_sv.probabilities();
+        let phys_probs = physical_sv.probabilities();
+
+        // Compare each logical basis state with its physical image.
+        for basis in 0..(1usize << 3) {
+            let mut phys_basis = 0usize;
+            for l in 0..3 {
+                if basis >> l & 1 == 1 {
+                    phys_basis |= 1 << r.final_layout.physical(l);
+                }
+            }
+            assert!(
+                (log_probs[basis] - phys_probs[phys_basis]).abs() < 1e-10,
+                "probability mismatch at basis {basis:03b}"
+            );
+        }
+    }
+
+    #[test]
+    fn routes_on_every_table1_topology() {
+        // 4-qubit ring entangler (the paper's VQE circuit shape).
+        let mut b = CircuitBuilder::new(4);
+        for q in 0..4 {
+            b.cx(q, (q + 1) % 4);
+        }
+        let c = b.build();
+        for t in [
+            Topology::line(5),
+            Topology::t_shape(),
+            Topology::fully_connected(5),
+            Topology::bowtie(),
+            Topology::h_shape(),
+            Topology::heavy_hex_27(),
+            Topology::heavy_hex_65(),
+        ] {
+            let layout = Layout::trivial(4);
+            let r = route(&c, &t, &layout, RoutingStrategy::ShortestPath).unwrap();
+            check_respects_coupling(&r.circuit, &t);
+            // Fully connected: no swaps ever.
+            if t.name().starts_with("full") {
+                assert_eq!(r.swaps_inserted, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn meet_in_middle_matches_swap_count_on_line() {
+        let mut b = CircuitBuilder::new(5);
+        b.cx(0, 4);
+        let c = b.build();
+        let t = Topology::line(5);
+        let a = route(&c, &t, &Layout::trivial(5), RoutingStrategy::ShortestPath).unwrap();
+        let m = route(&c, &t, &Layout::trivial(5), RoutingStrategy::MeetInMiddle).unwrap();
+        assert_eq!(a.swaps_inserted, m.swaps_inserted);
+        check_respects_coupling(&m.circuit, &t);
+    }
+
+    #[test]
+    fn disconnected_topology_errors() {
+        let mut b = CircuitBuilder::new(4);
+        b.cx(0, 3);
+        let c = b.build();
+        let t = Topology::from_edges("disc", 4, &[(0, 1), (2, 3)]);
+        let err = route(&c, &t, &Layout::trivial(4), RoutingStrategy::ShortestPath);
+        assert!(matches!(err, Err(RouteError::Disconnected(..))));
+    }
+
+    #[test]
+    fn parameterized_gates_survive_routing() {
+        let mut b = CircuitBuilder::new(3);
+        b.ry_sym(0, 0).rzz_sym(0, 2, 1);
+        let c = b.build();
+        let t = Topology::line(3);
+        let r = route(&c, &t, &Layout::trivial(3), RoutingStrategy::ShortestPath).unwrap();
+        assert_eq!(r.circuit.num_params(), 2);
+    }
+}

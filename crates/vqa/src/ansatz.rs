@@ -1,0 +1,179 @@
+//! Parameterized circuit templates (ansaetze).
+//!
+//! * [`hardware_efficient`] — the paper's VQE circuit (Fig. 8): full
+//!   Bloch-sphere RY+RZ rotation layers around a linear CNOT entangler;
+//! * [`qaoa`] — the paper's QAOA circuit (Fig. 10): Hadamard
+//!   superposition, RZZ cost layer over the graph edges, RX mixer.
+
+use crate::graph::Graph;
+use qcircuit::{Circuit, CircuitBuilder};
+
+/// The hardware-efficient ansatz of Fig. 8 over `n` qubits:
+/// `RY(theta) RZ(theta)` on every qubit, a linear CNOT chain
+/// `CX(0,1) .. CX(n-2,n-1)`, then another `RY RZ` layer.
+///
+/// Parameter count is `4 n` (16 for the paper's 4-qubit circuit), indexed
+/// layer by layer: first RY layer `0..n`, first RZ layer `n..2n`, second
+/// RY layer `2n..3n`, second RZ layer `3n..4n`.
+///
+/// # Examples
+///
+/// ```
+/// use vqa::ansatz::hardware_efficient;
+///
+/// let c = hardware_efficient(4);
+/// assert_eq!(c.num_params(), 16);
+/// assert_eq!(c.g2_count(), 3);
+/// ```
+pub fn hardware_efficient(n: usize) -> Circuit {
+    hardware_efficient_layers(n, 1)
+}
+
+/// Generalization of [`hardware_efficient`] with `reps` entangling
+/// blocks; each block adds a CNOT chain plus an RY+RZ layer pair.
+/// Parameter count is `2 n (reps + 1)`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `reps == 0`.
+pub fn hardware_efficient_layers(n: usize, reps: usize) -> Circuit {
+    assert!(n >= 2, "ansatz needs at least 2 qubits");
+    assert!(reps >= 1, "need at least one entangling block");
+    let mut b = CircuitBuilder::new(n);
+    let mut p = 0;
+    let rotation_layer = |b: &mut CircuitBuilder, p: &mut usize| {
+        for q in 0..n {
+            b.ry_sym(q, *p);
+            *p += 1;
+        }
+        for q in 0..n {
+            b.rz_sym(q, *p);
+            *p += 1;
+        }
+    };
+    rotation_layer(&mut b, &mut p);
+    for _ in 0..reps {
+        for q in 0..n - 1 {
+            b.cx(q, q + 1);
+        }
+        rotation_layer(&mut b, &mut p);
+    }
+    b.build()
+}
+
+/// The QAOA ansatz of Fig. 10 for a MaxCut graph with `p` rounds:
+/// Hadamards, then per round an `RZZ(beta_k)` on every edge and an
+/// `RX(alpha_k)` on every qubit.
+///
+/// Parameters are ordered `[beta_1, alpha_1, beta_2, alpha_2, ...]`
+/// (`2 p` total; the paper uses `p = 1` for 2 parameters). Weighted edges
+/// scale their round's `beta` through an affine angle, preserving the
+/// parameter-shift chain rule.
+///
+/// # Panics
+///
+/// Panics if `p == 0` or the graph has no edges.
+pub fn qaoa(graph: &Graph, p: usize) -> Circuit {
+    use qcircuit::{Angle, Gate};
+    assert!(p >= 1, "QAOA needs at least one round");
+    assert!(graph.num_edges() > 0, "QAOA needs a non-empty edge set");
+    let n = graph.num_nodes();
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.push(Gate::H(q)).expect("valid qubit");
+    }
+    for round in 0..p {
+        let beta = 2 * round;
+        let alpha = 2 * round + 1;
+        for &(u, v, w) in graph.edges() {
+            let angle = if (w - 1.0).abs() < 1e-12 {
+                Angle::sym(beta)
+            } else {
+                // Weighted edge: angle = w * beta.
+                Angle::affine(beta, w, 0.0)
+            };
+            c.push(Gate::Rzz(u, v, angle)).expect("valid edge");
+        }
+        for q in 0..n {
+            c.push(Gate::Rx(q, Angle::sym(alpha))).expect("valid qubit");
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcircuit::Gate;
+
+    #[test]
+    fn fig8_shape() {
+        let c = hardware_efficient(4);
+        assert_eq!(c.num_qubits(), 4);
+        assert_eq!(c.num_params(), 16);
+        assert_eq!(c.g2_count(), 3); // CX(0,1) CX(1,2) CX(2,3)
+        // Gate order: 4 RY, 4 RZ, 3 CX, 4 RY, 4 RZ.
+        let names: Vec<&str> = c.gates().iter().map(|g| g.name()).collect();
+        assert_eq!(names[0..4], ["ry"; 4]);
+        assert_eq!(names[4..8], ["rz"; 4]);
+        assert_eq!(names[8..11], ["cx"; 3]);
+    }
+
+    #[test]
+    fn layered_ansatz_parameter_count() {
+        let c = hardware_efficient_layers(3, 2);
+        assert_eq!(c.num_params(), 2 * 3 * 3);
+        assert_eq!(c.g2_count(), 4);
+    }
+
+    #[test]
+    fn fig10_shape() {
+        let g = Graph::ring(4);
+        let c = qaoa(&g, 1);
+        assert_eq!(c.num_params(), 2);
+        // 4 H + 4 RZZ + 4 RX.
+        assert_eq!(c.len(), 12);
+        let rzz_count = c.gates().iter().filter(|g| matches!(g, Gate::Rzz(..))).count();
+        assert_eq!(rzz_count, 4);
+        // beta (param 0) appears once per edge.
+        assert_eq!(c.occurrences_of(qcircuit::ParamId(0)).len(), 4);
+        assert_eq!(c.occurrences_of(qcircuit::ParamId(1)).len(), 4);
+    }
+
+    #[test]
+    fn multi_round_qaoa() {
+        let c = qaoa(&Graph::ring(4), 3);
+        assert_eq!(c.num_params(), 6);
+    }
+
+    #[test]
+    fn qaoa_initial_state_is_uniform() {
+        let c = qaoa(&Graph::ring(4), 1);
+        // At beta = alpha = 0 the circuit is just Hadamards.
+        let sv = c.run_statevector(&[0.0, 0.0]).unwrap();
+        for p in sv.probabilities() {
+            assert!((p - 1.0 / 16.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weighted_qaoa_scales_beta() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, 2.0);
+        let c = qaoa(&g, 1);
+        let rzz = c
+            .gates()
+            .iter()
+            .find(|g| matches!(g, Gate::Rzz(..)))
+            .unwrap();
+        let a = rzz.angle().unwrap();
+        assert!((a.resolve(&[0.5, 0.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(a.gradient_scale(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn qaoa_rejects_zero_rounds() {
+        let _ = qaoa(&Graph::ring(4), 0);
+    }
+}

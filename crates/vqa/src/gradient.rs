@@ -1,0 +1,232 @@
+//! Gradient estimation.
+//!
+//! The paper's client nodes differentiate one parameter at a time with the
+//! parameter-shift rule (Algorithm 2): bind the circuit at
+//! `theta_i +/- pi/2` and take `(l_FWD - l_BCK) / 2`. All rotation gates
+//! in this workspace (`RX`, `RY`, `RZ`, `RZZ`) have generator `P/2` with
+//! `P^2 = I`, so the rule is exact with shift `pi/2` and factor `r = 1/2`.
+//!
+//! When a parameter appears in several gates (QAOA's `beta` sits on every
+//! edge) the exact derivative is the *sum over occurrences*, each shifted
+//! individually; [`shift_plan`] enumerates them, including the chain-rule
+//! factor for affine angles on weighted edges.
+//!
+//! [`finite_difference`] and [`spsa`] are kept as ablation baselines.
+
+use qcircuit::{Circuit, ParamId};
+use rand::Rng;
+
+/// The canonical parameter-shift offset.
+pub const SHIFT: f64 = std::f64::consts::FRAC_PI_2;
+
+/// One forward/backward circuit pair of the shift rule.
+#[derive(Clone, Debug)]
+pub struct ShiftPair {
+    /// Which occurrence (gate index in the source circuit) is shifted.
+    pub gate_index: usize,
+    /// Circuit bound at `+pi/2` on this occurrence.
+    pub forward: Circuit,
+    /// Circuit bound at `-pi/2` on this occurrence.
+    pub backward: Circuit,
+    /// Chain-rule factor `d(gate angle)/d(theta)` for this occurrence.
+    pub scale: f64,
+}
+
+/// Builds the shift-rule circuit pairs for `param` in `circuit` at the
+/// point `params`.
+///
+/// The derivative is then
+/// `d l / d theta = sum_pairs scale * (l(forward) - l(backward)) / 2`.
+///
+/// # Panics
+///
+/// Panics if `params` is shorter than the circuit's parameter count.
+pub fn shift_plan(circuit: &Circuit, param: ParamId, params: &[f64]) -> Vec<ShiftPair> {
+    circuit
+        .occurrences_of(param)
+        .into_iter()
+        .map(|idx| {
+            let scale = circuit.gates()[idx]
+                .angle()
+                .expect("occurrence is parameterized")
+                .gradient_scale();
+            ShiftPair {
+                gate_index: idx,
+                forward: circuit
+                    .bind_with_shift(params, idx, SHIFT)
+                    .expect("binding within parameter count"),
+                backward: circuit
+                    .bind_with_shift(params, idx, -SHIFT)
+                    .expect("binding within parameter count"),
+                scale,
+            }
+        })
+        .collect()
+}
+
+/// Combines per-pair loss evaluations into the derivative:
+/// `sum_k scale_k (l_fwd_k - l_bck_k) / 2`.
+///
+/// # Panics
+///
+/// Panics if the slices disagree in length.
+pub fn combine_shift_losses(pairs: &[ShiftPair], fwd: &[f64], bck: &[f64]) -> f64 {
+    assert_eq!(pairs.len(), fwd.len(), "forward losses mismatch");
+    assert_eq!(pairs.len(), bck.len(), "backward losses mismatch");
+    pairs
+        .iter()
+        .zip(fwd.iter().zip(bck))
+        .map(|(p, (f, b))| p.scale * (f - b) / 2.0)
+        .sum()
+}
+
+/// Exact gradient of a loss closure via the shift rule on the ideal
+/// simulator — the reference implementation used by tests and the ideal
+/// baseline trainer.
+pub fn shift_gradient<F>(circuit: &Circuit, params: &[f64], loss: F) -> Vec<f64>
+where
+    F: Fn(&Circuit) -> f64,
+{
+    (0..circuit.num_params())
+        .map(|i| {
+            let pairs = shift_plan(circuit, ParamId(i), params);
+            let fwd: Vec<f64> = pairs.iter().map(|p| loss(&p.forward)).collect();
+            let bck: Vec<f64> = pairs.iter().map(|p| loss(&p.backward)).collect();
+            combine_shift_losses(&pairs, &fwd, &bck)
+        })
+        .collect()
+}
+
+/// Central finite-difference gradient of a black-box loss (ablation
+/// baseline; biased at finite `eps`).
+pub fn finite_difference<F>(loss: F, params: &[f64], eps: f64) -> Vec<f64>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    let mut grad = Vec::with_capacity(params.len());
+    let mut work = params.to_vec();
+    for i in 0..params.len() {
+        work[i] = params[i] + eps;
+        let up = loss(&work);
+        work[i] = params[i] - eps;
+        let dn = loss(&work);
+        work[i] = params[i];
+        grad.push((up - dn) / (2.0 * eps));
+    }
+    grad
+}
+
+/// One SPSA gradient estimate: simultaneous random-direction perturbation
+/// with two loss evaluations regardless of dimension (ablation baseline).
+pub fn spsa<F, R>(loss: F, params: &[f64], c: f64, rng: &mut R) -> Vec<f64>
+where
+    F: Fn(&[f64]) -> f64,
+    R: Rng + ?Sized,
+{
+    let delta: Vec<f64> = (0..params.len())
+        .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+        .collect();
+    let up: Vec<f64> = params.iter().zip(&delta).map(|(p, d)| p + c * d).collect();
+    let dn: Vec<f64> = params.iter().zip(&delta).map(|(p, d)| p - c * d).collect();
+    let diff = (loss(&up) - loss(&dn)) / (2.0 * c);
+    delta.iter().map(|d| diff / d).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ansatz;
+    use crate::graph::Graph;
+    use crate::hamiltonians;
+    use qcircuit::pauli::Hamiltonian;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn energy(h: &Hamiltonian) -> impl Fn(&Circuit) -> f64 + '_ {
+        move |c: &Circuit| h.expectation(&c.run_statevector(&[]).expect("bound circuit"))
+    }
+
+    #[test]
+    fn single_qubit_analytic_gradient() {
+        // <Z> after RY(theta)|0> = cos(theta); d/dtheta = -sin(theta).
+        let mut c = qcircuit::Circuit::new(1);
+        c.push(qcircuit::Gate::Ry(0, qcircuit::Angle::sym(0))).unwrap();
+        let mut h = Hamiltonian::new(1);
+        h.add_label(1.0, "Z").unwrap();
+        for theta in [0.0, 0.4, 1.2, 2.8, -0.9] {
+            let g = shift_gradient(&c, &[theta], energy(&h));
+            assert!((g[0] + theta.sin()).abs() < 1e-10, "theta {theta}");
+        }
+    }
+
+    #[test]
+    fn shared_parameter_sums_occurrences() {
+        // QAOA beta appears on 4 edges; compare with finite differences.
+        let graph = Graph::ring(4);
+        let circ = ansatz::qaoa(&graph, 1);
+        let h = hamiltonians::maxcut(&graph);
+        let point = [0.7, 0.3];
+        let shift = shift_gradient(&circ, &point, energy(&h));
+        let fd = finite_difference(
+            |p| energy(&h)(&circ.bind(p).unwrap()),
+            &point,
+            1e-5,
+        );
+        for (a, b) in shift.iter().zip(&fd) {
+            assert!((a - b).abs() < 1e-6, "shift {a} vs fd {b}");
+        }
+    }
+
+    #[test]
+    fn vqe_ansatz_gradient_matches_finite_difference() {
+        let circ = ansatz::hardware_efficient(4);
+        let h = hamiltonians::heisenberg(&Graph::ring(4), 1.0, 1.0);
+        let point: Vec<f64> = (0..16).map(|i| 0.2 + 0.1 * i as f64).collect();
+        let shift = shift_gradient(&circ, &point, energy(&h));
+        let fd = finite_difference(|p| energy(&h)(&circ.bind(p).unwrap()), &point, 1e-5);
+        for (i, (a, b)) in shift.iter().zip(&fd).enumerate() {
+            assert!((a - b).abs() < 1e-5, "param {i}: shift {a} vs fd {b}");
+        }
+    }
+
+    #[test]
+    fn affine_scale_enters_chain_rule() {
+        // RY(2 theta): d<Z>/dtheta = -2 sin(2 theta).
+        let mut c = qcircuit::Circuit::new(1);
+        c.push(qcircuit::Gate::Ry(0, qcircuit::Angle::affine(0, 2.0, 0.0)))
+            .unwrap();
+        let mut h = Hamiltonian::new(1);
+        h.add_label(1.0, "Z").unwrap();
+        let theta = 0.6;
+        let g = shift_gradient(&c, &[theta], energy(&h));
+        assert!((g[0] + 2.0 * (2.0 * theta).sin()).abs() < 1e-10, "got {}", g[0]);
+    }
+
+    #[test]
+    fn combine_shift_losses_validates_lengths() {
+        let c = ansatz::hardware_efficient(2);
+        let pairs = shift_plan(&c, ParamId(0), &vec![0.0; c.num_params()]);
+        assert_eq!(pairs.len(), 1);
+        let result = std::panic::catch_unwind(|| combine_shift_losses(&pairs, &[1.0, 2.0], &[0.0]));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn spsa_is_unbiased_on_quadratic() {
+        // loss = sum x^2: gradient 2x; SPSA averages to it.
+        let loss = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+        let point = [1.0, -2.0, 0.5];
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut acc = vec![0.0; 3];
+        let n = 4000;
+        for _ in 0..n {
+            for (a, g) in acc.iter_mut().zip(spsa(loss, &point, 1e-3, &mut rng)) {
+                *a += g / n as f64;
+            }
+        }
+        let expect = [2.0, -4.0, 1.0];
+        for (a, e) in acc.iter().zip(&expect) {
+            assert!((a - e).abs() < 0.15, "spsa mean {a} vs {e}");
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Undirected weighted graphs for combinatorial workloads.
+//!
+//! The paper's QAOA evaluation runs MaxCut over the 4-node cycle
+//! `V = [1,2,3,4], E = [(1,2),(2,3),(3,4),(1,4)]` (Section V-E); the same
+//! graph doubles as the VQE square lattice (Section V-B).
+
+use std::fmt;
+
+/// An undirected graph with positive edge weights.
+///
+/// # Examples
+///
+/// ```
+/// use vqa::graph::Graph;
+///
+/// let g = Graph::ring(4);
+/// assert_eq!(g.num_edges(), 4);
+/// // Alternating partition cuts every edge of an even ring.
+/// assert_eq!(g.cut_value(0b0101), 4.0);
+/// let (best, _) = g.max_cut_brute_force();
+/// assert_eq!(best, 4.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Graph {
+    n: usize,
+    edges: Vec<(usize, usize, f64)>,
+}
+
+impl Graph {
+    /// Creates an empty graph over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Graph { n, edges: Vec::new() }
+    }
+
+    /// The `n`-cycle with unit weights (the paper's evaluation graph for
+    /// `n = 4`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 3, "ring needs at least 3 nodes");
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n, 1.0);
+        }
+        g
+    }
+
+    /// The complete graph with unit weights.
+    pub fn complete(n: usize) -> Self {
+        let mut g = Graph::new(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                g.add_edge(a, b, 1.0);
+            }
+        }
+        g
+    }
+
+    /// Builds a graph from unit-weight edges.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = Graph::new(n);
+        for &(a, b) in edges {
+            g.add_edge(a, b, 1.0);
+        }
+        g
+    }
+
+    /// Adds an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops, out-of-range nodes or non-positive weights.
+    pub fn add_edge(&mut self, a: usize, b: usize, weight: f64) {
+        assert!(a != b, "self-loop on node {a}");
+        assert!(a < self.n && b < self.n, "edge ({a},{b}) out of range");
+        assert!(weight > 0.0, "edge weights must be positive");
+        self.edges.push((a.min(b), a.max(b), weight));
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Total edge weight.
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.2).sum()
+    }
+
+    /// Edge list as `(a, b, weight)` with `a < b`.
+    pub fn edges(&self) -> &[(usize, usize, f64)] {
+        &self.edges
+    }
+
+    /// The cut value of a partition: node `i` is in set 1 iff bit `i` of
+    /// `assignment` is set. Counts the weight of edges crossing the cut
+    /// (Eq. 5 of the paper).
+    pub fn cut_value(&self, assignment: u64) -> f64 {
+        self.edges
+            .iter()
+            .filter(|&&(a, b, _)| (assignment >> a & 1) != (assignment >> b & 1))
+            .map(|e| e.2)
+            .sum()
+    }
+
+    /// Exhaustive MaxCut: returns `(best_value, best_assignment)`.
+    /// Exponential in node count — verification-sized graphs only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 24`.
+    pub fn max_cut_brute_force(&self) -> (f64, u64) {
+        assert!(self.n <= 24, "brute force capped at 24 nodes");
+        let mut best = (0.0f64, 0u64);
+        for m in 0..(1u64 << self.n) {
+            let v = self.cut_value(m);
+            if v > best.0 {
+                best = (v, m);
+            }
+        }
+        best
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph[{} nodes, {} edges]", self.n, self.edges.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring4_matches_paper_graph() {
+        let g = Graph::ring(4);
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(
+            g.edges().iter().map(|&(a, b, _)| (a, b)).collect::<Vec<_>>(),
+            vec![(0, 1), (1, 2), (2, 3), (0, 3)]
+        );
+    }
+
+    #[test]
+    fn cut_values() {
+        let g = Graph::ring(4);
+        assert_eq!(g.cut_value(0b0000), 0.0);
+        assert_eq!(g.cut_value(0b0001), 2.0);
+        assert_eq!(g.cut_value(0b0011), 2.0);
+        assert_eq!(g.cut_value(0b0101), 4.0);
+    }
+
+    #[test]
+    fn brute_force_on_known_graphs() {
+        assert_eq!(Graph::ring(4).max_cut_brute_force().0, 4.0);
+        assert_eq!(Graph::ring(5).max_cut_brute_force().0, 4.0);
+        // K4: best cut is 2+2 -> 4 edges crossing.
+        assert_eq!(Graph::complete(4).max_cut_brute_force().0, 4.0);
+    }
+
+    #[test]
+    fn weighted_cut() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 2.5);
+        g.add_edge(1, 2, 1.0);
+        assert_eq!(g.cut_value(0b010), 3.5);
+        assert_eq!(g.total_weight(), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        Graph::new(2).add_edge(1, 1, 1.0);
+    }
+}

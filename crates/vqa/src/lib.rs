@@ -1,0 +1,35 @@
+//! # vqa — variational quantum algorithm layer of the EQC reproduction
+//!
+//! Everything the paper's workloads need above the circuit IR:
+//!
+//! * [`graph`] — MaxCut/lattice graphs with brute-force verification;
+//! * [`hamiltonians`] — the paper's Heisenberg (Eq. 3) and MaxCut (Eq. 7)
+//!   Hamiltonians plus TFIM/H2 extension workloads;
+//! * [`ansatz`] — the Fig. 8 hardware-efficient and Fig. 10 QAOA circuits;
+//! * [`gradient`] — the parameter-shift rule (per-occurrence, affine-aware)
+//!   with finite-difference and SPSA ablation baselines;
+//! * [`problem`] — the [`problem::VqaProblem`] abstraction with the
+//!   paper's three task decompositions (Pauli string / parameter / data
+//!   point, Section III-A).
+//!
+//! ```
+//! use vqa::problem::{VqaProblem, VqeProblem};
+//!
+//! let p = VqeProblem::heisenberg_4q();
+//! let theta = p.initial_point(42);
+//! let e = p.ideal_loss(&theta);
+//! assert!(e > p.reference_minimum());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ansatz;
+pub mod gradient;
+pub mod graph;
+pub mod hamiltonians;
+pub mod problem;
+
+pub use graph::Graph;
+pub use problem::{
+    GradientTask, QaoaProblem, QnnProblem, TaskGranularity, TaskSlice, VqaProblem, VqeProblem,
+};

@@ -1,0 +1,117 @@
+//! Property-based tests of the VQA layer.
+
+use proptest::prelude::*;
+use vqa::graph::Graph;
+use vqa::hamiltonians;
+use vqa::problem::{TaskSlice, VqaProblem, VqeProblem};
+
+/// Strategy: a random connected graph over `n` nodes (spanning path plus
+/// extra random edges).
+fn arb_graph(n: usize) -> impl Strategy<Value = Graph> {
+    proptest::collection::vec((0..n, 0..n), 0..n * 2).prop_map(move |extra| {
+        let mut g = Graph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1, 1.0);
+        }
+        let mut seen: std::collections::HashSet<(usize, usize)> =
+            (0..n - 1).map(|i| (i, i + 1)).collect();
+        for (a, b) in extra {
+            let key = (a.min(b), a.max(b));
+            if a != b && seen.insert(key) {
+                g.add_edge(a, b, 1.0);
+            }
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The MaxCut Hamiltonian's ground energy equals minus the brute-force
+    /// maximum cut for any small connected graph.
+    #[test]
+    fn maxcut_ground_is_negative_maxcut(g in arb_graph(4)) {
+        let h = hamiltonians::maxcut(&g);
+        let (e0, _) = h.ground_state();
+        let (best, _) = g.max_cut_brute_force();
+        prop_assert!((e0 + best).abs() < 1e-7, "{} vs {}", e0, -best);
+    }
+
+    /// Cut values are symmetric under complementing the partition.
+    #[test]
+    fn cut_value_complement_symmetry(g in arb_graph(5), mask in 0u64..32) {
+        let full = (1u64 << 5) - 1;
+        prop_assert_eq!(g.cut_value(mask), g.cut_value(mask ^ full));
+    }
+
+    /// The parameter-shift gradient matches central finite differences on
+    /// the paper's VQE ansatz at random points.
+    #[test]
+    fn shift_rule_matches_finite_difference(
+        seed in 0u64..50,
+        param in 0usize..16,
+    ) {
+        let problem = VqeProblem::heisenberg_4q();
+        let point = problem.initial_point(seed);
+        let h = problem.hamiltonian();
+        let energy = |c: &qcircuit::Circuit| {
+            h.expectation(&c.run_statevector(&[]).unwrap())
+        };
+        let pairs = vqa::gradient::shift_plan(
+            problem.ansatz(),
+            qcircuit::ParamId(param),
+            &point,
+        );
+        let fwd: Vec<f64> = pairs.iter().map(|p| energy(&p.forward)).collect();
+        let bck: Vec<f64> = pairs.iter().map(|p| energy(&p.backward)).collect();
+        let shift = vqa::gradient::combine_shift_losses(&pairs, &fwd, &bck);
+        let fd = vqa::gradient::finite_difference(
+            |p| energy(&problem.ansatz().bind(p).unwrap()),
+            &point,
+            1e-5,
+        )[param];
+        prop_assert!((shift - fd).abs() < 1e-5, "shift {} vs fd {}", shift, fd);
+    }
+
+    /// Heisenberg energies are bounded by the Hamiltonian 1-norm.
+    #[test]
+    fn energy_bounded_by_norm(seed in 0u64..100) {
+        let problem = VqeProblem::heisenberg_4q();
+        let point = problem.initial_point(seed);
+        let norm: f64 = problem
+            .hamiltonian()
+            .terms()
+            .iter()
+            .map(|t| t.coefficient.abs())
+            .sum();
+        let e = problem.ideal_loss(&point);
+        prop_assert!(e.abs() <= norm + 1e-9);
+    }
+
+    /// Slice losses always sum to the full ideal loss (exact
+    /// distributions).
+    #[test]
+    fn slice_decomposition_sums(seed in 0u64..30) {
+        let problem = VqeProblem::heisenberg_4q();
+        let point = problem.initial_point(seed);
+        // Evaluate each group's loss from the exact distribution of its
+        // rotated template.
+        let mut total = 0.0;
+        for slice in problem.loss_slices() {
+            let tmpl = problem.slice_templates(slice)[0];
+            let sv = problem.templates()[tmpl].run_statevector(&point).unwrap();
+            // Build exact counts by scaling probabilities.
+            let mut counts = qsim::Counts::new(4);
+            for (basis, p) in sv.probabilities().iter().enumerate() {
+                let c = (p * 1e9).round() as u64;
+                if c > 0 {
+                    counts.record(basis as u64, c);
+                }
+            }
+            total += problem.slice_loss(slice, &[counts]);
+        }
+        let ideal = problem.ideal_loss(&point);
+        prop_assert!((total - ideal).abs() < 1e-4, "{} vs {}", total, ideal);
+    }
+}

@@ -1,0 +1,46 @@
+//! The paper's third VQA family: a quantum neural network trained with
+//! data-point-level parallelism (Section III-A). Each gradient task
+//! differentiates one parameter on one data point; the master averages
+//! contributions across the ensemble asynchronously.
+//!
+//! Run with: `cargo run --release --example qnn_classifier`
+
+use eqc::prelude::*;
+
+fn main() {
+    let problem = QnnProblem::synthetic(8, 13);
+    println!(
+        "QNN: {} data points, {} parameters, {} tasks per epoch",
+        problem.num_data_points(),
+        vqa::VqaProblem::num_params(&problem),
+        vqa::VqaProblem::tasks(&problem).len()
+    );
+
+    let theta0 = vqa::VqaProblem::initial_point(&problem, 3);
+    println!(
+        "before training: loss {:.4}, accuracy {:.0}%",
+        vqa::VqaProblem::ideal_loss(&problem, &theta0),
+        problem.accuracy(&theta0) * 100.0
+    );
+
+    let clients: Vec<ClientNode> = ["belem", "manila", "bogota", "quito"]
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            let be = catalog::by_name(n).expect("catalog device").backend(30 + i as u64);
+            ClientNode::new(i, be, &problem).expect("fits")
+        })
+        .collect();
+    let config = EqcConfig::paper_qaoa()
+        .with_epochs(15)
+        .with_shots(1024)
+        .with_seed(3)
+        .with_learning_rate(0.4);
+    let report = EqcTrainer::new(config).train(&problem, clients);
+    println!("\n{report}");
+    println!(
+        "after training: loss {:.4}, accuracy {:.0}%",
+        report.final_loss,
+        problem.accuracy(&report.final_params) * 100.0
+    );
+}

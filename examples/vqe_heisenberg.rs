@@ -1,0 +1,55 @@
+//! The paper's VQE workload: the 4-qubit Heisenberg model (Eq. 3) under
+//! the Fig. 8 hardware-efficient ansatz, trained three ways — on the
+//! ideal simulator, on a single device, and on an EQC ensemble with the
+//! adaptive weighting system.
+//!
+//! A scaled-down version of the Fig. 6 / Fig. 9 experiments (fewer epochs
+//! and shots so it finishes in seconds); the full harness lives in
+//! `crates/bench/src/bin/fig6.rs`.
+//!
+//! Run with: `cargo run --release --example vqe_heisenberg`
+
+use eqc::prelude::*;
+
+fn main() {
+    let problem = VqeProblem::heisenberg_4q();
+    println!(
+        "Heisenberg 4q: {} Pauli terms, {} measurement groups, exact ground energy {:.4}",
+        problem.hamiltonian().num_terms(),
+        problem.templates().len(),
+        problem.reference_minimum()
+    );
+
+    let config = EqcConfig::paper_vqe().with_epochs(25).with_shots(1024);
+
+    // Ideal baseline.
+    let ideal = train_ideal(&problem, config);
+    println!("\n{ideal}");
+
+    // Single-device baseline on the noisiest machine of Table I.
+    let x2 = catalog::by_name("x2").expect("catalog device").backend(1);
+    let single = SingleDeviceTrainer::new(config)
+        .train(&problem, ClientNode::new(0, x2, &problem).expect("fits"));
+    println!("{single}");
+
+    // EQC over five devices, weighted 0.5-1.5 (the paper's default band).
+    let names = ["lima", "x2", "belem", "manila", "bogota"];
+    let clients: Vec<ClientNode> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            let be = catalog::by_name(n).expect("catalog device").backend(10 + i as u64);
+            ClientNode::new(i, be, &problem).expect("fits")
+        })
+        .collect();
+    let eqc = EqcTrainer::new(config.with_weights(WeightBounds::new(0.5, 1.5)))
+        .train(&problem, clients);
+    println!("{eqc}");
+
+    println!(
+        "speedup over single x2: {:.1}x | error: eqc {:.2}% vs x2 {:.2}%",
+        eqc.epochs_per_hour() / single.epochs_per_hour(),
+        eqc.converged_error_pct(5),
+        single.converged_error_pct(5),
+    );
+}

@@ -1,0 +1,59 @@
+//! # eqc — Ensembled Quantum Computing for Variational Quantum Algorithms
+//!
+//! A from-scratch Rust reproduction of *"EQC: Ensembled Quantum Computing
+//! for Variational Quantum Algorithms"* (Stein et al., ISCA 2022,
+//! arXiv:2111.14940), including every substrate the paper depends on:
+//!
+//! | Layer | Crate | Contents |
+//! |---|---|---|
+//! | Simulation | [`qsim`] | complex linear algebra, state vectors, density matrices, Kraus noise |
+//! | Circuits | [`qcircuit`] | gate IR, symbolic parameters, Pauli Hamiltonians, measurement planning |
+//! | Transpiler | [`transpile`] | topologies, layout, SWAP routing, IBM basis rewriting, peephole |
+//! | Devices | [`qdevice`] | Table I catalog, calibration drift, cloud queues, noisy execution |
+//! | Workloads | [`vqa`] | Heisenberg VQE, MaxCut QAOA, QNN; parameter-shift gradients |
+//! | Framework | [`eqc_core`] | master/client ASGD ensemble, Eq. 2 weighting, convergence bound |
+//!
+//! ## Quickstart: train a QAOA MaxCut on a simulated ensemble
+//!
+//! ```
+//! use eqc::prelude::*;
+//!
+//! let problem = QaoaProblem::maxcut_ring4();
+//! let clients: Vec<ClientNode> = ["belem", "manila", "bogota"]
+//!     .iter()
+//!     .enumerate()
+//!     .map(|(i, name)| {
+//!         let backend = qdevice::catalog::by_name(name).unwrap().backend(i as u64);
+//!         ClientNode::new(i, backend, &problem).unwrap()
+//!     })
+//!     .collect();
+//! let config = EqcConfig::paper_qaoa().with_epochs(5).with_shots(512);
+//! let report = EqcTrainer::new(config).train(&problem, clients);
+//! println!("{report}");
+//! assert_eq!(report.epochs, 5);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! harnesses regenerating every table and figure of the paper.
+
+#![warn(missing_docs)]
+
+pub use eqc_core;
+pub use qcircuit;
+pub use qdevice;
+pub use qsim;
+pub use transpile;
+pub use vqa;
+
+/// Convenient single-import surface for applications.
+pub mod prelude {
+    pub use eqc_core::{
+        ideal_backend, train_ideal, train_threaded, ClientNode, EqcConfig, EqcTrainer,
+        SingleDeviceTrainer, TrainingReport, WeightBounds,
+    };
+    pub use qcircuit::{Circuit, CircuitBuilder, Gate, Hamiltonian, PauliString};
+    pub use qdevice::{catalog, DeviceSpec, QpuBackend, SimTime};
+    pub use qsim::{Counts, DensityMatrix, StateVector};
+    pub use transpile::{transpile, Topology, TranspileOptions};
+    pub use vqa::{Graph, QaoaProblem, QnnProblem, VqaProblem, VqeProblem};
+}

@@ -1,0 +1,128 @@
+//! Integration across transpile + qdevice: every Table I device can
+//! transpile and execute the paper's circuits with sane results.
+
+use eqc::prelude::*;
+use qdevice::SimTime;
+
+#[test]
+fn every_device_runs_the_vqe_ansatz() {
+    let circuit = vqa::ansatz::hardware_efficient(4);
+    let params: Vec<f64> = (0..16).map(|i| 0.1 * i as f64).collect();
+    let ideal_probs = circuit
+        .run_statevector(&params)
+        .expect("bound")
+        .probabilities();
+    // The ideal most-likely outcome should stay most likely on the
+    // *cleanest* devices despite noise.
+    let ideal_argmax = ideal_probs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .expect("non-empty")
+        .0 as u64;
+
+    for spec in catalog::catalog() {
+        let t = transpile(&circuit, &spec.topology(), &TranspileOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        let (compact, logical_bits) = t.compact_for_simulation().expect("compacts");
+        let bound = compact.bind(&params).expect("bindable");
+        let mut backend = spec.backend(17);
+        let job = backend.execute(&bound, &t.active_qubits(), 4096, SimTime::ZERO);
+        let logical = t.remap_counts(&job.counts, &logical_bits);
+        assert_eq!(logical.total(), 4096, "{}", spec.name);
+        assert_eq!(logical.num_qubits(), 4, "{}", spec.name);
+        if spec.name == "bogota" || spec.name == "manila" {
+            let (top, _) = logical.to_sorted_vec()[0];
+            assert_eq!(
+                top, ideal_argmax,
+                "{}: noise flipped the dominant outcome",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn ghz_error_orders_by_device_quality() {
+    // x2 (noisiest) should show clearly more GHZ error than bogota.
+    let mut b = CircuitBuilder::new(5);
+    b.h(0);
+    for q in 0..4 {
+        b.cx(q, q + 1);
+    }
+    let ghz = b.build();
+    let mut errors = std::collections::HashMap::new();
+    for name in ["x2", "bogota"] {
+        let spec = catalog::by_name(name).expect("catalog device");
+        let t = transpile(&ghz, &spec.topology(), &TranspileOptions::default()).expect("fits");
+        let (compact, logical_bits) = t.compact_for_simulation().expect("compacts");
+        let mut backend = spec.backend(23);
+        let job = backend.execute(
+            &compact.bind(&[]).expect("no params"),
+            &t.active_qubits(),
+            8192,
+            SimTime::ZERO,
+        );
+        let logical = t.remap_counts(&job.counts, &logical_bits);
+        let err = 1.0 - logical.fraction_where(|b| b == 0 || b == 0b11111);
+        errors.insert(name, err);
+    }
+    assert!(
+        errors["x2"] > 1.5 * errors["bogota"],
+        "x2 {} vs bogota {}",
+        errors["x2"],
+        errors["bogota"]
+    );
+}
+
+#[test]
+fn queue_latency_orders_devices() {
+    // One identical job on each device: Manhattan's completion must be
+    // orders of magnitude later than x2's.
+    let mut b = CircuitBuilder::new(2);
+    b.h(0).cx(0, 1);
+    let bell = b.build();
+    let mut latency = std::collections::HashMap::new();
+    for name in ["x2", "santiago", "manhattan"] {
+        let spec = catalog::by_name(name).expect("catalog device");
+        let mut backend = spec.backend(31);
+        let job = backend.execute(&bell, &[0, 1], 8192, SimTime::ZERO);
+        latency.insert(name, job.completed - job.submitted);
+    }
+    assert!(latency["x2"] < latency["santiago"]);
+    assert!(latency["santiago"] < latency["manhattan"]);
+    assert!(latency["manhattan"] / latency["x2"] > 20.0);
+}
+
+#[test]
+fn drift_impacts_execution_not_reports() {
+    let spec = catalog::by_name("casablanca").expect("catalog device");
+    let backend = spec.backend(41);
+    // During the paper-modeled episode, actual noise spikes while the
+    // reported calibration is oblivious. Compare within one calibration
+    // cycle (hours 19 vs 21) so per-cycle jitter cancels.
+    let before = backend.actual_calibration(SimTime::from_hours(19.0));
+    let during = backend.actual_calibration(SimTime::from_hours(21.0));
+    assert!(during.mean_cx_error() > 3.0 * before.mean_cx_error());
+    let rep_before = backend.reported_calibration(SimTime::from_hours(19.0));
+    let rep_during = backend.reported_calibration(SimTime::from_hours(21.0));
+    assert_eq!(rep_before.mean_cx_error(), rep_during.mean_cx_error());
+}
+
+#[test]
+fn p_correct_prefers_better_topology_and_calibration() {
+    use eqc_core::p_correct;
+    let circuit = vqa::ansatz::hardware_efficient(4);
+    // Same calibration, different topologies: fully-connected routes with
+    // fewer CX, so it must score at least as well.
+    let cal = qdevice::Calibration::uniform(5, 100.0, 80.0, 0.001, 0.01, 0.02);
+    let full = transpile(
+        &circuit,
+        &Topology::fully_connected(5),
+        &TranspileOptions::default(),
+    )
+    .expect("fits");
+    let line = transpile(&circuit, &Topology::line(5), &TranspileOptions::default())
+        .expect("fits");
+    assert!(p_correct(&full.metrics, &cal) >= p_correct(&line.metrics, &cal));
+}

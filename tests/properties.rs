@@ -1,0 +1,152 @@
+//! Cross-crate property-based tests: invariants that must hold for
+//! arbitrary circuits, topologies and parameters.
+
+use proptest::prelude::*;
+use qcircuit::{Angle, Circuit, Gate};
+use transpile::{transpile, Topology, TranspileOptions};
+
+/// Strategy: a random circuit over `n` qubits with 1q rotations, H and CX.
+fn arb_circuit(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    let gate = prop_oneof![
+        (0..n).prop_map(Gate::H),
+        (0..n).prop_map(Gate::X),
+        (0..n, -3.0..3.0f64).prop_map(|(q, a)| Gate::Ry(q, Angle::Fixed(a))),
+        (0..n, -3.0..3.0f64).prop_map(|(q, a)| Gate::Rz(q, Angle::Fixed(a))),
+        (0..n, 0..n).prop_filter_map("distinct operands", move |(a, b)| {
+            (a != b).then_some(Gate::Cx(a, b))
+        }),
+    ];
+    proptest::collection::vec(gate, 1..max_gates).prop_map(move |gates| {
+        let mut c = Circuit::new(n);
+        for g in gates {
+            c.push(g).expect("generated gates are valid");
+        }
+        c
+    })
+}
+
+/// Remaps ideal logical probabilities through a transpiled layout and
+/// compares with the compacted physical circuit's distribution.
+fn distributions_match(circuit: &Circuit, topology: &Topology) -> Result<(), String> {
+    let t = transpile(circuit, topology, &TranspileOptions::default())
+        .map_err(|e| format!("transpile: {e}"))?;
+    let (compact, logical_bits) = t
+        .compact_for_simulation()
+        .map_err(|e| format!("compact: {e}"))?;
+    let n = circuit.num_qubits();
+    let logical = circuit
+        .run_statevector(&[])
+        .map_err(|e| format!("logical run: {e}"))?
+        .probabilities();
+    let physical = compact
+        .run_statevector(&[])
+        .map_err(|e| format!("physical run: {e}"))?
+        .probabilities();
+    let mut remapped = vec![0.0; 1 << n];
+    for (basis, p) in physical.iter().enumerate() {
+        let mut log_basis = 0usize;
+        for (l, &bit) in logical_bits.iter().enumerate() {
+            if basis >> bit & 1 == 1 {
+                log_basis |= 1 << l;
+            }
+        }
+        remapped[log_basis] += p;
+    }
+    for (i, (a, b)) in logical.iter().zip(&remapped).enumerate() {
+        if (a - b).abs() > 1e-8 {
+            return Err(format!("basis {i}: logical {a} vs physical {b}"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Transpilation preserves measurement statistics on every topology
+    /// shape of Table I.
+    #[test]
+    fn transpile_preserves_distribution_line(c in arb_circuit(4, 14)) {
+        distributions_match(&c, &Topology::line(5)).map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn transpile_preserves_distribution_t_shape(c in arb_circuit(4, 14)) {
+        distributions_match(&c, &Topology::t_shape()).map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn transpile_preserves_distribution_heavy_hex(c in arb_circuit(4, 10)) {
+        distributions_match(&c, &Topology::heavy_hex_27()).map_err(TestCaseError::fail)?;
+    }
+
+    /// Transpiled circuits only use native gates on coupled pairs.
+    #[test]
+    fn transpiled_respects_basis_and_coupling(c in arb_circuit(5, 16)) {
+        let topo = Topology::t_shape();
+        let t = transpile(&c, &topo, &TranspileOptions::default()).expect("fits");
+        for g in t.circuit.gates() {
+            prop_assert!(matches!(g, Gate::X(_) | Gate::Sx(_) | Gate::Rz(..) | Gate::Cx(..)));
+            let qs = g.qubits();
+            if qs.len() == 2 {
+                prop_assert!(topo.are_adjacent(qs[0], qs[1]));
+            }
+        }
+    }
+
+    /// The peephole optimizer never changes the unitary (up to phase).
+    #[test]
+    fn peephole_preserves_unitary(c in arb_circuit(3, 12)) {
+        let optimized = transpile::optimize::optimize(&c).expect("optimizes");
+        let u0 = c.unitary(&[]).expect("bound");
+        let u1 = optimized.unitary(&[]).expect("bound");
+        prop_assert!(u1.approx_eq_up_to_phase(&u0, 1e-8));
+    }
+
+    /// Counts sampled from any circuit distribution sum to the shot
+    /// budget and respect the register width.
+    #[test]
+    fn sampled_counts_are_consistent(c in arb_circuit(3, 10), shots in 1usize..2000) {
+        use rand::SeedableRng;
+        let sv = c.run_statevector(&[]).expect("bound");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let counts = qsim::sampler::sample_counts(&sv.probabilities(), 3, shots, &mut rng);
+        prop_assert_eq!(counts.total(), shots as u64);
+        for (basis, _) in counts.iter() {
+            prop_assert!(basis < 8);
+        }
+    }
+
+    /// Weight normalization maps any score set into the band.
+    #[test]
+    fn weights_stay_in_band(ps in proptest::collection::vec(0.0..1.0f64, 2..12)) {
+        let bounds = eqc_core::WeightBounds::new(0.25, 1.75);
+        let ws = eqc_core::normalize_weights(&ps, bounds);
+        for w in ws {
+            prop_assert!((0.25..=1.75).contains(&w));
+        }
+    }
+
+    /// Eq. 2 stays within [0, 1] for arbitrary circuit metrics and
+    /// calibration quality.
+    #[test]
+    fn p_correct_is_a_probability(
+        g1 in 0usize..200,
+        g2 in 0usize..100,
+        cd in 0usize..150,
+        err_scale in 0.1..20.0f64,
+    ) {
+        let metrics = transpile::CircuitMetrics {
+            g1,
+            g2,
+            measurements: 5,
+            critical_depth: cd,
+            depth: cd + 1,
+            swaps_inserted: 0,
+        };
+        let mut cal = qdevice::Calibration::uniform(5, 90.0, 70.0, 0.001, 0.01, 0.02);
+        cal.degrade(err_scale, 1.0);
+        let p = eqc_core::p_correct(&metrics, &cal);
+        prop_assert!((0.0..=1.0).contains(&p), "p = {}", p);
+    }
+}

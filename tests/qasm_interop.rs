@@ -1,0 +1,72 @@
+//! Integration of the OpenQASM interchange with the transpiler and
+//! devices: what a Qiskit-era toolchain would do round-trips through this
+//! stack.
+
+use eqc::prelude::*;
+use qcircuit::qasm;
+
+#[test]
+fn transpiled_circuit_exports_and_reimports() {
+    // Logical ansatz -> transpile for Belem -> bind -> QASM -> parse back
+    // -> identical measurement distribution.
+    let ansatz = vqa::ansatz::hardware_efficient(4);
+    let t = transpile(
+        &ansatz,
+        &catalog::by_name("belem").expect("catalog device").topology(),
+        &TranspileOptions::default(),
+    )
+    .expect("fits");
+    let (compact, _) = t.compact_for_simulation().expect("compacts");
+    let params: Vec<f64> = (0..16).map(|i| 0.15 * i as f64 - 1.0).collect();
+    let bound = compact.bind(&params).expect("bindable");
+
+    let text = qasm::to_qasm(&bound).expect("bound circuit exports");
+    // The physical circuit is in the IBM basis: only native mnemonics.
+    for line in text.lines().skip(4) {
+        if line.starts_with("measure") || line.is_empty() {
+            continue;
+        }
+        let mnemonic = line.split(['(', ' ']).next().expect("non-empty line");
+        assert!(
+            ["x", "sx", "rz", "cx"].contains(&mnemonic),
+            "non-native gate in exported QASM: {line}"
+        );
+    }
+
+    let parsed = qasm::from_qasm(&text).expect("parses back");
+    let a = bound.run_statevector(&[]).expect("runs");
+    let b = parsed.run_statevector(&[]).expect("runs");
+    for (pa, pb) in a.probabilities().iter().zip(b.probabilities()) {
+        assert!((pa - pb).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn qasm_circuit_executes_on_simulated_device() {
+    // A hand-written QASM program runs on a catalog backend end-to-end.
+    let text = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\ncreg c[3];\n\
+                h q[0];\ncx q[0],q[1];\ncx q[1],q[2];\n\
+                measure q[0] -> c[0];\nmeasure q[1] -> c[1];\nmeasure q[2] -> c[2];\n";
+    let circuit = qasm::from_qasm(text).expect("valid program");
+    let mut backend = catalog::by_name("manila").expect("catalog device").backend(5);
+    let job = backend.execute(&circuit, &[0, 1, 2], 8192, qdevice::SimTime::ZERO);
+    let ghz_mass = job.counts.probability(0) + job.counts.probability(0b111);
+    assert!(ghz_mass > 0.8, "GHZ correlations lost: {ghz_mass}");
+}
+
+#[test]
+fn diagram_renders_transpiled_circuits() {
+    let ansatz = vqa::ansatz::hardware_efficient(4);
+    let t = transpile(
+        &ansatz,
+        &catalog::by_name("bogota").expect("catalog device").topology(),
+        &TranspileOptions::default(),
+    )
+    .expect("fits");
+    let art = qcircuit::diagram::render(&t.circuit);
+    // One row per physical wire, all aligned.
+    assert_eq!(art.lines().count(), 5);
+    let widths: Vec<usize> = art.lines().map(|l| l.chars().count()).collect();
+    assert!(widths.windows(2).all(|w| w[0] == w[1]));
+    assert!(art.contains("[SX]"));
+}

@@ -1,0 +1,184 @@
+//! Failure-injection and robustness tests: pathological devices,
+//! degenerate ensembles and extreme calibrations must degrade gracefully.
+
+use eqc::prelude::*;
+use qdevice::{DriftModel, QueueModel, SimTime};
+
+/// A device with error rates at the physical clamp limits.
+fn broken_backend(seed: u64) -> QpuBackend {
+    let mut cal = qdevice::Calibration::uniform(5, 2.0, 1.5, 0.4, 0.6, 0.45);
+    cal.degrade(1e6, 1e6); // slam into the clamps
+    QpuBackend::new(
+        "broken",
+        Topology::line(5),
+        cal,
+        DriftModel::linear(10.0, 10.0),
+        QueueModel::light(1.0),
+        24.0,
+        seed,
+    )
+}
+
+#[test]
+fn broken_device_still_returns_valid_counts() {
+    let mut b = CircuitBuilder::new(3);
+    b.h(0).cx(0, 1).cx(1, 2);
+    let circuit = b.build();
+    let mut backend = broken_backend(1);
+    let job = backend.execute(&circuit, &[0, 1, 2], 2048, SimTime::ZERO);
+    assert_eq!(job.counts.total(), 2048);
+    // Near-maximal noise: the distribution should be close to uniform.
+    let p0 = job.counts.probability(0);
+    assert!(p0 < 0.5, "fully depolarized device should not retain structure");
+}
+
+#[test]
+fn ensemble_with_one_broken_device_still_learns() {
+    let problem = QaoaProblem::maxcut_ring4();
+    let mut clients: Vec<ClientNode> = ["belem", "manila", "bogota"]
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            let be = catalog::by_name(n).expect("catalog device").backend(40 + i as u64);
+            ClientNode::new(i, be, &problem).expect("fits")
+        })
+        .collect();
+    clients.push(ClientNode::new(3, broken_backend(7), &problem).expect("fits"));
+    let cfg = EqcConfig::paper_qaoa()
+        .with_epochs(25)
+        .with_shots(2048)
+        .with_weights(WeightBounds::new(0.25, 1.75));
+    let report = EqcTrainer::new(cfg).train(&problem, clients);
+    // Training still converges to a useful cost...
+    assert!(
+        report.converged_loss(5) < -0.45,
+        "ensemble poisoned: {}",
+        report.converged_loss(5)
+    );
+    // ...and the weighting system pins the broken device at the floor.
+    let broken = report
+        .clients
+        .iter()
+        .find(|c| c.device == "broken")
+        .expect("broken client present");
+    let best_weight = report
+        .clients
+        .iter()
+        .map(|c| c.mean_weight)
+        .fold(0.0f64, f64::max);
+    assert!(
+        broken.mean_weight < 0.45,
+        "broken device weight {} not suppressed",
+        broken.mean_weight
+    );
+    assert!(best_weight > 1.0, "some healthy device should be amplified");
+}
+
+#[test]
+fn ensemble_with_glacial_device_completes() {
+    // One device 10000x slower than the rest must not stall training.
+    let problem = QaoaProblem::maxcut_ring4();
+    let mut clients: Vec<ClientNode> = ["belem", "manila"]
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            let be = catalog::by_name(n).expect("catalog device").backend(50 + i as u64);
+            ClientNode::new(i, be, &problem).expect("fits")
+        })
+        .collect();
+    let spec = catalog::by_name("quito").expect("catalog device");
+    let glacial = QpuBackend::new(
+        "glacial",
+        spec.topology(),
+        spec.calibration(),
+        DriftModel::none(),
+        QueueModel::congested(50_000.0, 0.1, 0.0),
+        24.0,
+        9,
+    );
+    clients.push(ClientNode::new(2, glacial, &problem).expect("fits"));
+    let cfg = EqcConfig::paper_qaoa().with_epochs(10).with_shots(512);
+    let report = EqcTrainer::new(cfg).train(&problem, clients);
+    assert_eq!(report.epochs, 10);
+    // The glacial device contributes almost nothing.
+    let g = report
+        .clients
+        .iter()
+        .find(|c| c.device == "glacial")
+        .expect("glacial client present");
+    let fast_total: u64 = report
+        .clients
+        .iter()
+        .filter(|c| c.device != "glacial")
+        .map(|c| c.tasks_completed)
+        .sum();
+    assert!(g.tasks_completed <= 2);
+    assert!(fast_total > 20);
+}
+
+#[test]
+fn single_client_ensemble_degenerates_to_single_device() {
+    let problem = QaoaProblem::maxcut_ring4();
+    let cfg = EqcConfig::paper_qaoa().with_epochs(5).with_shots(512);
+    let mk = |seed| {
+        ClientNode::new(
+            0,
+            catalog::by_name("manila").expect("catalog device").backend(seed),
+            &problem,
+        )
+        .expect("fits")
+    };
+    let eqc = EqcTrainer::new(cfg).train(&problem, vec![mk(3)]);
+    let single = SingleDeviceTrainer::new(cfg).train(&problem, mk(3));
+    // Same device, same seeds, no concurrency: identical parameters.
+    assert_eq!(eqc.final_params, single.final_params);
+}
+
+#[test]
+fn weighting_with_identical_devices_is_neutral() {
+    let problem = QaoaProblem::maxcut_ring4();
+    let clients: Vec<ClientNode> = (0..3)
+        .map(|i| {
+            let be = catalog::by_name("manila").expect("catalog device").backend(60);
+            ClientNode::new(i, be, &problem).expect("fits")
+        })
+        .collect();
+    let cfg = EqcConfig::paper_qaoa()
+        .with_epochs(4)
+        .with_shots(256)
+        .with_weights(WeightBounds::new(0.5, 1.5));
+    let report = EqcTrainer::new(cfg).train(&problem, clients);
+    // Identical devices: every weight collapses to the band midpoint.
+    for sample in &report.weight_trace {
+        for &w in &sample.weights {
+            assert!((w - 1.0).abs() < 0.51, "weight {w} drifted for identical devices");
+        }
+    }
+}
+
+#[test]
+fn zero_parameter_resilience() {
+    // A problem whose parameter does not appear in some template must not
+    // crash the client (returns zero gradient).
+    use qcircuit::ParamId;
+    use vqa::{GradientTask, TaskSlice};
+    let problem = QaoaProblem::maxcut_ring4();
+    let mut client = ClientNode::new(
+        0,
+        catalog::by_name("belem").expect("catalog device").backend(3),
+        &problem,
+    )
+    .expect("fits");
+    let r = client.run_task(
+        &problem,
+        GradientTask {
+            param: ParamId(9),
+            slice: TaskSlice::Full,
+        },
+        &[0.0; 10],
+        64,
+        SimTime::ZERO,
+    );
+    assert_eq!(r.gradient, 0.0);
+    assert_eq!(r.circuits_run, 0);
+}
