@@ -1,10 +1,11 @@
-//! End-to-end trainer benchmarks: discrete-event vs threaded executors
-//! (DESIGN.md ablation #1) and weighted vs unweighted training
-//! (ablation #2), measured in wall-clock per training run.
+//! End-to-end executor benchmarks: discrete-event vs threaded vs
+//! sequential substrates on one `Ensemble` (DESIGN.md ablation #1) and
+//! weighted vs unweighted training (ablation #2), measured in wall-clock
+//! per training run.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use eqc_bench::clients_for;
-use eqc_core::{train_threaded, EqcConfig, EqcTrainer, WeightBounds};
+use eqc_bench::{band, ensemble_for};
+use eqc_core::{EqcConfig, SequentialExecutor, ThreadedExecutor};
 use vqa::QaoaProblem;
 
 const DEVICES: [&str; 4] = ["belem", "manila", "bogota", "quito"];
@@ -13,29 +14,36 @@ fn small_config() -> EqcConfig {
     EqcConfig::paper_qaoa().with_epochs(5).with_shots(512)
 }
 
-fn bench_des_executor(c: &mut Criterion) {
+fn bench_executors(c: &mut Criterion) {
     let problem = QaoaProblem::maxcut_ring4();
     let mut group = c.benchmark_group("executor_ablation");
     group.sample_size(10);
     group.bench_function("des_unweighted", |b| {
         b.iter(|| {
-            EqcTrainer::new(small_config())
-                .train(&problem, clients_for(&problem, &DEVICES, 1))
+            ensemble_for(&DEVICES, 1, small_config())
+                .train(&problem)
+                .expect("trains")
         })
     });
     group.bench_function("des_weighted", |b| {
         b.iter(|| {
-            EqcTrainer::new(small_config().with_weights(WeightBounds::new(0.5, 1.5)))
-                .train(&problem, clients_for(&problem, &DEVICES, 1))
+            ensemble_for(&DEVICES, 1, small_config().with_weights(band(0.5, 1.5)))
+                .train(&problem)
+                .expect("trains")
         })
     });
     group.bench_function("threaded_unweighted", |b| {
         b.iter(|| {
-            train_threaded(
-                &problem,
-                clients_for(&problem, &DEVICES, 1),
-                small_config(),
-            )
+            ensemble_for(&DEVICES, 1, small_config())
+                .train_with(&ThreadedExecutor::new(), &problem)
+                .expect("trains")
+        })
+    });
+    group.bench_function("sequential_sync", |b| {
+        b.iter(|| {
+            ensemble_for(&DEVICES, 1, small_config())
+                .train_with(&SequentialExecutor::new(), &problem)
+                .expect("trains")
         })
     });
     group.finish();
@@ -53,7 +61,10 @@ fn bench_client_task(c: &mut Criterion) {
             criterion::BenchmarkId::new("qaoa_full_gradient", shots),
             &shots,
             |b, &s| {
-                let mut client = clients_for(&problem, &["bogota"], 3).pop().unwrap();
+                let backend = qdevice::catalog::by_name("bogota")
+                    .expect("catalog device")
+                    .backend(3);
+                let mut client = eqc_core::ClientNode::new(0, backend, &problem).expect("fits");
                 let mut t = qdevice::SimTime::ZERO;
                 b.iter(|| {
                     let r = client.run_task(&problem, task, &params, s, t);
@@ -66,5 +77,5 @@ fn bench_client_task(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_des_executor, bench_client_task);
+criterion_group!(benches, bench_executors, bench_client_task);
 criterion_main!(benches);

@@ -58,11 +58,9 @@ fn bench_density_vs_trajectories(c: &mut Criterion) {
         b.iter(|| execute_density(&circuit, &noise, 8192, &mut rng))
     });
     for traj in [16usize, 64] {
-        group.bench_with_input(
-            BenchmarkId::new("trajectories", traj),
-            &traj,
-            |b, &t| b.iter(|| execute_trajectories(&circuit, &noise, 8192, t, &mut rng)),
-        );
+        group.bench_with_input(BenchmarkId::new("trajectories", traj), &traj, |b, &t| {
+            b.iter(|| execute_trajectories(&circuit, &noise, 8192, t, &mut rng))
+        });
     }
     group.finish();
 }

@@ -9,8 +9,8 @@
 //!
 //! Run with: `cargo run --release -p eqc-bench --bin ablations`
 
-use eqc_bench::{clients_for, epochs_or, markdown_table, shots_or, write_csv};
-use eqc_core::{EqcConfig, EqcTrainer, SyncEnsembleTrainer, WeightBounds};
+use eqc_bench::{band, ensemble_for, epochs_or, markdown_table, shots_or, train_eqc, write_csv};
+use eqc_core::{EqcConfig, SequentialExecutor};
 use qcircuit::measure::MeasurementPlan;
 use qdevice::noise_model::{execute_density, execute_trajectories, NoiseModel};
 use qdevice::SimTime;
@@ -27,10 +27,15 @@ fn main() {
 
     // ---- 1. Async vs sync ----------------------------------------------
     let problem = VqeProblem::heisenberg_4q();
-    let names: Vec<&str> = qdevice::catalog::vqe_ensemble().iter().map(|d| d.name).collect();
+    let names: Vec<&str> = qdevice::catalog::vqe_ensemble()
+        .iter()
+        .map(|d| d.name)
+        .collect();
     let cfg = EqcConfig::paper_vqe().with_epochs(epochs).with_shots(shots);
-    let asyn = EqcTrainer::new(cfg).train(&problem, clients_for(&problem, &names, 0xAB1));
-    let sync = SyncEnsembleTrainer::new(cfg).train(&problem, clients_for(&problem, &names, 0xAB1));
+    let asyn = train_eqc(&problem, &names, 0xAB1, cfg);
+    let sync = ensemble_for(&names, 0xAB1, cfg)
+        .train_with(&SequentialExecutor::new(), &problem)
+        .expect("sync ensemble trains");
     println!("## 1. Asynchronous (EQC) vs synchronous ensemble SGD\n");
     println!(
         "{}",
@@ -52,21 +57,32 @@ fn main() {
             ]
         )
     );
-    csv.push_str(&format!("async_vs_sync,async,eph,{:.4}\n", asyn.epochs_per_hour()));
-    csv.push_str(&format!("async_vs_sync,sync,eph,{:.4}\n", sync.epochs_per_hour()));
+    csv.push_str(&format!(
+        "async_vs_sync,async,eph,{:.4}\n",
+        asyn.epochs_per_hour()
+    ));
+    csv.push_str(&format!(
+        "async_vs_sync,sync,eph,{:.4}\n",
+        sync.epochs_per_hour()
+    ));
 
     // ---- 2. Weighting on/off -------------------------------------------
-    let unweighted = EqcTrainer::new(cfg).train(&problem, clients_for(&problem, &names, 0xAB2));
-    let weighted = EqcTrainer::new(cfg.with_weights(WeightBounds::new(0.5, 1.5)))
-        .train(&problem, clients_for(&problem, &names, 0xAB2));
+    let unweighted = train_eqc(&problem, &names, 0xAB2, cfg);
+    let weighted = train_eqc(&problem, &names, 0xAB2, cfg.with_weights(band(0.5, 1.5)));
     println!("## 2. Weighting ablation (same seeds)\n");
     println!(
         "{}",
         markdown_table(
             &["variant", "converged energy"],
             &[
-                vec!["unweighted".into(), format!("{:.4}", unweighted.converged_loss(10))],
-                vec!["weighted 0.5-1.5".into(), format!("{:.4}", weighted.converged_loss(10))],
+                vec![
+                    "unweighted".into(),
+                    format!("{:.4}", unweighted.converged_loss(10))
+                ],
+                vec![
+                    "weighted 0.5-1.5".into(),
+                    format!("{:.4}", weighted.converged_loss(10))
+                ],
             ]
         )
     );
@@ -74,7 +90,10 @@ fn main() {
         "weighting,off,converged,{:.6}\n",
         unweighted.converged_loss(10)
     ));
-    csv.push_str(&format!("weighting,on,converged,{:.6}\n", weighted.converged_loss(10)));
+    csv.push_str(&format!(
+        "weighting,on,converged,{:.6}\n",
+        weighted.converged_loss(10)
+    ));
 
     // ---- 3. Measurement grouping ---------------------------------------
     let h = problem.hamiltonian();
@@ -93,7 +112,11 @@ fn main() {
     println!("## 4. Routing strategy (Fig. 8 ansatz, SWAPs inserted)\n");
     let circuit = vqa::ansatz::hardware_efficient(4);
     let mut rows = Vec::new();
-    for topo in [Topology::line(5), Topology::t_shape(), Topology::heavy_hex_27()] {
+    for topo in [
+        Topology::line(5),
+        Topology::t_shape(),
+        Topology::heavy_hex_27(),
+    ] {
         let mut cells = vec![topo.name().to_string()];
         for strategy in [RoutingStrategy::ShortestPath, RoutingStrategy::MeetInMiddle] {
             let options = TranspileOptions {
@@ -101,7 +124,10 @@ fn main() {
                 ..Default::default()
             };
             let t = transpile(&circuit, &topo, &options).expect("fits");
-            cells.push(format!("{} swaps / G2={}", t.metrics.swaps_inserted, t.metrics.g2));
+            cells.push(format!(
+                "{} swaps / G2={}",
+                t.metrics.swaps_inserted, t.metrics.g2
+            ));
             csv.push_str(&format!(
                 "routing,{}-{:?},g2,{}\n",
                 topo.name(),

@@ -7,9 +7,9 @@
 //!
 //! Run with: `cargo run --release -p eqc-bench --bin convergence`
 
-use eqc_bench::{clients_for, markdown_table, write_csv};
+use eqc_bench::{markdown_table, train_eqc, write_csv};
 use eqc_core::convergence::{delayed_sgd_quadratic, ConvergenceParams};
-use eqc_core::{EqcConfig, EqcTrainer};
+use eqc_core::EqcConfig;
 use vqa::{VqaProblem, VqeProblem};
 
 fn main() {
@@ -42,14 +42,20 @@ fn main() {
         csv.push_str(&format!("{delay},{tail:.6e},{bound:.6e}\n"));
     }
     println!("## Quadratic ASGD: asymptotic loss vs Eq. 14 bound\n");
-    println!("{}", markdown_table(&["delay D", "tail loss", "bound"], &rows));
+    println!(
+        "{}",
+        markdown_table(&["delay D", "tail loss", "bound"], &rows)
+    );
     write_csv("convergence.csv", &csv);
 
     // Part 2: empirical staleness of a real EQC run.
     let problem = VqeProblem::heisenberg_4q();
-    let names: Vec<&str> = qdevice::catalog::vqe_ensemble().iter().map(|d| d.name).collect();
+    let names: Vec<&str> = qdevice::catalog::vqe_ensemble()
+        .iter()
+        .map(|d| d.name)
+        .collect();
     let cfg = EqcConfig::paper_vqe().with_epochs(20).with_shots(1024);
-    let report = EqcTrainer::new(cfg).train(&problem, clients_for(&problem, &names, 77));
+    let report = train_eqc(&problem, &names, 77, cfg);
     // Gradient bound: sum of |coefficients| bounds the energy, hence the
     // shift-rule gradient, by the Hamiltonian 1-norm.
     let c_bound: f64 = problem

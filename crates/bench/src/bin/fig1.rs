@@ -10,8 +10,10 @@
 //! Run with: `cargo run --release -p eqc-bench --bin fig1`
 //! (override scale with EQC_EPOCHS / EQC_SHOTS)
 
-use eqc_bench::{clients_for, epochs_or, markdown_table, shots_or, write_csv};
-use eqc_core::{train_ideal, EqcConfig, EqcTrainer, SingleDeviceTrainer};
+use eqc_bench::{
+    epochs_or, markdown_table, shots_or, train_eqc, train_ideal_baseline, train_single, write_csv,
+};
+use eqc_core::EqcConfig;
 use vqa::VqeProblem;
 
 fn main() {
@@ -21,18 +23,20 @@ fn main() {
     let cfg = EqcConfig::paper_vqe().with_epochs(epochs).with_shots(shots);
     println!("# Fig. 1 — VQE error rate and running time ({epochs} epochs)\n");
 
-    let ideal_energy = train_ideal(&problem, cfg).converged_loss(20);
+    let ideal_energy = train_ideal_baseline(&problem, cfg).converged_loss(20);
 
     let mut rows = Vec::new();
     let mut csv = String::from("system,error_pct,hours\n");
     let mut results = Vec::new();
     for name in ["casablanca", "x2", "bogota"] {
-        let client = clients_for(&problem, &[name], 0xF161).pop().expect("client");
-        let r = SingleDeviceTrainer::new(cfg).train(&problem, client);
+        let r = train_single(&problem, name, 0xF161, cfg);
         results.push((name.to_string(), r));
     }
-    let names: Vec<&str> = qdevice::catalog::vqe_ensemble().iter().map(|d| d.name).collect();
-    let eqc = EqcTrainer::new(cfg).train(&problem, clients_for(&problem, &names, 0xE9C1));
+    let names: Vec<&str> = qdevice::catalog::vqe_ensemble()
+        .iter()
+        .map(|d| d.name)
+        .collect();
+    let eqc = train_eqc(&problem, &names, 0xE9C1, cfg);
     results.push(("EQC".to_string(), eqc));
 
     for (name, r) in &results {

@@ -8,8 +8,10 @@
 //!
 //! Run with: `cargo run --release -p eqc-bench --bin fig11`
 
-use eqc_bench::{clients_for, epochs_or, markdown_table, shots_or, sparkline, write_csv};
-use eqc_core::{EqcConfig, EqcTrainer, SingleDeviceTrainer, TrainingReport};
+use eqc_bench::{
+    epochs_or, markdown_table, shots_or, sparkline, train_eqc, train_single, write_csv,
+};
+use eqc_core::{EqcConfig, TrainingReport};
 use vqa::QaoaProblem;
 
 fn main() {
@@ -22,16 +24,22 @@ fn main() {
     println!("# Fig. 11 — 4-node MaxCut QAOA ({iterations} iterations)\n");
     println!("p=1 reachable optimum: -0.75 normalized cost\n");
 
-    let device_names: Vec<&str> = qdevice::catalog::qaoa_devices().iter().map(|d| d.name).collect();
+    let device_names: Vec<&str> = qdevice::catalog::qaoa_devices()
+        .iter()
+        .map(|d| d.name)
+        .collect();
     let mut reports: Vec<TrainingReport> = Vec::new();
     for name in &device_names {
-        let client = clients_for(&problem, &[name], 0xF1611).pop().expect("client");
-        let mut r = SingleDeviceTrainer::new(cfg.with_time_cap_hours(14.0 * 24.0))
-            .train(&problem, client);
+        let mut r = train_single(
+            &problem,
+            name,
+            0xF1611,
+            cfg.with_time_cap_hours(14.0 * 24.0),
+        );
         r.trainer = format!("single:{name}");
         reports.push(r);
     }
-    let eqc = EqcTrainer::new(cfg).train(&problem, clients_for(&problem, &device_names, 0xE9C11));
+    let eqc = train_eqc(&problem, &device_names, 0xE9C11, cfg);
     reports.push(eqc);
 
     let mut csv = String::from("trainer,iteration,cost\n");
@@ -80,6 +88,9 @@ fn main() {
         (eqc.epochs_per_hour() / slowest - 1.0) * 100.0,
     );
     if iterations >= 30 {
-        assert!(eqc.epochs_per_hour() > fastest, "EQC should outpace every single machine");
+        assert!(
+            eqc.epochs_per_hour() > fastest,
+            "EQC should outpace every single machine"
+        );
     }
 }

@@ -8,8 +8,10 @@
 //!
 //! Run with: `cargo run --release -p eqc-bench --bin fig12`
 
-use eqc_bench::{clients_for, epochs_or, markdown_table, shots_or, sparkline, write_csv};
-use eqc_core::{EqcConfig, EqcTrainer, SingleDeviceTrainer, WeightBounds};
+use eqc_bench::{
+    band, epochs_or, markdown_table, shots_or, sparkline, train_eqc, train_single, write_csv,
+};
+use eqc_core::{EqcConfig, WeightBounds};
 use vqa::QaoaProblem;
 
 fn main() {
@@ -21,13 +23,16 @@ fn main() {
         .with_shots(shots);
     println!("# Fig. 12 — weighted vs unweighted QAOA ({iterations} iterations)\n");
 
-    let device_names: Vec<&str> = qdevice::catalog::qaoa_devices().iter().map(|d| d.name).collect();
+    let device_names: Vec<&str> = qdevice::catalog::qaoa_devices()
+        .iter()
+        .map(|d| d.name)
+        .collect();
 
     // Left panel: EQC variants.
     let variants: [(&str, Option<WeightBounds>); 3] = [
         ("no weighting", None),
-        ("weights 0.50-1.50", Some(WeightBounds::new(0.5, 1.5))),
-        ("weights 0.25-1.75", Some(WeightBounds::new(0.25, 1.75))),
+        ("weights 0.50-1.50", Some(band(0.5, 1.5))),
+        ("weights 0.25-1.75", Some(band(0.25, 1.75))),
     ];
     let mut csv = String::from("variant,iteration,cost\n");
     let mut min_costs: Vec<(String, f64)> = Vec::new();
@@ -37,7 +42,7 @@ fn main() {
         if let Some(b) = bounds {
             c = c.with_weights(b);
         }
-        let r = EqcTrainer::new(c).train(&problem, clients_for(&problem, &device_names, 0xF1612));
+        let r = train_eqc(&problem, &device_names, 0xF1612, c);
         let series: Vec<f64> = r.history.iter().map(|h| h.ideal_loss).collect();
         let best = series.iter().copied().fold(f64::INFINITY, f64::min);
         println!(
@@ -56,9 +61,12 @@ fn main() {
 
     // Right panel: minimum cost attained by each single machine.
     for name in &device_names {
-        let client = clients_for(&problem, &[name], 0xF1612).pop().expect("client");
-        let r = SingleDeviceTrainer::new(cfg.with_time_cap_hours(14.0 * 24.0))
-            .train(&problem, client);
+        let r = train_single(
+            &problem,
+            name,
+            0xF1612,
+            cfg.with_time_cap_hours(14.0 * 24.0),
+        );
         let best = r
             .history
             .iter()

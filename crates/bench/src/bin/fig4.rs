@@ -41,7 +41,7 @@ fn main() {
             .expect("GHZ fits all 5q devices");
         let (compact, logical_bits) = t.compact_for_simulation().expect("compacts");
         let active = t.active_qubits();
-        let mut backend = spec.backend(0xF16_4 + name.len() as u64);
+        let mut backend = spec.backend(0xF164 + name.len() as u64);
         for &age in &ages_h {
             let at = SimTime::from_hours(age);
             // Predicted error chance from the frozen calibration report.
@@ -61,13 +61,18 @@ fn main() {
                 format!("{predicted_error:.4}"),
                 format!("{observed_error:.4}"),
             ]);
-            csv.push_str(&format!("{name},{age},{predicted_error:.6},{observed_error:.6}\n"));
+            csv.push_str(&format!(
+                "{name},{age},{predicted_error:.6},{observed_error:.6}\n"
+            ));
         }
     }
 
     println!(
         "{}",
-        markdown_table(&["Device", "age (h)", "calculated err", "observed err"], &rows)
+        markdown_table(
+            &["Device", "age (h)", "calculated err", "observed err"],
+            &rows
+        )
     );
 
     let r = pearson(&calculated, &observed);
@@ -82,5 +87,8 @@ fn main() {
     println!("| fit | y = 0.86x + 0.05 | y = {slope:.2}x + {intercept:.2} |");
     write_csv("fig4.csv", &csv);
 
-    assert!(r > 0.3, "calculated and observed error should correlate (r = {r})");
+    assert!(
+        r > 0.3,
+        "calculated and observed error should correlate (r = {r})"
+    );
 }

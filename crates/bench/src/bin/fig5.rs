@@ -16,9 +16,17 @@ use transpile::{transpile, TranspileOptions};
 
 fn main() {
     println!("# Fig. 5 — QPU weights (bounds [0.5, 1.5]) over 40 hours\n");
-    let devices = ["belem", "quito", "casablanca", "toronto", "manila", "bogota", "lima"];
+    let devices = [
+        "belem",
+        "quito",
+        "casablanca",
+        "toronto",
+        "manila",
+        "bogota",
+        "lima",
+    ];
     let circuit = vqa::ansatz::hardware_efficient(4);
-    let bounds = WeightBounds::new(0.5, 1.5);
+    let bounds = WeightBounds::new(0.5, 1.5).expect("valid weight band");
 
     // Transpile once per device (the client caches this), compute
     // P_correct from the *actual* (drifting) calibration each hour so the
@@ -27,8 +35,8 @@ fn main() {
         .iter()
         .map(|name| {
             let spec = qdevice::catalog::by_name(name).expect("catalog device");
-            let t = transpile(&circuit, &spec.topology(), &TranspileOptions::default())
-                .expect("fits");
+            let t =
+                transpile(&circuit, &spec.topology(), &TranspileOptions::default()).expect("fits");
             (name, spec.backend(0xF165), t.metrics)
         })
         .collect();

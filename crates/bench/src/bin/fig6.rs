@@ -15,9 +15,12 @@
 //! Run with: `cargo run --release -p eqc-bench --bin fig6`
 //! (override scale with EQC_EPOCHS / EQC_SHOTS)
 
-use eqc_bench::{clients_for, epochs_or, markdown_table, shots_or, sparkline, write_csv};
+use eqc_bench::{
+    epochs_or, markdown_table, shots_or, sparkline, train_eqc, train_ideal_baseline, train_single,
+    write_csv,
+};
 use eqc_core::stats;
-use eqc_core::{train_ideal, EqcConfig, EqcTrainer, SingleDeviceTrainer, TrainingReport};
+use eqc_core::{EqcConfig, TrainingReport};
 use vqa::{VqaProblem, VqeProblem};
 
 const TWO_WEEKS_H: f64 = 14.0 * 24.0;
@@ -35,16 +38,21 @@ fn main() {
     );
 
     // Ideal baseline.
-    let ideal = train_ideal(&problem, cfg);
+    let ideal = train_ideal_baseline(&problem, cfg);
     let ideal_energy = ideal.converged_loss(20);
 
     // Single-machine baselines with the paper's 2-week termination rule.
-    let singles = ["x2", "bogota", "casablanca", "manhattan", "santiago", "toronto"];
+    let singles = [
+        "x2",
+        "bogota",
+        "casablanca",
+        "manhattan",
+        "santiago",
+        "toronto",
+    ];
     let mut reports: Vec<TrainingReport> = vec![ideal];
     for name in singles {
-        let client = clients_for(&problem, &[name], 0xF166).pop().expect("one client");
-        let r = SingleDeviceTrainer::new(cfg.with_time_cap_hours(TWO_WEEKS_H))
-            .train(&problem, client);
+        let r = train_single(&problem, name, 0xF166, cfg.with_time_cap_hours(TWO_WEEKS_H));
         reports.push(r);
     }
 
@@ -55,8 +63,12 @@ fn main() {
             .iter()
             .map(|d| d.name)
             .collect();
-        let clients = clients_for(&problem, &names, 0xE9C + rep * 100);
-        let r = EqcTrainer::new(cfg.with_seed(cfg.seed + rep)).train(&problem, clients);
+        let r = train_eqc(
+            &problem,
+            &names,
+            0xE9C + rep * 100,
+            cfg.with_seed(cfg.seed + rep),
+        );
         eqc_runs.push(r);
     }
 
@@ -114,7 +126,10 @@ fn main() {
     }
     println!(
         "{}",
-        markdown_table(&["trainer", "epochs", "hours", "epochs/h", "terminated"], &rows)
+        markdown_table(
+            &["trainer", "epochs", "hours", "epochs/h", "terminated"],
+            &rows
+        )
     );
     write_csv("fig6_speed.csv", &speed_csv);
 

@@ -8,8 +8,11 @@
 //!
 //! Run with: `cargo run --release -p eqc-bench --bin fig9`
 
-use eqc_bench::{clients_for, epochs_or, markdown_table, shots_or, sparkline, write_csv};
-use eqc_core::{train_ideal, EqcConfig, EqcTrainer, WeightBounds};
+use eqc_bench::{
+    band, epochs_or, markdown_table, shots_or, sparkline, train_eqc, train_ideal_baseline,
+    write_csv,
+};
+use eqc_core::{EqcConfig, WeightBounds};
 use vqa::VqeProblem;
 
 fn main() {
@@ -19,14 +22,17 @@ fn main() {
     let base = EqcConfig::paper_vqe().with_epochs(epochs).with_shots(shots);
     println!("# Fig. 9 — weighted VQE on the 10-device ensemble ({epochs} epochs)\n");
 
-    let ideal_energy = train_ideal(&problem, base).converged_loss(20);
-    let names: Vec<&str> = qdevice::catalog::vqe_ensemble().iter().map(|d| d.name).collect();
+    let ideal_energy = train_ideal_baseline(&problem, base).converged_loss(20);
+    let names: Vec<&str> = qdevice::catalog::vqe_ensemble()
+        .iter()
+        .map(|d| d.name)
+        .collect();
 
     let variants: [(&str, Option<WeightBounds>); 4] = [
         ("no weighting", None),
-        ("weights 0.75-1.25", Some(WeightBounds::new(0.75, 1.25))),
-        ("weights 0.50-1.50", Some(WeightBounds::new(0.5, 1.5))),
-        ("weights 0.25-1.75", Some(WeightBounds::new(0.25, 1.75))),
+        ("weights 0.75-1.25", Some(band(0.75, 1.25))),
+        ("weights 0.50-1.50", Some(band(0.5, 1.5))),
+        ("weights 0.25-1.75", Some(band(0.25, 1.75))),
     ];
 
     let mut rows = Vec::new();
@@ -37,7 +43,7 @@ fn main() {
         if let Some(b) = bounds {
             cfg = cfg.with_weights(b);
         }
-        let r = EqcTrainer::new(cfg).train(&problem, clients_for(&problem, &names, 0xF169));
+        let r = train_eqc(&problem, &names, 0xF169, cfg);
         let series: Vec<f64> = r.history.iter().map(|h| h.ideal_loss).collect();
         let err = (r.converged_loss(20) - ideal_energy).abs() / ideal_energy.abs() * 100.0;
         let conv = r
@@ -64,7 +70,12 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["variant", "convergence epoch", "converged energy", "error vs ideal"],
+            &[
+                "variant",
+                "convergence epoch",
+                "converged energy",
+                "error vs ideal"
+            ],
             &rows
         )
     );

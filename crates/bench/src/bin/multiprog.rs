@@ -10,8 +10,8 @@
 //!
 //! Run with: `cargo run --release -p eqc-bench --bin multiprog`
 
-use eqc_bench::{clients_for, epochs_or, markdown_table, shots_or, write_csv};
-use eqc_core::{ClientNode, EqcConfig, EqcTrainer, SingleDeviceTrainer};
+use eqc_bench::{epochs_or, markdown_table, shots_or, train_eqc, train_single, write_csv};
+use eqc_core::{Ensemble, EqcConfig};
 use qdevice::multiprog::{split, MultiprogramConfig};
 use vqa::VqeProblem;
 
@@ -33,13 +33,16 @@ fn main() {
             crosstalk_per_program: 0.08,
         };
         let slots = split(&spec, &config, 0x30C0);
-        let clients: Vec<ClientNode> = slots
-            .into_iter()
-            .enumerate()
-            .map(|(i, s)| ClientNode::new(i, s.backend, &problem).expect("region fits"))
-            .collect();
-        let n = clients.len();
-        let r = EqcTrainer::new(cfg).train(&problem, clients);
+        let mut builder = Ensemble::builder().config(cfg);
+        let mut n = 0usize;
+        for s in slots {
+            builder = builder.backend(s.backend);
+            n += 1;
+        }
+        let r = builder
+            .build()
+            .and_then(|e| e.train(&problem))
+            .expect("multiprogrammed ensemble trains");
         rows.push(vec![
             format!("toronto x{n} programs"),
             n.to_string(),
@@ -60,12 +63,12 @@ fn main() {
 
     // ---- 2. Fleet utilization -------------------------------------------
     println!("## Fleet utilization: single-machine vs EQC\n");
-    let names: Vec<&str> = qdevice::catalog::vqe_ensemble().iter().map(|d| d.name).collect();
-    let single = SingleDeviceTrainer::new(cfg).train(
-        &problem,
-        clients_for(&problem, &["bogota"], 0x07).pop().expect("one client"),
-    );
-    let eqc = EqcTrainer::new(cfg).train(&problem, clients_for(&problem, &names, 0x07));
+    let names: Vec<&str> = qdevice::catalog::vqe_ensemble()
+        .iter()
+        .map(|d| d.name)
+        .collect();
+    let single = train_single(&problem, "bogota", 0x07, cfg);
+    let eqc = train_eqc(&problem, &names, 0x07, cfg);
 
     let single_util = single.clients[0].utilization;
     let eqc_utils: Vec<f64> = eqc.clients.iter().map(|c| c.utilization).collect();
@@ -84,7 +87,10 @@ fn main() {
     ];
     println!(
         "{}",
-        markdown_table(&["mode", "mean fleet utilization", "epochs/h"], &rows.drain(..).collect::<Vec<_>>())
+        markdown_table(
+            &["mode", "mean fleet utilization", "epochs/h"],
+            &std::mem::take(&mut rows)
+        )
     );
     for (c, u) in eqc.clients.iter().zip(&eqc_utils) {
         csv.push_str(&format!("utilization,{},{:.4},\n", c.device, u));

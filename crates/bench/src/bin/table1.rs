@@ -46,12 +46,22 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["Device", "T1/T2 (us)", "CX err", "RO err", "queue (s)", "amp", "episode"],
+            &[
+                "Device",
+                "T1/T2 (us)",
+                "CX err",
+                "RO err",
+                "queue (s)",
+                "amp",
+                "episode"
+            ],
             &sim_rows
         )
     );
 
-    let mut csv = String::from("device,qubits,processor,qv,topology,t1_us,t2_us,cx_error,readout_error,queue_mean_s\n");
+    let mut csv = String::from(
+        "device,qubits,processor,qv,topology,t1_us,t2_us,cx_error,readout_error,queue_mean_s\n",
+    );
     for d in catalog::catalog() {
         csv.push_str(&format!(
             "{},{},{},{},{},{},{},{},{},{}\n",

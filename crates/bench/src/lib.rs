@@ -6,7 +6,7 @@
 //! `results/`. Binaries honour two environment overrides for quick
 //! passes: `EQC_EPOCHS` and `EQC_SHOTS`.
 
-use eqc_core::ClientNode;
+use eqc_core::{Ensemble, EqcConfig, SequentialExecutor, TrainingReport};
 use std::fs;
 use std::path::PathBuf;
 use vqa::VqaProblem;
@@ -30,23 +30,76 @@ pub fn shots_or(default: usize) -> usize {
     env_param("EQC_SHOTS", default)
 }
 
-/// Builds client nodes for the named catalog devices.
+/// Builds an [`Ensemble`] over the named catalog devices (device `i`
+/// seeds its noise stream from `seed_base + i`).
 ///
 /// # Panics
 ///
-/// Panics if a name is missing from the catalog or a template does not
-/// fit the device.
-pub fn clients_for(problem: &dyn VqaProblem, names: &[&str], seed_base: u64) -> Vec<ClientNode> {
-    names
-        .iter()
-        .enumerate()
-        .map(|(i, n)| {
-            let spec = qdevice::catalog::by_name(n)
-                .unwrap_or_else(|| panic!("unknown device {n}"));
-            ClientNode::new(i, spec.backend(seed_base + i as u64), problem)
-                .unwrap_or_else(|e| panic!("{n}: {e}"))
-        })
-        .collect()
+/// Panics if a name is missing from the catalog or the configuration is
+/// invalid — harness binaries treat both as programmer errors.
+pub fn ensemble_for(names: &[&str], seed_base: u64, config: EqcConfig) -> Ensemble {
+    Ensemble::builder()
+        .devices(names.iter().copied())
+        .device_seed(seed_base)
+        .config(config)
+        .build()
+        .unwrap_or_else(|e| panic!("ensemble over {names:?}: {e}"))
+}
+
+/// Trains with the default deterministic discrete-event executor.
+///
+/// # Panics
+///
+/// Panics on any [`eqc_core::EqcError`] (harness-level fatal).
+pub fn train_eqc(
+    problem: &dyn VqaProblem,
+    names: &[&str],
+    seed_base: u64,
+    config: EqcConfig,
+) -> TrainingReport {
+    ensemble_for(names, seed_base, config)
+        .train(problem)
+        .unwrap_or_else(|e| panic!("EQC training failed: {e}"))
+}
+
+/// Trains the paper's single-machine baseline on one catalog device.
+///
+/// # Panics
+///
+/// Panics on any [`eqc_core::EqcError`] (harness-level fatal).
+pub fn train_single(
+    problem: &dyn VqaProblem,
+    name: &str,
+    seed: u64,
+    config: EqcConfig,
+) -> TrainingReport {
+    ensemble_for(&[name], seed, config)
+        .train_with(&SequentialExecutor::new(), problem)
+        .unwrap_or_else(|e| panic!("single-device training on {name} failed: {e}"))
+}
+
+/// Trains the ideal-simulator baseline (trainer label `ideal`).
+///
+/// # Panics
+///
+/// Panics on any [`eqc_core::EqcError`] (harness-level fatal).
+pub fn train_ideal_baseline(problem: &dyn VqaProblem, config: EqcConfig) -> TrainingReport {
+    Ensemble::builder()
+        .ideal_device()
+        .device_seed(config.seed)
+        .config(config)
+        .build()
+        .and_then(|e| e.train_with(&SequentialExecutor::new(), problem))
+        .unwrap_or_else(|e| panic!("ideal training failed: {e}"))
+}
+
+/// A weight band literal for harness code.
+///
+/// # Panics
+///
+/// Panics on an invalid band (harness-level fatal).
+pub fn band(lo: f64, hi: f64) -> eqc_core::WeightBounds {
+    eqc_core::WeightBounds::new(lo, hi).expect("valid weight band")
 }
 
 /// The `results/` directory (created on demand).
@@ -155,10 +208,20 @@ mod tests {
     }
 
     #[test]
-    fn clients_for_builds_ensemble() {
+    fn ensemble_for_builds_fleet() {
         let problem = vqa::QaoaProblem::maxcut_ring4();
-        let clients = clients_for(&problem, &["belem", "manila"], 0);
-        assert_eq!(clients.len(), 2);
-        assert_eq!(clients[0].device_name(), "belem");
+        let cfg = EqcConfig::paper_qaoa().with_epochs(1).with_shots(64);
+        let ensemble = ensemble_for(&["belem", "manila"], 0, cfg);
+        assert_eq!(ensemble.num_devices(), 2);
+        let report = ensemble.train(&problem).expect("trains");
+        assert_eq!(report.clients.len(), 2);
+        assert_eq!(report.clients[0].device, "belem");
+    }
+
+    #[test]
+    fn ideal_baseline_is_labeled() {
+        let problem = vqa::QaoaProblem::maxcut_ring4();
+        let cfg = EqcConfig::paper_qaoa().with_epochs(1).with_shots(64);
+        assert_eq!(train_ideal_baseline(&problem, cfg).trainer, "ideal");
     }
 }

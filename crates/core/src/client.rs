@@ -10,7 +10,7 @@ use crate::weighting;
 use qcircuit::{Circuit, ParamId};
 use qdevice::{QpuBackend, SimTime};
 use qsim::Counts;
-use transpile::{transpile, CircuitMetrics, Transpiled, TranspileError, TranspileOptions};
+use transpile::{transpile, CircuitMetrics, TranspileError, TranspileOptions, Transpiled};
 use vqa::{GradientTask, VqaProblem};
 
 /// A problem template prepared for one device.
@@ -362,7 +362,7 @@ mod tests {
                 param: ParamId(0),
                 slice: TaskSlice::Group(g),
             };
-            let r = client.run_task(&problem, task, &params, 40_000, SimTime::ZERO);
+            let r = client.run_task(&problem, task, &params, 120_000, SimTime::ZERO);
             total += r.gradient;
             assert_eq!(r.circuits_run, 2); // 1 occurrence x fwd/bck x 1 template
         }
@@ -381,10 +381,9 @@ mod tests {
     #[test]
     fn p_correct_reflects_device_quality() {
         let problem = VqeProblem::heisenberg_4q();
-        let good = ClientNode::new(0, catalog::by_name("bogota").unwrap().backend(1), &problem)
-            .unwrap();
-        let bad = ClientNode::new(1, catalog::by_name("x2").unwrap().backend(1), &problem)
-            .unwrap();
+        let good =
+            ClientNode::new(0, catalog::by_name("bogota").unwrap().backend(1), &problem).unwrap();
+        let bad = ClientNode::new(1, catalog::by_name("x2").unwrap().backend(1), &problem).unwrap();
         let t = SimTime::ZERO;
         assert!(good.p_correct_at(&[0], t) > bad.p_correct_at(&[0], t));
     }

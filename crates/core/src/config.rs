@@ -1,5 +1,6 @@
 //! Training configuration.
 
+use crate::error::EqcError;
 use crate::weighting::WeightBounds;
 
 /// Configuration of an EQC (or baseline) training run.
@@ -92,18 +93,48 @@ impl EqcConfig {
         self
     }
 
-    /// Validates ranges; called by trainers before running.
+    /// Validates ranges; called by [`Ensemble::builder`] and every
+    /// session constructor before training starts.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on non-positive learning rate, zero epochs or zero shots.
-    pub fn validate(&self) {
-        assert!(self.learning_rate > 0.0, "learning rate must be positive");
-        assert!(self.epochs > 0, "epoch budget must be positive");
-        assert!(self.shots > 0, "shot budget must be positive");
-        if let Some(c) = self.gradient_clip {
-            assert!(c > 0.0, "gradient clip must be positive");
+    /// [`EqcError::InvalidConfig`] naming the offending field on a
+    /// non-positive learning rate, zero epochs, zero shots, or a
+    /// non-positive gradient clip / time cap.
+    ///
+    /// [`Ensemble::builder`]: crate::Ensemble::builder
+    pub fn validate(&self) -> Result<(), EqcError> {
+        if !(self.learning_rate > 0.0 && self.learning_rate.is_finite()) {
+            return Err(EqcError::InvalidConfig(format!(
+                "learning rate must be positive and finite, got {}",
+                self.learning_rate
+            )));
         }
+        if self.epochs == 0 {
+            return Err(EqcError::InvalidConfig(
+                "epoch budget must be positive".into(),
+            ));
+        }
+        if self.shots == 0 {
+            return Err(EqcError::InvalidConfig(
+                "shot budget must be positive".into(),
+            ));
+        }
+        if let Some(c) = self.gradient_clip {
+            if c.is_nan() || c <= 0.0 {
+                return Err(EqcError::InvalidConfig(format!(
+                    "gradient clip must be positive, got {c}"
+                )));
+            }
+        }
+        if let Some(h) = self.max_virtual_hours {
+            if h.is_nan() || h <= 0.0 {
+                return Err(EqcError::InvalidConfig(format!(
+                    "virtual-time cap must be positive, got {h}"
+                )));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -124,7 +155,7 @@ mod tests {
         assert_eq!(c.shots, 8192);
         assert_eq!(c.epochs, 250);
         assert!(c.weight_bounds.is_none());
-        c.validate();
+        assert!(c.validate().is_ok());
     }
 
     #[test]
@@ -134,18 +165,29 @@ mod tests {
             .with_shots(128)
             .with_seed(3)
             .with_learning_rate(0.2)
-            .with_weights(WeightBounds::new(0.25, 1.75));
+            .with_weights(WeightBounds::new(0.25, 1.75).expect("valid band"));
         assert_eq!(c.epochs, 10);
         assert_eq!(c.shots, 128);
         assert_eq!(c.seed, 3);
         assert_eq!(c.learning_rate, 0.2);
         assert!(c.weight_bounds.is_some());
-        c.validate();
+        assert!(c.validate().is_ok());
     }
 
     #[test]
-    #[should_panic(expected = "epoch budget")]
-    fn zero_epochs_rejected() {
-        EqcConfig::paper_vqe().with_epochs(0).validate();
+    fn invalid_fields_become_typed_errors() {
+        use crate::error::EqcError;
+        for bad in [
+            EqcConfig::paper_vqe().with_epochs(0),
+            EqcConfig::paper_vqe().with_shots(0),
+            EqcConfig::paper_vqe().with_learning_rate(0.0),
+            EqcConfig::paper_vqe().with_learning_rate(-0.3),
+            EqcConfig::paper_vqe().with_time_cap_hours(0.0),
+        ] {
+            assert!(
+                matches!(bad.validate(), Err(EqcError::InvalidConfig(_))),
+                "{bad:?} should be rejected"
+            );
+        }
     }
 }

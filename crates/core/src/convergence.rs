@@ -86,11 +86,7 @@ pub fn delayed_sgd_quadratic(
         let g = lambdas[i] * stale[i];
         x[i] -= alpha * g;
         snapshots[step % (delay + 1)] = x.clone();
-        let loss: f64 = x
-            .iter()
-            .zip(lambdas)
-            .map(|(xi, l)| 0.5 * l * xi * xi)
-            .sum();
+        let loss: f64 = x.iter().zip(lambdas).map(|(xi, l)| 0.5 * l * xi * xi).sum();
         losses.push(loss);
     }
     losses
@@ -115,7 +111,13 @@ mod tests {
 
     #[test]
     fn gap_grows_with_staleness_and_step() {
-        let base = ConvergenceParams { m: 4, c: 1.0, d: 0, t: 4, alpha: 0.1 };
+        let base = ConvergenceParams {
+            m: 4,
+            c: 1.0,
+            d: 0,
+            t: 4,
+            alpha: 0.1,
+        };
         let stale = ConvergenceParams { d: 8, ..base };
         let big_step = ConvergenceParams { alpha: 0.5, ..base };
         assert!(stale.asymptotic_gap() > base.asymptotic_gap());
@@ -132,7 +134,13 @@ mod tests {
             let tail = losses[3900..].iter().copied().fold(0.0f64, f64::max);
             // Gradient bound along the trajectory: lambda_max * max|x0|.
             let c = 2.0 * 3.0;
-            let p = ConvergenceParams { m: 4, c, d: delay, t: 4, alpha };
+            let p = ConvergenceParams {
+                m: 4,
+                c,
+                d: delay,
+                t: 4,
+                alpha,
+            };
             assert!(
                 tail <= p.asymptotic_gap(),
                 "delay {delay}: tail loss {tail} above bound {}",
@@ -153,6 +161,9 @@ mod tests {
         let slow = delayed_sgd_quadratic(&[1.0, 1.0], &[1.0, -1.0], 0.3, 6, 200);
         let f_tail: f64 = fast[150..].iter().sum();
         let s_tail: f64 = slow[150..].iter().sum();
-        assert!(s_tail >= f_tail, "stale ASGD should not beat synchronous SGD");
+        assert!(
+            s_tail >= f_tail,
+            "stale ASGD should not beat synchronous SGD"
+        );
     }
 }

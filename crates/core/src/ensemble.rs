@@ -1,0 +1,406 @@
+//! The `Ensemble` session API — the single entry point to EQC training.
+//!
+//! An [`Ensemble`] is a reusable description of a device fleet plus a
+//! training configuration, built with [`Ensemble::builder`]. Binding it
+//! to a problem yields an [`EnsembleSession`] (devices transpile the
+//! problem's templates once, the master state initializes), and any
+//! [`Executor`] drains the session into a
+//! [`TrainingReport`](crate::report::TrainingReport):
+//!
+//! ```
+//! use eqc_core::{DiscreteEventExecutor, Ensemble, EqcConfig, Executor};
+//! use vqa::QaoaProblem;
+//!
+//! let problem = QaoaProblem::maxcut_ring4();
+//! let ensemble = Ensemble::builder()
+//!     .device("belem")
+//!     .device("manila")
+//!     .config(EqcConfig::paper_qaoa().with_epochs(3).with_shots(256))
+//!     .build()?;
+//! let report = ensemble.train(&problem)?; // discrete-event by default
+//! assert_eq!(report.epochs, 3);
+//!
+//! // Equivalent, choosing the executor explicitly:
+//! let mut session = ensemble.session(&problem)?;
+//! let report = DiscreteEventExecutor::new().run(&mut session)?;
+//! assert_eq!(report.epochs, 3);
+//! # Ok::<(), eqc_core::EqcError>(())
+//! ```
+
+use crate::client::ClientNode;
+use crate::config::EqcConfig;
+use crate::error::EqcError;
+use crate::executor::{DiscreteEventExecutor, Executor};
+use crate::master::MasterLoop;
+use crate::report::TrainingReport;
+use crate::trainer::ideal_backend;
+use qdevice::QpuBackend;
+use vqa::VqaProblem;
+
+/// One device slot of an ensemble, resolved lazily where needed.
+#[derive(Clone, Debug)]
+enum Device {
+    /// A concrete backend (catalog-resolved or user-supplied).
+    Backend(Box<QpuBackend>),
+    /// A noiseless zero-latency device, sized to the problem at session
+    /// time.
+    Ideal { seed: u64 },
+}
+
+/// A reusable fleet + configuration. Create with [`Ensemble::builder`].
+#[derive(Clone, Debug)]
+pub struct Ensemble {
+    devices: Vec<Device>,
+    config: EqcConfig,
+}
+
+impl Ensemble {
+    /// Starts building an ensemble.
+    pub fn builder() -> EnsembleBuilder {
+        EnsembleBuilder {
+            devices: Vec::new(),
+            config: EqcConfig::default(),
+            device_seed: 0,
+            seed: None,
+        }
+    }
+
+    /// The training configuration the ensemble was built with.
+    pub fn config(&self) -> EqcConfig {
+        self.config
+    }
+
+    /// Number of devices in the fleet.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Binds the ensemble to a problem: transpiles every template for
+    /// every device and initializes the master state.
+    ///
+    /// # Errors
+    ///
+    /// [`EqcError::Transpile`] if a template does not fit a device;
+    /// [`EqcError::EmptyProblem`] if the problem has no parameters or no
+    /// gradient tasks.
+    pub fn session<'p>(
+        &self,
+        problem: &'p dyn VqaProblem,
+    ) -> Result<EnsembleSession<'p>, EqcError> {
+        if problem.num_params() == 0 || problem.tasks().is_empty() {
+            return Err(EqcError::EmptyProblem(problem.name()));
+        }
+        let mut clients = Vec::with_capacity(self.devices.len());
+        for (i, device) in self.devices.iter().enumerate() {
+            let backend = match device {
+                Device::Backend(b) => (**b).clone(),
+                Device::Ideal { seed } => ideal_backend(problem.num_qubits(), *seed),
+            };
+            let device_name = backend.name().to_string();
+            let client =
+                ClientNode::new(i, backend, problem).map_err(|source| EqcError::Transpile {
+                    device: device_name,
+                    source,
+                })?;
+            clients.push(client);
+        }
+        let master = MasterLoop::new(problem, self.config, clients.len());
+        Ok(EnsembleSession {
+            problem,
+            config: self.config,
+            clients,
+            master,
+            consumed: false,
+        })
+    }
+
+    /// Trains with the default (deterministic discrete-event) executor.
+    pub fn train(&self, problem: &dyn VqaProblem) -> Result<TrainingReport, EqcError> {
+        self.train_with(&DiscreteEventExecutor::new(), problem)
+    }
+
+    /// Trains with an explicit executor.
+    pub fn train_with<E: Executor + ?Sized>(
+        &self,
+        executor: &E,
+        problem: &dyn VqaProblem,
+    ) -> Result<TrainingReport, EqcError> {
+        let mut session = self.session(problem)?;
+        executor.run(&mut session)
+    }
+}
+
+/// Builder for [`Ensemble`] — devices by catalog name, custom backends
+/// or the ideal simulator, plus configuration and seeds.
+#[derive(Clone, Debug)]
+pub struct EnsembleBuilder {
+    devices: Vec<DeviceChoice>,
+    config: EqcConfig,
+    device_seed: u64,
+    seed: Option<u64>,
+}
+
+#[derive(Clone, Debug)]
+enum DeviceChoice {
+    Named(String),
+    Custom(Box<QpuBackend>),
+    Ideal,
+}
+
+impl EnsembleBuilder {
+    /// Adds a device from the Table I catalog by name.
+    pub fn device(mut self, name: impl Into<String>) -> Self {
+        self.devices.push(DeviceChoice::Named(name.into()));
+        self
+    }
+
+    /// Adds several catalog devices at once.
+    pub fn devices<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        for name in names {
+            self.devices.push(DeviceChoice::Named(name.into()));
+        }
+        self
+    }
+
+    /// Adds a custom backend (degraded calibrations, multiprogramming
+    /// slots, broken devices, ...).
+    pub fn backend(mut self, backend: QpuBackend) -> Self {
+        self.devices.push(DeviceChoice::Custom(Box::new(backend)));
+        self
+    }
+
+    /// Adds the paper's noiseless zero-latency ideal device, sized to
+    /// the problem when a session is created.
+    pub fn ideal_device(mut self) -> Self {
+        self.devices.push(DeviceChoice::Ideal);
+        self
+    }
+
+    /// Sets the training configuration (defaults to
+    /// [`EqcConfig::default`]).
+    pub fn config(mut self, config: EqcConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the master seed: initial parameters *and* the base seed for
+    /// catalog-device noise streams. Overrides `config.seed`.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Sets only the base seed for catalog-device noise streams
+    /// (device `i` draws from `device_seed + i`), leaving the
+    /// parameter-initialization seed to the configuration. The figure
+    /// harnesses use this to pin fleets independently of `config.seed`.
+    pub fn device_seed(mut self, seed: u64) -> Self {
+        self.device_seed = seed;
+        self
+    }
+
+    /// Validates and resolves the ensemble.
+    ///
+    /// # Errors
+    ///
+    /// [`EqcError::InvalidConfig`] for out-of-range configuration,
+    /// [`EqcError::EmptyEnsemble`] when no device was added, and
+    /// [`EqcError::UnknownDevice`] for names missing from the catalog.
+    pub fn build(self) -> Result<Ensemble, EqcError> {
+        let mut config = self.config;
+        let device_seed = match self.seed {
+            Some(s) => {
+                config.seed = s;
+                s
+            }
+            None => self.device_seed,
+        };
+        config.validate()?;
+        if self.devices.is_empty() {
+            return Err(EqcError::EmptyEnsemble);
+        }
+        let mut devices = Vec::with_capacity(self.devices.len());
+        for (i, choice) in self.devices.into_iter().enumerate() {
+            devices.push(match choice {
+                DeviceChoice::Named(name) => {
+                    let spec = qdevice::catalog::by_name(&name)
+                        .ok_or_else(|| EqcError::UnknownDevice(name.clone()))?;
+                    Device::Backend(Box::new(spec.backend(device_seed + i as u64)))
+                }
+                DeviceChoice::Custom(backend) => Device::Backend(backend),
+                DeviceChoice::Ideal => Device::Ideal {
+                    seed: (device_seed + i as u64) ^ 0x5eed,
+                },
+            });
+        }
+        Ok(Ensemble { devices, config })
+    }
+}
+
+/// An ensemble bound to one problem: transpiled clients plus the master
+/// state, ready for one [`Executor::run`].
+pub struct EnsembleSession<'p> {
+    problem: &'p dyn VqaProblem,
+    config: EqcConfig,
+    clients: Vec<ClientNode>,
+    master: MasterLoop,
+    consumed: bool,
+}
+
+impl<'p> EnsembleSession<'p> {
+    /// Builds a session directly from pre-constructed clients — the
+    /// delegation path for the deprecated trainer shims and for tests
+    /// that need hand-tuned [`ClientNode`]s.
+    ///
+    /// # Errors
+    ///
+    /// [`EqcError::InvalidConfig`] / [`EqcError::EmptyEnsemble`] /
+    /// [`EqcError::EmptyProblem`] as in [`Ensemble::session`].
+    pub fn from_clients(
+        problem: &'p dyn VqaProblem,
+        config: EqcConfig,
+        clients: Vec<ClientNode>,
+    ) -> Result<Self, EqcError> {
+        config.validate()?;
+        if clients.is_empty() {
+            return Err(EqcError::EmptyEnsemble);
+        }
+        if problem.num_params() == 0 || problem.tasks().is_empty() {
+            return Err(EqcError::EmptyProblem(problem.name()));
+        }
+        let master = MasterLoop::new(problem, config, clients.len());
+        Ok(EnsembleSession {
+            problem,
+            config,
+            clients,
+            master,
+            consumed: false,
+        })
+    }
+
+    /// The bound problem (the returned reference outlives the session).
+    pub fn problem(&self) -> &'p dyn VqaProblem {
+        self.problem
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> EqcConfig {
+        self.config
+    }
+
+    /// Number of clients in the session.
+    pub fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Marks the session consumed; executors call this exactly once at
+    /// the top of [`Executor::run`].
+    ///
+    /// # Errors
+    ///
+    /// [`EqcError::SessionConsumed`] if the session already trained.
+    pub fn begin(&mut self) -> Result<(), EqcError> {
+        if self.consumed {
+            return Err(EqcError::SessionConsumed);
+        }
+        self.consumed = true;
+        Ok(())
+    }
+
+    /// Splits the session into its clients and master state — the two
+    /// halves every executor drives against each other.
+    pub fn split_mut(&mut self) -> (&mut Vec<ClientNode>, &mut MasterLoop) {
+        (&mut self.clients, &mut self.master)
+    }
+
+    /// Moves the clients out (thread-based executors hand each client to
+    /// its worker); pair with [`EnsembleSession::put_clients`].
+    pub fn take_clients(&mut self) -> Vec<ClientNode> {
+        std::mem::take(&mut self.clients)
+    }
+
+    /// Returns clients taken with [`EnsembleSession::take_clients`] so
+    /// the final report sees their counters.
+    pub fn put_clients(&mut self, clients: Vec<ClientNode>) {
+        self.clients = clients;
+    }
+
+    /// Assembles the training report under the given trainer label.
+    pub fn finish(&self, trainer: String) -> TrainingReport {
+        self.master.report(self.problem, trainer, &self.clients)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_device_is_a_typed_error() {
+        let err = Ensemble::builder().device("atlantis").build().unwrap_err();
+        assert_eq!(err, EqcError::UnknownDevice("atlantis".into()));
+    }
+
+    #[test]
+    fn empty_ensemble_is_a_typed_error() {
+        let err = Ensemble::builder().build().unwrap_err();
+        assert_eq!(err, EqcError::EmptyEnsemble);
+    }
+
+    #[test]
+    fn invalid_config_is_a_typed_error() {
+        let err = Ensemble::builder()
+            .device("belem")
+            .config(EqcConfig::paper_qaoa().with_epochs(0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, EqcError::InvalidConfig(_)), "{err:?}");
+    }
+
+    #[test]
+    fn session_is_single_use() {
+        let problem = vqa::QaoaProblem::maxcut_ring4();
+        let ensemble = Ensemble::builder()
+            .device("belem")
+            .config(EqcConfig::paper_qaoa().with_epochs(1).with_shots(64))
+            .build()
+            .unwrap();
+        let mut session = ensemble.session(&problem).unwrap();
+        let first = DiscreteEventExecutor::new().run(&mut session);
+        assert!(first.is_ok());
+        let second = DiscreteEventExecutor::new().run(&mut session);
+        assert_eq!(second.unwrap_err(), EqcError::SessionConsumed);
+    }
+
+    #[test]
+    fn ensemble_is_reusable_across_sessions() {
+        let problem = vqa::QaoaProblem::maxcut_ring4();
+        let ensemble = Ensemble::builder()
+            .device("belem")
+            .device("manila")
+            .config(EqcConfig::paper_qaoa().with_epochs(2).with_shots(128))
+            .build()
+            .unwrap();
+        let a = ensemble.train(&problem).unwrap();
+        let b = ensemble.train(&problem).unwrap();
+        assert_eq!(a.final_params, b.final_params, "fresh session, same stream");
+    }
+
+    #[test]
+    fn ideal_device_resolves_at_session_time() {
+        let problem = vqa::QaoaProblem::maxcut_ring4();
+        let report = Ensemble::builder()
+            .ideal_device()
+            .config(EqcConfig::paper_qaoa().with_epochs(2).with_shots(256))
+            .build()
+            .unwrap()
+            .train(&problem)
+            .unwrap();
+        assert_eq!(report.clients.len(), 1);
+        assert_eq!(report.clients[0].device, "ideal");
+    }
+}

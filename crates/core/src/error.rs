@@ -1,0 +1,88 @@
+//! Typed errors for the EQC framework.
+//!
+//! Every public constructor and training entry point returns
+//! [`EqcError`] instead of panicking: invalid configurations, empty
+//! ensembles, unknown catalog devices and transpilation failures all
+//! surface as values the caller can match on.
+
+use std::fmt;
+use transpile::TranspileError;
+
+/// Everything that can go wrong building or training an ensemble.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EqcError {
+    /// A configuration field is out of range (the message names it).
+    InvalidConfig(String),
+    /// The ensemble was built without any devices.
+    EmptyEnsemble,
+    /// The problem defines no parameters or no gradient tasks, so no
+    /// training schedule exists.
+    EmptyProblem(String),
+    /// A device name was not found in the [`qdevice::catalog`].
+    UnknownDevice(String),
+    /// A problem template does not fit a device's topology.
+    Transpile {
+        /// The device whose topology rejected the circuit.
+        device: String,
+        /// The underlying transpiler error.
+        source: TranspileError,
+    },
+    /// The session already ran; build a fresh session to train again.
+    SessionConsumed,
+    /// An internal invariant broke (e.g. a worker thread panicked).
+    Internal(String),
+}
+
+impl fmt::Display for EqcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EqcError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            EqcError::EmptyEnsemble => write!(f, "ensemble has no devices"),
+            EqcError::EmptyProblem(name) => {
+                write!(f, "problem {name} defines no trainable schedule")
+            }
+            EqcError::UnknownDevice(name) => {
+                write!(f, "device {name:?} is not in the catalog")
+            }
+            EqcError::Transpile { device, source } => {
+                write!(f, "transpilation failed for {device}: {source}")
+            }
+            EqcError::SessionConsumed => {
+                write!(f, "session already trained; create a new session")
+            }
+            EqcError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EqcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EqcError::Transpile { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        assert!(EqcError::EmptyEnsemble.to_string().contains("no devices"));
+        assert!(EqcError::UnknownDevice("atlantis".into())
+            .to_string()
+            .contains("atlantis"));
+        assert!(EqcError::InvalidConfig("epochs must be positive".into())
+            .to_string()
+            .contains("epochs"));
+    }
+
+    #[test]
+    fn errors_compare_and_clone() {
+        let e = EqcError::UnknownDevice("x".into());
+        assert_eq!(e.clone(), e);
+        assert_ne!(e, EqcError::EmptyEnsemble);
+    }
+}

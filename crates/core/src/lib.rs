@@ -7,44 +7,73 @@
 //! quality score computed from its transpiled circuit and live calibration
 //! (Eq. 2).
 //!
+//! ## The session API
+//!
+//! All training flows through one composable surface:
+//!
+//! 1. [`Ensemble::builder`] describes the fleet — catalog devices by
+//!    name, custom [`QpuBackend`](qdevice::QpuBackend)s, or the ideal
+//!    simulator — plus an [`EqcConfig`] and seeds;
+//! 2. [`Ensemble::session`] binds a [`VqaProblem`](vqa::VqaProblem)
+//!    (each device transpiles the problem's templates once — Algorithm 2);
+//! 3. an [`Executor`] drains the session into a [`TrainingReport`].
+//!
+//! ```
+//! use eqc_core::{Ensemble, EqcConfig};
+//! use vqa::QaoaProblem;
+//!
+//! let problem = QaoaProblem::maxcut_ring4();
+//! let report = Ensemble::builder()
+//!     .device("belem")
+//!     .device("manila")
+//!     .config(EqcConfig::paper_qaoa().with_epochs(3).with_shots(256))
+//!     .build()?
+//!     .train(&problem)?;
+//! assert_eq!(report.epochs, 3);
+//! # Ok::<(), eqc_core::EqcError>(())
+//! ```
+//!
+//! ## Executors — the extension axis
+//!
+//! The execution substrate is a strategy, not a fork of the codebase:
+//! every executor drives the same extracted master loop
+//! ([`MasterLoop`]: cyclic schedule, per-parameter gathers, weighted
+//! ASGD updates, staleness tracking), so a future async / sharded /
+//! remote substrate is a new [`Executor`] impl.
+//!
+//! * [`DiscreteEventExecutor`] — deterministic virtual time (default);
+//! * [`ThreadedExecutor`] — one OS thread per client (Ray.io analogue);
+//! * [`SequentialExecutor`] — the single-device baseline and the
+//!   synchronous-ensemble ablation.
+//!
+//! Failures are values: every constructor and training entry point
+//! returns [`EqcError`] instead of panicking.
+//!
+//! ## Modules
+//!
+//! * [`ensemble`] — the builder/session surface;
+//! * [`executor`] — the [`Executor`] trait and its three substrates;
+//! * [`master`] — the shared master loop (Algorithm 1);
 //! * [`client`] — the client node (Algorithm 2): transpile once, serve
 //!   batched shift-rule jobs, report gradients + `P_correct`;
-//! * [`trainer`] — the master node (Algorithm 1) over a deterministic
-//!   discrete-event executor, plus single-device and ideal baselines;
-//! * [`threaded`] — the same master/client protocol over real OS threads
-//!   (the Ray.io analogue);
 //! * [`weighting`] — Eq. 2 and the bounded linear weight normalization of
 //!   Figs. 5/9/12;
 //! * [`convergence`] — the appendix ASGD bound (Eq. 14);
 //! * [`stats`] — the estimators behind Fig. 4 (R^2, Pearson, p-value);
 //! * [`report`] — per-epoch histories and device statistics for every
-//!   figure harness.
-//!
-//! ## Quickstart
-//!
-//! ```
-//! use eqc_core::{ClientNode, EqcConfig, EqcTrainer};
-//! use vqa::QaoaProblem;
-//!
-//! let problem = QaoaProblem::maxcut_ring4();
-//! let clients: Vec<ClientNode> = ["belem", "manila"]
-//!     .iter()
-//!     .enumerate()
-//!     .map(|(i, name)| {
-//!         let backend = qdevice::catalog::by_name(name).unwrap().backend(i as u64);
-//!         ClientNode::new(i, backend, &problem).unwrap()
-//!     })
-//!     .collect();
-//! let config = EqcConfig::paper_qaoa().with_epochs(3).with_shots(256);
-//! let report = EqcTrainer::new(config).train(&problem, clients);
-//! assert_eq!(report.epochs, 3);
-//! ```
+//!   figure harness;
+//! * [`trainer`] / [`threaded`] — the pre-0.2 entry points, deprecated
+//!   shims over the session API.
 
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod config;
 pub mod convergence;
+pub mod ensemble;
+pub mod error;
+pub mod executor;
+pub mod master;
 pub mod report;
 pub mod stats;
 pub mod threaded;
@@ -54,7 +83,15 @@ pub mod weighting;
 pub use client::{ClientNode, ClientTaskResult};
 pub use config::EqcConfig;
 pub use convergence::ConvergenceParams;
+pub use ensemble::{Ensemble, EnsembleBuilder, EnsembleSession};
+pub use error::EqcError;
+pub use executor::{DiscreteEventExecutor, Executor, SequentialExecutor, ThreadedExecutor};
+pub use master::{Assignment, MasterLoop};
 pub use report::{ClientStats, EpochRecord, TrainingReport, WeightSample};
-pub use threaded::train_threaded;
-pub use trainer::{ideal_backend, train_ideal, EqcTrainer, SingleDeviceTrainer, SyncEnsembleTrainer};
+pub use trainer::ideal_backend;
 pub use weighting::{normalize_weights, p_correct, WeightBounds};
+
+#[allow(deprecated)]
+pub use threaded::train_threaded;
+#[allow(deprecated)]
+pub use trainer::{train_ideal, EqcTrainer, SingleDeviceTrainer, SyncEnsembleTrainer};

@@ -1,0 +1,366 @@
+//! The shared master-loop core behind every [`Executor`].
+//!
+//! Algorithm 1 of the paper is one state machine regardless of the
+//! execution substrate: walk the cyclic task schedule, gather each
+//! (cycle, parameter)'s slice gradients, apply the weighted ASGD update
+//! `theta <- theta - w * alpha * g` (Eqs. 4/12), track staleness, and
+//! record epoch history. [`MasterLoop`] owns that state machine; the
+//! executors in [`crate::executor`] differ only in *how* tasks reach
+//! devices and in which order results come back.
+//!
+//! [`Executor`]: crate::executor::Executor
+
+use crate::client::{ClientNode, ClientTaskResult};
+use crate::config::EqcConfig;
+use crate::report::{ClientStats, EpochRecord, TrainingReport, WeightSample};
+use crate::weighting::WeightBounds;
+use qdevice::SimTime;
+use std::collections::HashMap;
+use vqa::{GradientTask, VqaProblem};
+
+/// A task handed to a client, with everything the master needs to file
+/// the result when it returns.
+#[derive(Clone, Debug)]
+pub struct Assignment {
+    /// The gradient task to execute.
+    pub task: GradientTask,
+    /// Snapshot of the parameters at dispatch time.
+    pub params: Vec<f64>,
+    /// Cycle index of the task (gather key component).
+    pub cycle: usize,
+    /// Parameter-update counter at dispatch time (staleness tracking).
+    pub dispatched_at_update: u64,
+}
+
+/// Accumulates the slice gradients of one (cycle, parameter) gather.
+struct Gather {
+    remaining: usize,
+    weighted_sum: f64,
+}
+
+/// The master node's full optimization state, shared by every executor.
+pub struct MasterLoop {
+    config: EqcConfig,
+    n_clients: usize,
+
+    // Cyclic schedule.
+    tasks: Vec<GradientTask>,
+    tasks_per_cycle: usize,
+    params_per_cycle: usize,
+    slices_per_param: HashMap<usize, usize>,
+    cursor: usize,
+
+    // Optimization state.
+    theta: Vec<f64>,
+    update_count: u64,
+    epochs_recorded: usize,
+    terminated: bool,
+    gathers: HashMap<(usize, usize), Gather>,
+
+    // Weighting state.
+    last_p: Vec<f64>,
+    p_seen: Vec<bool>,
+    p_sums: Vec<f64>,
+    absorbed: Vec<u64>,
+    w_sums: Vec<f64>,
+    w_counts: Vec<u64>,
+    weight_trace: Vec<WeightSample>,
+
+    // History and staleness telemetry.
+    history: Vec<EpochRecord>,
+    update_log: Vec<(usize, usize)>,
+    staleness_max: u64,
+    staleness_sum: u64,
+    staleness_n: u64,
+    now: SimTime,
+}
+
+impl MasterLoop {
+    /// Builds the master state for `problem` under `config`.
+    ///
+    /// The caller (the session constructor) has already validated the
+    /// configuration and checked that the problem has a non-empty
+    /// schedule.
+    pub(crate) fn new(problem: &dyn VqaProblem, config: EqcConfig, n_clients: usize) -> Self {
+        let tasks = problem.tasks();
+        let tasks_per_cycle = tasks.len();
+        let params_per_cycle = problem.num_params();
+        let mut slices_per_param: HashMap<usize, usize> = HashMap::new();
+        for t in &tasks {
+            *slices_per_param.entry(t.param.index()).or_insert(0) += 1;
+        }
+        MasterLoop {
+            config,
+            n_clients,
+            theta: problem.initial_point(config.seed),
+            tasks,
+            tasks_per_cycle,
+            params_per_cycle,
+            slices_per_param,
+            cursor: 0,
+            update_count: 0,
+            epochs_recorded: 0,
+            terminated: false,
+            gathers: HashMap::new(),
+            last_p: vec![1.0; n_clients],
+            p_seen: vec![false; n_clients],
+            p_sums: vec![0.0; n_clients],
+            absorbed: vec![0; n_clients],
+            w_sums: vec![0.0; n_clients],
+            w_counts: vec![0; n_clients],
+            weight_trace: Vec::new(),
+            history: Vec::new(),
+            update_log: Vec::new(),
+            staleness_max: 0,
+            staleness_sum: 0,
+            staleness_n: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Whether the training goal is met (epoch budget reached or the
+    /// virtual-time cap crossed).
+    pub fn is_complete(&self) -> bool {
+        self.terminated || self.epochs_recorded >= self.config.epochs
+    }
+
+    /// The latest virtual time observed across absorbed results.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The (cycle, parameter) group the next assignment belongs to.
+    /// Executors with barrier semantics use this to detect group
+    /// boundaries without consuming the assignment.
+    ///
+    /// Group detection relies on [`VqaProblem::tasks`] listing all
+    /// slices of a parameter contiguously (which every shipped problem
+    /// does; the schedule is the paper's cyclic per-parameter walk).
+    pub fn next_group(&self) -> (usize, usize) {
+        let cycle = self.cursor / self.tasks_per_cycle;
+        let param = self.tasks[self.cursor % self.tasks_per_cycle].param.index();
+        (cycle, param)
+    }
+
+    /// Takes the next task off the cyclic schedule, registering its
+    /// gather (Algorithm 1's dispatch step).
+    pub fn next_assignment(&mut self) -> Assignment {
+        let cycle = self.cursor / self.tasks_per_cycle;
+        let task = self.tasks[self.cursor % self.tasks_per_cycle];
+        self.cursor += 1;
+        let slices = self.slices_per_param[&task.param.index()];
+        self.gathers
+            .entry((cycle, task.param.index()))
+            .or_insert(Gather {
+                remaining: slices,
+                weighted_sum: 0.0,
+            });
+        Assignment {
+            task,
+            params: self.theta.clone(),
+            cycle,
+            dispatched_at_update: self.update_count,
+        }
+    }
+
+    /// Files one completed task: updates the weighting state, folds the
+    /// weighted gradient into its gather and, when the gather completes,
+    /// applies the ASGD update and records staleness / epoch history.
+    ///
+    /// Results completing past the virtual-time cap are discarded and
+    /// mark the run terminated (the paper's 2-week cutoff).
+    pub fn absorb(
+        &mut self,
+        client: usize,
+        cycle: usize,
+        dispatched_at_update: u64,
+        result: &ClientTaskResult,
+        problem: &dyn VqaProblem,
+    ) {
+        if self.is_complete() {
+            return;
+        }
+        self.now = self.now.max(result.completed);
+        if let Some(cap) = self.config.max_virtual_hours {
+            if result.completed.as_hours() > cap {
+                self.terminated = true;
+                return;
+            }
+        }
+
+        // Fresh P_correct for the reporting client.
+        self.last_p[client] = result.p_correct;
+        self.p_seen[client] = true;
+        self.p_sums[client] += result.p_correct;
+        self.absorbed[client] += 1;
+
+        let w = match self.config.weight_bounds {
+            // Weighting normalizes devices against each other; with a
+            // single client there is nothing to normalize, so the
+            // weighting system is inert (as in the pre-0.2
+            // single-device trainer).
+            Some(_) if self.n_clients < 2 => 1.0,
+            Some(bounds) => {
+                let ws = effective_weights(&self.last_p, &self.p_seen, bounds);
+                self.weight_trace.push(WeightSample {
+                    virtual_hours: self.now.as_hours(),
+                    weights: ws.clone(),
+                });
+                ws[client]
+            }
+            None => 1.0,
+        };
+        self.w_sums[client] += w;
+        self.w_counts[client] += 1;
+
+        // Fold the weighted slice gradient into its gather.
+        let key = (cycle, result.task.param.index());
+        let done = {
+            let g = self
+                .gathers
+                .get_mut(&key)
+                .expect("gather registered at dispatch");
+            g.weighted_sum += w * result.gradient;
+            g.remaining -= 1;
+            g.remaining == 0
+        };
+        if done {
+            let g = self.gathers.remove(&key).expect("checked above");
+            let mut step = self.config.learning_rate * g.weighted_sum;
+            if let Some(clip) = self.config.gradient_clip {
+                step = step.clamp(-clip, clip);
+            }
+            self.theta[key.1] -= step;
+            self.update_count += 1;
+            self.update_log.push(key);
+
+            let staleness = self.update_count.saturating_sub(dispatched_at_update + 1);
+            self.staleness_max = self.staleness_max.max(staleness);
+            self.staleness_sum += staleness;
+            self.staleness_n += 1;
+
+            // Epoch boundary: every parameter updated once more.
+            if self.update_count as usize / self.params_per_cycle > self.epochs_recorded {
+                self.epochs_recorded = self.update_count as usize / self.params_per_cycle;
+                self.history.push(EpochRecord {
+                    epoch: self.epochs_recorded,
+                    virtual_hours: self.now.as_hours(),
+                    ideal_loss: problem.ideal_loss(&self.theta),
+                });
+            }
+        }
+    }
+
+    /// Assembles the final [`TrainingReport`] from the master state and
+    /// the (returned) clients' counters.
+    pub fn report(
+        &self,
+        problem: &dyn VqaProblem,
+        trainer: String,
+        clients: &[ClientNode],
+    ) -> TrainingReport {
+        let final_loss = problem.ideal_loss(&self.theta);
+        let client_stats = clients
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ClientStats {
+                device: c.device_name(),
+                tasks_completed: c.tasks_completed(),
+                circuits_run: c.circuits_run(),
+                mean_p_correct: if self.absorbed[i] > 0 {
+                    self.p_sums[i] / self.absorbed[i] as f64
+                } else {
+                    0.0
+                },
+                mean_weight: if self.w_counts[i] > 0 {
+                    self.w_sums[i] / self.w_counts[i] as f64
+                } else {
+                    1.0
+                },
+                utilization: c.backend().utilization(self.now),
+            })
+            .collect();
+        TrainingReport {
+            problem: problem.name(),
+            trainer,
+            epochs: self.epochs_recorded,
+            history: self.history.clone(),
+            final_params: self.theta.clone(),
+            final_loss,
+            reference_minimum: problem.reference_minimum(),
+            total_hours: self.now.as_hours(),
+            clients: client_stats,
+            weight_trace: self.weight_trace.clone(),
+            updates_applied: self.update_count,
+            update_log: self.update_log.clone(),
+            max_staleness: self.staleness_max as usize,
+            mean_staleness: if self.staleness_n > 0 {
+                self.staleness_sum as f64 / self.staleness_n as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Weights from the latest `P_correct` per client: clients that have not
+/// reported yet ride at the band midpoint so one fast device cannot
+/// dominate the normalization early. Shared by every executor.
+pub(crate) fn effective_weights(last_p: &[f64], seen: &[bool], bounds: WeightBounds) -> Vec<f64> {
+    let reported: Vec<f64> = last_p
+        .iter()
+        .zip(seen)
+        .filter(|(_, s)| **s)
+        .map(|(p, _)| *p)
+        .collect();
+    if reported.len() < 2 {
+        return vec![bounds.midpoint(); last_p.len()];
+    }
+    let min = reported.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = reported.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    last_p
+        .iter()
+        .zip(seen)
+        .map(|(p, s)| {
+            if !s || span < 1e-12 {
+                bounds.midpoint()
+            } else {
+                bounds.lo + (p - min) / span * (bounds.hi - bounds.lo)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqa::QaoaProblem;
+
+    #[test]
+    fn schedule_cycles_through_every_parameter() {
+        let problem = QaoaProblem::maxcut_ring4();
+        let cfg = EqcConfig::paper_qaoa().with_epochs(2).with_shots(64);
+        let mut master = MasterLoop::new(&problem, cfg, 2);
+        let tasks_per_cycle = problem.tasks().len();
+        let mut seen_params = std::collections::HashSet::new();
+        for _ in 0..tasks_per_cycle {
+            let a = master.next_assignment();
+            assert_eq!(a.cycle, 0);
+            seen_params.insert(a.task.param.index());
+        }
+        assert_eq!(seen_params.len(), problem.num_params());
+        let (cycle, _) = master.next_group();
+        assert_eq!(cycle, 1, "second cycle starts after one full pass");
+    }
+
+    #[test]
+    fn midpoint_weights_until_two_clients_report() {
+        let bounds = WeightBounds::default_band();
+        let w = effective_weights(&[0.9, 1.0, 0.4], &[true, false, false], bounds);
+        assert_eq!(w, vec![1.0, 1.0, 1.0]);
+        let w = effective_weights(&[0.9, 1.0, 0.4], &[true, false, true], bounds);
+        assert!(w[0] > w[2], "better device gets more weight: {w:?}");
+        assert_eq!(w[1], 1.0, "silent client rides the midpoint");
+    }
+}

@@ -47,7 +47,7 @@ pub struct WeightSample {
 }
 
 /// The full record of a training run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TrainingReport {
     /// Problem name.
     pub problem: String,
@@ -69,6 +69,12 @@ pub struct TrainingReport {
     pub clients: Vec<ClientStats>,
     /// Weight trace over time (empty when unweighted).
     pub weight_trace: Vec<WeightSample>,
+    /// Parameter updates applied (gathers completed).
+    pub updates_applied: u64,
+    /// The (cycle, parameter) key of every applied update, in
+    /// application order — the executor-equivalence tests compare these
+    /// across substrates.
+    pub update_log: Vec<(usize, usize)>,
     /// Maximum observed update staleness (ASGD delay `D` of Eq. 12-14).
     pub max_staleness: usize,
     /// Mean observed update staleness.
@@ -201,10 +207,26 @@ mod tests {
             trainer: "eqc".into(),
             epochs: 4,
             history: vec![
-                EpochRecord { epoch: 1, virtual_hours: 0.5, ideal_loss: -1.0 },
-                EpochRecord { epoch: 2, virtual_hours: 1.0, ideal_loss: -3.0 },
-                EpochRecord { epoch: 3, virtual_hours: 1.5, ideal_loss: -3.9 },
-                EpochRecord { epoch: 4, virtual_hours: 2.0, ideal_loss: -3.95 },
+                EpochRecord {
+                    epoch: 1,
+                    virtual_hours: 0.5,
+                    ideal_loss: -1.0,
+                },
+                EpochRecord {
+                    epoch: 2,
+                    virtual_hours: 1.0,
+                    ideal_loss: -3.0,
+                },
+                EpochRecord {
+                    epoch: 3,
+                    virtual_hours: 1.5,
+                    ideal_loss: -3.9,
+                },
+                EpochRecord {
+                    epoch: 4,
+                    virtual_hours: 2.0,
+                    ideal_loss: -3.95,
+                },
             ],
             final_params: vec![0.0; 4],
             final_loss: -3.95,
@@ -212,6 +234,8 @@ mod tests {
             total_hours: 2.0,
             clients: vec![],
             weight_trace: vec![],
+            updates_applied: 16,
+            update_log: (0..4).flat_map(|c| (0..4).map(move |p| (c, p))).collect(),
             max_staleness: 3,
             mean_staleness: 1.2,
         }

@@ -1,266 +1,45 @@
-//! A real multi-threaded executor for the EQC architecture.
+//! Deprecated threaded entry point, kept for one release as a shim over
+//! [`ThreadedExecutor`](crate::executor::ThreadedExecutor).
 //!
-//! The paper builds its master/client system on Ray.io actors; this
-//! module is the Rust equivalent: one OS thread per client node, crossbeam
-//! channels for the task/result protocol, and a master loop applying ASGD
-//! updates in true arrival order. Virtual device latencies still govern
-//! the *recorded* timeline, but ordering is decided by the operating
-//! system scheduler — so runs are realistic rather than reproducible.
-//! The deterministic discrete-event executor in [`crate::trainer`] is the
-//! default for experiments; this one demonstrates (and tests) that the
-//! architecture works under genuine concurrency.
+//! The paper builds its master/client system on Ray.io actors; the Rust
+//! equivalent now lives in [`crate::executor`] as an [`Executor`]
+//! implementation (one OS thread per client, channel-based protocol).
+//!
+//! [`Executor`]: crate::executor::Executor
 
-use crate::client::{ClientNode, ClientTaskResult};
+use crate::client::ClientNode;
 use crate::config::EqcConfig;
-use crate::report::{ClientStats, EpochRecord, TrainingReport, WeightSample};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use qdevice::SimTime;
-use std::collections::HashMap;
-use std::thread;
-use vqa::{GradientTask, VqaProblem};
-
-/// A task assignment sent to a client thread.
-struct Assignment {
-    task: GradientTask,
-    params: Vec<f64>,
-    cycle: usize,
-    dispatched_at_update: u64,
-}
-
-/// A result returned by a client thread.
-struct ThreadResult {
-    client: usize,
-    result: ClientTaskResult,
-    cycle: usize,
-    dispatched_at_update: u64,
-}
+use crate::ensemble::EnsembleSession;
+use crate::error::EqcError;
+use crate::executor::{Executor, ThreadedExecutor};
+use crate::report::TrainingReport;
+use vqa::VqaProblem;
 
 /// Trains `problem` across the ensemble with one OS thread per client.
 ///
-/// Semantics match [`crate::trainer::EqcTrainer`] (cyclic tasks, gather
-/// per parameter, weighted ASGD updates) but arrival order is decided by
+/// Semantics match the discrete-event default (cyclic tasks, gather per
+/// parameter, weighted ASGD updates) but arrival order is decided by
 /// real thread scheduling.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `clients` is empty or a client thread panics.
+/// [`EqcError::InvalidConfig`] / [`EqcError::EmptyEnsemble`] instead of
+/// the panics of the pre-0.2 API.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Ensemble::builder().…build()?.train_with(&ThreadedExecutor::new(), &problem)"
+)]
 pub fn train_threaded(
     problem: &dyn VqaProblem,
     clients: Vec<ClientNode>,
     config: EqcConfig,
-) -> TrainingReport {
-    config.validate();
-    assert!(!clients.is_empty(), "EQC needs at least one client");
-    let n_clients = clients.len();
-    let tasks = problem.tasks();
-    let tasks_per_cycle = tasks.len();
-    let params_per_cycle = problem.num_params();
-    let mut slices_per_param: HashMap<usize, usize> = HashMap::new();
-    for t in &tasks {
-        *slices_per_param.entry(t.param.index()).or_insert(0) += 1;
-    }
-
-    let (result_tx, result_rx): (Sender<ThreadResult>, Receiver<ThreadResult>) = unbounded();
-
-    // Spawn client threads; each owns its ClientNode and a task channel.
-    let mut task_txs: Vec<Sender<Assignment>> = Vec::with_capacity(n_clients);
-    thread::scope(|scope| {
-        let mut device_names = Vec::with_capacity(n_clients);
-        let mut handles = Vec::with_capacity(n_clients);
-        for (idx, mut client) in clients.into_iter().enumerate() {
-            device_names.push(client.device_name());
-            let (tx, rx): (Sender<Assignment>, Receiver<Assignment>) = unbounded();
-            task_txs.push(tx);
-            let result_tx = result_tx.clone();
-            let problem_ref: &dyn VqaProblem = problem;
-            let shots = config.shots;
-            handles.push(scope.spawn(move || {
-                // Each client keeps its own virtual-time cursor: jobs on a
-                // device are serialized, independent of other devices.
-                let mut local_time = SimTime::ZERO;
-                // tasks, circuits, p_sum, busy_seconds
-                let mut stats = (0u64, 0u64, 0.0f64, 0.0f64);
-                while let Ok(a) = rx.recv() {
-                    let r = client.run_task(problem_ref, a.task, &a.params, shots, local_time);
-                    local_time = r.completed;
-                    stats.0 += 1;
-                    stats.1 += r.circuits_run as u64;
-                    stats.2 += r.p_correct;
-                    stats.3 = client.backend().busy_seconds();
-                    if result_tx
-                        .send(ThreadResult {
-                            client: idx,
-                            result: r,
-                            cycle: a.cycle,
-                            dispatched_at_update: a.dispatched_at_update,
-                        })
-                        .is_err()
-                    {
-                        break;
-                    }
-                }
-                stats
-            }));
-        }
-        drop(result_tx);
-
-        // Master loop.
-        let mut theta = problem.initial_point(config.seed);
-        let mut cursor = 0usize;
-        let mut update_count = 0u64;
-        let mut epochs_recorded = 0usize;
-        struct Gather {
-            remaining: usize,
-            weighted_sum: f64,
-        }
-        let mut gathers: HashMap<(usize, usize), Gather> = HashMap::new();
-        let mut last_p = vec![1.0f64; n_clients];
-        let mut p_seen = vec![false; n_clients];
-        let mut w_sums = vec![0.0f64; n_clients];
-        let mut w_counts = vec![0u64; n_clients];
-        let mut weight_trace: Vec<WeightSample> = Vec::new();
-        let mut history: Vec<EpochRecord> = Vec::new();
-        let mut staleness_max = 0u64;
-        let mut staleness_sum = 0u64;
-        let mut staleness_n = 0u64;
-        let mut latest_time = SimTime::ZERO;
-
-        let dispatch = |client_idx: usize,
-                            cursor: &mut usize,
-                            gathers: &mut HashMap<(usize, usize), Gather>,
-                            theta: &[f64],
-                            update_count: u64| {
-            let cycle = *cursor / tasks_per_cycle;
-            let task = tasks[*cursor % tasks_per_cycle];
-            *cursor += 1;
-            gathers.entry((cycle, task.param.index())).or_insert(Gather {
-                remaining: slices_per_param[&task.param.index()],
-                weighted_sum: 0.0,
-            });
-            task_txs[client_idx]
-                .send(Assignment {
-                    task,
-                    params: theta.to_vec(),
-                    cycle,
-                    dispatched_at_update: update_count,
-                })
-                .expect("client thread alive");
-        };
-
-        for c in 0..n_clients {
-            dispatch(c, &mut cursor, &mut gathers, &theta, update_count);
-        }
-
-        while epochs_recorded < config.epochs {
-            let tr = result_rx.recv().expect("client threads alive");
-            latest_time = latest_time.max(tr.result.completed);
-            if let Some(cap) = config.max_virtual_hours {
-                if tr.result.completed.as_hours() > cap {
-                    break; // the paper's experiment cutoff
-                }
-            }
-            last_p[tr.client] = tr.result.p_correct;
-            p_seen[tr.client] = true;
-
-            let w = match config.weight_bounds {
-                Some(bounds) => {
-                    let ws = crate::trainer::effective_weights(&last_p, &p_seen, bounds);
-                    weight_trace.push(WeightSample {
-                        virtual_hours: latest_time.as_hours(),
-                        weights: ws.clone(),
-                    });
-                    ws[tr.client]
-                }
-                None => 1.0,
-            };
-            w_sums[tr.client] += w;
-            w_counts[tr.client] += 1;
-
-            let key = (tr.cycle, tr.result.task.param.index());
-            let done = {
-                let g = gathers.get_mut(&key).expect("gather exists");
-                g.weighted_sum += w * tr.result.gradient;
-                g.remaining -= 1;
-                g.remaining == 0
-            };
-            if done {
-                let g = gathers.remove(&key).expect("checked");
-                let mut step = config.learning_rate * g.weighted_sum;
-                if let Some(clip) = config.gradient_clip {
-                    step = step.clamp(-clip, clip);
-                }
-                theta[tr.result.task.param.index()] -= step;
-                update_count += 1;
-                let staleness = update_count.saturating_sub(tr.dispatched_at_update + 1);
-                staleness_max = staleness_max.max(staleness);
-                staleness_sum += staleness;
-                staleness_n += 1;
-                if update_count as usize / params_per_cycle > epochs_recorded {
-                    epochs_recorded = update_count as usize / params_per_cycle;
-                    history.push(EpochRecord {
-                        epoch: epochs_recorded,
-                        virtual_hours: latest_time.as_hours(),
-                        ideal_loss: problem.ideal_loss(&theta),
-                    });
-                }
-            }
-            if epochs_recorded >= config.epochs {
-                break;
-            }
-            dispatch(tr.client, &mut cursor, &mut gathers, &theta, update_count);
-        }
-
-        // Shut the clients down and collect their stats.
-        drop(task_txs);
-        let mut client_stats = Vec::with_capacity(n_clients);
-        for (i, h) in handles.into_iter().enumerate() {
-            let (tasks_done, circuits, p_sum, busy_s) =
-                h.join().expect("client thread panicked");
-            client_stats.push(ClientStats {
-                device: device_names[i].clone(),
-                tasks_completed: tasks_done,
-                circuits_run: circuits,
-                mean_p_correct: if tasks_done > 0 {
-                    p_sum / tasks_done as f64
-                } else {
-                    0.0
-                },
-                mean_weight: if w_counts[i] > 0 {
-                    w_sums[i] / w_counts[i] as f64
-                } else {
-                    1.0
-                },
-                utilization: if latest_time.as_secs() > 0.0 {
-                    (busy_s / latest_time.as_secs()).min(1.0)
-                } else {
-                    0.0
-                },
-            });
-        }
-
-        let final_loss = problem.ideal_loss(&theta);
-        TrainingReport {
-            problem: problem.name(),
-            trainer: format!("eqc-threaded[{n_clients}]"),
-            epochs: epochs_recorded,
-            history,
-            final_params: theta,
-            final_loss,
-            reference_minimum: problem.reference_minimum(),
-            total_hours: latest_time.as_hours(),
-            clients: client_stats,
-            weight_trace,
-            max_staleness: staleness_max as usize,
-            mean_staleness: if staleness_n > 0 {
-                staleness_sum as f64 / staleness_n as f64
-            } else {
-                0.0
-            },
-        }
-    })
+) -> Result<TrainingReport, EqcError> {
+    let mut session = EnsembleSession::from_clients(problem, config, clients)?;
+    ThreadedExecutor::new().run(&mut session)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use qdevice::{catalog, DriftModel, QpuBackend, QueueModel};
@@ -293,7 +72,7 @@ mod tests {
         let problem = QaoaProblem::maxcut_ring4();
         let clients = quiet_clients(&problem, &["belem", "manila", "bogota"]);
         let cfg = EqcConfig::paper_qaoa().with_epochs(25).with_shots(1024);
-        let report = train_threaded(&problem, clients, cfg);
+        let report = train_threaded(&problem, clients, cfg).unwrap();
         assert_eq!(report.epochs, 25);
         assert!(
             report.converged_loss(5) < -0.55,
@@ -309,7 +88,7 @@ mod tests {
         let problem = QaoaProblem::maxcut_ring4();
         let clients = quiet_clients(&problem, &["belem", "manila", "bogota", "quito"]);
         let cfg = EqcConfig::paper_qaoa().with_epochs(12).with_shots(256);
-        let report = train_threaded(&problem, clients, cfg);
+        let report = train_threaded(&problem, clients, cfg).unwrap();
         for c in &report.clients {
             assert!(c.tasks_completed > 0, "{} never ran", c.device);
         }
@@ -322,8 +101,8 @@ mod tests {
         let cfg = EqcConfig::paper_qaoa()
             .with_epochs(6)
             .with_shots(256)
-            .with_weights(crate::weighting::WeightBounds::new(0.5, 1.5));
-        let report = train_threaded(&problem, clients, cfg);
+            .with_weights(crate::weighting::WeightBounds::new(0.5, 1.5).unwrap());
+        let report = train_threaded(&problem, clients, cfg).unwrap();
         assert!(!report.weight_trace.is_empty());
     }
 }

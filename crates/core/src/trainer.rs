@@ -1,28 +1,31 @@
-//! The EQC master node (Algorithm 1) and baseline trainers.
+//! Deprecated trainer entry points, kept for one release as thin shims
+//! over the [`Ensemble`](crate::Ensemble) session API, plus the
+//! [`ideal_backend`] helper shared with the new API.
 //!
-//! [`EqcTrainer`] drives an ensemble of [`ClientNode`]s with asynchronous
-//! stochastic gradient descent over deterministic virtual time: a
-//! discrete-event loop pops the earliest-finishing client, applies its
-//! (weighted) gradient with the ASGD rule `theta <- theta - w * alpha * g`
-//! (paper Eqs. 4/12), and immediately hands that client the next task in
-//! the cyclic parameter schedule. Gradients computed against stale
-//! parameters are applied as-is — exactly the bounded-staleness model of
-//! the paper's convergence proof.
+//! The four historical entry points — [`EqcTrainer`],
+//! [`SingleDeviceTrainer`], [`SyncEnsembleTrainer`] and [`train_ideal`]
+//! (with [`crate::threaded::train_threaded`]) — each re-implemented the
+//! master loop. They now delegate to the one extracted core:
 //!
-//! [`SingleDeviceTrainer`] is the paper's per-machine baseline (ordinary
-//! sequential SGD on one QPU), and [`ideal_backend`] builds the noiseless
-//! zero-latency device behind the "Ideal Solution" curves.
+//! | Deprecated | Replacement |
+//! |---|---|
+//! | `EqcTrainer::train` | [`DiscreteEventExecutor`] via [`Ensemble::train`](crate::Ensemble::train) |
+//! | `SingleDeviceTrainer::train` | [`SequentialExecutor`] on one device |
+//! | `SyncEnsembleTrainer::train` | [`SequentialExecutor`] on the fleet |
+//! | `train_ideal` | [`EnsembleBuilder::ideal_device`](crate::EnsembleBuilder::ideal_device) |
+//!
+//! Unlike their panicking ancestors, the shims return
+//! `Result<TrainingReport, EqcError>`.
 
-use crate::client::{ClientNode, ClientTaskResult};
+use crate::client::ClientNode;
 use crate::config::EqcConfig;
-use crate::report::{ClientStats, EpochRecord, TrainingReport, WeightSample};
-use crate::weighting::WeightBounds;
-use qdevice::{Calibration, DriftModel, QpuBackend, QueueModel, SimTime};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-use std::collections::HashMap;
+use crate::ensemble::EnsembleSession;
+use crate::error::EqcError;
+use crate::executor::{DiscreteEventExecutor, Executor, SequentialExecutor};
+use crate::report::TrainingReport;
+use qdevice::{Calibration, DriftModel, QpuBackend, QueueModel};
 use transpile::Topology;
-use vqa::{GradientTask, VqaProblem};
+use vqa::VqaProblem;
 
 /// A noiseless, zero-queue backend: the paper's ideal simulator baseline.
 ///
@@ -51,565 +54,184 @@ pub fn ideal_backend(n_qubits: usize, seed: u64) -> QpuBackend {
     .with_downtime_hours(0.0)
 }
 
-/// A completed task waiting in the event queue, ordered by completion
-/// time (earliest first).
-struct Event {
-    completed: SimTime,
-    client: usize,
-    result: ClientTaskResult,
-    /// Parameter-update counter at dispatch time (staleness tracking).
-    dispatched_at_update: u64,
-    /// Cycle index of the dispatched task (gather key component).
-    cycle: usize,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.completed == other.completed
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap: invert for earliest-first, tie-break
-        // on client id for determinism.
-        other
-            .completed
-            .partial_cmp(&self.completed)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.client.cmp(&self.client))
-    }
-}
-
-/// Accumulates the slice gradients of one (cycle, parameter) gather.
-struct Gather {
-    remaining: usize,
-    weighted_sum: f64,
-}
-
-/// The EQC ensemble trainer.
+/// The historical EQC ensemble trainer.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Ensemble::builder().…build()?.train(&problem) — the DiscreteEventExecutor"
+)]
 #[derive(Clone, Copy, Debug)]
 pub struct EqcTrainer {
     config: EqcConfig,
 }
 
+#[allow(deprecated)]
 impl EqcTrainer {
-    /// Creates a trainer with the given configuration.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration is invalid.
+    /// Creates a trainer with the given configuration. The configuration
+    /// is validated when training starts, not here.
     pub fn new(config: EqcConfig) -> Self {
-        config.validate();
         EqcTrainer { config }
     }
 
     /// Trains `problem` over the ensemble, consuming the clients.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `clients` is empty.
-    pub fn train(&self, problem: &dyn VqaProblem, mut clients: Vec<ClientNode>) -> TrainingReport {
-        assert!(!clients.is_empty(), "EQC needs at least one client");
-        let cfg = self.config;
-        let n_clients = clients.len();
-        let tasks = problem.tasks();
-        let tasks_per_cycle = tasks.len();
-        let params_per_cycle = problem.num_params();
-        // How many slices each parameter contributes per cycle.
-        let mut slices_per_param: HashMap<usize, usize> = HashMap::new();
-        for t in &tasks {
-            *slices_per_param.entry(t.param.index()).or_insert(0) += 1;
-        }
-
-        let mut theta = problem.initial_point(cfg.seed);
-        let mut cursor = 0usize; // global task cursor; cycle = cursor / tasks_per_cycle
-        let mut update_count = 0u64; // applied parameter updates
-        let mut epochs_recorded = 0usize;
-        let mut gathers: HashMap<(usize, usize), Gather> = HashMap::new();
-        let mut queue: BinaryHeap<Event> = BinaryHeap::new();
-
-        // Weighting state: last P_correct per client.
-        let mut last_p: Vec<f64> = vec![1.0; n_clients];
-        let mut p_seen: Vec<bool> = vec![false; n_clients];
-        let mut weight_trace: Vec<WeightSample> = Vec::new();
-        let mut p_sums: Vec<f64> = vec![0.0; n_clients];
-        let mut w_sums: Vec<f64> = vec![0.0; n_clients];
-        let mut w_counts: Vec<u64> = vec![0; n_clients];
-
-        let mut history: Vec<EpochRecord> = Vec::new();
-        let mut staleness_max = 0u64;
-        let mut staleness_sum = 0u64;
-        let mut staleness_n = 0u64;
-        let mut now = SimTime::ZERO;
-
-        let dispatch = |client_idx: usize,
-                            clients: &mut Vec<ClientNode>,
-                            cursor: &mut usize,
-                            gathers: &mut HashMap<(usize, usize), Gather>,
-                            queue: &mut BinaryHeap<Event>,
-                            theta: &[f64],
-                            submit: SimTime,
-                            update_count: u64| {
-            let cycle = *cursor / tasks_per_cycle;
-            let task: GradientTask = tasks[*cursor % tasks_per_cycle];
-            *cursor += 1;
-            gathers
-                .entry((cycle, task.param.index()))
-                .or_insert_with(|| Gather {
-                    remaining: slices_per_param[&task.param.index()],
-                    weighted_sum: 0.0,
-                });
-            let result =
-                clients[client_idx].run_task(problem, task, theta, cfg.shots, submit);
-            queue.push(Event {
-                completed: result.completed,
-                client: client_idx,
-                result,
-                dispatched_at_update: update_count,
-                cycle,
-            });
-        };
-
-        // Prime every client with one task.
-        for c in 0..n_clients {
-            dispatch(
-                c,
-                &mut clients,
-                &mut cursor,
-                &mut gathers,
-                &mut queue,
-                &theta,
-                SimTime::ZERO,
-                update_count,
-            );
-        }
-
-        while epochs_recorded < cfg.epochs {
-            let ev = queue.pop().expect("clients always hold pending work");
-            now = ev.completed;
-            if let Some(cap) = cfg.max_virtual_hours {
-                if now.as_hours() > cap {
-                    break; // terminated, like the paper's 2-week cutoff
-                }
-            }
-
-            // Update the weighting state with the client's fresh P_correct.
-            last_p[ev.client] = ev.result.p_correct;
-            p_seen[ev.client] = true;
-            p_sums[ev.client] += ev.result.p_correct;
-
-            let weights = match cfg.weight_bounds {
-                Some(bounds) => {
-                    let w = effective_weights(&last_p, &p_seen, bounds);
-                    weight_trace.push(WeightSample {
-                        virtual_hours: now.as_hours(),
-                        weights: w.clone(),
-                    });
-                    w
-                }
-                None => vec![1.0; n_clients],
-            };
-            let w = weights[ev.client];
-            w_sums[ev.client] += w;
-            w_counts[ev.client] += 1;
-
-            // Fold the weighted slice gradient into its gather.
-            let key = (ev.cycle, ev.result.task.param.index());
-            let done = {
-                let g = gathers.get_mut(&key).expect("gather exists for dispatched task");
-                g.weighted_sum += w * ev.result.gradient;
-                g.remaining -= 1;
-                g.remaining == 0
-            };
-            if done {
-                let g = gathers.remove(&key).expect("checked above");
-                let mut step = cfg.learning_rate * g.weighted_sum;
-                if let Some(clip) = cfg.gradient_clip {
-                    step = step.clamp(-clip, clip);
-                }
-                theta[ev.result.task.param.index()] -= step;
-                update_count += 1;
-
-                let staleness = update_count.saturating_sub(ev.dispatched_at_update + 1);
-                staleness_max = staleness_max.max(staleness);
-                staleness_sum += staleness;
-                staleness_n += 1;
-
-                // Epoch boundary: every parameter updated once more.
-                if update_count as usize / params_per_cycle > epochs_recorded {
-                    epochs_recorded = update_count as usize / params_per_cycle;
-                    history.push(EpochRecord {
-                        epoch: epochs_recorded,
-                        virtual_hours: now.as_hours(),
-                        ideal_loss: problem.ideal_loss(&theta),
-                    });
-                }
-            }
-
-            if epochs_recorded >= cfg.epochs {
-                break;
-            }
-            // Hand the finished client its next task (Algorithm 1's
-            // "sends a new parameter to differentiate at an idle client").
-            dispatch(
-                ev.client,
-                &mut clients,
-                &mut cursor,
-                &mut gathers,
-                &mut queue,
-                &theta,
-                now,
-                update_count,
-            );
-        }
-
-        let final_loss = problem.ideal_loss(&theta);
-        let client_stats = clients
-            .iter()
-            .enumerate()
-            .map(|(i, c)| ClientStats {
-                device: c.device_name(),
-                tasks_completed: c.tasks_completed(),
-                circuits_run: c.circuits_run(),
-                mean_p_correct: if c.tasks_completed() > 0 {
-                    p_sums[i] / c.tasks_completed() as f64
-                } else {
-                    0.0
-                },
-                mean_weight: if w_counts[i] > 0 {
-                    w_sums[i] / w_counts[i] as f64
-                } else {
-                    1.0
-                },
-                utilization: c.backend().utilization(now),
-            })
-            .collect();
-        TrainingReport {
-            problem: problem.name(),
-            trainer: format!("eqc[{n_clients}]"),
-            epochs: epochs_recorded,
-            history,
-            final_params: theta,
-            final_loss,
-            reference_minimum: problem.reference_minimum(),
-            total_hours: now.as_hours(),
-            clients: client_stats,
-            weight_trace,
-            max_staleness: staleness_max as usize,
-            mean_staleness: if staleness_n > 0 {
-                staleness_sum as f64 / staleness_n as f64
-            } else {
-                0.0
-            },
-        }
+    /// [`EqcError::InvalidConfig`] / [`EqcError::EmptyEnsemble`] instead
+    /// of the panics of the pre-0.2 API.
+    pub fn train(
+        &self,
+        problem: &dyn VqaProblem,
+        clients: Vec<ClientNode>,
+    ) -> Result<TrainingReport, EqcError> {
+        let mut session = EnsembleSession::from_clients(problem, self.config, clients)?;
+        DiscreteEventExecutor::new().run(&mut session)
     }
 }
 
-/// Weights from the latest `P_correct` per client: clients that have not
-/// reported yet ride at the band midpoint so one fast device cannot
-/// dominate the normalization early. Shared with the threaded executor.
-pub(crate) fn effective_weights(last_p: &[f64], seen: &[bool], bounds: WeightBounds) -> Vec<f64> {
-    let reported: Vec<f64> = last_p
-        .iter()
-        .zip(seen)
-        .filter(|(_, s)| **s)
-        .map(|(p, _)| *p)
-        .collect();
-    if reported.len() < 2 {
-        return vec![bounds.midpoint(); last_p.len()];
-    }
-    let min = reported.iter().copied().fold(f64::INFINITY, f64::min);
-    let max = reported.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let span = max - min;
-    last_p
-        .iter()
-        .zip(seen)
-        .map(|(p, s)| {
-            if !s || span < 1e-12 {
-                bounds.midpoint()
-            } else {
-                bounds.lo + (p - min) / span * (bounds.hi - bounds.lo)
-            }
-        })
-        .collect()
-}
-
-/// The paper's single-machine baseline: ordinary sequential SGD on one
-/// device — submit every slice of a parameter, wait, update, move on.
+/// The historical single-machine baseline trainer.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Ensemble::builder().…build()?.train_with(&SequentialExecutor::new(), &problem)"
+)]
 #[derive(Clone, Copy, Debug)]
 pub struct SingleDeviceTrainer {
     config: EqcConfig,
 }
 
+#[allow(deprecated)]
 impl SingleDeviceTrainer {
-    /// Creates a trainer with the given configuration.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration is invalid.
+    /// Creates a trainer with the given configuration. The configuration
+    /// is validated when training starts, not here.
     pub fn new(config: EqcConfig) -> Self {
-        config.validate();
         SingleDeviceTrainer { config }
     }
 
     /// Trains `problem` on a single client.
-    pub fn train(&self, problem: &dyn VqaProblem, mut client: ClientNode) -> TrainingReport {
-        let cfg = self.config;
-        let mut theta = problem.initial_point(cfg.seed);
-        let tasks = problem.tasks();
-        let params_per_cycle = problem.num_params();
-        let mut history = Vec::with_capacity(cfg.epochs);
-        let mut now = SimTime::ZERO;
-        let mut p_sum = 0.0;
-        let mut updates = 0usize;
-
-        let mut terminated = false;
-        for epoch in 1..=cfg.epochs {
-            // Walk the cyclic task list; tasks of the same parameter are
-            // contiguous, gathered locally, then applied.
-            let mut idx = 0usize;
-            while idx < tasks.len() {
-                let param = tasks[idx].param;
-                let mut grad = 0.0;
-                while idx < tasks.len() && tasks[idx].param == param {
-                    let r = client.run_task(problem, tasks[idx], &theta, cfg.shots, now);
-                    now = r.completed;
-                    p_sum += r.p_correct;
-                    grad += r.gradient;
-                    idx += 1;
-                }
-                let mut step = cfg.learning_rate * grad;
-                if let Some(clip) = cfg.gradient_clip {
-                    step = step.clamp(-clip, clip);
-                }
-                theta[param.index()] -= step;
-                updates += 1;
-                if let Some(cap) = cfg.max_virtual_hours {
-                    if now.as_hours() > cap {
-                        terminated = true;
-                        break;
-                    }
-                }
-            }
-            let _ = params_per_cycle;
-            history.push(EpochRecord {
-                epoch,
-                virtual_hours: now.as_hours(),
-                ideal_loss: problem.ideal_loss(&theta),
-            });
-            if terminated {
-                break; // the paper's 2-week experiment cutoff
-            }
-        }
-
-        let final_loss = problem.ideal_loss(&theta);
-        let stats = ClientStats {
-            device: client.device_name(),
-            tasks_completed: client.tasks_completed(),
-            circuits_run: client.circuits_run(),
-            mean_p_correct: if client.tasks_completed() > 0 {
-                p_sum / client.tasks_completed() as f64
-            } else {
-                0.0
-            },
-            mean_weight: 1.0,
-            utilization: client.backend().utilization(now),
-        };
-        let _ = updates;
-        let epochs_done = history.len();
-        TrainingReport {
-            problem: problem.name(),
-            trainer: format!("single:{}", client.device_name()),
-            epochs: epochs_done,
-            history,
-            final_params: theta,
-            final_loss,
-            reference_minimum: problem.reference_minimum(),
-            total_hours: now.as_hours(),
-            clients: vec![stats],
-            weight_trace: Vec::new(),
-            max_staleness: 0,
-            mean_staleness: 0.0,
-        }
+    ///
+    /// Behavioral notes vs the pre-0.2 implementation: with
+    /// `max_virtual_hours` set, the update that crosses the cap is now
+    /// *discarded* (the unified rule all executors share, matching the
+    /// old ensemble trainers) instead of applied, so a capped run may
+    /// report one fewer update and no trailing partial-epoch record.
+    /// `weight_bounds` remains inert for a single client (weighting
+    /// normalizes devices against each other).
+    ///
+    /// # Errors
+    ///
+    /// [`EqcError::InvalidConfig`] on a bad configuration.
+    pub fn train(
+        &self,
+        problem: &dyn VqaProblem,
+        client: ClientNode,
+    ) -> Result<TrainingReport, EqcError> {
+        let mut session = EnsembleSession::from_clients(problem, self.config, vec![client])?;
+        SequentialExecutor::new().run(&mut session)
     }
 }
 
-/// Synchronous data-parallel SGD over the ensemble — the staleness
-/// ablation (DESIGN.md #5).
-///
-/// Each parameter's slices are dispatched to distinct clients
-/// *simultaneously*, then a barrier waits for all of them before the
-/// update applies. No gradient is ever stale, but parallelism is capped
-/// at the slice count per parameter and every barrier waits for the
-/// slowest participating device — which is exactly why the paper's
-/// asynchronous design wins on heterogeneous fleets.
+/// The historical barrier-synchronized ensemble trainer (the staleness
+/// ablation).
+#[deprecated(
+    since = "0.2.0",
+    note = "use Ensemble::builder().…build()?.train_with(&SequentialExecutor::new(), &problem)"
+)]
 #[derive(Clone, Copy, Debug)]
 pub struct SyncEnsembleTrainer {
     config: EqcConfig,
 }
 
+#[allow(deprecated)]
 impl SyncEnsembleTrainer {
-    /// Creates a trainer with the given configuration.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration is invalid.
+    /// Creates a trainer with the given configuration. The configuration
+    /// is validated when training starts, not here.
     pub fn new(config: EqcConfig) -> Self {
-        config.validate();
         SyncEnsembleTrainer { config }
     }
 
     /// Trains `problem` with barrier-synchronized parameter updates.
     ///
-    /// # Panics
+    /// Behavioral note vs the pre-0.2 implementation: with
+    /// `max_virtual_hours` set, the update that crosses the cap is now
+    /// *discarded* (the unified rule all executors share) instead of
+    /// applied, so a capped run may report one fewer update and no
+    /// trailing partial-epoch record.
     ///
-    /// Panics if `clients` is empty.
-    pub fn train(&self, problem: &dyn VqaProblem, mut clients: Vec<ClientNode>) -> TrainingReport {
-        assert!(!clients.is_empty(), "ensemble needs at least one client");
-        let cfg = self.config;
-        let n_clients = clients.len();
-        let tasks = problem.tasks();
-        let mut theta = problem.initial_point(cfg.seed);
-        let mut history = Vec::with_capacity(cfg.epochs);
-        let mut now = SimTime::ZERO;
-        let mut last_p = vec![1.0f64; n_clients];
-        let mut p_seen = vec![false; n_clients];
-        let mut w_sums = vec![0.0f64; n_clients];
-        let mut w_counts = vec![0u64; n_clients];
-        let mut p_sums = vec![0.0f64; n_clients];
-        let mut terminated = false;
-
-        'training: for epoch in 1..=cfg.epochs {
-            let mut idx = 0usize;
-            let mut param_round = 0usize;
-            while idx < tasks.len() {
-                let param = tasks[idx].param;
-                // Fan the parameter's slices out across distinct clients.
-                let mut grad = 0.0;
-                let mut barrier = now;
-                let mut k = 0usize;
-                while idx < tasks.len() && tasks[idx].param == param {
-                    let ci = (param_round + k) % n_clients;
-                    let r = clients[ci].run_task(problem, tasks[idx], &theta, cfg.shots, now);
-                    last_p[ci] = r.p_correct;
-                    p_seen[ci] = true;
-                    p_sums[ci] += r.p_correct;
-                    let w = match cfg.weight_bounds {
-                        Some(bounds) => effective_weights(&last_p, &p_seen, bounds)[ci],
-                        None => 1.0,
-                    };
-                    w_sums[ci] += w;
-                    w_counts[ci] += 1;
-                    grad += w * r.gradient;
-                    barrier = barrier.max(r.completed);
-                    idx += 1;
-                    k += 1;
-                }
-                now = barrier; // synchronous: wait for the slowest slice
-                let mut step = cfg.learning_rate * grad;
-                if let Some(clip) = cfg.gradient_clip {
-                    step = step.clamp(-clip, clip);
-                }
-                theta[param.index()] -= step;
-                param_round += 1;
-                if let Some(cap) = cfg.max_virtual_hours {
-                    if now.as_hours() > cap {
-                        terminated = true;
-                        break;
-                    }
-                }
-            }
-            history.push(EpochRecord {
-                epoch,
-                virtual_hours: now.as_hours(),
-                ideal_loss: problem.ideal_loss(&theta),
-            });
-            if terminated {
-                break 'training;
-            }
-        }
-
-        let final_loss = problem.ideal_loss(&theta);
-        let client_stats = clients
-            .iter()
-            .enumerate()
-            .map(|(i, c)| ClientStats {
-                device: c.device_name(),
-                tasks_completed: c.tasks_completed(),
-                circuits_run: c.circuits_run(),
-                mean_p_correct: if c.tasks_completed() > 0 {
-                    p_sums[i] / c.tasks_completed() as f64
-                } else {
-                    0.0
-                },
-                mean_weight: if w_counts[i] > 0 {
-                    w_sums[i] / w_counts[i] as f64
-                } else {
-                    1.0
-                },
-                utilization: c.backend().utilization(now),
-            })
-            .collect();
-        let epochs_done = history.len();
-        TrainingReport {
-            problem: problem.name(),
-            trainer: format!("sync[{n_clients}]"),
-            epochs: epochs_done,
-            history,
-            final_params: theta,
-            final_loss,
-            reference_minimum: problem.reference_minimum(),
-            total_hours: now.as_hours(),
-            clients: client_stats,
-            weight_trace: Vec::new(),
-            max_staleness: 0, // barriers eliminate staleness by design
-            mean_staleness: 0.0,
-        }
+    /// # Errors
+    ///
+    /// [`EqcError::InvalidConfig`] / [`EqcError::EmptyEnsemble`] instead
+    /// of the panics of the pre-0.2 API.
+    pub fn train(
+        &self,
+        problem: &dyn VqaProblem,
+        clients: Vec<ClientNode>,
+    ) -> Result<TrainingReport, EqcError> {
+        let mut session = EnsembleSession::from_clients(problem, self.config, clients)?;
+        SequentialExecutor::new().run(&mut session)
     }
 }
 
-/// Convenience: trains the ideal-simulator baseline (single noiseless
-/// zero-latency device).
-pub fn train_ideal(problem: &dyn VqaProblem, config: EqcConfig) -> TrainingReport {
+/// Trains the ideal-simulator baseline (single noiseless zero-latency
+/// device).
+///
+/// # Errors
+///
+/// [`EqcError::InvalidConfig`] on a bad configuration.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Ensemble::builder().ideal_device().config(cfg).build()?.train_with(&SequentialExecutor::new(), &problem)"
+)]
+pub fn train_ideal(
+    problem: &dyn VqaProblem,
+    config: EqcConfig,
+) -> Result<TrainingReport, EqcError> {
     let backend = ideal_backend(problem.num_qubits(), config.seed ^ 0x5eed);
-    let client = crate::client::ClientNode::new(0, backend, problem)
-        .expect("ideal backend always fits");
-    let mut report = SingleDeviceTrainer::new(config).train(problem, client);
-    report.trainer = "ideal".into();
-    report
+    let client = ClientNode::new(0, backend, problem).map_err(|source| EqcError::Transpile {
+        device: "ideal".into(),
+        source,
+    })?;
+    let mut session = EnsembleSession::from_clients(problem, config, vec![client])?;
+    SequentialExecutor::new().run(&mut session)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::ensemble::Ensemble;
+    use crate::executor::ThreadedExecutor;
+    use crate::weighting::WeightBounds;
     use qdevice::catalog;
     use vqa::{QaoaProblem, VqeProblem};
+
+    /// Low-noise catalog backends, as the pre-0.2 test suite used.
+    fn quiet_backend(name: &str, seed: u64) -> QpuBackend {
+        let spec = catalog::by_name(name).unwrap();
+        let mut cal = spec.calibration();
+        cal.degrade(0.05, 1.0);
+        QpuBackend::new(
+            spec.name,
+            spec.topology(),
+            cal,
+            DriftModel::none(),
+            QueueModel::light(2.0),
+            24.0,
+            seed,
+        )
+    }
+
+    fn quiet_ensemble(names: &[&str], config: EqcConfig) -> Ensemble {
+        let mut b = Ensemble::builder().config(config);
+        for (i, name) in names.iter().enumerate() {
+            b = b.backend(quiet_backend(name, 100 + i as u64));
+        }
+        b.build().expect("valid ensemble")
+    }
 
     fn quiet_clients(problem: &dyn VqaProblem, names: &[&str]) -> Vec<ClientNode> {
         names
             .iter()
             .enumerate()
-            .map(|(i, n)| {
-                let spec = catalog::by_name(n).unwrap();
-                let mut cal = spec.calibration();
-                cal.degrade(0.05, 1.0);
-                let backend = QpuBackend::new(
-                    spec.name,
-                    spec.topology(),
-                    cal,
-                    DriftModel::none(),
-                    QueueModel::light(2.0),
-                    24.0,
-                    100 + i as u64,
-                );
-                ClientNode::new(i, backend, problem).unwrap()
-            })
+            .map(|(i, n)| ClientNode::new(i, quiet_backend(n, 100 + i as u64), problem).unwrap())
             .collect()
     }
 
@@ -617,27 +239,31 @@ mod tests {
     fn ideal_trainer_converges_on_qaoa() {
         let problem = QaoaProblem::maxcut_ring4();
         let cfg = EqcConfig::paper_qaoa().with_epochs(40).with_shots(4096);
-        let report = train_ideal(&problem, cfg);
+        let report = train_ideal(&problem, cfg).unwrap();
         assert_eq!(report.epochs, 40);
+        assert_eq!(report.trainer, "ideal");
         // p=1 optimum is -0.75; expect to get near it.
         assert!(
             report.converged_loss(5) < -0.65,
             "converged {}",
             report.converged_loss(5)
         );
-        // Loss decreased from the start.
         assert!(report.history.last().unwrap().ideal_loss < report.history[0].ideal_loss);
     }
 
     #[test]
     fn eqc_trains_qaoa_across_ensemble() {
         let problem = QaoaProblem::maxcut_ring4();
-        let clients = quiet_clients(&problem, &["belem", "manila", "bogota"]);
         let cfg = EqcConfig::paper_qaoa().with_epochs(30).with_shots(2048);
-        let report = EqcTrainer::new(cfg).train(&problem, clients);
+        let report = quiet_ensemble(&["belem", "manila", "bogota"], cfg)
+            .train(&problem)
+            .unwrap();
         assert_eq!(report.epochs, 30);
-        assert!(report.converged_loss(5) < -0.6, "converged {}", report.converged_loss(5));
-        // Every client contributed.
+        assert!(
+            report.converged_loss(5) < -0.6,
+            "converged {}",
+            report.converged_loss(5)
+        );
         for c in &report.clients {
             assert!(c.tasks_completed > 0, "{} idle", c.device);
         }
@@ -645,25 +271,66 @@ mod tests {
     }
 
     #[test]
-    fn eqc_is_deterministic() {
+    fn deprecated_shims_match_the_new_api() {
+        // The shims must be *delegates*, not parallel implementations:
+        // identical inputs produce identical reports.
         let problem = QaoaProblem::maxcut_ring4();
         let cfg = EqcConfig::paper_qaoa().with_epochs(6).with_shots(256);
-        let a = EqcTrainer::new(cfg).train(&problem, quiet_clients(&problem, &["belem", "manila"]));
-        let b = EqcTrainer::new(cfg).train(&problem, quiet_clients(&problem, &["belem", "manila"]));
-        assert_eq!(a.final_params, b.final_params);
-        assert_eq!(a.total_hours, b.total_hours);
+
+        let via_shim = EqcTrainer::new(cfg)
+            .train(&problem, quiet_clients(&problem, &["belem", "manila"]))
+            .unwrap();
+        let via_api = quiet_ensemble(&["belem", "manila"], cfg)
+            .train(&problem)
+            .unwrap();
+        assert_eq!(via_shim.final_params, via_api.final_params);
+        assert_eq!(via_shim.history, via_api.history);
+
+        let single_shim = SingleDeviceTrainer::new(cfg)
+            .train(&problem, quiet_clients(&problem, &["belem"]).pop().unwrap())
+            .unwrap();
+        let single_api = quiet_ensemble(&["belem"], cfg)
+            .train_with(&SequentialExecutor::new(), &problem)
+            .unwrap();
+        assert_eq!(single_shim.final_params, single_api.final_params);
+        assert_eq!(single_shim.history, single_api.history);
+
+        let sync_shim = SyncEnsembleTrainer::new(cfg)
+            .train(&problem, quiet_clients(&problem, &["belem", "manila"]))
+            .unwrap();
+        let sync_api = quiet_ensemble(&["belem", "manila"], cfg)
+            .train_with(&SequentialExecutor::new(), &problem)
+            .unwrap();
+        assert_eq!(sync_shim.final_params, sync_api.final_params);
+    }
+
+    #[test]
+    fn shims_reject_invalid_input_without_panicking() {
+        let problem = QaoaProblem::maxcut_ring4();
+        let bad = EqcConfig::paper_qaoa().with_epochs(0);
+        assert!(matches!(
+            EqcTrainer::new(bad).train(&problem, quiet_clients(&problem, &["belem"])),
+            Err(EqcError::InvalidConfig(_))
+        ));
+        let cfg = EqcConfig::paper_qaoa().with_epochs(2).with_shots(64);
+        assert_eq!(
+            EqcTrainer::new(cfg)
+                .train(&problem, Vec::new())
+                .unwrap_err(),
+            EqcError::EmptyEnsemble
+        );
     }
 
     #[test]
     fn eqc_faster_than_single_device() {
         let problem = QaoaProblem::maxcut_ring4();
         let cfg = EqcConfig::paper_qaoa().with_epochs(8).with_shots(512);
-        let ensemble = EqcTrainer::new(cfg).train(
-            &problem,
-            quiet_clients(&problem, &["belem", "manila", "bogota", "quito"]),
-        );
-        let single = SingleDeviceTrainer::new(cfg)
-            .train(&problem, quiet_clients(&problem, &["belem"]).pop().unwrap());
+        let ensemble = quiet_ensemble(&["belem", "manila", "bogota", "quito"], cfg)
+            .train(&problem)
+            .unwrap();
+        let single = quiet_ensemble(&["belem"], cfg)
+            .train_with(&SequentialExecutor::new(), &problem)
+            .unwrap();
         assert!(
             ensemble.epochs_per_hour() > 1.5 * single.epochs_per_hour(),
             "ensemble {:.2} vs single {:.2} epochs/h",
@@ -678,11 +345,10 @@ mod tests {
         let cfg = EqcConfig::paper_qaoa()
             .with_epochs(6)
             .with_shots(512)
-            .with_weights(WeightBounds::new(0.5, 1.5));
-        let report = EqcTrainer::new(cfg).train(
-            &problem,
-            quiet_clients(&problem, &["belem", "x2", "bogota"]),
-        );
+            .with_weights(WeightBounds::new(0.5, 1.5).unwrap());
+        let report = quiet_ensemble(&["belem", "x2", "bogota"], cfg)
+            .train(&problem)
+            .unwrap();
         assert!(!report.weight_trace.is_empty());
         for sample in &report.weight_trace {
             for &w in &sample.weights {
@@ -696,45 +362,55 @@ mod tests {
         // VQE: 16 params x 3 groups; 2 epochs = 32 parameter updates from
         // 96 slice tasks.
         let problem = VqeProblem::heisenberg_4q();
-        let clients = quiet_clients(&problem, &["belem", "manila"]);
         let cfg = EqcConfig::paper_vqe().with_epochs(2).with_shots(128);
-        let report = EqcTrainer::new(cfg).train(&problem, clients);
+        let report = quiet_ensemble(&["belem", "manila"], cfg)
+            .train(&problem)
+            .unwrap();
         assert_eq!(report.epochs, 2);
+        assert_eq!(report.updates_applied, 32);
         let total_tasks: u64 = report.clients.iter().map(|c| c.tasks_completed).sum();
-        // At least 2 cycles of 48 tasks were dispatched (boundary tasks
-        // may exceed slightly).
         assert!(total_tasks >= 96, "only {total_tasks} tasks ran");
     }
 
     #[test]
     fn staleness_is_tracked() {
         let problem = QaoaProblem::maxcut_ring4();
-        let clients = quiet_clients(&problem, &["belem", "manila", "bogota", "quito"]);
         let cfg = EqcConfig::paper_qaoa().with_epochs(10).with_shots(256);
-        let report = EqcTrainer::new(cfg).train(&problem, clients);
+        let report = quiet_ensemble(&["belem", "manila", "bogota", "quito"], cfg)
+            .train(&problem)
+            .unwrap();
         // With 4 async clients over 2 parameters, some updates must land
         // on parameters moved since dispatch.
-        assert!(report.max_staleness >= 1, "staleness {}", report.max_staleness);
+        assert!(
+            report.max_staleness >= 1,
+            "staleness {}",
+            report.max_staleness
+        );
     }
 
     #[test]
     fn sync_trainer_converges_without_staleness() {
         let problem = QaoaProblem::maxcut_ring4();
-        let clients = quiet_clients(&problem, &["belem", "manila", "bogota"]);
         let cfg = EqcConfig::paper_qaoa().with_epochs(20).with_shots(1024);
-        let report = SyncEnsembleTrainer::new(cfg).train(&problem, clients);
+        let report = quiet_ensemble(&["belem", "manila", "bogota"], cfg)
+            .train_with(&SequentialExecutor::new(), &problem)
+            .unwrap();
         assert_eq!(report.epochs, 20);
         assert_eq!(report.max_staleness, 0);
-        assert!(report.converged_loss(5) < -0.55, "{}", report.converged_loss(5));
+        assert!(
+            report.converged_loss(5) < -0.55,
+            "{}",
+            report.converged_loss(5)
+        );
     }
 
     #[test]
     fn async_beats_sync_on_heterogeneous_fleet() {
         // With a slow straggler in the ensemble, the async executor should
         // deliver clearly more epochs/hour than barrier-synchronized SGD.
-        let problem = vqa::QaoaProblem::maxcut_ring4();
+        let problem = QaoaProblem::maxcut_ring4();
+        let cfg = EqcConfig::paper_qaoa().with_epochs(8).with_shots(512);
         let mk = || {
-            let mut v = quiet_clients(&problem, &["belem", "manila", "bogota"]);
             let spec = catalog::by_name("quito").unwrap();
             let slow = QpuBackend::new(
                 "slowpoke",
@@ -745,12 +421,16 @@ mod tests {
                 24.0,
                 9,
             );
-            v.push(ClientNode::new(3, slow, &problem).unwrap());
-            v
+            let mut b = Ensemble::builder().config(cfg);
+            for (i, name) in ["belem", "manila", "bogota"].iter().enumerate() {
+                b = b.backend(quiet_backend(name, 100 + i as u64));
+            }
+            b.backend(slow).build().expect("valid ensemble")
         };
-        let cfg = EqcConfig::paper_qaoa().with_epochs(8).with_shots(512);
-        let sync = SyncEnsembleTrainer::new(cfg).train(&problem, mk());
-        let asyn = EqcTrainer::new(cfg).train(&problem, mk());
+        let sync = mk()
+            .train_with(&SequentialExecutor::new(), &problem)
+            .unwrap();
+        let asyn = mk().train(&problem).unwrap();
         assert!(
             asyn.epochs_per_hour() > 1.5 * sync.epochs_per_hour(),
             "async {:.2} vs sync {:.2}",
@@ -763,10 +443,29 @@ mod tests {
     fn single_device_history_is_monotone_in_time() {
         let problem = QaoaProblem::maxcut_ring4();
         let cfg = EqcConfig::paper_qaoa().with_epochs(5).with_shots(256);
-        let report = SingleDeviceTrainer::new(cfg)
-            .train(&problem, quiet_clients(&problem, &["manila"]).pop().unwrap());
+        let report = quiet_ensemble(&["manila"], cfg)
+            .train_with(&SequentialExecutor::new(), &problem)
+            .unwrap();
         for w in report.history.windows(2) {
             assert!(w[1].virtual_hours > w[0].virtual_hours);
         }
+    }
+
+    #[test]
+    fn threaded_shim_delegates() {
+        let problem = QaoaProblem::maxcut_ring4();
+        let cfg = EqcConfig::paper_qaoa().with_epochs(4).with_shots(128);
+        let report = crate::threaded::train_threaded(
+            &problem,
+            quiet_clients(&problem, &["belem", "manila"]),
+            cfg,
+        )
+        .unwrap();
+        assert_eq!(report.epochs, 4);
+        assert!(report.trainer.starts_with("eqc-threaded"));
+        let via_api = quiet_ensemble(&["belem", "manila"], cfg)
+            .train_with(&ThreadedExecutor::new(), &problem)
+            .unwrap();
+        assert_eq!(via_api.epochs, 4);
     }
 }

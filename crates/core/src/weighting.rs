@@ -19,6 +19,7 @@
 //! the fidelity products dominate (consistent with Fig. 4's strong
 //! correlation between error rates and gate counts).
 
+use crate::error::EqcError;
 use qdevice::Calibration;
 use transpile::CircuitMetrics;
 
@@ -65,13 +66,22 @@ pub struct WeightBounds {
 impl WeightBounds {
     /// Creates a band.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `lo` is negative or exceeds `hi`.
-    pub fn new(lo: f64, hi: f64) -> Self {
-        assert!(lo >= 0.0, "weights must be non-negative");
-        assert!(lo <= hi, "lower bound must not exceed upper bound");
-        WeightBounds { lo, hi }
+    /// [`EqcError::InvalidConfig`] if `lo` is negative, non-finite, or
+    /// exceeds `hi`.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, EqcError> {
+        if !(lo >= 0.0 && lo.is_finite()) {
+            return Err(EqcError::InvalidConfig(format!(
+                "weight band lower bound must be non-negative and finite, got {lo}"
+            )));
+        }
+        if !(hi >= lo && hi.is_finite()) {
+            return Err(EqcError::InvalidConfig(format!(
+                "weight band must satisfy lo <= hi < inf, got [{lo}, {hi}]"
+            )));
+        }
+        Ok(WeightBounds { lo, hi })
     }
 
     /// The midpoint of the band (weight used when devices are
@@ -82,7 +92,7 @@ impl WeightBounds {
 
     /// The paper's default band `[0.5, 1.5]`.
     pub fn default_band() -> Self {
-        WeightBounds::new(0.5, 1.5)
+        WeightBounds { lo: 0.5, hi: 1.5 }
     }
 }
 
@@ -169,7 +179,7 @@ mod tests {
 
     #[test]
     fn normalization_maps_extremes_to_bounds() {
-        let w = normalize_weights(&[0.2, 0.5, 0.8], WeightBounds::new(0.5, 1.5));
+        let w = normalize_weights(&[0.2, 0.5, 0.8], WeightBounds::new(0.5, 1.5).unwrap());
         assert!((w[0] - 0.5).abs() < 1e-12);
         assert!((w[1] - 1.0).abs() < 1e-12);
         assert!((w[2] - 1.5).abs() < 1e-12);
@@ -184,9 +194,17 @@ mod tests {
 
     #[test]
     fn bounds_validation() {
-        assert!((WeightBounds::new(0.25, 1.75).midpoint() - 1.0).abs() < 1e-12);
-        let r = std::panic::catch_unwind(|| WeightBounds::new(1.5, 0.5));
-        assert!(r.is_err());
+        let band = WeightBounds::new(0.25, 1.75).unwrap();
+        assert!((band.midpoint() - 1.0).abs() < 1e-12);
+        assert!(
+            WeightBounds::new(1.5, 0.5).is_err(),
+            "inverted band rejected"
+        );
+        assert!(
+            WeightBounds::new(-0.1, 1.0).is_err(),
+            "negative lo rejected"
+        );
+        assert!(WeightBounds::new(0.5, f64::INFINITY).is_err());
     }
 
     #[test]

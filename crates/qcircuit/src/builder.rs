@@ -50,7 +50,9 @@ impl CircuitBuilder {
     }
 
     fn add(&mut self, g: Gate) -> &mut Self {
-        self.circuit.push(g).unwrap_or_else(|e| panic!("builder: {e}"));
+        self.circuit
+            .push(g)
+            .unwrap_or_else(|e| panic!("builder: {e}"));
         self
     }
 

@@ -38,7 +38,10 @@ impl fmt::Display for CircuitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CircuitError::QubitOutOfRange { qubit, n_qubits } => {
-                write!(f, "qubit {qubit} out of range for a {n_qubits}-qubit circuit")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for a {n_qubits}-qubit circuit"
+                )
             }
             CircuitError::DuplicateOperand(q) => {
                 write!(f, "two-qubit gate uses qubit {q} twice")
@@ -319,7 +322,10 @@ impl Circuit {
     ///
     /// Panics if `n_qubits > 10`.
     pub fn unitary(&self, params: &[f64]) -> Result<qsim::CMatrix, CircuitError> {
-        assert!(self.n_qubits <= 10, "unitary extraction capped at 10 qubits");
+        assert!(
+            self.n_qubits <= 10,
+            "unitary extraction capped at 10 qubits"
+        );
         if params.len() < self.num_params {
             return Err(CircuitError::ParameterCountMismatch {
                 expected: self.num_params,
@@ -382,9 +388,15 @@ mod tests {
         let mut c = Circuit::new(2);
         assert_eq!(
             c.push(Gate::H(5)),
-            Err(CircuitError::QubitOutOfRange { qubit: 5, n_qubits: 2 })
+            Err(CircuitError::QubitOutOfRange {
+                qubit: 5,
+                n_qubits: 2
+            })
         );
-        assert_eq!(c.push(Gate::Cx(1, 1)), Err(CircuitError::DuplicateOperand(1)));
+        assert_eq!(
+            c.push(Gate::Cx(1, 1)),
+            Err(CircuitError::DuplicateOperand(1))
+        );
         assert!(c.push(Gate::Cx(0, 1)).is_ok());
     }
 
@@ -418,7 +430,7 @@ mod tests {
         c.push(Gate::Cx(0, 1)).unwrap(); // layer 2 on q0,q1
         c.push(Gate::Cx(1, 2)).unwrap(); // layer 3 on q1,q2
         c.push(Gate::H(2)).unwrap(); // layer 4 on q2
-        // depth counts the RZ layer; critical depth skips virtual gates.
+                                     // depth counts the RZ layer; critical depth skips virtual gates.
         assert_eq!(c.depth(), 5);
         assert_eq!(c.critical_depth(), 4);
         // A pure-RZ circuit has critical depth 0.
@@ -439,7 +451,10 @@ mod tests {
         assert_eq!(b.gates()[1].angle(), Some(Angle::Fixed(0.7)));
         assert!(matches!(
             c.bind(&[0.5]),
-            Err(CircuitError::ParameterCountMismatch { expected: 2, got: 1 })
+            Err(CircuitError::ParameterCountMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
     }
 
@@ -452,7 +467,10 @@ mod tests {
         assert_eq!(occ, vec![0, 1]);
         let shifted = c.bind_with_shift(&[1.0], 1, PI / 2.0).unwrap();
         assert_eq!(shifted.gates()[0].angle(), Some(Angle::Fixed(1.0)));
-        assert_eq!(shifted.gates()[1].angle(), Some(Angle::Fixed(1.0 + PI / 2.0)));
+        assert_eq!(
+            shifted.gates()[1].angle(),
+            Some(Angle::Fixed(1.0 + PI / 2.0))
+        );
     }
 
     #[test]

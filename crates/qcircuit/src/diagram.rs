@@ -54,9 +54,9 @@ pub fn render(circuit: &Circuit) -> String {
                 cells[layer][a] = ca;
                 cells[layer][b] = cb;
                 let (lo, hi) = (a.min(b), a.max(b));
-                for q in lo + 1..hi {
-                    if matches!(cells[layer][q], Cell::Wire) {
-                        cells[layer][q] = Cell::Cross;
+                for cell in cells[layer][lo + 1..hi].iter_mut() {
+                    if matches!(cell, Cell::Wire) {
+                        *cell = Cell::Cross;
                     }
                 }
             }
@@ -181,7 +181,10 @@ mod tests {
         b.cx(0, 2);
         let art = render(&b.build());
         let lines: Vec<&str> = art.lines().collect();
-        assert!(lines[1].contains('│'), "middle wire should show the link crossing");
+        assert!(
+            lines[1].contains('│'),
+            "middle wire should show the link crossing"
+        );
     }
 
     #[test]

@@ -33,13 +33,13 @@
 #![warn(missing_docs)]
 
 pub mod builder;
-pub mod diagram;
 pub mod circuit;
+pub mod diagram;
 pub mod gate;
 pub mod measure;
 pub mod param;
-pub mod qasm;
 pub mod pauli;
+pub mod qasm;
 
 pub use builder::CircuitBuilder;
 pub use circuit::{Circuit, CircuitError};

@@ -122,7 +122,10 @@ impl MeasurementPlan {
                 }
             }
         }
-        MeasurementPlan { n_qubits: n, groups }
+        MeasurementPlan {
+            n_qubits: n,
+            groups,
+        }
     }
 
     /// One group per term — the ungrouped baseline (ablation: measurement
@@ -144,7 +147,10 @@ impl MeasurementPlan {
                 }
             })
             .collect();
-        MeasurementPlan { n_qubits: n, groups }
+        MeasurementPlan {
+            n_qubits: n,
+            groups,
+        }
     }
 
     /// Register width.
@@ -275,13 +281,21 @@ mod tests {
         for g in plan.groups() {
             let circ = plan.circuit_for_group(&base, g).unwrap();
             let sv = circ.run_statevector(&[]).unwrap();
-            all_counts.push(sampler::sample_counts(&sv.probabilities(), 2, 200_000, &mut rng));
+            all_counts.push(sampler::sample_counts(
+                &sv.probabilities(),
+                2,
+                200_000,
+                &mut rng,
+            ));
         }
         let est = plan.expectation_from_counts(&h, &all_counts);
         let exact = h.expectation(&base.run_statevector(&[]).unwrap());
         // Bell: XX=1, YY=-1, ZZ=1 -> 1.
         assert!((exact - 1.0).abs() < 1e-10);
-        assert!((est - exact).abs() < 0.02, "estimate {est} vs exact {exact}");
+        assert!(
+            (est - exact).abs() < 0.02,
+            "estimate {est} vs exact {exact}"
+        );
     }
 
     #[test]

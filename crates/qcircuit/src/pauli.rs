@@ -140,7 +140,10 @@ impl PauliString {
     ///
     /// Panics if `n > 12`.
     pub fn matrix(&self) -> CMatrix {
-        assert!(self.num_qubits() <= 12, "dense Pauli matrix capped at 12 qubits");
+        assert!(
+            self.num_qubits() <= 12,
+            "dense Pauli matrix capped at 12 qubits"
+        );
         let mut m = CMatrix::identity(1);
         for p in self.paulis.iter().rev() {
             m = m.kron(&p.matrix());
@@ -307,7 +310,12 @@ impl Hamiltonian {
 
 impl fmt::Display for Hamiltonian {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Hamiltonian[{} qubits, {} terms]", self.n_qubits, self.terms.len())?;
+        writeln!(
+            f,
+            "Hamiltonian[{} qubits, {} terms]",
+            self.n_qubits,
+            self.terms.len()
+        )?;
         for t in &self.terms {
             writeln!(f, "  {t}")?;
         }

@@ -31,7 +31,10 @@ impl fmt::Display for QasmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QasmError::SymbolicAngle(i) => {
-                write!(f, "gate {i} has a symbolic angle; bind the circuit before export")
+                write!(
+                    f,
+                    "gate {i} has a symbolic angle; bind the circuit before export"
+                )
             }
             QasmError::Parse { line, message } => write!(f, "line {line}: {message}"),
         }
@@ -133,13 +136,17 @@ pub fn from_qasm(text: &str) -> Result<Circuit, QasmError> {
             continue;
         }
         let c = circuit.as_mut().ok_or_else(|| err("gate before qreg"))?;
-        let stmt = line.strip_suffix(';').ok_or_else(|| err("missing semicolon"))?;
+        let stmt = line
+            .strip_suffix(';')
+            .ok_or_else(|| err("missing semicolon"))?;
         let (head, operands) = stmt
             .split_once(' ')
             .ok_or_else(|| err("missing operands"))?;
         let (name, angle) = match head.split_once('(') {
             Some((n, rest)) => {
-                let inner = rest.strip_suffix(')').ok_or_else(|| err("unclosed angle"))?;
+                let inner = rest
+                    .strip_suffix(')')
+                    .ok_or_else(|| err("unclosed angle"))?;
                 let v: f64 = parse_angle(inner).ok_or_else(|| err("bad angle"))?;
                 (n.trim(), Some(v))
             }
@@ -291,7 +298,8 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_tolerated() {
-        let text = "// a comment\nOPENQASM 2.0;\n\nqreg q[2]; // register\nh q[0];\ncx q[0],q[1];\n";
+        let text =
+            "// a comment\nOPENQASM 2.0;\n\nqreg q[2]; // register\nh q[0];\ncx q[0],q[1];\n";
         let c = from_qasm(text).unwrap();
         assert_eq!(c.len(), 2);
     }
@@ -303,12 +311,18 @@ mod tests {
             Err(QasmError::Parse { line, .. }) => assert_eq!(line, 3),
             other => panic!("expected parse error, got {other:?}"),
         }
-        assert!(from_qasm("h q[0];\n").is_err(), "gate before qreg must fail");
+        assert!(
+            from_qasm("h q[0];\n").is_err(),
+            "gate before qreg must fail"
+        );
     }
 
     #[test]
     fn out_of_range_qubit_rejected() {
         let text = "OPENQASM 2.0;\nqreg q[2];\nh q[5];\n";
-        assert!(matches!(from_qasm(text), Err(QasmError::Parse { line: 3, .. })));
+        assert!(matches!(
+            from_qasm(text),
+            Err(QasmError::Parse { line: 3, .. })
+        ));
     }
 }

@@ -82,7 +82,10 @@ impl QpuBackend {
         cal_period_hours: f64,
         seed: u64,
     ) -> Self {
-        assert!(cal_period_hours > 0.0, "calibration period must be positive");
+        assert!(
+            cal_period_hours > 0.0,
+            "calibration period must be positive"
+        );
         assert_eq!(
             base_calibration.num_qubits(),
             topology.num_qubits(),
@@ -175,9 +178,7 @@ impl QpuBackend {
         let cycle = self.cycle_of(t);
         let mut cal = self.base_calibration.clone();
         // Deterministic per-cycle jitter independent of query order.
-        let mut jrng = StdRng::seed_from_u64(
-            self.seed ^ cycle.wrapping_mul(0x9e37_79b9_7f4a_7c15),
-        );
+        let mut jrng = StdRng::seed_from_u64(self.seed ^ cycle.wrapping_mul(0x9e37_79b9_7f4a_7c15));
         let jitter = |r: &mut StdRng, sigma: f64| -> f64 {
             // Cheap lognormal-ish factor from a uniform sample.
             let u: f64 = r.gen::<f64>() * 2.0 - 1.0;
@@ -211,8 +212,7 @@ impl QpuBackend {
         if self.downtime_hours > 0.0 {
             let in_cycle = self.hours_since_calibration(start);
             if in_cycle >= self.cal_period_hours - self.downtime_hours {
-                let next_cycle_start =
-                    (self.cycle_of(start) + 1) as f64 * self.cal_period_hours;
+                let next_cycle_start = (self.cycle_of(start) + 1) as f64 * self.cal_period_hours;
                 start = SimTime::from_hours(next_cycle_start);
             }
         }
@@ -378,7 +378,10 @@ mod tests {
         let mut be = small_backend(2);
         let a = be.execute(&bell_compact(), &[0, 1], 1024, SimTime::ZERO);
         let b = be.execute(&bell_compact(), &[0, 1], 1024, SimTime::ZERO);
-        assert!(b.started >= a.completed, "second job must wait for the first");
+        assert!(
+            b.started >= a.completed,
+            "second job must wait for the first"
+        );
     }
 
     #[test]
@@ -420,11 +423,19 @@ mod tests {
         // Submit inside the maintenance tail of the first cycle: the job
         // must start after recalibration at hour 24.
         let r = be.execute(&bell_compact(), &[0, 1], 16, SimTime::from_hours(23.5));
-        assert!(r.started.as_hours() >= 24.0, "started {}", r.started.as_hours());
+        assert!(
+            r.started.as_hours() >= 24.0,
+            "started {}",
+            r.started.as_hours()
+        );
         // A job submitted at cycle start runs promptly.
         let mut be2 = small_backend(5).with_downtime_hours(1.0);
         let r2 = be2.execute(&bell_compact(), &[0, 1], 16, SimTime::ZERO);
-        assert!(r2.started.as_hours() < 0.1, "started {}", r2.started.as_hours());
+        assert!(
+            r2.started.as_hours() < 0.1,
+            "started {}",
+            r2.started.as_hours()
+        );
     }
 
     #[test]

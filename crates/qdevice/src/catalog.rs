@@ -375,7 +375,10 @@ pub fn vqe_ensemble() -> Vec<DeviceSpec> {
         "casablanca",
         "toronto",
     ];
-    names.iter().map(|n| by_name(n).expect("catalog device")).collect()
+    names
+        .iter()
+        .map(|n| by_name(n).expect("catalog device"))
+        .collect()
 }
 
 /// The 8 devices of the QAOA evaluation (Section V-E).
@@ -390,7 +393,10 @@ pub fn qaoa_devices() -> Vec<DeviceSpec> {
         "manila",
         "belem",
     ];
-    names.iter().map(|n| by_name(n).expect("catalog device")).collect()
+    names
+        .iter()
+        .map(|n| by_name(n).expect("catalog device"))
+        .collect()
 }
 
 #[cfg(test)]

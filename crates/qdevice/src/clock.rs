@@ -22,7 +22,10 @@ impl SimTime {
     ///
     /// Panics if `seconds` is negative or non-finite.
     pub fn from_secs(seconds: f64) -> Self {
-        assert!(seconds.is_finite() && seconds >= 0.0, "invalid sim time {seconds}");
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "invalid sim time {seconds}"
+        );
         SimTime(seconds)
     }
 
@@ -100,7 +103,12 @@ mod tests {
         let t = SimTime::from_secs(10.0) + 5.0;
         assert_eq!(t.as_secs(), 15.0);
         assert_eq!(t - SimTime::from_secs(4.0), 11.0);
-        assert_eq!(SimTime::from_secs(3.0).max(SimTime::from_secs(9.0)).as_secs(), 9.0);
+        assert_eq!(
+            SimTime::from_secs(3.0)
+                .max(SimTime::from_secs(9.0))
+                .as_secs(),
+            9.0
+        );
     }
 
     #[test]

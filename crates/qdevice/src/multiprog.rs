@@ -18,8 +18,8 @@
 //!   interference effect Das et al. mitigate with buffering.
 
 use crate::backend::QpuBackend;
-use crate::catalog::DeviceSpec;
 use crate::calibration::Calibration;
+use crate::catalog::DeviceSpec;
 
 /// Configuration of a multiprogrammed split.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -73,8 +73,7 @@ pub fn split(spec: &DeviceSpec, config: &MultiprogramConfig, seed: u64) -> Vec<P
         .enumerate()
         .map(|(slot, region)| {
             let name = format!("{}/mp{slot}", spec.name);
-            let sub_topology =
-                host_topology.induced_subgraph(&name, &region);
+            let sub_topology = host_topology.induced_subgraph(&name, &region);
             // Project the host calibration onto the region, then apply
             // the co-residency crosstalk inflation.
             let mut cal = Calibration::uniform(
@@ -120,7 +119,10 @@ mod tests {
     fn toronto_hosts_multiple_programs() {
         let spec = catalog::by_name("toronto").unwrap();
         let slots = split(&spec, &MultiprogramConfig::default(), 1);
-        assert!(slots.len() >= 2, "27q Toronto should host >=2 buffered 4q programs");
+        assert!(
+            slots.len() >= 2,
+            "27q Toronto should host >=2 buffered 4q programs"
+        );
         for s in &slots {
             assert_eq!(s.backend.topology().num_qubits(), 4);
             assert!(s.backend.topology().is_connected());
@@ -136,7 +138,10 @@ mod tests {
         };
         let toronto = split(&catalog::by_name("toronto").unwrap(), &cfg, 1).len();
         let manhattan = split(&catalog::by_name("manhattan").unwrap(), &cfg, 1).len();
-        assert!(manhattan > toronto, "manhattan {manhattan} vs toronto {toronto}");
+        assert!(
+            manhattan > toronto,
+            "manhattan {manhattan} vs toronto {toronto}"
+        );
     }
 
     #[test]

@@ -136,7 +136,11 @@ impl NoiseModel {
         if duration_ns <= 0.0 || !n.t1_ns.is_finite() {
             return None;
         }
-        Some(KrausChannel::thermal_relaxation(n.t1_ns, n.t2_ns, duration_ns))
+        Some(KrausChannel::thermal_relaxation(
+            n.t1_ns,
+            n.t2_ns,
+            duration_ns,
+        ))
     }
 }
 
@@ -188,7 +192,10 @@ where
                 }
                 let p = noise.qubits[q].gate_error_1q;
                 if p > 0.0 {
-                    apply(ScheduledOp::Channel(KrausChannel::depolarizing_1q(p), vec![q]));
+                    apply(ScheduledOp::Channel(
+                        KrausChannel::depolarizing_1q(p),
+                        vec![q],
+                    ));
                 }
                 qubit_time[q] = start + dur;
             }
@@ -214,8 +221,8 @@ where
     // Measurement: align all qubits to the end, decay over the alignment
     // gap plus the readout window.
     let end = qubit_time.iter().copied().fold(0.0, f64::max);
-    for q in 0..n {
-        let gap = end - qubit_time[q] + noise.readout_time_ns;
+    for (q, &t) in qubit_time.iter().enumerate().take(n) {
+        let gap = end - t + noise.readout_time_ns;
         if let Some(ch) = noise.relaxation(q, gap) {
             apply(ScheduledOp::Channel(ch, vec![q]));
         }
@@ -435,7 +442,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let (_, dur) = execute_density(&c, &noise, 1, &mut rng);
         let expected = noise.gate_time_1q_ns + 2.0 * noise.gate_time_2q_ns + noise.readout_time_ns;
-        assert!((dur - expected).abs() < 1e-9, "duration {dur} vs {expected}");
+        assert!(
+            (dur - expected).abs() < 1e-9,
+            "duration {dur} vs {expected}"
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! invariants across randomized configurations.
 
 use proptest::prelude::*;
-use qcircuit::{Angle, Circuit, Gate};
+use qcircuit::{Circuit, Gate};
 use qdevice::{Calibration, DriftModel, QpuBackend, QueueModel, SimTime};
 use transpile::Topology;
 

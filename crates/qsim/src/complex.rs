@@ -202,6 +202,8 @@ impl Mul<C64> for f64 {
 impl Div for C64 {
     type Output = C64;
     #[inline]
+    // Complex division is, by definition, multiplication by the inverse.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: C64) -> C64 {
         self * rhs.inv()
     }

@@ -248,7 +248,9 @@ impl DensityMatrix {
     /// Computational-basis measurement probabilities (the diagonal).
     pub fn probabilities(&self) -> Vec<f64> {
         let dim = self.dim();
-        (0..dim).map(|i| self.mat[i * dim + i].re.max(0.0)).collect()
+        (0..dim)
+            .map(|i| self.mat[i * dim + i].re.max(0.0))
+            .collect()
     }
 
     /// Expectation value of a Pauli string.
@@ -359,7 +361,11 @@ mod tests {
                 (gates::rz(1.2), 2),
                 (gates::sx(), 1),
             ],
-            &[(gates::cx(), 0, 1), (gates::cx(), 1, 2), (gates::rzz(0.5), 0, 2)],
+            &[
+                (gates::cx(), 0, 1),
+                (gates::cx(), 1, 2),
+                (gates::rzz(0.5), 0, 2),
+            ],
             3,
         );
     }

@@ -85,7 +85,12 @@ pub fn y() -> CMatrix {
     CMatrix::from_slice(
         2,
         2,
-        &[C64::ZERO, C64::new(0.0, -1.0), C64::new(0.0, 1.0), C64::ZERO],
+        &[
+            C64::ZERO,
+            C64::new(0.0, -1.0),
+            C64::new(0.0, 1.0),
+            C64::ZERO,
+        ],
     )
 }
 
@@ -115,7 +120,12 @@ pub fn t() -> CMatrix {
     CMatrix::from_slice(
         2,
         2,
-        &[C64::ONE, C64::ZERO, C64::ZERO, C64::cis(std::f64::consts::FRAC_PI_4)],
+        &[
+            C64::ONE,
+            C64::ZERO,
+            C64::ZERO,
+            C64::cis(std::f64::consts::FRAC_PI_4),
+        ],
     )
 }
 

@@ -187,7 +187,12 @@ mod tests {
         CMatrix::from_slice(
             2,
             2,
-            &[C64::ZERO, C64::new(0.0, -1.0), C64::new(0.0, 1.0), C64::ZERO],
+            &[
+                C64::ZERO,
+                C64::new(0.0, -1.0),
+                C64::new(0.0, 1.0),
+                C64::ZERO,
+            ],
         )
     }
 
@@ -229,9 +234,8 @@ mod tests {
     #[test]
     fn heisenberg_two_site_ground_energy() {
         // H = XX + YY + ZZ has ground (singlet) energy -3.
-        let h = pauli_x().kron(&pauli_x())
-            + pauli_y().kron(&pauli_y())
-            + pauli_z().kron(&pauli_z());
+        let h =
+            pauli_x().kron(&pauli_x()) + pauli_y().kron(&pauli_y()) + pauli_z().kron(&pauli_z());
         let (e0, v0) = ground_state(&h);
         assert!((e0 + 3.0).abs() < 1e-9, "got {e0}");
         assert!((expectation(&h, &v0) - e0).abs() < 1e-9);
@@ -254,7 +258,9 @@ mod tests {
         let mut m = CMatrix::zeros(n, n);
         let mut seed = 0x9e3779b97f4a7c15u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         };
         for r in 0..n {

@@ -185,13 +185,13 @@ impl CMatrix {
     pub fn mul_vec(&self, v: &[C64]) -> Vec<C64> {
         assert_eq!(v.len(), self.cols, "vector length mismatch");
         let mut out = vec![C64::ZERO; self.rows];
-        for r in 0..self.rows {
+        for (r, slot) in out.iter_mut().enumerate() {
             let mut acc = C64::ZERO;
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
             for (a, x) in row.iter().zip(v) {
                 acc += *a * *x;
             }
-            out[r] = acc;
+            *slot = acc;
         }
         out
     }
@@ -289,11 +289,20 @@ impl IndexMut<(usize, usize)> for CMatrix {
 impl Add for CMatrix {
     type Output = CMatrix;
     fn add(self, rhs: CMatrix) -> CMatrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch in add");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch in add"
+        );
         CMatrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a + *b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a + *b)
+                .collect(),
         }
     }
 }
@@ -301,11 +310,20 @@ impl Add for CMatrix {
 impl Sub for CMatrix {
     type Output = CMatrix;
     fn sub(self, rhs: CMatrix) -> CMatrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch in sub");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch in sub"
+        );
         CMatrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a - *b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a - *b)
+                .collect(),
         }
     }
 }
@@ -356,7 +374,12 @@ mod tests {
         CMatrix::from_slice(
             2,
             2,
-            &[C64::ZERO, C64::new(0.0, -1.0), C64::new(0.0, 1.0), C64::ZERO],
+            &[
+                C64::ZERO,
+                C64::new(0.0, -1.0),
+                C64::new(0.0, 1.0),
+                C64::ZERO,
+            ],
         )
     }
 
@@ -405,7 +428,9 @@ mod tests {
     #[test]
     fn trace_of_pauli_is_zero() {
         assert!(pauli_x().trace().approx_eq(C64::ZERO, 0.0));
-        assert!(CMatrix::identity(4).trace().approx_eq(C64::from_real(4.0), 0.0));
+        assert!(CMatrix::identity(4)
+            .trace()
+            .approx_eq(C64::from_real(4.0), 0.0));
     }
 
     #[test]

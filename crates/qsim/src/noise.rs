@@ -43,7 +43,10 @@ impl KrausChannel {
     /// non-square power-of-4 shapes, or the channel is not trace preserving
     /// to within `1e-9`.
     pub fn new(kraus: Vec<CMatrix>) -> Self {
-        assert!(!kraus.is_empty(), "channel needs at least one Kraus operator");
+        assert!(
+            !kraus.is_empty(),
+            "channel needs at least one Kraus operator"
+        );
         let dim = kraus[0].rows();
         assert!(
             kraus.iter().all(|k| k.rows() == dim && k.cols() == dim),
@@ -55,7 +58,10 @@ impl KrausChannel {
         );
         let n_qubits = dim.trailing_zeros() as usize;
         let ch = KrausChannel { n_qubits, kraus };
-        assert!(ch.is_cptp(1e-9), "Kraus operators do not satisfy sum K^dag K = I");
+        assert!(
+            ch.is_cptp(1e-9),
+            "Kraus operators do not satisfy sum K^dag K = I"
+        );
         ch
     }
 

@@ -107,7 +107,7 @@ impl Counts {
         }
         let mut acc: i64 = 0;
         for (basis, count) in self.iter() {
-            let sign = if (basis & mask).count_ones() % 2 == 0 {
+            let sign = if (basis & mask).count_ones().is_multiple_of(2) {
                 1
             } else {
                 -1
@@ -219,7 +219,11 @@ pub fn sample_counts<R: Rng + ?Sized>(
     shots: usize,
     rng: &mut R,
 ) -> Counts {
-    assert_eq!(probs.len(), 1usize << n_qubits, "distribution size mismatch");
+    assert_eq!(
+        probs.len(),
+        1usize << n_qubits,
+        "distribution size mismatch"
+    );
     let mut counts = Counts::new(n_qubits);
     for idx in sample_indices(probs, shots, rng) {
         counts.record(idx as u64, 1);

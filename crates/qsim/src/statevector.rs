@@ -102,7 +102,11 @@ impl StateVector {
     ///
     /// Panics if `q >= num_qubits` or the matrix is not 2x2.
     pub fn apply_1q(&mut self, u: &CMatrix, q: usize) {
-        assert!(q < self.n, "qubit {q} out of range for {}-qubit state", self.n);
+        assert!(
+            q < self.n,
+            "qubit {q} out of range for {}-qubit state",
+            self.n
+        );
         assert_eq!((u.rows(), u.cols()), (2, 2), "1q gate must be 2x2");
         let bit = 1usize << q;
         let (u00, u01, u10, u11) = (u[(0, 0)], u[(0, 1)], u[(1, 0)], u[(1, 1)]);
@@ -142,7 +146,12 @@ impl StateVector {
                 let i01 = i | b0;
                 let i10 = i | b1;
                 let i11 = i | b0 | b1;
-                let a = [self.amps[i00], self.amps[i01], self.amps[i10], self.amps[i11]];
+                let a = [
+                    self.amps[i00],
+                    self.amps[i01],
+                    self.amps[i10],
+                    self.amps[i11],
+                ];
                 for (r, &idx) in [i00, i01, i10, i11].iter().enumerate() {
                     let mut acc = C64::ZERO;
                     for (c, &amp) in a.iter().enumerate() {
@@ -245,7 +254,7 @@ impl StateVector {
                 }
                 match y_mask.count_ones() % 4 {
                     0 => {}
-                    1 => phase = phase * C64::I,
+                    1 => phase *= C64::I,
                     2 => phase = -phase,
                     3 => phase = -(phase * C64::I),
                     _ => unreachable!(),
@@ -381,7 +390,10 @@ mod tests {
             }
             let dense = crate::linalg::expectation(&op, sv.amplitudes());
             let fast = sv.expectation_pauli(ops);
-            assert!((dense - fast).abs() < 1e-10, "mismatch on {ops:?}: {dense} vs {fast}");
+            assert!(
+                (dense - fast).abs() < 1e-10,
+                "mismatch on {ops:?}: {dense} vs {fast}"
+            );
         }
     }
 

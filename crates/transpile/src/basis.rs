@@ -37,7 +37,11 @@ fn norm_angle(a: f64) -> f64 {
 /// Panics if `u` is not a 2x2 unitary.
 pub fn euler_zyz(u: &CMatrix) -> (f64, f64, f64) {
     assert!(u.is_unitary(1e-9), "euler_zyz requires a unitary matrix");
-    assert_eq!((u.rows(), u.cols()), (2, 2), "euler_zyz requires a 2x2 matrix");
+    assert_eq!(
+        (u.rows(), u.cols()),
+        (2, 2),
+        "euler_zyz requires a 2x2 matrix"
+    );
     // Normalize to SU(2): divide by sqrt(det).
     let det = u[(0, 0)] * u[(1, 1)] - u[(0, 1)] * u[(1, 0)];
     let s = qsim::C64::cis(det.arg() / 2.0);
@@ -222,7 +226,13 @@ mod tests {
         let mut c = Circuit::new(1);
         c.push(Gate::Rx(0, Angle::Fixed(PI / 2.0))).unwrap();
         let r = rewrite_to_basis(&c).unwrap();
-        assert_eq!(r.gates().iter().filter(|g| matches!(g, Gate::Sx(_))).count(), 1);
+        assert_eq!(
+            r.gates()
+                .iter()
+                .filter(|g| matches!(g, Gate::Sx(_)))
+                .count(),
+            1
+        );
         check_equivalent(&c, &[]);
 
         let mut z = Circuit::new(1);
@@ -319,15 +329,16 @@ mod tests {
         // Deterministic pseudo-random SU(2) sampling.
         let mut seed = 0x1234_5678_9abc_def0u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 11) as f64 / (1u64 << 53) as f64) * 2.0 * PI
         };
         for _ in 0..50 {
             let (a, b, c) = (next(), next(), next());
             let u = qsim::gates::rz(a) * qsim::gates::ry(b) * qsim::gates::rz(c);
             let (theta, phi, lam) = euler_zyz(&u);
-            let rebuilt =
-                qsim::gates::rz(phi) * qsim::gates::ry(theta) * qsim::gates::rz(lam);
+            let rebuilt = qsim::gates::rz(phi) * qsim::gates::ry(theta) * qsim::gates::rz(lam);
             assert!(rebuilt.approx_eq_up_to_phase(&u, 1e-8));
             // And the ZSX sequence matches too.
             let mut circ = Circuit::new(1);

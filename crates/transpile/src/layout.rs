@@ -47,7 +47,10 @@ impl fmt::Display for LayoutError {
                 write!(f, "physical qubit {q} assigned to two logical qubits")
             }
             LayoutError::DeviceTooSmall { needed, available } => {
-                write!(f, "circuit needs {needed} qubits but device has {available}")
+                write!(
+                    f,
+                    "circuit needs {needed} qubits but device has {available}"
+                )
             }
         }
     }
@@ -180,9 +183,9 @@ pub fn choose_layout(
 /// `qubit_error[p]` is a per-physical-qubit badness figure (e.g. combined
 /// 1q-gate + readout error from a calibration snapshot); `cx_error(a, b)`
 /// scores an edge. The placement score of a candidate is
-/// `sum_partners weight * (distance + kappa_e * cx_error_along_first_hop)
-///  + kappa_q * qubit_error\[p\]`, with fixed `kappa` constants chosen so a
-/// percent of error trades against one SWAP hop.
+/// `sum_partners weight * (distance + kappa_e * cx_error_along_first_hop) +
+/// kappa_q * qubit_error\[p\]`, with fixed `kappa` constants chosen so
+/// a percent of error trades against one SWAP hop.
 ///
 /// # Errors
 ///
@@ -240,8 +243,8 @@ pub fn noise_aware_layout(
     let mut used = vec![false; n_phys];
     for &l in &order {
         let mut best: Option<(f64, usize)> = None;
-        for p in 0..n_phys {
-            if used[p] {
+        for (p, &p_used) in used.iter().enumerate().take(n_phys) {
+            if p_used {
                 continue;
             }
             let mut score = KAPPA_QUBIT * qubit_error[p];
@@ -309,8 +312,8 @@ fn greedy_layout(circuit: &Circuit, topology: &Topology) -> Layout {
         // already-placed partners (weighted), falling back to closeness to
         // the seed for the first placement.
         let mut best: Option<(usize, usize)> = None; // (score, phys)
-        for p in 0..n_phys {
-            if used[p] {
+        for (p, &p_used) in used.iter().enumerate().take(n_phys) {
+            if p_used {
                 continue;
             }
             let mut score = 0usize;
@@ -393,7 +396,10 @@ mod tests {
         let t = Topology::line(5);
         assert!(matches!(
             choose_layout(&c, &t, LayoutStrategy::Greedy),
-            Err(LayoutError::DeviceTooSmall { needed: 6, available: 5 })
+            Err(LayoutError::DeviceTooSmall {
+                needed: 6,
+                available: 5
+            })
         ));
     }
 
@@ -442,8 +448,7 @@ mod tests {
         let t = Topology::line(5);
         let errors = [0.08, 0.09, 0.07, 0.002, 0.003];
         let layout = noise_aware_layout(&c, &t, &errors, &|_, _| 0.01).unwrap();
-        let placed: std::collections::HashSet<usize> =
-            layout.as_slice().iter().copied().collect();
+        let placed: std::collections::HashSet<usize> = layout.as_slice().iter().copied().collect();
         assert!(
             placed.contains(&3) && placed.contains(&4),
             "expected clean pair 3-4, got {layout}"

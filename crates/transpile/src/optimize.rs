@@ -29,12 +29,8 @@ fn merge_rz(a: &Gate, b: &Gate) -> Option<Gate> {
     match (a, b) {
         (Gate::Rz(q1, x), Gate::Rz(q2, y)) if q1 == q2 => match (x, y) {
             (Angle::Fixed(u), Angle::Fixed(v)) => Some(Gate::Rz(*q1, Angle::Fixed(u + v))),
-            (Angle::Fixed(u), sym) if sym.is_symbolic() => {
-                Some(Gate::Rz(*q1, sym.shifted(*u)))
-            }
-            (sym, Angle::Fixed(v)) if sym.is_symbolic() => {
-                Some(Gate::Rz(*q1, sym.shifted(*v)))
-            }
+            (Angle::Fixed(u), sym) if sym.is_symbolic() => Some(Gate::Rz(*q1, sym.shifted(*u))),
+            (sym, Angle::Fixed(v)) if sym.is_symbolic() => Some(Gate::Rz(*q1, sym.shifted(*v))),
             _ => None, // symbolic + symbolic: left alone
         },
         _ => None,

@@ -39,7 +39,12 @@ impl fmt::Display for CircuitMetrics {
         write!(
             f,
             "G1={} G2={} M={} CD={} depth={} swaps={}",
-            self.g1, self.g2, self.measurements, self.critical_depth, self.depth, self.swaps_inserted
+            self.g1,
+            self.g2,
+            self.measurements,
+            self.critical_depth,
+            self.depth,
+            self.swaps_inserted
         )
     }
 }
@@ -279,9 +284,13 @@ mod tests {
         // Fig. 3 of the paper: the same circuit transpiles to different
         // structures; better connectivity means fewer G2 gates.
         let c = entangler(4);
-        let full = transpile(&c, &Topology::fully_connected(5), &TranspileOptions::default())
-            .unwrap()
-            .metrics;
+        let full = transpile(
+            &c,
+            &Topology::fully_connected(5),
+            &TranspileOptions::default(),
+        )
+        .unwrap()
+        .metrics;
         let line = transpile(&c, &Topology::line(5), &TranspileOptions::default())
             .unwrap()
             .metrics;
@@ -315,7 +324,10 @@ mod tests {
         let topo = Topology::heavy_hex_27();
         let t = transpile(&c, &topo, &TranspileOptions::default()).unwrap();
         let (compact, logical_bits) = t.compact_for_simulation().unwrap();
-        assert!(compact.num_qubits() <= 8, "compaction should shrink the register");
+        assert!(
+            compact.num_qubits() <= 8,
+            "compaction should shrink the register"
+        );
 
         // Ideal probabilities of the logical circuit...
         let logical_probs = c.run_statevector(&[]).unwrap().probabilities();

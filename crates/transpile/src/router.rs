@@ -113,7 +113,7 @@ pub fn route(
                             // remaining path; alternate on ties.
                             let next_a = path[1];
                             let next_b = path[path.len() - 2];
-                            if swaps % 2 == 0 {
+                            if swaps.is_multiple_of(2) {
                                 physical.push(Gate::Swap(pa, next_a))?;
                                 current.swap_physical(pa, next_a);
                             } else {
@@ -126,13 +126,7 @@ pub fn route(
                     pa = current.physical(la);
                     pb = current.physical(lb);
                 }
-                physical.push(gate.map_qubits(|q| {
-                    if q == la {
-                        pa
-                    } else {
-                        pb
-                    }
-                }))?;
+                physical.push(gate.map_qubits(|q| if q == la { pa } else { pb }))?;
             }
             _ => unreachable!("gates are 1- or 2-qubit"),
         }
@@ -207,7 +201,7 @@ mod tests {
         let phys_probs = physical_sv.probabilities();
 
         // Compare each logical basis state with its physical image.
-        for basis in 0..(1usize << 3) {
+        for (basis, &log_p) in log_probs.iter().enumerate().take(1usize << 3) {
             let mut phys_basis = 0usize;
             for l in 0..3 {
                 if basis >> l & 1 == 1 {
@@ -215,7 +209,7 @@ mod tests {
                 }
             }
             assert!(
-                (log_probs[basis] - phys_probs[phys_basis]).abs() < 1e-10,
+                (log_p - phys_probs[phys_basis]).abs() < 1e-10,
                 "probability mismatch at basis {basis:03b}"
             );
         }

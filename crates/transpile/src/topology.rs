@@ -108,7 +108,11 @@ impl Topology {
     /// kept alongside [`Topology::fully_connected`] which is how the
     /// paper's Table I classifies the device.
     pub fn bowtie() -> Self {
-        Topology::from_edges("bowtie", 5, &[(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)])
+        Topology::from_edges(
+            "bowtie",
+            5,
+            &[(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)],
+        )
     }
 
     /// The 7-qubit H-shape of IBMQ Casablanca/Lagos (Falcon r4H/r5.11H).
@@ -567,7 +571,11 @@ mod tests {
     fn disjoint_regions_on_heavy_hex() {
         let t = Topology::heavy_hex_65();
         let regions = t.disjoint_regions(4, 5);
-        assert!(regions.len() >= 3, "65q device should host >=3 buffered 4q regions, got {}", regions.len());
+        assert!(
+            regions.len() >= 3,
+            "65q device should host >=3 buffered 4q regions, got {}",
+            regions.len()
+        );
         // Disjoint (buffering implies disjoint, but verify directly).
         let mut seen = std::collections::HashSet::new();
         for r in &regions {

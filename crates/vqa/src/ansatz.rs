@@ -112,7 +112,7 @@ mod tests {
         assert_eq!(c.num_qubits(), 4);
         assert_eq!(c.num_params(), 16);
         assert_eq!(c.g2_count(), 3); // CX(0,1) CX(1,2) CX(2,3)
-        // Gate order: 4 RY, 4 RZ, 3 CX, 4 RY, 4 RZ.
+                                     // Gate order: 4 RY, 4 RZ, 3 CX, 4 RY, 4 RZ.
         let names: Vec<&str> = c.gates().iter().map(|g| g.name()).collect();
         assert_eq!(names[0..4], ["ry"; 4]);
         assert_eq!(names[4..8], ["rz"; 4]);
@@ -133,7 +133,11 @@ mod tests {
         assert_eq!(c.num_params(), 2);
         // 4 H + 4 RZZ + 4 RX.
         assert_eq!(c.len(), 12);
-        let rzz_count = c.gates().iter().filter(|g| matches!(g, Gate::Rzz(..))).count();
+        let rzz_count = c
+            .gates()
+            .iter()
+            .filter(|g| matches!(g, Gate::Rzz(..)))
+            .count();
         assert_eq!(rzz_count, 4);
         // beta (param 0) appears once per edge.
         assert_eq!(c.occurrences_of(qcircuit::ParamId(0)).len(), 4);

@@ -150,7 +150,8 @@ mod tests {
     fn single_qubit_analytic_gradient() {
         // <Z> after RY(theta)|0> = cos(theta); d/dtheta = -sin(theta).
         let mut c = qcircuit::Circuit::new(1);
-        c.push(qcircuit::Gate::Ry(0, qcircuit::Angle::sym(0))).unwrap();
+        c.push(qcircuit::Gate::Ry(0, qcircuit::Angle::sym(0)))
+            .unwrap();
         let mut h = Hamiltonian::new(1);
         h.add_label(1.0, "Z").unwrap();
         for theta in [0.0, 0.4, 1.2, 2.8, -0.9] {
@@ -167,11 +168,7 @@ mod tests {
         let h = hamiltonians::maxcut(&graph);
         let point = [0.7, 0.3];
         let shift = shift_gradient(&circ, &point, energy(&h));
-        let fd = finite_difference(
-            |p| energy(&h)(&circ.bind(p).unwrap()),
-            &point,
-            1e-5,
-        );
+        let fd = finite_difference(|p| energy(&h)(&circ.bind(p).unwrap()), &point, 1e-5);
         for (a, b) in shift.iter().zip(&fd) {
             assert!((a - b).abs() < 1e-6, "shift {a} vs fd {b}");
         }
@@ -199,7 +196,11 @@ mod tests {
         h.add_label(1.0, "Z").unwrap();
         let theta = 0.6;
         let g = shift_gradient(&c, &[theta], energy(&h));
-        assert!((g[0] + 2.0 * (2.0 * theta).sin()).abs() < 1e-10, "got {}", g[0]);
+        assert!(
+            (g[0] + 2.0 * (2.0 * theta).sin()).abs() < 1e-10,
+            "got {}",
+            g[0]
+        );
     }
 
     #[test]
@@ -217,7 +218,7 @@ mod tests {
         let loss = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
         let point = [1.0, -2.0, 0.5];
         let mut rng = StdRng::seed_from_u64(9);
-        let mut acc = vec![0.0; 3];
+        let mut acc = [0.0; 3];
         let n = 4000;
         for _ in 0..n {
             for (a, g) in acc.iter_mut().zip(spsa(loss, &point, 1e-3, &mut rng)) {

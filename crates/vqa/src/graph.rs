@@ -29,7 +29,10 @@ pub struct Graph {
 impl Graph {
     /// Creates an empty graph over `n` nodes.
     pub fn new(n: usize) -> Self {
-        Graph { n, edges: Vec::new() }
+        Graph {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// The `n`-cycle with unit weights (the paper's evaluation graph for
@@ -146,7 +149,10 @@ mod tests {
         let g = Graph::ring(4);
         assert_eq!(g.num_nodes(), 4);
         assert_eq!(
-            g.edges().iter().map(|&(a, b, _)| (a, b)).collect::<Vec<_>>(),
+            g.edges()
+                .iter()
+                .map(|&(a, b, _)| (a, b))
+                .collect::<Vec<_>>(),
             vec![(0, 1), (1, 2), (2, 3), (0, 3)]
         );
     }

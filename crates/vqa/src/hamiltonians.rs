@@ -55,7 +55,10 @@ pub fn maxcut(graph: &Graph) -> Hamiltonian {
     for &(a, b, w) in graph.edges() {
         // -w/2 * I + w/2 * Z_a Z_b
         h.add_term(-w / 2.0, PauliString::identity(n));
-        h.add_term(w / 2.0, PauliString::from_sparse(n, &[(a, Pauli::Z), (b, Pauli::Z)]));
+        h.add_term(
+            w / 2.0,
+            PauliString::from_sparse(n, &[(a, Pauli::Z), (b, Pauli::Z)]),
+        );
     }
     h
 }

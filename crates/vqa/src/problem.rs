@@ -87,6 +87,10 @@ pub trait VqaProblem: Send + Sync {
     fn templates(&self) -> &[Circuit];
 
     /// The ordered task list of one optimization cycle (epoch).
+    ///
+    /// All slices of a parameter must be listed contiguously (the
+    /// paper's cyclic per-parameter walk): barrier-style executors
+    /// detect parameter-group boundaries from this ordering.
     fn tasks(&self) -> Vec<GradientTask>;
 
     /// Indices into [`VqaProblem::templates`] needed to evaluate `slice`.
@@ -143,7 +147,8 @@ impl VqeProblem {
             .iter()
             .map(|g| {
                 let mut c = ansatz.clone();
-                c.extend(g.rotation_gates()).expect("rotations fit the ansatz");
+                c.extend(g.rotation_gates())
+                    .expect("rotations fit the ansatz");
                 c
             })
             .collect();
@@ -201,7 +206,11 @@ impl VqeProblem {
             if term.string.is_identity() {
                 acc += term.coefficient;
             } else {
-                let mask: u64 = term.string.support().iter().fold(0u64, |m, &q| m | (1 << q));
+                let mask: u64 = term
+                    .string
+                    .support()
+                    .iter()
+                    .fold(0u64, |m, &q| m | (1 << q));
                 acc += term.coefficient * counts.expectation_z_product(mask);
             }
         }
@@ -274,7 +283,9 @@ impl VqaProblem for VqeProblem {
     }
 
     fn loss_slices(&self) -> Vec<TaskSlice> {
-        (0..self.plan.groups().len()).map(TaskSlice::Group).collect()
+        (0..self.plan.groups().len())
+            .map(TaskSlice::Group)
+            .collect()
     }
 
     fn ideal_loss(&self, params: &[f64]) -> f64 {
@@ -421,8 +432,11 @@ impl VqaProblem for QaoaProblem {
                     if term.string.is_identity() {
                         acc += term.coefficient;
                     } else {
-                        let mask: u64 =
-                            term.string.support().iter().fold(0u64, |m, &q| m | (1 << q));
+                        let mask: u64 = term
+                            .string
+                            .support()
+                            .iter()
+                            .fold(0u64, |m, &q| m | (1 << q));
                         acc += term.coefficient * counts[0].expectation_z_product(mask);
                     }
                 }
@@ -674,7 +688,10 @@ mod tests {
             .map(|s| p.slice_loss(s, &counts_for(&p, s, &params)))
             .sum();
         let ideal = p.ideal_loss(&params);
-        assert!((total - ideal).abs() < 0.05, "sampled {total} vs ideal {ideal}");
+        assert!(
+            (total - ideal).abs() < 0.05,
+            "sampled {total} vs ideal {ideal}"
+        );
     }
 
     #[test]
@@ -738,7 +755,10 @@ mod tests {
         let p = QnnProblem::synthetic(8, 5);
         let params = p.initial_point(1);
         let loss = p.ideal_loss(&params);
-        assert!((0.0..=1.0).contains(&loss), "margin loss in [0,1], got {loss}");
+        assert!(
+            (0.0..=1.0).contains(&loss),
+            "margin loss in [0,1], got {loss}"
+        );
         let acc = p.accuracy(&params);
         assert!((0.0..=1.0).contains(&acc));
     }
@@ -771,8 +791,7 @@ mod tests {
                 .map(|pair| {
                     let sv = pair.forward.run_statevector(&[]).unwrap();
                     let mut rng = StdRng::seed_from_u64(0);
-                    let counts =
-                        sample_counts(&sv.probabilities(), 4, 1, &mut rng);
+                    let counts = sample_counts(&sv.probabilities(), 4, 1, &mut rng);
                     let _ = counts; // exact path below instead
                     exact_group_loss(&p, g, &sv)
                 })

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use vqa::graph::Graph;
 use vqa::hamiltonians;
-use vqa::problem::{TaskSlice, VqaProblem, VqeProblem};
+use vqa::problem::{VqaProblem, VqeProblem};
 
 /// Strategy: a random connected graph over `n` nodes (spanning path plus
 /// extra random edges).

@@ -8,21 +8,24 @@
 use eqc::prelude::*;
 use vqa::problem::VqeProblem as Vqe;
 
-fn train(problem: &dyn VqaProblem, label: &str, learning_rate: f64, epochs: usize) {
-    let clients: Vec<ClientNode> = ["manila", "bogota", "lagos"]
-        .iter()
-        .enumerate()
-        .map(|(i, n)| {
-            let be = catalog::by_name(n).expect("catalog device").backend(70 + i as u64);
-            ClientNode::new(i, be, problem).expect("fits")
-        })
-        .collect();
-    let cfg = EqcConfig::paper_vqe()
-        .with_epochs(epochs)
-        .with_shots(2048)
-        .with_learning_rate(learning_rate)
-        .with_weights(WeightBounds::new(0.5, 1.5));
-    let report = EqcTrainer::new(cfg).train(problem, clients);
+fn train(
+    problem: &dyn VqaProblem,
+    label: &str,
+    learning_rate: f64,
+    epochs: usize,
+) -> Result<(), EqcError> {
+    let report = Ensemble::builder()
+        .devices(["manila", "bogota", "lagos"])
+        .device_seed(70)
+        .config(
+            EqcConfig::paper_vqe()
+                .with_epochs(epochs)
+                .with_shots(2048)
+                .with_learning_rate(learning_rate)
+                .with_weights(WeightBounds::new(0.5, 1.5)?),
+        )
+        .build()?
+        .train(problem)?;
     println!(
         "{label}: converged {:.4} vs exact ground {:.4} ({:.2}% off), {:.1} epochs/h",
         report.converged_loss(8),
@@ -30,9 +33,10 @@ fn train(problem: &dyn VqaProblem, label: &str, learning_rate: f64, epochs: usiz
         report.converged_error_pct(8),
         report.epochs_per_hour()
     );
+    Ok(())
 }
 
-fn main() {
+fn main() -> Result<(), EqcError> {
     println!("== Extension VQE workloads on a weighted 3-device ensemble ==\n");
 
     // H2 molecule (O'Malley 2-qubit reduction).
@@ -45,7 +49,7 @@ fn main() {
     );
     // The H2 landscape is shallow around the start: a larger step and
     // budget are needed (see the extensions section of EXPERIMENTS.md).
-    train(&h2, "H2 molecule   ", 0.3, 100);
+    train(&h2, "H2 molecule   ", 0.3, 100)?;
 
     // Transverse-field Ising chain at criticality (g = J).
     let tfim = Vqe::new(
@@ -59,5 +63,6 @@ fn main() {
         vqa::VqaProblem::num_params(&tfim),
         tfim.reference_minimum()
     );
-    train(&tfim, "TFIM chain    ", 0.1, 60);
+    train(&tfim, "TFIM chain    ", 0.1, 60)?;
+    Ok(())
 }

@@ -6,13 +6,12 @@
 
 use eqc::prelude::*;
 use eqc_core::p_correct;
+use std::error::Error;
 use transpile::LayoutStrategy;
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     // The Fig. 8 VQE ansatz with bound parameters.
-    let circuit = vqa::ansatz::hardware_efficient(4)
-        .bind(&vec![0.3; 16])
-        .expect("parameter count matches");
+    let circuit = vqa::ansatz::hardware_efficient(4).bind(&[0.3; 16])?;
 
     println!(
         "{:<12} {:>5} {:>4} {:>4} {:>4} {:>6} {:>10} {:>10}",
@@ -24,7 +23,7 @@ fn main() {
             layout: LayoutStrategy::Greedy,
             ..Default::default()
         };
-        let t = transpile(&circuit, &topology, &options).expect("circuit fits every device");
+        let t = transpile(&circuit, &topology, &options)?;
         let backend = spec.backend(7);
         let fresh = backend.reported_calibration(SimTime::ZERO);
         let drifted = backend.actual_calibration(SimTime::from_hours(20.0));
@@ -44,4 +43,5 @@ fn main() {
         "\nBetter-connected devices route with fewer SWAPs (lower G2), which\n\
          raises Eq. 2's P_correct; stale calibrations degrade every device."
     );
+    Ok(())
 }

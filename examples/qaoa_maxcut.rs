@@ -7,26 +7,30 @@
 
 use eqc::prelude::*;
 
-fn train(problem: &QaoaProblem, weights: Option<WeightBounds>, label: &str) -> TrainingReport {
-    let names = ["toronto", "santiago", "quito", "lima", "bogota", "manila", "belem"];
-    let clients: Vec<ClientNode> = names
-        .iter()
-        .enumerate()
-        .map(|(i, n)| {
-            let be = catalog::by_name(n).expect("catalog device").backend(20 + i as u64);
-            ClientNode::new(i, be, problem).expect("fits")
-        })
-        .collect();
+const DEVICES: [&str; 7] = [
+    "toronto", "santiago", "quito", "lima", "bogota", "manila", "belem",
+];
+
+fn train(
+    problem: &QaoaProblem,
+    weights: Option<WeightBounds>,
+    label: &str,
+) -> Result<TrainingReport, EqcError> {
     let mut config = EqcConfig::paper_qaoa().with_epochs(30).with_shots(2048);
     if let Some(w) = weights {
         config = config.with_weights(w);
     }
-    let mut report = EqcTrainer::new(config).train(problem, clients);
+    let mut report = Ensemble::builder()
+        .devices(DEVICES)
+        .device_seed(20)
+        .config(config)
+        .build()?
+        .train(problem)?;
     report.trainer = label.to_string();
-    report
+    Ok(report)
 }
 
-fn main() {
+fn main() -> Result<(), EqcError> {
     let problem = QaoaProblem::maxcut_ring4();
     let (best_cut, best_mask) = problem.graph().max_cut_brute_force();
     println!(
@@ -34,8 +38,12 @@ fn main() {
          p=1 reachable cost -0.75"
     );
 
-    let unweighted = train(&problem, None, "eqc-unweighted");
-    let weighted = train(&problem, Some(WeightBounds::new(0.5, 1.5)), "eqc-weighted[0.5,1.5]");
+    let unweighted = train(&problem, None, "eqc-unweighted")?;
+    let weighted = train(
+        &problem,
+        Some(WeightBounds::new(0.5, 1.5)?),
+        "eqc-weighted[0.5,1.5]",
+    )?;
     println!("\n{unweighted}");
     println!("{weighted}");
     println!(
@@ -47,9 +55,14 @@ fn main() {
     // Extension: two QAOA rounds push past the p=1 barrier on the ideal
     // simulator.
     let p2 = QaoaProblem::maxcut("qaoa-ring4-p2", Graph::ring(4), 2);
-    let ideal = train_ideal(&p2, EqcConfig::paper_qaoa().with_epochs(60).with_shots(4096));
+    let ideal = Ensemble::builder()
+        .ideal_device()
+        .config(EqcConfig::paper_qaoa().with_epochs(60).with_shots(4096))
+        .build()?
+        .train_with(&SequentialExecutor::new(), &p2)?;
     println!(
         "\np=2 ideal training reaches {:.4} (p=1 limit -0.75, true optimum -1.0)",
         ideal.converged_loss(10)
     );
+    Ok(())
 }

@@ -7,7 +7,7 @@
 
 use eqc::prelude::*;
 
-fn main() {
+fn main() -> Result<(), EqcError> {
     let problem = QnnProblem::synthetic(8, 13);
     println!(
         "QNN: {} data points, {} parameters, {} tasks per epoch",
@@ -23,24 +23,23 @@ fn main() {
         problem.accuracy(&theta0) * 100.0
     );
 
-    let clients: Vec<ClientNode> = ["belem", "manila", "bogota", "quito"]
-        .iter()
-        .enumerate()
-        .map(|(i, n)| {
-            let be = catalog::by_name(n).expect("catalog device").backend(30 + i as u64);
-            ClientNode::new(i, be, &problem).expect("fits")
-        })
-        .collect();
-    let config = EqcConfig::paper_qaoa()
-        .with_epochs(15)
-        .with_shots(1024)
-        .with_seed(3)
-        .with_learning_rate(0.4);
-    let report = EqcTrainer::new(config).train(&problem, clients);
+    let report = Ensemble::builder()
+        .devices(["belem", "manila", "bogota", "quito"])
+        .device_seed(30)
+        .config(
+            EqcConfig::paper_qaoa()
+                .with_epochs(15)
+                .with_shots(1024)
+                .with_seed(3)
+                .with_learning_rate(0.4),
+        )
+        .build()?
+        .train(&problem)?;
     println!("\n{report}");
     println!(
         "after training: loss {:.4}, accuracy {:.0}%",
         report.final_loss,
         problem.accuracy(&report.final_params) * 100.0
     );
+    Ok(())
 }

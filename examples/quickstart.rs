@@ -1,25 +1,29 @@
 //! Quickstart: build a circuit, run it on a simulated NISQ device, and
-//! train a small VQA across an ensemble.
+//! train a small VQA across an ensemble through the `Ensemble` builder
+//! and the default deterministic executor.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use eqc::prelude::*;
+use std::error::Error;
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     // --- 1. Ideal circuit simulation -----------------------------------
     let mut b = CircuitBuilder::new(2);
     b.h(0).cx(0, 1);
     let bell = b.build();
     println!("{}", qcircuit::diagram::render(&bell));
-    let sv = bell.run_statevector(&[]).expect("bound circuit");
+    let sv = bell.run_statevector(&[])?;
     println!("Bell state probabilities: {:?}", sv.probabilities());
     println!(
         "\nOpenQASM 2.0 export:\n{}",
-        qcircuit::qasm::to_qasm(&bell).expect("bound circuit exports")
+        qcircuit::qasm::to_qasm(&bell)?
     );
 
     // --- 2. The same circuit on a simulated IBMQ backend ---------------
-    let mut backend = catalog::by_name("bogota").expect("catalog device").backend(42);
+    let mut backend = catalog::by_name("bogota")
+        .ok_or_else(|| EqcError::UnknownDevice("bogota".into()))?
+        .backend(42);
     let job = backend.execute(&bell, &[0, 1], 4096, SimTime::ZERO);
     println!(
         "bogota measured {} shots in {:.1} virtual seconds: {}",
@@ -30,19 +34,17 @@ fn main() {
 
     // --- 3. Train QAOA MaxCut on a 3-device ensemble -------------------
     let problem = QaoaProblem::maxcut_ring4();
-    let clients: Vec<ClientNode> = ["belem", "manila", "bogota"]
-        .iter()
-        .enumerate()
-        .map(|(i, name)| {
-            let be = catalog::by_name(name).expect("catalog device").backend(i as u64);
-            ClientNode::new(i, be, &problem).expect("device fits the circuit")
-        })
-        .collect();
-    let config = EqcConfig::paper_qaoa().with_epochs(20).with_shots(2048);
-    let report = EqcTrainer::new(config).train(&problem, clients);
+    let report = Ensemble::builder()
+        .device("belem")
+        .device("manila")
+        .device("bogota")
+        .config(EqcConfig::paper_qaoa().with_epochs(20).with_shots(2048))
+        .build()?
+        .train(&problem)?;
     println!("{report}");
     println!(
         "normalized MaxCut cost converged to {:.4} (p=1 optimum is -0.75)",
         report.converged_loss(5)
     );
+    Ok(())
 }

@@ -1,7 +1,7 @@
 //! The paper's VQE workload: the 4-qubit Heisenberg model (Eq. 3) under
-//! the Fig. 8 hardware-efficient ansatz, trained three ways — on the
-//! ideal simulator, on a single device, and on an EQC ensemble with the
-//! adaptive weighting system.
+//! the Fig. 8 hardware-efficient ansatz, trained three ways through the
+//! same `Ensemble` API — the ideal simulator, a single device, and an
+//! EQC ensemble with the adaptive weighting system.
 //!
 //! A scaled-down version of the Fig. 6 / Fig. 9 experiments (fewer epochs
 //! and shots so it finishes in seconds); the full harness lives in
@@ -11,7 +11,7 @@
 
 use eqc::prelude::*;
 
-fn main() {
+fn main() -> Result<(), EqcError> {
     let problem = VqeProblem::heisenberg_4q();
     println!(
         "Heisenberg 4q: {} Pauli terms, {} measurement groups, exact ground energy {:.4}",
@@ -21,29 +21,32 @@ fn main() {
     );
 
     let config = EqcConfig::paper_vqe().with_epochs(25).with_shots(1024);
+    let sequential = SequentialExecutor::new();
 
     // Ideal baseline.
-    let ideal = train_ideal(&problem, config);
+    let ideal = Ensemble::builder()
+        .ideal_device()
+        .config(config)
+        .build()?
+        .train_with(&sequential, &problem)?;
     println!("\n{ideal}");
 
     // Single-device baseline on the noisiest machine of Table I.
-    let x2 = catalog::by_name("x2").expect("catalog device").backend(1);
-    let single = SingleDeviceTrainer::new(config)
-        .train(&problem, ClientNode::new(0, x2, &problem).expect("fits"));
+    let single = Ensemble::builder()
+        .device("x2")
+        .device_seed(1)
+        .config(config)
+        .build()?
+        .train_with(&sequential, &problem)?;
     println!("{single}");
 
     // EQC over five devices, weighted 0.5-1.5 (the paper's default band).
-    let names = ["lima", "x2", "belem", "manila", "bogota"];
-    let clients: Vec<ClientNode> = names
-        .iter()
-        .enumerate()
-        .map(|(i, n)| {
-            let be = catalog::by_name(n).expect("catalog device").backend(10 + i as u64);
-            ClientNode::new(i, be, &problem).expect("fits")
-        })
-        .collect();
-    let eqc = EqcTrainer::new(config.with_weights(WeightBounds::new(0.5, 1.5)))
-        .train(&problem, clients);
+    let eqc = Ensemble::builder()
+        .devices(["lima", "x2", "belem", "manila", "bogota"])
+        .device_seed(10)
+        .config(config.with_weights(WeightBounds::new(0.5, 1.5)?))
+        .build()?
+        .train(&problem)?;
     println!("{eqc}");
 
     println!(
@@ -52,4 +55,5 @@ fn main() {
         eqc.converged_error_pct(5),
         single.converged_error_pct(5),
     );
+    Ok(())
 }

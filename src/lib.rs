@@ -11,7 +11,7 @@
 //! | Transpiler | [`transpile`] | topologies, layout, SWAP routing, IBM basis rewriting, peephole |
 //! | Devices | [`qdevice`] | Table I catalog, calibration drift, cloud queues, noisy execution |
 //! | Workloads | [`vqa`] | Heisenberg VQE, MaxCut QAOA, QNN; parameter-shift gradients |
-//! | Framework | [`eqc_core`] | master/client ASGD ensemble, Eq. 2 weighting, convergence bound |
+//! | Framework | [`eqc_core`] | `Ensemble` session API, pluggable executors, Eq. 2 weighting |
 //!
 //! ## Quickstart: train a QAOA MaxCut on a simulated ensemble
 //!
@@ -19,22 +19,43 @@
 //! use eqc::prelude::*;
 //!
 //! let problem = QaoaProblem::maxcut_ring4();
-//! let clients: Vec<ClientNode> = ["belem", "manila", "bogota"]
-//!     .iter()
-//!     .enumerate()
-//!     .map(|(i, name)| {
-//!         let backend = qdevice::catalog::by_name(name).unwrap().backend(i as u64);
-//!         ClientNode::new(i, backend, &problem).unwrap()
-//!     })
-//!     .collect();
-//! let config = EqcConfig::paper_qaoa().with_epochs(5).with_shots(512);
-//! let report = EqcTrainer::new(config).train(&problem, clients);
+//! let report = Ensemble::builder()
+//!     .device("belem")
+//!     .device("manila")
+//!     .device("bogota")
+//!     .config(EqcConfig::paper_qaoa().with_epochs(5).with_shots(512))
+//!     .build()?
+//!     .train(&problem)?;
 //! println!("{report}");
 //! assert_eq!(report.epochs, 5);
+//! # Ok::<(), EqcError>(())
+//! ```
+//!
+//! Training always runs through an [`Executor`](eqc_core::Executor):
+//! the default above is the deterministic [`DiscreteEventExecutor`]
+//! (same seed, same report); swap in the [`ThreadedExecutor`] for real
+//! OS-thread concurrency or the [`SequentialExecutor`] for the paper's
+//! single-machine and synchronous baselines:
+//!
+//! ```
+//! use eqc::prelude::*;
+//!
+//! let problem = QaoaProblem::maxcut_ring4();
+//! let ensemble = Ensemble::builder()
+//!     .device("belem")
+//!     .config(EqcConfig::paper_qaoa().with_epochs(2).with_shots(256))
+//!     .build()?;
+//! let single = ensemble.train_with(&SequentialExecutor::new(), &problem)?;
+//! assert!(single.trainer.starts_with("single:"));
+//! # Ok::<(), EqcError>(())
 //! ```
 //!
 //! See `examples/` for runnable scenarios and `crates/bench` for the
 //! harnesses regenerating every table and figure of the paper.
+//!
+//! [`DiscreteEventExecutor`]: eqc_core::DiscreteEventExecutor
+//! [`ThreadedExecutor`]: eqc_core::ThreadedExecutor
+//! [`SequentialExecutor`]: eqc_core::SequentialExecutor
 
 #![warn(missing_docs)]
 
@@ -48,9 +69,12 @@ pub use vqa;
 /// Convenient single-import surface for applications.
 pub mod prelude {
     pub use eqc_core::{
-        ideal_backend, train_ideal, train_threaded, ClientNode, EqcConfig, EqcTrainer,
-        SingleDeviceTrainer, TrainingReport, WeightBounds,
+        ideal_backend, ClientNode, DiscreteEventExecutor, Ensemble, EnsembleBuilder,
+        EnsembleSession, EqcConfig, EqcError, Executor, SequentialExecutor, ThreadedExecutor,
+        TrainingReport, WeightBounds,
     };
+    #[allow(deprecated)]
+    pub use eqc_core::{train_ideal, train_threaded, EqcTrainer, SingleDeviceTrainer};
     pub use qcircuit::{Circuit, CircuitBuilder, Gate, Hamiltonian, PauliString};
     pub use qdevice::{catalog, DeviceSpec, QpuBackend, SimTime};
     pub use qsim::{Counts, DensityMatrix, StateVector};

@@ -122,7 +122,6 @@ fn p_correct_prefers_better_topology_and_calibration() {
         &TranspileOptions::default(),
     )
     .expect("fits");
-    let line = transpile(&circuit, &Topology::line(5), &TranspileOptions::default())
-        .expect("fits");
+    let line = transpile(&circuit, &Topology::line(5), &TranspileOptions::default()).expect("fits");
     assert!(p_correct(&full.metrics, &cal) >= p_correct(&line.metrics, &cal));
 }

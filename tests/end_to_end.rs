@@ -1,27 +1,32 @@
 //! End-to-end integration: problem -> transpile -> simulated devices ->
-//! EQC training, spanning every crate in the workspace.
+//! EQC training through the `Ensemble` session API, spanning every crate
+//! in the workspace.
 
 use eqc::prelude::*;
 
-fn clients(problem: &dyn VqaProblem, names: &[&str], seed: u64) -> Vec<ClientNode> {
-    names
-        .iter()
-        .enumerate()
-        .map(|(i, n)| {
-            let be = catalog::by_name(n).expect("catalog device").backend(seed + i as u64);
-            ClientNode::new(i, be, problem).expect("fits")
-        })
-        .collect()
+fn ensemble(names: &[&str], seed: u64, cfg: EqcConfig) -> Ensemble {
+    Ensemble::builder()
+        .devices(names.iter().copied())
+        .device_seed(seed)
+        .config(cfg)
+        .build()
+        .expect("catalog devices resolve")
 }
 
 #[test]
 fn qaoa_end_to_end_on_ensemble() {
     let problem = QaoaProblem::maxcut_ring4();
     let cfg = EqcConfig::paper_qaoa().with_epochs(25).with_shots(2048);
-    let report = EqcTrainer::new(cfg).train(&problem, clients(&problem, &["belem", "manila", "bogota"], 3));
+    let report = ensemble(&["belem", "manila", "bogota"], 3, cfg)
+        .train(&problem)
+        .expect("trains");
     assert_eq!(report.epochs, 25);
     // Real noisy devices: should still clearly beat random parameters.
-    let start = report.history.first().expect("history populated").ideal_loss;
+    let start = report
+        .history
+        .first()
+        .expect("history populated")
+        .ideal_loss;
     assert!(
         report.converged_loss(5) < start - 0.1,
         "no learning: start {start}, converged {}",
@@ -34,16 +39,16 @@ fn qaoa_end_to_end_on_ensemble() {
 fn vqe_end_to_end_single_vs_ensemble_speed() {
     let problem = VqeProblem::heisenberg_4q();
     let cfg = EqcConfig::paper_vqe().with_epochs(3).with_shots(512);
-    let single = SingleDeviceTrainer::new(cfg)
-        .train(&problem, clients(&problem, &["bogota"], 11).pop().expect("one"));
-    let ensemble = EqcTrainer::new(cfg).train(
-        &problem,
-        clients(&problem, &["lima", "belem", "quito", "manila", "bogota"], 11),
-    );
+    let single = ensemble(&["bogota"], 11, cfg)
+        .train_with(&SequentialExecutor::new(), &problem)
+        .expect("trains");
+    let eqc = ensemble(&["lima", "belem", "quito", "manila", "bogota"], 11, cfg)
+        .train(&problem)
+        .expect("trains");
     assert!(
-        ensemble.epochs_per_hour() > 2.0 * single.epochs_per_hour(),
+        eqc.epochs_per_hour() > 2.0 * single.epochs_per_hour(),
         "ensemble {:.1} vs single {:.1}",
-        ensemble.epochs_per_hour(),
+        eqc.epochs_per_hour(),
         single.epochs_per_hour()
     );
 }
@@ -55,19 +60,28 @@ fn qnn_end_to_end_data_parallel() {
         .with_epochs(8)
         .with_shots(1024)
         .with_learning_rate(0.5);
-    let report = EqcTrainer::new(cfg).train(&problem, clients(&problem, &["belem", "manila"], 5));
+    let report = ensemble(&["belem", "manila"], 5, cfg)
+        .train(&problem)
+        .expect("trains");
     assert_eq!(report.epochs, 8);
     let start = report.history.first().expect("history").ideal_loss;
     let end = report.final_loss;
-    assert!(end <= start + 0.02, "QNN loss should not increase: {start} -> {end}");
+    assert!(
+        end <= start + 0.02,
+        "QNN loss should not increase: {start} -> {end}"
+    );
 }
 
 #[test]
 fn deterministic_given_seeds() {
     let problem = QaoaProblem::maxcut_ring4();
     let cfg = EqcConfig::paper_qaoa().with_epochs(4).with_shots(256);
-    let a = EqcTrainer::new(cfg).train(&problem, clients(&problem, &["belem", "x2"], 9));
-    let b = EqcTrainer::new(cfg).train(&problem, clients(&problem, &["belem", "x2"], 9));
+    let a = ensemble(&["belem", "x2"], 9, cfg)
+        .train(&problem)
+        .expect("trains");
+    let b = ensemble(&["belem", "x2"], 9, cfg)
+        .train(&problem)
+        .expect("trains");
     assert_eq!(a.final_params, b.final_params);
     assert_eq!(a.history.len(), b.history.len());
     for (x, y) in a.history.iter().zip(&b.history) {
@@ -80,8 +94,12 @@ fn deterministic_given_seeds() {
 fn threaded_and_des_executors_both_learn() {
     let problem = QaoaProblem::maxcut_ring4();
     let cfg = EqcConfig::paper_qaoa().with_epochs(15).with_shots(1024);
-    let des = EqcTrainer::new(cfg).train(&problem, clients(&problem, &["belem", "manila"], 2));
-    let thr = train_threaded(&problem, clients(&problem, &["belem", "manila"], 2), cfg);
+    let des = ensemble(&["belem", "manila"], 2, cfg)
+        .train(&problem)
+        .expect("trains");
+    let thr = ensemble(&["belem", "manila"], 2, cfg)
+        .train_with(&ThreadedExecutor::new(), &problem)
+        .expect("trains");
     for (label, r) in [("des", &des), ("threaded", &thr)] {
         assert!(
             r.converged_loss(4) < -0.4,
@@ -98,9 +116,13 @@ fn time_cap_terminates_early() {
         .with_epochs(50)
         .with_shots(256)
         .with_time_cap_hours(2.0);
-    let report = SingleDeviceTrainer::new(cfg)
-        .train(&problem, clients(&problem, &["santiago"], 4).pop().expect("one"));
-    assert!(report.epochs < 50, "santiago cannot finish 50 epochs in 2 h");
+    let report = ensemble(&["santiago"], 4, cfg)
+        .train_with(&SequentialExecutor::new(), &problem)
+        .expect("trains");
+    assert!(
+        report.epochs < 50,
+        "santiago cannot finish 50 epochs in 2 h"
+    );
 }
 
 #[test]
@@ -109,23 +131,24 @@ fn multiprogrammed_slots_join_the_ensemble() {
     // alongside ordinary devices in one EQC ensemble.
     use qdevice::multiprog::{split, MultiprogramConfig};
     let problem = VqeProblem::heisenberg_4q();
-    let mut id = 0usize;
-    let mut all = Vec::new();
-    for name in ["belem", "manila"] {
-        let be = catalog::by_name(name).expect("catalog device").backend(80 + id as u64);
-        all.push(ClientNode::new(id, be, &problem).expect("fits"));
-        id += 1;
-    }
+    let mut builder = Ensemble::builder()
+        .device("belem")
+        .device("manila")
+        .device_seed(80)
+        .config(EqcConfig::paper_vqe().with_epochs(2).with_shots(512));
     let spec = catalog::by_name("toronto").expect("catalog device");
     let slots = split(&spec, &MultiprogramConfig::default(), 0xCAFE);
     assert!(slots.len() >= 2);
+    let mut n_clients = 2;
     for s in slots {
-        all.push(ClientNode::new(id, s.backend, &problem).expect("region fits"));
-        id += 1;
+        builder = builder.backend(s.backend);
+        n_clients += 1;
     }
-    let n_clients = all.len();
-    let cfg = EqcConfig::paper_vqe().with_epochs(2).with_shots(512);
-    let report = EqcTrainer::new(cfg).train(&problem, all);
+    let report = builder
+        .build()
+        .expect("builds")
+        .train(&problem)
+        .expect("trains");
     assert_eq!(report.epochs, 2);
     assert_eq!(report.clients.len(), n_clients);
     // The co-resident slots actually contributed work.
@@ -144,12 +167,15 @@ fn weighted_training_tracks_device_quality() {
     let cfg = EqcConfig::paper_vqe()
         .with_epochs(3)
         .with_shots(512)
-        .with_weights(WeightBounds::new(0.5, 1.5));
-    let report = EqcTrainer::new(cfg).train(
-        &problem,
-        clients(&problem, &["x2", "bogota", "manila"], 6),
-    );
-    let x2 = report.clients.iter().find(|c| c.device == "x2").expect("x2 present");
+        .with_weights(WeightBounds::new(0.5, 1.5).expect("valid band"));
+    let report = ensemble(&["x2", "bogota", "manila"], 6, cfg)
+        .train(&problem)
+        .expect("trains");
+    let x2 = report
+        .clients
+        .iter()
+        .find(|c| c.device == "x2")
+        .expect("x2 present");
     let bogota = report
         .clients
         .iter()

@@ -1,0 +1,203 @@
+//! Executor equivalence and determinism: the three substrates drive the
+//! same master loop, so their reports must agree wherever the execution
+//! order is immaterial.
+
+use eqc::prelude::*;
+use std::collections::HashMap;
+
+fn qaoa_ensemble(names: &[&str], epochs: usize) -> Ensemble {
+    Ensemble::builder()
+        .devices(names.iter().copied())
+        .device_seed(7)
+        .config(EqcConfig::paper_qaoa().with_epochs(epochs).with_shots(512))
+        .build()
+        .expect("catalog devices resolve")
+}
+
+#[test]
+fn discrete_event_reports_are_byte_identical_per_seed() {
+    let problem = QaoaProblem::maxcut_ring4();
+    let ensemble = qaoa_ensemble(&["belem", "manila", "bogota"], 8);
+    let a = ensemble.train(&problem).expect("trains");
+    let b = ensemble.train(&problem).expect("trains");
+    assert_eq!(a, b, "structurally identical");
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "byte-identical debug serialization"
+    );
+}
+
+/// An independent re-implementation of the pre-0.2
+/// `SingleDeviceTrainer::train` loop (uncapped, unweighted): walk the
+/// cyclic task list, chain each submission on the previous completion,
+/// gather consecutive same-parameter slices locally, apply plain SGD,
+/// record the ideal loss after every full cycle.
+fn reference_single_device_sgd(
+    problem: &dyn VqaProblem,
+    mut client: ClientNode,
+    cfg: EqcConfig,
+) -> (Vec<f64>, Vec<(usize, f64, f64)>) {
+    let mut theta = vqa::VqaProblem::initial_point(problem, cfg.seed);
+    let tasks = vqa::VqaProblem::tasks(problem);
+    let mut now = SimTime::ZERO;
+    let mut history = Vec::new();
+    for epoch in 1..=cfg.epochs {
+        let mut idx = 0usize;
+        while idx < tasks.len() {
+            let param = tasks[idx].param;
+            let mut grad = 0.0;
+            while idx < tasks.len() && tasks[idx].param == param {
+                let r = client.run_task(problem, tasks[idx], &theta, cfg.shots, now);
+                now = r.completed;
+                grad += r.gradient;
+                idx += 1;
+            }
+            theta[param.index()] -= cfg.learning_rate * grad;
+        }
+        history.push((epoch, now.as_hours(), problem.ideal_loss(&theta)));
+    }
+    (theta, history)
+}
+
+#[test]
+#[allow(deprecated)]
+fn sequential_on_ideal_matches_old_single_device_trainer() {
+    // Compare the SequentialExecutor (and the deprecated
+    // SingleDeviceTrainer shim over it) against an independent
+    // re-implementation of the old trainer's loop, on the same ideal
+    // backend stream — not against itself.
+    let problem = VqeProblem::heisenberg_4q();
+    let cfg = EqcConfig::paper_vqe().with_epochs(4).with_shots(256);
+
+    let mk_client = || {
+        ClientNode::new(
+            0,
+            ideal_backend(vqa::VqaProblem::num_qubits(&problem), cfg.seed ^ 0x5eed),
+            &problem,
+        )
+        .expect("ideal fits")
+    };
+    let (ref_params, ref_history) = reference_single_device_sgd(&problem, mk_client(), cfg);
+
+    let new = Ensemble::builder()
+        .backend(ideal_backend(
+            vqa::VqaProblem::num_qubits(&problem),
+            cfg.seed ^ 0x5eed,
+        ))
+        .config(cfg)
+        .build()
+        .expect("builds")
+        .train_with(&SequentialExecutor::new(), &problem)
+        .expect("trains");
+
+    assert_eq!(new.final_params, ref_params, "identical final parameters");
+    let new_history: Vec<(usize, f64, f64)> = new
+        .history
+        .iter()
+        .map(|h| (h.epoch, h.virtual_hours, h.ideal_loss))
+        .collect();
+    assert_eq!(new_history, ref_history, "identical loss trajectory");
+
+    // And the deprecated shim delegates to the same path.
+    let old = SingleDeviceTrainer::new(cfg)
+        .train(&problem, mk_client())
+        .expect("trains");
+    assert_eq!(old.final_params, ref_params);
+    assert_eq!(old.trainer, "ideal");
+}
+
+#[test]
+fn threaded_applies_the_same_gradient_set_as_discrete_event() {
+    // Thread scheduling permutes arrival order, but on a 2-client
+    // ensemble both substrates must complete the same training work:
+    // identical update counts, near-identical sets of (cycle, parameter)
+    // applications, and full participation.
+    let problem = QaoaProblem::maxcut_ring4();
+    let epochs = 10;
+    let ensemble = qaoa_ensemble(&["belem", "manila"], epochs);
+    let params_per_cycle = vqa::VqaProblem::num_params(&problem);
+    let n_clients = 2;
+
+    let des = ensemble.train(&problem).expect("trains");
+    let thr = ensemble
+        .train_with(&ThreadedExecutor::new(), &problem)
+        .expect("trains");
+
+    // Both run the epoch budget to completion with the same number of
+    // applied parameter updates.
+    assert_eq!(des.epochs, epochs);
+    assert_eq!(thr.epochs, epochs);
+    assert_eq!(des.updates_applied, (epochs * params_per_cycle) as u64);
+    assert_eq!(des.updates_applied, thr.updates_applied);
+
+    // The multisets of applied (cycle, parameter) updates agree up to
+    // the work in flight when the epoch budget was hit.
+    let count = |log: &[(usize, usize)]| {
+        let mut m: HashMap<(usize, usize), i64> = HashMap::new();
+        for &k in log {
+            *m.entry(k).or_insert(0) += 1;
+        }
+        m
+    };
+    let (a, b) = (count(&des.update_log), count(&thr.update_log));
+    let mut diff = 0i64;
+    for key in a
+        .keys()
+        .chain(b.keys())
+        .collect::<std::collections::HashSet<_>>()
+    {
+        diff += (a.get(key).copied().unwrap_or(0) - b.get(key).copied().unwrap_or(0)).abs();
+    }
+    assert!(
+        diff <= 2 * n_clients as i64,
+        "update sets diverge beyond in-flight slack: {diff}"
+    );
+
+    // Every parameter advanced once per epoch, give or take the boundary.
+    for m in [&a, &b] {
+        for p in 0..params_per_cycle {
+            let n: i64 = m
+                .iter()
+                .filter(|((_, param), _)| *param == p)
+                .map(|(_, c)| *c)
+                .sum();
+            assert!(
+                (n - epochs as i64).abs() <= 1,
+                "param {p} updated {n} times over {epochs} epochs"
+            );
+        }
+    }
+
+    // Both substrates keep the whole fleet busy.
+    for r in [&des, &thr] {
+        for c in &r.clients {
+            assert!(
+                c.tasks_completed > 0,
+                "{} idle under {}",
+                c.device,
+                r.trainer
+            );
+        }
+    }
+}
+
+#[test]
+fn executors_are_interchangeable_behind_the_trait() {
+    // The extension point: training code written against `dyn Executor`
+    // works with every substrate.
+    let problem = QaoaProblem::maxcut_ring4();
+    let executors: Vec<Box<dyn Executor>> = vec![
+        Box::new(DiscreteEventExecutor::new()),
+        Box::new(ThreadedExecutor::new()),
+        Box::new(SequentialExecutor::new()),
+    ];
+    let ensemble = qaoa_ensemble(&["belem", "manila"], 3);
+    for executor in &executors {
+        let report = ensemble
+            .train_with(executor.as_ref(), &problem)
+            .expect("every substrate trains");
+        assert_eq!(report.epochs, 3);
+        assert_eq!(report.clients.len(), 2);
+    }
+}

@@ -120,7 +120,7 @@ proptest! {
     /// Weight normalization maps any score set into the band.
     #[test]
     fn weights_stay_in_band(ps in proptest::collection::vec(0.0..1.0f64, 2..12)) {
-        let bounds = eqc_core::WeightBounds::new(0.25, 1.75);
+        let bounds = eqc_core::WeightBounds::new(0.25, 1.75).expect("valid band");
         let ws = eqc_core::normalize_weights(&ps, bounds);
         for w in ws {
             prop_assert!((0.25..=1.75).contains(&w));

@@ -12,7 +12,9 @@ fn transpiled_circuit_exports_and_reimports() {
     let ansatz = vqa::ansatz::hardware_efficient(4);
     let t = transpile(
         &ansatz,
-        &catalog::by_name("belem").expect("catalog device").topology(),
+        &catalog::by_name("belem")
+            .expect("catalog device")
+            .topology(),
         &TranspileOptions::default(),
     )
     .expect("fits");
@@ -48,7 +50,9 @@ fn qasm_circuit_executes_on_simulated_device() {
                 h q[0];\ncx q[0],q[1];\ncx q[1],q[2];\n\
                 measure q[0] -> c[0];\nmeasure q[1] -> c[1];\nmeasure q[2] -> c[2];\n";
     let circuit = qasm::from_qasm(text).expect("valid program");
-    let mut backend = catalog::by_name("manila").expect("catalog device").backend(5);
+    let mut backend = catalog::by_name("manila")
+        .expect("catalog device")
+        .backend(5);
     let job = backend.execute(&circuit, &[0, 1, 2], 8192, qdevice::SimTime::ZERO);
     let ghz_mass = job.counts.probability(0) + job.counts.probability(0b111);
     assert!(ghz_mass > 0.8, "GHZ correlations lost: {ghz_mass}");
@@ -59,7 +63,9 @@ fn diagram_renders_transpiled_circuits() {
     let ansatz = vqa::ansatz::hardware_efficient(4);
     let t = transpile(
         &ansatz,
-        &catalog::by_name("bogota").expect("catalog device").topology(),
+        &catalog::by_name("bogota")
+            .expect("catalog device")
+            .topology(),
         &TranspileOptions::default(),
     )
     .expect("fits");

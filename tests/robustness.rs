@@ -1,5 +1,7 @@
 //! Failure-injection and robustness tests: pathological devices,
-//! degenerate ensembles and extreme calibrations must degrade gracefully.
+//! degenerate ensembles, extreme calibrations and invalid inputs must
+//! degrade gracefully — as typed errors or harmless reports, never
+//! panics.
 
 use eqc::prelude::*;
 use qdevice::{DriftModel, QueueModel, SimTime};
@@ -29,26 +31,28 @@ fn broken_device_still_returns_valid_counts() {
     assert_eq!(job.counts.total(), 2048);
     // Near-maximal noise: the distribution should be close to uniform.
     let p0 = job.counts.probability(0);
-    assert!(p0 < 0.5, "fully depolarized device should not retain structure");
+    assert!(
+        p0 < 0.5,
+        "fully depolarized device should not retain structure"
+    );
 }
 
 #[test]
 fn ensemble_with_one_broken_device_still_learns() {
     let problem = QaoaProblem::maxcut_ring4();
-    let mut clients: Vec<ClientNode> = ["belem", "manila", "bogota"]
-        .iter()
-        .enumerate()
-        .map(|(i, n)| {
-            let be = catalog::by_name(n).expect("catalog device").backend(40 + i as u64);
-            ClientNode::new(i, be, &problem).expect("fits")
-        })
-        .collect();
-    clients.push(ClientNode::new(3, broken_backend(7), &problem).expect("fits"));
     let cfg = EqcConfig::paper_qaoa()
         .with_epochs(25)
         .with_shots(2048)
-        .with_weights(WeightBounds::new(0.25, 1.75));
-    let report = EqcTrainer::new(cfg).train(&problem, clients);
+        .with_weights(WeightBounds::new(0.25, 1.75).expect("valid band"));
+    let report = Ensemble::builder()
+        .devices(["belem", "manila", "bogota"])
+        .device_seed(40)
+        .backend(broken_backend(7))
+        .config(cfg)
+        .build()
+        .expect("builds")
+        .train(&problem)
+        .expect("trains");
     // Training still converges to a useful cost...
     assert!(
         report.converged_loss(5) < -0.45,
@@ -78,14 +82,6 @@ fn ensemble_with_one_broken_device_still_learns() {
 fn ensemble_with_glacial_device_completes() {
     // One device 10000x slower than the rest must not stall training.
     let problem = QaoaProblem::maxcut_ring4();
-    let mut clients: Vec<ClientNode> = ["belem", "manila"]
-        .iter()
-        .enumerate()
-        .map(|(i, n)| {
-            let be = catalog::by_name(n).expect("catalog device").backend(50 + i as u64);
-            ClientNode::new(i, be, &problem).expect("fits")
-        })
-        .collect();
     let spec = catalog::by_name("quito").expect("catalog device");
     let glacial = QpuBackend::new(
         "glacial",
@@ -96,9 +92,16 @@ fn ensemble_with_glacial_device_completes() {
         24.0,
         9,
     );
-    clients.push(ClientNode::new(2, glacial, &problem).expect("fits"));
     let cfg = EqcConfig::paper_qaoa().with_epochs(10).with_shots(512);
-    let report = EqcTrainer::new(cfg).train(&problem, clients);
+    let report = Ensemble::builder()
+        .devices(["belem", "manila"])
+        .device_seed(50)
+        .backend(glacial)
+        .config(cfg)
+        .build()
+        .expect("builds")
+        .train(&problem)
+        .expect("trains");
     assert_eq!(report.epochs, 10);
     // The glacial device contributes almost nothing.
     let g = report
@@ -120,38 +123,49 @@ fn ensemble_with_glacial_device_completes() {
 fn single_client_ensemble_degenerates_to_single_device() {
     let problem = QaoaProblem::maxcut_ring4();
     let cfg = EqcConfig::paper_qaoa().with_epochs(5).with_shots(512);
-    let mk = |seed| {
-        ClientNode::new(
-            0,
-            catalog::by_name("manila").expect("catalog device").backend(seed),
-            &problem,
-        )
-        .expect("fits")
+    let mk = || {
+        Ensemble::builder()
+            .device("manila")
+            .device_seed(3)
+            .config(cfg)
+            .build()
+            .expect("builds")
     };
-    let eqc = EqcTrainer::new(cfg).train(&problem, vec![mk(3)]);
-    let single = SingleDeviceTrainer::new(cfg).train(&problem, mk(3));
-    // Same device, same seeds, no concurrency: identical parameters.
+    // Same device, same seeds, no concurrency: identical parameters from
+    // the discrete-event and sequential substrates.
+    let eqc = mk().train(&problem).expect("trains");
+    let single = mk()
+        .train_with(&SequentialExecutor::new(), &problem)
+        .expect("trains");
     assert_eq!(eqc.final_params, single.final_params);
 }
 
 #[test]
 fn weighting_with_identical_devices_is_neutral() {
     let problem = QaoaProblem::maxcut_ring4();
-    let clients: Vec<ClientNode> = (0..3)
-        .map(|i| {
-            let be = catalog::by_name("manila").expect("catalog device").backend(60);
-            ClientNode::new(i, be, &problem).expect("fits")
-        })
-        .collect();
     let cfg = EqcConfig::paper_qaoa()
         .with_epochs(4)
         .with_shots(256)
-        .with_weights(WeightBounds::new(0.5, 1.5));
-    let report = EqcTrainer::new(cfg).train(&problem, clients);
+        .with_weights(WeightBounds::new(0.5, 1.5).expect("valid band"));
+    let mut builder = Ensemble::builder().config(cfg);
+    for _ in 0..3 {
+        let be = catalog::by_name("manila")
+            .expect("catalog device")
+            .backend(60);
+        builder = builder.backend(be);
+    }
+    let report = builder
+        .build()
+        .expect("builds")
+        .train(&problem)
+        .expect("trains");
     // Identical devices: every weight collapses to the band midpoint.
     for sample in &report.weight_trace {
         for &w in &sample.weights {
-            assert!((w - 1.0).abs() < 0.51, "weight {w} drifted for identical devices");
+            assert!(
+                (w - 1.0).abs() < 0.51,
+                "weight {w} drifted for identical devices"
+            );
         }
     }
 }
@@ -165,7 +179,9 @@ fn zero_parameter_resilience() {
     let problem = QaoaProblem::maxcut_ring4();
     let mut client = ClientNode::new(
         0,
-        catalog::by_name("belem").expect("catalog device").backend(3),
+        catalog::by_name("belem")
+            .expect("catalog device")
+            .backend(3),
         &problem,
     )
     .expect("fits");
@@ -181,4 +197,46 @@ fn zero_parameter_resilience() {
     );
     assert_eq!(r.gradient, 0.0);
     assert_eq!(r.circuits_run, 0);
+}
+
+#[test]
+fn invalid_inputs_are_errors_not_panics() {
+    let problem = QaoaProblem::maxcut_ring4();
+    // Unknown device.
+    assert!(matches!(
+        Ensemble::builder().device("nope").build(),
+        Err(EqcError::UnknownDevice(_))
+    ));
+    // Empty fleet.
+    assert!(matches!(
+        Ensemble::builder().build(),
+        Err(EqcError::EmptyEnsemble)
+    ));
+    // Bad configuration.
+    assert!(matches!(
+        Ensemble::builder()
+            .device("belem")
+            .config(EqcConfig::paper_qaoa().with_learning_rate(-1.0))
+            .build(),
+        Err(EqcError::InvalidConfig(_))
+    ));
+    // Bad weight band.
+    assert!(WeightBounds::new(2.0, 1.0).is_err());
+    // Oversized problem vs a 5-qubit device becomes a transpile error.
+    let big = VqeProblem::new(
+        "vqe-8q",
+        vqa::hamiltonians::transverse_field_ising(8, 1.0, 1.0),
+        vqa::ansatz::hardware_efficient_layers(8, 1),
+    );
+    let r = Ensemble::builder()
+        .device("belem")
+        .config(EqcConfig::paper_qaoa().with_epochs(1).with_shots(64))
+        .build()
+        .expect("builds")
+        .train(&big);
+    assert!(
+        matches!(r, Err(EqcError::Transpile { .. })),
+        "8q problem on a 5q device must fail cleanly: {r:?}"
+    );
+    let _ = problem;
 }
