@@ -1,0 +1,171 @@
+//! Compiled-engine microbenchmarks: gate kernels, channel application,
+//! and end-to-end job throughput — old (pre-engine reference) path vs
+//! the compiled-program engine.
+//!
+//! The headline number is `job_throughput/*`: one 4-qubit VQE job at
+//! 8192 shots on a catalog backend, executed through
+//! `QpuBackend::with_legacy_execution` (per-job noise rebuild,
+//! per-operator clones, per-shot map inserts) versus the engine path
+//! (per-cycle noise cache, compiled tape, scratch buffers), versus the
+//! client-style template path (compile once, rebind per job). The
+//! engine must clear >= 2x over legacy; the template path adds more.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qcircuit::CircuitBuilder;
+use qdevice::noise_model::{execute_density, reference, NoiseModel};
+use qdevice::{
+    catalog, Calibration, CompiledTemplate, DriftModel, QpuBackend, QueueModel, SimTime,
+    TemplateRun,
+};
+use qsim::{gates, ChannelScratch, DensityMatrix, KrausChannel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The 4-qubit hardware-efficient VQE ansatz shape (RY layer, CX chain,
+/// RZ layer) the paper's Fig. 8 workload transpiles to.
+fn vqe_circuit_bound(n: usize) -> qcircuit::Circuit {
+    let mut b = CircuitBuilder::new(n);
+    for q in 0..n {
+        b.ry(q, 0.3 + 0.2 * q as f64);
+    }
+    for q in 0..n - 1 {
+        b.cx(q, q + 1);
+    }
+    for q in 0..n {
+        b.rz(q, 0.1 * q as f64 - 0.4);
+    }
+    b.build()
+}
+
+/// The same ansatz with symbolic parameters, for the template path.
+fn vqe_circuit_symbolic(n: usize) -> qcircuit::Circuit {
+    let mut b = CircuitBuilder::new(n);
+    for q in 0..n {
+        b.ry_sym(q, q);
+    }
+    for q in 0..n - 1 {
+        b.cx(q, q + 1);
+    }
+    for q in 0..n {
+        b.rz_sym(q, n + q);
+    }
+    b.build()
+}
+
+fn bench_gate_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gate_kernel");
+    let mut rho = DensityMatrix::new(5);
+    rho.apply_unitary_1q(&gates::h(), 0);
+    let ry = gates::ry(0.7);
+    let cx = gates::cx();
+    group.bench_function("unitary_1q_5q", |b| b.iter(|| rho.apply_unitary_1q(&ry, 2)));
+    group.bench_function("unitary_2q_5q", |b| {
+        b.iter(|| rho.apply_unitary_2q(&cx, 1, 3))
+    });
+    group.finish();
+}
+
+fn bench_channel_application(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel_apply");
+    let ch1 = KrausChannel::depolarizing_1q(0.01);
+    let ch2 = KrausChannel::depolarizing_2q(0.02);
+    let mut rho = DensityMatrix::new(5);
+    rho.apply_unitary_1q(&gates::h(), 0);
+    let mut scratch = ChannelScratch::new();
+    // Allocating (per-operator clone) form vs the scratch-buffer form.
+    group.bench_function("depol_1q_alloc", |b| {
+        b.iter(|| rho.apply_channel(&ch1, &[2]))
+    });
+    group.bench_function("depol_1q_buffered", |b| {
+        b.iter(|| rho.apply_channel_buffered(&ch1, &[2], &mut scratch))
+    });
+    group.bench_function("depol_2q_alloc", |b| {
+        b.iter(|| rho.apply_channel(&ch2, &[1, 3]))
+    });
+    group.bench_function("depol_2q_buffered", |b| {
+        b.iter(|| rho.apply_channel_buffered(&ch2, &[1, 3], &mut scratch))
+    });
+    group.finish();
+}
+
+fn bench_execute_density_paths(c: &mut Criterion) {
+    // Single-function view of the same gap: reference executor vs the
+    // compile+engine wrapper at a fixed noise model.
+    let circuit = vqe_circuit_bound(4);
+    let cal = Calibration::uniform(4, 85.0, 65.0, 0.002, 0.015, 0.025);
+    let noise = NoiseModel::from_calibration(&cal, &[0, 1, 2, 3]);
+    let mut group = c.benchmark_group("execute_density");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(1);
+    group.bench_function("reference_8192", |b| {
+        b.iter(|| reference::execute_density(&circuit, &noise, 8192, &mut rng))
+    });
+    group.bench_function("engine_8192", |b| {
+        b.iter(|| execute_density(&circuit, &noise, 8192, &mut rng))
+    });
+    group.finish();
+}
+
+fn backend(seed: u64) -> QpuBackend {
+    let spec = catalog::by_name("belem").expect("catalog device");
+    QpuBackend::new(
+        spec.name,
+        spec.topology(),
+        spec.calibration(),
+        DriftModel::none(),
+        QueueModel::light(1.0),
+        24.0,
+        seed,
+    )
+}
+
+fn bench_job_throughput(c: &mut Criterion) {
+    // The acceptance metric: one 4-qubit VQE job, 8192 shots, full
+    // backend path (queue, calibration, noise, sampling).
+    let circuit = vqe_circuit_bound(4);
+    let active = [0usize, 1, 2, 3];
+    let mut group = c.benchmark_group("job_throughput");
+    group.sample_size(20);
+
+    let mut legacy = backend(2).with_legacy_execution();
+    group.bench_function("legacy_4q_vqe_8192", |b| {
+        b.iter(|| legacy.execute(&circuit, &active, 8192, SimTime::ZERO))
+    });
+
+    let mut engine = backend(2);
+    group.bench_function("engine_4q_vqe_8192", |b| {
+        b.iter(|| engine.execute(&circuit, &active, 8192, SimTime::ZERO))
+    });
+
+    // The client-style hot path: symbolic template compiled once per
+    // calibration cycle, parameter-shift pair rebound per job.
+    let mut with_templates = backend(2);
+    let mut template = CompiledTemplate::new(vqe_circuit_symbolic(4), active.to_vec());
+    let params: Vec<f64> = (0..8).map(|i| 0.25 * i as f64 - 0.9).collect();
+    let runs = [
+        TemplateRun {
+            template: 0,
+            shift: Some((0, vqa::gradient::SHIFT)),
+        },
+        TemplateRun {
+            template: 0,
+            shift: Some((0, -vqa::gradient::SHIFT)),
+        },
+    ];
+    group.bench_function("template_shift_pair_8192", |b| {
+        b.iter(|| {
+            let mut refs = [&mut template];
+            with_templates.execute_templates(&mut refs, &runs, &params, 8192, SimTime::ZERO)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gate_kernels,
+    bench_channel_application,
+    bench_execute_density_paths,
+    bench_job_throughput
+);
+criterion_main!(benches);

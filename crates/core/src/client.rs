@@ -1,14 +1,17 @@
 //! The EQC client node (Algorithm 2 of the paper).
 //!
 //! One client manages one QPU: it transpiles the problem's circuit
-//! templates once for its device's topology, then serves gradient tasks —
-//! binding the shift-rule circuits, submitting them as a single batched
-//! job, reading the loss off the returned counts, and reporting the
-//! gradient together with the device's current `P_correct`.
+//! templates once for its device's topology — and compiles each into a
+//! [`CompiledTemplate`] that the backend re-lowers at most once per
+//! calibration cycle — then serves gradient tasks: the per-occurrence
+//! forward/backward shift pairs go to the device as **one** batched
+//! engine call ([`QpuBackend::execute_templates`]), the loss is read off
+//! the returned counts, and the gradient is reported together with the
+//! device's current `P_correct`.
 
 use crate::weighting;
-use qcircuit::{Circuit, ParamId};
-use qdevice::{QpuBackend, SimTime};
+use qcircuit::ParamId;
+use qdevice::{CompiledTemplate, QpuBackend, SimTime, TemplateRun};
 use qsim::Counts;
 use transpile::{transpile, CircuitMetrics, TranspileError, TranspileOptions, Transpiled};
 use vqa::{GradientTask, VqaProblem};
@@ -16,12 +19,15 @@ use vqa::{GradientTask, VqaProblem};
 /// A problem template prepared for one device.
 #[derive(Clone, Debug)]
 struct PreparedTemplate {
-    /// Compacted symbolic physical circuit (simulation-sized register).
-    compact: Circuit,
+    /// Compiled form of the compacted symbolic physical circuit: cached
+    /// op-tape + channel set per noise epoch, rebound per job.
+    compiled: CompiledTemplate,
+    /// Gate indices of each parameter's occurrences in the compact
+    /// circuit, indexed by [`ParamId`] (precomputed: the hot path reads
+    /// them per task).
+    occurrences: Vec<Vec<usize>>,
     /// Bit position of each logical qubit in the compact register.
     logical_bits: Vec<usize>,
-    /// Physical qubit behind each compact qubit.
-    active_physical: Vec<usize>,
     /// Full transpilation artifact (metrics, layouts).
     transpiled: Transpiled,
 }
@@ -81,10 +87,13 @@ impl ClientNode {
                     "transpilation changed occurrence structure"
                 );
             }
+            let occurrences = (0..compact.num_params())
+                .map(|p| compact.occurrences_of(ParamId(p)))
+                .collect();
             templates.push(PreparedTemplate {
-                compact,
+                compiled: CompiledTemplate::new(compact, active_physical),
+                occurrences,
                 logical_bits,
-                active_physical,
                 transpiled,
             });
         }
@@ -117,6 +126,18 @@ impl ClientNode {
         self.tasks_completed
     }
 
+    /// Times this client's templates were compiled into executable
+    /// programs — with a stable calibration this stays at one compile
+    /// per template per calibration cycle touched, however many jobs ran.
+    pub fn programs_compiled(&self) -> u64 {
+        self.templates.iter().map(|t| t.compiled.compiles()).sum()
+    }
+
+    /// Jobs served from cached compiled programs without recompiling.
+    pub fn program_cache_hits(&self) -> u64 {
+        self.templates.iter().map(|t| t.compiled.cache_hits()).sum()
+    }
+
     /// Borrows the backend (e.g. for calibration queries in reports).
     pub fn backend(&self) -> &QpuBackend {
         &self.backend
@@ -132,17 +153,77 @@ impl ClientNode {
     /// computes at circuit induction time.
     pub fn p_correct_at(&self, template_indices: &[usize], t: SimTime) -> f64 {
         let cal = self.backend.reported_calibration(t);
+        Self::mean_p_correct(&self.templates, &cal, template_indices)
+    }
+
+    /// The shared Eq. 2 scoring body behind [`ClientNode::p_correct_at`]
+    /// and the task hot path (which reads the calibration from the
+    /// backend's per-cycle cache instead of rebuilding it).
+    fn mean_p_correct(
+        templates: &[PreparedTemplate],
+        cal: &qdevice::Calibration,
+        template_indices: &[usize],
+    ) -> f64 {
         let mean: f64 = template_indices
             .iter()
-            .map(|&i| weighting::p_correct(&self.templates[i].transpiled.metrics, &cal))
+            .map(|&i| weighting::p_correct(&templates[i].transpiled.metrics, cal))
             .sum::<f64>()
             / template_indices.len().max(1) as f64;
         weighting::bound_p_correct(mean)
     }
 
-    /// Executes one gradient task: builds the per-occurrence shift
-    /// circuits for every template of the slice, submits them as one
-    /// batched job, and assembles the gradient.
+    /// Gate indices where `param` occurs in a template's compact circuit
+    /// (empty when the parameter is absent).
+    fn occurrence_list(&self, template: usize, param: ParamId) -> &[usize] {
+        self.templates[template]
+            .occurrences
+            .get(param.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Maps slice template indices onto unique local slots for one
+    /// batched engine call; returns `(unique_originals, local_of_each)`.
+    fn local_slots(template_indices: &[usize]) -> (Vec<usize>, Vec<usize>) {
+        let mut unique: Vec<usize> = Vec::new();
+        let local = template_indices
+            .iter()
+            .map(|&ti| match unique.iter().position(|&u| u == ti) {
+                Some(l) => l,
+                None => {
+                    unique.push(ti);
+                    unique.len() - 1
+                }
+            })
+            .collect();
+        (unique, local)
+    }
+
+    /// Splits the client into its backend and the mutable compiled
+    /// templates for the given unique slice indices — the borrow
+    /// protocol behind every batched engine call.
+    fn backend_and_templates(
+        &mut self,
+        unique: &[usize],
+    ) -> (&mut QpuBackend, Vec<&mut CompiledTemplate>) {
+        let ClientNode {
+            backend, templates, ..
+        } = self;
+        let mut slots: Vec<Option<&mut CompiledTemplate>> = templates
+            .iter_mut()
+            .map(|p| Some(&mut p.compiled))
+            .collect();
+        let refs = unique
+            .iter()
+            .map(|&ti| slots[ti].take().expect("slice templates are deduplicated"))
+            .collect();
+        (backend, refs)
+    }
+
+    /// Executes one gradient task: the per-occurrence forward/backward
+    /// shift pairs of every template in the slice go to the backend as
+    /// **one** batched engine call over the client's compiled templates,
+    /// then the gradient is assembled from the returned counts.
     ///
     /// # Panics
     ///
@@ -157,14 +238,18 @@ impl ClientNode {
         submit: SimTime,
     ) -> ClientTaskResult {
         let template_indices = problem.slice_templates(task.slice);
-        let p_correct = self.p_correct_at(&template_indices, submit);
+        let p_correct = {
+            let ClientNode {
+                backend, templates, ..
+            } = &mut *self;
+            Self::mean_p_correct(templates, backend.reported_at(submit), &template_indices)
+        };
 
         // Occurrence structure from the first template; all templates of a
         // slice share the ansatz so the structure must agree.
-        let first = &self.templates[template_indices[0]];
-        let occurrences = first.compact.occurrences_of(task.param);
+        let n_occurrences = self.occurrence_list(template_indices[0], task.param).len();
         let n_templates = template_indices.len();
-        if occurrences.is_empty() {
+        if n_occurrences == 0 {
             // Parameter absent from the circuit: zero gradient, no job.
             return ClientTaskResult {
                 task,
@@ -177,43 +262,41 @@ impl ClientNode {
         }
 
         // Build the batch: for each occurrence, forward then backward
-        // bindings of every template in the slice.
-        let mut bound: Vec<(Circuit, usize)> = Vec::new(); // (circuit, template idx)
-        for (k, _) in occurrences.iter().enumerate() {
-            for &t in &template_indices {
-                let prep = &self.templates[t];
-                let occ = prep.compact.occurrences_of(task.param);
+        // shifts of every template in the slice.
+        let (unique, local) = Self::local_slots(&template_indices);
+        let mut runs: Vec<TemplateRun> = Vec::with_capacity(n_occurrences * 2 * n_templates);
+        for k in 0..n_occurrences {
+            for (j, &ti) in template_indices.iter().enumerate() {
+                let occ = self.occurrence_list(ti, task.param);
                 assert_eq!(
                     occ.len(),
-                    occurrences.len(),
+                    n_occurrences,
                     "occurrence structure differs across slice templates"
                 );
-                let fwd = prep
-                    .compact
-                    .bind_with_shift(params, occ[k], vqa::gradient::SHIFT)
-                    .expect("parameter vector covers template");
-                bound.push((fwd, t));
+                runs.push(TemplateRun {
+                    template: local[j],
+                    shift: Some((occ[k], vqa::gradient::SHIFT)),
+                });
             }
-            for &t in &template_indices {
-                let prep = &self.templates[t];
-                let occ = prep.compact.occurrences_of(task.param);
-                let bck = prep
-                    .compact
-                    .bind_with_shift(params, occ[k], -vqa::gradient::SHIFT)
-                    .expect("parameter vector covers template");
-                bound.push((bck, t));
+            for (j, &ti) in template_indices.iter().enumerate() {
+                let occ = self.occurrence_list(ti, task.param);
+                runs.push(TemplateRun {
+                    template: local[j],
+                    shift: Some((occ[k], -vqa::gradient::SHIFT)),
+                });
             }
         }
-        let batch: Vec<(&Circuit, &[usize])> = bound
-            .iter()
-            .map(|(c, t)| (c, self.templates[*t].active_physical.as_slice()))
-            .collect();
-        let (raw_counts, timing) = self.backend.execute_batch(&batch, shots, submit);
+        let (raw_counts, timing) = {
+            let (backend, mut template_refs) = self.backend_and_templates(&unique);
+            backend.execute_templates(&mut template_refs, &runs, params, shots, submit)
+        };
         self.circuits_run += raw_counts.len() as u64;
         self.tasks_completed += 1;
 
         // Reassemble: per occurrence, the forward template counts then the
         // backward template counts.
+        let occurrences = self.occurrence_list(template_indices[0], task.param);
+        let first_circuit = self.templates[template_indices[0]].compiled.circuit();
         let mut gradient = 0.0;
         let per_occ = 2 * n_templates;
         for (k, &occ_idx) in occurrences.iter().enumerate() {
@@ -226,7 +309,7 @@ impl ClientNode {
                 .collect();
             let loss_fwd = problem.slice_loss(task.slice, &fwd_counts);
             let loss_bck = problem.slice_loss(task.slice, &bck_counts);
-            let scale = first.compact.gates()[occ_idx]
+            let scale = first_circuit.gates()[occ_idx]
                 .angle()
                 .expect("occurrence is parameterized")
                 .gradient_scale();
@@ -239,12 +322,13 @@ impl ClientNode {
             p_correct,
             submitted: submit,
             completed: timing.completed,
-            circuits_run: bound.len(),
+            circuits_run: runs.len(),
         }
     }
 
     /// Evaluates the full noisy loss at `params` by running every loss
-    /// slice's templates once. Used for measured-energy reporting.
+    /// slice's templates once (one batched engine call per slice). Used
+    /// for measured-energy reporting.
     pub fn evaluate_loss(
         &mut self,
         problem: &dyn VqaProblem,
@@ -256,23 +340,18 @@ impl ClientNode {
         let mut t = submit;
         for slice in problem.loss_slices() {
             let template_indices = problem.slice_templates(slice);
-            let bound: Vec<(Circuit, usize)> = template_indices
+            let (unique, local) = Self::local_slots(&template_indices);
+            let runs: Vec<TemplateRun> = local
                 .iter()
-                .map(|&ti| {
-                    (
-                        self.templates[ti]
-                            .compact
-                            .bind(params)
-                            .expect("parameter vector covers template"),
-                        ti,
-                    )
+                .map(|&l| TemplateRun {
+                    template: l,
+                    shift: None,
                 })
                 .collect();
-            let batch: Vec<(&Circuit, &[usize])> = bound
-                .iter()
-                .map(|(c, ti)| (c, self.templates[*ti].active_physical.as_slice()))
-                .collect();
-            let (raw, timing) = self.backend.execute_batch(&batch, shots, t);
+            let (raw, timing) = {
+                let (backend, mut template_refs) = self.backend_and_templates(&unique);
+                backend.execute_templates(&mut template_refs, &runs, params, shots, t)
+            };
             self.circuits_run += raw.len() as u64;
             let logical: Vec<Counts> = template_indices
                 .iter()

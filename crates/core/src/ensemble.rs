@@ -2,8 +2,11 @@
 //!
 //! An [`Ensemble`] is a reusable description of a device fleet plus a
 //! training configuration, built with [`Ensemble::builder`]. Binding it
-//! to a problem yields an [`EnsembleSession`] (devices transpile the
-//! problem's templates once, the master state initializes), and any
+//! to a problem yields an [`EnsembleSession`]: each device transpiles
+//! the problem's templates once and wraps them as compiled templates
+//! ([`qdevice::CompiledTemplate`]) that its backend re-lowers at most
+//! once per calibration cycle — per job only the parameter-shift pair
+//! is rebound and submitted as one batched engine call. Any
 //! [`Executor`] drains the session into a
 //! [`TrainingReport`](crate::report::TrainingReport):
 //!

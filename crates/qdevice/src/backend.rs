@@ -5,16 +5,33 @@
 //! separating *reported* from *actual* noise, a queue latency model, and a
 //! seeded RNG for shot sampling. Executing a job advances virtual time
 //! only — a 40-hour training run simulates in milliseconds.
+//!
+//! ## Execution engine and noise caching
+//!
+//! Every execution path routes through the compiled-program engines of
+//! [`qsim::program`]. The backend keeps a per-calibration-cycle noise
+//! cache: the *reported* calibration (clone + jitter) is rebuilt once
+//! per cycle, each active-qubit set's [`NoiseModel`] is projected once
+//! per cycle and re-degraded only when the drift factors actually
+//! change (they never do under [`DriftModel::none`], so the model is
+//! then built exactly once per cycle), and ensemble clients additionally
+//! cache the compiled program per template per noise epoch (see
+//! [`crate::compile::CompiledTemplate`]). All caches key on values, not
+//! time, so results are byte-identical to the uncached pre-engine path —
+//! which survives behind [`QpuBackend::with_legacy_execution`] as the
+//! equivalence oracle for tests and benchmarks.
 
-use crate::calibration::Calibration;
+use crate::calibration::{Calibration, QubitCalibration};
 use crate::clock::SimTime;
+use crate::compile::{CompileOptions, CompiledTemplate, NoiseToken};
 use crate::drift::DriftModel;
-use crate::noise_model::{execute_density, execute_trajectories, NoiseModel};
+use crate::noise_model::{reference, NoiseModel, QubitNoise};
 use crate::queue::QueueModel;
 use qcircuit::Circuit;
-use qsim::{Counts, DensityMatrix};
+use qsim::{Counts, DensityEngine, DensityMatrix, TrajectoryEngine};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
 use transpile::Topology;
 
 /// Which simulation engine executes circuits.
@@ -43,6 +60,108 @@ pub struct JobResult {
     pub circuit_duration_ns: f64,
 }
 
+/// One run of a batched template job: which template to execute and an
+/// optional parameter-shift `(gate_idx, delta)` applied on top of the
+/// shared parameter vector (see [`QpuBackend::execute_templates`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TemplateRun {
+    /// Index into the template list passed alongside the runs.
+    pub template: usize,
+    /// Optional `(gate_idx, delta)` parameter shift.
+    pub shift: Option<(usize, f64)>,
+}
+
+/// Reported calibration figures projected onto one active-qubit set, in
+/// calibration units. The per-cycle cache re-degrades these with the
+/// drift factors of the moment using exactly the arithmetic of
+/// [`Calibration::degrade`] followed by [`NoiseModel::from_calibration`],
+/// so cached models are bit-identical to models built from scratch.
+#[derive(Clone, Debug)]
+struct BaseNoise {
+    qubits: Vec<QubitCalibration>,
+    cx: Vec<((usize, usize), f64)>,
+    gate_time_1q_ns: f64,
+    gate_time_2q_ns: f64,
+    readout_time_ns: f64,
+}
+
+impl BaseNoise {
+    fn project(cal: &Calibration, active: &[usize]) -> Self {
+        let qubits = active.iter().map(|&p| *cal.qubit(p)).collect();
+        let mut cx = Vec::new();
+        for (i, &pi) in active.iter().enumerate() {
+            for (j, &pj) in active.iter().enumerate().skip(i + 1) {
+                cx.push(((i, j), cal.cx_error(pi, pj)));
+            }
+        }
+        BaseNoise {
+            qubits,
+            cx,
+            gate_time_1q_ns: cal.gate_time_1q_ns,
+            gate_time_2q_ns: cal.gate_time_2q_ns,
+            readout_time_ns: cal.readout_time_ns,
+        }
+    }
+
+    /// `NoiseModel::from_calibration(degrade(reported, ef, cf), active)`
+    /// without cloning a calibration — operation for operation the same
+    /// float arithmetic, so the result is bit-identical.
+    fn drifted_model(&self, ef: f64, cf: f64) -> NoiseModel {
+        let qubits = self
+            .qubits
+            .iter()
+            .map(|q| {
+                let t1_us = (q.t1_us / cf).max(1.0);
+                let t2_us = (q.t2_us / cf).max(1.0).min(2.0 * t1_us);
+                QubitNoise {
+                    t1_ns: t1_us * 1e3,
+                    t2_ns: t2_us.min(2.0 * t1_us) * 1e3,
+                    gate_error_1q: (q.gate_error_1q * ef).clamp(0.0, 0.5),
+                    readout_error: (q.readout_error * ef).clamp(0.0, 0.5),
+                }
+            })
+            .collect();
+        let cx: HashMap<(usize, usize), f64> = self
+            .cx
+            .iter()
+            .map(|&(k, v)| (k, (v * ef).clamp(0.0, 0.75)))
+            .collect();
+        NoiseModel::from_parts(
+            qubits,
+            cx,
+            self.gate_time_1q_ns,
+            self.gate_time_2q_ns,
+            self.readout_time_ns,
+        )
+    }
+}
+
+/// One cached noise model: the active set it covers, the projected base
+/// figures, and the model materialized for the last-seen drift factors.
+#[derive(Clone, Debug)]
+struct NoiseEntry {
+    active: Vec<usize>,
+    base: BaseNoise,
+    factors: (f64, f64),
+    model: NoiseModel,
+}
+
+/// The per-calibration-cycle noise cache (see the module docs).
+#[derive(Clone, Debug, Default)]
+struct NoiseCache {
+    cycle: Option<u64>,
+    reported: Option<Calibration>,
+    entries: Vec<NoiseEntry>,
+    reported_builds: u64,
+    model_builds: u64,
+}
+
+/// Source of unique per-construction backend identities for
+/// [`NoiseToken`]s. Clones share their original's identity, which is
+/// correct: a clone has the same calibration, seed and drift, hence
+/// bit-identical noise per (cycle, factors).
+static NEXT_BACKEND_INSTANCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
 /// A simulated cloud QPU.
 #[derive(Clone, Debug)]
 pub struct QpuBackend {
@@ -59,11 +178,19 @@ pub struct QpuBackend {
     recal_jitter: f64,
     simulator: SimulatorKind,
     seed: u64,
+    /// Unique per-construction identity (see [`NEXT_BACKEND_INSTANCE`]).
+    instance_id: u64,
     rng: StdRng,
     busy_until: SimTime,
     jobs_executed: u64,
     /// Accumulated execution time (seconds the QPU actually ran shots).
     busy_seconds: f64,
+    /// Route execution through the preserved pre-engine path (the
+    /// bit-equivalence oracle; slow).
+    legacy_execution: bool,
+    noise_cache: NoiseCache,
+    density_engine: DensityEngine,
+    trajectory_engine: TrajectoryEngine,
 }
 
 impl QpuBackend {
@@ -102,16 +229,31 @@ impl QpuBackend {
             recal_jitter: 0.12,
             simulator: SimulatorKind::Density,
             seed,
+            instance_id: NEXT_BACKEND_INSTANCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             rng: StdRng::seed_from_u64(seed),
             busy_until: SimTime::ZERO,
             jobs_executed: 0,
             busy_seconds: 0.0,
+            legacy_execution: false,
+            noise_cache: NoiseCache::default(),
+            density_engine: DensityEngine::new(),
+            trajectory_engine: TrajectoryEngine::new(1),
         }
     }
 
     /// Selects the simulation engine (builder style).
     pub fn with_simulator(mut self, simulator: SimulatorKind) -> Self {
         self.simulator = simulator;
+        self
+    }
+
+    /// Routes execution through the preserved pre-engine path (builder
+    /// style): per-job `NoiseModel` reconstruction, per-operator state
+    /// clones, per-shot histogram inserts. Orders of magnitude slower —
+    /// it exists so equivalence tests and benchmarks can demand
+    /// byte-identical results from the engine path.
+    pub fn with_legacy_execution(mut self) -> Self {
+        self.legacy_execution = true;
         self
     }
 
@@ -219,6 +361,144 @@ impl QpuBackend {
         start
     }
 
+    /// Ensures the noise cache covers the cycle containing `t`,
+    /// rebuilding the reported calibration (once per cycle) on a miss.
+    fn ensure_cycle(&mut self, t: SimTime) {
+        let cycle = self.cycle_of(t);
+        if self.noise_cache.cycle != Some(cycle) {
+            let reported = self.reported_calibration(t);
+            self.noise_cache.cycle = Some(cycle);
+            self.noise_cache.reported = Some(reported);
+            self.noise_cache.entries.clear();
+            self.noise_cache.reported_builds += 1;
+        }
+    }
+
+    /// The calibration the device reports at `t`, served from the
+    /// per-cycle cache — same values as
+    /// [`QpuBackend::reported_calibration`] without the per-query clone
+    /// and jitter replay. Clients on the hot path (Eq. 2 scoring per
+    /// task) use this.
+    pub fn reported_at(&mut self, t: SimTime) -> &Calibration {
+        self.ensure_cycle(t);
+        self.noise_cache
+            .reported
+            .as_ref()
+            .expect("cycle cache populated")
+    }
+
+    /// Index of the cached noise entry for `active` at `started`,
+    /// projecting the model on first use in the cycle and re-degrading
+    /// it only when the drift factors changed.
+    fn noise_entry(&mut self, started: SimTime, active: &[usize]) -> usize {
+        self.ensure_cycle(started);
+        let factors = self
+            .drift
+            .factors(self.hours_since_calibration(started), started.as_hours());
+        let cache = &mut self.noise_cache;
+        match cache.entries.iter().position(|e| e.active == active) {
+            Some(i) => {
+                if cache.entries[i].factors != factors {
+                    cache.entries[i].model =
+                        cache.entries[i].base.drifted_model(factors.0, factors.1);
+                    cache.entries[i].factors = factors;
+                    cache.model_builds += 1;
+                }
+                i
+            }
+            None => {
+                let base = BaseNoise::project(
+                    cache.reported.as_ref().expect("cycle cache populated"),
+                    active,
+                );
+                let model = base.drifted_model(factors.0, factors.1);
+                cache.model_builds += 1;
+                cache.entries.push(NoiseEntry {
+                    active: active.to_vec(),
+                    base,
+                    factors,
+                    model,
+                });
+                cache.entries.len() - 1
+            }
+        }
+    }
+
+    /// The noise epoch token at `started` (see [`NoiseToken`]).
+    fn noise_token(&self, started: SimTime) -> NoiseToken {
+        let (ef, cf) = self
+            .drift
+            .factors(self.hours_since_calibration(started), started.as_hours());
+        NoiseToken::new(self.instance_id, self.cycle_of(started), ef, cf)
+    }
+
+    /// `NoiseModel`s constructed so far (cache telemetry: at most one
+    /// per calibration cycle per active set while drift factors are
+    /// stable, e.g. under [`DriftModel::none`]).
+    pub fn noise_model_builds(&self) -> u64 {
+        self.noise_cache.model_builds
+    }
+
+    /// Reported-calibration reconstructions so far (cache telemetry: at
+    /// most one per calibration cycle touched).
+    pub fn reported_calibration_builds(&self) -> u64 {
+        self.noise_cache.reported_builds
+    }
+
+    /// Compiles and runs one bound circuit on the configured engine
+    /// against a cached noise entry — the single dispatch point for
+    /// every engine-path execution.
+    fn run_circuit(&mut self, circuit: &Circuit, entry: usize, shots: usize) -> (Counts, f64) {
+        let QpuBackend {
+            noise_cache,
+            density_engine,
+            trajectory_engine,
+            rng,
+            simulator,
+            ..
+        } = self;
+        let noise = &noise_cache.entries[entry].model;
+        let program = crate::compile::compile_bound(circuit, noise, &CompileOptions::default());
+        let counts = match *simulator {
+            SimulatorKind::Density => {
+                assert!(
+                    circuit.num_qubits() <= DensityMatrix::MAX_QUBITS,
+                    "{} active qubits exceed the density engine cap; use trajectories",
+                    circuit.num_qubits()
+                );
+                density_engine.run_program(&program, shots, rng)
+            }
+            SimulatorKind::Trajectories(n) => {
+                trajectory_engine.set_trajectories(n);
+                trajectory_engine.run_program(&program, shots, rng)
+            }
+        };
+        (counts, program.duration_ns())
+    }
+
+    /// [`run_circuit`](Self::run_circuit)'s pre-engine twin, used when
+    /// [`QpuBackend::with_legacy_execution`] is set.
+    fn run_circuit_reference(
+        &mut self,
+        circuit: &Circuit,
+        noise: &NoiseModel,
+        shots: usize,
+    ) -> (Counts, f64) {
+        match self.simulator {
+            SimulatorKind::Density => {
+                assert!(
+                    circuit.num_qubits() <= DensityMatrix::MAX_QUBITS,
+                    "{} active qubits exceed the density engine cap; use trajectories",
+                    circuit.num_qubits()
+                );
+                reference::execute_density(circuit, noise, shots, &mut self.rng)
+            }
+            SimulatorKind::Trajectories(n) => {
+                reference::execute_trajectories(circuit, noise, shots, n, &mut self.rng)
+            }
+        }
+    }
+
     /// Executes a fully bound, compacted physical circuit.
     ///
     /// `active_physical[i]` names the physical qubit behind compact qubit
@@ -243,24 +523,20 @@ impl QpuBackend {
             "compact circuit width must match active qubit list"
         );
         let started = self.start_time(submit);
-        let cal = self.actual_calibration(started);
-        let noise = NoiseModel::from_calibration(&cal, active_physical);
-        let (counts, circuit_duration_ns) = match self.simulator {
-            SimulatorKind::Density => {
-                assert!(
-                    circuit.num_qubits() <= DensityMatrix::MAX_QUBITS,
-                    "{} active qubits exceed the density engine cap; use trajectories",
-                    circuit.num_qubits()
-                );
-                execute_density(circuit, &noise, shots, &mut self.rng)
-            }
-            SimulatorKind::Trajectories(n) => {
-                execute_trajectories(circuit, &noise, shots, n, &mut self.rng)
-            }
+        let (counts, circuit_duration_ns, readout_time_ns) = if self.legacy_execution {
+            let cal = self.actual_calibration(started);
+            let noise = NoiseModel::from_calibration(&cal, active_physical);
+            let (counts, duration) = self.run_circuit_reference(circuit, &noise, shots);
+            (counts, duration, cal.readout_time_ns)
+        } else {
+            let entry = self.noise_entry(started, active_physical);
+            let (counts, duration) = self.run_circuit(circuit, entry, shots);
+            let readout = self.noise_cache.entries[entry].model.readout_time_ns;
+            (counts, duration, readout)
         };
         let exec_s = self
             .queue
-            .execution_s(circuit_duration_ns, cal.readout_time_ns, shots);
+            .execution_s(circuit_duration_ns, readout_time_ns, shots);
         let completed = started + exec_s;
         self.busy_until = completed;
         self.jobs_executed += 1;
@@ -295,35 +571,135 @@ impl QpuBackend {
     ) -> (Vec<Counts>, JobResult) {
         assert!(!batch.is_empty(), "batch must contain at least one circuit");
         let started = self.start_time(submit);
-        let cal = self.actual_calibration(started);
         let mut all_counts = Vec::with_capacity(batch.len());
         let mut total_exec_s = 0.0;
         let mut last_duration_ns = 0.0;
+        let legacy_cal = self
+            .legacy_execution
+            .then(|| self.actual_calibration(started));
         for (circuit, active_physical) in batch {
             assert_eq!(
                 circuit.num_qubits(),
                 active_physical.len(),
                 "compact circuit width must match active qubit list"
             );
-            let noise = NoiseModel::from_calibration(&cal, active_physical);
-            let (counts, duration_ns) = match self.simulator {
-                SimulatorKind::Density => {
-                    assert!(
-                        circuit.num_qubits() <= DensityMatrix::MAX_QUBITS,
-                        "{} active qubits exceed the density engine cap",
-                        circuit.num_qubits()
-                    );
-                    execute_density(circuit, &noise, shots, &mut self.rng)
+            let (counts, duration_ns, readout_time_ns) = match &legacy_cal {
+                Some(cal) => {
+                    let noise = NoiseModel::from_calibration(cal, active_physical);
+                    let (counts, duration) = self.run_circuit_reference(circuit, &noise, shots);
+                    (counts, duration, cal.readout_time_ns)
                 }
-                SimulatorKind::Trajectories(n) => {
-                    execute_trajectories(circuit, &noise, shots, n, &mut self.rng)
+                None => {
+                    let entry = self.noise_entry(started, active_physical);
+                    let (counts, duration) = self.run_circuit(circuit, entry, shots);
+                    let readout = self.noise_cache.entries[entry].model.readout_time_ns;
+                    (counts, duration, readout)
                 }
             };
-            total_exec_s += self
-                .queue
-                .execution_s(duration_ns, cal.readout_time_ns, shots);
+            total_exec_s += self.queue.execution_s(duration_ns, readout_time_ns, shots);
             last_duration_ns = duration_ns;
             all_counts.push(counts);
+        }
+        let completed = started + total_exec_s;
+        self.busy_until = completed;
+        self.jobs_executed += 1;
+        self.busy_seconds += total_exec_s;
+        let timing = JobResult {
+            counts: all_counts.last().cloned().expect("non-empty batch"),
+            submitted: submit,
+            started,
+            completed,
+            circuit_duration_ns: last_duration_ns,
+        };
+        (all_counts, timing)
+    }
+
+    /// Executes a batch of *compiled template* runs as one cloud job —
+    /// the ensemble-client hot path for parameter-shift pairs.
+    ///
+    /// Each [`TemplateRun`] names a template (by index into `templates`)
+    /// and an optional shift; the shared `params` vector binds every
+    /// run. Templates compile at most once per noise epoch (in practice
+    /// once per calibration cycle — see [`CompiledTemplate`]); per run
+    /// only the parameterized rotation matrices are rebound before the
+    /// engine replays the tape. Byte-identical to binding each circuit
+    /// with [`Circuit::bind_with_shift`] and calling
+    /// [`QpuBackend::execute_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty run list, an out-of-range template index, a
+    /// parameter vector that does not cover a template, or the density
+    /// cap (as in [`QpuBackend::execute`]).
+    pub fn execute_templates(
+        &mut self,
+        templates: &mut [&mut CompiledTemplate],
+        runs: &[TemplateRun],
+        params: &[f64],
+        shots: usize,
+        submit: SimTime,
+    ) -> (Vec<Counts>, JobResult) {
+        assert!(!runs.is_empty(), "batch must contain at least one run");
+        let started = self.start_time(submit);
+        let mut all_counts = Vec::with_capacity(runs.len());
+        let mut total_exec_s = 0.0;
+        let mut last_duration_ns = 0.0;
+        if self.legacy_execution {
+            // The pre-engine client flow: bind a fresh circuit per run,
+            // rebuild the noise model per run, walk the schedule.
+            let cal = self.actual_calibration(started);
+            for run in runs {
+                let template = &*templates[run.template];
+                let bound = match run.shift {
+                    Some((gate_idx, delta)) => {
+                        template.circuit().bind_with_shift(params, gate_idx, delta)
+                    }
+                    None => template.circuit().bind(params),
+                }
+                .expect("parameter vector covers template");
+                let noise = NoiseModel::from_calibration(&cal, template.active_physical());
+                let (counts, duration) = self.run_circuit_reference(&bound, &noise, shots);
+                total_exec_s += self.queue.execution_s(duration, cal.readout_time_ns, shots);
+                last_duration_ns = duration;
+                all_counts.push(counts);
+            }
+        } else {
+            let token = self.noise_token(started);
+            for run in runs {
+                let entry = self.noise_entry(started, templates[run.template].active_physical());
+                let QpuBackend {
+                    noise_cache,
+                    density_engine,
+                    trajectory_engine,
+                    rng,
+                    simulator,
+                    queue,
+                    ..
+                } = self;
+                let noise = &noise_cache.entries[entry].model;
+                let template = &mut *templates[run.template];
+                template.ensure_compiled(noise, token);
+                template.bind(params, run.shift);
+                let program = template.program();
+                let counts = match *simulator {
+                    SimulatorKind::Density => {
+                        assert!(
+                            program.num_qubits() <= DensityMatrix::MAX_QUBITS,
+                            "{} active qubits exceed the density engine cap; use trajectories",
+                            program.num_qubits()
+                        );
+                        density_engine.run_program(program, shots, rng)
+                    }
+                    SimulatorKind::Trajectories(n) => {
+                        trajectory_engine.set_trajectories(n);
+                        trajectory_engine.run_program(program, shots, rng)
+                    }
+                };
+                total_exec_s +=
+                    queue.execution_s(program.duration_ns(), noise.readout_time_ns, shots);
+                last_duration_ns = program.duration_ns();
+                all_counts.push(counts);
+            }
         }
         let completed = started + total_exec_s;
         self.busy_until = completed;

@@ -65,6 +65,23 @@ impl DriftModel {
         self
     }
 
+    /// The `(error_factor, coherence_factor)` pair drift applies at a
+    /// point in time — the scalar state the per-cycle noise cache keys
+    /// on. [`DriftModel::apply`] is exactly `degrade` with these
+    /// factors, so consumers that cache the undrifted profile and
+    /// degrade on demand stay bit-identical to the direct path.
+    pub fn factors(&self, hours_since_calibration: f64, absolute_hours: f64) -> (f64, f64) {
+        let h = hours_since_calibration.max(0.0);
+        let mut error_factor = 1.0 + self.error_growth_per_hour * h;
+        let coherence_factor = 1.0 + self.coherence_loss_per_hour * h;
+        for ep in &self.episodes {
+            if absolute_hours >= ep.start_hours && absolute_hours < ep.end_hours {
+                error_factor *= ep.error_factor;
+            }
+        }
+        (error_factor, coherence_factor)
+    }
+
     /// Applies drift to a calibration snapshot.
     ///
     /// * `hours_since_calibration` drives the linear terms;
@@ -76,14 +93,8 @@ impl DriftModel {
         absolute_hours: f64,
     ) -> Calibration {
         let mut cal = base.clone();
-        let h = hours_since_calibration.max(0.0);
-        let mut error_factor = 1.0 + self.error_growth_per_hour * h;
-        let coherence_factor = 1.0 + self.coherence_loss_per_hour * h;
-        for ep in &self.episodes {
-            if absolute_hours >= ep.start_hours && absolute_hours < ep.end_hours {
-                error_factor *= ep.error_factor;
-            }
-        }
+        let (error_factor, coherence_factor) =
+            self.factors(hours_since_calibration, absolute_hours);
         cal.degrade(error_factor, coherence_factor);
         cal
     }

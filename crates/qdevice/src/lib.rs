@@ -12,7 +12,11 @@
 //! * a [`queue::QueueModel`] reproducing cloud congestion (seconds on x2,
 //!   months on Manhattan) over virtual time ([`clock::SimTime`]);
 //! * a [`noise_model::NoiseModel`] that executes circuits on an exact
-//!   density-matrix engine or Monte-Carlo trajectories.
+//!   density-matrix engine or Monte-Carlo trajectories;
+//! * a [`compile`] layer that lowers circuit + noise into the flat
+//!   [`qsim::CompiledProgram`] op-tape the allocation-free engines
+//!   replay, with per-calibration-cycle caching of noise models and
+//!   compiled templates (byte-identical to the uncached path).
 //!
 //! ```
 //! use qdevice::catalog;
@@ -32,15 +36,17 @@ pub mod backend;
 pub mod calibration;
 pub mod catalog;
 pub mod clock;
+pub mod compile;
 pub mod drift;
 pub mod multiprog;
 pub mod noise_model;
 pub mod queue;
 
-pub use backend::{JobResult, QpuBackend, SimulatorKind};
+pub use backend::{JobResult, QpuBackend, SimulatorKind, TemplateRun};
 pub use calibration::{Calibration, QubitCalibration};
 pub use catalog::{by_name, catalog, DeviceSpec, TopologyClass};
 pub use clock::SimTime;
+pub use compile::{compile, compile_bound, CompileOptions, CompiledTemplate, NoiseToken};
 pub use drift::{DriftEpisode, DriftModel};
 pub use multiprog::{split as multiprogram_split, MultiprogramConfig, ProgramSlot};
 pub use noise_model::NoiseModel;

@@ -10,11 +10,17 @@
 //! * [`execute_trajectories`] — Monte-Carlo quantum-trajectory unraveling
 //!   on state vectors, usable beyond the density-matrix qubit cap and kept
 //!   as an ablation of the simulation method.
+//!
+//! Both are thin compatibility wrappers over the compiled-program engine
+//! layer ([`crate::compile`] + [`qsim::program`]): the circuit and noise
+//! schedule compile to a flat op-tape once, then an engine replays it.
+//! The pre-engine implementations survive verbatim in [`reference`] as
+//! the bit-equivalence oracle for tests and benchmarks.
 
 use crate::calibration::Calibration;
 use qcircuit::{Circuit, Gate};
-use qsim::sampler::{sample_counts, ReadoutError};
-use qsim::{Counts, DensityMatrix, KrausChannel, StateVector};
+use qsim::sampler::ReadoutError;
+use qsim::{Counts, DensityEngine, DensityMatrix, KrausChannel, TrajectoryEngine};
 use rand::Rng;
 use std::collections::HashMap;
 
@@ -79,6 +85,25 @@ impl NoiseModel {
             gate_time_1q_ns: cal.gate_time_1q_ns,
             gate_time_2q_ns: cal.gate_time_2q_ns,
             readout_time_ns: cal.readout_time_ns,
+        }
+    }
+
+    /// Assembles a model from pre-projected parts — the per-cycle noise
+    /// cache rebuilds drifted models through this without touching a
+    /// [`Calibration`].
+    pub(crate) fn from_parts(
+        qubits: Vec<QubitNoise>,
+        cx_errors: HashMap<(usize, usize), f64>,
+        gate_time_1q_ns: f64,
+        gate_time_2q_ns: f64,
+        readout_time_ns: f64,
+    ) -> Self {
+        NoiseModel {
+            qubits,
+            cx_errors,
+            gate_time_1q_ns,
+            gate_time_2q_ns,
+            readout_time_ns,
         }
     }
 
@@ -147,27 +172,29 @@ impl NoiseModel {
 /// One event of the noisy schedule, delivered in execution order.
 #[derive(Clone, Debug)]
 pub enum ScheduledOp<'a> {
-    /// Apply a gate unitary.
-    Unitary(&'a Gate),
+    /// Apply a gate unitary; the index points into the circuit's gate
+    /// list (program compilation uses it to map parameterized gates onto
+    /// rebind slots).
+    Unitary(usize, &'a Gate),
     /// Apply a noise channel to the listed compact qubits.
     Channel(KrausChannel, Vec<usize>),
 }
 
 /// Walks the circuit with per-qubit timelines, invoking the callback for
-/// unitaries and noise channels in schedule order. Shared by both
-/// executors so their physics agree. Returns the scheduled duration (ns),
-/// readout included.
-fn schedule<F>(circuit: &Circuit, noise: &NoiseModel, mut apply: F) -> f64
+/// unitaries and noise channels in schedule order. Shared by program
+/// compilation and the reference executors so their physics agree.
+/// Returns the scheduled duration (ns), readout included.
+pub(crate) fn schedule<F>(circuit: &Circuit, noise: &NoiseModel, mut apply: F) -> f64
 where
     F: FnMut(ScheduledOp<'_>),
 {
     let n = circuit.num_qubits();
     let mut qubit_time = vec![0.0f64; n];
-    for g in circuit.gates() {
+    for (gate_idx, g) in circuit.gates().iter().enumerate() {
         let qs = g.qubits();
         if g.is_virtual() {
             // Virtual RZ: perfect, instantaneous frame change.
-            apply(ScheduledOp::Unitary(g));
+            apply(ScheduledOp::Unitary(gate_idx, g));
             continue;
         }
         let start = qs.iter().map(|&q| qubit_time[q]).fold(0.0, f64::max);
@@ -178,7 +205,7 @@ where
                 apply(ScheduledOp::Channel(ch, vec![q]));
             }
         }
-        apply(ScheduledOp::Unitary(g));
+        apply(ScheduledOp::Unitary(gate_idx, g));
         let dur = if g.is_two_qubit() {
             noise.gate_time_2q_ns
         } else {
@@ -234,6 +261,13 @@ where
 /// density-matrix simulator under `noise`, sampling `shots` measurements
 /// through the readout confusion model.
 ///
+/// Compatibility wrapper: compiles the circuit into a
+/// [`qsim::CompiledProgram`] and runs a fresh [`DensityEngine`].
+/// Repeated executions of the same structure should compile once and
+/// hold a long-lived engine instead (see [`crate::compile`] and
+/// [`crate::QpuBackend`]). Byte-identical to
+/// [`reference::execute_density`].
+///
 /// Returns the counts histogram and the scheduled circuit duration in
 /// nanoseconds.
 ///
@@ -247,28 +281,14 @@ pub fn execute_density<R: Rng + ?Sized>(
     shots: usize,
     rng: &mut R,
 ) -> (Counts, f64) {
-    assert_eq!(
-        circuit.num_params(),
-        0,
-        "execute_density requires a fully bound circuit"
+    assert!(
+        circuit.num_qubits() <= DensityMatrix::MAX_QUBITS,
+        "{} qubits exceed the density engine cap",
+        circuit.num_qubits()
     );
-    let n = circuit.num_qubits();
-    let mut rho = DensityMatrix::new(n);
-    let duration = schedule(circuit, noise, |op| match op {
-        ScheduledOp::Unitary(g) => {
-            let m = g.matrix(&[]);
-            match g.qubits()[..] {
-                [q] => rho.apply_unitary_1q(&m, q),
-                [a, b] => rho.apply_unitary_2q(&m, a, b),
-                _ => unreachable!(),
-            }
-        }
-        ScheduledOp::Channel(ch, qs) => rho.apply_channel(&ch, &qs),
-    });
-    rho.normalize();
-    let probs = noise.readout().apply_to_distribution(&rho.probabilities());
-    let counts = sample_counts(&probs, n, shots, rng);
-    (counts, duration)
+    let program = crate::compile::compile_bound(circuit, noise, &crate::CompileOptions::default());
+    let counts = DensityEngine::new().run_program(&program, shots, rng);
+    (counts, program.duration_ns())
 }
 
 /// Executes via Monte-Carlo quantum trajectories: each trajectory unravels
@@ -276,8 +296,11 @@ pub fn execute_density<R: Rng + ?Sized>(
 /// `shots / trajectories` measurement samples (plus remainder spread over
 /// the first trajectories).
 ///
-/// Exact in expectation; variance shrinks with more trajectories. Usable
-/// beyond the density-matrix qubit cap.
+/// Compatibility wrapper over the compiled-program
+/// [`TrajectoryEngine`]; byte-identical to
+/// [`reference::execute_trajectories`]. Exact in expectation; variance
+/// shrinks with more trajectories. Usable beyond the density-matrix
+/// qubit cap.
 ///
 /// # Panics
 ///
@@ -289,68 +312,156 @@ pub fn execute_trajectories<R: Rng + ?Sized>(
     trajectories: usize,
     rng: &mut R,
 ) -> (Counts, f64) {
-    assert!(trajectories > 0, "need at least one trajectory");
-    assert_eq!(
-        circuit.num_params(),
-        0,
-        "execute_trajectories requires a fully bound circuit"
-    );
-    let n = circuit.num_qubits();
-    let readout = noise.readout();
-    let mut counts = Counts::new(n);
-    let base = shots / trajectories;
-    let extra = shots % trajectories;
-    let mut duration = 0.0;
-    for t in 0..trajectories {
-        let mut sv = StateVector::new(n);
-        duration = schedule(circuit, noise, |op| match op {
-            ScheduledOp::Unitary(g) => {
+    let program = crate::compile::compile_bound(circuit, noise, &crate::CompileOptions::default());
+    let counts = TrajectoryEngine::new(trajectories).run_program(&program, shots, rng);
+    (counts, program.duration_ns())
+}
+
+/// The pre-engine executors, preserved verbatim.
+///
+/// These walk the schedule gate by gate, re-materialize every matrix,
+/// clone the state per Kraus operator and insert shots one by one —
+/// exactly the code the engine layer replaced. They exist as the
+/// bit-equivalence oracle: the equivalence suite and the
+/// `engine` criterion bench run them against the compiled path and
+/// demand identical counts. Do not use them on a hot path.
+pub mod reference {
+    use super::*;
+    use qsim::density::baseline;
+    use qsim::sampler::sample_indices;
+    use qsim::StateVector;
+
+    /// Pre-engine shot aggregation: one histogram insert per shot.
+    fn sample_counts_legacy<R: Rng + ?Sized>(
+        probs: &[f64],
+        n_qubits: usize,
+        shots: usize,
+        rng: &mut R,
+    ) -> Counts {
+        assert_eq!(
+            probs.len(),
+            1usize << n_qubits,
+            "distribution size mismatch"
+        );
+        let mut counts = Counts::new(n_qubits);
+        for idx in sample_indices(probs, shots, rng) {
+            counts.record(idx as u64, 1);
+        }
+        counts
+    }
+
+    /// Pre-engine [`super::execute_density`]: direct schedule walk with
+    /// the preserved pre-optimization kernels and per-operator clones.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`super::execute_density`].
+    pub fn execute_density<R: Rng + ?Sized>(
+        circuit: &Circuit,
+        noise: &NoiseModel,
+        shots: usize,
+        rng: &mut R,
+    ) -> (Counts, f64) {
+        assert_eq!(
+            circuit.num_params(),
+            0,
+            "execute_density requires a fully bound circuit"
+        );
+        let n = circuit.num_qubits();
+        let mut rho = DensityMatrix::new(n);
+        let duration = schedule(circuit, noise, |op| match op {
+            ScheduledOp::Unitary(_, g) => {
                 let m = g.matrix(&[]);
                 match g.qubits()[..] {
-                    [q] => sv.apply_1q(&m, q),
-                    [a, b] => sv.apply_2q(&m, a, b),
+                    [q] => baseline::apply_unitary_1q(&mut rho, &m, q),
+                    [a, b] => baseline::apply_unitary_2q(&mut rho, &m, a, b),
                     _ => unreachable!(),
                 }
             }
-            ScheduledOp::Channel(ch, qs) => apply_channel_trajectory(&mut sv, &ch, &qs, rng),
+            ScheduledOp::Channel(ch, qs) => baseline::apply_channel(&mut rho, &ch, &qs),
         });
-        let traj_shots = base + usize::from(t < extra);
-        if traj_shots == 0 {
-            continue;
-        }
-        for idx in sv.sample(traj_shots, rng) {
-            let corrupted = readout.corrupt(idx as u64, rng);
-            counts.record(corrupted, 1);
-        }
+        rho.normalize();
+        let probs = noise.readout().apply_to_distribution(&rho.probabilities());
+        let counts = sample_counts_legacy(&probs, n, shots, rng);
+        (counts, duration)
     }
-    (counts, duration)
-}
 
-/// Stochastically applies one Kraus operator of `ch`, selected with its
-/// Born probability, renormalizing the state (standard quantum-trajectory
-/// unraveling).
-fn apply_channel_trajectory<R: Rng + ?Sized>(
-    sv: &mut StateVector,
-    ch: &KrausChannel,
-    qs: &[usize],
-    rng: &mut R,
-) {
-    let r: f64 = rng.gen();
-    let mut acc = 0.0;
-    let ops = ch.operators();
-    for (i, k) in ops.iter().enumerate() {
-        let mut cand = sv.clone();
-        match qs[..] {
-            [q] => cand.apply_1q(k, q),
-            [a, b] => cand.apply_2q(k, a, b),
-            _ => unreachable!(),
+    /// Pre-engine [`super::execute_trajectories`]: re-walks the schedule
+    /// per trajectory with per-operator state clones.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`super::execute_trajectories`].
+    pub fn execute_trajectories<R: Rng + ?Sized>(
+        circuit: &Circuit,
+        noise: &NoiseModel,
+        shots: usize,
+        trajectories: usize,
+        rng: &mut R,
+    ) -> (Counts, f64) {
+        assert!(trajectories > 0, "need at least one trajectory");
+        assert_eq!(
+            circuit.num_params(),
+            0,
+            "execute_trajectories requires a fully bound circuit"
+        );
+        let n = circuit.num_qubits();
+        let readout = noise.readout();
+        let mut counts = Counts::new(n);
+        let base = shots / trajectories;
+        let extra = shots % trajectories;
+        let mut duration = 0.0;
+        for t in 0..trajectories {
+            let mut sv = StateVector::new(n);
+            duration = schedule(circuit, noise, |op| match op {
+                ScheduledOp::Unitary(_, g) => {
+                    let m = g.matrix(&[]);
+                    match g.qubits()[..] {
+                        [q] => sv.apply_1q(&m, q),
+                        [a, b] => sv.apply_2q(&m, a, b),
+                        _ => unreachable!(),
+                    }
+                }
+                ScheduledOp::Channel(ch, qs) => apply_channel_trajectory(&mut sv, &ch, &qs, rng),
+            });
+            let traj_shots = base + usize::from(t < extra);
+            if traj_shots == 0 {
+                continue;
+            }
+            for idx in sv.sample(traj_shots, rng) {
+                let corrupted = readout.corrupt(idx as u64, rng);
+                counts.record(corrupted, 1);
+            }
         }
-        let p = cand.norm_sqr();
-        acc += p;
-        if r < acc || i == ops.len() - 1 {
-            cand.normalize();
-            *sv = cand;
-            return;
+        (counts, duration)
+    }
+
+    /// Stochastically applies one Kraus operator of `ch`, selected with
+    /// its Born probability, renormalizing the state (standard
+    /// quantum-trajectory unraveling).
+    fn apply_channel_trajectory<R: Rng + ?Sized>(
+        sv: &mut StateVector,
+        ch: &KrausChannel,
+        qs: &[usize],
+        rng: &mut R,
+    ) {
+        let r: f64 = rng.gen();
+        let mut acc = 0.0;
+        let ops = ch.operators();
+        for (i, k) in ops.iter().enumerate() {
+            let mut cand = sv.clone();
+            match qs[..] {
+                [q] => cand.apply_1q(k, q),
+                [a, b] => cand.apply_2q(k, a, b),
+                _ => unreachable!(),
+            }
+            let p = cand.norm_sqr();
+            acc += p;
+            if r < acc || i == ops.len() - 1 {
+                cand.normalize();
+                *sv = cand;
+                return;
+            }
         }
     }
 }

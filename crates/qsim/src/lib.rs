@@ -13,8 +13,25 @@
 //!   channels, the physics behind each simulated QPU;
 //! * [`sampler`] — shot sampling and SPAM/readout corruption, producing the
 //!   `Counts` histograms a cloud backend would return;
+//! * [`program`] — the execution engine layer: circuits + noise compile
+//!   once into a [`program::CompiledProgram`] (a flat op-tape of resolved
+//!   gate matrices and interned Kraus channels) that the allocation-free
+//!   [`program::DensityEngine`] / [`program::TrajectoryEngine`] replay for
+//!   every job, byte-identically to the naive path;
 //! * [`linalg`] — exact Hermitian eigendecomposition for ground-truth
 //!   reference energies.
+//!
+//! ## The engine layer
+//!
+//! Ensemble training executes the same circuit structure millions of
+//! times. The engine layer splits that work into a *compile* phase (per
+//! noise epoch: resolve gate matrices, build and intern Kraus channels,
+//! elide near-identity ones) and a *replay* phase (per job: walk the
+//! tape over reusable scratch buffers, rebind only the parameterized
+//! rotation matrices). Channel application accumulates through scratch
+//! instead of cloning the state per Kraus operator, and shot sampling
+//! writes a dense histogram through a cached CDF instead of one hash-map
+//! insert per shot. See [`program`] for the guarantees and examples.
 //!
 //! ## Quickstart
 //!
@@ -37,13 +54,15 @@ pub mod gates;
 pub mod linalg;
 pub mod matrix;
 pub mod noise;
+pub mod program;
 pub mod sampler;
 pub mod statevector;
 
 pub use complex::C64;
-pub use density::DensityMatrix;
+pub use density::{ChannelScratch, DensityMatrix};
 pub use gates::Pauli;
 pub use matrix::CMatrix;
 pub use noise::KrausChannel;
-pub use sampler::{Counts, ReadoutError};
+pub use program::{CompiledProgram, DensityEngine, ProgramBuilder, SimEngine, TrajectoryEngine};
+pub use sampler::{Counts, ReadoutError, ShotSampler};
 pub use statevector::StateVector;

@@ -229,6 +229,33 @@ impl KrausChannel {
         &self.kraus
     }
 
+    /// Returns `true` when the channel is the identity up to `eps`:
+    /// every Kraus operator is either entry-wise within `eps` of the
+    /// identity or has Frobenius norm below `eps`.
+    ///
+    /// Program compilation uses this to elide near-zero-rate channels
+    /// (e.g. thermal relaxation over a vanishing idle window) instead of
+    /// paying a full Kraus sum for a no-op; see
+    /// [`crate::program::ProgramBuilder`].
+    pub fn is_near_identity(&self, eps: f64) -> bool {
+        let dim = 1usize << self.n_qubits;
+        self.kraus.iter().all(|k| {
+            let mut frob_sq = 0.0;
+            let mut near_id = true;
+            for r in 0..dim {
+                for c in 0..dim {
+                    let z = k[(r, c)];
+                    frob_sq += z.norm_sqr();
+                    let id = if r == c { C64::ONE } else { C64::ZERO };
+                    if !z.approx_eq(id, eps) {
+                        near_id = false;
+                    }
+                }
+            }
+            near_id || frob_sq.sqrt() <= eps
+        })
+    }
+
     /// Checks the CPTP completeness relation `sum_k K_k^dag K_k = I` within
     /// `eps` per entry.
     pub fn is_cptp(&self, eps: f64) -> bool {

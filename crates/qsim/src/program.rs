@@ -1,0 +1,719 @@
+//! Compiled programs and allocation-free simulation engines.
+//!
+//! The trainers in this workspace execute the *same* circuit structure
+//! millions of times (8192-shot jobs per parameter-shift term, per epoch,
+//! per device). The naive path re-derives everything per job: gate
+//! matrices are re-materialized per op, Kraus channels are rebuilt per
+//! schedule event, every channel application clones the full density
+//! matrix once per Kraus operator, and every shot costs one hash-map
+//! insert. This module is the engine room that removes all of that:
+//!
+//! * [`CompiledProgram`] — a flat op-tape of pre-resolved gate matrices
+//!   and interned Kraus channels, built once (per noise epoch) by
+//!   [`ProgramBuilder`] and replayed many times;
+//! * [`SimEngine`] — the engine abstraction: run a compiled program for
+//!   `shots` measurements;
+//! * [`DensityEngine`] — exact density-matrix evolution over reusable
+//!   scratch buffers: channels accumulate into scratch instead of cloning
+//!   per Kraus operator, and sampling writes a dense histogram instead of
+//!   one hash-map insert per shot;
+//! * [`TrajectoryEngine`] — Monte-Carlo quantum-trajectory unraveling
+//!   that replays the tape per trajectory with a reusable candidate
+//!   buffer instead of cloning the state per Kraus operator.
+//!
+//! Both engines are **bit-for-bit equivalent** to the straightforward
+//! implementations they replace: they apply the same floating-point
+//! operations in the same order and draw from the RNG in the same
+//! sequence, so seeded results are byte-identical.
+//!
+//! # Examples
+//!
+//! ```
+//! use qsim::program::{DensityEngine, ProgramBuilder, SimEngine};
+//! use qsim::sampler::ReadoutError;
+//! use qsim::{gates, KrausChannel};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // Compile a noisy Bell pair once...
+//! let mut b = ProgramBuilder::new(2);
+//! let _ = b.push_unitary(gates::h(), &[0]);
+//! let _ = b.push_unitary(gates::cx(), &[0, 1]);
+//! b.push_channel(&KrausChannel::depolarizing_1q(0.02), &[0]);
+//! let program = b.finish(ReadoutError::uniform(2, 0.0), 500.0);
+//!
+//! // ...then replay it as often as needed without reallocating.
+//! let mut engine = DensityEngine::new();
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let counts = engine.run(&program, 4096, &mut rng);
+//! assert_eq!(counts.total(), 4096);
+//! ```
+
+use crate::density::{ChannelScratch, DensityMatrix};
+use crate::matrix::CMatrix;
+use crate::noise::KrausChannel;
+use crate::sampler::{Counts, ReadoutError, ShotSampler};
+use crate::statevector::StateVector;
+use rand::{Rng, RngCore};
+
+/// One instruction of a compiled program's flat op-tape.
+///
+/// Unitary ops index into [`CompiledProgram`]'s matrix table (so a
+/// rebind only swaps small matrices, never the tape); channel ops index
+/// into the interned channel table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TapeOp {
+    /// Apply the 2x2 matrix in `slot` to qubit `q`.
+    Unitary1q {
+        /// Matrix-table slot.
+        slot: usize,
+        /// Target qubit.
+        q: usize,
+    },
+    /// Apply the 4x4 matrix in `slot` to the ordered pair `(q0, q1)`.
+    Unitary2q {
+        /// Matrix-table slot.
+        slot: usize,
+        /// First operand (least-significant in the matrix basis).
+        q0: usize,
+        /// Second operand.
+        q1: usize,
+    },
+    /// Apply the 1-qubit Kraus channel `channel` to qubit `q`.
+    Channel1q {
+        /// Channel-table index.
+        channel: usize,
+        /// Target qubit.
+        q: usize,
+    },
+    /// Apply the 2-qubit Kraus channel `channel` to `(q0, q1)`.
+    Channel2q {
+        /// Channel-table index.
+        channel: usize,
+        /// First operand.
+        q0: usize,
+        /// Second operand.
+        q1: usize,
+    },
+}
+
+/// A circuit + noise schedule compiled to an executable form: a flat
+/// op-tape over a table of pre-resolved gate matrices and a table of
+/// interned Kraus channels.
+///
+/// Build once with [`ProgramBuilder`] (typically per calibration epoch),
+/// rebind parameterized gates cheaply with
+/// [`CompiledProgram::set_unitary`], and execute with any [`SimEngine`].
+#[derive(Clone, Debug)]
+pub struct CompiledProgram {
+    n_qubits: usize,
+    ops: Vec<TapeOp>,
+    unitaries: Vec<CMatrix>,
+    channels: Vec<KrausChannel>,
+    readout: ReadoutError,
+    duration_ns: f64,
+    skipped_channels: usize,
+}
+
+impl CompiledProgram {
+    /// Number of qubits the program acts on.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The op-tape in execution order.
+    #[inline]
+    pub fn ops(&self) -> &[TapeOp] {
+        &self.ops
+    }
+
+    /// Number of distinct (interned) Kraus channels.
+    #[inline]
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Number of matrix-table slots.
+    #[inline]
+    pub fn num_unitaries(&self) -> usize {
+        self.unitaries.len()
+    }
+
+    /// Channels elided by the identity fast-path during compilation.
+    #[inline]
+    pub fn skipped_channels(&self) -> usize {
+        self.skipped_channels
+    }
+
+    /// The readout confusion model applied at sampling time.
+    #[inline]
+    pub fn readout(&self) -> &ReadoutError {
+        &self.readout
+    }
+
+    /// Scheduled wall-clock duration of one repetition, nanoseconds
+    /// (readout included).
+    #[inline]
+    pub fn duration_ns(&self) -> f64 {
+        self.duration_ns
+    }
+
+    /// Replaces the matrix in `slot` — the rebind path for parameterized
+    /// gates (the tape and channel table are untouched).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is out of range or the replacement has a
+    /// different shape.
+    pub fn set_unitary(&mut self, slot: usize, m: CMatrix) {
+        let old = &self.unitaries[slot];
+        assert_eq!(
+            (old.rows(), old.cols()),
+            (m.rows(), m.cols()),
+            "rebind must preserve the matrix shape of slot {slot}"
+        );
+        self.unitaries[slot] = m;
+    }
+
+    /// Borrows the matrix in `slot`.
+    pub fn unitary(&self, slot: usize) -> &CMatrix {
+        &self.unitaries[slot]
+    }
+
+    /// Borrows an interned channel.
+    pub fn channel(&self, idx: usize) -> &KrausChannel {
+        &self.channels[idx]
+    }
+}
+
+/// Builds a [`CompiledProgram`] op by op, interning channels and
+/// eliding near-identity ones.
+#[derive(Clone, Debug)]
+pub struct ProgramBuilder {
+    n_qubits: usize,
+    ops: Vec<TapeOp>,
+    unitaries: Vec<CMatrix>,
+    /// Whether the slot may be shared with later identical pushes
+    /// (false for parameterized placeholders, which must stay unique so
+    /// a rebind cannot alias an unrelated gate).
+    shareable: Vec<bool>,
+    channels: Vec<KrausChannel>,
+    identity_epsilon: f64,
+    skipped_channels: usize,
+}
+
+impl ProgramBuilder {
+    /// Default epsilon below which a channel's non-identity content is
+    /// treated as zero and the channel is elided (see
+    /// [`KrausChannel::is_near_identity`]). Far below every physical
+    /// error rate the device layer produces, so eliding at this level
+    /// cannot change sampled counts in practice.
+    pub const DEFAULT_IDENTITY_EPSILON: f64 = 1e-12;
+
+    /// Starts a program over `n_qubits`.
+    pub fn new(n_qubits: usize) -> Self {
+        ProgramBuilder {
+            n_qubits,
+            ops: Vec::new(),
+            unitaries: Vec::new(),
+            shareable: Vec::new(),
+            channels: Vec::new(),
+            identity_epsilon: Self::DEFAULT_IDENTITY_EPSILON,
+            skipped_channels: 0,
+        }
+    }
+
+    /// Overrides the identity fast-path threshold (builder style). Zero
+    /// disables elision entirely.
+    pub fn with_identity_epsilon(mut self, eps: f64) -> Self {
+        self.identity_epsilon = eps;
+        self
+    }
+
+    /// Appends a resolved gate matrix acting on `qubits` (1 or 2
+    /// entries, operand order), sharing an existing slot when an
+    /// identical shareable matrix was pushed before. Returns the slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range qubit, duplicate operands, or a matrix
+    /// shape that does not match the operand count.
+    pub fn push_unitary(&mut self, m: CMatrix, qubits: &[usize]) -> usize {
+        self.push_unitary_slot(m, qubits, true)
+    }
+
+    /// Appends a *placeholder* matrix for a parameterized gate. The slot
+    /// is never shared, so [`CompiledProgram::set_unitary`] on it cannot
+    /// affect any other op. Returns the slot.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`ProgramBuilder::push_unitary`].
+    pub fn push_parameterized(&mut self, placeholder: CMatrix, qubits: &[usize]) -> usize {
+        self.push_unitary_slot(placeholder, qubits, false)
+    }
+
+    fn push_unitary_slot(&mut self, m: CMatrix, qubits: &[usize], share: bool) -> usize {
+        for &q in qubits {
+            assert!(q < self.n_qubits, "qubit {q} out of range");
+        }
+        let dim = 1usize << qubits.len();
+        assert_eq!(
+            (m.rows(), m.cols()),
+            (dim, dim),
+            "matrix shape must match the {}-qubit operand list",
+            qubits.len()
+        );
+        let slot = if share {
+            self.unitaries
+                .iter()
+                .enumerate()
+                .position(|(i, u)| self.shareable[i] && *u == m)
+                .unwrap_or_else(|| {
+                    self.unitaries.push(m);
+                    self.shareable.push(true);
+                    self.unitaries.len() - 1
+                })
+        } else {
+            self.unitaries.push(m);
+            self.shareable.push(false);
+            self.unitaries.len() - 1
+        };
+        match *qubits {
+            [q] => self.ops.push(TapeOp::Unitary1q { slot, q }),
+            [q0, q1] => {
+                assert!(q0 != q1, "2q operands must differ");
+                self.ops.push(TapeOp::Unitary2q { slot, q0, q1 });
+            }
+            _ => panic!("only 1- and 2-qubit unitaries are supported"),
+        }
+        slot
+    }
+
+    /// Appends a Kraus channel acting on `qubits`, interning it against
+    /// previously pushed identical channels. Channels within
+    /// `identity_epsilon` of the identity are elided entirely (the
+    /// fast-path for near-zero-rate noise).
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch or out-of-range qubits.
+    pub fn push_channel(&mut self, channel: &KrausChannel, qubits: &[usize]) {
+        assert_eq!(
+            qubits.len(),
+            channel.num_qubits(),
+            "channel arity does not match the qubit list"
+        );
+        for &q in qubits {
+            assert!(q < self.n_qubits, "qubit {q} out of range");
+        }
+        if self.identity_epsilon > 0.0 && channel.is_near_identity(self.identity_epsilon) {
+            self.skipped_channels += 1;
+            return;
+        }
+        let idx = self
+            .channels
+            .iter()
+            .position(|c| c == channel)
+            .unwrap_or_else(|| {
+                self.channels.push(channel.clone());
+                self.channels.len() - 1
+            });
+        match *qubits {
+            [q] => self.ops.push(TapeOp::Channel1q { channel: idx, q }),
+            [q0, q1] => {
+                assert!(q0 != q1, "2q channel operands must differ");
+                self.ops.push(TapeOp::Channel2q {
+                    channel: idx,
+                    q0,
+                    q1,
+                });
+            }
+            _ => panic!("only 1- and 2-qubit channels are supported"),
+        }
+    }
+
+    /// Seals the program with its readout model and scheduled duration.
+    pub fn finish(self, readout: ReadoutError, duration_ns: f64) -> CompiledProgram {
+        CompiledProgram {
+            n_qubits: self.n_qubits,
+            ops: self.ops,
+            unitaries: self.unitaries,
+            channels: self.channels,
+            readout,
+            duration_ns,
+            skipped_channels: self.skipped_channels,
+        }
+    }
+}
+
+/// A simulation engine: executes a [`CompiledProgram`] for `shots`
+/// measurements.
+///
+/// Engines own their scratch state, so a long-lived engine executes an
+/// unbounded stream of programs without per-job allocation. The RNG is
+/// taken as a trait object so engines stay object-safe (backends hold
+/// them behind one field regardless of the generator type).
+pub trait SimEngine {
+    /// Runs the program and returns the measured counts.
+    fn run(&mut self, program: &CompiledProgram, shots: usize, rng: &mut dyn RngCore) -> Counts;
+}
+
+/// Exact density-matrix engine with reusable scratch buffers.
+///
+/// Equivalent to evolving a fresh [`DensityMatrix`] per job, but:
+/// channel application accumulates through a persistent
+/// [`ChannelScratch`] (no per-Kraus-operator clones), probabilities and
+/// the sampling CDF live in reusable buffers, and counts are assembled
+/// from a dense histogram (no per-shot hash-map insert).
+#[derive(Clone, Debug, Default)]
+pub struct DensityEngine {
+    rho: Option<DensityMatrix>,
+    scratch: ChannelScratch,
+    probs: Vec<f64>,
+    sampler: ShotSampler,
+}
+
+impl DensityEngine {
+    /// Creates an engine; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Generic-RNG entry point (monomorphized callers avoid the trait
+    /// object).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program exceeds [`DensityMatrix::MAX_QUBITS`].
+    pub fn run_program<R: RngCore + ?Sized>(
+        &mut self,
+        program: &CompiledProgram,
+        shots: usize,
+        rng: &mut R,
+    ) -> Counts {
+        let n = program.num_qubits();
+        let rho = match &mut self.rho {
+            Some(r) => {
+                r.reset_to(n);
+                r
+            }
+            None => self.rho.insert(DensityMatrix::new(n)),
+        };
+        for op in program.ops() {
+            match *op {
+                TapeOp::Unitary1q { slot, q } => rho.apply_unitary_1q(program.unitary(slot), q),
+                TapeOp::Unitary2q { slot, q0, q1 } => {
+                    rho.apply_unitary_2q(program.unitary(slot), q0, q1)
+                }
+                TapeOp::Channel1q { channel, q } => {
+                    rho.apply_channel_buffered(program.channel(channel), &[q], &mut self.scratch)
+                }
+                TapeOp::Channel2q { channel, q0, q1 } => rho.apply_channel_buffered(
+                    program.channel(channel),
+                    &[q0, q1],
+                    &mut self.scratch,
+                ),
+            }
+        }
+        rho.normalize();
+        rho.probabilities_into(&mut self.probs);
+        program.readout().apply_in_place(&mut self.probs);
+        self.sampler.sample_counts(&self.probs, n, shots, rng)
+    }
+}
+
+impl SimEngine for DensityEngine {
+    fn run(&mut self, program: &CompiledProgram, shots: usize, rng: &mut dyn RngCore) -> Counts {
+        self.run_program(program, shots, rng)
+    }
+}
+
+/// Monte-Carlo quantum-trajectory engine with reusable state and
+/// candidate buffers.
+///
+/// Each trajectory replays the op-tape on a pure state; channels are
+/// unraveled by Born-probability selection into a persistent candidate
+/// buffer (no per-operator state clones), and each trajectory
+/// contributes `shots / trajectories` samples (remainder spread over
+/// the first trajectories), exactly like the straightforward
+/// implementation it replaces.
+#[derive(Clone, Debug)]
+pub struct TrajectoryEngine {
+    trajectories: usize,
+    state: Option<StateVector>,
+    candidate: Option<StateVector>,
+    probs: Vec<f64>,
+    sampler: ShotSampler,
+    indices: Vec<usize>,
+    hist: Vec<u64>,
+}
+
+impl TrajectoryEngine {
+    /// Creates an engine running `trajectories` unravelings per job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trajectories == 0`.
+    pub fn new(trajectories: usize) -> Self {
+        assert!(trajectories > 0, "need at least one trajectory");
+        TrajectoryEngine {
+            trajectories,
+            state: None,
+            candidate: None,
+            probs: Vec::new(),
+            sampler: ShotSampler::default(),
+            indices: Vec::new(),
+            hist: Vec::new(),
+        }
+    }
+
+    /// Trajectories per job.
+    pub fn trajectories(&self) -> usize {
+        self.trajectories
+    }
+
+    /// Changes the trajectory count (scratch buffers are kept).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trajectories == 0`.
+    pub fn set_trajectories(&mut self, trajectories: usize) {
+        assert!(trajectories > 0, "need at least one trajectory");
+        self.trajectories = trajectories;
+    }
+
+    /// Generic-RNG entry point.
+    pub fn run_program<R: RngCore + ?Sized>(
+        &mut self,
+        program: &CompiledProgram,
+        shots: usize,
+        rng: &mut R,
+    ) -> Counts {
+        let n = program.num_qubits();
+        let readout = program.readout();
+        let base = shots / self.trajectories;
+        let extra = shots % self.trajectories;
+        self.hist.clear();
+        self.hist.resize(1usize << n, 0);
+        for t in 0..self.trajectories {
+            let state = match &mut self.state {
+                Some(s) => {
+                    s.reset_to(n);
+                    s
+                }
+                None => self.state.insert(StateVector::new(n)),
+            };
+            let candidate = match &mut self.candidate {
+                Some(s) => {
+                    s.reset_to(n);
+                    s
+                }
+                None => self.candidate.insert(StateVector::new(n)),
+            };
+            for op in program.ops() {
+                match *op {
+                    TapeOp::Unitary1q { slot, q } => state.apply_1q(program.unitary(slot), q),
+                    TapeOp::Unitary2q { slot, q0, q1 } => {
+                        state.apply_2q(program.unitary(slot), q0, q1)
+                    }
+                    TapeOp::Channel1q { channel, q } => {
+                        unravel_channel(state, candidate, program.channel(channel), &[q], rng)
+                    }
+                    TapeOp::Channel2q { channel, q0, q1 } => {
+                        unravel_channel(state, candidate, program.channel(channel), &[q0, q1], rng)
+                    }
+                }
+            }
+            let traj_shots = base + usize::from(t < extra);
+            if traj_shots == 0 {
+                continue;
+            }
+            state.probabilities_into(&mut self.probs);
+            self.sampler
+                .sample_indices_into(&self.probs, traj_shots, rng, &mut self.indices);
+            for &idx in &self.indices {
+                let corrupted = readout.corrupt(idx as u64, rng);
+                self.hist[corrupted as usize] += 1;
+            }
+        }
+        let mut counts = Counts::new(n);
+        for (basis, &c) in self.hist.iter().enumerate() {
+            if c > 0 {
+                counts.record(basis as u64, c);
+            }
+        }
+        counts
+    }
+}
+
+impl SimEngine for TrajectoryEngine {
+    fn run(&mut self, program: &CompiledProgram, shots: usize, rng: &mut dyn RngCore) -> Counts {
+        self.run_program(program, shots, rng)
+    }
+}
+
+/// Stochastically applies one Kraus operator of `ch` selected with its
+/// Born probability, writing candidates into the reusable `candidate`
+/// buffer and swapping the accepted one into `state`.
+fn unravel_channel<R: RngCore + ?Sized>(
+    state: &mut StateVector,
+    candidate: &mut StateVector,
+    ch: &KrausChannel,
+    qs: &[usize],
+    rng: &mut R,
+) {
+    let r: f64 = rng.gen();
+    let mut acc = 0.0;
+    let ops = ch.operators();
+    for (i, k) in ops.iter().enumerate() {
+        candidate.copy_from(state);
+        match *qs {
+            [q] => candidate.apply_1q(k, q),
+            [a, b] => candidate.apply_2q(k, a, b),
+            _ => unreachable!("channels are 1- or 2-qubit"),
+        }
+        let p = candidate.norm_sqr();
+        acc += p;
+        if r < acc || i == ops.len() - 1 {
+            candidate.normalize();
+            std::mem::swap(state, candidate);
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bell_program(noise_p: f64) -> CompiledProgram {
+        let mut b = ProgramBuilder::new(2);
+        b.push_unitary(gates::h(), &[0]);
+        b.push_unitary(gates::cx(), &[0, 1]);
+        if noise_p > 0.0 {
+            b.push_channel(&KrausChannel::depolarizing_1q(noise_p), &[0]);
+        }
+        b.finish(ReadoutError::uniform(2, 0.0), 465.0)
+    }
+
+    #[test]
+    fn density_engine_matches_direct_evolution() {
+        let prog = bell_program(0.05);
+        let mut engine = DensityEngine::new();
+        let counts = engine.run_program(&prog, 50_000, &mut StdRng::seed_from_u64(1));
+
+        // Direct evolution of the same ops.
+        let mut rho = DensityMatrix::new(2);
+        rho.apply_unitary_1q(&gates::h(), 0);
+        rho.apply_unitary_2q(&gates::cx(), 0, 1);
+        rho.apply_channel(&KrausChannel::depolarizing_1q(0.05), &[0]);
+        rho.normalize();
+        let probs = rho.probabilities();
+        let direct =
+            crate::sampler::sample_counts(&probs, 2, 50_000, &mut StdRng::seed_from_u64(1));
+        assert_eq!(counts, direct, "engine must be byte-identical");
+    }
+
+    #[test]
+    fn engine_is_reusable_across_program_sizes() {
+        let mut engine = DensityEngine::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let small = bell_program(0.0);
+        let mut b = ProgramBuilder::new(3);
+        b.push_unitary(gates::h(), &[0]);
+        b.push_unitary(gates::cx(), &[0, 1]);
+        b.push_unitary(gates::cx(), &[1, 2]);
+        let big = b.finish(ReadoutError::uniform(3, 0.0), 900.0);
+        let c1 = engine.run_program(&small, 1000, &mut rng);
+        let c2 = engine.run_program(&big, 1000, &mut rng);
+        let c3 = engine.run_program(&small, 1000, &mut rng);
+        assert_eq!(c1.num_qubits(), 2);
+        assert_eq!(c2.num_qubits(), 3);
+        assert_eq!(c3.num_qubits(), 2);
+        assert_eq!(c1.total() + c2.total() + c3.total(), 3000);
+    }
+
+    #[test]
+    fn trajectory_engine_agrees_with_density_statistics() {
+        let prog = bell_program(0.05);
+        let dens = DensityEngine::new().run_program(&prog, 40_000, &mut StdRng::seed_from_u64(3));
+        let traj =
+            TrajectoryEngine::new(300).run_program(&prog, 40_000, &mut StdRng::seed_from_u64(4));
+        let d = dens.probability(0) + dens.probability(0b11);
+        let t = traj.probability(0) + traj.probability(0b11);
+        assert!((d - t).abs() < 0.03, "density {d} vs trajectories {t}");
+    }
+
+    #[test]
+    fn interning_dedupes_channels_and_unitaries() {
+        let mut b = ProgramBuilder::new(2);
+        let s1 = b.push_unitary(gates::h(), &[0]);
+        let s2 = b.push_unitary(gates::h(), &[1]);
+        assert_eq!(s1, s2, "identical fixed gates share a slot");
+        let ch = KrausChannel::depolarizing_1q(0.01);
+        b.push_channel(&ch, &[0]);
+        b.push_channel(&ch, &[1]);
+        let prog = b.finish(ReadoutError::uniform(2, 0.0), 100.0);
+        assert_eq!(prog.num_channels(), 1, "identical channels are interned");
+        assert_eq!(prog.num_unitaries(), 1);
+        assert_eq!(prog.ops().len(), 4);
+    }
+
+    #[test]
+    fn parameterized_slots_are_never_shared() {
+        let mut b = ProgramBuilder::new(1);
+        let p1 = b.push_parameterized(CMatrix::identity(2), &[0]);
+        let fixed = b.push_unitary(CMatrix::identity(2), &[0]);
+        let p2 = b.push_parameterized(CMatrix::identity(2), &[0]);
+        assert_ne!(p1, fixed, "fixed gate must not alias a rebind slot");
+        assert_ne!(p1, p2, "two parameterized gates must not alias");
+        let mut prog = b.finish(ReadoutError::uniform(1, 0.0), 35.0);
+        prog.set_unitary(p1, gates::x());
+        assert_eq!(prog.unitary(fixed), &CMatrix::identity(2));
+    }
+
+    #[test]
+    fn identity_fast_path_elides_near_zero_channels() {
+        let mut b = ProgramBuilder::new(1);
+        b.push_channel(&KrausChannel::depolarizing_1q(0.0), &[0]);
+        b.push_channel(&KrausChannel::depolarizing_1q(1e-30), &[0]);
+        b.push_channel(&KrausChannel::depolarizing_1q(0.1), &[0]);
+        let prog = b.finish(ReadoutError::uniform(1, 0.0), 35.0);
+        assert_eq!(prog.skipped_channels(), 2);
+        assert_eq!(prog.num_channels(), 1);
+        assert_eq!(prog.ops().len(), 1);
+    }
+
+    #[test]
+    fn rebind_changes_results_without_recompiling() {
+        let mut b = ProgramBuilder::new(1);
+        let slot = b.push_parameterized(CMatrix::identity(2), &[0]);
+        let mut prog = b.finish(ReadoutError::uniform(1, 0.0), 35.0);
+        let mut engine = DensityEngine::new();
+        prog.set_unitary(slot, gates::x());
+        let ones = engine.run_program(&prog, 100, &mut StdRng::seed_from_u64(5));
+        assert_eq!(ones.get(1), 100);
+        prog.set_unitary(slot, CMatrix::identity(2));
+        let zeros = engine.run_program(&prog, 100, &mut StdRng::seed_from_u64(5));
+        assert_eq!(zeros.get(0), 100);
+    }
+
+    #[test]
+    fn engines_work_behind_the_trait_object() {
+        let prog = bell_program(0.02);
+        let mut engines: Vec<Box<dyn SimEngine>> = vec![
+            Box::new(DensityEngine::new()),
+            Box::new(TrajectoryEngine::new(64)),
+        ];
+        let mut rng = StdRng::seed_from_u64(6);
+        for e in &mut engines {
+            let counts = e.run(&prog, 2048, &mut rng);
+            assert_eq!(counts.total(), 2048);
+        }
+    }
+}

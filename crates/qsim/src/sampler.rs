@@ -187,24 +187,124 @@ impl FromIterator<(u64, u64)> for Counts {
 ///
 /// Panics if `probs` is empty or sums to zero.
 pub fn sample_indices<R: Rng + ?Sized>(probs: &[f64], shots: usize, rng: &mut R) -> Vec<usize> {
-    assert!(!probs.is_empty(), "empty probability distribution");
-    let mut cdf = Vec::with_capacity(probs.len());
-    let mut acc = 0.0;
-    for &p in probs {
-        acc += p.max(0.0);
-        cdf.push(acc);
-    }
-    assert!(acc > 0.0, "probability distribution sums to zero");
     let mut out = Vec::with_capacity(shots);
-    for _ in 0..shots {
-        let r: f64 = rng.gen::<f64>() * acc;
-        let idx = match cdf.binary_search_by(|x| x.partial_cmp(&r).unwrap()) {
-            Ok(i) => i,
-            Err(i) => i,
-        };
-        out.push(idx.min(probs.len() - 1));
-    }
+    ShotSampler::default().sample_indices_into(probs, shots, rng, &mut out);
     out
+}
+
+/// Reusable inverse-CDF shot sampler.
+///
+/// Holds the CDF and a dense histogram as persistent buffers so the hot
+/// path ([`ShotSampler::sample_counts`]) allocates nothing after warmup:
+/// the CDF is rebuilt in place per distribution, shots increment dense
+/// histogram slots (no per-shot hash-map insert), and only the non-zero
+/// slots are folded into the returned [`Counts`]. Draws from the RNG in
+/// exactly the per-shot order of [`sample_indices`], so seeded results
+/// are byte-identical to the allocating path.
+///
+/// Float comparisons use `total_cmp`, so unlike the historical
+/// `partial_cmp(..).unwrap()` the binary search can neither panic nor
+/// silently scramble on a NaN needle. NaN *probabilities* are treated
+/// as zero mass (`p.max(0.0)` maps NaN to `0.0` when building the
+/// CDF); an all-NaN or all-non-positive distribution still fails
+/// loudly at the `sum > 0` guard.
+#[derive(Clone, Debug, Default)]
+pub struct ShotSampler {
+    cdf: Vec<f64>,
+    hist: Vec<u64>,
+}
+
+impl ShotSampler {
+    /// Creates a sampler; buffers are sized lazily.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuilds the internal CDF for `probs` and returns the total mass
+    /// (NaN entries contribute zero — see the type docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs` is empty or the total mass is not positive.
+    fn build_cdf(&mut self, probs: &[f64]) -> f64 {
+        assert!(!probs.is_empty(), "empty probability distribution");
+        self.cdf.clear();
+        let mut acc = 0.0;
+        for &p in probs {
+            acc += p.max(0.0);
+            self.cdf.push(acc);
+        }
+        assert!(acc > 0.0, "probability distribution sums to zero");
+        acc
+    }
+
+    /// Draws `shots` basis indices into a reusable output buffer
+    /// (cleared first). Same distribution and RNG stream as
+    /// [`sample_indices`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs` is empty or sums to zero.
+    pub fn sample_indices_into<R: Rng + ?Sized>(
+        &mut self,
+        probs: &[f64],
+        shots: usize,
+        rng: &mut R,
+        out: &mut Vec<usize>,
+    ) {
+        let acc = self.build_cdf(probs);
+        out.clear();
+        out.reserve(shots);
+        for _ in 0..shots {
+            let r: f64 = rng.gen::<f64>() * acc;
+            let idx = match self.cdf.binary_search_by(|x| x.total_cmp(&r)) {
+                Ok(i) => i,
+                Err(i) => i,
+            };
+            out.push(idx.min(probs.len() - 1));
+        }
+    }
+
+    /// Samples a [`Counts`] histogram over `n_qubits` qubits, writing
+    /// shots directly into a dense histogram. Byte-identical to
+    /// [`sample_counts`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs.len() != 2^n_qubits` or the distribution is
+    /// empty/zero.
+    pub fn sample_counts<R: Rng + ?Sized>(
+        &mut self,
+        probs: &[f64],
+        n_qubits: usize,
+        shots: usize,
+        rng: &mut R,
+    ) -> Counts {
+        assert_eq!(
+            probs.len(),
+            1usize << n_qubits,
+            "distribution size mismatch"
+        );
+        let acc = self.build_cdf(probs);
+        self.hist.clear();
+        self.hist.resize(probs.len(), 0);
+        let top = probs.len() - 1;
+        for _ in 0..shots {
+            let r: f64 = rng.gen::<f64>() * acc;
+            let idx = match self.cdf.binary_search_by(|x| x.total_cmp(&r)) {
+                Ok(i) => i,
+                Err(i) => i,
+            };
+            self.hist[idx.min(top)] += 1;
+        }
+        let mut counts = Counts::new(n_qubits);
+        for (basis, &c) in self.hist.iter().enumerate() {
+            if c > 0 {
+                counts.record(basis as u64, c);
+            }
+        }
+        counts
+    }
 }
 
 /// Samples a [`Counts`] histogram from a distribution over `n_qubits`
@@ -219,16 +319,7 @@ pub fn sample_counts<R: Rng + ?Sized>(
     shots: usize,
     rng: &mut R,
 ) -> Counts {
-    assert_eq!(
-        probs.len(),
-        1usize << n_qubits,
-        "distribution size mismatch"
-    );
-    let mut counts = Counts::new(n_qubits);
-    for idx in sample_indices(probs, shots, rng) {
-        counts.record(idx as u64, 1);
-    }
-    counts
+    ShotSampler::default().sample_counts(probs, n_qubits, shots, rng)
 }
 
 /// Per-qubit symmetric readout (SPAM) error probabilities.
@@ -289,25 +380,35 @@ impl ReadoutError {
     ///
     /// Panics if `probs.len() != 2^num_qubits`.
     pub fn apply_to_distribution(&self, probs: &[f64]) -> Vec<f64> {
+        let mut out = probs.to_vec();
+        self.apply_in_place(&mut out);
+        out
+    }
+
+    /// Applies the confusion model in place — the allocation-free twin
+    /// of [`ReadoutError::apply_to_distribution`] used by the engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs.len() != 2^num_qubits`.
+    pub fn apply_in_place(&self, probs: &mut [f64]) {
         let n = self.flip.len();
         assert_eq!(probs.len(), 1usize << n, "distribution size mismatch");
-        let mut out = probs.to_vec();
         for (q, &f) in self.flip.iter().enumerate() {
             if f == 0.0 {
                 continue;
             }
             let bit = 1usize << q;
-            for i in 0..out.len() {
+            for i in 0..probs.len() {
                 if i & bit == 0 {
                     let j = i | bit;
-                    let p0 = out[i];
-                    let p1 = out[j];
-                    out[i] = (1.0 - f) * p0 + f * p1;
-                    out[j] = f * p0 + (1.0 - f) * p1;
+                    let p0 = probs[i];
+                    let p1 = probs[j];
+                    probs[i] = (1.0 - f) * p0 + f * p1;
+                    probs[j] = f * p0 + (1.0 - f) * p1;
                 }
             }
         }
-        out
     }
 
     /// Corrupts a single measured basis index by independently flipping

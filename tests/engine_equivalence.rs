@@ -1,0 +1,299 @@
+//! The compiled-engine equivalence suite.
+//!
+//! The engine layer (compiled programs + allocation-free engines + the
+//! per-cycle noise cache) claims **byte-identical** results to the
+//! pre-engine path, which survives verbatim behind
+//! `QpuBackend::with_legacy_execution` as the oracle. This suite holds
+//! it to that claim at every level: raw counts per job (density and
+//! trajectory engines, under drift, across recalibration boundaries),
+//! and full `TrainingReport`s for VQE and QAOA ensembles — plus the
+//! cache-discipline guarantees (noise models built once per calibration
+//! cycle, templates compiled once per noise epoch).
+
+use eqc::prelude::*;
+use qcircuit::CircuitBuilder;
+use qdevice::{catalog, DriftModel, QpuBackend, QueueModel, SimulatorKind};
+
+fn vqe_circuit(n: usize) -> qcircuit::Circuit {
+    let mut b = CircuitBuilder::new(n);
+    for q in 0..n {
+        b.ry(q, 0.3 + 0.2 * q as f64);
+    }
+    for q in 0..n - 1 {
+        b.cx(q, q + 1);
+    }
+    for q in 0..n {
+        b.rz(q, 0.1 * q as f64 - 0.4);
+    }
+    b.build()
+}
+
+/// A drifting, episodic backend recalibrating every 3 virtual minutes,
+/// so even a short training run crosses several recalibration
+/// boundaries (and the continuous drift forces a model re-degrade on
+/// every job — the cache's hardest regime).
+fn stress_backend(seed: u64) -> QpuBackend {
+    let spec = catalog::by_name("belem").expect("catalog device");
+    QpuBackend::new(
+        spec.name,
+        spec.topology(),
+        spec.calibration(),
+        DriftModel::linear(0.08, 0.02).with_episode(0.05, 0.12, 3.0),
+        QueueModel::light(3.0),
+        0.05, // recalibrate every 3 virtual minutes
+        seed,
+    )
+    .with_downtime_hours(0.0)
+}
+
+#[test]
+fn density_engine_is_byte_identical_to_reference_across_cycles() {
+    let mut engine = stress_backend(11);
+    let mut legacy = stress_backend(11).with_legacy_execution();
+    let circuit = vqe_circuit(4);
+    let active = [0, 1, 2, 3];
+    let mut t = SimTime::ZERO;
+    for job in 0..10 {
+        let a = engine.execute(&circuit, &active, 2048, t);
+        let b = legacy.execute(&circuit, &active, 2048, t);
+        assert_eq!(a.counts, b.counts, "counts diverge at job {job}");
+        assert_eq!(
+            a.completed.as_secs().to_bits(),
+            b.completed.as_secs().to_bits(),
+            "timing diverges at job {job}"
+        );
+        // Jump ~1.7 virtual hours per job: crosses cycle boundaries and
+        // the drift episode.
+        t = a.completed + 6000.0;
+    }
+    assert!(
+        engine.reported_calibration_builds() >= 3,
+        "the walk should have crossed several recalibrations, saw {}",
+        engine.reported_calibration_builds()
+    );
+}
+
+#[test]
+fn trajectory_engine_is_byte_identical_to_reference_across_cycles() {
+    let mut engine = stress_backend(12).with_simulator(SimulatorKind::Trajectories(48));
+    let mut legacy = stress_backend(12)
+        .with_simulator(SimulatorKind::Trajectories(48))
+        .with_legacy_execution();
+    let circuit = vqe_circuit(4);
+    let active = [0, 1, 2, 3];
+    let mut t = SimTime::ZERO;
+    for job in 0..6 {
+        let a = engine.execute(&circuit, &active, 512, t);
+        let b = legacy.execute(&circuit, &active, 512, t);
+        assert_eq!(a.counts, b.counts, "counts diverge at job {job}");
+        t = a.completed + 9000.0;
+    }
+}
+
+fn fleet(legacy: bool, simulator: SimulatorKind) -> Ensemble {
+    let mut builder = Ensemble::builder();
+    for (i, name) in ["belem", "manila", "bogota"].iter().enumerate() {
+        let spec = catalog::by_name(name).expect("catalog device");
+        let mut backend = spec.backend(300 + i as u64).with_simulator(simulator);
+        if legacy {
+            backend = backend.with_legacy_execution();
+        }
+        builder = builder.backend(backend);
+    }
+    builder
+        .config(EqcConfig::paper_qaoa().with_epochs(6).with_shots(512))
+        .build()
+        .expect("fleet builds")
+}
+
+#[test]
+fn qaoa_training_report_identical_on_engine_and_legacy_paths() {
+    let problem = QaoaProblem::maxcut_ring4();
+    let fast = fleet(false, SimulatorKind::Density)
+        .train(&problem)
+        .expect("engine path trains");
+    let slow = fleet(true, SimulatorKind::Density)
+        .train(&problem)
+        .expect("legacy path trains");
+    assert_eq!(fast, slow, "structurally identical reports");
+    assert_eq!(
+        format!("{fast:?}"),
+        format!("{slow:?}"),
+        "byte-identical debug serialization"
+    );
+}
+
+#[test]
+fn trajectory_training_report_identical_on_engine_and_legacy_paths() {
+    let problem = QaoaProblem::maxcut_ring4();
+    let fast = fleet(false, SimulatorKind::Trajectories(24))
+        .train(&problem)
+        .expect("engine path trains");
+    let slow = fleet(true, SimulatorKind::Trajectories(24))
+        .train(&problem)
+        .expect("legacy path trains");
+    assert_eq!(fast, slow);
+    assert_eq!(format!("{fast:?}"), format!("{slow:?}"));
+}
+
+#[test]
+fn vqe_training_report_identical_across_recalibration_boundary() {
+    // Short calibration cycles + drift: the run crosses recalibrations,
+    // so the per-cycle caches invalidate mid-training. The report must
+    // still match the uncached path byte for byte.
+    let problem = VqeProblem::heisenberg_4q();
+    let mk = |legacy: bool| {
+        let mut backend = stress_backend(77);
+        if legacy {
+            backend = backend.with_legacy_execution();
+        }
+        Ensemble::builder()
+            .backend(backend)
+            .config(EqcConfig::paper_vqe().with_epochs(3).with_shots(256))
+            .build()
+            .expect("builds")
+            .train(&problem)
+            .expect("trains")
+    };
+    let fast = mk(false);
+    let slow = mk(true);
+    assert_eq!(fast, slow);
+    assert_eq!(format!("{fast:?}"), format!("{slow:?}"));
+    assert!(fast.total_hours > 0.1, "run must span multiple cycles");
+}
+
+#[test]
+fn noise_model_is_built_once_per_cycle_without_drift() {
+    let spec = catalog::by_name("manila").expect("catalog device");
+    let mut backend = QpuBackend::new(
+        spec.name,
+        spec.topology(),
+        spec.calibration(),
+        DriftModel::none(),
+        QueueModel::light(1.0),
+        24.0,
+        5,
+    );
+    let circuit = vqe_circuit(4);
+    let active = [0, 1, 2, 3];
+    let mut t = SimTime::ZERO;
+    for _ in 0..8 {
+        let r = backend.execute(&circuit, &active, 256, t);
+        t = r.completed;
+    }
+    assert!(t.as_hours() < 24.0, "all jobs must fall in cycle 0");
+    assert_eq!(
+        backend.noise_model_builds(),
+        1,
+        "stable cycle + no drift => exactly one NoiseModel construction"
+    );
+    assert_eq!(backend.reported_calibration_builds(), 1);
+
+    // Crossing into the next cycle invalidates exactly once.
+    let r = backend.execute(&circuit, &active, 256, SimTime::from_hours(25.0));
+    assert!(r.counts.total() == 256);
+    assert_eq!(backend.noise_model_builds(), 2);
+    assert_eq!(backend.reported_calibration_builds(), 2);
+}
+
+#[test]
+fn client_compiles_templates_once_per_calibration_cycle() {
+    let problem = VqeProblem::heisenberg_4q();
+    let spec = catalog::by_name("bogota").expect("catalog device");
+    let backend = QpuBackend::new(
+        spec.name,
+        spec.topology(),
+        spec.calibration(),
+        DriftModel::none(),
+        QueueModel::light(1.0),
+        24.0,
+        9,
+    );
+    let mut client = ClientNode::new(0, backend, &problem).expect("transpiles");
+    let params = problem.initial_point(3);
+    let task = vqa::GradientTask {
+        param: qcircuit::ParamId(0),
+        slice: vqa::TaskSlice::Full,
+    };
+    for _ in 0..5 {
+        client.run_task(&problem, task, &params, 128, SimTime::ZERO);
+    }
+    let compiles_cycle0 = client.programs_compiled();
+    assert!(
+        compiles_cycle0 >= 1,
+        "at least the slice's template compiles"
+    );
+    assert!(
+        client.program_cache_hits() > 0,
+        "repeat jobs in one cycle must hit the program cache"
+    );
+    // Same cycle, more work: no recompilation.
+    client.run_task(&problem, task, &params, 128, SimTime::ZERO);
+    assert_eq!(client.programs_compiled(), compiles_cycle0);
+    // Next calibration cycle: exactly one recompile per touched template.
+    client.run_task(&problem, task, &params, 128, SimTime::from_hours(30.0));
+    assert!(client.programs_compiled() > compiles_cycle0);
+}
+
+#[test]
+fn template_recompiles_when_moved_across_backends() {
+    // Two backends with the *same* seed but different calibrations must
+    // not share a noise epoch: a template dragged from one to the other
+    // has to recompile instead of replaying the first device's
+    // channels (the NoiseToken backend-identity guard).
+    use qdevice::{CompiledTemplate, TemplateRun};
+    let mk = |name: &str| {
+        let spec = catalog::by_name(name).expect("catalog device");
+        QpuBackend::new(
+            spec.name,
+            spec.topology(),
+            spec.calibration(),
+            DriftModel::none(),
+            QueueModel::light(1.0),
+            24.0,
+            5, // identical seed on purpose
+        )
+    };
+    let mut belem = mk("belem");
+    let mut manila = mk("manila");
+    let mut template = CompiledTemplate::new(vqe_circuit(4), vec![0, 1, 2, 3]);
+    let runs = [TemplateRun {
+        template: 0,
+        shift: None,
+    }];
+    belem.execute_templates(&mut [&mut template], &runs, &[], 64, SimTime::ZERO);
+    assert_eq!(template.compiles(), 1);
+    manila.execute_templates(&mut [&mut template], &runs, &[], 64, SimTime::ZERO);
+    assert_eq!(
+        template.compiles(),
+        2,
+        "a different backend in the same cycle must force a recompile"
+    );
+}
+
+#[test]
+fn wrapper_executors_match_reference_functions() {
+    // The public execute_density / execute_trajectories wrappers (used
+    // by external callers and the figure harnesses) are thin shims over
+    // the engine; they must reproduce the preserved reference
+    // implementations byte for byte.
+    use qdevice::noise_model::{execute_density, execute_trajectories, reference, NoiseModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let circuit = vqe_circuit(4);
+    let cal = qdevice::Calibration::uniform(4, 85.0, 65.0, 0.002, 0.015, 0.025);
+    let noise = NoiseModel::from_calibration(&cal, &[0, 1, 2, 3]);
+
+    let (a, da) = execute_density(&circuit, &noise, 30_000, &mut StdRng::seed_from_u64(21));
+    let (b, db) =
+        reference::execute_density(&circuit, &noise, 30_000, &mut StdRng::seed_from_u64(21));
+    assert_eq!(a, b, "density wrapper must be byte-identical");
+    assert_eq!(da.to_bits(), db.to_bits());
+
+    let (a, da) = execute_trajectories(&circuit, &noise, 4096, 64, &mut StdRng::seed_from_u64(22));
+    let (b, db) =
+        reference::execute_trajectories(&circuit, &noise, 4096, 64, &mut StdRng::seed_from_u64(22));
+    assert_eq!(a, b, "trajectory wrapper must be byte-identical");
+    assert_eq!(da.to_bits(), db.to_bits());
+}

@@ -28,6 +28,58 @@ fn discrete_event_reports_are_byte_identical_per_seed() {
     );
 }
 
+/// Builds the qaoa fleet on an explicit simulation engine.
+fn engine_ensemble(simulator: qdevice::SimulatorKind, epochs: usize) -> Ensemble {
+    let mut builder = Ensemble::builder();
+    for (i, name) in ["belem", "manila"].iter().enumerate() {
+        let spec = qdevice::catalog::by_name(name).expect("catalog device");
+        builder = builder.backend(spec.backend(7 + i as u64).with_simulator(simulator));
+    }
+    builder
+        .config(EqcConfig::paper_qaoa().with_epochs(epochs).with_shots(256))
+        .build()
+        .expect("fleet builds")
+}
+
+#[test]
+fn discrete_event_is_deterministic_on_both_engines() {
+    // The determinism guarantee is engine-independent: the density
+    // engine and the trajectory engine must each reproduce their full
+    // report byte for byte under a fixed seed.
+    let problem = QaoaProblem::maxcut_ring4();
+    for simulator in [
+        qdevice::SimulatorKind::Density,
+        qdevice::SimulatorKind::Trajectories(24),
+    ] {
+        let ensemble = engine_ensemble(simulator, 4);
+        let a = ensemble.train(&problem).expect("trains");
+        let b = ensemble.train(&problem).expect("trains");
+        assert_eq!(a, b, "{simulator:?} must replay identically");
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}
+
+#[test]
+fn engines_agree_statistically_but_not_bitwise() {
+    // Sanity check that the two engines are genuinely different
+    // unravelings of the same physics: close in distribution, not equal
+    // in bits.
+    let problem = QaoaProblem::maxcut_ring4();
+    let dens = engine_ensemble(qdevice::SimulatorKind::Density, 4)
+        .train(&problem)
+        .expect("trains");
+    let traj = engine_ensemble(qdevice::SimulatorKind::Trajectories(64), 4)
+        .train(&problem)
+        .expect("trains");
+    assert_ne!(dens.final_params, traj.final_params);
+    assert!(
+        (dens.final_loss - traj.final_loss).abs() < 0.5,
+        "density {} vs trajectories {}",
+        dens.final_loss,
+        traj.final_loss
+    );
+}
+
 /// An independent re-implementation of the pre-0.2
 /// `SingleDeviceTrainer::train` loop (uncapped, unweighted): walk the
 /// cyclic task list, chain each submission on the previous completion,
