@@ -109,7 +109,7 @@ fn bench_execute_density_paths(c: &mut Criterion) {
 fn backend(seed: u64) -> QpuBackend {
     let spec = catalog::by_name("belem").expect("catalog device");
     QpuBackend::new(
-        spec.name,
+        &spec.name,
         spec.topology(),
         spec.calibration(),
         DriftModel::none(),

@@ -27,9 +27,9 @@ fn main() {
 
     // ---- 1. Async vs sync ----------------------------------------------
     let problem = VqeProblem::heisenberg_4q();
-    let names: Vec<&str> = qdevice::catalog::vqe_ensemble()
+    let names: Vec<String> = qdevice::catalog::vqe_ensemble()
         .iter()
-        .map(|d| d.name)
+        .map(|d| d.name.clone())
         .collect();
     let cfg = EqcConfig::paper_vqe().with_epochs(epochs).with_shots(shots);
     let asyn = train_eqc(&problem, &names, 0xAB1, cfg);

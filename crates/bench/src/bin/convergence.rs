@@ -50,9 +50,9 @@ fn main() {
 
     // Part 2: empirical staleness of a real EQC run.
     let problem = VqeProblem::heisenberg_4q();
-    let names: Vec<&str> = qdevice::catalog::vqe_ensemble()
+    let names: Vec<String> = qdevice::catalog::vqe_ensemble()
         .iter()
-        .map(|d| d.name)
+        .map(|d| d.name.clone())
         .collect();
     let cfg = EqcConfig::paper_vqe().with_epochs(20).with_shots(1024);
     let report = train_eqc(&problem, &names, 77, cfg);

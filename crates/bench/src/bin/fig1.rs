@@ -32,9 +32,9 @@ fn main() {
         let r = train_single(&problem, name, 0xF161, cfg);
         results.push((name.to_string(), r));
     }
-    let names: Vec<&str> = qdevice::catalog::vqe_ensemble()
+    let names: Vec<String> = qdevice::catalog::vqe_ensemble()
         .iter()
-        .map(|d| d.name)
+        .map(|d| d.name.clone())
         .collect();
     let eqc = train_eqc(&problem, &names, 0xE9C1, cfg);
     results.push(("EQC".to_string(), eqc));

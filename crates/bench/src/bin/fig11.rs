@@ -24,9 +24,9 @@ fn main() {
     println!("# Fig. 11 — 4-node MaxCut QAOA ({iterations} iterations)\n");
     println!("p=1 reachable optimum: -0.75 normalized cost\n");
 
-    let device_names: Vec<&str> = qdevice::catalog::qaoa_devices()
+    let device_names: Vec<String> = qdevice::catalog::qaoa_devices()
         .iter()
-        .map(|d| d.name)
+        .map(|d| d.name.clone())
         .collect();
     let mut reports: Vec<TrainingReport> = Vec::new();
     for name in &device_names {

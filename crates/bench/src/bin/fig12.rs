@@ -23,9 +23,9 @@ fn main() {
         .with_shots(shots);
     println!("# Fig. 12 — weighted vs unweighted QAOA ({iterations} iterations)\n");
 
-    let device_names: Vec<&str> = qdevice::catalog::qaoa_devices()
+    let device_names: Vec<String> = qdevice::catalog::qaoa_devices()
         .iter()
-        .map(|d| d.name)
+        .map(|d| d.name.clone())
         .collect();
 
     // Left panel: EQC variants.
@@ -74,7 +74,9 @@ fn main() {
             .fold(f64::INFINITY, f64::min);
         min_costs.push((format!("single:{name}"), best));
     }
-    min_costs.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
+    // `total_cmp`, not `partial_cmp`: a NaN cost (e.g. a degenerate run)
+    // must not panic the harness or scramble the ranking.
+    min_costs.sort_by(|a, b| a.1.total_cmp(&b.1));
     let rows: Vec<Vec<String>> = min_costs
         .iter()
         .map(|(n, c)| vec![n.clone(), format!("{c:.4}")])

@@ -59,9 +59,9 @@ fn main() {
     // EQC over the 10-device ensemble, 3 repetitions.
     let mut eqc_runs = Vec::new();
     for rep in 0..3u64 {
-        let names: Vec<&str> = qdevice::catalog::vqe_ensemble()
+        let names: Vec<String> = qdevice::catalog::vqe_ensemble()
             .iter()
-            .map(|d| d.name)
+            .map(|d| d.name.clone())
             .collect();
         let r = train_eqc(
             &problem,

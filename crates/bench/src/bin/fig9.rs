@@ -23,9 +23,9 @@ fn main() {
     println!("# Fig. 9 — weighted VQE on the 10-device ensemble ({epochs} epochs)\n");
 
     let ideal_energy = train_ideal_baseline(&problem, base).converged_loss(20);
-    let names: Vec<&str> = qdevice::catalog::vqe_ensemble()
+    let names: Vec<String> = qdevice::catalog::vqe_ensemble()
         .iter()
-        .map(|d| d.name)
+        .map(|d| d.name.clone())
         .collect();
 
     let variants: [(&str, Option<WeightBounds>); 4] = [

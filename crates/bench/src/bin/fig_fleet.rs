@@ -1,0 +1,124 @@
+//! Fleet scaling: DES vs Threaded vs Pooled on synthesized device
+//! fleets.
+//!
+//! The paper's evaluation tops out at ten QPUs; the ensemble-VQE
+//! follow-ups argue accuracy keeps improving as the ensemble widens, so
+//! this harness measures the *system* side of that direction: how each
+//! execution substrate behaves as the fleet grows from 8 to 256 virtual
+//! devices ([`qdevice::catalog::fleet`]). The threaded executor spawns
+//! one OS thread per client; the pooled executor trains the same fleet
+//! with at most `available_parallelism` workers — and, in deterministic
+//! mode, a report byte-identical to the discrete-event executor's
+//! (asserted here on every size).
+//!
+//! Run with: `cargo run --release -p eqc-bench --bin fig_fleet`
+//!
+//! Environment:
+//! * `EQC_FLEET_CLIENTS` — run a single fleet size instead of 8/64/256;
+//! * `EQC_EPOCHS` / `EQC_SHOTS` — the usual budget overrides.
+//!
+//! Emits one machine-readable JSON line per size
+//! (`{"bench":"fleet64",...}`) for the perf-trajectory dashboard.
+
+use eqc_bench::{env_param, epochs_or, fleet_ensemble, markdown_table, shots_or, write_csv};
+use eqc_core::{EqcConfig, PooledExecutor, ThreadedExecutor, TrainingReport};
+use std::time::Instant;
+use vqa::QaoaProblem;
+
+fn timed<F: FnOnce() -> TrainingReport>(f: F) -> (TrainingReport, u128) {
+    let start = Instant::now();
+    let report = f();
+    (report, start.elapsed().as_millis())
+}
+
+fn main() {
+    let epochs = epochs_or(4);
+    let shots = shots_or(256);
+    let cfg = EqcConfig::paper_qaoa()
+        .with_epochs(epochs)
+        .with_shots(shots);
+    let problem = QaoaProblem::maxcut_ring4();
+    let sizes: Vec<usize> = match env_param("EQC_FLEET_CLIENTS", 0) {
+        0 => vec![8, 64, 256],
+        n => vec![n],
+    };
+    let commit = std::env::var("GITHUB_SHA").unwrap_or_else(|_| "local".into());
+    println!("# Fleet scaling — DES vs Threaded vs Pooled ({epochs} epochs, {shots} shots)\n");
+
+    let mut rows = Vec::new();
+    let mut csv = String::from("clients,executor,threads,elapsed_ms,epochs_per_hour,final_loss\n");
+    for &n in &sizes {
+        let ensemble = fleet_ensemble(n, cfg);
+        let (des, des_ms) = timed(|| ensemble.train(&problem).expect("DES trains"));
+
+        let (threaded, threaded_ms) = timed(|| {
+            ensemble
+                .train_with(&ThreadedExecutor::new(), &problem)
+                .expect("threaded trains")
+        });
+
+        let pooled_exec = PooledExecutor::new();
+        let (pooled, pooled_ms) = timed(|| {
+            ensemble
+                .train_with(&pooled_exec, &problem)
+                .expect("pooled trains")
+        });
+        let telemetry = pooled_exec.telemetry().expect("pool ran");
+
+        // The acceptance bar of the pooled substrate: a fleet of any
+        // width trains under a bounded pool, byte-identical to DES.
+        assert_eq!(
+            format!("{des:?}"),
+            format!("{pooled:?}"),
+            "deterministic pool must replay the DES report at {n} clients"
+        );
+
+        for (label, report, threads, ms) in [
+            ("des", &des, 1usize, des_ms),
+            ("threaded", &threaded, n, threaded_ms),
+            ("pooled", &pooled, telemetry.workers_spawned, pooled_ms),
+        ] {
+            rows.push(vec![
+                n.to_string(),
+                label.to_string(),
+                threads.to_string(),
+                format!("{ms}"),
+                format!("{:.3}", report.epochs_per_hour()),
+                format!("{:.4}", report.final_loss),
+            ]);
+            csv.push_str(&format!(
+                "{n},{label},{threads},{ms},{:.6},{:.6}\n",
+                report.epochs_per_hour(),
+                report.final_loss
+            ));
+        }
+        println!(
+            "fleet[{n}]: pool ran {} workers (threaded spawned {n} threads), \
+             queue depth <= {}, {} tasks stolen",
+            telemetry.workers_spawned, telemetry.queue_depth_max, telemetry.tasks_stolen
+        );
+        println!(
+            "{{\"bench\":\"fleet{n}\",\"clients\":{n},\"epochs\":{epochs},\"shots\":{shots},\
+             \"des_ms\":{des_ms},\"threaded_ms\":{threaded_ms},\"pooled_ms\":{pooled_ms},\
+             \"workers\":{},\"stolen\":{},\"commit\":\"{commit}\"}}",
+            telemetry.workers_spawned, telemetry.tasks_stolen
+        );
+    }
+
+    println!("\n## Wall-clock per substrate (same training, same fleet)\n");
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "clients",
+                "executor",
+                "OS threads",
+                "wall ms",
+                "epochs/h",
+                "final loss"
+            ],
+            &rows
+        )
+    );
+    write_csv("fig_fleet.csv", &csv);
+}

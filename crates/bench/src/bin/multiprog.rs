@@ -63,9 +63,9 @@ fn main() {
 
     // ---- 2. Fleet utilization -------------------------------------------
     println!("## Fleet utilization: single-machine vs EQC\n");
-    let names: Vec<&str> = qdevice::catalog::vqe_ensemble()
+    let names: Vec<String> = qdevice::catalog::vqe_ensemble()
         .iter()
-        .map(|d| d.name)
+        .map(|d| d.name.clone())
         .collect();
     let single = train_single(&problem, "bogota", 0x07, cfg);
     let eqc = train_eqc(&problem, &names, 0x07, cfg);

@@ -37,9 +37,13 @@ pub fn shots_or(default: usize) -> usize {
 ///
 /// Panics if a name is missing from the catalog or the configuration is
 /// invalid — harness binaries treat both as programmer errors.
-pub fn ensemble_for(names: &[&str], seed_base: u64, config: EqcConfig) -> Ensemble {
+pub fn ensemble_for<S: AsRef<str> + std::fmt::Debug>(
+    names: &[S],
+    seed_base: u64,
+    config: EqcConfig,
+) -> Ensemble {
     Ensemble::builder()
-        .devices(names.iter().copied())
+        .devices(names.iter().map(S::as_ref))
         .device_seed(seed_base)
         .config(config)
         .build()
@@ -51,9 +55,9 @@ pub fn ensemble_for(names: &[&str], seed_base: u64, config: EqcConfig) -> Ensemb
 /// # Panics
 ///
 /// Panics on any [`eqc_core::EqcError`] (harness-level fatal).
-pub fn train_eqc(
+pub fn train_eqc<S: AsRef<str> + std::fmt::Debug>(
     problem: &dyn VqaProblem,
-    names: &[&str],
+    names: &[S],
     seed_base: u64,
     config: EqcConfig,
 ) -> TrainingReport {
@@ -91,6 +95,27 @@ pub fn train_ideal_baseline(problem: &dyn VqaProblem, config: EqcConfig) -> Trai
         .build()
         .and_then(|e| e.train_with(&SequentialExecutor::new(), problem))
         .unwrap_or_else(|e| panic!("ideal training failed: {e}"))
+}
+
+/// The shared fleet-scaling workload: `n` perturbed 5-qubit devices
+/// (every member inside the density-engine cap) from one pinned base
+/// list and seed, so the `fig_fleet` harness and the `fleet` criterion
+/// bench measure exactly the same fleet.
+///
+/// # Panics
+///
+/// Panics on any [`eqc_core::EqcError`] (harness-level fatal).
+pub fn fleet_ensemble(n: usize, config: EqcConfig) -> Ensemble {
+    let base: Vec<qdevice::DeviceSpec> = ["belem", "manila", "bogota", "quito", "lima"]
+        .iter()
+        .map(|name| qdevice::catalog::by_name(name).expect("catalog device"))
+        .collect();
+    Ensemble::builder()
+        .specs(qdevice::catalog::fleet(&base, n, 0xF1EE7))
+        .device_seed(11)
+        .config(config)
+        .build()
+        .unwrap_or_else(|e| panic!("fleet of {n} failed to build: {e}"))
 }
 
 /// A weight band literal for harness code.

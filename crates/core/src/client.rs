@@ -79,9 +79,13 @@ impl ClientNode {
             let (compact, logical_bits) = transpiled.compact_for_simulation()?;
             let active_physical = transpiled.active_qubits();
             // The transpiler must preserve parameter occurrences, or the
-            // shift rule would silently drop gradient terms.
+            // shift rule would silently drop gradient terms — and the
+            // pooled executor's deterministic lookahead classifies
+            // instant (zero-occurrence) tasks from the *un-transpiled*
+            // templates, so this invariant is load-bearing in release
+            // builds too (a hard assert, not a debug assert).
             for p in 0..template.num_params() {
-                debug_assert_eq!(
+                assert_eq!(
                     compact.occurrences_of(ParamId(p)).len(),
                     template.occurrences_of(ParamId(p)).len(),
                     "transpilation changed occurrence structure"
@@ -383,7 +387,7 @@ mod tests {
         let mut cal = spec.calibration();
         cal.degrade(0.01, 1.0); // ~100x cleaner
         QpuBackend::new(
-            spec.name,
+            &spec.name,
             spec.topology(),
             cal,
             qdevice::DriftModel::none(),

@@ -144,6 +144,65 @@ impl Default for EqcConfig {
     }
 }
 
+/// Configuration of the bounded worker pool behind
+/// [`PooledExecutor`](crate::PooledExecutor).
+///
+/// Defaults to one worker per hardware thread
+/// ([`std::thread::available_parallelism`]) and deterministic
+/// absorption, so the pool is a drop-in for the discrete-event executor
+/// on fleets of any width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Worker threads to spawn; `None` resolves to the machine's
+    /// available parallelism. Never more than one worker per client.
+    pub workers: Option<usize>,
+    /// When `true` (default), results are absorbed in the same
+    /// earliest-virtual-completion total order as the
+    /// [`DiscreteEventExecutor`](crate::DiscreteEventExecutor) — same
+    /// seed, byte-identical report. When `false`, results are absorbed
+    /// in arrival order (realistic, not reproducible), matching the
+    /// [`ThreadedExecutor`](crate::ThreadedExecutor)'s semantics.
+    pub deterministic: bool,
+}
+
+impl PoolConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`EqcError::InvalidConfig`] when an explicit worker count is
+    /// zero.
+    pub fn validate(&self) -> Result<(), EqcError> {
+        if self.workers == Some(0) {
+            return Err(EqcError::InvalidConfig(
+                "pool worker count must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The worker count the pool actually spawns for `n_clients`
+    /// clients: the configured (or detected) parallelism, capped at one
+    /// worker per client.
+    pub fn resolved_workers(&self, n_clients: usize) -> usize {
+        let hw = || {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+        };
+        self.workers.unwrap_or_else(hw).min(n_clients).max(1)
+    }
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: None,
+            deterministic: true,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,6 +231,32 @@ mod tests {
         assert_eq!(c.learning_rate, 0.2);
         assert!(c.weight_bounds.is_some());
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn pool_config_resolves_and_validates() {
+        let d = PoolConfig::default();
+        assert!(d.deterministic);
+        assert!(d.validate().is_ok());
+        assert!(d.resolved_workers(1000) >= 1);
+        assert!(
+            d.resolved_workers(2) <= 2,
+            "never more workers than clients"
+        );
+        let explicit = PoolConfig {
+            workers: Some(8),
+            deterministic: false,
+        };
+        assert_eq!(explicit.resolved_workers(256), 8);
+        assert_eq!(explicit.resolved_workers(3), 3);
+        assert!(matches!(
+            PoolConfig {
+                workers: Some(0),
+                ..Default::default()
+            }
+            .validate(),
+            Err(EqcError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -146,6 +146,7 @@ pub struct EnsembleBuilder {
 #[derive(Clone, Debug)]
 enum DeviceChoice {
     Named(String),
+    Spec(Box<qdevice::DeviceSpec>),
     Custom(Box<QpuBackend>),
     Ideal,
 }
@@ -165,6 +166,37 @@ impl EnsembleBuilder {
     {
         for name in names {
             self.devices.push(DeviceChoice::Named(name.into()));
+        }
+        self
+    }
+
+    /// Adds a device from an explicit spec — the entry point for
+    /// synthesized fleets ([`qdevice::catalog::fleet`]) and hand-tuned
+    /// variants. The device's noise stream is seeded like a named
+    /// catalog device (`device_seed + position`).
+    pub fn spec(mut self, spec: qdevice::DeviceSpec) -> Self {
+        self.devices.push(DeviceChoice::Spec(Box::new(spec)));
+        self
+    }
+
+    /// Adds several spec-described devices at once:
+    ///
+    /// ```
+    /// use eqc_core::{Ensemble, EqcConfig};
+    /// let base = qdevice::catalog::qaoa_devices();
+    /// let ensemble = Ensemble::builder()
+    ///     .specs(qdevice::catalog::fleet(&base, 64, 7))
+    ///     .config(EqcConfig::paper_qaoa().with_epochs(2))
+    ///     .build()?;
+    /// assert_eq!(ensemble.num_devices(), 64);
+    /// # Ok::<(), eqc_core::EqcError>(())
+    /// ```
+    pub fn specs<I>(mut self, specs: I) -> Self
+    where
+        I: IntoIterator<Item = qdevice::DeviceSpec>,
+    {
+        for spec in specs {
+            self.devices.push(DeviceChoice::Spec(Box::new(spec)));
         }
         self
     }
@@ -232,6 +264,9 @@ impl EnsembleBuilder {
                 DeviceChoice::Named(name) => {
                     let spec = qdevice::catalog::by_name(&name)
                         .ok_or_else(|| EqcError::UnknownDevice(name.clone()))?;
+                    Device::Backend(Box::new(spec.backend(device_seed + i as u64)))
+                }
+                DeviceChoice::Spec(spec) => {
                     Device::Backend(Box::new(spec.backend(device_seed + i as u64)))
                 }
                 DeviceChoice::Custom(backend) => Device::Backend(backend),

@@ -5,6 +5,7 @@
 //! ensembles, unknown catalog devices and transpilation failures all
 //! surface as values the caller can match on.
 
+use qdevice::DeviceError;
 use std::fmt;
 use transpile::TranspileError;
 
@@ -27,10 +28,19 @@ pub enum EqcError {
         /// The underlying transpiler error.
         source: TranspileError,
     },
+    /// A device description was invalid (drift episode, queue model or
+    /// multiprogramming configuration out of range).
+    Device(DeviceError),
     /// The session already ran; build a fresh session to train again.
     SessionConsumed,
     /// An internal invariant broke (e.g. a worker thread panicked).
     Internal(String),
+}
+
+impl From<DeviceError> for EqcError {
+    fn from(source: DeviceError) -> Self {
+        EqcError::Device(source)
+    }
 }
 
 impl fmt::Display for EqcError {
@@ -47,6 +57,7 @@ impl fmt::Display for EqcError {
             EqcError::Transpile { device, source } => {
                 write!(f, "transpilation failed for {device}: {source}")
             }
+            EqcError::Device(source) => write!(f, "invalid device description: {source}"),
             EqcError::SessionConsumed => {
                 write!(f, "session already trained; create a new session")
             }
@@ -59,6 +70,7 @@ impl std::error::Error for EqcError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EqcError::Transpile { source, .. } => Some(source),
+            EqcError::Device(source) => Some(source),
             _ => None,
         }
     }

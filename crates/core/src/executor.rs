@@ -8,7 +8,15 @@
 //! async / sharded / remote substrate is a new `impl Executor`, not a
 //! new trainer.
 //!
-//! Ships with three implementations:
+//! Ships with four implementations. The matrix that picks one:
+//!
+//! | Executor | Deterministic | Parallel | Scale (clients) |
+//! |---|---|---|---|
+//! | [`DiscreteEventExecutor`] | yes (byte-identical per seed) | no (one thread) | any, serially |
+//! | [`ThreadedExecutor`] | no (arrival order) | yes | one OS thread **per client** — fine to a few dozen |
+//! | [`PooledExecutor`] `deterministic(true)` | yes (byte-identical to DES) | yes (bounded pool) | 100–1000+ |
+//! | [`PooledExecutor`] `deterministic(false)` | no (arrival order) | yes (bounded pool) | 100–1000+ |
+//! | [`SequentialExecutor`] | yes | no (barrier per parameter) | baseline / ablation |
 //!
 //! * [`DiscreteEventExecutor`] — the default: a deterministic
 //!   discrete-event loop over virtual completion times (reproducible
@@ -16,6 +24,11 @@
 //! * [`ThreadedExecutor`] — one OS thread per client with channel-based
 //!   task/result exchange (the paper's Ray.io analogue; arrival order is
 //!   decided by the scheduler, so runs are realistic, not reproducible);
+//! * [`PooledExecutor`] (see [`crate::pool`]) — any number of clients
+//!   multiplexed over a bounded worker pool with sharded run-queues and
+//!   work stealing; deterministic mode replays the discrete-event total
+//!   order exactly, so fleet-scale ensembles (see
+//!   [`qdevice::catalog::fleet`]) stay reproducible;
 //! * [`SequentialExecutor`] — barrier-synchronized dispatch that
 //!   subsumes the paper's single-machine baseline (one client: ordinary
 //!   sequential SGD) and the synchronous-ensemble ablation (many
@@ -24,6 +37,7 @@
 use crate::ensemble::EnsembleSession;
 use crate::error::EqcError;
 use crate::master::Assignment;
+pub use crate::pool::PooledExecutor;
 use crate::report::TrainingReport;
 use qdevice::SimTime;
 use std::cmp::Ordering;
@@ -51,13 +65,15 @@ pub trait Executor {
 }
 
 /// A completed task waiting in the event queue, ordered by completion
-/// time (earliest first).
-struct Event {
-    completed: SimTime,
-    client: usize,
-    result: ClientTaskResult,
-    cycle: usize,
-    dispatched_at_update: u64,
+/// time (earliest first). The same total order drives the
+/// [`DiscreteEventExecutor`] heap and the [`PooledExecutor`]'s
+/// deterministic absorption queue.
+pub(crate) struct Event {
+    pub(crate) completed: SimTime,
+    pub(crate) client: usize,
+    pub(crate) result: ClientTaskResult,
+    pub(crate) cycle: usize,
+    pub(crate) dispatched_at_update: u64,
 }
 
 impl PartialEq for Event {
@@ -222,43 +238,59 @@ impl Executor for ThreadedExecutor {
             }
             drop(result_tx);
 
-            let (_, master) = session.split_mut();
-            for tx in &task_txs {
-                tx.send(master.next_assignment())
-                    .map_err(|_| EqcError::Internal("client thread exited early".into()))?;
-            }
-            while !master.is_complete() {
-                let tr = result_rx
-                    .recv()
-                    .map_err(|_| EqcError::Internal("all client threads exited".into()))?;
-                master.absorb(
-                    tr.client,
-                    tr.cycle,
-                    tr.dispatched_at_update,
-                    &tr.result,
-                    problem,
-                );
-                if master.is_complete() {
-                    break;
+            // The master protocol runs in an inner closure so that a
+            // failure (a client thread panicking or exiting early) still
+            // falls through to the unconditional shutdown + join below:
+            // every surviving client is recovered on every path, and no
+            // handle is left unjoined for `thread::scope` to re-panic on.
+            let mut drive = || -> Result<(), EqcError> {
+                let (_, master) = session.split_mut();
+                for tx in &task_txs {
+                    tx.send(master.next_assignment())
+                        .map_err(|_| EqcError::Internal("client thread exited early".into()))?;
                 }
-                task_txs[tr.client]
-                    .send(master.next_assignment())
-                    .map_err(|_| EqcError::Internal("client thread exited early".into()))?;
-            }
+                while !master.is_complete() {
+                    let tr = result_rx
+                        .recv()
+                        .map_err(|_| EqcError::Internal("all client threads exited".into()))?;
+                    master.absorb(
+                        tr.client,
+                        tr.cycle,
+                        tr.dispatched_at_update,
+                        &tr.result,
+                        problem,
+                    );
+                    if master.is_complete() {
+                        break;
+                    }
+                    task_txs[tr.client]
+                        .send(master.next_assignment())
+                        .map_err(|_| EqcError::Internal("client thread exited early".into()))?;
+                }
+                Ok(())
+            };
+            let driven = drive();
 
             // Shut the clients down and take them back for reporting.
             drop(task_txs);
+            let mut join_failure = None;
             for (i, h) in handles.into_iter().enumerate() {
-                let client = h
-                    .join()
-                    .map_err(|_| EqcError::Internal(format!("client thread {i} panicked")))?;
-                returned[i] = Some(client);
+                match h.join() {
+                    Ok(client) => returned[i] = Some(client),
+                    Err(_) => {
+                        join_failure =
+                            Some(EqcError::Internal(format!("client thread {i} panicked")));
+                    }
+                }
             }
-            Ok(())
+            driven.and(join_failure.map_or(Ok(()), Err))
         });
+
+        // Hand back whatever clients were recovered before surfacing any
+        // failure, so an errored session is not left permanently empty.
+        session.put_clients(returned.into_iter().flatten().collect());
         outcome?;
 
-        session.put_clients(returned.into_iter().flatten().collect());
         let label = format!("eqc-threaded[{n}]");
         Ok(session.finish(label))
     }

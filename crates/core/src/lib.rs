@@ -43,6 +43,10 @@
 //!
 //! * [`DiscreteEventExecutor`] — deterministic virtual time (default);
 //! * [`ThreadedExecutor`] — one OS thread per client (Ray.io analogue);
+//! * [`PooledExecutor`] — any number of clients over a bounded worker
+//!   pool; deterministic mode is byte-identical to the discrete-event
+//!   executor, which makes 100–1000 client fleets
+//!   ([`qdevice::catalog::fleet`]) reproducible *and* parallel;
 //! * [`SequentialExecutor`] — the single-device baseline and the
 //!   synchronous-ensemble ablation.
 //!
@@ -52,7 +56,9 @@
 //! ## Modules
 //!
 //! * [`ensemble`] — the builder/session surface;
-//! * [`executor`] — the [`Executor`] trait and its three substrates;
+//! * [`executor`] — the [`Executor`] trait and its substrates;
+//! * [`pool`] — the bounded worker-pool substrate behind
+//!   [`PooledExecutor`];
 //! * [`master`] — the shared master loop (Algorithm 1);
 //! * [`client`] — the client node (Algorithm 2): transpile once, serve
 //!   batched shift-rule jobs, report gradients + `P_correct`;
@@ -74,6 +80,7 @@ pub mod ensemble;
 pub mod error;
 pub mod executor;
 pub mod master;
+pub mod pool;
 pub mod report;
 pub mod stats;
 pub mod threaded;
@@ -81,13 +88,14 @@ pub mod trainer;
 pub mod weighting;
 
 pub use client::{ClientNode, ClientTaskResult};
-pub use config::EqcConfig;
+pub use config::{EqcConfig, PoolConfig};
 pub use convergence::ConvergenceParams;
 pub use ensemble::{Ensemble, EnsembleBuilder, EnsembleSession};
 pub use error::EqcError;
 pub use executor::{DiscreteEventExecutor, Executor, SequentialExecutor, ThreadedExecutor};
 pub use master::{Assignment, MasterLoop};
-pub use report::{ClientStats, EpochRecord, TrainingReport, WeightSample};
+pub use pool::PooledExecutor;
+pub use report::{ClientStats, EpochRecord, PoolTelemetry, TrainingReport, WeightSample};
 pub use trainer::ideal_backend;
 pub use weighting::{normalize_weights, p_correct, WeightBounds};
 

@@ -1,0 +1,604 @@
+//! The bounded worker-pool executor: fleet-scale ensembles without
+//! fleet-scale threads.
+//!
+//! [`ThreadedExecutor`](crate::ThreadedExecutor) is the paper's
+//! Ray.io-actor analogue — one OS thread per client — which stops
+//! scaling at a few dozen clients. [`PooledExecutor`] multiplexes *any*
+//! number of clients over a bounded pool (default:
+//! [`std::thread::available_parallelism`] workers), so the 100–1000
+//! client fleets of [`qdevice::catalog::fleet`] train with the thread
+//! footprint of a laptop.
+//!
+//! ## Architecture
+//!
+//! * **Sharded run-queue** — dispatched tasks land on the shard of
+//!   their client (`client % workers`), so a client's jobs tend to stay
+//!   on one worker (warm compiled-template and engine-scratch caches).
+//!   Idle workers steal from the deepest foreign shard; the
+//!   [`PoolTelemetry`] counters (`workers_spawned`, `queue_depth_max`,
+//!   `tasks_stolen`) expose the pool's behaviour after a run.
+//! * **Clients behind mutexes** — the coordinator keeps at most one
+//!   task per client in flight, so the per-client locks are never
+//!   contended; they exist to let any worker execute any client's task.
+//! * **Two absorption policies** — see below.
+//!
+//! ## Deterministic mode (default)
+//!
+//! With [`PoolConfig::deterministic`] set, results are absorbed in
+//! exactly the [`DiscreteEventExecutor`](crate::DiscreteEventExecutor)
+//! total order — earliest virtual completion first, client id breaking
+//! ties (the same [`Event`] heap) — and each absorb immediately
+//! re-dispatches the freed client, exactly as Algorithm 1 does. The
+//! report is therefore **byte-identical** to the discrete-event
+//! executor's (including the `eqc[n]` trainer label); only wall-clock
+//! and the pool telemetry differ.
+//!
+//! Parallelism and exact ordering coexist through conservative
+//! lookahead, the classic discrete-event trick: a task dispatched at
+//! virtual time `t` on a device with queue model `q` cannot complete
+//! before `t + 0.8·q.wait(t) + q.overhead` (0.8 is the jitter floor,
+//! and execution time is strictly positive), so any event already in
+//! the heap that precedes every in-flight task's bound is safe to
+//! absorb without waiting. In the common regime — many devices with
+//! comparable latencies — the heap always holds events below the
+//! bounds, workers stay saturated, and the coordinator never blocks
+//! except at the tail.
+//!
+//! ## Arrival mode
+//!
+//! With `deterministic(false)` results are absorbed in arrival order,
+//! matching the [`ThreadedExecutor`](crate::ThreadedExecutor)'s
+//! realistic-but-irreproducible semantics (per-client virtual-time
+//! cursors, label `eqc-pooled[n]`).
+
+use crate::client::{ClientNode, ClientTaskResult};
+use crate::config::PoolConfig;
+use crate::ensemble::EnsembleSession;
+use crate::error::EqcError;
+use crate::executor::{Event, Executor};
+use crate::master::Assignment;
+use crate::report::{PoolTelemetry, TrainingReport};
+use qdevice::{QueueModel, SimTime};
+use std::collections::{BinaryHeap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Condvar, Mutex};
+use std::thread;
+use vqa::VqaProblem;
+
+/// One dispatched task travelling through the run-queue.
+struct PoolTask {
+    client: usize,
+    assignment: Assignment,
+    submit: SimTime,
+}
+
+/// A finished task travelling back to the coordinator.
+struct TaskDone {
+    client: usize,
+    result: ClientTaskResult,
+    cycle: usize,
+    dispatched_at_update: u64,
+}
+
+/// Worker-to-coordinator protocol.
+enum WorkerMsg {
+    Done(TaskDone),
+    Panicked(usize),
+}
+
+/// All mutable run-queue state, guarded by one mutex: queue operations
+/// are microseconds against task executions of milliseconds, so a
+/// single lock is uncontended in practice and keeps the
+/// steal/shutdown/drain invariants trivially correct.
+struct ShardState {
+    queues: Vec<VecDeque<PoolTask>>,
+    queued: usize,
+    shutdown: bool,
+    depth_max: usize,
+    stolen: u64,
+}
+
+/// The sharded run-queue shared by the coordinator and every worker.
+struct RunQueue {
+    state: Mutex<ShardState>,
+    signal: Condvar,
+}
+
+impl RunQueue {
+    fn new(workers: usize) -> Self {
+        RunQueue {
+            state: Mutex::new(ShardState {
+                queues: (0..workers).map(|_| VecDeque::new()).collect(),
+                queued: 0,
+                shutdown: false,
+                depth_max: 0,
+                stolen: 0,
+            }),
+            signal: Condvar::new(),
+        }
+    }
+
+    /// Queues a task on its client's home shard.
+    fn push(&self, task: PoolTask) {
+        let mut s = self.state.lock().expect("run-queue lock");
+        let shard = task.client % s.queues.len();
+        s.queues[shard].push_back(task);
+        s.queued += 1;
+        s.depth_max = s.depth_max.max(s.queued);
+        self.signal.notify_one();
+    }
+
+    /// Blocks for the next task: own shard first, else steal from the
+    /// deepest foreign shard. Returns `None` only after [`Self::close`]
+    /// **and** a fully drained queue — every dispatched task executes,
+    /// which the deterministic mode's client-counter equivalence relies
+    /// on.
+    fn pop(&self, worker: usize) -> Option<PoolTask> {
+        let mut s = self.state.lock().expect("run-queue lock");
+        loop {
+            if s.queued > 0 {
+                if let Some(t) = s.queues[worker].pop_front() {
+                    s.queued -= 1;
+                    return Some(t);
+                }
+                let victim = (0..s.queues.len())
+                    .filter(|&i| i != worker)
+                    .max_by_key(|&i| s.queues[i].len())
+                    .expect("queued > 0 implies a non-empty shard");
+                let t = s.queues[victim]
+                    .pop_back()
+                    .expect("deepest shard is non-empty under the lock");
+                s.queued -= 1;
+                s.stolen += 1;
+                return Some(t);
+            }
+            if s.shutdown {
+                return None;
+            }
+            s = self.signal.wait(s).expect("run-queue lock");
+        }
+    }
+
+    /// Signals workers to exit once the queue drains.
+    fn close(&self) {
+        self.state.lock().expect("run-queue lock").shutdown = true;
+        self.signal.notify_all();
+    }
+
+    fn counters(&self) -> (usize, u64) {
+        let s = self.state.lock().expect("run-queue lock");
+        (s.depth_max, s.stolen)
+    }
+}
+
+/// What the coordinator knows about one in-flight task's eventual
+/// virtual completion time.
+#[derive(Clone, Copy, Debug)]
+enum InflightBound {
+    /// Completion is strictly later than this many virtual seconds
+    /// (normal tasks: queue-wait floor plus overhead, execution still to
+    /// come).
+    Above(f64),
+    /// Completion is exactly this many virtual seconds (a task whose
+    /// parameter is absent from the circuit returns at its submit time
+    /// without touching the device).
+    Exactly(f64),
+}
+
+/// Whether heap event `(completed, client)` precedes every completion
+/// the bound still allows, under the [`Event`] total order.
+fn precedes(completed: f64, client: usize, bound: InflightBound, bound_client: usize) -> bool {
+    match bound {
+        // Strict `<`: do not lean on execution time being non-zero.
+        InflightBound::Above(lb) => completed < lb,
+        InflightBound::Exactly(t) => completed < t || (completed == t && client < bound_client),
+    }
+}
+
+/// A fourth [`Executor`]: a bounded worker pool with a sharded,
+/// work-stealing run-queue (see the [module docs](self)).
+///
+/// ```
+/// use eqc_core::{Ensemble, EqcConfig, PooledExecutor};
+/// use vqa::QaoaProblem;
+///
+/// let problem = QaoaProblem::maxcut_ring4();
+/// let ensemble = Ensemble::builder()
+///     .device("belem")
+///     .device("manila")
+///     .config(EqcConfig::paper_qaoa().with_epochs(2).with_shots(128))
+///     .build()?;
+/// let pooled = PooledExecutor::new(); // deterministic by default
+/// let a = ensemble.train_with(&pooled, &problem)?;
+/// let b = ensemble.train(&problem)?; // discrete-event executor
+/// assert_eq!(a, b, "deterministic pool replays the DES order exactly");
+/// assert!(pooled.telemetry().expect("ran").workers_spawned <= 2);
+/// # Ok::<(), eqc_core::EqcError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct PooledExecutor {
+    config: PoolConfig,
+    telemetry: Mutex<Option<PoolTelemetry>>,
+}
+
+impl PooledExecutor {
+    /// Creates the executor with [`PoolConfig::default`] (deterministic,
+    /// one worker per hardware thread).
+    pub fn new() -> Self {
+        Self::with_config(PoolConfig::default())
+    }
+
+    /// Creates the executor with an explicit configuration (validated
+    /// when [`Executor::run`] is called).
+    pub fn with_config(config: PoolConfig) -> Self {
+        PooledExecutor {
+            config,
+            telemetry: Mutex::new(None),
+        }
+    }
+
+    /// Overrides the worker count (builder style).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = Some(workers);
+        self
+    }
+
+    /// Selects deterministic (discrete-event-identical) or arrival-order
+    /// absorption (builder style).
+    pub fn deterministic(mut self, on: bool) -> Self {
+        self.config.deterministic = on;
+        self
+    }
+
+    /// The pool counters of the most recent [`Executor::run`] on this
+    /// executor, or `None` before the first run.
+    pub fn telemetry(&self) -> Option<PoolTelemetry> {
+        *self.telemetry.lock().expect("telemetry lock")
+    }
+
+    /// Completion bound for a task dispatched to `client` at `submit`.
+    fn bound_for(queue: &QueueModel, submit: SimTime, instant: bool) -> InflightBound {
+        if instant {
+            InflightBound::Exactly(submit.as_secs())
+        } else {
+            // `QpuBackend::start_time` waits at least
+            // `0.8 * wait_s(submit) + overhead_s` after submission, and
+            // execution only adds to that.
+            InflightBound::Above(submit.as_secs() + 0.8 * queue.wait_s(submit) + queue.overhead_s)
+        }
+    }
+
+    /// Whether `assignment` will return instantly (its parameter does
+    /// not occur in the slice's circuits, so clients skip the device —
+    /// see [`ClientNode::run_task`]). Transpilation preserves occurrence
+    /// structure, so this is client-independent.
+    fn is_instant(problem: &dyn VqaProblem, assignment: &Assignment) -> bool {
+        let templates = problem.slice_templates(assignment.task.slice);
+        templates.first().is_none_or(|&t| {
+            problem.templates()[t]
+                .occurrences_of(assignment.task.param)
+                .is_empty()
+        })
+    }
+}
+
+impl Executor for PooledExecutor {
+    fn run(&self, session: &mut EnsembleSession<'_>) -> Result<TrainingReport, EqcError> {
+        self.config.validate()?;
+        session.begin()?;
+        let problem = session.problem();
+        let cfg = session.config();
+        let n = session.num_clients();
+        let workers = self.config.resolved_workers(n);
+        let deterministic = self.config.deterministic;
+
+        let taken = session.take_clients();
+        let queue_models: Vec<QueueModel> =
+            taken.iter().map(|c| c.backend().queue().clone()).collect();
+        let clients: Vec<Mutex<ClientNode>> = taken.into_iter().map(Mutex::new).collect();
+        let runq = RunQueue::new(workers);
+        let (result_tx, result_rx) = mpsc::channel::<WorkerMsg>();
+
+        let outcome: Result<(), EqcError> = thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let result_tx = result_tx.clone();
+                let (runq, clients) = (&runq, &clients);
+                let shots = cfg.shots;
+                handles.push(scope.spawn(move || {
+                    while let Some(task) = runq.pop(w) {
+                        let client = task.client;
+                        let ran = catch_unwind(AssertUnwindSafe(|| {
+                            let mut node = clients[client]
+                                .lock()
+                                .unwrap_or_else(|_| panic!("client {client} poisoned"));
+                            node.run_task(
+                                problem,
+                                task.assignment.task,
+                                &task.assignment.params,
+                                shots,
+                                task.submit,
+                            )
+                        }));
+                        let msg = match ran {
+                            Ok(result) => WorkerMsg::Done(TaskDone {
+                                client,
+                                result,
+                                cycle: task.assignment.cycle,
+                                dispatched_at_update: task.assignment.dispatched_at_update,
+                            }),
+                            Err(_) => WorkerMsg::Panicked(client),
+                        };
+                        // The coordinator may already have failed and
+                        // stopped listening; keep draining regardless so
+                        // every dispatched task executes.
+                        let _ = result_tx.send(msg);
+                    }
+                }));
+            }
+            drop(result_tx);
+
+            let driven = if deterministic {
+                drive_deterministic(session, problem, &queue_models, &runq, &result_rx)
+            } else {
+                drive_arrival(session, &runq, &result_rx, n)
+            };
+
+            runq.close();
+            let mut join_failure = None;
+            for (w, h) in handles.into_iter().enumerate() {
+                if h.join().is_err() {
+                    join_failure = Some(EqcError::Internal(format!("pool worker {w} panicked")));
+                }
+            }
+            driven.and(join_failure.map_or(Ok(()), Err))
+        });
+
+        // Every client comes back on every path — poisoned mutexes still
+        // surrender their client — so an errored session keeps its fleet.
+        session.put_clients(
+            clients
+                .into_iter()
+                .map(|m| m.into_inner().unwrap_or_else(|p| p.into_inner()))
+                .collect(),
+        );
+        let (queue_depth_max, tasks_stolen) = runq.counters();
+        *self.telemetry.lock().expect("telemetry lock") = Some(PoolTelemetry {
+            workers_spawned: workers,
+            queue_depth_max,
+            tasks_stolen,
+        });
+        outcome?;
+
+        // Deterministic runs are byte-identical to the discrete-event
+        // executor, trainer label included; arrival runs carry their own.
+        let label = if deterministic {
+            format!("eqc[{n}]")
+        } else {
+            format!("eqc-pooled[{n}]")
+        };
+        Ok(session.finish(label))
+    }
+}
+
+/// The deterministic coordinator: replays the discrete-event absorb
+/// order exactly (see the module docs for the lookahead argument).
+fn drive_deterministic(
+    session: &mut EnsembleSession<'_>,
+    problem: &dyn VqaProblem,
+    queue_models: &[QueueModel],
+    runq: &RunQueue,
+    result_rx: &mpsc::Receiver<WorkerMsg>,
+) -> Result<(), EqcError> {
+    let n = queue_models.len();
+    let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+    let mut bounds: Vec<Option<InflightBound>> = vec![None; n];
+    let mut in_flight = 0usize;
+    let (_, master) = session.split_mut();
+
+    let dispatch = |client: usize,
+                    submit: SimTime,
+                    master: &mut crate::master::MasterLoop,
+                    bounds: &mut Vec<Option<InflightBound>>,
+                    in_flight: &mut usize| {
+        let assignment = master.next_assignment();
+        let instant = PooledExecutor::is_instant(problem, &assignment);
+        bounds[client] = Some(PooledExecutor::bound_for(
+            &queue_models[client],
+            submit,
+            instant,
+        ));
+        *in_flight += 1;
+        runq.push(PoolTask {
+            client,
+            assignment,
+            submit,
+        });
+    };
+
+    // Prime every client with one task, in client order — exactly the
+    // discrete-event executor's prime loop.
+    for c in 0..n {
+        dispatch(c, SimTime::ZERO, master, &mut bounds, &mut in_flight);
+    }
+
+    while !master.is_complete() {
+        let safe = heap.peek().is_some_and(|ev| {
+            bounds.iter().enumerate().all(|(c, b)| match b {
+                Some(bound) => precedes(ev.completed.as_secs(), ev.client, *bound, c),
+                None => true,
+            })
+        });
+        if safe {
+            let ev = heap.pop().expect("peeked above");
+            master.absorb(
+                ev.client,
+                ev.cycle,
+                ev.dispatched_at_update,
+                &ev.result,
+                problem,
+            );
+            if master.is_complete() {
+                break;
+            }
+            // Algorithm 1: the freed client immediately receives the
+            // next task at the master's current virtual time.
+            dispatch(ev.client, master.now(), master, &mut bounds, &mut in_flight);
+        } else if in_flight > 0 {
+            match result_rx.recv() {
+                Ok(WorkerMsg::Done(done)) => {
+                    bounds[done.client] = None;
+                    in_flight -= 1;
+                    heap.push(Event {
+                        completed: done.result.completed,
+                        client: done.client,
+                        result: done.result,
+                        cycle: done.cycle,
+                        dispatched_at_update: done.dispatched_at_update,
+                    });
+                }
+                Ok(WorkerMsg::Panicked(client)) => {
+                    return Err(EqcError::Internal(format!(
+                        "pool task for client {client} panicked"
+                    )));
+                }
+                Err(_) => {
+                    return Err(EqcError::Internal("pool workers exited early".into()));
+                }
+            }
+        } else {
+            return Err(EqcError::Internal(
+                "event queue drained before the epoch budget".into(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The arrival-order coordinator: [`ThreadedExecutor`] semantics
+/// (absorb as results land, per-client virtual-time cursors) over the
+/// bounded pool.
+///
+/// [`ThreadedExecutor`]: crate::ThreadedExecutor
+fn drive_arrival(
+    session: &mut EnsembleSession<'_>,
+    runq: &RunQueue,
+    result_rx: &mpsc::Receiver<WorkerMsg>,
+    n: usize,
+) -> Result<(), EqcError> {
+    let problem = session.problem();
+    let mut local_time = vec![SimTime::ZERO; n];
+    let (_, master) = session.split_mut();
+    for client in 0..n {
+        runq.push(PoolTask {
+            client,
+            assignment: master.next_assignment(),
+            submit: SimTime::ZERO,
+        });
+    }
+    while !master.is_complete() {
+        match result_rx.recv() {
+            Ok(WorkerMsg::Done(done)) => {
+                local_time[done.client] = done.result.completed;
+                master.absorb(
+                    done.client,
+                    done.cycle,
+                    done.dispatched_at_update,
+                    &done.result,
+                    problem,
+                );
+                if master.is_complete() {
+                    break;
+                }
+                runq.push(PoolTask {
+                    client: done.client,
+                    assignment: master.next_assignment(),
+                    submit: local_time[done.client],
+                });
+            }
+            Ok(WorkerMsg::Panicked(client)) => {
+                return Err(EqcError::Internal(format!(
+                    "pool task for client {client} panicked"
+                )));
+            }
+            Err(_) => return Err(EqcError::Internal("pool workers exited early".into())),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EqcConfig;
+    use crate::ensemble::Ensemble;
+    use vqa::QaoaProblem;
+
+    fn small_ensemble(names: &[&str], epochs: usize) -> Ensemble {
+        Ensemble::builder()
+            .devices(names.iter().copied())
+            .device_seed(100)
+            .config(EqcConfig::paper_qaoa().with_epochs(epochs).with_shots(256))
+            .build()
+            .expect("catalog devices")
+    }
+
+    #[test]
+    fn precedes_respects_the_event_total_order() {
+        // Strictly-later bounds admit strictly-earlier events only.
+        assert!(precedes(5.0, 9, InflightBound::Above(10.0), 0));
+        assert!(!precedes(10.0, 0, InflightBound::Above(10.0), 9));
+        // Exact bounds tie-break on client id like the heap does.
+        assert!(precedes(10.0, 1, InflightBound::Exactly(10.0), 2));
+        assert!(!precedes(10.0, 3, InflightBound::Exactly(10.0), 2));
+        assert!(precedes(9.0, 7, InflightBound::Exactly(10.0), 2));
+    }
+
+    #[test]
+    fn deterministic_pool_matches_discrete_event_byte_for_byte() {
+        let problem = QaoaProblem::maxcut_ring4();
+        let ensemble = small_ensemble(&["belem", "manila", "bogota"], 5);
+        let des = ensemble.train(&problem).expect("trains");
+        let pooled_exec = PooledExecutor::new().workers(3);
+        let pooled = ensemble.train_with(&pooled_exec, &problem).expect("trains");
+        assert_eq!(des, pooled, "structurally identical reports");
+        assert_eq!(format!("{des:?}"), format!("{pooled:?}"), "byte-identical");
+        let t = pooled_exec.telemetry().expect("ran");
+        assert_eq!(t.workers_spawned, 3);
+        assert!(t.queue_depth_max >= 1);
+    }
+
+    #[test]
+    fn single_worker_pool_is_still_deterministic_and_identical() {
+        let problem = QaoaProblem::maxcut_ring4();
+        let ensemble = small_ensemble(&["belem", "manila"], 4);
+        let des = ensemble.train(&problem).expect("trains");
+        let pooled = ensemble
+            .train_with(&PooledExecutor::new().workers(1), &problem)
+            .expect("trains");
+        assert_eq!(des, pooled);
+    }
+
+    #[test]
+    fn arrival_mode_trains_every_client() {
+        let problem = QaoaProblem::maxcut_ring4();
+        let ensemble = small_ensemble(&["belem", "manila", "bogota"], 6);
+        let exec = PooledExecutor::new().deterministic(false).workers(2);
+        let report = ensemble.train_with(&exec, &problem).expect("trains");
+        assert_eq!(report.epochs, 6);
+        assert!(report.trainer.starts_with("eqc-pooled"));
+        for c in &report.clients {
+            assert!(c.tasks_completed > 0, "{} idle", c.device);
+        }
+    }
+
+    #[test]
+    fn zero_workers_is_a_typed_error() {
+        let problem = QaoaProblem::maxcut_ring4();
+        let ensemble = small_ensemble(&["belem"], 1);
+        let err = ensemble
+            .train_with(&PooledExecutor::new().workers(0), &problem)
+            .unwrap_err();
+        assert!(matches!(err, EqcError::InvalidConfig(_)), "{err:?}");
+    }
+}

@@ -37,6 +37,36 @@ pub struct ClientStats {
     pub utilization: f64,
 }
 
+/// Substrate-side counters of one [`PooledExecutor`](crate::PooledExecutor)
+/// run.
+///
+/// Telemetry lives beside the [`TrainingReport`] rather than inside it:
+/// the report describes the *training*, which the deterministic pool
+/// reproduces byte-for-byte against the discrete-event executor, while
+/// these counters describe the *machinery* (and legitimately vary with
+/// core count and scheduling). Read them with
+/// [`PooledExecutor::telemetry`](crate::PooledExecutor::telemetry).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolTelemetry {
+    /// OS worker threads the pool spawned (bounded by the configured or
+    /// detected parallelism — never one per client).
+    pub workers_spawned: usize,
+    /// High-water mark of tasks queued across every shard at once.
+    pub queue_depth_max: usize,
+    /// Tasks executed by a worker other than their home shard's owner.
+    pub tasks_stolen: u64,
+}
+
+impl fmt::Display for PoolTelemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} workers, queue depth <= {}, {} stolen",
+            self.workers_spawned, self.queue_depth_max, self.tasks_stolen
+        )
+    }
+}
+
 /// One weight-trace sample: the ensemble's weights at a virtual time.
 #[derive(Clone, Debug, PartialEq)]
 pub struct WeightSample {

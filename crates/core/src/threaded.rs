@@ -54,7 +54,7 @@ mod tests {
                 let mut cal = spec.calibration();
                 cal.degrade(0.05, 1.0);
                 let backend = QpuBackend::new(
-                    spec.name,
+                    &spec.name,
                     spec.topology(),
                     cal,
                     DriftModel::none(),

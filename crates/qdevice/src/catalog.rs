@@ -14,6 +14,8 @@ use crate::backend::QpuBackend;
 use crate::calibration::Calibration;
 use crate::drift::DriftModel;
 use crate::queue::QueueModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use transpile::Topology;
 
 /// Which Table I topology class a device belongs to.
@@ -47,8 +49,9 @@ impl TopologyClass {
 /// Static description of one IBMQ device plus its simulation parameters.
 #[derive(Clone, Debug, PartialEq)]
 pub struct DeviceSpec {
-    /// Short name used throughout reports (e.g. `"bogota"`).
-    pub name: &'static str,
+    /// Short name used throughout reports (e.g. `"bogota"` for catalog
+    /// entries, `"bogota-f017"` for [`fleet`]-synthesized devices).
+    pub name: String,
     /// Table I qubit count.
     pub qubits: usize,
     /// Table I processor family.
@@ -113,10 +116,19 @@ impl DeviceSpec {
     }
 
     /// Builds the drift model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec carries a malformed episode window; catalog
+    /// and [`fleet`] specs are valid by construction, so this only fires
+    /// on hand-built specs (validate those through
+    /// [`DriftModel::with_episode`] directly).
     pub fn drift(&self) -> DriftModel {
         let mut d = DriftModel::linear(self.drift_error_per_hour, self.drift_coherence_per_hour);
         if let Some((s, e, f)) = self.episode {
-            d = d.with_episode(s, e, f);
+            d = d
+                .with_episode(s, e, f)
+                .unwrap_or_else(|err| panic!("device spec {}: {err}", self.name));
         }
         d
     }
@@ -129,7 +141,7 @@ impl DeviceSpec {
     /// Instantiates a ready-to-use backend with the given RNG seed.
     pub fn backend(&self, seed: u64) -> QpuBackend {
         QpuBackend::new(
-            self.name,
+            &self.name,
             self.topology(),
             self.calibration(),
             self.drift(),
@@ -144,7 +156,7 @@ impl DeviceSpec {
 pub fn catalog() -> Vec<DeviceSpec> {
     vec![
         DeviceSpec {
-            name: "lima",
+            name: "lima".into(),
             qubits: 5,
             processor: "Falcon r4T",
             quantum_volume: 8,
@@ -162,7 +174,7 @@ pub fn catalog() -> Vec<DeviceSpec> {
             episode: None,
         },
         DeviceSpec {
-            name: "x2",
+            name: "x2".into(),
             qubits: 5,
             processor: "Falcon r4T",
             quantum_volume: 8,
@@ -182,7 +194,7 @@ pub fn catalog() -> Vec<DeviceSpec> {
             episode: None,
         },
         DeviceSpec {
-            name: "belem",
+            name: "belem".into(),
             qubits: 5,
             processor: "Falcon r4T",
             quantum_volume: 16,
@@ -200,7 +212,7 @@ pub fn catalog() -> Vec<DeviceSpec> {
             episode: None,
         },
         DeviceSpec {
-            name: "quito",
+            name: "quito".into(),
             qubits: 5,
             processor: "Falcon r4T",
             quantum_volume: 16,
@@ -218,7 +230,7 @@ pub fn catalog() -> Vec<DeviceSpec> {
             episode: None,
         },
         DeviceSpec {
-            name: "manila",
+            name: "manila".into(),
             qubits: 5,
             processor: "Falcon r5.11L",
             quantum_volume: 32,
@@ -236,7 +248,7 @@ pub fn catalog() -> Vec<DeviceSpec> {
             episode: None,
         },
         DeviceSpec {
-            name: "santiago",
+            name: "santiago".into(),
             qubits: 5,
             processor: "Falcon r4L",
             quantum_volume: 16,
@@ -256,7 +268,7 @@ pub fn catalog() -> Vec<DeviceSpec> {
             episode: None,
         },
         DeviceSpec {
-            name: "bogota",
+            name: "bogota".into(),
             qubits: 5,
             processor: "Falcon r4L",
             quantum_volume: 32,
@@ -274,7 +286,7 @@ pub fn catalog() -> Vec<DeviceSpec> {
             episode: None,
         },
         DeviceSpec {
-            name: "lagos",
+            name: "lagos".into(),
             qubits: 7,
             processor: "Falcon r5.11H",
             quantum_volume: 32,
@@ -292,7 +304,7 @@ pub fn catalog() -> Vec<DeviceSpec> {
             episode: None,
         },
         DeviceSpec {
-            name: "casablanca",
+            name: "casablanca".into(),
             qubits: 7,
             processor: "Falcon r4H",
             quantum_volume: 32,
@@ -312,7 +324,7 @@ pub fn catalog() -> Vec<DeviceSpec> {
             episode: Some((20.0, 32.0, 6.0)),
         },
         DeviceSpec {
-            name: "toronto",
+            name: "toronto".into(),
             qubits: 27,
             processor: "Falcon r4",
             quantum_volume: 32,
@@ -332,7 +344,7 @@ pub fn catalog() -> Vec<DeviceSpec> {
             episode: None,
         },
         DeviceSpec {
-            name: "manhattan",
+            name: "manhattan".into(),
             qubits: 65,
             processor: "Falcon r4",
             quantum_volume: 32,
@@ -396,6 +408,57 @@ pub fn qaoa_devices() -> Vec<DeviceSpec> {
     names
         .iter()
         .map(|n| by_name(n).expect("catalog device"))
+        .collect()
+}
+
+/// Synthesizes a fleet of `n` perturbed virtual devices from the given
+/// base specs — the workload axis for ensembles far wider than the
+/// paper's ten QPUs (its Section VII "scale the ensemble" direction and
+/// the equi-ensemble follow-ups that keep widening the fleet).
+///
+/// Device `i` inherits the topology and qubit count of
+/// `base_specs[i % base_specs.len()]` and draws its own calibration
+/// baseline, queue congestion profile, drift rates and (occasionally) a
+/// destabilization episode from a generator seeded only by `seed` — the
+/// same `(base_specs, n, seed)` always yields the same fleet, so
+/// fleet-scale runs replay exactly like catalog runs.
+///
+/// Returns an empty vector when `base_specs` is empty or `n` is zero.
+pub fn fleet(base_specs: &[DeviceSpec], n: usize, seed: u64) -> Vec<DeviceSpec> {
+    if base_specs.is_empty() {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xf1ee_7000);
+    (0..n)
+        .map(|i| {
+            let base = &base_specs[i % base_specs.len()];
+            let mut spec = base.clone();
+            spec.name = format!("{}-f{:03}", base.name, i);
+            // Coherence and error baselines wobble around the base
+            // device; queue means swing on a log scale (cloud congestion
+            // varies by orders of magnitude, not percent).
+            spec.t1_us = base.t1_us * rng.gen_range(0.85..1.15);
+            spec.t2_us = (base.t2_us * rng.gen_range(0.85..1.15)).min(2.0 * spec.t1_us);
+            spec.gate_error_1q = base.gate_error_1q * rng.gen_range(0.8..1.3);
+            spec.cx_error = base.cx_error * rng.gen_range(0.8..1.3);
+            spec.readout_error = base.readout_error * rng.gen_range(0.8..1.3);
+            spec.queue_mean_s = base.queue_mean_s * rng.gen_range(-0.7..0.7f64).exp();
+            spec.queue_amplitude = base.queue_amplitude * rng.gen_range(0.7..1.3);
+            spec.queue_phase_h = rng.gen_range(0.0..24.0);
+            spec.drift_error_per_hour = base.drift_error_per_hour * rng.gen_range(0.7..1.4);
+            spec.drift_coherence_per_hour = base.drift_coherence_per_hour * rng.gen_range(0.7..1.4);
+            // A small minority of fleet members destabilize mid-run, the
+            // way Casablanca does in Fig. 6.
+            spec.episode = if rng.gen_bool(1.0 / 16.0) {
+                let start = rng.gen_range(4.0..30.0);
+                let length = rng.gen_range(2.0..12.0);
+                let factor = rng.gen_range(2.0..6.0);
+                Some((start, start + length, factor))
+            } else {
+                base.episode
+            };
+            spec
+        })
         .collect()
 }
 
@@ -473,5 +536,72 @@ mod tests {
             let be = spec.backend(42);
             assert_eq!(be.topology().num_qubits(), spec.qubits);
         }
+    }
+
+    fn fleet_base() -> Vec<DeviceSpec> {
+        ["belem", "manila", "bogota"]
+            .iter()
+            .map(|n| by_name(n).expect("catalog device"))
+            .collect()
+    }
+
+    #[test]
+    fn fleet_is_deterministic_per_seed() {
+        let a = fleet(&fleet_base(), 32, 9);
+        let b = fleet(&fleet_base(), 32, 9);
+        assert_eq!(a, b, "same inputs, same fleet");
+        let c = fleet(&fleet_base(), 32, 10);
+        assert_ne!(a, c, "a different seed perturbs differently");
+    }
+
+    #[test]
+    fn fleet_members_are_unique_perturbations_of_their_base() {
+        let base = fleet_base();
+        let members = fleet(&base, 24, 3);
+        assert_eq!(members.len(), 24);
+        let names: std::collections::HashSet<&str> =
+            members.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names.len(), 24, "every member gets a unique name");
+        for (i, m) in members.iter().enumerate() {
+            let b = &base[i % base.len()];
+            assert!(
+                m.name.starts_with(b.name.as_str()),
+                "{} from {}",
+                m.name,
+                b.name
+            );
+            assert_eq!(m.qubits, b.qubits, "topology class is inherited");
+            assert_eq!(m.topology_class, b.topology_class);
+            assert!(m.t1_us > 0.8 * b.t1_us && m.t1_us < 1.2 * b.t1_us);
+            assert!(m.t2_us <= 2.0 * m.t1_us, "T2 stays physical");
+            assert!(m.cx_error > 0.0 && m.readout_error > 0.0);
+            assert!(
+                m.queue_mean_s > b.queue_mean_s * 0.4 && m.queue_mean_s < b.queue_mean_s * 2.1,
+                "queue perturbation bounded: {} vs {}",
+                m.queue_mean_s,
+                b.queue_mean_s
+            );
+            assert!((0.0..24.0).contains(&m.queue_phase_h));
+            if let Some((s, e, f)) = m.episode {
+                assert!(e > s && f >= 1.0, "episodes stay valid");
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_backends_instantiate_at_scale() {
+        for spec in fleet(&fleet_base(), 64, 42) {
+            let be = spec.backend(7);
+            assert_eq!(be.topology().num_qubits(), spec.qubits);
+            // Every synthesized drift/queue model passes validation.
+            assert!(spec.queue().validate().is_ok(), "{}", spec.name);
+            let _ = spec.drift();
+        }
+    }
+
+    #[test]
+    fn degenerate_fleet_inputs_yield_empty_fleets() {
+        assert!(fleet(&[], 8, 1).is_empty());
+        assert!(fleet(&fleet_base(), 0, 1).is_empty());
     }
 }

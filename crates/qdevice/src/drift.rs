@@ -9,6 +9,7 @@
 //! mid-training divergence in Fig. 6.
 
 use crate::calibration::Calibration;
+use crate::error::DeviceError;
 
 /// A bounded window of severe degradation on the absolute timeline
 /// (e.g. Casablanca destabilizing mid-run in Fig. 6).
@@ -54,15 +55,44 @@ impl DriftModel {
     }
 
     /// Adds an absolute-time degradation episode (builder style).
-    pub fn with_episode(mut self, start_hours: f64, end_hours: f64, error_factor: f64) -> Self {
-        assert!(end_hours > start_hours, "episode must have positive length");
-        assert!(error_factor >= 1.0, "episodes only degrade");
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::InvalidEpisode`] when the window is non-finite or
+    /// not of positive length, when it starts before the timeline, or
+    /// when the factor is below 1 (episodes only degrade).
+    pub fn with_episode(
+        mut self,
+        start_hours: f64,
+        end_hours: f64,
+        error_factor: f64,
+    ) -> Result<Self, DeviceError> {
+        if !(start_hours.is_finite() && end_hours.is_finite()) {
+            return Err(DeviceError::InvalidEpisode(format!(
+                "window must be finite, got [{start_hours}, {end_hours})"
+            )));
+        }
+        if start_hours < 0.0 {
+            return Err(DeviceError::InvalidEpisode(format!(
+                "window starts before the timeline at {start_hours} h"
+            )));
+        }
+        if end_hours <= start_hours {
+            return Err(DeviceError::InvalidEpisode(format!(
+                "window must have positive length, got [{start_hours}, {end_hours})"
+            )));
+        }
+        if !(error_factor.is_finite() && error_factor >= 1.0) {
+            return Err(DeviceError::InvalidEpisode(format!(
+                "episodes only degrade: factor must be finite and >= 1, got {error_factor}"
+            )));
+        }
         self.episodes.push(DriftEpisode {
             start_hours,
             end_hours,
             error_factor,
         });
-        self
+        Ok(self)
     }
 
     /// The `(error_factor, coherence_factor)` pair drift applies at a
@@ -140,7 +170,9 @@ mod tests {
 
     #[test]
     fn episode_multiplies_errors_inside_window_only() {
-        let d = DriftModel::none().with_episode(20.0, 32.0, 6.0);
+        let d = DriftModel::none()
+            .with_episode(20.0, 32.0, 6.0)
+            .expect("valid episode");
         let before = d.apply(&base(), 1.0, 19.0);
         let during = d.apply(&base(), 1.0, 25.0);
         let after = d.apply(&base(), 1.0, 33.0);
@@ -153,15 +185,30 @@ mod tests {
 
     #[test]
     fn combined_drift_composes() {
-        let d = DriftModel::linear(0.05, 0.0).with_episode(0.0, 100.0, 2.0);
+        let d = DriftModel::linear(0.05, 0.0)
+            .with_episode(0.0, 100.0, 2.0)
+            .expect("valid episode");
         let cal = d.apply(&base(), 10.0, 10.0);
         // (1 + 0.05*10) * 2 = 3.0
         assert!((cal.mean_cx_error() - 0.03).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "positive length")]
-    fn bad_episode_rejected() {
-        let _ = DriftModel::none().with_episode(5.0, 5.0, 2.0);
+    fn bad_episodes_become_typed_errors() {
+        for (s, e, f) in [
+            (5.0, 5.0, 2.0),           // zero length
+            (8.0, 4.0, 2.0),           // inverted window
+            (-1.0, 4.0, 2.0),          // before the timeline
+            (f64::NAN, 4.0, 2.0),      // non-finite start
+            (0.0, f64::INFINITY, 2.0), // non-finite end
+            (0.0, 4.0, 0.5),           // factor improves the device
+            (0.0, 4.0, f64::NAN),      // non-finite factor
+        ] {
+            let err = DriftModel::none().with_episode(s, e, f).unwrap_err();
+            assert!(
+                matches!(err, DeviceError::InvalidEpisode(_)),
+                "({s}, {e}, {f}) should be rejected, got {err:?}"
+            );
+        }
     }
 }

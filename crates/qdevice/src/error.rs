@@ -1,0 +1,59 @@
+//! Typed errors for device construction and configuration.
+//!
+//! The 0.2 API promise is that invalid inputs surface as values, not
+//! panics: drift episodes, queue parameters and multiprogramming
+//! configurations are all validated into [`DeviceError`] so callers
+//! (including `eqc_core`, which wraps this in its own error type) can
+//! match on the failure instead of unwinding.
+
+use std::fmt;
+
+/// Everything that can go wrong describing a simulated device.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DeviceError {
+    /// A drift episode is malformed (the message names the field).
+    InvalidEpisode(String),
+    /// A queue model parameter is out of range.
+    InvalidQueue(String),
+    /// A multiprogramming configuration is out of range.
+    InvalidMultiprogram(String),
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::InvalidEpisode(msg) => write!(f, "invalid drift episode: {msg}"),
+            DeviceError::InvalidQueue(msg) => write!(f, "invalid queue model: {msg}"),
+            DeviceError::InvalidMultiprogram(msg) => {
+                write!(f, "invalid multiprogram config: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        assert!(DeviceError::InvalidEpisode("end before start".into())
+            .to_string()
+            .contains("end before start"));
+        assert!(DeviceError::InvalidQueue("negative wait".into())
+            .to_string()
+            .contains("queue"));
+        assert!(DeviceError::InvalidMultiprogram("zero region".into())
+            .to_string()
+            .contains("multiprogram"));
+    }
+
+    #[test]
+    fn errors_compare_and_clone() {
+        let e = DeviceError::InvalidQueue("x".into());
+        assert_eq!(e.clone(), e);
+        assert_ne!(e, DeviceError::InvalidEpisode("x".into()));
+    }
+}

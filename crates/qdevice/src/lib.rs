@@ -38,6 +38,7 @@ pub mod catalog;
 pub mod clock;
 pub mod compile;
 pub mod drift;
+pub mod error;
 pub mod multiprog;
 pub mod noise_model;
 pub mod queue;
@@ -48,6 +49,7 @@ pub use catalog::{by_name, catalog, DeviceSpec, TopologyClass};
 pub use clock::SimTime;
 pub use compile::{compile, compile_bound, CompileOptions, CompiledTemplate, NoiseToken};
 pub use drift::{DriftEpisode, DriftModel};
+pub use error::DeviceError;
 pub use multiprog::{split as multiprogram_split, MultiprogramConfig, ProgramSlot};
 pub use noise_model::NoiseModel;
 pub use queue::QueueModel;

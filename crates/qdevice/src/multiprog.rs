@@ -20,6 +20,7 @@
 use crate::backend::QpuBackend;
 use crate::calibration::Calibration;
 use crate::catalog::DeviceSpec;
+use crate::error::DeviceError;
 
 /// Configuration of a multiprogrammed split.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -32,6 +33,41 @@ pub struct MultiprogramConfig {
     /// program (e.g. 0.08 = +8% error per extra neighbor). Models
     /// crosstalk between concurrently driven regions.
     pub crosstalk_per_program: f64,
+}
+
+impl MultiprogramConfig {
+    /// Validates the configuration.
+    ///
+    /// [`split`] treats degenerate configurations (zero-sized regions,
+    /// zero program slots) as "cannot host a program" and returns an
+    /// empty slot list rather than panicking; callers that want to
+    /// distinguish user error from a genuinely too-small device check
+    /// here first.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::InvalidMultiprogram`] when `region_size` or
+    /// `max_programs` is zero, or the crosstalk inflation is negative or
+    /// non-finite.
+    pub fn validate(&self) -> Result<(), DeviceError> {
+        if self.region_size == 0 {
+            return Err(DeviceError::InvalidMultiprogram(
+                "region_size must be at least one qubit".into(),
+            ));
+        }
+        if self.max_programs == 0 {
+            return Err(DeviceError::InvalidMultiprogram(
+                "max_programs must be positive".into(),
+            ));
+        }
+        if !(self.crosstalk_per_program.is_finite() && self.crosstalk_per_program >= 0.0) {
+            return Err(DeviceError::InvalidMultiprogram(format!(
+                "crosstalk_per_program must be finite and non-negative, got {}",
+                self.crosstalk_per_program
+            )));
+        }
+        Ok(())
+    }
 }
 
 impl Default for MultiprogramConfig {
@@ -56,10 +92,16 @@ pub struct ProgramSlot {
 /// Splits `spec` into up to `config.max_programs` independent virtual
 /// backends over buffered disjoint regions.
 ///
-/// Returns an empty vector when the device cannot host even one region.
-/// With a single region the crosstalk penalty is zero — multiprogramming
-/// only costs fidelity once programs actually co-reside.
+/// Returns an empty vector when the device cannot host even one region —
+/// including the degenerate configurations `region_size == 0`,
+/// `region_size` larger than the host, and `max_programs == 0` (use
+/// [`MultiprogramConfig::validate`] to reject those up front). With a
+/// single region the crosstalk penalty is zero — multiprogramming only
+/// costs fidelity once programs actually co-reside.
 pub fn split(spec: &DeviceSpec, config: &MultiprogramConfig, seed: u64) -> Vec<ProgramSlot> {
+    if config.validate().is_err() {
+        return Vec::new();
+    }
     let host_topology = spec.topology();
     let regions = host_topology.disjoint_regions(config.region_size, config.max_programs);
     let n_programs = regions.len();
@@ -199,5 +241,68 @@ mod tests {
         let spec = catalog::by_name("lima").unwrap();
         let slots = split(&spec, &MultiprogramConfig::default(), 1);
         assert_eq!(slots.len(), 1, "5q device hosts exactly one 4q program");
+    }
+
+    #[test]
+    fn zero_region_size_yields_no_slots() {
+        let spec = catalog::by_name("toronto").unwrap();
+        let cfg = MultiprogramConfig {
+            region_size: 0,
+            ..Default::default()
+        };
+        assert!(split(&spec, &cfg, 1).is_empty(), "no panic, no slots");
+        assert!(matches!(
+            cfg.validate(),
+            Err(DeviceError::InvalidMultiprogram(_))
+        ));
+    }
+
+    #[test]
+    fn region_larger_than_host_yields_no_slots() {
+        let spec = catalog::by_name("lima").unwrap();
+        let cfg = MultiprogramConfig {
+            region_size: spec.qubits + 1,
+            ..Default::default()
+        };
+        assert!(
+            cfg.validate().is_ok(),
+            "oversized regions are not a config error"
+        );
+        assert!(
+            split(&spec, &cfg, 1).is_empty(),
+            "5q host cannot fit 6q region"
+        );
+    }
+
+    #[test]
+    fn zero_max_programs_yields_no_slots() {
+        let spec = catalog::by_name("toronto").unwrap();
+        let cfg = MultiprogramConfig {
+            max_programs: 0,
+            ..Default::default()
+        };
+        assert!(split(&spec, &cfg, 1).is_empty());
+        assert!(matches!(
+            cfg.validate(),
+            Err(DeviceError::InvalidMultiprogram(_))
+        ));
+    }
+
+    #[test]
+    fn single_slot_pays_zero_crosstalk() {
+        // Documented guarantee: when only one program fits, the slot's
+        // calibration matches the host baseline exactly — co-residency
+        // cost starts with the second program.
+        let spec = catalog::by_name("lima").unwrap();
+        let slots = split(&spec, &MultiprogramConfig::default(), 1);
+        assert_eq!(slots.len(), 1);
+        let cal = slots[0].backend.reported_calibration(SimTime::ZERO);
+        let host = spec.backend(1).reported_calibration(SimTime::ZERO);
+        assert_eq!(
+            cal.mean_cx_error(),
+            host.mean_cx_error(),
+            "one resident program must not be degraded"
+        );
+        assert_eq!(cal.mean_t1_us(), host.mean_t1_us());
     }
 }

@@ -9,6 +9,7 @@
 //! log-sinusoidal congestion cycle, plus deterministic per-job jitter.
 
 use crate::clock::SimTime;
+use crate::error::DeviceError;
 use std::f64::consts::TAU;
 
 /// Latency model of one device's submission queue.
@@ -53,6 +54,51 @@ impl QueueModel {
             period_hours: 24.0,
             reset_time_us: 250.0,
         }
+    }
+
+    /// Validates the model's parameters.
+    ///
+    /// The struct's fields are public for literal construction (every
+    /// catalog model is a checked constant), so validation is a separate
+    /// step rather than an `assert!` buried in a constructor: callers
+    /// building models from untrusted input check once and get a typed
+    /// error instead of a panic mid-simulation.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::InvalidQueue`] naming the offending field when a
+    /// latency term is negative or non-finite, or the congestion period
+    /// is not positive.
+    pub fn validate(&self) -> Result<(), DeviceError> {
+        let nonneg = [
+            ("overhead_s", self.overhead_s),
+            ("mean_wait_s", self.mean_wait_s),
+            ("reset_time_us", self.reset_time_us),
+        ];
+        for (field, v) in nonneg {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(DeviceError::InvalidQueue(format!(
+                    "{field} must be finite and non-negative, got {v}"
+                )));
+            }
+        }
+        for (field, v) in [
+            ("diurnal_amplitude", self.diurnal_amplitude),
+            ("phase_hours", self.phase_hours),
+        ] {
+            if !v.is_finite() {
+                return Err(DeviceError::InvalidQueue(format!(
+                    "{field} must be finite, got {v}"
+                )));
+            }
+        }
+        if !(self.period_hours.is_finite() && self.period_hours > 0.0) {
+            return Err(DeviceError::InvalidQueue(format!(
+                "period_hours must be positive, got {}",
+                self.period_hours
+            )));
+        }
+        Ok(())
     }
 
     /// Queue wait (seconds) for a job submitted at `t`, before jitter.
@@ -141,6 +187,35 @@ mod tests {
         let total = q.job_latency_s(SimTime::ZERO, 0.5, 5000.0, 4000.0, 100);
         assert!(total > q.overhead_s);
         assert!(total < 60.0);
+    }
+
+    #[test]
+    fn validation_accepts_catalog_models_and_rejects_garbage() {
+        assert!(QueueModel::light(5.0).validate().is_ok());
+        assert!(QueueModel::congested(123.0, 0.8, 14.0).validate().is_ok());
+        for bad in [
+            QueueModel {
+                mean_wait_s: -1.0,
+                ..QueueModel::light(5.0)
+            },
+            QueueModel {
+                overhead_s: f64::NAN,
+                ..QueueModel::light(5.0)
+            },
+            QueueModel {
+                period_hours: 0.0,
+                ..QueueModel::light(5.0)
+            },
+            QueueModel {
+                diurnal_amplitude: f64::INFINITY,
+                ..QueueModel::light(5.0)
+            },
+        ] {
+            assert!(
+                matches!(bad.validate(), Err(DeviceError::InvalidQueue(_))),
+                "{bad:?} should be rejected"
+            );
+        }
     }
 
     #[test]

@@ -70,8 +70,8 @@ pub use vqa;
 pub mod prelude {
     pub use eqc_core::{
         ideal_backend, ClientNode, DiscreteEventExecutor, Ensemble, EnsembleBuilder,
-        EnsembleSession, EqcConfig, EqcError, Executor, SequentialExecutor, ThreadedExecutor,
-        TrainingReport, WeightBounds,
+        EnsembleSession, EqcConfig, EqcError, Executor, PoolConfig, PoolTelemetry, PooledExecutor,
+        SequentialExecutor, ThreadedExecutor, TrainingReport, WeightBounds,
     };
     #[allow(deprecated)]
     pub use eqc_core::{train_ideal, train_threaded, EqcTrainer, SingleDeviceTrainer};

@@ -35,10 +35,12 @@ fn vqe_circuit(n: usize) -> qcircuit::Circuit {
 fn stress_backend(seed: u64) -> QpuBackend {
     let spec = catalog::by_name("belem").expect("catalog device");
     QpuBackend::new(
-        spec.name,
+        &spec.name,
         spec.topology(),
         spec.calibration(),
-        DriftModel::linear(0.08, 0.02).with_episode(0.05, 0.12, 3.0),
+        DriftModel::linear(0.08, 0.02)
+            .with_episode(0.05, 0.12, 3.0)
+            .expect("valid episode"),
         QueueModel::light(3.0),
         0.05, // recalibrate every 3 virtual minutes
         seed,
@@ -166,7 +168,7 @@ fn vqe_training_report_identical_across_recalibration_boundary() {
 fn noise_model_is_built_once_per_cycle_without_drift() {
     let spec = catalog::by_name("manila").expect("catalog device");
     let mut backend = QpuBackend::new(
-        spec.name,
+        &spec.name,
         spec.topology(),
         spec.calibration(),
         DriftModel::none(),
@@ -201,7 +203,7 @@ fn client_compiles_templates_once_per_calibration_cycle() {
     let problem = VqeProblem::heisenberg_4q();
     let spec = catalog::by_name("bogota").expect("catalog device");
     let backend = QpuBackend::new(
-        spec.name,
+        &spec.name,
         spec.topology(),
         spec.calibration(),
         DriftModel::none(),
@@ -245,7 +247,7 @@ fn template_recompiles_when_moved_across_backends() {
     let mk = |name: &str| {
         let spec = catalog::by_name(name).expect("catalog device");
         QpuBackend::new(
-            spec.name,
+            &spec.name,
             spec.topology(),
             spec.calibration(),
             DriftModel::none(),

@@ -1,6 +1,8 @@
-//! Executor equivalence and determinism: the three substrates drive the
+//! Executor equivalence and determinism: the four substrates drive the
 //! same master loop, so their reports must agree wherever the execution
-//! order is immaterial.
+//! order is immaterial — and the deterministic pooled substrate must
+//! reproduce the discrete-event executor byte for byte at any fleet
+//! width.
 
 use eqc::prelude::*;
 use std::collections::HashMap;
@@ -242,6 +244,8 @@ fn executors_are_interchangeable_behind_the_trait() {
     let executors: Vec<Box<dyn Executor>> = vec![
         Box::new(DiscreteEventExecutor::new()),
         Box::new(ThreadedExecutor::new()),
+        Box::new(PooledExecutor::new()),
+        Box::new(PooledExecutor::new().deterministic(false)),
         Box::new(SequentialExecutor::new()),
     ];
     let ensemble = qaoa_ensemble(&["belem", "manila"], 3);
@@ -252,4 +256,188 @@ fn executors_are_interchangeable_behind_the_trait() {
         assert_eq!(report.epochs, 3);
         assert_eq!(report.clients.len(), 2);
     }
+}
+
+#[test]
+fn pooled_deterministic_is_byte_identical_to_discrete_event_on_the_figure_fleet() {
+    // The fig-harness workload: the paper's 8-device QAOA fleet (queue
+    // spreads from seconds to minutes, Casablanca's drift episode
+    // included) with the weighting system on — the densest exercise of
+    // the master loop. The pool must replay the DES report exactly,
+    // byte for byte.
+    let problem = QaoaProblem::maxcut_ring4();
+    let names: Vec<String> = qdevice::catalog::qaoa_devices()
+        .iter()
+        .map(|d| d.name.clone())
+        .collect();
+    let ensemble = Ensemble::builder()
+        .devices(names.iter().map(String::as_str))
+        .device_seed(0xF1612)
+        .config(
+            EqcConfig::paper_qaoa()
+                .with_epochs(6)
+                .with_shots(512)
+                .with_weights(WeightBounds::new(0.5, 1.5).expect("valid band")),
+        )
+        .build()
+        .expect("fleet builds");
+
+    let des = ensemble.train(&problem).expect("DES trains");
+    for workers in [1usize, 4] {
+        let pooled = ensemble
+            .train_with(&PooledExecutor::new().workers(workers), &problem)
+            .expect("pooled trains");
+        assert_eq!(des, pooled, "structurally identical at {workers} workers");
+        assert_eq!(
+            format!("{des:?}"),
+            format!("{pooled:?}"),
+            "byte-identical debug serialization at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn pooled_trains_a_256_client_fleet_with_a_bounded_worker_count() {
+    // Where ThreadedExecutor would have spawned 256 OS threads, the pool
+    // spawns at most `available_parallelism` workers — and still
+    // produces the exact deterministic report.
+    let base: Vec<qdevice::DeviceSpec> = ["belem", "manila", "bogota", "quito", "lima"]
+        .iter()
+        .map(|n| qdevice::catalog::by_name(n).expect("catalog device"))
+        .collect();
+    let n = 256;
+    let ensemble = Ensemble::builder()
+        .specs(qdevice::catalog::fleet(&base, n, 0xF1EE7))
+        .device_seed(11)
+        .config(EqcConfig::paper_qaoa().with_epochs(1).with_shots(32))
+        .build()
+        .expect("fleet builds");
+    let problem = QaoaProblem::maxcut_ring4();
+
+    let pooled_exec = PooledExecutor::new();
+    let pooled = ensemble
+        .train_with(&pooled_exec, &problem)
+        .expect("pooled trains");
+    let telemetry = pooled_exec.telemetry().expect("ran");
+    let cap = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4);
+    assert!(
+        telemetry.workers_spawned <= cap,
+        "{} workers exceed the machine's parallelism {cap}",
+        telemetry.workers_spawned
+    );
+    assert!(
+        telemetry.workers_spawned < n,
+        "pool must not scale threads with clients"
+    );
+    assert_eq!(pooled.clients.len(), n, "every fleet member reports");
+    assert_eq!(pooled.epochs, 1);
+
+    let des = ensemble.train(&problem).expect("DES trains");
+    assert_eq!(
+        format!("{des:?}"),
+        format!("{pooled:?}"),
+        "byte-identical at fleet scale"
+    );
+}
+
+#[test]
+fn pooled_arrival_mode_matches_threaded_update_set_semantics() {
+    // Arrival order is scheduler-dependent, but the pool must complete
+    // the same training work as the deterministic substrates: full epoch
+    // budget, same number of applied updates, every client busy.
+    let problem = QaoaProblem::maxcut_ring4();
+    let epochs = 8;
+    let ensemble = qaoa_ensemble(&["belem", "manila", "bogota"], epochs);
+    let params_per_cycle = vqa::VqaProblem::num_params(&problem);
+
+    let des = ensemble.train(&problem).expect("trains");
+    let exec = PooledExecutor::new().deterministic(false).workers(2);
+    let pooled = ensemble.train_with(&exec, &problem).expect("trains");
+
+    assert_eq!(pooled.epochs, epochs);
+    assert_eq!(pooled.trainer, "eqc-pooled[3]");
+    assert_eq!(des.updates_applied, (epochs * params_per_cycle) as u64);
+    assert_eq!(des.updates_applied, pooled.updates_applied);
+    for c in &pooled.clients {
+        assert!(c.tasks_completed > 0, "{} idle under the pool", c.device);
+    }
+}
+
+#[test]
+fn threaded_executor_returns_surviving_clients_on_error() {
+    // Regression: the error path used to `?`-return before
+    // `put_clients`, leaving the session permanently empty. Build a
+    // 2-client session where one client was prepared for a *different*
+    // problem (its worker thread panics binding too few parameters):
+    // the run must error, and the surviving client must come back.
+    let qaoa = QaoaProblem::maxcut_ring4();
+    let vqe = VqeProblem::heisenberg_4q();
+    let cfg = EqcConfig::paper_qaoa().with_epochs(2).with_shots(64);
+
+    let good = ClientNode::new(
+        0,
+        qdevice::catalog::by_name("belem")
+            .expect("catalog")
+            .backend(1),
+        &qaoa,
+    )
+    .expect("transpiles");
+    let bad = ClientNode::new(
+        1,
+        qdevice::catalog::by_name("manila")
+            .expect("catalog")
+            .backend(2),
+        &vqe,
+    )
+    .expect("transpiles");
+
+    let mut session = EnsembleSession::from_clients(&qaoa, cfg, vec![good, bad]).expect("builds");
+    assert_eq!(session.num_clients(), 2);
+    let err = ThreadedExecutor::new().run(&mut session).unwrap_err();
+    assert!(matches!(err, EqcError::Internal(_)), "{err:?}");
+    assert_eq!(
+        session.num_clients(),
+        1,
+        "the surviving client must be handed back on the error path"
+    );
+}
+
+#[test]
+fn pooled_executor_returns_all_clients_on_error() {
+    // The pool keeps clients behind mutexes, so even the client whose
+    // task panicked is recovered — an errored session keeps its fleet.
+    let qaoa = QaoaProblem::maxcut_ring4();
+    let vqe = VqeProblem::heisenberg_4q();
+    let cfg = EqcConfig::paper_qaoa().with_epochs(2).with_shots(64);
+
+    let good = ClientNode::new(
+        0,
+        qdevice::catalog::by_name("belem")
+            .expect("catalog")
+            .backend(1),
+        &qaoa,
+    )
+    .expect("transpiles");
+    let bad = ClientNode::new(
+        1,
+        qdevice::catalog::by_name("manila")
+            .expect("catalog")
+            .backend(2),
+        &vqe,
+    )
+    .expect("transpiles");
+
+    let mut session = EnsembleSession::from_clients(&qaoa, cfg, vec![good, bad]).expect("builds");
+    let err = PooledExecutor::new()
+        .workers(2)
+        .run(&mut session)
+        .unwrap_err();
+    assert!(matches!(err, EqcError::Internal(_)), "{err:?}");
+    assert_eq!(
+        session.num_clients(),
+        2,
+        "every client recovered, panicked one included"
+    );
 }
