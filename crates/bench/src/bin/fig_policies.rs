@@ -1,0 +1,172 @@
+//! Policy ablation: the 3×2 weighting × health grid on a fleet with one
+//! drift-prone member.
+//!
+//! The paper fixes one policy stack (fidelity weighting, no eviction);
+//! related work contests exactly that choice — Rajamani et al.
+//! (arXiv:2509.17982) find equi-ensemble weighting beats
+//! fidelity-weighted VQE. This harness trains the same fleet under
+//! every combination of weighting ({`FidelityWeighted`,
+//! `EquiEnsemble`, `StalenessDecay`}) and health ({`AlwaysHealthy`,
+//! `DriftEviction`}) policy, on the deterministic discrete-event
+//! executor, and reports accuracy, speed and the health layer's
+//! activity. The fleet is `EQC_FLEET_CLIENTS - 1` synthesized stable
+//! devices plus one flaky member whose reported calibration swings
+//! wildly between 1.8-second recalibration cycles — the workload drift
+//! eviction exists for.
+//!
+//! The default cell (fidelity × always-healthy) is asserted
+//! byte-identical to an `Ensemble` built with no explicit policies at
+//! all: the pluggable layer must cost nothing when unused.
+//!
+//! Run with: `cargo run --release -p eqc-bench --bin fig_policies`
+//!
+//! Environment: `EQC_FLEET_CLIENTS` (default 8), `EQC_EPOCHS` (default
+//! 6), `EQC_SHOTS` (default 256).
+//!
+//! Emits one machine-readable JSON line per weighting policy
+//! (`{"bench":"policy_fidelity",...}`, same shape as the `fleet64`
+//! line) for the perf-trajectory dashboard.
+
+use eqc_bench::{
+    band, env_param, epochs_or, markdown_table, policy_fleet_builder, shots_or, write_csv,
+};
+use eqc_core::policy::{
+    AlwaysHealthy, ClientHealth, DriftEviction, EquiEnsemble, FidelityWeighted, StalenessDecay,
+    Weighting,
+};
+use eqc_core::{EqcConfig, PolicyConfig, TrainingReport};
+use std::sync::Arc;
+use std::time::Instant;
+use vqa::QaoaProblem;
+
+fn main() {
+    let n = env_param("EQC_FLEET_CLIENTS", 8);
+    let epochs = epochs_or(6);
+    let shots = shots_or(256);
+    let cfg = EqcConfig::paper_qaoa()
+        .with_epochs(epochs)
+        .with_shots(shots)
+        .with_weights(band(0.5, 1.5));
+    let problem = QaoaProblem::maxcut_ring4();
+    let commit = std::env::var("GITHUB_SHA").unwrap_or_else(|_| "local".into());
+    println!(
+        "# Policy ablation — weighting x health on a {n}-device fleet \
+         with one flaky member ({epochs} epochs, {shots} shots)\n"
+    );
+
+    let weightings: [Arc<dyn Weighting>; 3] = [
+        Arc::new(FidelityWeighted),
+        Arc::new(EquiEnsemble),
+        Arc::new(StalenessDecay::default()),
+    ];
+    let healths: [Arc<dyn ClientHealth>; 2] =
+        [Arc::new(AlwaysHealthy), Arc::new(DriftEviction::default())];
+
+    // Oracle: the default cell must be byte-identical to an ensemble
+    // that never heard of the policy layer.
+    let baseline = policy_fleet_builder(n, cfg)
+        .build()
+        .expect("fleet builds")
+        .train(&problem)
+        .expect("baseline trains");
+
+    let mut rows = Vec::new();
+    let mut csv = String::from(
+        "weighting,health,wall_ms,epochs_per_hour,final_loss,error_pct,evictions,readmissions\n",
+    );
+    for weighting in &weightings {
+        let mut cells = Vec::new();
+        for health in &healths {
+            let policies = PolicyConfig {
+                weighting: Arc::clone(weighting),
+                health: Arc::clone(health),
+                ..PolicyConfig::default()
+            };
+            let ensemble = policy_fleet_builder(n, cfg)
+                .policies(policies)
+                .build()
+                .expect("fleet builds");
+            let start = Instant::now();
+            let report = ensemble.train(&problem).expect("cell trains");
+            let ms = start.elapsed().as_millis();
+
+            if weighting.name() == "fidelity" && health.name() == "always-healthy" {
+                assert_eq!(
+                    format!("{baseline:?}"),
+                    format!("{report:?}"),
+                    "explicit default stack must replay the implicit default byte for byte"
+                );
+            }
+            assert_eq!(report.epochs, epochs, "every cell runs the full budget");
+
+            rows.push(vec![
+                weighting.name().to_string(),
+                health.name().to_string(),
+                ms.to_string(),
+                format!("{:.3}", report.epochs_per_hour()),
+                format!("{:.4}", report.final_loss),
+                format!("{:.3}%", report.error_vs_reference_pct()),
+                report.policy.evictions.to_string(),
+                report.policy.readmissions.to_string(),
+            ]);
+            csv.push_str(&format!(
+                "{},{},{ms},{:.6},{:.6},{:.4},{},{}\n",
+                weighting.name(),
+                health.name(),
+                report.epochs_per_hour(),
+                report.final_loss,
+                report.error_vs_reference_pct(),
+                report.policy.evictions,
+                report.policy.readmissions,
+            ));
+            cells.push((health.name(), ms, report));
+        }
+
+        // One JSON perf line per weighting policy, fleet64-shaped, so
+        // the bench trajectory tracks what each policy costs.
+        let (always, drift) = (&cells[0], &cells[1]);
+        println!(
+            "{{\"bench\":\"policy_{}\",\"clients\":{n},\"epochs\":{epochs},\"shots\":{shots},\
+             \"always_ms\":{},\"drift_ms\":{},\"evictions\":{},\"readmissions\":{},\
+             \"final_loss\":{:.6},\"commit\":\"{commit}\"}}",
+            weighting.name().replace('-', "_"),
+            always.1,
+            drift.1,
+            drift.2.policy.evictions,
+            drift.2.policy.readmissions,
+            always.2.final_loss,
+        );
+    }
+
+    println!("\n## The 3x2 grid (deterministic discrete-event runs)\n");
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "weighting",
+                "health",
+                "wall ms",
+                "epochs/h",
+                "final loss",
+                "err vs ref",
+                "evictions",
+                "readmissions"
+            ],
+            &rows
+        )
+    );
+    summarize_flaky(&baseline);
+    write_csv("fig_policies.csv", &csv);
+}
+
+/// Prints what the flaky member did under the default (no-eviction)
+/// stack, as context for the drift-eviction cells.
+fn summarize_flaky(baseline: &TrainingReport) {
+    if let Some(flaky) = baseline.clients.iter().find(|c| c.device == "flaky") {
+        println!(
+            "flaky member under always-healthy: {} tasks, mean P_correct {:.3}, \
+             mean weight {:.3}",
+            flaky.tasks_completed, flaky.mean_p_correct, flaky.mean_weight
+        );
+    }
+}

@@ -118,6 +118,46 @@ pub fn fleet_ensemble(n: usize, config: EqcConfig) -> Ensemble {
         .unwrap_or_else(|e| panic!("fleet of {n} failed to build: {e}"))
 }
 
+/// A device whose *reported* calibration swings wildly between
+/// recalibration cycles (1.8 virtual seconds apart, no maintenance
+/// window, lognormal jitter sigma 2.0 — so even short smoke runs span
+/// many good and bad cycles): the scenario knob behind the
+/// drift-eviction ablations in `fig_policies` and the policy tests.
+pub fn flaky_backend(seed: u64) -> qdevice::QpuBackend {
+    let spec = qdevice::catalog::by_name("quito").expect("catalog device");
+    qdevice::QpuBackend::new(
+        "flaky",
+        spec.topology(),
+        spec.calibration(),
+        qdevice::DriftModel::none(),
+        qdevice::QueueModel::light(3.0),
+        0.0005,
+        seed,
+    )
+    .with_downtime_hours(0.0)
+    .with_recal_jitter(2.0)
+}
+
+/// The policy-ablation fleet: `n - 1` synthesized stable devices (the
+/// [`fleet_ensemble`] population) plus one [`flaky_backend`] member, as
+/// a builder so harnesses can attach a policy stack before `build()`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` (the flaky member needs at least one stable peer).
+pub fn policy_fleet_builder(n: usize, config: EqcConfig) -> eqc_core::EnsembleBuilder {
+    assert!(n >= 2, "policy fleet needs >= 2 devices, got {n}");
+    let base: Vec<qdevice::DeviceSpec> = ["belem", "manila", "bogota", "quito", "lima"]
+        .iter()
+        .map(|name| qdevice::catalog::by_name(name).expect("catalog device"))
+        .collect();
+    Ensemble::builder()
+        .specs(qdevice::catalog::fleet(&base, n - 1, 0xF1EE7))
+        .backend(flaky_backend(42))
+        .device_seed(11)
+        .config(config)
+}
+
 /// A weight band literal for harness code.
 ///
 /// # Panics

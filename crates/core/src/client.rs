@@ -147,6 +147,11 @@ impl ClientNode {
         &self.backend
     }
 
+    /// Number of problem templates this client prepared.
+    pub fn num_templates(&self) -> usize {
+        self.templates.len()
+    }
+
     /// Transpiled metrics of template `t` (inputs to Eq. 2).
     pub fn template_metrics(&self, t: usize) -> &CircuitMetrics {
         &self.templates[t].transpiled.metrics

@@ -1,7 +1,9 @@
 //! Training configuration.
 
 use crate::error::EqcError;
+use crate::policy::{AlwaysHealthy, ClientHealth, Cyclic, FidelityWeighted, Scheduler, Weighting};
 use crate::weighting::WeightBounds;
+use std::sync::Arc;
 
 /// Configuration of an EQC (or baseline) training run.
 ///
@@ -141,6 +143,67 @@ impl EqcConfig {
 impl Default for EqcConfig {
     fn default() -> Self {
         EqcConfig::paper_vqe()
+    }
+}
+
+/// The master node's policy stack: one implementation per decision axis
+/// (see [`crate::policy`]). Policies are shared immutable values
+/// (`Arc`), so a `PolicyConfig` clones cheaply with its
+/// [`Ensemble`](crate::Ensemble) and one stack can drive any number of
+/// sessions concurrently.
+///
+/// The default stack — [`Cyclic`] + [`FidelityWeighted`] +
+/// [`AlwaysHealthy`] — reproduces the pre-policy master loop byte for
+/// byte; the executor equivalence tests pin that as the refactor
+/// oracle.
+///
+/// ```
+/// use eqc_core::policy::{DriftEviction, EquiEnsemble, LeastLoaded};
+/// use eqc_core::PolicyConfig;
+///
+/// let policies = PolicyConfig::default()
+///     .with_scheduler(LeastLoaded)
+///     .with_weighting(EquiEnsemble)
+///     .with_health(DriftEviction::default());
+/// assert_eq!(policies.health.name(), "drift-eviction");
+/// ```
+#[derive(Clone, Debug)]
+pub struct PolicyConfig {
+    /// Task → client assignment policy.
+    pub scheduler: Arc<dyn Scheduler>,
+    /// Gradient weighting policy.
+    pub weighting: Arc<dyn Weighting>,
+    /// Participation (eviction / re-admission) policy.
+    pub health: Arc<dyn ClientHealth>,
+}
+
+impl PolicyConfig {
+    /// Builder-style scheduler override.
+    pub fn with_scheduler(mut self, scheduler: impl Scheduler + 'static) -> Self {
+        self.scheduler = Arc::new(scheduler);
+        self
+    }
+
+    /// Builder-style weighting override.
+    pub fn with_weighting(mut self, weighting: impl Weighting + 'static) -> Self {
+        self.weighting = Arc::new(weighting);
+        self
+    }
+
+    /// Builder-style health override.
+    pub fn with_health(mut self, health: impl ClientHealth + 'static) -> Self {
+        self.health = Arc::new(health);
+        self
+    }
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        PolicyConfig {
+            scheduler: Arc::new(Cyclic),
+            weighting: Arc::new(FidelityWeighted),
+            health: Arc::new(AlwaysHealthy),
+        }
     }
 }
 

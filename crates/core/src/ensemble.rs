@@ -31,10 +31,12 @@
 //! ```
 
 use crate::client::ClientNode;
-use crate::config::EqcConfig;
+use crate::config::{EqcConfig, PolicyConfig};
 use crate::error::EqcError;
 use crate::executor::{DiscreteEventExecutor, Executor};
 use crate::master::MasterLoop;
+use crate::policy::health::HealthProbe;
+use crate::policy::{ClientHealth, Scheduler, Weighting};
 use crate::report::TrainingReport;
 use crate::trainer::ideal_backend;
 use qdevice::QpuBackend;
@@ -50,11 +52,13 @@ enum Device {
     Ideal { seed: u64 },
 }
 
-/// A reusable fleet + configuration. Create with [`Ensemble::builder`].
+/// A reusable fleet + configuration + policy stack. Create with
+/// [`Ensemble::builder`].
 #[derive(Clone, Debug)]
 pub struct Ensemble {
     devices: Vec<Device>,
     config: EqcConfig,
+    policies: PolicyConfig,
 }
 
 impl Ensemble {
@@ -63,6 +67,7 @@ impl Ensemble {
         EnsembleBuilder {
             devices: Vec::new(),
             config: EqcConfig::default(),
+            policies: PolicyConfig::default(),
             device_seed: 0,
             seed: None,
         }
@@ -71,6 +76,11 @@ impl Ensemble {
     /// The training configuration the ensemble was built with.
     pub fn config(&self) -> EqcConfig {
         self.config
+    }
+
+    /// The master's policy stack.
+    pub fn policies(&self) -> &PolicyConfig {
+        &self.policies
     }
 
     /// Number of devices in the fleet.
@@ -107,14 +117,7 @@ impl Ensemble {
                 })?;
             clients.push(client);
         }
-        let master = MasterLoop::new(problem, self.config, clients.len());
-        Ok(EnsembleSession {
-            problem,
-            config: self.config,
-            clients,
-            master,
-            consumed: false,
-        })
+        EnsembleSession::assemble(problem, self.config, self.policies.clone(), clients)
     }
 
     /// Trains with the default (deterministic discrete-event) executor.
@@ -139,6 +142,7 @@ impl Ensemble {
 pub struct EnsembleBuilder {
     devices: Vec<DeviceChoice>,
     config: EqcConfig,
+    policies: PolicyConfig,
     device_seed: u64,
     seed: Option<u64>,
 }
@@ -222,6 +226,32 @@ impl EnsembleBuilder {
         self
     }
 
+    /// Sets the whole policy stack at once (defaults to
+    /// [`PolicyConfig::default`]: `Cyclic` + `FidelityWeighted` +
+    /// `AlwaysHealthy`, the seed master loop's behavior).
+    pub fn policies(mut self, policies: PolicyConfig) -> Self {
+        self.policies = policies;
+        self
+    }
+
+    /// Overrides the task → client scheduling policy.
+    pub fn scheduler(mut self, scheduler: impl Scheduler + 'static) -> Self {
+        self.policies = self.policies.with_scheduler(scheduler);
+        self
+    }
+
+    /// Overrides the gradient-weighting policy.
+    pub fn weighting(mut self, weighting: impl Weighting + 'static) -> Self {
+        self.policies = self.policies.with_weighting(weighting);
+        self
+    }
+
+    /// Overrides the client-health (eviction / re-admission) policy.
+    pub fn health(mut self, health: impl ClientHealth + 'static) -> Self {
+        self.policies = self.policies.with_health(health);
+        self
+    }
+
     /// Sets the master seed: initial parameters *and* the base seed for
     /// catalog-device noise streams. Overrides `config.seed`.
     pub fn seed(mut self, seed: u64) -> Self {
@@ -275,7 +305,11 @@ impl EnsembleBuilder {
                 },
             });
         }
-        Ok(Ensemble { devices, config })
+        Ok(Ensemble {
+            devices,
+            config,
+            policies: self.policies,
+        })
     }
 }
 
@@ -303,6 +337,33 @@ impl<'p> EnsembleSession<'p> {
         config: EqcConfig,
         clients: Vec<ClientNode>,
     ) -> Result<Self, EqcError> {
+        Self::assemble(problem, config, PolicyConfig::default(), clients)
+    }
+
+    /// [`EnsembleSession::from_clients`] with an explicit policy stack.
+    ///
+    /// # Errors
+    ///
+    /// As [`EnsembleSession::from_clients`].
+    pub fn from_clients_with_policies(
+        problem: &'p dyn VqaProblem,
+        config: EqcConfig,
+        policies: PolicyConfig,
+        clients: Vec<ClientNode>,
+    ) -> Result<Self, EqcError> {
+        Self::assemble(problem, config, policies, clients)
+    }
+
+    /// The shared constructor: validates, builds per-client health
+    /// probes (a backend clone + transpiled metrics per client, so the
+    /// master can score and queue-estimate devices whose `ClientNode`
+    /// is checked out by a worker thread), and initializes the master.
+    fn assemble(
+        problem: &'p dyn VqaProblem,
+        config: EqcConfig,
+        policies: PolicyConfig,
+        clients: Vec<ClientNode>,
+    ) -> Result<Self, EqcError> {
         config.validate()?;
         if clients.is_empty() {
             return Err(EqcError::EmptyEnsemble);
@@ -310,7 +371,23 @@ impl<'p> EnsembleSession<'p> {
         if problem.num_params() == 0 || problem.tasks().is_empty() {
             return Err(EqcError::EmptyProblem(problem.name()));
         }
-        let master = MasterLoop::new(problem, config, clients.len());
+        // Probes cost a backend clone per client; skip them when the
+        // stack can never consult one (the default: AlwaysHealthy never
+        // evicts and Cyclic ignores queue estimates).
+        let probes = if policies.health.monitors() || policies.scheduler.needs_queue_estimates() {
+            clients
+                .iter()
+                .map(|c| {
+                    let metrics = (0..c.num_templates())
+                        .map(|t| *c.template_metrics(t))
+                        .collect();
+                    HealthProbe::new(c.backend().clone(), metrics)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let master = MasterLoop::new(problem, config, policies, clients.len(), probes);
         Ok(EnsembleSession {
             problem,
             config,
@@ -368,7 +445,12 @@ impl<'p> EnsembleSession<'p> {
     }
 
     /// Assembles the training report under the given trainer label.
-    pub fn finish(&self, trainer: String) -> TrainingReport {
+    ///
+    /// # Errors
+    ///
+    /// [`EqcError::ClientCountMismatch`] when the executor failed to
+    /// hand every client back before reporting.
+    pub fn finish(&self, trainer: String) -> Result<TrainingReport, EqcError> {
         self.master.report(self.problem, trainer, &self.clients)
     }
 }

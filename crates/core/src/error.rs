@@ -33,6 +33,25 @@ pub enum EqcError {
     Device(DeviceError),
     /// The session already ran; build a fresh session to train again.
     SessionConsumed,
+    /// The master was asked for an assignment but its cyclic schedule
+    /// holds no tasks.
+    EmptySchedule,
+    /// A result was filed for a `(cycle, parameter)` gather that was
+    /// never registered by a dispatch.
+    UnknownGather {
+        /// Cycle index of the orphaned result.
+        cycle: usize,
+        /// Parameter index of the orphaned result.
+        param: usize,
+    },
+    /// A report was requested over a different number of clients than
+    /// the master was built for.
+    ClientCountMismatch {
+        /// Clients the master tracks.
+        expected: usize,
+        /// Clients handed to the report.
+        got: usize,
+    },
     /// An internal invariant broke (e.g. a worker thread panicked).
     Internal(String),
 }
@@ -60,6 +79,21 @@ impl fmt::Display for EqcError {
             EqcError::Device(source) => write!(f, "invalid device description: {source}"),
             EqcError::SessionConsumed => {
                 write!(f, "session already trained; create a new session")
+            }
+            EqcError::EmptySchedule => {
+                write!(f, "the cyclic schedule holds no tasks to assign")
+            }
+            EqcError::UnknownGather { cycle, param } => {
+                write!(
+                    f,
+                    "result filed for unregistered gather (cycle {cycle}, parameter {param})"
+                )
+            }
+            EqcError::ClientCountMismatch { expected, got } => {
+                write!(
+                    f,
+                    "report requested over {got} clients but the master tracks {expected}"
+                )
             }
             EqcError::Internal(msg) => write!(f, "internal error: {msg}"),
         }

@@ -129,8 +129,9 @@ impl Executor for DiscreteEventExecutor {
                         submit: SimTime,
                         clients: &mut Vec<crate::client::ClientNode>,
                         master: &mut crate::master::MasterLoop,
-                        queue: &mut BinaryHeap<Event>| {
-            let a: Assignment = master.next_assignment();
+                        queue: &mut BinaryHeap<Event>|
+         -> Result<(), EqcError> {
+            let a: Assignment = master.next_assignment()?;
             let result = clients[client].run_task(problem, a.task, &a.params, cfg.shots, submit);
             queue.push(Event {
                 completed: result.completed,
@@ -139,11 +140,12 @@ impl Executor for DiscreteEventExecutor {
                 cycle: a.cycle,
                 dispatched_at_update: a.dispatched_at_update,
             });
+            Ok(())
         };
 
-        // Prime every client with one task.
-        for c in 0..n {
-            dispatch(c, SimTime::ZERO, clients, master, &mut queue);
+        // Prime every client with one task, in scheduler-policy order.
+        for c in master.prime_order()? {
+            dispatch(c, master.now(), clients, master, &mut queue)?;
         }
 
         while !master.is_complete() {
@@ -156,17 +158,20 @@ impl Executor for DiscreteEventExecutor {
                 ev.dispatched_at_update,
                 &ev.result,
                 problem,
-            );
+            )?;
             if master.is_complete() {
                 break;
             }
             // Algorithm 1: "sends a new parameter to differentiate at an
-            // idle client".
-            dispatch(ev.client, master.now(), clients, master, &mut queue);
+            // idle client" — the freed client, unless the health policy
+            // benched it, plus any client re-admitted this absorb.
+            for c in master.dispatch_order(ev.client)? {
+                dispatch(c, master.now(), clients, master, &mut queue)?;
+            }
         }
 
         let label = format!("eqc[{n}]");
-        Ok(session.finish(label))
+        session.finish(label)
     }
 }
 
@@ -245,9 +250,15 @@ impl Executor for ThreadedExecutor {
             // handle is left unjoined for `thread::scope` to re-panic on.
             let mut drive = || -> Result<(), EqcError> {
                 let (_, master) = session.split_mut();
-                for tx in &task_txs {
-                    tx.send(master.next_assignment())
-                        .map_err(|_| EqcError::Internal("client thread exited early".into()))?;
+                let send = |c: usize, a: Assignment| {
+                    task_txs[c]
+                        .send(a)
+                        .map_err(|_| EqcError::Internal("client thread exited early".into()))
+                };
+                // Prime every client, in scheduler-policy order.
+                for c in master.prime_order()? {
+                    let a = master.next_assignment()?;
+                    send(c, a)?;
                 }
                 while !master.is_complete() {
                     let tr = result_rx
@@ -259,13 +270,16 @@ impl Executor for ThreadedExecutor {
                         tr.dispatched_at_update,
                         &tr.result,
                         problem,
-                    );
+                    )?;
                     if master.is_complete() {
                         break;
                     }
-                    task_txs[tr.client]
-                        .send(master.next_assignment())
-                        .map_err(|_| EqcError::Internal("client thread exited early".into()))?;
+                    // The freed client (unless benched) plus any client
+                    // re-admitted by this absorb goes back to work.
+                    for c in master.dispatch_order(tr.client)? {
+                        let a = master.next_assignment()?;
+                        send(c, a)?;
+                    }
                 }
                 Ok(())
             };
@@ -292,7 +306,7 @@ impl Executor for ThreadedExecutor {
         outcome?;
 
         let label = format!("eqc-threaded[{n}]");
-        Ok(session.finish(label))
+        session.finish(label)
     }
 }
 
@@ -330,25 +344,40 @@ impl Executor for SequentialExecutor {
         // assignment repeats identically every epoch.
         let mut param_round = 0usize;
         let mut current_cycle = 0usize;
+        // The active-client rotation, refreshed only when the health
+        // policy changes membership — the steady state allocates
+        // nothing per slice.
+        let mut active: Vec<usize> = (0..n).collect();
+        let mut membership = master.membership_generation();
 
         while !master.is_complete() {
-            let group = master.next_group();
+            let group = master.next_group().ok_or(EqcError::EmptySchedule)?;
             if group.0 != current_cycle {
                 current_cycle = group.0;
                 param_round = 0;
             }
             let group_start = barrier;
             let mut k = 0usize;
-            // Fan the group's slices round-robin across the fleet; each
-            // client chains its own slices serially.
-            while !master.is_complete() && master.next_group() == group {
-                let a = master.next_assignment();
-                let ci = (param_round + k) % n;
+            // Fan the group's slices round-robin across the *active*
+            // fleet (the barrier model leaves no idle-client choice for
+            // the scheduler policy, but eviction/re-admission is
+            // honored: benched clients drop out of the rotation and
+            // re-admitted ones rejoin on the next slice); each client
+            // chains its own slices serially.
+            while !master.is_complete() && master.next_group() == Some(group) {
+                let a = master.next_assignment()?;
+                if master.membership_generation() != membership {
+                    membership = master.membership_generation();
+                    active.clear();
+                    active.extend((0..n).filter(|&c| master.is_active(c)));
+                }
+                let ci = active[(param_round + k) % active.len()];
                 let submit = local[ci].max(group_start);
                 let r = clients[ci].run_task(problem, a.task, &a.params, cfg.shots, submit);
                 local[ci] = r.completed;
                 barrier = barrier.max(r.completed);
-                master.absorb(ci, a.cycle, a.dispatched_at_update, &r, problem);
+                master.absorb(ci, a.cycle, a.dispatched_at_update, &r, problem)?;
+                master.drain_readmitted(); // rejoin via the active filter
                 k += 1;
             }
             param_round += 1;
@@ -364,7 +393,7 @@ impl Executor for SequentialExecutor {
         } else {
             format!("sync[{n}]")
         };
-        Ok(session.finish(label))
+        session.finish(label)
     }
 }
 

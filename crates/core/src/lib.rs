@@ -53,6 +53,17 @@
 //! Failures are values: every constructor and training entry point
 //! returns [`EqcError`] instead of panicking.
 //!
+//! ## Policies — the master's decision axes
+//!
+//! Orthogonal to *where* tasks run is *what the master decides*: which
+//! client gets the next slice ([`Scheduler`]: [`Cyclic`],
+//! [`LeastLoaded`]), how much each gradient counts ([`Weighting`]:
+//! [`FidelityWeighted`], [`EquiEnsemble`], [`StalenessDecay`]), and
+//! whether a drifting client keeps participating ([`ClientHealth`]:
+//! [`AlwaysHealthy`], [`DriftEviction`] with recalibration
+//! re-admission). A [`PolicyConfig`] bundles one of each; the default
+//! stack reproduces the paper's Algorithm 1 byte for byte.
+//!
 //! ## Modules
 //!
 //! * [`ensemble`] — the builder/session surface;
@@ -60,6 +71,8 @@
 //! * [`pool`] — the bounded worker-pool substrate behind
 //!   [`PooledExecutor`];
 //! * [`master`] — the shared master loop (Algorithm 1);
+//! * [`policy`] — the pluggable scheduler / weighting / health layer
+//!   the master consults;
 //! * [`client`] — the client node (Algorithm 2): transpile once, serve
 //!   batched shift-rule jobs, report gradients + `P_correct`;
 //! * [`weighting`] — Eq. 2 and the bounded linear weight normalization of
@@ -80,6 +93,7 @@ pub mod ensemble;
 pub mod error;
 pub mod executor;
 pub mod master;
+pub mod policy;
 pub mod pool;
 pub mod report;
 pub mod stats;
@@ -88,14 +102,22 @@ pub mod trainer;
 pub mod weighting;
 
 pub use client::{ClientNode, ClientTaskResult};
-pub use config::{EqcConfig, PoolConfig};
+pub use config::{EqcConfig, PolicyConfig, PoolConfig};
 pub use convergence::ConvergenceParams;
 pub use ensemble::{Ensemble, EnsembleBuilder, EnsembleSession};
 pub use error::EqcError;
 pub use executor::{DiscreteEventExecutor, Executor, SequentialExecutor, ThreadedExecutor};
 pub use master::{Assignment, MasterLoop};
+pub use policy::{
+    AlwaysHealthy, ClientHealth, Cyclic, DriftEviction, EquiEnsemble, FidelityWeighted,
+    HealthContext, HealthVerdict, LeastLoaded, ScheduleContext, Scheduler, StalenessDecay,
+    WeightContext, WeightDecision, Weighting,
+};
 pub use pool::PooledExecutor;
-pub use report::{ClientStats, EpochRecord, PoolTelemetry, TrainingReport, WeightSample};
+pub use report::{
+    ClientStats, EpochRecord, EvictionEvent, MembershipChange, PolicyTelemetry, PoolTelemetry,
+    TrainingReport, WeightProvenance, WeightSample,
+};
 pub use trainer::ideal_backend;
 pub use weighting::{normalize_weights, p_correct, WeightBounds};
 

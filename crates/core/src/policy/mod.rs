@@ -1,0 +1,41 @@
+//! The master node's pluggable policy layer.
+//!
+//! Algorithm 1 of the paper makes three separable decisions every time a
+//! result lands: **which client** gets the next slice of the cyclic
+//! schedule, **how much** each client's gradient contribution counts, and
+//! **whether** a drifting client should keep contributing at all. The
+//! seed implementation hard-coded all three into the [`MasterLoop`]
+//! state machine; this module rips them out into three traits the master
+//! *consults*, so a new scenario is a new policy impl instead of a fork
+//! of `master.rs`:
+//!
+//! | Axis | Trait | Shipped impls |
+//! |---|---|---|
+//! | task → client | [`Scheduler`] | [`Cyclic`] (historical first-free order), [`LeastLoaded`] (queue-aware, fed by [`qdevice::QueueModel`] estimates) |
+//! | gradient weight | [`Weighting`] | [`FidelityWeighted`] (the paper's Eq. 2/4 path, extracted verbatim), [`EquiEnsemble`] (uniform, arXiv:2509.17982), [`StalenessDecay`] (attenuates stale ASGD updates) |
+//! | participation | [`ClientHealth`] | [`AlwaysHealthy`], [`DriftEviction`] (threshold eviction on degraded reported calibration, re-admission after recalibration) |
+//!
+//! Policies are stateless, `Send + Sync` values: all mutable bookkeeping
+//! (baselines, eviction sets, weighting history) stays in the
+//! [`MasterLoop`], which hands each decision an immutable context
+//! snapshot. That keeps every impl trivially shareable across the four
+//! executors — including the deterministic worker pool, which must
+//! replay the discrete-event decision sequence bit for bit.
+//!
+//! A stack of three policies is a [`PolicyConfig`]; the default stack
+//! ([`Cyclic`] + [`FidelityWeighted`] + [`AlwaysHealthy`]) reproduces
+//! the pre-policy master loop byte for byte, which the executor
+//! equivalence tests use as the refactor oracle.
+//!
+//! [`MasterLoop`]: crate::MasterLoop
+//! [`PolicyConfig`]: crate::config::PolicyConfig
+
+pub mod health;
+pub mod scheduler;
+pub mod weighting;
+
+pub use health::{AlwaysHealthy, ClientHealth, DriftEviction, HealthContext, HealthVerdict};
+pub use scheduler::{Cyclic, LeastLoaded, ScheduleContext, Scheduler};
+pub use weighting::{
+    EquiEnsemble, FidelityWeighted, StalenessDecay, WeightContext, WeightDecision, Weighting,
+};

@@ -1,0 +1,132 @@
+//! Task → client assignment policies.
+//!
+//! The cyclic *task* schedule is fixed (Algorithm 1 walks every
+//! parameter's slices in order); what a [`Scheduler`] decides is which
+//! idle client the next task is handed to. In the asynchronous
+//! executors there is usually exactly one candidate — the client whose
+//! result was just absorbed — so the choice only opens up at priming
+//! time, after a re-admission, and in any future executor that keeps
+//! more than one task in flight per client.
+
+use std::fmt;
+
+/// Everything a [`Scheduler`] may consult for one assignment decision.
+///
+/// `candidates` and `queue_wait_s` are parallel slices: candidate `i`
+/// is client `candidates[i]` with an estimated queue wait of
+/// `queue_wait_s[i]` seconds were a job submitted now. Candidates are
+/// idle, healthy clients in ascending id order, and never empty.
+#[derive(Clone, Debug)]
+pub struct ScheduleContext<'a> {
+    /// Idle, healthy clients eligible for the next task (ascending id).
+    pub candidates: &'a [usize],
+    /// Estimated queue wait in seconds per candidate (same indexing as
+    /// `candidates`), from each device's [`qdevice::QueueModel`] at the
+    /// current virtual time.
+    pub queue_wait_s: &'a [f64],
+    /// Current virtual time, hours.
+    pub now_hours: f64,
+}
+
+/// Picks the client for the next task of the cyclic schedule.
+///
+/// Implementations must be deterministic pure functions of the context:
+/// the deterministic worker pool replays the discrete-event executor's
+/// decision sequence, so a scheduler that consulted wall-clock or an
+/// internal RNG would break byte-equivalence across substrates.
+pub trait Scheduler: fmt::Debug + Send + Sync {
+    /// Policy name as reported in [`PolicyTelemetry`](crate::report::PolicyTelemetry).
+    fn name(&self) -> &'static str;
+
+    /// Whether [`Scheduler::pick`] reads `ctx.queue_wait_s`. When
+    /// `false` (e.g. [`Cyclic`]) the master passes zeros instead of
+    /// querying every candidate's queue model, and sessions skip
+    /// building scheduling probes altogether.
+    fn needs_queue_estimates(&self) -> bool {
+        true
+    }
+
+    /// Returns the chosen client id, which must be one of
+    /// `ctx.candidates`. (The master treats an out-of-set pick as the
+    /// first candidate rather than corrupting its dispatch state.)
+    fn pick(&self, ctx: &ScheduleContext<'_>) -> usize;
+}
+
+/// The historical assignment order: the first idle client in id order —
+/// which, in the one-task-in-flight executors, is the client that just
+/// freed up. Preserves the seed master loop's client order exactly.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Cyclic;
+
+impl Scheduler for Cyclic {
+    fn name(&self) -> &'static str {
+        "cyclic"
+    }
+
+    fn needs_queue_estimates(&self) -> bool {
+        false
+    }
+
+    fn pick(&self, ctx: &ScheduleContext<'_>) -> usize {
+        ctx.candidates[0]
+    }
+}
+
+/// Queue-aware assignment: among idle clients, pick the device with the
+/// smallest estimated queue wait right now (ties break toward the lower
+/// client id). Fed by [`qdevice::QueueModel::wait_s`] estimates, so a
+/// congested device stops attracting work at its diurnal peak.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LeastLoaded;
+
+impl Scheduler for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+
+    fn pick(&self, ctx: &ScheduleContext<'_>) -> usize {
+        let mut best = 0usize;
+        for i in 1..ctx.candidates.len() {
+            // Strict `<` keeps ties on the lower client id; `total_cmp`
+            // keeps a NaN estimate from winning the argmin.
+            if ctx.queue_wait_s[i].total_cmp(&ctx.queue_wait_s[best]) == std::cmp::Ordering::Less {
+                best = i;
+            }
+        }
+        ctx.candidates[best]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(candidates: &'a [usize], waits: &'a [f64]) -> ScheduleContext<'a> {
+        ScheduleContext {
+            candidates,
+            queue_wait_s: waits,
+            now_hours: 0.0,
+        }
+    }
+
+    #[test]
+    fn cyclic_picks_the_first_candidate() {
+        assert_eq!(Cyclic.pick(&ctx(&[3, 5, 9], &[60.0, 1.0, 2.0])), 3);
+        assert_eq!(Cyclic.pick(&ctx(&[7], &[0.0])), 7);
+    }
+
+    #[test]
+    fn least_loaded_picks_the_smallest_wait() {
+        assert_eq!(LeastLoaded.pick(&ctx(&[0, 1, 2], &[60.0, 5.0, 90.0])), 1);
+        // Ties break toward the lower client id.
+        assert_eq!(LeastLoaded.pick(&ctx(&[4, 8], &[5.0, 5.0])), 4);
+        // A NaN estimate never wins.
+        assert_eq!(LeastLoaded.pick(&ctx(&[0, 1], &[f64::NAN, 5.0])), 1);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Cyclic.name(), "cyclic");
+        assert_eq!(LeastLoaded.name(), "least-loaded");
+    }
+}

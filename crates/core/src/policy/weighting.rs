@@ -1,0 +1,279 @@
+//! Gradient-weighting policies.
+//!
+//! Eq. 4 of the paper multiplies the ASGD learning rate by a per-client
+//! weight. *How* that weight is derived is a contested design axis:
+//! the paper normalizes Eq. 2 `P_correct` scores into a band
+//! ([`FidelityWeighted`]); Rajamani et al. (arXiv:2509.17982) report
+//! that uniform equi-ensemble weighting systematically beats
+//! fidelity-weighted VQE ([`EquiEnsemble`]); and the ASGD literature
+//! attenuates updates by their staleness ([`StalenessDecay`]). Each is
+//! a [`Weighting`] impl the master consults per absorbed result.
+
+use crate::error::EqcError;
+use crate::weighting::WeightBounds;
+use std::fmt;
+
+/// Snapshot of the weighting state at the moment one result is absorbed.
+#[derive(Clone, Debug)]
+pub struct WeightContext<'a> {
+    /// The client whose result is being absorbed.
+    pub client: usize,
+    /// Fleet width.
+    pub n_clients: usize,
+    /// Latest reported `P_correct` per client (1.0 until first report).
+    pub last_p_correct: &'a [f64],
+    /// Whether each client has reported at least once.
+    pub reported: &'a [bool],
+    /// The configured weight band ([`EqcConfig::weight_bounds`]); `None`
+    /// trains unweighted.
+    ///
+    /// [`EqcConfig::weight_bounds`]: crate::EqcConfig
+    pub bounds: Option<WeightBounds>,
+    /// Parameter updates applied since this result's task was
+    /// dispatched (the ASGD delay `D` of Eq. 12 at absorb time).
+    pub staleness: u64,
+}
+
+/// A weighting decision: the scalar applied to this result's gradient,
+/// plus (optionally) the full per-client weight vector to record in the
+/// report's weight trace (Fig. 5).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WeightDecision {
+    /// Multiplier on the result's gradient contribution (Eq. 4's `w`).
+    pub weight: f64,
+    /// When `Some`, the master appends this per-client vector to
+    /// [`TrainingReport::weight_trace`](crate::TrainingReport).
+    pub ensemble_trace: Option<Vec<f64>>,
+}
+
+impl WeightDecision {
+    /// An unweighted decision (`w = 1`, no trace sample).
+    pub fn unweighted() -> Self {
+        WeightDecision {
+            weight: 1.0,
+            ensemble_trace: None,
+        }
+    }
+}
+
+/// Computes the weight of one absorbed gradient contribution.
+///
+/// Implementations must be deterministic pure functions of the context
+/// (see [`Scheduler`](crate::policy::Scheduler) for why).
+pub trait Weighting: fmt::Debug + Send + Sync {
+    /// Policy name as reported in [`PolicyTelemetry`](crate::report::PolicyTelemetry).
+    fn name(&self) -> &'static str;
+
+    /// The weight for the result described by `ctx`.
+    fn weight(&self, ctx: &WeightContext<'_>) -> WeightDecision;
+}
+
+/// Weights from the latest `P_correct` per client: clients that have not
+/// reported yet ride at the band midpoint so one fast device cannot
+/// dominate the normalization early. Shared by every executor.
+pub(crate) fn effective_weights(last_p: &[f64], seen: &[bool], bounds: WeightBounds) -> Vec<f64> {
+    let reported: Vec<f64> = last_p
+        .iter()
+        .zip(seen)
+        .filter(|(_, s)| **s)
+        .map(|(p, _)| *p)
+        .collect();
+    if reported.len() < 2 {
+        return vec![bounds.midpoint(); last_p.len()];
+    }
+    let min = reported.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = reported.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    last_p
+        .iter()
+        .zip(seen)
+        .map(|(p, s)| {
+            if !s || span < 1e-12 {
+                bounds.midpoint()
+            } else {
+                bounds.lo + (p - min) / span * (bounds.hi - bounds.lo)
+            }
+        })
+        .collect()
+}
+
+/// The paper's adaptive weighting system (Section IV / Eq. 4),
+/// extracted verbatim from the seed master loop: every client's latest
+/// `P_correct` is linearly rescaled into the configured band, the
+/// reporting client takes its banded weight, and the full vector is
+/// recorded in the weight trace. With no band configured — or fewer
+/// than two clients, where there is nothing to normalize against — the
+/// update rides unweighted, exactly as before.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FidelityWeighted;
+
+impl Weighting for FidelityWeighted {
+    fn name(&self) -> &'static str {
+        "fidelity"
+    }
+
+    fn weight(&self, ctx: &WeightContext<'_>) -> WeightDecision {
+        match ctx.bounds {
+            Some(_) if ctx.n_clients < 2 => WeightDecision::unweighted(),
+            Some(bounds) => {
+                let ws = effective_weights(ctx.last_p_correct, ctx.reported, bounds);
+                WeightDecision {
+                    weight: ws[ctx.client],
+                    ensemble_trace: Some(ws),
+                }
+            }
+            None => WeightDecision::unweighted(),
+        }
+    }
+}
+
+/// Uniform weighting: every client's gradient counts the same
+/// (`w = 1`), whatever its calibration reports. Rajamani et al.
+/// (arXiv:2509.17982) find this systematically beats fidelity-weighted
+/// VQE — the ablation [`fig_policies`] harness exists to test exactly
+/// that claim on this codebase's fleets. Ignores the configured band
+/// and records no weight trace.
+///
+/// [`fig_policies`]: ../../bench/index.html
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EquiEnsemble;
+
+impl Weighting for EquiEnsemble {
+    fn name(&self) -> &'static str {
+        "equi-ensemble"
+    }
+
+    fn weight(&self, _ctx: &WeightContext<'_>) -> WeightDecision {
+        WeightDecision::unweighted()
+    }
+}
+
+/// Staleness-attenuated weighting: `w = 1 / (1 + lambda * D)` where `D`
+/// is the number of parameter updates applied since the task was
+/// dispatched. A fresh result (`D = 0`) rides at full weight; results
+/// delayed behind a congested queue contribute less, bounding the ASGD
+/// error term that Eq. 12-14's convergence analysis charges to delay.
+#[derive(Clone, Copy, Debug)]
+pub struct StalenessDecay {
+    lambda: f64,
+}
+
+impl StalenessDecay {
+    /// Creates the policy with decay rate `lambda` per update of delay.
+    ///
+    /// # Errors
+    ///
+    /// [`EqcError::InvalidConfig`] if `lambda` is negative or
+    /// non-finite.
+    pub fn new(lambda: f64) -> Result<Self, EqcError> {
+        if !(lambda.is_finite() && lambda >= 0.0) {
+            return Err(EqcError::InvalidConfig(format!(
+                "staleness decay rate must be non-negative and finite, got {lambda}"
+            )));
+        }
+        Ok(StalenessDecay { lambda })
+    }
+
+    /// The configured decay rate.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl Default for StalenessDecay {
+    /// `lambda = 0.5`: a result one update stale contributes 2/3 of a
+    /// fresh one.
+    fn default() -> Self {
+        StalenessDecay { lambda: 0.5 }
+    }
+}
+
+impl Weighting for StalenessDecay {
+    fn name(&self) -> &'static str {
+        "staleness-decay"
+    }
+
+    fn weight(&self, ctx: &WeightContext<'_>) -> WeightDecision {
+        WeightDecision {
+            weight: 1.0 / (1.0 + self.lambda * ctx.staleness as f64),
+            ensemble_trace: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(
+        client: usize,
+        last_p: &'a [f64],
+        reported: &'a [bool],
+        bounds: Option<WeightBounds>,
+        staleness: u64,
+    ) -> WeightContext<'a> {
+        WeightContext {
+            client,
+            n_clients: last_p.len(),
+            last_p_correct: last_p,
+            reported,
+            bounds,
+            staleness,
+        }
+    }
+
+    #[test]
+    fn fidelity_matches_the_seed_semantics() {
+        let bounds = WeightBounds::default_band();
+        // No band -> unweighted, no trace.
+        let d = FidelityWeighted.weight(&ctx(0, &[0.9, 0.4], &[true, true], None, 0));
+        assert_eq!(d, WeightDecision::unweighted());
+        // Single client -> weighting inert even with a band.
+        let d = FidelityWeighted.weight(&ctx(0, &[0.9], &[true], Some(bounds), 0));
+        assert_eq!(d, WeightDecision::unweighted());
+        // Two reported clients -> banded weights plus a trace sample.
+        let d = FidelityWeighted.weight(&ctx(0, &[0.9, 0.4], &[true, true], Some(bounds), 3));
+        assert_eq!(d.weight, 1.5, "best device takes the band top");
+        assert_eq!(d.ensemble_trace, Some(vec![1.5, 0.5]));
+    }
+
+    #[test]
+    fn fidelity_rides_midpoint_until_two_reports() {
+        let bounds = WeightBounds::default_band();
+        let d = FidelityWeighted.weight(&ctx(
+            1,
+            &[0.9, 1.0, 0.4],
+            &[true, false, false],
+            Some(bounds),
+            0,
+        ));
+        assert_eq!(d.weight, 1.0);
+        assert_eq!(d.ensemble_trace, Some(vec![1.0, 1.0, 1.0]));
+    }
+
+    #[test]
+    fn equi_ensemble_is_uniform_whatever_the_fleet_reports() {
+        let bounds = WeightBounds::new(0.25, 1.75).unwrap();
+        for client in 0..3 {
+            let d =
+                EquiEnsemble.weight(&ctx(client, &[0.99, 0.2, 0.6], &[true; 3], Some(bounds), 4));
+            assert_eq!(d, WeightDecision::unweighted());
+        }
+    }
+
+    #[test]
+    fn staleness_decay_attenuates_delayed_updates() {
+        let policy = StalenessDecay::new(0.5).unwrap();
+        let w = |s| {
+            policy
+                .weight(&ctx(0, &[1.0, 1.0], &[true; 2], None, s))
+                .weight
+        };
+        assert_eq!(w(0), 1.0, "fresh result rides at full weight");
+        assert!((w(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!(w(8) < w(2), "more delay, less weight");
+        assert!(StalenessDecay::new(-0.1).is_err());
+        assert!(StalenessDecay::new(f64::NAN).is_err());
+        assert_eq!(StalenessDecay::default().lambda(), 0.5);
+    }
+}

@@ -377,7 +377,7 @@ impl Executor for PooledExecutor {
         } else {
             format!("eqc-pooled[{n}]")
         };
-        Ok(session.finish(label))
+        session.finish(label)
     }
 }
 
@@ -400,8 +400,9 @@ fn drive_deterministic(
                     submit: SimTime,
                     master: &mut crate::master::MasterLoop,
                     bounds: &mut Vec<Option<InflightBound>>,
-                    in_flight: &mut usize| {
-        let assignment = master.next_assignment();
+                    in_flight: &mut usize|
+     -> Result<(), EqcError> {
+        let assignment = master.next_assignment()?;
         let instant = PooledExecutor::is_instant(problem, &assignment);
         bounds[client] = Some(PooledExecutor::bound_for(
             &queue_models[client],
@@ -414,12 +415,13 @@ fn drive_deterministic(
             assignment,
             submit,
         });
+        Ok(())
     };
 
-    // Prime every client with one task, in client order — exactly the
-    // discrete-event executor's prime loop.
-    for c in 0..n {
-        dispatch(c, SimTime::ZERO, master, &mut bounds, &mut in_flight);
+    // Prime every client with one task, in scheduler-policy order —
+    // exactly the discrete-event executor's prime loop.
+    for c in master.prime_order()? {
+        dispatch(c, master.now(), master, &mut bounds, &mut in_flight)?;
     }
 
     while !master.is_complete() {
@@ -437,13 +439,17 @@ fn drive_deterministic(
                 ev.dispatched_at_update,
                 &ev.result,
                 problem,
-            );
+            )?;
             if master.is_complete() {
                 break;
             }
             // Algorithm 1: the freed client immediately receives the
-            // next task at the master's current virtual time.
-            dispatch(ev.client, master.now(), master, &mut bounds, &mut in_flight);
+            // next task at the master's current virtual time — unless
+            // the health policy benched it; re-admitted clients rejoin
+            // the dispatch rotation here.
+            for c in master.dispatch_order(ev.client)? {
+                dispatch(c, master.now(), master, &mut bounds, &mut in_flight)?;
+            }
         } else if in_flight > 0 {
             match result_rx.recv() {
                 Ok(WorkerMsg::Done(done)) => {
@@ -489,10 +495,12 @@ fn drive_arrival(
     let problem = session.problem();
     let mut local_time = vec![SimTime::ZERO; n];
     let (_, master) = session.split_mut();
-    for client in 0..n {
+    // Prime every client, in scheduler-policy order.
+    for client in master.prime_order()? {
+        let assignment = master.next_assignment()?;
         runq.push(PoolTask {
             client,
-            assignment: master.next_assignment(),
+            assignment,
             submit: SimTime::ZERO,
         });
     }
@@ -506,15 +514,20 @@ fn drive_arrival(
                     done.dispatched_at_update,
                     &done.result,
                     problem,
-                );
+                )?;
                 if master.is_complete() {
                     break;
                 }
-                runq.push(PoolTask {
-                    client: done.client,
-                    assignment: master.next_assignment(),
-                    submit: local_time[done.client],
-                });
+                // Honor eviction/re-admission in the arrival-order
+                // dispatch loop too.
+                for client in master.dispatch_order(done.client)? {
+                    let assignment = master.next_assignment()?;
+                    runq.push(PoolTask {
+                        client,
+                        assignment,
+                        submit: local_time[client],
+                    });
+                }
             }
             Ok(WorkerMsg::Panicked(client)) => {
                 return Err(EqcError::Internal(format!(

@@ -67,6 +67,66 @@ impl fmt::Display for PoolTelemetry {
     }
 }
 
+/// What happened to one client's ensemble membership, as recorded in
+/// [`PolicyTelemetry::eviction_log`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MembershipChange {
+    /// The health policy benched the client.
+    Evicted,
+    /// A recalibration probe cleared the client to rejoin.
+    Readmitted,
+}
+
+/// One eviction or re-admission event on the virtual timeline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EvictionEvent {
+    /// The affected client.
+    pub client: usize,
+    /// Virtual hours at the decision.
+    pub virtual_hours: f64,
+    /// Whether the client left or rejoined the rotation.
+    pub change: MembershipChange,
+}
+
+/// Where one client's applied weights came from: which weighting policy
+/// produced them and their observed range. One entry per client.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WeightProvenance {
+    /// Client id.
+    pub client: usize,
+    /// Name of the [`Weighting`](crate::policy::Weighting) policy that
+    /// produced every weight this client's gradients were scaled by.
+    pub policy: String,
+    /// Results absorbed (weights applied) for this client.
+    pub samples: u64,
+    /// Smallest applied weight (1.0 when no result was absorbed).
+    pub min_weight: f64,
+    /// Largest applied weight (1.0 when no result was absorbed).
+    pub max_weight: f64,
+}
+
+/// Per-policy telemetry of one training run: which policy stack ran,
+/// what the health layer did, and where each client's weights came
+/// from. Produced by the master, so it is part of the byte-equivalence
+/// surface the deterministic executors must reproduce exactly.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PolicyTelemetry {
+    /// Scheduler policy name.
+    pub scheduler: String,
+    /// Weighting policy name.
+    pub weighting: String,
+    /// Health policy name.
+    pub health: String,
+    /// Total evictions across the run.
+    pub evictions: u64,
+    /// Total re-admissions across the run.
+    pub readmissions: u64,
+    /// Every membership change in decision order.
+    pub eviction_log: Vec<EvictionEvent>,
+    /// Per-client weight provenance.
+    pub weight_provenance: Vec<WeightProvenance>,
+}
+
 /// One weight-trace sample: the ensemble's weights at a virtual time.
 #[derive(Clone, Debug, PartialEq)]
 pub struct WeightSample {
@@ -109,6 +169,8 @@ pub struct TrainingReport {
     pub max_staleness: usize,
     /// Mean observed update staleness.
     pub mean_staleness: f64,
+    /// The policy stack that drove the run and what it did.
+    pub policy: PolicyTelemetry,
 }
 
 impl TrainingReport {
@@ -223,6 +285,17 @@ impl fmt::Display for TrainingReport {
                 c.utilization * 100.0
             )?;
         }
+        if self.policy.evictions > 0 || self.policy.readmissions > 0 {
+            writeln!(
+                f,
+                "  policy {}/{}/{}: {} evictions, {} readmissions",
+                self.policy.scheduler,
+                self.policy.weighting,
+                self.policy.health,
+                self.policy.evictions,
+                self.policy.readmissions
+            )?;
+        }
         Ok(())
     }
 }
@@ -268,6 +341,15 @@ mod tests {
             update_log: (0..4).flat_map(|c| (0..4).map(move |p| (c, p))).collect(),
             max_staleness: 3,
             mean_staleness: 1.2,
+            policy: PolicyTelemetry {
+                scheduler: "cyclic".into(),
+                weighting: "fidelity".into(),
+                health: "always-healthy".into(),
+                evictions: 0,
+                readmissions: 0,
+                eviction_log: vec![],
+                weight_provenance: vec![],
+            },
         }
     }
 

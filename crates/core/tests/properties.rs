@@ -1,0 +1,96 @@
+//! Property-based tests of the weighting math (`eqc_core::weighting`):
+//! the band invariants Fig. 9's sweeps rely on, across randomized
+//! `P_correct` vectors and weight bands.
+
+use eqc_core::weighting::{bound_p_correct, normalize_weights, WeightBounds};
+use proptest::prelude::*;
+
+/// A valid band with `0 <= lo <= hi` and a bounded width.
+fn arb_band() -> impl Strategy<Value = WeightBounds> {
+    (0.0..2.0f64, 0.0..2.0f64).prop_map(|(a, b)| {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        WeightBounds::new(lo, hi).expect("ordered finite band is valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every normalized weight lands inside the configured band
+    /// (inclusive, up to float rounding) — the invariant behind the
+    /// paper's claim that weighting only *rescales* the learning rate
+    /// within `[lo, hi]`.
+    #[test]
+    fn normalized_weights_stay_in_band(
+        ps in proptest::collection::vec(0.0..1.0f64, 1..12),
+        band in arb_band(),
+    ) {
+        let ws = normalize_weights(&ps, band);
+        prop_assert_eq!(ws.len(), ps.len());
+        for &w in &ws {
+            prop_assert!(
+                w >= band.lo - 1e-9 && w <= band.hi + 1e-9,
+                "weight {} escaped band [{}, {}]", w, band.lo, band.hi
+            );
+        }
+    }
+
+    /// The extremes map to the band edges and the order of `P_correct`
+    /// values is preserved by the linear rescale.
+    #[test]
+    fn normalization_is_monotone_and_hits_the_edges(
+        ps in proptest::collection::vec(0.0..1.0f64, 2..12),
+        band in arb_band(),
+    ) {
+        let spread = ps.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - ps.iter().cloned().fold(f64::INFINITY, f64::min);
+        if spread <= 1e-9 {
+            // Degenerate spread is covered by the midpoint property.
+            return Ok(());
+        }
+        let ws = normalize_weights(&ps, band);
+        let imin = ps
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("non-empty")
+            .0;
+        let imax = ps
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("non-empty")
+            .0;
+        prop_assert!((ws[imin] - band.lo).abs() < 1e-9);
+        prop_assert!((ws[imax] - band.hi).abs() < 1e-9);
+        for (i, &pi) in ps.iter().enumerate() {
+            for (j, &pj) in ps.iter().enumerate() {
+                if pi <= pj {
+                    prop_assert!(ws[i] <= ws[j] + 1e-9, "rescale must preserve order");
+                }
+            }
+        }
+    }
+
+    /// Equal `P_correct`s are indistinguishable devices: every weight
+    /// collapses to the band midpoint exactly.
+    #[test]
+    fn equal_p_corrects_map_to_the_midpoint(
+        p in 0.0..1.0f64,
+        n in 1usize..12,
+        band in arb_band(),
+    ) {
+        let ws = normalize_weights(&vec![p; n], band);
+        for &w in &ws {
+            prop_assert_eq!(w, band.midpoint(), "degenerate spread must ride the midpoint");
+        }
+    }
+
+    /// `Bound()` (Algorithm 1) is idempotent and always lands in [0, 1].
+    #[test]
+    fn bound_p_correct_is_a_clamp(p in -10.0..10.0f64) {
+        let b = bound_p_correct(p);
+        prop_assert!((0.0..=1.0).contains(&b));
+        prop_assert_eq!(bound_p_correct(b), b);
+    }
+}

@@ -263,6 +263,17 @@ impl QpuBackend {
         self
     }
 
+    /// Overrides the per-cycle recalibration jitter magnitude (builder
+    /// style; lognormal sigma, default `0.12`). Large values make a
+    /// device's *reported* calibration swing wildly from one
+    /// recalibration to the next — the scenario knob behind the
+    /// drift-eviction policy tests and the `fig_policies` harness's
+    /// flaky fleet member.
+    pub fn with_recal_jitter(mut self, sigma: f64) -> Self {
+        self.recal_jitter = sigma.max(0.0);
+        self
+    }
+
     /// Device name (e.g. `"ibmq_bogota"`).
     pub fn name(&self) -> &str {
         &self.name
@@ -769,6 +780,29 @@ mod tests {
         // New cycle -> new jitter.
         let c = be.reported_calibration(SimTime::from_hours(25.0));
         assert_ne!(a.mean_cx_error(), c.mean_cx_error());
+    }
+
+    #[test]
+    fn recal_jitter_widens_the_reported_swing() {
+        // The same device with a larger jitter sigma reports a wider
+        // spread of error rates across recalibration cycles.
+        let spread = |sigma: f64| {
+            let be = small_backend(11).with_recal_jitter(sigma);
+            let errors: Vec<f64> = (0..8)
+                .map(|cycle| {
+                    be.reported_calibration(SimTime::from_hours(cycle as f64 * 24.0 + 1.0))
+                        .mean_cx_error()
+                })
+                .collect();
+            let max = errors.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let min = errors.iter().copied().fold(f64::INFINITY, f64::min);
+            max / min
+        };
+        assert!(spread(0.0) == 1.0, "zero jitter reports a flat calibration");
+        assert!(
+            spread(2.0) > 4.0 * spread(0.12),
+            "large sigma must widen the cycle-to-cycle swing"
+        );
     }
 
     #[test]

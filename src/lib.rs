@@ -67,14 +67,23 @@ pub use transpile;
 pub use vqa;
 
 /// Convenient single-import surface for applications.
+///
+/// The deprecated pre-0.2 trainer shims (`EqcTrainer`,
+/// `SingleDeviceTrainer`, `SyncEnsembleTrainer`, `train_ideal`,
+/// `train_threaded`) are intentionally *not* re-exported here: their
+/// only remaining in-tree users are their own equivalence tests. Reach
+/// them through [`eqc_core`] directly if you are still migrating.
 pub mod prelude {
+    pub use eqc_core::policy::{
+        AlwaysHealthy, ClientHealth, Cyclic, DriftEviction, EquiEnsemble, FidelityWeighted,
+        LeastLoaded, Scheduler, StalenessDecay, Weighting,
+    };
     pub use eqc_core::{
         ideal_backend, ClientNode, DiscreteEventExecutor, Ensemble, EnsembleBuilder,
-        EnsembleSession, EqcConfig, EqcError, Executor, PoolConfig, PoolTelemetry, PooledExecutor,
-        SequentialExecutor, ThreadedExecutor, TrainingReport, WeightBounds,
+        EnsembleSession, EqcConfig, EqcError, EvictionEvent, Executor, MembershipChange,
+        PolicyConfig, PolicyTelemetry, PoolConfig, PoolTelemetry, PooledExecutor,
+        SequentialExecutor, ThreadedExecutor, TrainingReport, WeightBounds, WeightProvenance,
     };
-    #[allow(deprecated)]
-    pub use eqc_core::{train_ideal, train_threaded, EqcTrainer, SingleDeviceTrainer};
     pub use qcircuit::{Circuit, CircuitBuilder, Gate, Hamiltonian, PauliString};
     pub use qdevice::{catalog, DeviceSpec, QpuBackend, SimTime};
     pub use qsim::{Counts, DensityMatrix, StateVector};

@@ -117,6 +117,9 @@ fn reference_single_device_sgd(
 #[test]
 #[allow(deprecated)]
 fn sequential_on_ideal_matches_old_single_device_trainer() {
+    // The shims left the prelude in 0.2; this equivalence test is their
+    // one sanctioned in-tree caller, so it imports from eqc_core.
+    use eqc_core::SingleDeviceTrainer;
     // Compare the SequentialExecutor (and the deprecated
     // SingleDeviceTrainer shim over it) against an independent
     // re-implementation of the old trainer's loop, on the same ideal

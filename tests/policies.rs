@@ -1,0 +1,335 @@
+//! The policy layer end to end: the default stack is byte-identical to
+//! the pre-policy master loop on every deterministic substrate, and
+//! each non-default policy (EquiEnsemble, StalenessDecay, LeastLoaded,
+//! DriftEviction) changes training in exactly the way it advertises.
+
+use eqc::prelude::*;
+// The flaky-device fixture (reported calibration swinging between
+// 1.8-second recalibration cycles) is shared with the `fig_policies`
+// harness and the `policy_stacks` example.
+use eqc_bench::flaky_backend;
+
+fn qaoa_ensemble(names: &[&str], epochs: usize) -> EnsembleBuilder {
+    Ensemble::builder()
+        .devices(names.iter().copied())
+        .device_seed(7)
+        .config(
+            EqcConfig::paper_qaoa()
+                .with_epochs(epochs)
+                .with_shots(256)
+                .with_weights(WeightBounds::new(0.5, 1.5).expect("valid band")),
+        )
+}
+
+#[test]
+fn explicit_default_stack_is_byte_identical_on_deterministic_executors() {
+    // The refactor oracle: spelling out Cyclic + FidelityWeighted +
+    // AlwaysHealthy must reproduce the implicit default — which carries
+    // the pre-policy master loop's behavior — byte for byte, on every
+    // substrate with a deterministic report.
+    let problem = QaoaProblem::maxcut_ring4();
+    let implicit = qaoa_ensemble(&["belem", "manila", "bogota"], 6)
+        .build()
+        .expect("builds");
+    let explicit = qaoa_ensemble(&["belem", "manila", "bogota"], 6)
+        .policies(PolicyConfig::default())
+        .scheduler(Cyclic)
+        .weighting(FidelityWeighted)
+        .health(AlwaysHealthy)
+        .build()
+        .expect("builds");
+
+    let executors: Vec<(&str, Box<dyn Executor>)> = vec![
+        ("discrete-event", Box::new(DiscreteEventExecutor::new())),
+        ("pooled-deterministic", Box::new(PooledExecutor::new())),
+        ("sequential", Box::new(SequentialExecutor::new())),
+    ];
+    for (name, executor) in &executors {
+        let a = implicit
+            .train_with(executor.as_ref(), &problem)
+            .expect("implicit trains");
+        let b = explicit
+            .train_with(executor.as_ref(), &problem)
+            .expect("explicit trains");
+        assert_eq!(a, b, "{name}: explicit default stack must be a no-op");
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "{name}: byte-identical debug serialization"
+        );
+    }
+
+    // The threaded substrate is nondeterministic by design; assert the
+    // training work and policy telemetry instead of bytes.
+    let a = implicit
+        .train_with(&ThreadedExecutor::new(), &problem)
+        .expect("implicit trains");
+    let b = explicit
+        .train_with(&ThreadedExecutor::new(), &problem)
+        .expect("explicit trains");
+    assert_eq!(a.epochs, b.epochs);
+    assert_eq!(a.updates_applied, b.updates_applied);
+    assert_eq!(a.policy.scheduler, b.policy.scheduler);
+}
+
+#[test]
+fn default_policy_telemetry_is_recorded() {
+    let problem = QaoaProblem::maxcut_ring4();
+    let report = qaoa_ensemble(&["belem", "manila"], 3)
+        .build()
+        .expect("builds")
+        .train(&problem)
+        .expect("trains");
+    assert_eq!(report.policy.scheduler, "cyclic");
+    assert_eq!(report.policy.weighting, "fidelity");
+    assert_eq!(report.policy.health, "always-healthy");
+    assert_eq!(report.policy.evictions, 0);
+    assert_eq!(report.policy.readmissions, 0);
+    assert!(report.policy.eviction_log.is_empty());
+    assert_eq!(report.policy.weight_provenance.len(), 2);
+    for (i, p) in report.policy.weight_provenance.iter().enumerate() {
+        assert_eq!(p.client, i);
+        assert_eq!(p.policy, "fidelity");
+        assert!(p.samples > 0, "client {i} absorbed no results");
+        assert!(
+            (0.5..=1.5).contains(&p.min_weight) && (0.5..=1.5).contains(&p.max_weight),
+            "weights out of the configured band: [{}, {}]",
+            p.min_weight,
+            p.max_weight
+        );
+    }
+}
+
+#[test]
+fn equi_ensemble_neutralizes_the_weight_band() {
+    // Uniform weighting with a band configured must train exactly like
+    // fidelity weighting with no band: both apply w = 1 everywhere.
+    let problem = QaoaProblem::maxcut_ring4();
+    let unweighted_cfg = EqcConfig::paper_qaoa().with_epochs(5).with_shots(256);
+    let fidelity_no_band = Ensemble::builder()
+        .devices(["belem", "x2", "bogota"])
+        .device_seed(7)
+        .config(unweighted_cfg)
+        .build()
+        .expect("builds")
+        .train(&problem)
+        .expect("trains");
+    let equi_with_band = qaoa_ensemble(&["belem", "x2", "bogota"], 5)
+        .weighting(EquiEnsemble)
+        .build()
+        .expect("builds")
+        .train(&problem)
+        .expect("trains");
+
+    assert_eq!(equi_with_band.policy.weighting, "equi-ensemble");
+    assert_eq!(equi_with_band.final_params, fidelity_no_band.final_params);
+    assert_eq!(equi_with_band.update_log, fidelity_no_band.update_log);
+    assert!(equi_with_band.weight_trace.is_empty());
+    for c in &equi_with_band.clients {
+        assert_eq!(c.mean_weight, 1.0, "{} not uniform", c.device);
+    }
+}
+
+#[test]
+fn staleness_decay_attenuates_delayed_updates() {
+    let problem = QaoaProblem::maxcut_ring4();
+    let decayed = qaoa_ensemble(&["belem", "manila", "bogota", "quito"], 8)
+        .weighting(StalenessDecay::new(0.5).expect("valid decay"))
+        .build()
+        .expect("builds")
+        .train(&problem)
+        .expect("trains");
+    assert_eq!(decayed.policy.weighting, "staleness-decay");
+    assert_eq!(decayed.epochs, 8);
+    // Four async clients over two parameters guarantee stale results,
+    // and every stale result must have been attenuated below 1.
+    assert!(decayed.max_staleness >= 1);
+    let min_weight = decayed
+        .policy
+        .weight_provenance
+        .iter()
+        .map(|p| p.min_weight)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        min_weight < 1.0,
+        "staleness decay never attenuated anything (min weight {min_weight})"
+    );
+    let max_weight = decayed
+        .policy
+        .weight_provenance
+        .iter()
+        .map(|p| p.max_weight)
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        max_weight <= 1.0,
+        "decay can only attenuate, got {max_weight}"
+    );
+
+    // And it changes the trajectory relative to the default stack.
+    let default = qaoa_ensemble(&["belem", "manila", "bogota", "quito"], 8)
+        .build()
+        .expect("builds")
+        .train(&problem)
+        .expect("trains");
+    assert_ne!(decayed.final_params, default.final_params);
+}
+
+#[test]
+fn least_loaded_scheduler_is_deterministic_and_changes_the_assignment() {
+    // One congested device in an otherwise quiet fleet: at prime time
+    // the least-loaded scheduler hands the first task to a quiet device
+    // instead of client 0, so the task-to-client mapping — and hence
+    // the whole deterministic trajectory — shifts.
+    let problem = QaoaProblem::maxcut_ring4();
+    let build = |least_loaded: bool| {
+        let spec = catalog::by_name("quito").expect("catalog");
+        let congested = QpuBackend::new(
+            "congested",
+            spec.topology(),
+            spec.calibration(),
+            qdevice::DriftModel::none(),
+            qdevice::QueueModel::congested(600.0, 0.2, 0.0),
+            24.0,
+            5,
+        );
+        let mut b = Ensemble::builder()
+            .backend(congested)
+            .device("belem")
+            .device("manila")
+            .config(EqcConfig::paper_qaoa().with_epochs(4).with_shots(128));
+        if least_loaded {
+            b = b.scheduler(LeastLoaded);
+        }
+        b.build().expect("builds")
+    };
+    let cyclic = build(false).train(&problem).expect("trains");
+    let least = build(true).train(&problem).expect("trains");
+    let least_again = build(true).train(&problem).expect("trains");
+    assert_eq!(least, least_again, "least-loaded must stay deterministic");
+    assert_eq!(least.policy.scheduler, "least-loaded");
+    assert_ne!(
+        cyclic.update_log, least.update_log,
+        "scheduling policy must be observable in the trajectory"
+    );
+}
+
+#[test]
+fn drift_eviction_benches_and_readmits_the_flaky_device() {
+    let problem = QaoaProblem::maxcut_ring4();
+    let build = || {
+        Ensemble::builder()
+            .device("belem")
+            .device("manila")
+            .backend(flaky_backend(42))
+            .device_seed(7)
+            .config(EqcConfig::paper_qaoa().with_epochs(12).with_shots(128))
+            .health(DriftEviction::default())
+            .build()
+            .expect("builds")
+    };
+    let report = build().train(&problem).expect("trains");
+    assert_eq!(report.policy.health, "drift-eviction");
+    assert_eq!(report.epochs, 12, "training must survive evictions");
+    assert!(
+        report.policy.evictions >= 1,
+        "flaky device never evicted: {:?}",
+        report.policy
+    );
+    assert!(
+        report.policy.readmissions >= 1,
+        "flaky device never recalibrated back in: {:?}",
+        report.policy
+    );
+    // The log interleaves: a client must be evicted before it can
+    // rejoin, and every event names the flaky client (id 2).
+    let mut benched = false;
+    for ev in &report.policy.eviction_log {
+        assert_eq!(ev.client, 2, "only the flaky device should flap");
+        match ev.change {
+            MembershipChange::Evicted => {
+                assert!(!benched, "double eviction without re-admission");
+                benched = true;
+            }
+            MembershipChange::Readmitted => {
+                assert!(benched, "re-admission without a prior eviction");
+                benched = false;
+            }
+        }
+    }
+    // The evicted client's schedule share was rerouted, not dropped:
+    // the full epoch budget completed and the healthy clients worked.
+    assert_eq!(
+        report.updates_applied,
+        (12 * vqa::VqaProblem::num_params(&problem)) as u64
+    );
+    for c in &report.clients {
+        assert!(c.tasks_completed > 0, "{} idle", c.device);
+    }
+
+    // The deterministic pool must replay the eviction decisions — and
+    // therefore the whole report — byte for byte.
+    let pooled = build()
+        .train_with(&PooledExecutor::new().workers(2), &problem)
+        .expect("pooled trains");
+    let des = build().train(&problem).expect("DES trains");
+    assert_eq!(
+        format!("{des:?}"),
+        format!("{pooled:?}"),
+        "pool must replay evictions byte-identically"
+    );
+
+    // The threaded and sequential substrates honor eviction too.
+    let threaded = build()
+        .train_with(&ThreadedExecutor::new(), &problem)
+        .expect("threaded trains");
+    assert_eq!(threaded.epochs, 12);
+    let sequential = build()
+        .train_with(&SequentialExecutor::new(), &problem)
+        .expect("sequential trains");
+    assert_eq!(sequential.epochs, 12);
+}
+
+#[test]
+fn drift_eviction_never_benches_the_last_active_client() {
+    let problem = QaoaProblem::maxcut_ring4();
+    let report = Ensemble::builder()
+        .backend(flaky_backend(9))
+        .config(EqcConfig::paper_qaoa().with_epochs(4).with_shots(128))
+        .health(DriftEviction::default())
+        .build()
+        .expect("builds")
+        .train(&problem)
+        .expect("trains");
+    assert_eq!(report.epochs, 4);
+    assert_eq!(
+        report.policy.evictions, 0,
+        "a single-device ensemble can never evict"
+    );
+}
+
+#[test]
+fn policy_session_api_works_from_clients() {
+    // The shim-level session constructor accepts an explicit stack too.
+    let problem = QaoaProblem::maxcut_ring4();
+    let cfg = EqcConfig::paper_qaoa().with_epochs(2).with_shots(128);
+    let clients: Vec<ClientNode> = ["belem", "manila"]
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            ClientNode::new(
+                i,
+                catalog::by_name(n).expect("catalog").backend(7 + i as u64),
+                &problem,
+            )
+            .expect("transpiles")
+        })
+        .collect();
+    let policies = PolicyConfig::default().with_weighting(EquiEnsemble);
+    let mut session = EnsembleSession::from_clients_with_policies(&problem, cfg, policies, clients)
+        .expect("builds");
+    let report = DiscreteEventExecutor::new()
+        .run(&mut session)
+        .expect("trains");
+    assert_eq!(report.policy.weighting, "equi-ensemble");
+    assert_eq!(report.epochs, 2);
+}
