@@ -1,4 +1,4 @@
-//! Policy ablation: the 3×2 weighting × health grid on a fleet with one
+//! Policy ablation: the 4×2 weighting × health grid on a fleet with one
 //! drift-prone member.
 //!
 //! The paper fixes one policy stack (fidelity weighting, no eviction);
@@ -6,10 +6,12 @@
 //! (arXiv:2509.17982) find equi-ensemble weighting beats
 //! fidelity-weighted VQE. This harness trains the same fleet under
 //! every combination of weighting ({`FidelityWeighted`,
-//! `EquiEnsemble`, `StalenessDecay`}) and health ({`AlwaysHealthy`,
-//! `DriftEviction`}) policy, on the deterministic discrete-event
-//! executor, and reports accuracy, speed and the health layer's
-//! activity. The fleet is `EQC_FLEET_CLIENTS - 1` synthesized stable
+//! `EquiEnsemble`, `StalenessDecay`, `Composed(FidelityWeighted,
+//! StalenessDecay)` — the band-rescale × decay cell the ROADMAP's
+//! "weighting × staleness composition" item called for}) and health
+//! ({`AlwaysHealthy`, `DriftEviction`}) policy, on the deterministic
+//! discrete-event executor, and reports accuracy, speed and the health
+//! layer's activity. The fleet is `EQC_FLEET_CLIENTS - 1` synthesized stable
 //! devices plus one flaky member whose reported calibration swings
 //! wildly between 1.8-second recalibration cycles — the workload drift
 //! eviction exists for.
@@ -31,8 +33,8 @@ use eqc_bench::{
     band, env_param, epochs_or, markdown_table, policy_fleet_builder, shots_or, write_csv,
 };
 use eqc_core::policy::{
-    AlwaysHealthy, ClientHealth, DriftEviction, EquiEnsemble, FidelityWeighted, StalenessDecay,
-    Weighting,
+    AlwaysHealthy, ClientHealth, Composed, DriftEviction, EquiEnsemble, FidelityWeighted,
+    StalenessDecay, Weighting,
 };
 use eqc_core::{EqcConfig, PolicyConfig, TrainingReport};
 use std::sync::Arc;
@@ -54,10 +56,11 @@ fn main() {
          with one flaky member ({epochs} epochs, {shots} shots)\n"
     );
 
-    let weightings: [Arc<dyn Weighting>; 3] = [
+    let weightings: [Arc<dyn Weighting>; 4] = [
         Arc::new(FidelityWeighted),
         Arc::new(EquiEnsemble),
         Arc::new(StalenessDecay::default()),
+        Arc::new(Composed(FidelityWeighted, StalenessDecay::default())),
     ];
     let healths: [Arc<dyn ClientHealth>; 2] =
         [Arc::new(AlwaysHealthy), Arc::new(DriftEviction::default())];
@@ -100,7 +103,7 @@ fn main() {
             assert_eq!(report.epochs, epochs, "every cell runs the full budget");
 
             rows.push(vec![
-                weighting.name().to_string(),
+                weighting.label(),
                 health.name().to_string(),
                 ms.to_string(),
                 format!("{:.3}", report.epochs_per_hour()),
@@ -111,7 +114,7 @@ fn main() {
             ]);
             csv.push_str(&format!(
                 "{},{},{ms},{:.6},{:.6},{:.4},{},{}\n",
-                weighting.name(),
+                weighting.label(),
                 health.name(),
                 report.epochs_per_hour(),
                 report.final_loss,
@@ -138,7 +141,7 @@ fn main() {
         );
     }
 
-    println!("\n## The 3x2 grid (deterministic discrete-event runs)\n");
+    println!("\n## The 4x2 grid (deterministic discrete-event runs)\n");
     println!(
         "{}",
         markdown_table(

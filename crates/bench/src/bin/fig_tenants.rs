@@ -1,0 +1,218 @@
+//! Multi-tenant fleet ablation: 1/2/4/8 concurrent training sessions ×
+//! {fair-share, priority} arbitration on one shared device pool.
+//!
+//! The paper multiplexes circuits *within* a chip (Figs. 11/12); the
+//! `FleetRuntime` lifts the idea to the fleet: the devices are the
+//! long-lived resource, training sessions are tenants that borrow
+//! capacity, and a `TenantArbiter` decides who runs what. This harness
+//! scales the tenant count over a fixed synthesized fleet and reports
+//! per-tenant throughput, capacity waits and starvation under both
+//! shipping arbiters — the numbers that make the fairness/priority
+//! trade-off visible.
+//!
+//! Oracles asserted per run: a single tenant on the fleet replays the
+//! standalone `Ensemble::train` byte for byte, every tenant trains its
+//! full epoch budget, and at ≥ 2 tenants every tenant shows nonzero
+//! throughput in the fleet telemetry.
+//!
+//! Run with: `cargo run --release -p eqc-bench --bin fig_tenants`
+//!
+//! Environment: `EQC_FLEET_CLIENTS` (devices, default 64),
+//! `EQC_TENANTS` (max tenants, default 8), `EQC_EPOCHS` (default 4),
+//! `EQC_SHOTS` (default 256).
+//!
+//! Emits one machine-readable JSON line per (tenant count, arbiter)
+//! cell (`{"bench":"tenants4","arbiter":"fair-share",...}`, the
+//! `fleet64` shape) for the perf-trajectory dashboard.
+
+use eqc_bench::{
+    env_param, epochs_or, fleet_ensemble, markdown_table, shots_or, tenant_fleet_builder, write_csv,
+};
+use eqc_core::policy::arbiter::{FairShare, PriorityArbiter};
+use eqc_core::{EqcConfig, FleetBuilder, FleetOutcome, TenantConfig};
+use std::time::Instant;
+use vqa::QaoaProblem;
+
+/// One ablation cell's arbiter: display name + builder configurator.
+type ArbiterCell = (&'static str, fn(FleetBuilder) -> FleetBuilder);
+
+fn main() {
+    let devices = env_param("EQC_FLEET_CLIENTS", 64);
+    let max_tenants = env_param("EQC_TENANTS", 8);
+    let epochs = epochs_or(4);
+    let shots = shots_or(256);
+    let problem = QaoaProblem::maxcut_ring4();
+    let commit = std::env::var("GITHUB_SHA").unwrap_or_else(|_| "local".into());
+    println!(
+        "# Multi-tenant fleet — 1..{max_tenants} tenants x {{fair-share, priority}} \
+         on a {devices}-device pool ({epochs} epochs, {shots} shots each)\n"
+    );
+
+    let cfg = EqcConfig::paper_qaoa()
+        .with_epochs(epochs)
+        .with_shots(shots);
+
+    // Oracle: one tenant on the fleet == the standalone ensemble over
+    // the identical device population, byte for byte.
+    let standalone = fleet_ensemble(devices, cfg)
+        .train(&problem)
+        .expect("standalone trains");
+    {
+        let mut fleet = tenant_fleet_builder(devices).build().expect("fleet builds");
+        fleet
+            .admit(&problem, TenantConfig::new(cfg))
+            .expect("admits");
+        let outcome = fleet.run().expect("single tenant runs");
+        assert_eq!(
+            format!("{standalone:?}"),
+            format!("{:?}", outcome.reports[0]),
+            "single-tenant fleet must replay the standalone ensemble byte for byte"
+        );
+    }
+    println!("single-tenant oracle: fleet == standalone ensemble (byte-identical)\n");
+
+    // Each cell configures its arbiter directly on the builder — no
+    // name round-trip, so adding an arbiter here cannot silently
+    // mislabel its rows.
+    let arbiters: [ArbiterCell; 2] = [
+        ("fair-share", |b| b.arbiter(FairShare)),
+        ("priority", |b| b.arbiter(PriorityArbiter)),
+    ];
+    let sizes: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&k| k <= max_tenants)
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut csv = String::from(
+        "tenants,arbiter,wall_ms,grant_rounds,min_eph,max_eph,total_wait_rounds,\
+         starved_rounds,makespan_h\n",
+    );
+    for &k in &sizes {
+        for &(arbiter_name, with_arbiter) in &arbiters {
+            let mut fleet = with_arbiter(tenant_fleet_builder(devices))
+                .build()
+                .expect("fleet builds");
+            for t in 0..k {
+                // Fair-share ablation: weights 1..k; priority ablation:
+                // tenant t outranks tenant t+1.
+                fleet
+                    .admit(
+                        &problem,
+                        TenantConfig::new(cfg.with_seed(7 + t as u64))
+                            .weight((t + 1) as f64)
+                            .priority((k - t) as i64)
+                            .label(format!("tenant{t}")),
+                    )
+                    .expect("admits");
+            }
+            let start = Instant::now();
+            let outcome = fleet.run().expect("fleet runs");
+            let wall_ms = start.elapsed().as_millis();
+            summarize(&outcome, k, epochs);
+
+            let eph: Vec<f64> = outcome
+                .telemetry
+                .tenants
+                .iter()
+                .map(|t| t.epochs_per_hour)
+                .collect();
+            let min_eph = eph.iter().copied().fold(f64::INFINITY, f64::min);
+            let max_eph = eph.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let wait_rounds: u64 = outcome
+                .telemetry
+                .tenants
+                .iter()
+                .map(|t| t.wait_rounds)
+                .sum();
+            let starved: u64 = outcome
+                .telemetry
+                .tenants
+                .iter()
+                .map(|t| t.starved_rounds)
+                .sum();
+            let makespan_h = outcome
+                .telemetry
+                .tenants
+                .iter()
+                .map(|t| t.virtual_hours)
+                .fold(0.0, f64::max);
+
+            rows.push(vec![
+                k.to_string(),
+                arbiter_name.to_string(),
+                wall_ms.to_string(),
+                outcome.telemetry.grant_rounds.to_string(),
+                format!("{min_eph:.3}"),
+                format!("{max_eph:.3}"),
+                wait_rounds.to_string(),
+                starved.to_string(),
+                format!("{makespan_h:.3}"),
+            ]);
+            csv.push_str(&format!(
+                "{k},{},{wall_ms},{},{min_eph:.6},{max_eph:.6},{wait_rounds},{starved},\
+                 {makespan_h:.6}\n",
+                arbiter_name, outcome.telemetry.grant_rounds,
+            ));
+            println!(
+                "{{\"bench\":\"tenants{k}\",\"arbiter\":\"{}\",\"devices\":{devices},\
+                 \"epochs\":{epochs},\"shots\":{shots},\"wall_ms\":{wall_ms},\
+                 \"grant_rounds\":{},\"min_eph\":{min_eph:.4},\"max_eph\":{max_eph:.4},\
+                 \"wait_rounds\":{wait_rounds},\"starved_rounds\":{starved},\
+                 \"commit\":\"{commit}\"}}",
+                arbiter_name, outcome.telemetry.grant_rounds,
+            );
+        }
+    }
+
+    println!("\n## Tenant scaling (deterministic discrete-event fleet)\n");
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "tenants",
+                "arbiter",
+                "wall ms",
+                "grant rounds",
+                "min epochs/h",
+                "max epochs/h",
+                "wait rounds",
+                "starved rounds",
+                "makespan h"
+            ],
+            &rows
+        )
+    );
+    write_csv("fig_tenants.csv", &csv);
+}
+
+/// Per-cell acceptance checks plus a one-line tenant summary.
+fn summarize(outcome: &FleetOutcome, k: usize, epochs: usize) {
+    assert_eq!(outcome.reports.len(), k);
+    for (report, tenant) in outcome.reports.iter().zip(&outcome.telemetry.tenants) {
+        assert_eq!(report.epochs, epochs, "{} under-trained", tenant.label);
+        assert!(
+            tenant.results_absorbed > 0,
+            "{} absorbed nothing",
+            tenant.label
+        );
+        if k >= 2 {
+            assert!(
+                tenant.epochs_per_hour > 0.0,
+                "{} shows zero throughput",
+                tenant.label
+            );
+        }
+    }
+    for tenant in &outcome.telemetry.tenants {
+        println!(
+            "  [{} x{k}] {}: {:.2} epochs/h, waited {} rounds, starved {} rounds, share {}",
+            outcome.telemetry.arbiter,
+            tenant.label,
+            tenant.epochs_per_hour,
+            tenant.wait_rounds,
+            tenant.starved_rounds,
+            tenant.client_share.iter().sum::<u64>(),
+        );
+    }
+}

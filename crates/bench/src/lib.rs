@@ -97,25 +97,48 @@ pub fn train_ideal_baseline(problem: &dyn VqaProblem, config: EqcConfig) -> Trai
         .unwrap_or_else(|e| panic!("ideal training failed: {e}"))
 }
 
-/// The shared fleet-scaling workload: `n` perturbed 5-qubit devices
-/// (every member inside the density-engine cap) from one pinned base
-/// list and seed, so the `fig_fleet` harness and the `fleet` criterion
-/// bench measure exactly the same fleet.
+/// The pinned fleet population every fleet-scale harness shares: `n`
+/// perturbed 5-qubit devices (every member inside the density-engine
+/// cap) synthesized from one base list and seed. `fig_fleet`,
+/// `fig_tenants`, the `fleet` criterion bench and the policy fleet all
+/// draw from this single definition, so their cross-harness
+/// byte-equality oracles hold by construction.
+pub fn fleet_specs(n: usize) -> Vec<qdevice::DeviceSpec> {
+    let base: Vec<qdevice::DeviceSpec> = ["belem", "manila", "bogota", "quito", "lima"]
+        .iter()
+        .map(|name| qdevice::catalog::by_name(name).expect("catalog device"))
+        .collect();
+    qdevice::catalog::fleet(&base, n, 0xF1EE7)
+}
+
+/// The device-stream seed paired with [`fleet_specs`] everywhere.
+const FLEET_DEVICE_SEED: u64 = 11;
+
+/// The shared fleet-scaling workload: an [`Ensemble`] over
+/// [`fleet_specs`]`(n)`, so the `fig_fleet` harness and the `fleet`
+/// criterion bench measure exactly the same fleet.
 ///
 /// # Panics
 ///
 /// Panics on any [`eqc_core::EqcError`] (harness-level fatal).
 pub fn fleet_ensemble(n: usize, config: EqcConfig) -> Ensemble {
-    let base: Vec<qdevice::DeviceSpec> = ["belem", "manila", "bogota", "quito", "lima"]
-        .iter()
-        .map(|name| qdevice::catalog::by_name(name).expect("catalog device"))
-        .collect();
     Ensemble::builder()
-        .specs(qdevice::catalog::fleet(&base, n, 0xF1EE7))
-        .device_seed(11)
+        .specs(fleet_specs(n))
+        .device_seed(FLEET_DEVICE_SEED)
         .config(config)
         .build()
         .unwrap_or_else(|e| panic!("fleet of {n} failed to build: {e}"))
+}
+
+/// The multi-tenant counterpart of [`fleet_ensemble`]: a
+/// [`FleetRuntime`](eqc_core::FleetRuntime) builder over the *same*
+/// pinned population ([`fleet_specs`]`(n)`, same device seed), so the
+/// `fig_tenants` harness can assert a single tenant on the fleet
+/// replays [`fleet_ensemble`]`.train(..)` byte for byte.
+pub fn tenant_fleet_builder(n: usize) -> eqc_core::FleetBuilder {
+    eqc_core::FleetRuntime::builder()
+        .specs(fleet_specs(n))
+        .device_seed(FLEET_DEVICE_SEED)
 }
 
 /// A device whose *reported* calibration swings wildly between
@@ -147,14 +170,10 @@ pub fn flaky_backend(seed: u64) -> qdevice::QpuBackend {
 /// Panics if `n < 2` (the flaky member needs at least one stable peer).
 pub fn policy_fleet_builder(n: usize, config: EqcConfig) -> eqc_core::EnsembleBuilder {
     assert!(n >= 2, "policy fleet needs >= 2 devices, got {n}");
-    let base: Vec<qdevice::DeviceSpec> = ["belem", "manila", "bogota", "quito", "lima"]
-        .iter()
-        .map(|name| qdevice::catalog::by_name(name).expect("catalog device"))
-        .collect();
     Ensemble::builder()
-        .specs(qdevice::catalog::fleet(&base, n - 1, 0xF1EE7))
+        .specs(fleet_specs(n - 1))
         .backend(flaky_backend(42))
-        .device_seed(11)
+        .device_seed(FLEET_DEVICE_SEED)
         .config(config)
 }
 

@@ -207,6 +207,103 @@ impl Default for PolicyConfig {
     }
 }
 
+/// How one tenant participates in a multi-tenant
+/// [`FleetRuntime`](crate::fleet::FleetRuntime): its training
+/// configuration, its own policy stack (the equi-ensemble result —
+/// arXiv:2509.17982 — shows policy choice is tenant-specific), and the
+/// knobs the fleet's [`TenantArbiter`](crate::policy::TenantArbiter)
+/// reads (fair-share weight, priority).
+///
+/// ```
+/// use eqc_core::policy::EquiEnsemble;
+/// use eqc_core::{EqcConfig, PolicyConfig, TenantConfig};
+///
+/// let tenant = TenantConfig::new(EqcConfig::paper_qaoa().with_epochs(3))
+///     .policies(PolicyConfig::default().with_weighting(EquiEnsemble))
+///     .weight(2.0)
+///     .priority(1)
+///     .label("qaoa-prod");
+/// assert!(tenant.validate().is_ok());
+/// ```
+#[derive(Clone, Debug)]
+pub struct TenantConfig {
+    /// The tenant's training configuration.
+    pub config: EqcConfig,
+    /// The tenant's own policy stack (scheduler / weighting / health).
+    pub policies: PolicyConfig,
+    /// Fair-share weight: under
+    /// [`FairShare`](crate::policy::arbiter::FairShare), fleet capacity
+    /// splits proportionally to these. Must be positive and finite.
+    pub weight: f64,
+    /// Priority: under
+    /// [`PriorityArbiter`](crate::policy::arbiter::PriorityArbiter),
+    /// higher-priority tenants are served first.
+    pub priority: i64,
+    /// Telemetry label; defaults to `tenant<i>` at admission.
+    pub label: Option<String>,
+}
+
+impl TenantConfig {
+    /// Creates a tenant description with the default policy stack,
+    /// weight 1 and priority 0.
+    pub fn new(config: EqcConfig) -> Self {
+        TenantConfig {
+            config,
+            policies: PolicyConfig::default(),
+            weight: 1.0,
+            priority: 0,
+            label: None,
+        }
+    }
+
+    /// Builder-style policy-stack override.
+    pub fn policies(mut self, policies: PolicyConfig) -> Self {
+        self.policies = policies;
+        self
+    }
+
+    /// Builder-style fair-share weight override.
+    pub fn weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Builder-style priority override.
+    pub fn priority(mut self, priority: i64) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Builder-style telemetry label.
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Validates the tenant description.
+    ///
+    /// # Errors
+    ///
+    /// [`EqcError::InvalidConfig`] on an invalid training configuration
+    /// or a non-positive / non-finite fair-share weight.
+    pub fn validate(&self) -> Result<(), EqcError> {
+        self.config.validate()?;
+        if !(self.weight.is_finite() && self.weight > 0.0) {
+            return Err(EqcError::InvalidConfig(format!(
+                "tenant fair-share weight must be positive and finite, got {}",
+                self.weight
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for TenantConfig {
+    fn default() -> Self {
+        TenantConfig::new(EqcConfig::default())
+    }
+}
+
 /// Configuration of the bounded worker pool behind
 /// [`PooledExecutor`](crate::PooledExecutor).
 ///
@@ -320,6 +417,30 @@ mod tests {
             .validate(),
             Err(EqcError::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    fn tenant_config_validates_weight_and_config() {
+        let good = TenantConfig::new(EqcConfig::paper_qaoa().with_epochs(2));
+        assert!(good.validate().is_ok());
+        assert_eq!(good.weight, 1.0);
+        assert_eq!(good.priority, 0);
+        for bad_weight in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(
+                matches!(
+                    TenantConfig::default().weight(bad_weight).validate(),
+                    Err(EqcError::InvalidConfig(_))
+                ),
+                "weight {bad_weight} should be rejected"
+            );
+        }
+        assert!(matches!(
+            TenantConfig::new(EqcConfig::paper_qaoa().with_epochs(0)).validate(),
+            Err(EqcError::InvalidConfig(_))
+        ));
+        let labeled = TenantConfig::default().label("prod").priority(3);
+        assert_eq!(labeled.label.as_deref(), Some("prod"));
+        assert_eq!(labeled.priority, 3);
     }
 
     #[test]

@@ -38,18 +38,136 @@ use crate::master::MasterLoop;
 use crate::policy::health::HealthProbe;
 use crate::policy::{ClientHealth, Scheduler, Weighting};
 use crate::report::TrainingReport;
-use crate::trainer::ideal_backend;
-use qdevice::QpuBackend;
+use qdevice::{Calibration, DriftModel, QpuBackend, QueueModel};
+use transpile::Topology;
 use vqa::VqaProblem;
 
-/// One device slot of an ensemble, resolved lazily where needed.
+/// A noiseless, zero-queue backend: the paper's ideal simulator baseline.
+///
+/// Fully connected topology (no routing), perfect gates, no drift, no
+/// queue wait. Shot noise remains — the ideal baseline in the paper also
+/// samples 8192 shots.
+pub fn ideal_backend(n_qubits: usize, seed: u64) -> QpuBackend {
+    let cal = Calibration::uniform(n_qubits, f64::INFINITY, f64::INFINITY, 0.0, 0.0, 0.0);
+    let queue = QueueModel {
+        overhead_s: 0.0,
+        mean_wait_s: 0.0,
+        diurnal_amplitude: 0.0,
+        phase_hours: 0.0,
+        period_hours: 24.0,
+        reset_time_us: 0.0,
+    };
+    QpuBackend::new(
+        "ideal",
+        Topology::fully_connected(n_qubits.max(2)),
+        cal,
+        DriftModel::none(),
+        queue,
+        24.0,
+        seed,
+    )
+    .with_downtime_hours(0.0)
+}
+
+/// One device slot of an ensemble or fleet, resolved lazily where
+/// needed.
 #[derive(Clone, Debug)]
-enum Device {
+pub(crate) enum Device {
     /// A concrete backend (catalog-resolved or user-supplied).
     Backend(Box<QpuBackend>),
     /// A noiseless zero-latency device, sized to the problem at session
     /// time.
     Ideal { seed: u64 },
+}
+
+/// A device request before catalog resolution, shared by
+/// [`EnsembleBuilder`] and [`FleetBuilder`](crate::fleet::FleetBuilder).
+#[derive(Clone, Debug)]
+pub(crate) enum DeviceChoice {
+    /// A Table I catalog device by name.
+    Named(String),
+    /// An explicit spec (synthesized fleets, hand-tuned variants).
+    Spec(Box<qdevice::DeviceSpec>),
+    /// A fully custom backend.
+    Custom(Box<QpuBackend>),
+    /// The ideal simulator, sized at session time.
+    Ideal,
+}
+
+/// Resolves device requests into concrete device slots: catalog lookup,
+/// per-position noise seeding (`device_seed + i`, the ideal simulator
+/// xors `0x5eed`). One resolution path for ensembles and fleets, so a
+/// single-tenant fleet sees byte-identical devices to a standalone
+/// ensemble built from the same requests.
+pub(crate) fn resolve_devices(
+    choices: Vec<DeviceChoice>,
+    device_seed: u64,
+) -> Result<Vec<Device>, EqcError> {
+    if choices.is_empty() {
+        return Err(EqcError::EmptyEnsemble);
+    }
+    let mut devices = Vec::with_capacity(choices.len());
+    for (i, choice) in choices.into_iter().enumerate() {
+        devices.push(match choice {
+            DeviceChoice::Named(name) => {
+                let spec = qdevice::catalog::by_name(&name)
+                    .ok_or_else(|| EqcError::UnknownDevice(name.clone()))?;
+                Device::Backend(Box::new(spec.backend(device_seed + i as u64)))
+            }
+            DeviceChoice::Spec(spec) => {
+                Device::Backend(Box::new(spec.backend(device_seed + i as u64)))
+            }
+            DeviceChoice::Custom(backend) => Device::Backend(backend),
+            DeviceChoice::Ideal => Device::Ideal {
+                seed: (device_seed + i as u64) ^ 0x5eed,
+            },
+        });
+    }
+    Ok(devices)
+}
+
+/// Transpiles every template of `problem` for every device slot — the
+/// client-construction path shared by [`Ensemble::session`] and
+/// [`FleetRuntime::admit`](crate::fleet::FleetRuntime::admit).
+pub(crate) fn clients_for(
+    devices: &[Device],
+    problem: &dyn VqaProblem,
+) -> Result<Vec<ClientNode>, EqcError> {
+    let mut clients = Vec::with_capacity(devices.len());
+    for (i, device) in devices.iter().enumerate() {
+        let backend = match device {
+            Device::Backend(b) => (**b).clone(),
+            Device::Ideal { seed } => ideal_backend(problem.num_qubits(), *seed),
+        };
+        let device_name = backend.name().to_string();
+        let client =
+            ClientNode::new(i, backend, problem).map_err(|source| EqcError::Transpile {
+                device: device_name,
+                source,
+            })?;
+        clients.push(client);
+    }
+    Ok(clients)
+}
+
+/// Builds the health/scheduling probes for a client set under a policy
+/// stack. Probes cost a backend clone per client; skipped when the
+/// stack can never consult one (the default: `AlwaysHealthy` never
+/// evicts and `Cyclic` ignores queue estimates).
+pub(crate) fn probes_for(policies: &PolicyConfig, clients: &[ClientNode]) -> Vec<HealthProbe> {
+    if policies.health.monitors() || policies.scheduler.needs_queue_estimates() {
+        clients
+            .iter()
+            .map(|c| {
+                let metrics = (0..c.num_templates())
+                    .map(|t| *c.template_metrics(t))
+                    .collect();
+                HealthProbe::new(c.backend().clone(), metrics)
+            })
+            .collect()
+    } else {
+        Vec::new()
+    }
 }
 
 /// A reusable fleet + configuration + policy stack. Create with
@@ -103,20 +221,7 @@ impl Ensemble {
         if problem.num_params() == 0 || problem.tasks().is_empty() {
             return Err(EqcError::EmptyProblem(problem.name()));
         }
-        let mut clients = Vec::with_capacity(self.devices.len());
-        for (i, device) in self.devices.iter().enumerate() {
-            let backend = match device {
-                Device::Backend(b) => (**b).clone(),
-                Device::Ideal { seed } => ideal_backend(problem.num_qubits(), *seed),
-            };
-            let device_name = backend.name().to_string();
-            let client =
-                ClientNode::new(i, backend, problem).map_err(|source| EqcError::Transpile {
-                    device: device_name,
-                    source,
-                })?;
-            clients.push(client);
-        }
+        let clients = clients_for(&self.devices, problem)?;
         EnsembleSession::assemble(problem, self.config, self.policies.clone(), clients)
     }
 
@@ -145,14 +250,6 @@ pub struct EnsembleBuilder {
     policies: PolicyConfig,
     device_seed: u64,
     seed: Option<u64>,
-}
-
-#[derive(Clone, Debug)]
-enum DeviceChoice {
-    Named(String),
-    Spec(Box<qdevice::DeviceSpec>),
-    Custom(Box<QpuBackend>),
-    Ideal,
 }
 
 impl EnsembleBuilder {
@@ -285,28 +382,8 @@ impl EnsembleBuilder {
             None => self.device_seed,
         };
         config.validate()?;
-        if self.devices.is_empty() {
-            return Err(EqcError::EmptyEnsemble);
-        }
-        let mut devices = Vec::with_capacity(self.devices.len());
-        for (i, choice) in self.devices.into_iter().enumerate() {
-            devices.push(match choice {
-                DeviceChoice::Named(name) => {
-                    let spec = qdevice::catalog::by_name(&name)
-                        .ok_or_else(|| EqcError::UnknownDevice(name.clone()))?;
-                    Device::Backend(Box::new(spec.backend(device_seed + i as u64)))
-                }
-                DeviceChoice::Spec(spec) => {
-                    Device::Backend(Box::new(spec.backend(device_seed + i as u64)))
-                }
-                DeviceChoice::Custom(backend) => Device::Backend(backend),
-                DeviceChoice::Ideal => Device::Ideal {
-                    seed: (device_seed + i as u64) ^ 0x5eed,
-                },
-            });
-        }
         Ok(Ensemble {
-            devices,
+            devices: resolve_devices(self.devices, device_seed)?,
             config,
             policies: self.policies,
         })
@@ -371,22 +448,7 @@ impl<'p> EnsembleSession<'p> {
         if problem.num_params() == 0 || problem.tasks().is_empty() {
             return Err(EqcError::EmptyProblem(problem.name()));
         }
-        // Probes cost a backend clone per client; skip them when the
-        // stack can never consult one (the default: AlwaysHealthy never
-        // evicts and Cyclic ignores queue estimates).
-        let probes = if policies.health.monitors() || policies.scheduler.needs_queue_estimates() {
-            clients
-                .iter()
-                .map(|c| {
-                    let metrics = (0..c.num_templates())
-                        .map(|t| *c.template_metrics(t))
-                        .collect();
-                    HealthProbe::new(c.backend().clone(), metrics)
-                })
-                .collect()
-        } else {
-            Vec::new()
-        };
+        let probes = probes_for(&policies, &clients);
         let master = MasterLoop::new(problem, config, policies, clients.len(), probes);
         Ok(EnsembleSession {
             problem,

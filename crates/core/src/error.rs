@@ -33,6 +33,8 @@ pub enum EqcError {
     Device(DeviceError),
     /// The session already ran; build a fresh session to train again.
     SessionConsumed,
+    /// The fleet was asked to run with no admitted tenants.
+    NoTenants,
     /// The master was asked for an assignment but its cyclic schedule
     /// holds no tasks.
     EmptySchedule,
@@ -79,6 +81,9 @@ impl fmt::Display for EqcError {
             EqcError::Device(source) => write!(f, "invalid device description: {source}"),
             EqcError::SessionConsumed => {
                 write!(f, "session already trained; create a new session")
+            }
+            EqcError::NoTenants => {
+                write!(f, "fleet has no admitted tenants; call admit first")
             }
             EqcError::EmptySchedule => {
                 write!(f, "the cyclic schedule holds no tasks to assign")

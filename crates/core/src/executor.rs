@@ -41,7 +41,6 @@ pub use crate::pool::PooledExecutor;
 use crate::report::TrainingReport;
 use qdevice::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::sync::mpsc;
 use std::thread;
 
@@ -106,6 +105,12 @@ impl Ord for Event {
 /// A discrete-event loop pops the earliest-finishing client, absorbs its
 /// result, and immediately hands that client the next task in the cyclic
 /// schedule. Same seed, same report — byte for byte.
+///
+/// Since the multi-tenant fleet landed, this is a thin wrapper: the
+/// session rides the [`crate::fleet`] drive loop as a fleet of one
+/// tenant under the [`Unshared`](crate::policy::arbiter::Unshared)
+/// arbiter, which degenerates to exactly the historical
+/// prime/pop-earliest/absorb/re-dispatch loop.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct DiscreteEventExecutor;
 
@@ -123,55 +128,12 @@ impl Executor for DiscreteEventExecutor {
         let cfg = session.config();
         let (clients, master) = session.split_mut();
         let n = clients.len();
-
-        let mut queue: BinaryHeap<Event> = BinaryHeap::new();
-        let dispatch = |client: usize,
-                        submit: SimTime,
-                        clients: &mut Vec<crate::client::ClientNode>,
-                        master: &mut crate::master::MasterLoop,
-                        queue: &mut BinaryHeap<Event>|
-         -> Result<(), EqcError> {
-            let a: Assignment = master.next_assignment()?;
-            let result = clients[client].run_task(problem, a.task, &a.params, cfg.shots, submit);
-            queue.push(Event {
-                completed: result.completed,
-                client,
-                result,
-                cycle: a.cycle,
-                dispatched_at_update: a.dispatched_at_update,
-            });
-            Ok(())
-        };
-
-        // Prime every client with one task, in scheduler-policy order.
-        for c in master.prime_order()? {
-            dispatch(c, master.now(), clients, master, &mut queue)?;
-        }
-
-        while !master.is_complete() {
-            let ev = queue.pop().ok_or_else(|| {
-                EqcError::Internal("event queue drained before the epoch budget".into())
-            })?;
-            master.absorb(
-                ev.client,
-                ev.cycle,
-                ev.dispatched_at_update,
-                &ev.result,
-                problem,
-            )?;
-            if master.is_complete() {
-                break;
-            }
-            // Algorithm 1: "sends a new parameter to differentiate at an
-            // idle client" — the freed client, unless the health policy
-            // benched it, plus any client re-admitted this absorb.
-            for c in master.dispatch_order(ev.client)? {
-                dispatch(c, master.now(), clients, master, &mut queue)?;
-            }
-        }
-
-        let label = format!("eqc[{n}]");
-        session.finish(label)
+        let mut lanes = [crate::fleet::Lane::single(
+            problem, cfg.shots, clients, master,
+        )];
+        crate::fleet::drive_des(&mut lanes, &crate::policy::arbiter::Unshared, n)?;
+        drop(lanes);
+        session.finish(format!("eqc[{n}]"))
     }
 }
 
@@ -402,6 +364,7 @@ mod tests {
     use super::*;
     use crate::config::EqcConfig;
     use crate::ensemble::Ensemble;
+    use std::collections::BinaryHeap;
     use vqa::QaoaProblem;
 
     fn small_ensemble(names: &[&str], epochs: usize) -> Ensemble {

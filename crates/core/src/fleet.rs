@@ -1,0 +1,1327 @@
+//! The multi-tenant fleet runtime: many concurrent training sessions
+//! over one shared device pool.
+//!
+//! EQC's premise is that NISQ devices are a shared, queue-contended
+//! resource — yet a standalone [`Ensemble`](crate::Ensemble) session
+//! exclusively owns its clients for the whole run. This module inverts
+//! that ownership: a [`FleetRuntime`] is the long-lived resource that
+//! owns the devices, training sessions are *tenants* that borrow
+//! capacity from it ([`FleetRuntime::admit`]), and a
+//! [`TenantArbiter`] policy arbitrates fleet capacity between them each
+//! grant round — the paper's multi-programming idea (Figs. 11/12)
+//! lifted from intra-chip to fleet level.
+//!
+//! Each tenant carries its own [`VqaProblem`], [`EqcConfig`] and policy
+//! stack ([`TenantConfig`]); per the equi-ensemble result
+//! (arXiv:2509.17982), policy choice is tenant-specific. A tenant's
+//! [`MasterLoop`] dispatch stays per-tenant, while client checkout
+//! moves to the fleet: tenants publish *ready* clients, and the grant
+//! loop dispatches them only up to the capacity the arbiter allocates.
+//!
+//! ## Determinism
+//!
+//! The fleet drive is a seeded multi-lane discrete-event loop: the
+//! globally earliest event (virtual completion time, ties broken by
+//! tenant id then client id) is absorbed next, and each absorb is
+//! followed by exactly one arbiter grant round. Consequences, all
+//! pinned by tests:
+//!
+//! * same tenants, same seeds → byte-identical [`FleetOutcome`];
+//! * a **single-tenant** fleet run is byte-identical to today's
+//!   standalone [`Ensemble::train`](crate::Ensemble::train) — the
+//!   [`DiscreteEventExecutor`](crate::DiscreteEventExecutor) and the
+//!   deterministic [`PooledExecutor`](crate::PooledExecutor) are in
+//!   fact thin "fleet of one tenant" wrappers over this module's drive
+//!   loop;
+//! * under the [`Unshared`] arbiter (capacity sharing disabled), every
+//!   tenant's report is byte-identical *regardless of co-tenants*,
+//!   because no tenant ever constrains another's dispatches and every
+//!   tenant owns independent client state.
+//!
+//! ## Substrates
+//!
+//! [`FleetBuilder::pooled`] runs the same drive over the bounded
+//! worker pool ([`crate::pool`]'s sharded work-stealing run-queue,
+//! promoted here to the fleet's persistent substrate): tasks execute on
+//! worker threads while the coordinator absorbs them in the exact
+//! discrete-event total order via conservative queue-model lookahead —
+//! parallel wall-clock, byte-identical outcome.
+//!
+//! ```
+//! use eqc_core::policy::arbiter::FairShare;
+//! use eqc_core::{EqcConfig, FleetRuntime, TenantConfig};
+//! use vqa::QaoaProblem;
+//!
+//! let problem = QaoaProblem::maxcut_ring4();
+//! let mut fleet = FleetRuntime::builder()
+//!     .devices(["belem", "manila", "bogota", "quito"])
+//!     .arbiter(FairShare)
+//!     .build()?;
+//! let cfg = EqcConfig::paper_qaoa().with_epochs(2).with_shots(128);
+//! let a = fleet.admit(&problem, TenantConfig::new(cfg).weight(2.0))?;
+//! let b = fleet.admit(&problem, TenantConfig::new(cfg.with_seed(11)))?;
+//! let outcome = fleet.run()?;
+//! assert_eq!(outcome.reports.len(), 2);
+//! assert!(outcome.telemetry.tenants[a.index()].results_absorbed > 0);
+//! assert!(outcome.telemetry.tenants[b.index()].results_absorbed > 0);
+//! # Ok::<(), eqc_core::EqcError>(())
+//! ```
+//!
+//! [`VqaProblem`]: vqa::VqaProblem
+//! [`EqcConfig`]: crate::EqcConfig
+//! [`MasterLoop`]: crate::MasterLoop
+
+use crate::client::ClientNode;
+use crate::config::{PoolConfig, TenantConfig};
+use crate::ensemble::{clients_for, probes_for, resolve_devices, Device, DeviceChoice};
+use crate::error::EqcError;
+use crate::executor::Event;
+use crate::master::{Assignment, MasterLoop};
+use crate::policy::arbiter::{ArbiterContext, FairShare, TenantArbiter, TenantLoad};
+use crate::pool::RunQueue;
+use crate::report::{FleetTelemetry, PoolTelemetry, TenantTelemetry, TrainingReport};
+use qdevice::{QueueModel, SimTime};
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use vqa::VqaProblem;
+
+/// Handle to one admitted tenant, valid for the next [`FleetRuntime::run`].
+///
+/// The id carries the fleet's batch generation: indexing a
+/// [`FleetOutcome`] from a *different* batch (a stale id held across
+/// [`FleetRuntime::run`] calls) panics with a batch-mismatch message
+/// instead of silently returning another tenant's report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TenantId {
+    index: usize,
+    batch: u64,
+}
+
+impl TenantId {
+    /// The tenant's index into [`FleetOutcome::reports`] and
+    /// [`FleetTelemetry::tenants`].
+    pub fn index(self) -> usize {
+        self.index
+    }
+}
+
+/// The result of one fleet run: every tenant's training report plus the
+/// fleet-level multiplexing telemetry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetOutcome {
+    /// One report per tenant, indexed by [`TenantId::index`]. Each is
+    /// exactly what the tenant's session produces — under [`Unshared`],
+    /// byte-identical to the same session run standalone.
+    pub reports: Vec<TrainingReport>,
+    /// Fleet-level telemetry: arbiter, grant rounds, per-tenant
+    /// throughput / waits / client-share histograms.
+    pub telemetry: FleetTelemetry,
+    /// Worker-pool counters when the fleet ran on the pooled substrate.
+    pub pool: Option<PoolTelemetry>,
+    /// The tenant-batch generation this outcome belongs to (checked by
+    /// [`FleetOutcome::report`] / [`FleetOutcome::tenant`] against the
+    /// id's generation).
+    batch: u64,
+}
+
+impl FleetOutcome {
+    /// The training report of one tenant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was issued for a different tenant batch (stale
+    /// handle across [`FleetRuntime::run`] calls) — misattribution is
+    /// never silent.
+    pub fn report(&self, id: TenantId) -> &TrainingReport {
+        self.check_batch(id);
+        &self.reports[id.index()]
+    }
+
+    /// The telemetry of one tenant.
+    ///
+    /// # Panics
+    ///
+    /// As [`FleetOutcome::report`].
+    pub fn tenant(&self, id: TenantId) -> &TenantTelemetry {
+        self.check_batch(id);
+        &self.telemetry.tenants[id.index()]
+    }
+
+    fn check_batch(&self, id: TenantId) {
+        assert_eq!(
+            id.batch, self.batch,
+            "TenantId from fleet batch {} used on the outcome of batch {}",
+            id.batch, self.batch
+        );
+    }
+}
+
+/// Which substrate executes dispatched tasks.
+#[derive(Clone, Copy, Debug)]
+enum Substrate {
+    /// Single-threaded: tasks run inline at dispatch (the reference).
+    DiscreteEvent,
+    /// Bounded worker pool; `None` resolves to the machine's available
+    /// parallelism. Byte-identical outcome to [`Substrate::DiscreteEvent`].
+    Pooled { workers: Option<usize> },
+}
+
+/// One admitted tenant: its problem binding (clients transpiled per
+/// device), master state and arbiter-facing knobs. Owned by the fleet —
+/// the ownership inversion this module exists for.
+struct TenantSlot<'p> {
+    label: String,
+    problem: &'p dyn VqaProblem,
+    shots: usize,
+    weight: f64,
+    priority: i64,
+    clients: Vec<ClientNode>,
+    master: MasterLoop,
+}
+
+/// The long-lived multi-tenant runtime. Build with
+/// [`FleetRuntime::builder`], populate with [`FleetRuntime::admit`],
+/// drain with [`FleetRuntime::run`]. Devices persist across runs; each
+/// run consumes the tenants admitted since the previous one.
+pub struct FleetRuntime<'p> {
+    devices: Vec<Device>,
+    arbiter: Arc<dyn TenantArbiter>,
+    substrate: Substrate,
+    tenants: Vec<TenantSlot<'p>>,
+    /// Tenant-batch generation, bumped by every [`FleetRuntime::run`];
+    /// stamped into issued [`TenantId`]s and outcomes so stale handles
+    /// are detected instead of misattributed.
+    batch: u64,
+}
+
+impl std::fmt::Debug for FleetRuntime<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetRuntime")
+            .field("devices", &self.devices.len())
+            .field("arbiter", &self.arbiter.name())
+            .field("substrate", &self.substrate)
+            .field("tenants", &self.tenants.len())
+            .field("batch", &self.batch)
+            .finish()
+    }
+}
+
+impl<'p> FleetRuntime<'p> {
+    /// Starts building a fleet.
+    pub fn builder() -> FleetBuilder {
+        FleetBuilder {
+            devices: Vec::new(),
+            device_seed: 0,
+            arbiter: Arc::new(FairShare),
+            substrate: Substrate::DiscreteEvent,
+        }
+    }
+
+    /// Devices in the shared pool (= concurrent-task slots).
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Tenants admitted and waiting for the next run.
+    pub fn num_tenants(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The arbiter policy's name.
+    pub fn arbiter_name(&self) -> &'static str {
+        self.arbiter.name()
+    }
+
+    /// Admits a tenant: transpiles the problem's templates for every
+    /// fleet device (the tenant's clients are seeded exactly as a
+    /// standalone [`Ensemble`](crate::Ensemble) over the same devices
+    /// would seed them) and initializes its master state. The returned
+    /// id indexes the next [`FleetRuntime::run`]'s outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`EqcError::InvalidConfig`] for a bad tenant description,
+    /// [`EqcError::EmptyProblem`] / [`EqcError::Transpile`] as in
+    /// [`Ensemble::session`](crate::Ensemble::session).
+    pub fn admit(
+        &mut self,
+        problem: &'p dyn VqaProblem,
+        tenant: TenantConfig,
+    ) -> Result<TenantId, EqcError> {
+        tenant.validate()?;
+        if problem.num_params() == 0 || problem.tasks().is_empty() {
+            return Err(EqcError::EmptyProblem(problem.name()));
+        }
+        let clients = clients_for(&self.devices, problem)?;
+        let probes = probes_for(&tenant.policies, &clients);
+        let master = MasterLoop::new(
+            problem,
+            tenant.config,
+            tenant.policies,
+            clients.len(),
+            probes,
+        );
+        let id = TenantId {
+            index: self.tenants.len(),
+            batch: self.batch,
+        };
+        self.tenants.push(TenantSlot {
+            label: tenant
+                .label
+                .unwrap_or_else(|| format!("tenant{}", id.index())),
+            problem,
+            shots: tenant.config.shots,
+            weight: tenant.weight,
+            priority: tenant.priority,
+            clients,
+            master,
+        });
+        Ok(id)
+    }
+
+    /// Drives every admitted tenant to completion, multiplexing fleet
+    /// capacity between them via the configured arbiter, and consumes
+    /// the tenant set (devices persist — admit again to run again). A
+    /// failed run discards its tenants.
+    ///
+    /// # Errors
+    ///
+    /// [`EqcError::NoTenants`] with nothing admitted;
+    /// [`EqcError::Internal`] if the drive or the pooled substrate
+    /// fails.
+    pub fn run(&mut self) -> Result<FleetOutcome, EqcError> {
+        if self.tenants.is_empty() {
+            return Err(EqcError::NoTenants);
+        }
+        let slots = self.devices.len();
+        let batch = self.batch;
+        self.batch += 1;
+        let mut tenants = std::mem::take(&mut self.tenants);
+        let mut lanes: Vec<Lane<'_, 'p>> = tenants
+            .iter_mut()
+            .map(|t| {
+                let TenantSlot {
+                    problem,
+                    shots,
+                    weight,
+                    priority,
+                    clients,
+                    master,
+                    ..
+                } = t;
+                Lane::new(*problem, *shots, clients, master, *weight, *priority)
+            })
+            .collect();
+        let (driven, pool) = match self.substrate {
+            Substrate::DiscreteEvent => (drive_des(&mut lanes, self.arbiter.as_ref(), slots), None),
+            Substrate::Pooled { workers } => {
+                let total = lanes.iter().map(|l| l.clients.len()).sum();
+                let resolved = PoolConfig {
+                    workers,
+                    deterministic: true,
+                }
+                .resolved_workers(total);
+                let (d, telemetry) =
+                    drive_pooled(&mut lanes, self.arbiter.as_ref(), slots, resolved);
+                (d, Some(telemetry))
+            }
+        };
+        drop(lanes);
+        let stats = driven?;
+
+        let mut reports = Vec::with_capacity(tenants.len());
+        let mut per_tenant = Vec::with_capacity(tenants.len());
+        for (i, (tenant, counters)) in tenants.iter().zip(stats.lanes).enumerate() {
+            let report = tenant.master.report(
+                tenant.problem,
+                format!("eqc[{}]", tenant.clients.len()),
+                &tenant.clients,
+            )?;
+            per_tenant.push(TenantTelemetry {
+                tenant: i,
+                label: tenant.label.clone(),
+                weight: tenant.weight,
+                priority: tenant.priority,
+                results_absorbed: counters.results_absorbed,
+                epochs: report.epochs,
+                virtual_hours: report.total_hours,
+                epochs_per_hour: report.epochs_per_hour(),
+                wait_virtual_hours: counters.wait_virtual_hours,
+                wait_rounds: counters.wait_rounds,
+                starved_rounds: counters.starved_rounds,
+                client_share: counters.client_share,
+            });
+            reports.push(report);
+        }
+        Ok(FleetOutcome {
+            reports,
+            telemetry: FleetTelemetry {
+                arbiter: self.arbiter.name().to_string(),
+                devices: slots,
+                grant_rounds: stats.grant_rounds,
+                tenants: per_tenant,
+            },
+            pool,
+            batch,
+        })
+    }
+}
+
+/// Builder for [`FleetRuntime`] — the same device surface as
+/// [`Ensemble::builder`](crate::Ensemble::builder), plus the arbiter
+/// and substrate choices.
+#[derive(Clone, Debug)]
+pub struct FleetBuilder {
+    devices: Vec<DeviceChoice>,
+    device_seed: u64,
+    arbiter: Arc<dyn TenantArbiter>,
+    substrate: Substrate,
+}
+
+impl FleetBuilder {
+    /// Adds a device from the Table I catalog by name.
+    pub fn device(mut self, name: impl Into<String>) -> Self {
+        self.devices.push(DeviceChoice::Named(name.into()));
+        self
+    }
+
+    /// Adds several catalog devices at once.
+    pub fn devices<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        for name in names {
+            self.devices.push(DeviceChoice::Named(name.into()));
+        }
+        self
+    }
+
+    /// Adds a device from an explicit spec (synthesized fleets,
+    /// hand-tuned variants).
+    pub fn spec(mut self, spec: qdevice::DeviceSpec) -> Self {
+        self.devices.push(DeviceChoice::Spec(Box::new(spec)));
+        self
+    }
+
+    /// Adds several spec-described devices at once.
+    pub fn specs<I>(mut self, specs: I) -> Self
+    where
+        I: IntoIterator<Item = qdevice::DeviceSpec>,
+    {
+        for spec in specs {
+            self.devices.push(DeviceChoice::Spec(Box::new(spec)));
+        }
+        self
+    }
+
+    /// Adds a custom backend.
+    pub fn backend(mut self, backend: qdevice::QpuBackend) -> Self {
+        self.devices.push(DeviceChoice::Custom(Box::new(backend)));
+        self
+    }
+
+    /// Adds the noiseless zero-latency ideal device, sized per tenant
+    /// problem at admission.
+    pub fn ideal_device(mut self) -> Self {
+        self.devices.push(DeviceChoice::Ideal);
+        self
+    }
+
+    /// Base seed for device noise streams (device `i` draws from
+    /// `device_seed + i`), exactly as
+    /// [`EnsembleBuilder::device_seed`](crate::EnsembleBuilder::device_seed).
+    pub fn device_seed(mut self, seed: u64) -> Self {
+        self.device_seed = seed;
+        self
+    }
+
+    /// Sets the tenant-capacity arbiter (defaults to
+    /// [`FairShare`]).
+    pub fn arbiter(mut self, arbiter: impl TenantArbiter + 'static) -> Self {
+        self.arbiter = Arc::new(arbiter);
+        self
+    }
+
+    /// Runs the fleet on the bounded worker-pool substrate (one worker
+    /// per hardware thread), byte-identical to the single-threaded
+    /// discrete-event default.
+    pub fn pooled(mut self) -> Self {
+        self.substrate = Substrate::Pooled { workers: None };
+        self
+    }
+
+    /// Runs the fleet on the pooled substrate with an explicit worker
+    /// count.
+    pub fn pooled_workers(mut self, workers: usize) -> Self {
+        self.substrate = Substrate::Pooled {
+            workers: Some(workers),
+        };
+        self
+    }
+
+    /// Validates and resolves the fleet's device pool.
+    ///
+    /// # Errors
+    ///
+    /// [`EqcError::EmptyEnsemble`] with no devices,
+    /// [`EqcError::UnknownDevice`] for names missing from the catalog,
+    /// [`EqcError::InvalidConfig`] for a zero pooled worker count.
+    pub fn build<'p>(self) -> Result<FleetRuntime<'p>, EqcError> {
+        if let Substrate::Pooled { workers: Some(0) } = self.substrate {
+            return Err(EqcError::InvalidConfig(
+                "pool worker count must be positive".into(),
+            ));
+        }
+        Ok(FleetRuntime {
+            devices: resolve_devices(self.devices, self.device_seed)?,
+            arbiter: self.arbiter,
+            substrate: self.substrate,
+            tenants: Vec::new(),
+            batch: 0,
+        })
+    }
+}
+
+/// An idle client waiting for a capacity grant.
+struct ReadyClient {
+    client: usize,
+    /// The tenant's virtual clock when the client became ready.
+    enqueued_hours: f64,
+    /// The grant round in which the client first becomes eligible.
+    enqueued_round: u64,
+}
+
+/// Per-lane drive counters, drained into [`TenantTelemetry`] after a
+/// run.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct LaneCounters {
+    pub(crate) results_absorbed: u64,
+    pub(crate) wait_virtual_hours: f64,
+    pub(crate) wait_rounds: u64,
+    pub(crate) starved_rounds: u64,
+    pub(crate) client_share: Vec<u64>,
+}
+
+/// What a fleet drive reports back besides the lanes' master state.
+pub(crate) struct DriveStats {
+    pub(crate) grant_rounds: u64,
+    pub(crate) lanes: Vec<LaneCounters>,
+}
+
+/// One tenant's lane through a fleet drive: the session halves
+/// (clients + master) plus the drive-local event heap, ready queue and
+/// in-flight accounting. The single-session executors build a lane
+/// directly from an [`EnsembleSession`](crate::EnsembleSession) — they
+/// are fleets of one tenant.
+pub(crate) struct Lane<'a, 'p> {
+    problem: &'p dyn VqaProblem,
+    shots: usize,
+    weight: f64,
+    priority: i64,
+    clients: &'a mut Vec<ClientNode>,
+    master: &'a mut MasterLoop,
+    heap: BinaryHeap<Event>,
+    ready: VecDeque<ReadyClient>,
+    in_flight: usize,
+    done: bool,
+    counters: LaneCounters,
+}
+
+impl<'a, 'p> Lane<'a, 'p> {
+    /// Builds a lane over a session's halves with arbiter knobs.
+    pub(crate) fn new(
+        problem: &'p dyn VqaProblem,
+        shots: usize,
+        clients: &'a mut Vec<ClientNode>,
+        master: &'a mut MasterLoop,
+        weight: f64,
+        priority: i64,
+    ) -> Self {
+        let n = clients.len();
+        Lane {
+            problem,
+            shots,
+            weight,
+            priority,
+            clients,
+            master,
+            heap: BinaryHeap::new(),
+            ready: VecDeque::new(),
+            in_flight: 0,
+            done: false,
+            counters: LaneCounters {
+                client_share: vec![0; n],
+                ..LaneCounters::default()
+            },
+        }
+    }
+
+    /// A single-session lane (the executor-wrapper case): weight 1,
+    /// priority 0 — irrelevant under [`Unshared`].
+    pub(crate) fn single(
+        problem: &'p dyn VqaProblem,
+        shots: usize,
+        clients: &'a mut Vec<ClientNode>,
+        master: &'a mut MasterLoop,
+    ) -> Self {
+        Lane::new(problem, shots, clients, master, 1.0, 0)
+    }
+
+    /// Records the wait a ready client accumulated before dispatch and
+    /// takes the next assignment off the tenant's schedule.
+    fn take_assignment(
+        &mut self,
+        r: &ReadyClient,
+        round: u64,
+    ) -> Result<(Assignment, SimTime), EqcError> {
+        let a = self.master.next_assignment()?;
+        let submit = self.master.now();
+        self.counters.wait_virtual_hours += (submit.as_hours() - r.enqueued_hours).max(0.0);
+        self.counters.wait_rounds += round.saturating_sub(r.enqueued_round);
+        self.counters.client_share[r.client] += 1;
+        self.in_flight += 1;
+        Ok((a, submit))
+    }
+
+    /// Inline (discrete-event) dispatch: run the task now, queue its
+    /// completion event.
+    fn dispatch_inline(&mut self, r: ReadyClient, round: u64) -> Result<(), EqcError> {
+        let (a, submit) = self.take_assignment(&r, round)?;
+        let result =
+            self.clients[r.client].run_task(self.problem, a.task, &a.params, self.shots, submit);
+        self.heap.push(Event {
+            completed: result.completed,
+            client: r.client,
+            result,
+            cycle: a.cycle,
+            dispatched_at_update: a.dispatched_at_update,
+        });
+        Ok(())
+    }
+
+    /// Marks every client the master wants dispatched after absorbing
+    /// `freed`'s result as ready for the given grant round.
+    fn enqueue_dispatches(&mut self, freed: usize, round: u64) -> Result<(), EqcError> {
+        let now_h = self.master.now().as_hours();
+        for client in self.master.dispatch_order(freed)? {
+            self.ready.push_back(ReadyClient {
+                client,
+                enqueued_hours: now_h,
+                enqueued_round: round,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Loads snapshot for the arbiter.
+fn loads_of(lanes: &[Lane<'_, '_>]) -> Vec<TenantLoad> {
+    lanes
+        .iter()
+        .enumerate()
+        .map(|(t, lane)| TenantLoad {
+            tenant: t,
+            weight: lane.weight,
+            priority: lane.priority,
+            in_flight: lane.in_flight,
+            ready: lane.ready.len(),
+            complete: lane.done,
+        })
+        .collect()
+}
+
+/// Queues every lane's initial one-task-per-client fan-out, in
+/// scheduler-policy order — the multi-lane generalization of the
+/// executors' prime loop.
+fn prime(lanes: &mut [Lane<'_, '_>]) -> Result<(), EqcError> {
+    for lane in lanes.iter_mut() {
+        lane.done = lane.master.is_complete();
+        if lane.done {
+            continue;
+        }
+        let now_h = lane.master.now().as_hours();
+        for client in lane.master.prime_order()? {
+            lane.ready.push_back(ReadyClient {
+                client,
+                enqueued_hours: now_h,
+                enqueued_round: 0,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The lane holding the globally next event to absorb: earliest virtual
+/// completion, ties broken toward the lower tenant id (within a lane
+/// the heap already breaks ties toward the lower client id). The
+/// comparator is a total order — no two candidates share a lane index —
+/// so the pick is deterministic.
+fn next_lane(lanes: &[Lane<'_, '_>]) -> Option<usize> {
+    lanes
+        .iter()
+        .enumerate()
+        .filter(|(_, lane)| !lane.done)
+        .filter_map(|(t, lane)| lane.heap.peek().map(|e| (t, e.completed.as_secs())))
+        .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+        .map(|(t, _)| t)
+}
+
+/// Absorbs lane `t`'s earliest event and queues the follow-up
+/// dispatches (the freed client plus any re-admissions) for grant round
+/// `round`.
+fn absorb_next(lanes: &mut [Lane<'_, '_>], t: usize, round: u64) -> Result<(), EqcError> {
+    let lane = &mut lanes[t];
+    let ev = lane.heap.pop().expect("next_lane implies a head");
+    lane.in_flight -= 1;
+    lane.master.absorb(
+        ev.client,
+        ev.cycle,
+        ev.dispatched_at_update,
+        &ev.result,
+        lane.problem,
+    )?;
+    lane.counters.results_absorbed += 1;
+    if lane.master.is_complete() {
+        lane.done = true;
+        lane.ready.clear();
+        lane.heap.clear();
+    } else {
+        lane.enqueue_dispatches(ev.client, round)?;
+    }
+    Ok(())
+}
+
+/// One arbiter grant round, shared verbatim by both substrates (the
+/// pooled drive's byte-for-byte replay of the discrete-event fleet
+/// depends on the allocation, cap loop and starvation accounting being
+/// *one* implementation): allocate capacity, dispatch ready clients up
+/// to each lane's cap via the substrate's `dispatch`, and account
+/// starvation (pending work, nothing running, nothing granted).
+fn grant_round(
+    lanes: &mut [Lane<'_, '_>],
+    arbiter: &dyn TenantArbiter,
+    slots: usize,
+    round: u64,
+    mut dispatch: impl FnMut(&mut Lane<'_, '_>, usize, ReadyClient, u64) -> Result<(), EqcError>,
+) -> Result<(), EqcError> {
+    let loads = loads_of(lanes);
+    let caps = arbiter.allocate(&ArbiterContext {
+        loads: &loads,
+        total_slots: slots,
+        round,
+    });
+    for (t, lane) in lanes.iter_mut().enumerate() {
+        if lane.done {
+            continue;
+        }
+        let cap = caps.get(t).copied().unwrap_or(0);
+        let mut granted = 0usize;
+        while lane.in_flight < cap {
+            let Some(r) = lane.ready.pop_front() else {
+                break;
+            };
+            dispatch(lane, t, r, round)?;
+            granted += 1;
+        }
+        if granted == 0 && lane.in_flight == 0 && !lane.ready.is_empty() {
+            lane.counters.starved_rounds += 1;
+        }
+    }
+    Ok(())
+}
+
+/// [`grant_round`] over the discrete-event substrate: tasks run inline
+/// at dispatch.
+fn grant_inline(
+    lanes: &mut [Lane<'_, '_>],
+    arbiter: &dyn TenantArbiter,
+    slots: usize,
+    round: u64,
+) -> Result<(), EqcError> {
+    grant_round(lanes, arbiter, slots, round, |lane, _t, r, round| {
+        lane.dispatch_inline(r, round)
+    })
+}
+
+/// The reference fleet drive: a seeded multi-lane discrete-event loop.
+/// With one lane and the [`Unshared`] arbiter this is exactly the
+/// historical [`DiscreteEventExecutor`](crate::DiscreteEventExecutor)
+/// loop (prime, pop-earliest, absorb, re-dispatch the freed client) —
+/// which is why that executor now delegates here.
+pub(crate) fn drive_des(
+    lanes: &mut [Lane<'_, '_>],
+    arbiter: &dyn TenantArbiter,
+    slots: usize,
+) -> Result<DriveStats, EqcError> {
+    prime(lanes)?;
+    let mut round: u64 = 0;
+    grant_inline(lanes, arbiter, slots, round)?;
+    round += 1;
+    while !lanes.iter().all(|l| l.done) {
+        let Some(t) = next_lane(lanes) else {
+            return Err(EqcError::Internal(
+                "event queue drained before the epoch budget".into(),
+            ));
+        };
+        absorb_next(lanes, t, round)?;
+        if lanes.iter().all(|l| l.done) {
+            break;
+        }
+        grant_inline(lanes, arbiter, slots, round)?;
+        round += 1;
+    }
+    Ok(DriveStats {
+        grant_rounds: round,
+        lanes: lanes
+            .iter_mut()
+            .map(|l| std::mem::take(&mut l.counters))
+            .collect(),
+    })
+}
+
+/// What the coordinator knows about one in-flight task's eventual
+/// virtual completion time.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum InflightBound {
+    /// Completion is strictly later than this many virtual seconds
+    /// (normal tasks: queue-wait floor plus overhead, execution still to
+    /// come).
+    Above(f64),
+    /// Completion is exactly this many virtual seconds (a task whose
+    /// parameter is absent from the circuit returns at its submit time
+    /// without touching the device).
+    Exactly(f64),
+}
+
+/// Completion bound for a task dispatched at `submit` on a device with
+/// queue model `queue`. `QpuBackend::start_time` waits at least
+/// `0.8 * wait_s(submit) + overhead_s` after submission, and execution
+/// only adds to that.
+pub(crate) fn bound_for(queue: &QueueModel, submit: SimTime, instant: bool) -> InflightBound {
+    if instant {
+        InflightBound::Exactly(submit.as_secs())
+    } else {
+        InflightBound::Above(submit.as_secs() + 0.8 * queue.wait_s(submit) + queue.overhead_s)
+    }
+}
+
+/// Whether `assignment` will return instantly (its parameter does not
+/// occur in the slice's circuits, so clients skip the device — see
+/// [`ClientNode::run_task`]). Transpilation preserves occurrence
+/// structure, so this is client-independent.
+pub(crate) fn is_instant(problem: &dyn VqaProblem, assignment: &Assignment) -> bool {
+    let templates = problem.slice_templates(assignment.task.slice);
+    templates.first().is_none_or(|&t| {
+        problem.templates()[t]
+            .occurrences_of(assignment.task.param)
+            .is_empty()
+    })
+}
+
+/// Whether event `(completed, at)` precedes every completion the bound
+/// at `bound_at` still allows, under the fleet's `(completed, tenant,
+/// client)` total order.
+pub(crate) fn precedes(
+    completed: f64,
+    at: (usize, usize),
+    bound: InflightBound,
+    bound_at: (usize, usize),
+) -> bool {
+    match bound {
+        // Strict `<`: do not lean on execution time being non-zero.
+        InflightBound::Above(lb) => completed < lb,
+        InflightBound::Exactly(t) => completed < t || (completed == t && at < bound_at),
+    }
+}
+
+/// One dispatched task travelling through the fleet's run-queue.
+struct FleetTask {
+    lane: usize,
+    client: usize,
+    flat: usize,
+    assignment: Assignment,
+    submit: SimTime,
+}
+
+/// Worker-to-coordinator protocol.
+enum FleetMsg {
+    Done {
+        lane: usize,
+        client: usize,
+        result: crate::client::ClientTaskResult,
+        cycle: usize,
+        dispatched_at_update: u64,
+    },
+    Panicked {
+        lane: usize,
+        client: usize,
+    },
+}
+
+/// Maps a flat client index back to `(lane, client)`.
+fn locate(offsets: &[usize], flat: usize) -> (usize, usize) {
+    let lane = offsets.partition_point(|&o| o <= flat) - 1;
+    (lane, flat - offsets[lane])
+}
+
+/// The pooled fleet drive: the same grant/absorb sequence as
+/// [`drive_des`], but tasks execute on a bounded worker pool and the
+/// coordinator absorbs the globally earliest event only once the
+/// conservative queue-model lookahead proves no in-flight task can
+/// precede it — the [`crate::pool`] trick, generalized across lanes.
+/// Always returns pool telemetry, run outcome notwithstanding, and
+/// always hands every client back to its lane.
+pub(crate) fn drive_pooled(
+    lanes: &mut [Lane<'_, '_>],
+    arbiter: &dyn TenantArbiter,
+    slots: usize,
+    workers: usize,
+) -> (Result<DriveStats, EqcError>, PoolTelemetry) {
+    // Flatten the lanes' clients into one mutex-guarded pool any worker
+    // can execute against, remembering each lane's offset and queue
+    // models (the lookahead inputs).
+    let mut offsets = Vec::with_capacity(lanes.len());
+    let mut queue_models: Vec<Vec<QueueModel>> = Vec::with_capacity(lanes.len());
+    let mut meta: Vec<(&dyn VqaProblem, usize)> = Vec::with_capacity(lanes.len());
+    let mut flat: Vec<ClientNode> = Vec::new();
+    for lane in lanes.iter_mut() {
+        offsets.push(flat.len());
+        queue_models.push(
+            lane.clients
+                .iter()
+                .map(|c| c.backend().queue().clone())
+                .collect(),
+        );
+        meta.push((lane.problem, lane.shots));
+        flat.append(lane.clients);
+    }
+    let clients: Vec<Mutex<ClientNode>> = flat.into_iter().map(Mutex::new).collect();
+    let runq: RunQueue<FleetTask> = RunQueue::new(workers);
+    let (result_tx, result_rx) = mpsc::channel::<FleetMsg>();
+
+    let driven: Result<DriveStats, EqcError> = thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let result_tx = result_tx.clone();
+            let (runq, clients, meta) = (&runq, &clients, &meta);
+            handles.push(scope.spawn(move || {
+                crate::pool::drain_tasks(
+                    w,
+                    runq,
+                    &result_tx,
+                    |task: &FleetTask| {
+                        let (problem, shots) = meta[task.lane];
+                        let mut node = clients[task.flat]
+                            .lock()
+                            .unwrap_or_else(|_| panic!("client {} poisoned", task.flat));
+                        node.run_task(
+                            problem,
+                            task.assignment.task,
+                            &task.assignment.params,
+                            shots,
+                            task.submit,
+                        )
+                    },
+                    |task, result| FleetMsg::Done {
+                        lane: task.lane,
+                        client: task.client,
+                        result,
+                        cycle: task.assignment.cycle,
+                        dispatched_at_update: task.assignment.dispatched_at_update,
+                    },
+                    |task| FleetMsg::Panicked {
+                        lane: task.lane,
+                        client: task.client,
+                    },
+                )
+            }));
+        }
+        drop(result_tx);
+
+        let outcome = coordinate(
+            lanes,
+            arbiter,
+            slots,
+            &queue_models,
+            &offsets,
+            &runq,
+            &result_rx,
+        );
+
+        runq.close();
+        let mut join_failure = None;
+        for (w, h) in handles.into_iter().enumerate() {
+            if h.join().is_err() {
+                join_failure = Some(EqcError::Internal(format!("fleet worker {w} panicked")));
+            }
+        }
+        outcome.and_then(|rounds| {
+            join_failure.map_or(
+                Ok(DriveStats {
+                    grant_rounds: rounds,
+                    lanes: Vec::new(), // filled below, after clients return
+                }),
+                Err,
+            )
+        })
+    });
+
+    // Every client comes back to its lane on every path — poisoned
+    // mutexes still surrender their client.
+    let mut recovered: Vec<ClientNode> = clients
+        .into_iter()
+        .map(|m| m.into_inner().unwrap_or_else(|p| p.into_inner()))
+        .collect();
+    for (i, lane) in lanes.iter_mut().enumerate().rev() {
+        *lane.clients = recovered.split_off(offsets[i]);
+    }
+    let (queue_depth_max, tasks_stolen) = runq.counters();
+    let telemetry = PoolTelemetry {
+        workers_spawned: workers,
+        queue_depth_max,
+        tasks_stolen,
+    };
+    (
+        driven.map(|stats| DriveStats {
+            grant_rounds: stats.grant_rounds,
+            lanes: lanes
+                .iter_mut()
+                .map(|l| std::mem::take(&mut l.counters))
+                .collect(),
+        }),
+        telemetry,
+    )
+}
+
+/// The pooled coordinator: replays [`drive_des`]'s grant/absorb
+/// sequence exactly, blocking on worker arrivals only when the
+/// lookahead cannot yet prove the globally earliest event safe.
+/// Returns the grant-round count.
+#[allow(clippy::too_many_arguments)]
+fn coordinate(
+    lanes: &mut [Lane<'_, '_>],
+    arbiter: &dyn TenantArbiter,
+    slots: usize,
+    queue_models: &[Vec<QueueModel>],
+    offsets: &[usize],
+    runq: &RunQueue<FleetTask>,
+    result_rx: &mpsc::Receiver<FleetMsg>,
+) -> Result<u64, EqcError> {
+    let total: usize = queue_models.iter().map(Vec::len).sum();
+    let mut bounds: Vec<Option<InflightBound>> = vec![None; total];
+    let mut in_system = 0usize;
+
+    // One grant round over the pool: [`grant_round`]'s shared
+    // allocation and cap loop, with a dispatch that queues the task on
+    // the workers instead of running it, registering its completion
+    // bound for the lookahead.
+    let grant = |lanes: &mut [Lane<'_, '_>],
+                 bounds: &mut Vec<Option<InflightBound>>,
+                 in_system: &mut usize,
+                 round: u64|
+     -> Result<(), EqcError> {
+        grant_round(lanes, arbiter, slots, round, |lane, t, r, round| {
+            let client = r.client;
+            let (assignment, submit) = lane.take_assignment(&r, round)?;
+            let instant = is_instant(lane.problem, &assignment);
+            let flat = offsets[t] + client;
+            bounds[flat] = Some(bound_for(&queue_models[t][client], submit, instant));
+            *in_system += 1;
+            runq.push(
+                flat,
+                FleetTask {
+                    lane: t,
+                    client,
+                    flat,
+                    assignment,
+                    submit,
+                },
+            );
+            Ok(())
+        })
+    };
+
+    prime(lanes)?;
+    let mut round: u64 = 0;
+    grant(lanes, &mut bounds, &mut in_system, round)?;
+    round += 1;
+    while !lanes.iter().all(|l| l.done) {
+        // Is the globally earliest queued event provably next in the
+        // fleet total order? (Bounds of completed lanes are ignored:
+        // their remaining events are discarded on arrival, exactly as
+        // the inline drive never pops a done lane's heap.)
+        let safe = next_lane(lanes).filter(|&t| {
+            let head = lanes[t].heap.peek().expect("next_lane implies a head");
+            let (completed, at) = (head.completed.as_secs(), (t, head.client));
+            bounds.iter().enumerate().all(|(flat, b)| match b {
+                Some(bound) => {
+                    let bound_at = locate(offsets, flat);
+                    lanes[bound_at.0].done || precedes(completed, at, *bound, bound_at)
+                }
+                None => true,
+            })
+        });
+        if let Some(t) = safe {
+            absorb_next(lanes, t, round)?;
+            if lanes.iter().all(|l| l.done) {
+                break;
+            }
+            grant(lanes, &mut bounds, &mut in_system, round)?;
+            round += 1;
+            continue;
+        }
+        if in_system > 0 {
+            match result_rx.recv() {
+                Ok(FleetMsg::Done {
+                    lane,
+                    client,
+                    result,
+                    cycle,
+                    dispatched_at_update,
+                }) => {
+                    bounds[offsets[lane] + client] = None;
+                    in_system -= 1;
+                    if !lanes[lane].done {
+                        lanes[lane].heap.push(Event {
+                            completed: result.completed,
+                            client,
+                            result,
+                            cycle,
+                            dispatched_at_update,
+                        });
+                    }
+                }
+                Ok(FleetMsg::Panicked { lane, client }) => {
+                    return Err(EqcError::Internal(format!(
+                        "fleet task for tenant {lane} client {client} panicked"
+                    )));
+                }
+                Err(_) => {
+                    return Err(EqcError::Internal("fleet workers exited early".into()));
+                }
+            }
+        } else if next_lane(lanes).is_none() {
+            return Err(EqcError::Internal(
+                "event queue drained before the epoch budget".into(),
+            ));
+        } else {
+            // Unreachable: an unsafe head implies a live bound, and a
+            // live bound implies a task in the system.
+            return Err(EqcError::Internal("fleet lookahead wedged".into()));
+        }
+    }
+    Ok(round)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EqcConfig;
+    use crate::ensemble::Ensemble;
+    use crate::policy::arbiter::{PriorityArbiter, Unshared};
+    use vqa::QaoaProblem;
+
+    fn fleet_cfg(epochs: usize) -> EqcConfig {
+        EqcConfig::paper_qaoa().with_epochs(epochs).with_shots(128)
+    }
+
+    #[test]
+    fn precedes_respects_the_fleet_total_order() {
+        // Strictly-later bounds admit strictly-earlier events only.
+        assert!(precedes(5.0, (1, 9), InflightBound::Above(10.0), (0, 0)));
+        assert!(!precedes(10.0, (0, 0), InflightBound::Above(10.0), (1, 9)));
+        // Exact bounds tie-break on (tenant, client) like the merge does.
+        assert!(precedes(10.0, (0, 5), InflightBound::Exactly(10.0), (1, 2)));
+        assert!(precedes(10.0, (1, 1), InflightBound::Exactly(10.0), (1, 2)));
+        assert!(!precedes(
+            10.0,
+            (1, 3),
+            InflightBound::Exactly(10.0),
+            (1, 2)
+        ));
+        assert!(precedes(9.0, (7, 7), InflightBound::Exactly(10.0), (0, 0)));
+    }
+
+    #[test]
+    fn locate_inverts_the_flat_layout() {
+        let offsets = [0usize, 3, 5];
+        assert_eq!(locate(&offsets, 0), (0, 0));
+        assert_eq!(locate(&offsets, 2), (0, 2));
+        assert_eq!(locate(&offsets, 3), (1, 0));
+        assert_eq!(locate(&offsets, 4), (1, 1));
+        assert_eq!(locate(&offsets, 5), (2, 0));
+    }
+
+    #[test]
+    fn no_tenants_is_a_typed_error() {
+        let mut fleet = FleetRuntime::builder()
+            .device("belem")
+            .build()
+            .expect("builds");
+        assert_eq!(fleet.run().unwrap_err(), EqcError::NoTenants);
+    }
+
+    #[test]
+    fn empty_fleet_and_bad_tenants_are_typed_errors() {
+        assert_eq!(
+            FleetRuntime::builder().build::<'static>().unwrap_err(),
+            EqcError::EmptyEnsemble
+        );
+        assert!(matches!(
+            FleetRuntime::builder()
+                .device("belem")
+                .pooled_workers(0)
+                .build::<'static>()
+                .unwrap_err(),
+            EqcError::InvalidConfig(_)
+        ));
+        let problem = QaoaProblem::maxcut_ring4();
+        let mut fleet = FleetRuntime::builder()
+            .device("belem")
+            .build()
+            .expect("builds");
+        assert!(matches!(
+            fleet.admit(&problem, TenantConfig::new(fleet_cfg(2)).weight(0.0)),
+            Err(EqcError::InvalidConfig(_))
+        ));
+        assert_eq!(fleet.num_tenants(), 0, "rejected tenants are not admitted");
+    }
+
+    #[test]
+    fn single_tenant_fleet_matches_standalone_ensemble() {
+        let problem = QaoaProblem::maxcut_ring4();
+        let cfg = fleet_cfg(3);
+        let standalone = Ensemble::builder()
+            .devices(["belem", "manila"])
+            .device_seed(7)
+            .config(cfg)
+            .build()
+            .expect("builds")
+            .train(&problem)
+            .expect("trains");
+        let mut fleet = FleetRuntime::builder()
+            .devices(["belem", "manila"])
+            .device_seed(7)
+            .build()
+            .expect("builds");
+        fleet
+            .admit(&problem, TenantConfig::new(cfg))
+            .expect("admits");
+        let outcome = fleet.run().expect("runs");
+        assert_eq!(outcome.reports.len(), 1);
+        assert_eq!(
+            format!("{standalone:?}"),
+            format!("{:?}", outcome.reports[0]),
+            "single-tenant fleet must replay the standalone session byte for byte"
+        );
+        assert!(outcome.telemetry.tenants[0].results_absorbed > 0);
+        assert_eq!(outcome.telemetry.tenants[0].wait_virtual_hours, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "TenantId from fleet batch 0")]
+    fn stale_tenant_id_is_rejected_not_misattributed() {
+        let problem = QaoaProblem::maxcut_ring4();
+        let mut fleet = FleetRuntime::builder()
+            .device("belem")
+            .build()
+            .expect("builds");
+        let stale = fleet
+            .admit(&problem, TenantConfig::new(fleet_cfg(1)))
+            .expect("admits");
+        fleet.run().expect("first batch");
+        fleet
+            .admit(&problem, TenantConfig::new(fleet_cfg(1)))
+            .expect("admits again");
+        let second = fleet.run().expect("second batch");
+        // Indexing the second batch's outcome with the first batch's
+        // handle must fail loudly, not return the wrong tenant.
+        let _ = second.report(stale);
+    }
+
+    #[test]
+    fn fleet_is_reusable_across_runs() {
+        let problem = QaoaProblem::maxcut_ring4();
+        let mut fleet = FleetRuntime::builder()
+            .devices(["belem", "manila"])
+            .device_seed(7)
+            .build()
+            .expect("builds");
+        fleet
+            .admit(&problem, TenantConfig::new(fleet_cfg(2)))
+            .expect("admits");
+        let first = fleet.run().expect("first run");
+        assert_eq!(fleet.num_tenants(), 0, "run consumes the tenant batch");
+        fleet
+            .admit(&problem, TenantConfig::new(fleet_cfg(2)))
+            .expect("re-admits");
+        let second = fleet.run().expect("second run");
+        assert_eq!(
+            first.reports, second.reports,
+            "persistent devices, fresh tenants: identical replay"
+        );
+    }
+
+    #[test]
+    fn unshared_tenants_are_isolated_and_priority_accounts_starvation() {
+        let problem = QaoaProblem::maxcut_ring4();
+        let solo = {
+            let mut fleet = FleetRuntime::builder()
+                .devices(["belem", "manila"])
+                .device_seed(7)
+                .arbiter(Unshared)
+                .build()
+                .expect("builds");
+            fleet
+                .admit(&problem, TenantConfig::new(fleet_cfg(3)))
+                .expect("admits");
+            fleet.run().expect("runs").reports.remove(0)
+        };
+        let mut fleet = FleetRuntime::builder()
+            .devices(["belem", "manila"])
+            .device_seed(7)
+            .arbiter(Unshared)
+            .build()
+            .expect("builds");
+        fleet
+            .admit(&problem, TenantConfig::new(fleet_cfg(3)))
+            .expect("admits");
+        fleet
+            .admit(&problem, TenantConfig::new(fleet_cfg(2).with_seed(11)))
+            .expect("admits");
+        let outcome = fleet.run().expect("runs");
+        assert_eq!(
+            format!("{solo:?}"),
+            format!("{:?}", outcome.reports[0]),
+            "unshared tenants must be byte-identical regardless of co-tenants"
+        );
+
+        // Strict priority on the same pair: the low-priority tenant
+        // stalls (and its starvation is accounted) until the
+        // high-priority tenant completes, but still finishes.
+        let mut fleet = FleetRuntime::builder()
+            .devices(["belem", "manila"])
+            .device_seed(7)
+            .arbiter(PriorityArbiter)
+            .build()
+            .expect("builds");
+        let high = fleet
+            .admit(&problem, TenantConfig::new(fleet_cfg(3)).priority(5))
+            .expect("admits");
+        let low = fleet
+            .admit(&problem, TenantConfig::new(fleet_cfg(2).with_seed(11)))
+            .expect("admits");
+        let outcome = fleet.run().expect("runs");
+        assert_eq!(outcome.report(high).epochs, 3);
+        assert_eq!(outcome.report(low).epochs, 2);
+        assert!(
+            outcome.tenant(low).starved_rounds > 0,
+            "low priority should report starvation: {:?}",
+            outcome.tenant(low)
+        );
+        assert!(outcome.tenant(low).wait_rounds > 0);
+        assert_eq!(outcome.tenant(high).starved_rounds, 0);
+    }
+}

@@ -64,25 +64,36 @@
 //! re-admission). A [`PolicyConfig`] bundles one of each; the default
 //! stack reproduces the paper's Algorithm 1 byte for byte.
 //!
+//! ## The multi-tenant fleet
+//!
+//! A standalone session owns its clients for the whole run; the
+//! [`FleetRuntime`] inverts that: the fleet is the long-lived resource
+//! that owns the device pool, sessions are *tenants* that borrow
+//! capacity ([`FleetRuntime::admit`]), and a
+//! [`TenantArbiter`](policy::TenantArbiter) ([`Unshared`],
+//! [`FairShare`], [`PriorityArbiter`]) arbitrates fleet capacity
+//! between them. Single-tenant fleet runs are byte-identical to
+//! standalone sessions — the deterministic executors are in fact thin
+//! fleet-of-one wrappers over the same drive loop.
+//!
 //! ## Modules
 //!
 //! * [`ensemble`] — the builder/session surface;
+//! * [`fleet`] — the multi-tenant [`FleetRuntime`] and its drive loop;
 //! * [`executor`] — the [`Executor`] trait and its substrates;
 //! * [`pool`] — the bounded worker-pool substrate behind
-//!   [`PooledExecutor`];
+//!   [`PooledExecutor`] and the pooled fleet;
 //! * [`master`] — the shared master loop (Algorithm 1);
-//! * [`policy`] — the pluggable scheduler / weighting / health layer
-//!   the master consults;
+//! * [`policy`] — the pluggable scheduler / weighting / health /
+//!   arbiter layer;
 //! * [`client`] — the client node (Algorithm 2): transpile once, serve
 //!   batched shift-rule jobs, report gradients + `P_correct`;
 //! * [`weighting`] — Eq. 2 and the bounded linear weight normalization of
 //!   Figs. 5/9/12;
 //! * [`convergence`] — the appendix ASGD bound (Eq. 14);
 //! * [`stats`] — the estimators behind Fig. 4 (R^2, Pearson, p-value);
-//! * [`report`] — per-epoch histories and device statistics for every
-//!   figure harness;
-//! * [`trainer`] / [`threaded`] — the pre-0.2 entry points, deprecated
-//!   shims over the session API.
+//! * [`report`] — per-epoch histories, device statistics and fleet
+//!   telemetry for every figure harness.
 
 #![warn(missing_docs)]
 
@@ -92,36 +103,31 @@ pub mod convergence;
 pub mod ensemble;
 pub mod error;
 pub mod executor;
+pub mod fleet;
 pub mod master;
 pub mod policy;
 pub mod pool;
 pub mod report;
 pub mod stats;
-pub mod threaded;
-pub mod trainer;
 pub mod weighting;
 
 pub use client::{ClientNode, ClientTaskResult};
-pub use config::{EqcConfig, PolicyConfig, PoolConfig};
+pub use config::{EqcConfig, PolicyConfig, PoolConfig, TenantConfig};
 pub use convergence::ConvergenceParams;
-pub use ensemble::{Ensemble, EnsembleBuilder, EnsembleSession};
+pub use ensemble::{ideal_backend, Ensemble, EnsembleBuilder, EnsembleSession};
 pub use error::EqcError;
 pub use executor::{DiscreteEventExecutor, Executor, SequentialExecutor, ThreadedExecutor};
+pub use fleet::{FleetBuilder, FleetOutcome, FleetRuntime, TenantId};
 pub use master::{Assignment, MasterLoop};
 pub use policy::{
-    AlwaysHealthy, ClientHealth, Cyclic, DriftEviction, EquiEnsemble, FidelityWeighted,
-    HealthContext, HealthVerdict, LeastLoaded, ScheduleContext, Scheduler, StalenessDecay,
-    WeightContext, WeightDecision, Weighting,
+    AlwaysHealthy, ArbiterContext, ClientHealth, Composed, Cyclic, DriftEviction, EquiEnsemble,
+    FairShare, FidelityWeighted, HealthContext, HealthVerdict, LeastLoaded, LookaheadLeastLoaded,
+    PriorityArbiter, ScheduleContext, Scheduler, StalenessDecay, TenantArbiter, TenantLoad,
+    Unshared, WeightContext, WeightDecision, Weighting,
 };
 pub use pool::PooledExecutor;
 pub use report::{
-    ClientStats, EpochRecord, EvictionEvent, MembershipChange, PolicyTelemetry, PoolTelemetry,
-    TrainingReport, WeightProvenance, WeightSample,
+    ClientStats, EpochRecord, EvictionEvent, FleetTelemetry, MembershipChange, PolicyTelemetry,
+    PoolTelemetry, TenantTelemetry, TrainingReport, WeightProvenance, WeightSample,
 };
-pub use trainer::ideal_backend;
 pub use weighting::{normalize_weights, p_correct, WeightBounds};
-
-#[allow(deprecated)]
-pub use threaded::train_threaded;
-#[allow(deprecated)]
-pub use trainer::{train_ideal, EqcTrainer, SingleDeviceTrainer, SyncEnsembleTrainer};

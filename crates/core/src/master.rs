@@ -274,9 +274,18 @@ impl MasterLoop {
             return Ok(first);
         }
         let queue_wait_s: Vec<f64> = if self.policies.scheduler.needs_queue_estimates() {
+            // Predictive schedulers evaluate the queue models ahead of
+            // the current virtual time (where the job would actually
+            // queue); instantaneous ones read them at `now` exactly.
+            let horizon = self.policies.scheduler.lookahead_s();
+            let at = if horizon.is_finite() && horizon > 0.0 {
+                self.now + horizon
+            } else {
+                self.now
+            };
             candidates
                 .iter()
-                .map(|&c| self.probes.get(c).map_or(0.0, |p| p.queue_wait_s(self.now)))
+                .map(|&c| self.probes.get(c).map_or(0.0, |p| p.queue_wait_s(at)))
                 .collect()
         } else {
             vec![0.0; candidates.len()]
@@ -569,7 +578,7 @@ impl MasterLoop {
         let weight_provenance = (0..self.n_clients)
             .map(|i| WeightProvenance {
                 client: i,
-                policy: self.policies.weighting.name().to_string(),
+                policy: self.policies.weighting.label(),
                 samples: self.w_counts[i],
                 min_weight: if self.w_counts[i] > 0 {
                     self.w_min[i]
@@ -604,7 +613,7 @@ impl MasterLoop {
             },
             policy: PolicyTelemetry {
                 scheduler: self.policies.scheduler.name().to_string(),
-                weighting: self.policies.weighting.name().to_string(),
+                weighting: self.policies.weighting.label(),
                 health: self.policies.health.name().to_string(),
                 evictions: self.evictions,
                 readmissions: self.readmissions,

@@ -1,0 +1,322 @@
+//! Tenant → capacity arbitration policies for the multi-tenant fleet.
+//!
+//! The paper treats every NISQ device as a queue-contended shared
+//! resource (Section I); [`FleetRuntime`](crate::fleet::FleetRuntime)
+//! lifts that to the fleet level: several training sessions (tenants)
+//! borrow capacity from one shared device pool, and a [`TenantArbiter`]
+//! decides, at every grant round, how many concurrent tasks each tenant
+//! may keep in flight. The fleet owns all mutable bookkeeping (in-flight
+//! counts, ready queues, starvation counters) and hands the arbiter an
+//! immutable [`ArbiterContext`] snapshot — the same stateless-policy
+//! contract as [`Scheduler`](crate::policy::Scheduler).
+//!
+//! Three arbiters ship:
+//!
+//! * [`Unshared`] — capacity sharing *disabled*: every tenant proceeds
+//!   as if it owned the fleet alone. A tenant's trajectory is then
+//!   byte-identical to its standalone [`Ensemble`](crate::Ensemble)
+//!   run regardless of co-tenants (pinned by tests).
+//! * [`FairShare`] — weighted round-robin: slots split proportionally
+//!   to each tenant's configured weight, with a rotating one-slot
+//!   guarantee so no tenant with pending work ever starves.
+//! * [`PriorityArbiter`] — strict priority: higher-priority tenants
+//!   take all the capacity they can use; lower priorities get the
+//!   leftovers (and their starvation shows up in
+//!   [`TenantTelemetry`](crate::report::TenantTelemetry)).
+
+use std::fmt;
+
+/// One tenant's load snapshot inside an [`ArbiterContext`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TenantLoad {
+    /// Tenant index within the current fleet run.
+    pub tenant: usize,
+    /// The tenant's configured fair-share weight (positive, finite).
+    pub weight: f64,
+    /// The tenant's configured priority (higher wins under
+    /// [`PriorityArbiter`]).
+    pub priority: i64,
+    /// Tasks the tenant currently has in flight (dispatched, not yet
+    /// absorbed).
+    pub in_flight: usize,
+    /// Idle clients waiting for a capacity grant to dispatch.
+    pub ready: usize,
+    /// Whether the tenant's training goal is already met.
+    pub complete: bool,
+}
+
+impl TenantLoad {
+    /// Total capacity the tenant could use right now.
+    pub fn demand(&self) -> usize {
+        self.in_flight + self.ready
+    }
+
+    /// Whether the tenant wants capacity this round.
+    pub fn wants_capacity(&self) -> bool {
+        !self.complete && self.demand() > 0
+    }
+}
+
+/// Everything a [`TenantArbiter`] may consult for one grant round.
+#[derive(Clone, Debug)]
+pub struct ArbiterContext<'a> {
+    /// One load snapshot per tenant, indexed by tenant id.
+    pub loads: &'a [TenantLoad],
+    /// Total concurrent-task slots the fleet offers (its device count).
+    pub total_slots: usize,
+    /// Monotone grant-round counter — the rotation source for
+    /// round-robin tie-breaking (policies stay stateless).
+    pub round: u64,
+}
+
+/// Decides each tenant's concurrent-task capacity for one grant round.
+///
+/// Implementations must be deterministic pure functions of the context
+/// (see [`Scheduler`](crate::policy::Scheduler) for why): the pooled
+/// fleet substrate replays the discrete-event grant sequence exactly.
+pub trait TenantArbiter: fmt::Debug + Send + Sync {
+    /// Policy name as reported in
+    /// [`FleetTelemetry`](crate::report::FleetTelemetry).
+    fn name(&self) -> &'static str;
+
+    /// Returns the per-tenant capacity caps for this round, indexed by
+    /// tenant id. A cap above a tenant's demand is harmless (the fleet
+    /// dispatches at most `demand` tasks); a missing entry reads as 0.
+    fn allocate(&self, ctx: &ArbiterContext<'_>) -> Vec<usize>;
+}
+
+/// Capacity sharing disabled: every tenant is granted its full demand,
+/// as if it owned the fleet alone.
+///
+/// Tenants never constrain each other, so a tenant's deterministic
+/// trajectory is byte-identical to its standalone
+/// [`Ensemble::train`](crate::Ensemble::train) run regardless of
+/// co-tenants — the isolation oracle the fleet tests pin. The cost is
+/// oversubscription: total in-flight tasks may exceed the device count.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Unshared;
+
+impl TenantArbiter for Unshared {
+    fn name(&self) -> &'static str {
+        "unshared"
+    }
+
+    fn allocate(&self, ctx: &ArbiterContext<'_>) -> Vec<usize> {
+        ctx.loads
+            .iter()
+            .map(|l| if l.complete { 0 } else { l.demand() })
+            .collect()
+    }
+}
+
+/// Weighted round-robin capacity sharing.
+///
+/// Every demanding tenant first receives one slot (rotating by round
+/// when there are more tenants than slots, so scarcity is time-sliced
+/// rather than starved); the remaining slots are apportioned by largest
+/// remainder proportionally to the tenants' weights, capped at demand,
+/// with slots freed by a binding demand cap respilling to the still-open
+/// tenants. The properties the proptests pin: never over-allocates,
+/// never exceeds demand, grants every demanding tenant at least one slot
+/// whenever slots suffice, weakly favors heavier weights, and converges
+/// to the configured weight ratios over rounds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FairShare;
+
+impl TenantArbiter for FairShare {
+    fn name(&self) -> &'static str {
+        "fair-share"
+    }
+
+    fn allocate(&self, ctx: &ArbiterContext<'_>) -> Vec<usize> {
+        let mut caps = vec![0usize; ctx.loads.len()];
+        let demanding: Vec<usize> = (0..ctx.loads.len())
+            .filter(|&t| ctx.loads[t].wants_capacity())
+            .collect();
+        if demanding.is_empty() || ctx.total_slots == 0 {
+            return caps;
+        }
+        let k = demanding.len();
+        let start = (ctx.round % k as u64) as usize;
+        let mut remaining = ctx.total_slots;
+
+        // Rotating one-slot guarantee: with fewer slots than tenants the
+        // rotation time-slices, so nobody starves permanently.
+        for i in 0..k {
+            if remaining == 0 {
+                break;
+            }
+            caps[demanding[(start + i) % k]] = 1;
+            remaining -= 1;
+        }
+
+        // Largest-remainder apportionment of the rest by weight, capped
+        // at demand. Each pass grants at least one slot while any tenant
+        // has headroom, so the loop terminates.
+        while remaining > 0 {
+            let open: Vec<usize> = demanding
+                .iter()
+                .copied()
+                .filter(|&t| caps[t] < ctx.loads[t].demand())
+                .collect();
+            if open.is_empty() {
+                break;
+            }
+            let rotation = (ctx.round % open.len() as u64) as usize;
+            let total_w: f64 = open.iter().map(|&t| ctx.loads[t].weight).sum();
+            let pool = remaining;
+            // Floors first.
+            let mut fracs: Vec<(f64, usize, usize)> = Vec::with_capacity(open.len());
+            for (i, &t) in open.iter().enumerate() {
+                let ideal = pool as f64 * ctx.loads[t].weight / total_w;
+                let headroom = ctx.loads[t].demand() - caps[t];
+                let grant = (ideal.floor() as usize).min(headroom).min(remaining);
+                caps[t] += grant;
+                remaining -= grant;
+                // Rotated rank so leftover ties cycle across rounds.
+                fracs.push((ideal.fract(), (i + open.len() - rotation) % open.len(), t));
+            }
+            // Leftovers by descending fractional part, rotated ties.
+            fracs.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+            for &(_, _, t) in &fracs {
+                if remaining == 0 {
+                    break;
+                }
+                if caps[t] < ctx.loads[t].demand() {
+                    caps[t] += 1;
+                    remaining -= 1;
+                }
+            }
+        }
+        caps
+    }
+}
+
+/// Strict priority: tenants are served in descending priority order
+/// (ties toward the lower tenant id), each taking as much capacity as it
+/// can use before the next is considered.
+///
+/// Deliberately starvation-prone — a saturated high-priority tenant
+/// holds the whole fleet until it completes. The fleet's per-tenant
+/// starvation accounting ([`TenantTelemetry::starved_rounds`]) makes
+/// that visible; the `fig_tenants` harness ablates it against
+/// [`FairShare`].
+///
+/// [`TenantTelemetry::starved_rounds`]: crate::report::TenantTelemetry::starved_rounds
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PriorityArbiter;
+
+impl TenantArbiter for PriorityArbiter {
+    fn name(&self) -> &'static str {
+        "priority"
+    }
+
+    fn allocate(&self, ctx: &ArbiterContext<'_>) -> Vec<usize> {
+        let mut caps = vec![0usize; ctx.loads.len()];
+        let mut order: Vec<usize> = (0..ctx.loads.len())
+            .filter(|&t| ctx.loads[t].wants_capacity())
+            .collect();
+        order.sort_by_key(|&t| (std::cmp::Reverse(ctx.loads[t].priority), t));
+        let mut remaining = ctx.total_slots;
+        for t in order {
+            let grant = ctx.loads[t].demand().min(remaining);
+            caps[t] = grant;
+            remaining -= grant;
+            if remaining == 0 {
+                break;
+            }
+        }
+        caps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(tenant: usize, weight: f64, priority: i64, demand: usize) -> TenantLoad {
+        TenantLoad {
+            tenant,
+            weight,
+            priority,
+            in_flight: 0,
+            ready: demand,
+            complete: false,
+        }
+    }
+
+    fn ctx(loads: &[TenantLoad], total_slots: usize, round: u64) -> ArbiterContext<'_> {
+        ArbiterContext {
+            loads,
+            total_slots,
+            round,
+        }
+    }
+
+    #[test]
+    fn unshared_grants_full_demand_to_everyone() {
+        let loads = [load(0, 1.0, 0, 5), load(1, 1.0, 0, 3)];
+        assert_eq!(Unshared.allocate(&ctx(&loads, 4, 0)), vec![5, 3]);
+        let mut done = loads;
+        done[1].complete = true;
+        assert_eq!(Unshared.allocate(&ctx(&done, 4, 0)), vec![5, 0]);
+    }
+
+    #[test]
+    fn fair_share_splits_by_weight_and_never_starves() {
+        // Weights 3:1 over 8 slots: 1+1 guaranteed, 6 split 4.5/1.5.
+        let loads = [load(0, 3.0, 0, 8), load(1, 1.0, 0, 8)];
+        let caps = FairShare.allocate(&ctx(&loads, 8, 0));
+        assert_eq!(caps.iter().sum::<usize>(), 8, "work-conserving");
+        assert!(caps[0] > caps[1], "heavier weight takes more: {caps:?}");
+        assert!(caps[1] >= 1, "light tenant still served: {caps:?}");
+    }
+
+    #[test]
+    fn fair_share_caps_at_demand_and_respills() {
+        let loads = [load(0, 1.0, 0, 2), load(1, 1.0, 0, 10)];
+        let caps = FairShare.allocate(&ctx(&loads, 8, 0));
+        assert_eq!(caps[0], 2, "never beyond demand");
+        assert_eq!(caps[1], 6, "freed slots respill");
+    }
+
+    #[test]
+    fn fair_share_rotates_scarce_slots() {
+        // Three tenants, one slot: the guarantee must rotate by round.
+        let loads = [load(0, 1.0, 0, 4), load(1, 1.0, 0, 4), load(2, 1.0, 0, 4)];
+        let mut granted = [0usize; 3];
+        for round in 0..3 {
+            let caps = FairShare.allocate(&ctx(&loads, 1, round));
+            assert_eq!(caps.iter().sum::<usize>(), 1);
+            for (t, &c) in caps.iter().enumerate() {
+                granted[t] += c;
+            }
+        }
+        assert_eq!(granted, [1, 1, 1], "one slot each over a full rotation");
+    }
+
+    #[test]
+    fn fair_share_ignores_complete_and_idle_tenants() {
+        let mut loads = [load(0, 1.0, 0, 4), load(1, 1.0, 0, 0), load(2, 1.0, 0, 4)];
+        loads[2].complete = true;
+        let caps = FairShare.allocate(&ctx(&loads, 8, 0));
+        assert_eq!(caps[1], 0, "no demand, no slots");
+        assert_eq!(caps[2], 0, "complete tenants hold nothing");
+        assert_eq!(caps[0], 4);
+    }
+
+    #[test]
+    fn priority_serves_strictly_in_order() {
+        let loads = [load(0, 1.0, 0, 4), load(1, 1.0, 5, 3), load(2, 1.0, 5, 4)];
+        let caps = PriorityArbiter.allocate(&ctx(&loads, 6, 0));
+        // Priority 5 first (ties toward lower id), tenant 0 gets scraps.
+        assert_eq!(caps, vec![0, 3, 3]);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Unshared.name(), "unshared");
+        assert_eq!(FairShare.name(), "fair-share");
+        assert_eq!(PriorityArbiter.name(), "priority");
+    }
+}

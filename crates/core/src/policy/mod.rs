@@ -11,9 +11,15 @@
 //!
 //! | Axis | Trait | Shipped impls |
 //! |---|---|---|
-//! | task → client | [`Scheduler`] | [`Cyclic`] (historical first-free order), [`LeastLoaded`] (queue-aware, fed by [`qdevice::QueueModel`] estimates) |
-//! | gradient weight | [`Weighting`] | [`FidelityWeighted`] (the paper's Eq. 2/4 path, extracted verbatim), [`EquiEnsemble`] (uniform, arXiv:2509.17982), [`StalenessDecay`] (attenuates stale ASGD updates) |
+//! | task → client | [`Scheduler`] | [`Cyclic`] (historical first-free order), [`LeastLoaded`] (queue-aware, fed by [`qdevice::QueueModel`] estimates), [`LookaheadLeastLoaded`] (predictive: estimates at `now + expected_job_s`) |
+//! | gradient weight | [`Weighting`] | [`FidelityWeighted`] (the paper's Eq. 2/4 path, extracted verbatim), [`EquiEnsemble`] (uniform, arXiv:2509.17982), [`StalenessDecay`] (attenuates stale ASGD updates), [`Composed`] (multiplicative combinator, e.g. band rescale × decay) |
 //! | participation | [`ClientHealth`] | [`AlwaysHealthy`], [`DriftEviction`] (threshold eviction on degraded reported calibration, re-admission after recalibration) |
+//! | tenant → capacity | [`TenantArbiter`] | [`Unshared`] (sharing disabled — standalone-identical tenants), [`FairShare`] (weighted round-robin), [`PriorityArbiter`] (strict priority) |
+//!
+//! The first three axes are consulted by the [`MasterLoop`] per tenant;
+//! the fourth is consulted by the multi-tenant
+//! [`FleetRuntime`](crate::fleet::FleetRuntime), which arbitrates fleet
+//! capacity *between* tenants each grant round.
 //!
 //! Policies are stateless, `Send + Sync` values: all mutable bookkeeping
 //! (baselines, eviction sets, weighting history) stays in the
@@ -30,12 +36,17 @@
 //! [`MasterLoop`]: crate::MasterLoop
 //! [`PolicyConfig`]: crate::config::PolicyConfig
 
+pub mod arbiter;
 pub mod health;
 pub mod scheduler;
 pub mod weighting;
 
+pub use arbiter::{
+    ArbiterContext, FairShare, PriorityArbiter, TenantArbiter, TenantLoad, Unshared,
+};
 pub use health::{AlwaysHealthy, ClientHealth, DriftEviction, HealthContext, HealthVerdict};
-pub use scheduler::{Cyclic, LeastLoaded, ScheduleContext, Scheduler};
+pub use scheduler::{Cyclic, LeastLoaded, LookaheadLeastLoaded, ScheduleContext, Scheduler};
 pub use weighting::{
-    EquiEnsemble, FidelityWeighted, StalenessDecay, WeightContext, WeightDecision, Weighting,
+    Composed, EquiEnsemble, FidelityWeighted, StalenessDecay, WeightContext, WeightDecision,
+    Weighting,
 };

@@ -8,13 +8,16 @@
 //! time, after a re-admission, and in any future executor that keeps
 //! more than one task in flight per client.
 
+use crate::error::EqcError;
 use std::fmt;
 
 /// Everything a [`Scheduler`] may consult for one assignment decision.
 ///
 /// `candidates` and `queue_wait_s` are parallel slices: candidate `i`
 /// is client `candidates[i]` with an estimated queue wait of
-/// `queue_wait_s[i]` seconds were a job submitted now. Candidates are
+/// `queue_wait_s[i]` seconds were a job submitted at the policy's
+/// evaluation instant — "now" for instantaneous schedulers, `now +`
+/// [`Scheduler::lookahead_s`] for predictive ones. Candidates are
 /// idle, healthy clients in ascending id order, and never empty.
 #[derive(Clone, Debug)]
 pub struct ScheduleContext<'a> {
@@ -44,6 +47,16 @@ pub trait Scheduler: fmt::Debug + Send + Sync {
     /// building scheduling probes altogether.
     fn needs_queue_estimates(&self) -> bool {
         true
+    }
+
+    /// How far ahead of the current virtual time (seconds) the queue
+    /// estimates in `ctx.queue_wait_s` should be evaluated. The default
+    /// `0.0` reads the instantaneous wait; a predictive scheduler
+    /// ([`LookaheadLeastLoaded`]) returns its expected job duration so
+    /// the estimate reflects congestion *when the job would actually
+    /// queue*, not when it is assigned.
+    fn lookahead_s(&self) -> f64 {
+        0.0
     }
 
     /// Returns the chosen client id, which must be one of
@@ -85,15 +98,73 @@ impl Scheduler for LeastLoaded {
     }
 
     fn pick(&self, ctx: &ScheduleContext<'_>) -> usize {
-        let mut best = 0usize;
-        for i in 1..ctx.candidates.len() {
-            // Strict `<` keeps ties on the lower client id; `total_cmp`
-            // keeps a NaN estimate from winning the argmin.
-            if ctx.queue_wait_s[i].total_cmp(&ctx.queue_wait_s[best]) == std::cmp::Ordering::Less {
-                best = i;
-            }
+        argmin_wait(ctx)
+    }
+}
+
+/// The shared argmin body behind [`LeastLoaded`] and
+/// [`LookaheadLeastLoaded`]: smallest estimated wait, ties toward the
+/// lower client id. Strict `<` keeps ties on the lower id; `total_cmp`
+/// keeps a NaN estimate from winning the argmin.
+fn argmin_wait(ctx: &ScheduleContext<'_>) -> usize {
+    let mut best = 0usize;
+    for i in 1..ctx.candidates.len() {
+        if ctx.queue_wait_s[i].total_cmp(&ctx.queue_wait_s[best]) == std::cmp::Ordering::Less {
+            best = i;
         }
-        ctx.candidates[best]
+    }
+    ctx.candidates[best]
+}
+
+/// Predictive queue-aware assignment: like [`LeastLoaded`], but the
+/// wait estimates are evaluated at `now + expected_job_s` instead of
+/// instantaneously, so a device that looks quiet *now* but sits just
+/// before its diurnal congestion peak ([`qdevice::QueueModel`]'s
+/// log-sinusoidal cycle) stops attracting jobs it would only finish at
+/// the peak. `expected_job_s` should approximate one gradient task's
+/// latency on the fleet (queue wait + overhead + execution).
+#[derive(Clone, Copy, Debug)]
+pub struct LookaheadLeastLoaded {
+    horizon_s: f64,
+}
+
+impl LookaheadLeastLoaded {
+    /// Creates the policy with the expected per-job latency (seconds)
+    /// used as the forecast horizon.
+    ///
+    /// # Errors
+    ///
+    /// [`EqcError::InvalidConfig`] unless the horizon is positive and
+    /// finite (an instantaneous horizon is exactly [`LeastLoaded`] —
+    /// use that instead).
+    pub fn new(expected_job_s: f64) -> Result<Self, EqcError> {
+        if !(expected_job_s.is_finite() && expected_job_s > 0.0) {
+            return Err(EqcError::InvalidConfig(format!(
+                "lookahead horizon must be positive and finite, got {expected_job_s}"
+            )));
+        }
+        Ok(LookaheadLeastLoaded {
+            horizon_s: expected_job_s,
+        })
+    }
+
+    /// The forecast horizon in seconds.
+    pub fn horizon_s(&self) -> f64 {
+        self.horizon_s
+    }
+}
+
+impl Scheduler for LookaheadLeastLoaded {
+    fn name(&self) -> &'static str {
+        "lookahead-least-loaded"
+    }
+
+    fn lookahead_s(&self) -> f64 {
+        self.horizon_s
+    }
+
+    fn pick(&self, ctx: &ScheduleContext<'_>) -> usize {
+        argmin_wait(ctx)
     }
 }
 
@@ -125,8 +196,33 @@ mod tests {
     }
 
     #[test]
+    fn lookahead_shares_the_argmin_but_declares_a_horizon() {
+        let policy = LookaheadLeastLoaded::new(90.0).expect("valid horizon");
+        assert_eq!(policy.lookahead_s(), 90.0);
+        assert_eq!(policy.horizon_s(), 90.0);
+        assert!(policy.needs_queue_estimates());
+        // The pick itself is the same argmin — the difference is the
+        // instant the master evaluates the estimates at.
+        assert_eq!(policy.pick(&ctx(&[0, 1, 2], &[60.0, 5.0, 90.0])), 1);
+        assert_eq!(policy.pick(&ctx(&[4, 8], &[5.0, 5.0])), 4);
+        assert_eq!(LeastLoaded.lookahead_s(), 0.0, "default is instantaneous");
+    }
+
+    #[test]
+    fn lookahead_rejects_degenerate_horizons() {
+        assert!(LookaheadLeastLoaded::new(0.0).is_err());
+        assert!(LookaheadLeastLoaded::new(-5.0).is_err());
+        assert!(LookaheadLeastLoaded::new(f64::NAN).is_err());
+        assert!(LookaheadLeastLoaded::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
     fn names_are_stable() {
         assert_eq!(Cyclic.name(), "cyclic");
         assert_eq!(LeastLoaded.name(), "least-loaded");
+        assert_eq!(
+            LookaheadLeastLoaded::new(60.0).expect("valid").name(),
+            "lookahead-least-loaded"
+        );
     }
 }

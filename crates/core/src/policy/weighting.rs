@@ -64,6 +64,13 @@ pub trait Weighting: fmt::Debug + Send + Sync {
     /// Policy name as reported in [`PolicyTelemetry`](crate::report::PolicyTelemetry).
     fn name(&self) -> &'static str;
 
+    /// Human-readable label for telemetry. Defaults to [`Weighting::name`];
+    /// combinators like [`Composed`] override it to spell out their
+    /// parts (e.g. `fidelity*staleness-decay`).
+    fn label(&self) -> String {
+        self.name().to_string()
+    }
+
     /// The weight for the result described by `ctx`.
     fn weight(&self, ctx: &WeightContext<'_>) -> WeightDecision;
 }
@@ -201,6 +208,40 @@ impl Weighting for StalenessDecay {
     }
 }
 
+/// Multiplicative composition of two weighting policies: the applied
+/// weight is the product of both parts' weights.
+///
+/// The canonical instance is `Composed(FidelityWeighted,
+/// StalenessDecay::default())` — the paper's Eq. 2/4 band rescale
+/// *attenuated* by ASGD delay, the cell the ROADMAP's "weighting ×
+/// staleness composition" item called for (and the `fig_policies` grid
+/// now covers). Each part sees the full [`WeightContext`], so any pair
+/// composes; the recorded weight trace comes from the first part that
+/// produces one (for the canonical pair: the fidelity band vector —
+/// the per-result staleness factor is a scalar, not a per-client
+/// ensemble quantity).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Composed<A, B>(pub A, pub B);
+
+impl<A: Weighting, B: Weighting> Weighting for Composed<A, B> {
+    fn name(&self) -> &'static str {
+        "composed"
+    }
+
+    fn label(&self) -> String {
+        format!("{}*{}", self.0.label(), self.1.label())
+    }
+
+    fn weight(&self, ctx: &WeightContext<'_>) -> WeightDecision {
+        let a = self.0.weight(ctx);
+        let b = self.1.weight(ctx);
+        WeightDecision {
+            weight: a.weight * b.weight,
+            ensemble_trace: a.ensemble_trace.or(b.ensemble_trace),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +300,30 @@ mod tests {
                 EquiEnsemble.weight(&ctx(client, &[0.99, 0.2, 0.6], &[true; 3], Some(bounds), 4));
             assert_eq!(d, WeightDecision::unweighted());
         }
+    }
+
+    #[test]
+    fn composed_multiplies_and_keeps_the_band_trace() {
+        let bounds = WeightBounds::default_band();
+        let policy = Composed(FidelityWeighted, StalenessDecay::new(0.5).unwrap());
+        assert_eq!(policy.name(), "composed");
+        assert_eq!(policy.label(), "fidelity*staleness-decay");
+        // Fresh result: pure band weight.
+        let fresh = policy.weight(&ctx(0, &[0.9, 0.4], &[true, true], Some(bounds), 0));
+        assert_eq!(fresh.weight, 1.5);
+        assert_eq!(fresh.ensemble_trace, Some(vec![1.5, 0.5]));
+        // Two updates stale: band weight * 1/(1 + 0.5*2).
+        let stale = policy.weight(&ctx(0, &[0.9, 0.4], &[true, true], Some(bounds), 2));
+        assert!((stale.weight - 1.5 / 2.0).abs() < 1e-12);
+        assert_eq!(
+            stale.ensemble_trace,
+            Some(vec![1.5, 0.5]),
+            "trace records the band component"
+        );
+        // No band configured: composition degrades to pure decay.
+        let decay_only = policy.weight(&ctx(0, &[0.9, 0.4], &[true, true], None, 2));
+        assert!((decay_only.weight - 0.5).abs() < 1e-12);
+        assert_eq!(decay_only.ensemble_trace, None);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The bounded worker-pool executor: fleet-scale ensembles without
+//! The bounded worker-pool substrate: fleet-scale ensembles without
 //! fleet-scale threads.
 //!
 //! [`ThreadedExecutor`](crate::ThreadedExecutor) is the paper's
@@ -11,12 +11,15 @@
 //!
 //! ## Architecture
 //!
-//! * **Sharded run-queue** — dispatched tasks land on the shard of
-//!   their client (`client % workers`), so a client's jobs tend to stay
-//!   on one worker (warm compiled-template and engine-scratch caches).
-//!   Idle workers steal from the deepest foreign shard; the
-//!   [`PoolTelemetry`] counters (`workers_spawned`, `queue_depth_max`,
-//!   `tasks_stolen`) expose the pool's behaviour after a run.
+//! * **Sharded run-queue** ([`RunQueue`]) — dispatched tasks land on
+//!   the shard of their client (`client % workers`), so a client's jobs
+//!   tend to stay on one worker (warm compiled-template and
+//!   engine-scratch caches). Idle workers steal from the deepest
+//!   foreign shard; the [`PoolTelemetry`] counters (`workers_spawned`,
+//!   `queue_depth_max`, `tasks_stolen`) expose the pool's behaviour
+//!   after a run. The queue is generic over its task type: it started
+//!   as this executor's private scaffolding and is now the persistent
+//!   substrate under the multi-tenant [`crate::fleet`] runtime too.
 //! * **Clients behind mutexes** — the coordinator keeps at most one
 //!   task per client in flight, so the per-client locks are never
 //!   contended; they exist to let any worker execute any client's task.
@@ -24,14 +27,15 @@
 //!
 //! ## Deterministic mode (default)
 //!
-//! With [`PoolConfig::deterministic`] set, results are absorbed in
-//! exactly the [`DiscreteEventExecutor`](crate::DiscreteEventExecutor)
-//! total order — earliest virtual completion first, client id breaking
-//! ties (the same [`Event`] heap) — and each absorb immediately
-//! re-dispatches the freed client, exactly as Algorithm 1 does. The
-//! report is therefore **byte-identical** to the discrete-event
-//! executor's (including the `eqc[n]` trainer label); only wall-clock
-//! and the pool telemetry differ.
+//! With [`PoolConfig::deterministic`] set, the run delegates to the
+//! [`crate::fleet`] pooled drive as a fleet of one tenant: results are
+//! absorbed in exactly the
+//! [`DiscreteEventExecutor`](crate::DiscreteEventExecutor) total order
+//! — earliest virtual completion first, client id breaking ties — with
+//! each absorb immediately re-dispatching the freed client, exactly as
+//! Algorithm 1 does. The report is therefore **byte-identical** to the
+//! discrete-event executor's (including the `eqc[n]` trainer label);
+//! only wall-clock and the pool telemetry differ.
 //!
 //! Parallelism and exact ordering coexist through conservative
 //! lookahead, the classic discrete-event trick: a task dispatched at
@@ -55,17 +59,17 @@ use crate::client::{ClientNode, ClientTaskResult};
 use crate::config::PoolConfig;
 use crate::ensemble::EnsembleSession;
 use crate::error::EqcError;
-use crate::executor::{Event, Executor};
+use crate::executor::Executor;
 use crate::master::Assignment;
+use crate::policy::arbiter::Unshared;
 use crate::report::{PoolTelemetry, TrainingReport};
-use qdevice::{QueueModel, SimTime};
-use std::collections::{BinaryHeap, VecDeque};
+use qdevice::SimTime;
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{mpsc, Condvar, Mutex};
 use std::thread;
-use vqa::VqaProblem;
 
-/// One dispatched task travelling through the run-queue.
+/// One dispatched task travelling through the arrival-mode run-queue.
 struct PoolTask {
     client: usize,
     assignment: Assignment,
@@ -90,22 +94,24 @@ enum WorkerMsg {
 /// are microseconds against task executions of milliseconds, so a
 /// single lock is uncontended in practice and keeps the
 /// steal/shutdown/drain invariants trivially correct.
-struct ShardState {
-    queues: Vec<VecDeque<PoolTask>>,
+struct ShardState<T> {
+    queues: Vec<VecDeque<T>>,
     queued: usize,
     shutdown: bool,
     depth_max: usize,
     stolen: u64,
 }
 
-/// The sharded run-queue shared by the coordinator and every worker.
-struct RunQueue {
-    state: Mutex<ShardState>,
+/// The sharded, work-stealing run-queue shared by a coordinator and its
+/// workers — generic over the task type so the single-session pool and
+/// the multi-tenant fleet ride the same substrate.
+pub(crate) struct RunQueue<T> {
+    state: Mutex<ShardState<T>>,
     signal: Condvar,
 }
 
-impl RunQueue {
-    fn new(workers: usize) -> Self {
+impl<T> RunQueue<T> {
+    pub(crate) fn new(workers: usize) -> Self {
         RunQueue {
             state: Mutex::new(ShardState {
                 queues: (0..workers).map(|_| VecDeque::new()).collect(),
@@ -118,10 +124,11 @@ impl RunQueue {
         }
     }
 
-    /// Queues a task on its client's home shard.
-    fn push(&self, task: PoolTask) {
+    /// Queues a task on the shard `key % workers` — callers key by
+    /// client id so a client's jobs stay cache-warm on one worker.
+    pub(crate) fn push(&self, key: usize, task: T) {
         let mut s = self.state.lock().expect("run-queue lock");
-        let shard = task.client % s.queues.len();
+        let shard = key % s.queues.len();
         s.queues[shard].push_back(task);
         s.queued += 1;
         s.depth_max = s.depth_max.max(s.queued);
@@ -133,7 +140,7 @@ impl RunQueue {
     /// **and** a fully drained queue — every dispatched task executes,
     /// which the deterministic mode's client-counter equivalence relies
     /// on.
-    fn pop(&self, worker: usize) -> Option<PoolTask> {
+    pub(crate) fn pop(&self, worker: usize) -> Option<T> {
         let mut s = self.state.lock().expect("run-queue lock");
         loop {
             if s.queued > 0 {
@@ -160,38 +167,39 @@ impl RunQueue {
     }
 
     /// Signals workers to exit once the queue drains.
-    fn close(&self) {
+    pub(crate) fn close(&self) {
         self.state.lock().expect("run-queue lock").shutdown = true;
         self.signal.notify_all();
     }
 
-    fn counters(&self) -> (usize, u64) {
+    /// `(queue_depth_max, tasks_stolen)` counters.
+    pub(crate) fn counters(&self) -> (usize, u64) {
         let s = self.state.lock().expect("run-queue lock");
         (s.depth_max, s.stolen)
     }
 }
 
-/// What the coordinator knows about one in-flight task's eventual
-/// virtual completion time.
-#[derive(Clone, Copy, Debug)]
-enum InflightBound {
-    /// Completion is strictly later than this many virtual seconds
-    /// (normal tasks: queue-wait floor plus overhead, execution still to
-    /// come).
-    Above(f64),
-    /// Completion is exactly this many virtual seconds (a task whose
-    /// parameter is absent from the circuit returns at its submit time
-    /// without touching the device).
-    Exactly(f64),
-}
-
-/// Whether heap event `(completed, client)` precedes every completion
-/// the bound still allows, under the [`Event`] total order.
-fn precedes(completed: f64, client: usize, bound: InflightBound, bound_client: usize) -> bool {
-    match bound {
-        // Strict `<`: do not lean on execution time being non-zero.
-        InflightBound::Above(lb) => completed < lb,
-        InflightBound::Exactly(t) => completed < t || (completed == t && client < bound_client),
+/// The worker protocol shared by the arrival-mode pool and the pooled
+/// fleet substrate: pop tasks until the queue closes, execute each
+/// under panic containment, and report every outcome. The coordinator
+/// may already have failed and stopped listening, so sends are
+/// best-effort and the drain continues regardless — every dispatched
+/// task executes, which the deterministic client-counter equivalence
+/// relies on.
+pub(crate) fn drain_tasks<T, M>(
+    worker: usize,
+    runq: &RunQueue<T>,
+    result_tx: &mpsc::Sender<M>,
+    execute: impl Fn(&T) -> ClientTaskResult,
+    done: impl Fn(&T, ClientTaskResult) -> M,
+    panicked: impl Fn(&T) -> M,
+) {
+    while let Some(task) = runq.pop(worker) {
+        let msg = match catch_unwind(AssertUnwindSafe(|| execute(&task))) {
+            Ok(result) => done(&task, result),
+            Err(_) => panicked(&task),
+        };
+        let _ = result_tx.send(msg);
     }
 }
 
@@ -256,47 +264,43 @@ impl PooledExecutor {
         *self.telemetry.lock().expect("telemetry lock")
     }
 
-    /// Completion bound for a task dispatched to `client` at `submit`.
-    fn bound_for(queue: &QueueModel, submit: SimTime, instant: bool) -> InflightBound {
-        if instant {
-            InflightBound::Exactly(submit.as_secs())
-        } else {
-            // `QpuBackend::start_time` waits at least
-            // `0.8 * wait_s(submit) + overhead_s` after submission, and
-            // execution only adds to that.
-            InflightBound::Above(submit.as_secs() + 0.8 * queue.wait_s(submit) + queue.overhead_s)
-        }
+    /// The deterministic path: a fleet of one tenant over the pooled
+    /// substrate, byte-identical to the discrete-event executor.
+    fn run_deterministic(
+        &self,
+        session: &mut EnsembleSession<'_>,
+        workers: usize,
+    ) -> Result<TrainingReport, EqcError> {
+        let problem = session.problem();
+        let cfg = session.config();
+        let (clients, master) = session.split_mut();
+        let n = clients.len();
+        let mut lanes = [crate::fleet::Lane::single(
+            problem, cfg.shots, clients, master,
+        )];
+        let (driven, telemetry) = crate::fleet::drive_pooled(&mut lanes, &Unshared, n, workers);
+        drop(lanes);
+        *self.telemetry.lock().expect("telemetry lock") = Some(telemetry);
+        driven?;
+        session.finish(format!("eqc[{n}]"))
     }
 
-    /// Whether `assignment` will return instantly (its parameter does
-    /// not occur in the slice's circuits, so clients skip the device —
-    /// see [`ClientNode::run_task`]). Transpilation preserves occurrence
-    /// structure, so this is client-independent.
-    fn is_instant(problem: &dyn VqaProblem, assignment: &Assignment) -> bool {
-        let templates = problem.slice_templates(assignment.task.slice);
-        templates.first().is_none_or(|&t| {
-            problem.templates()[t]
-                .occurrences_of(assignment.task.param)
-                .is_empty()
-        })
-    }
-}
-
-impl Executor for PooledExecutor {
-    fn run(&self, session: &mut EnsembleSession<'_>) -> Result<TrainingReport, EqcError> {
-        self.config.validate()?;
-        session.begin()?;
+    /// The arrival-order path: [`ThreadedExecutor`] semantics over the
+    /// bounded pool.
+    ///
+    /// [`ThreadedExecutor`]: crate::ThreadedExecutor
+    fn run_arrival(
+        &self,
+        session: &mut EnsembleSession<'_>,
+        workers: usize,
+    ) -> Result<TrainingReport, EqcError> {
         let problem = session.problem();
         let cfg = session.config();
         let n = session.num_clients();
-        let workers = self.config.resolved_workers(n);
-        let deterministic = self.config.deterministic;
 
         let taken = session.take_clients();
-        let queue_models: Vec<QueueModel> =
-            taken.iter().map(|c| c.backend().queue().clone()).collect();
         let clients: Vec<Mutex<ClientNode>> = taken.into_iter().map(Mutex::new).collect();
-        let runq = RunQueue::new(workers);
+        let runq: RunQueue<PoolTask> = RunQueue::new(workers);
         let (result_tx, result_rx) = mpsc::channel::<WorkerMsg>();
 
         let outcome: Result<(), EqcError> = thread::scope(|scope| {
@@ -306,9 +310,12 @@ impl Executor for PooledExecutor {
                 let (runq, clients) = (&runq, &clients);
                 let shots = cfg.shots;
                 handles.push(scope.spawn(move || {
-                    while let Some(task) = runq.pop(w) {
-                        let client = task.client;
-                        let ran = catch_unwind(AssertUnwindSafe(|| {
+                    drain_tasks(
+                        w,
+                        runq,
+                        &result_tx,
+                        |task: &PoolTask| {
+                            let client = task.client;
                             let mut node = clients[client]
                                 .lock()
                                 .unwrap_or_else(|_| panic!("client {client} poisoned"));
@@ -319,30 +326,22 @@ impl Executor for PooledExecutor {
                                 shots,
                                 task.submit,
                             )
-                        }));
-                        let msg = match ran {
-                            Ok(result) => WorkerMsg::Done(TaskDone {
-                                client,
+                        },
+                        |task, result| {
+                            WorkerMsg::Done(TaskDone {
+                                client: task.client,
                                 result,
                                 cycle: task.assignment.cycle,
                                 dispatched_at_update: task.assignment.dispatched_at_update,
-                            }),
-                            Err(_) => WorkerMsg::Panicked(client),
-                        };
-                        // The coordinator may already have failed and
-                        // stopped listening; keep draining regardless so
-                        // every dispatched task executes.
-                        let _ = result_tx.send(msg);
-                    }
+                            })
+                        },
+                        |task| WorkerMsg::Panicked(task.client),
+                    )
                 }));
             }
             drop(result_tx);
 
-            let driven = if deterministic {
-                drive_deterministic(session, problem, &queue_models, &runq, &result_rx)
-            } else {
-                drive_arrival(session, &runq, &result_rx, n)
-            };
+            let driven = drive_arrival(session, &runq, &result_rx, n);
 
             runq.close();
             let mut join_failure = None;
@@ -370,125 +369,28 @@ impl Executor for PooledExecutor {
         });
         outcome?;
 
-        // Deterministic runs are byte-identical to the discrete-event
-        // executor, trainer label included; arrival runs carry their own.
-        let label = if deterministic {
-            format!("eqc[{n}]")
-        } else {
-            format!("eqc-pooled[{n}]")
-        };
-        session.finish(label)
+        session.finish(format!("eqc-pooled[{n}]"))
     }
 }
 
-/// The deterministic coordinator: replays the discrete-event absorb
-/// order exactly (see the module docs for the lookahead argument).
-fn drive_deterministic(
-    session: &mut EnsembleSession<'_>,
-    problem: &dyn VqaProblem,
-    queue_models: &[QueueModel],
-    runq: &RunQueue,
-    result_rx: &mpsc::Receiver<WorkerMsg>,
-) -> Result<(), EqcError> {
-    let n = queue_models.len();
-    let mut heap: BinaryHeap<Event> = BinaryHeap::new();
-    let mut bounds: Vec<Option<InflightBound>> = vec![None; n];
-    let mut in_flight = 0usize;
-    let (_, master) = session.split_mut();
-
-    let dispatch = |client: usize,
-                    submit: SimTime,
-                    master: &mut crate::master::MasterLoop,
-                    bounds: &mut Vec<Option<InflightBound>>,
-                    in_flight: &mut usize|
-     -> Result<(), EqcError> {
-        let assignment = master.next_assignment()?;
-        let instant = PooledExecutor::is_instant(problem, &assignment);
-        bounds[client] = Some(PooledExecutor::bound_for(
-            &queue_models[client],
-            submit,
-            instant,
-        ));
-        *in_flight += 1;
-        runq.push(PoolTask {
-            client,
-            assignment,
-            submit,
-        });
-        Ok(())
-    };
-
-    // Prime every client with one task, in scheduler-policy order —
-    // exactly the discrete-event executor's prime loop.
-    for c in master.prime_order()? {
-        dispatch(c, master.now(), master, &mut bounds, &mut in_flight)?;
-    }
-
-    while !master.is_complete() {
-        let safe = heap.peek().is_some_and(|ev| {
-            bounds.iter().enumerate().all(|(c, b)| match b {
-                Some(bound) => precedes(ev.completed.as_secs(), ev.client, *bound, c),
-                None => true,
-            })
-        });
-        if safe {
-            let ev = heap.pop().expect("peeked above");
-            master.absorb(
-                ev.client,
-                ev.cycle,
-                ev.dispatched_at_update,
-                &ev.result,
-                problem,
-            )?;
-            if master.is_complete() {
-                break;
-            }
-            // Algorithm 1: the freed client immediately receives the
-            // next task at the master's current virtual time — unless
-            // the health policy benched it; re-admitted clients rejoin
-            // the dispatch rotation here.
-            for c in master.dispatch_order(ev.client)? {
-                dispatch(c, master.now(), master, &mut bounds, &mut in_flight)?;
-            }
-        } else if in_flight > 0 {
-            match result_rx.recv() {
-                Ok(WorkerMsg::Done(done)) => {
-                    bounds[done.client] = None;
-                    in_flight -= 1;
-                    heap.push(Event {
-                        completed: done.result.completed,
-                        client: done.client,
-                        result: done.result,
-                        cycle: done.cycle,
-                        dispatched_at_update: done.dispatched_at_update,
-                    });
-                }
-                Ok(WorkerMsg::Panicked(client)) => {
-                    return Err(EqcError::Internal(format!(
-                        "pool task for client {client} panicked"
-                    )));
-                }
-                Err(_) => {
-                    return Err(EqcError::Internal("pool workers exited early".into()));
-                }
-            }
+impl Executor for PooledExecutor {
+    fn run(&self, session: &mut EnsembleSession<'_>) -> Result<TrainingReport, EqcError> {
+        self.config.validate()?;
+        session.begin()?;
+        let workers = self.config.resolved_workers(session.num_clients());
+        if self.config.deterministic {
+            self.run_deterministic(session, workers)
         } else {
-            return Err(EqcError::Internal(
-                "event queue drained before the epoch budget".into(),
-            ));
+            self.run_arrival(session, workers)
         }
     }
-    Ok(())
 }
 
-/// The arrival-order coordinator: [`ThreadedExecutor`] semantics
-/// (absorb as results land, per-client virtual-time cursors) over the
-/// bounded pool.
-///
-/// [`ThreadedExecutor`]: crate::ThreadedExecutor
+/// The arrival-order coordinator: absorb as results land, per-client
+/// virtual-time cursors.
 fn drive_arrival(
     session: &mut EnsembleSession<'_>,
-    runq: &RunQueue,
+    runq: &RunQueue<PoolTask>,
     result_rx: &mpsc::Receiver<WorkerMsg>,
     n: usize,
 ) -> Result<(), EqcError> {
@@ -498,11 +400,14 @@ fn drive_arrival(
     // Prime every client, in scheduler-policy order.
     for client in master.prime_order()? {
         let assignment = master.next_assignment()?;
-        runq.push(PoolTask {
+        runq.push(
             client,
-            assignment,
-            submit: SimTime::ZERO,
-        });
+            PoolTask {
+                client,
+                assignment,
+                submit: SimTime::ZERO,
+            },
+        );
     }
     while !master.is_complete() {
         match result_rx.recv() {
@@ -522,11 +427,14 @@ fn drive_arrival(
                 // dispatch loop too.
                 for client in master.dispatch_order(done.client)? {
                     let assignment = master.next_assignment()?;
-                    runq.push(PoolTask {
+                    runq.push(
                         client,
-                        assignment,
-                        submit: local_time[client],
-                    });
+                        PoolTask {
+                            client,
+                            assignment,
+                            submit: local_time[client],
+                        },
+                    );
                 }
             }
             Ok(WorkerMsg::Panicked(client)) => {
@@ -554,17 +462,6 @@ mod tests {
             .config(EqcConfig::paper_qaoa().with_epochs(epochs).with_shots(256))
             .build()
             .expect("catalog devices")
-    }
-
-    #[test]
-    fn precedes_respects_the_event_total_order() {
-        // Strictly-later bounds admit strictly-earlier events only.
-        assert!(precedes(5.0, 9, InflightBound::Above(10.0), 0));
-        assert!(!precedes(10.0, 0, InflightBound::Above(10.0), 9));
-        // Exact bounds tie-break on client id like the heap does.
-        assert!(precedes(10.0, 1, InflightBound::Exactly(10.0), 2));
-        assert!(!precedes(10.0, 3, InflightBound::Exactly(10.0), 2));
-        assert!(precedes(9.0, 7, InflightBound::Exactly(10.0), 2));
     }
 
     #[test]

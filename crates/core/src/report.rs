@@ -67,6 +67,96 @@ impl fmt::Display for PoolTelemetry {
     }
 }
 
+/// Per-tenant counters of one multi-tenant
+/// [`FleetRuntime`](crate::fleet::FleetRuntime) run.
+///
+/// Like [`PoolTelemetry`], fleet telemetry lives *beside* the
+/// [`TrainingReport`]s rather than inside them: each tenant's report is
+/// byte-identical to what the same session would produce standalone
+/// (under the [`Unshared`](crate::policy::arbiter::Unshared) arbiter),
+/// while these counters describe the multiplexing machinery —
+/// throughput, capacity waits and how the device pool was shared.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TenantTelemetry {
+    /// Tenant index within the fleet run.
+    pub tenant: usize,
+    /// The tenant's label (defaults to `tenant<i>`).
+    pub label: String,
+    /// Configured fair-share weight.
+    pub weight: f64,
+    /// Configured priority.
+    pub priority: i64,
+    /// Results the tenant's master absorbed.
+    pub results_absorbed: u64,
+    /// Epochs the tenant completed.
+    pub epochs: usize,
+    /// The tenant's own virtual makespan, hours.
+    pub virtual_hours: f64,
+    /// Training speed in epochs per virtual hour (the per-tenant
+    /// throughput the acceptance telemetry reads).
+    pub epochs_per_hour: f64,
+    /// Total capacity-wait accumulated by deferred dispatches, measured
+    /// on the tenant's own virtual clock (hours). Zero under
+    /// [`Unshared`](crate::policy::arbiter::Unshared).
+    pub wait_virtual_hours: f64,
+    /// Total grant rounds deferred dispatches waited for capacity —
+    /// the arbiter-level wait measure (meaningful even while the
+    /// tenant's virtual clock stands still, e.g. a priority-starved
+    /// tenant that never got to prime).
+    pub wait_rounds: u64,
+    /// Grant rounds in which the tenant had pending work but nothing in
+    /// flight and received no capacity — the starvation signal
+    /// [`PriorityArbiter`](crate::policy::arbiter::PriorityArbiter)
+    /// runs make visible.
+    pub starved_rounds: u64,
+    /// Tasks dispatched per fleet device (indexed by device/client id):
+    /// the client-share histogram of how this tenant used the pool.
+    pub client_share: Vec<u64>,
+}
+
+/// Fleet-level telemetry of one [`FleetRuntime`](crate::fleet::FleetRuntime)
+/// run: which arbiter multiplexed the pool and what each tenant got.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetTelemetry {
+    /// Arbiter policy name.
+    pub arbiter: String,
+    /// Devices in the shared pool (= concurrent-task slots).
+    pub devices: usize,
+    /// Grant rounds the fleet ran.
+    pub grant_rounds: u64,
+    /// Per-tenant counters, indexed by tenant id.
+    pub tenants: Vec<TenantTelemetry>,
+}
+
+impl fmt::Display for FleetTelemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fleet[{} devices, {} arbiter]: {} tenants over {} grant rounds",
+            self.devices,
+            self.arbiter,
+            self.tenants.len(),
+            self.grant_rounds
+        )?;
+        for t in &self.tenants {
+            writeln!(
+                f,
+                "  {}: {} results, {} epochs in {:.2} h ({:.2} epochs/h), \
+                 waited {:.3} h / {} rounds, starved {} rounds",
+                t.label,
+                t.results_absorbed,
+                t.epochs,
+                t.virtual_hours,
+                t.epochs_per_hour,
+                t.wait_virtual_hours,
+                t.wait_rounds,
+                t.starved_rounds
+            )?;
+        }
+        Ok(())
+    }
+}
+
 /// What happened to one client's ensemble membership, as recorded in
 /// [`PolicyTelemetry::eviction_log`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

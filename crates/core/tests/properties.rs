@@ -1,7 +1,10 @@
-//! Property-based tests of the weighting math (`eqc_core::weighting`):
+//! Property-based tests of the weighting math (`eqc_core::weighting`) —
 //! the band invariants Fig. 9's sweeps rely on, across randomized
-//! `P_correct` vectors and weight bands.
+//! `P_correct` vectors and weight bands — and of the fleet's
+//! [`FairShare`] arbiter: conservation, demand caps, the no-starvation
+//! guarantee and convergence to the configured weight ratios.
 
+use eqc_core::policy::arbiter::{ArbiterContext, FairShare, TenantArbiter, TenantLoad};
 use eqc_core::weighting::{bound_p_correct, normalize_weights, WeightBounds};
 use proptest::prelude::*;
 
@@ -92,5 +95,185 @@ proptest! {
         let b = bound_p_correct(p);
         prop_assert!((0.0..=1.0).contains(&b));
         prop_assert_eq!(bound_p_correct(b), b);
+    }
+}
+
+/// Random fleet loads: 2–5 tenants with integer weights 1–8 and
+/// bounded demands.
+fn arb_loads() -> impl Strategy<Value = Vec<TenantLoad>> {
+    proptest::collection::vec((1u32..=8, 0usize..20), 2..6).prop_map(|ws| {
+        ws.into_iter()
+            .enumerate()
+            .map(|(tenant, (w, demand))| TenantLoad {
+                tenant,
+                weight: w as f64,
+                priority: 0,
+                in_flight: 0,
+                ready: demand,
+                complete: false,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// One [`FairShare`] allocation is conservative (never more slots
+    /// than the fleet has, never more per tenant than its demand, and
+    /// work-conserving up to total demand) and never starves: whenever
+    /// slots cover the demanding tenants, every one of them gets at
+    /// least one.
+    #[test]
+    fn fair_share_allocation_is_sound(
+        loads in arb_loads(),
+        slots in 1usize..64,
+        round in 0u64..32,
+    ) {
+        let caps = FairShare.allocate(&ArbiterContext {
+            loads: &loads,
+            total_slots: slots,
+            round,
+        });
+        prop_assert_eq!(caps.len(), loads.len());
+        let granted: usize = caps.iter().sum();
+        let demand: usize = loads.iter().map(TenantLoad::demand).sum();
+        prop_assert!(granted <= slots, "over-allocated: {} > {}", granted, slots);
+        prop_assert_eq!(
+            granted,
+            slots.min(demand),
+            "not work-conserving: granted {} of min({}, {})",
+            granted, slots, demand
+        );
+        for (load, &cap) in loads.iter().zip(&caps) {
+            prop_assert!(
+                cap <= load.demand(),
+                "tenant {} granted {} beyond demand {}",
+                load.tenant, cap, load.demand()
+            );
+        }
+        let demanding = loads.iter().filter(|l| l.wants_capacity()).count();
+        if slots >= demanding {
+            for load in loads.iter().filter(|l| l.wants_capacity()) {
+                prop_assert!(
+                    caps[load.tenant] >= 1,
+                    "tenant {} starved with {} slots for {} demanding tenants",
+                    load.tenant, slots, demanding
+                );
+            }
+        }
+    }
+
+    /// With fewer slots than demanding tenants, the rotating guarantee
+    /// still serves everyone within one full rotation — nobody starves
+    /// permanently.
+    #[test]
+    fn fair_share_rotation_serves_everyone(
+        n in 2usize..6,
+        slots in 1usize..3,
+        start in 0u64..16,
+    ) {
+        let loads: Vec<TenantLoad> = (0..n)
+            .map(|tenant| TenantLoad {
+                tenant,
+                weight: 1.0,
+                priority: 0,
+                in_flight: 0,
+                ready: 4,
+                complete: false,
+            })
+            .collect();
+        let mut granted = vec![0usize; n];
+        for round in start..start + n as u64 {
+            let caps = FairShare.allocate(&ArbiterContext {
+                loads: &loads,
+                total_slots: slots,
+                round,
+            });
+            for (t, &c) in caps.iter().enumerate() {
+                granted[t] += c;
+            }
+        }
+        for (t, &g) in granted.iter().enumerate() {
+            prop_assert!(
+                g >= 1,
+                "tenant {} starved across a full rotation of {} rounds at {} slots",
+                t, n, slots
+            );
+        }
+    }
+
+    /// Over many rounds with saturated demand, each tenant's cumulative
+    /// share converges to its configured weight fraction (within the
+    /// per-round rounding-plus-guarantee error bound).
+    #[test]
+    fn fair_share_converges_to_the_weight_ratios(
+        weights in proptest::collection::vec(1u32..=8, 2..5),
+        slots in 16usize..48,
+    ) {
+        let n = weights.len();
+        let loads: Vec<TenantLoad> = weights
+            .iter()
+            .enumerate()
+            .map(|(tenant, &w)| TenantLoad {
+                tenant,
+                weight: w as f64,
+                priority: 0,
+                in_flight: 0,
+                ready: slots, // every tenant could absorb the whole fleet
+                complete: false,
+            })
+            .collect();
+        let rounds = 64u64;
+        let mut granted = vec![0u64; n];
+        for round in 0..rounds {
+            let caps = FairShare.allocate(&ArbiterContext {
+                loads: &loads,
+                total_slots: slots,
+                round,
+            });
+            for (t, &c) in caps.iter().enumerate() {
+                granted[t] += c as u64;
+            }
+        }
+        let total_w: f64 = weights.iter().map(|&w| w as f64).sum();
+        for (t, &g) in granted.iter().enumerate() {
+            // Ideal share after the one-slot guarantee: 1 + (slots - n) * w/W
+            // per round; the leftover distribution adds at most ±1.
+            let per_round = 1.0 + (slots - n) as f64 * weights[t] as f64 / total_w;
+            let mean = g as f64 / rounds as f64;
+            prop_assert!(
+                (mean - per_round).abs() <= 1.0,
+                "tenant {} mean share {:.3} drifted from ideal {:.3} (weights {:?}, slots {})",
+                t, mean, per_round, weights, slots
+            );
+        }
+    }
+
+    /// Under equal ample demand, a strictly heavier tenant never ends a
+    /// round with fewer slots than a lighter one.
+    #[test]
+    fn fair_share_is_monotone_in_weight(
+        wa in 1u32..=8,
+        wb in 1u32..=8,
+        slots in 4usize..64,
+        round in 0u64..32,
+    ) {
+        let loads = [
+            TenantLoad { tenant: 0, weight: wa as f64, priority: 0, in_flight: 0, ready: slots, complete: false },
+            TenantLoad { tenant: 1, weight: wb as f64, priority: 0, in_flight: 0, ready: slots, complete: false },
+        ];
+        let caps = FairShare.allocate(&ArbiterContext {
+            loads: &loads,
+            total_slots: slots,
+            round,
+        });
+        if wa > wb {
+            prop_assert!(
+                caps[0] >= caps[1],
+                "heavier tenant got less: {:?} for weights ({}, {})",
+                caps, wa, wb
+            );
+        }
     }
 }

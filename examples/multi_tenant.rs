@@ -1,0 +1,100 @@
+//! Multi-tenant fleet: several concurrent training sessions sharing
+//! one device pool, with the arbiter deciding who gets capacity.
+//!
+//! A standalone `Ensemble` owns its devices for the whole run; the
+//! `FleetRuntime` inverts that — the fleet owns the devices, sessions
+//! are tenants that borrow capacity, each with its own problem,
+//! configuration and policy stack.
+//!
+//! Run with: `cargo run --release --example multi_tenant`
+
+use eqc::prelude::*;
+use std::error::Error;
+
+const DEVICES: [&str; 4] = ["belem", "manila", "bogota", "quito"];
+
+fn fleet_builder() -> FleetBuilder {
+    FleetRuntime::builder().devices(DEVICES).device_seed(7)
+}
+
+fn cfg(epochs: usize, seed: u64) -> EqcConfig {
+    EqcConfig::paper_qaoa()
+        .with_epochs(epochs)
+        .with_shots(256)
+        .with_seed(seed)
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let qaoa = QaoaProblem::maxcut_ring4();
+    let vqe = VqeProblem::heisenberg_4q();
+
+    // --- 1. Fair-share: a production tenant at 3x the weight of a
+    //        background experiment, plus a VQE tenant on its own
+    //        policy stack — all on the same four devices. ------------
+    let mut fleet = fleet_builder().arbiter(FairShare).build()?;
+    let prod = fleet.admit(
+        &qaoa,
+        TenantConfig::new(cfg(6, 7)).weight(3.0).label("qaoa-prod"),
+    )?;
+    let background = fleet.admit(
+        &qaoa,
+        TenantConfig::new(cfg(6, 11)).label("qaoa-background"),
+    )?;
+    let chemist = fleet.admit(
+        &vqe,
+        TenantConfig::new(EqcConfig::paper_vqe().with_epochs(1).with_shots(128))
+            .policies(PolicyConfig::default().with_weighting(EquiEnsemble))
+            .label("vqe-equi"),
+    )?;
+    let outcome = fleet.run()?;
+    println!("{}", outcome.telemetry);
+    for id in [prod, background, chemist] {
+        println!("{}", outcome.report(id));
+    }
+    assert!(
+        outcome.tenant(prod).epochs_per_hour >= outcome.tenant(background).epochs_per_hour,
+        "3x the fair-share weight should not train slower"
+    );
+    assert_eq!(outcome.report(chemist).policy.weighting, "equi-ensemble");
+
+    // --- 2. Determinism: the same fleet run replays byte for byte. ---
+    let mut replay = fleet_builder().arbiter(FairShare).build()?;
+    replay.admit(
+        &qaoa,
+        TenantConfig::new(cfg(6, 7)).weight(3.0).label("qaoa-prod"),
+    )?;
+    replay.admit(
+        &qaoa,
+        TenantConfig::new(cfg(6, 11)).label("qaoa-background"),
+    )?;
+    replay.admit(
+        &vqe,
+        TenantConfig::new(EqcConfig::paper_vqe().with_epochs(1).with_shots(128))
+            .policies(PolicyConfig::default().with_weighting(EquiEnsemble))
+            .label("vqe-equi"),
+    )?;
+    assert_eq!(outcome, replay.run()?, "seeded fleet runs replay exactly");
+    println!("replay: byte-identical outcome\n");
+
+    // --- 3. Isolation oracle: with sharing disabled (Unshared), a
+    //        tenant trains exactly as it would standalone, co-tenants
+    //        or not. --------------------------------------------------
+    let standalone = Ensemble::builder()
+        .devices(DEVICES)
+        .device_seed(7)
+        .config(cfg(6, 7))
+        .build()?
+        .train(&qaoa)?;
+    let mut unshared = fleet_builder().arbiter(Unshared).build()?;
+    let solo = unshared.admit(&qaoa, TenantConfig::new(cfg(6, 7)))?;
+    unshared.admit(&qaoa, TenantConfig::new(cfg(6, 11)))?;
+    let iso = unshared.run()?;
+    assert_eq!(
+        format!("{standalone:?}"),
+        format!("{:?}", iso.report(solo)),
+        "unshared tenants are byte-identical to standalone sessions"
+    );
+    println!("unshared: tenant == standalone session (byte-identical)");
+
+    Ok(())
+}

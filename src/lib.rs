@@ -70,19 +70,21 @@ pub use vqa;
 ///
 /// The deprecated pre-0.2 trainer shims (`EqcTrainer`,
 /// `SingleDeviceTrainer`, `SyncEnsembleTrainer`, `train_ideal`,
-/// `train_threaded`) are intentionally *not* re-exported here: their
-/// only remaining in-tree users are their own equivalence tests. Reach
-/// them through [`eqc_core`] directly if you are still migrating.
+/// `train_threaded`) are gone — every entry point flows through the
+/// [`Ensemble`](eqc_core::Ensemble) session API (or the multi-tenant
+/// [`FleetRuntime`](eqc_core::FleetRuntime) on a shared device pool).
 pub mod prelude {
     pub use eqc_core::policy::{
-        AlwaysHealthy, ClientHealth, Cyclic, DriftEviction, EquiEnsemble, FidelityWeighted,
-        LeastLoaded, Scheduler, StalenessDecay, Weighting,
+        AlwaysHealthy, ClientHealth, Composed, Cyclic, DriftEviction, EquiEnsemble, FairShare,
+        FidelityWeighted, LeastLoaded, LookaheadLeastLoaded, PriorityArbiter, Scheduler,
+        StalenessDecay, TenantArbiter, Unshared, Weighting,
     };
     pub use eqc_core::{
         ideal_backend, ClientNode, DiscreteEventExecutor, Ensemble, EnsembleBuilder,
-        EnsembleSession, EqcConfig, EqcError, EvictionEvent, Executor, MembershipChange,
-        PolicyConfig, PolicyTelemetry, PoolConfig, PoolTelemetry, PooledExecutor,
-        SequentialExecutor, ThreadedExecutor, TrainingReport, WeightBounds, WeightProvenance,
+        EnsembleSession, EqcConfig, EqcError, EvictionEvent, Executor, FleetBuilder, FleetOutcome,
+        FleetRuntime, FleetTelemetry, MembershipChange, PolicyConfig, PolicyTelemetry, PoolConfig,
+        PoolTelemetry, PooledExecutor, SequentialExecutor, TenantConfig, TenantId, TenantTelemetry,
+        ThreadedExecutor, TrainingReport, WeightBounds, WeightProvenance,
     };
     pub use qcircuit::{Circuit, CircuitBuilder, Gate, Hamiltonian, PauliString};
     pub use qdevice::{catalog, DeviceSpec, QpuBackend, SimTime};

@@ -115,27 +115,20 @@ fn reference_single_device_sgd(
 }
 
 #[test]
-#[allow(deprecated)]
-fn sequential_on_ideal_matches_old_single_device_trainer() {
-    // The shims left the prelude in 0.2; this equivalence test is their
-    // one sanctioned in-tree caller, so it imports from eqc_core.
-    use eqc_core::SingleDeviceTrainer;
-    // Compare the SequentialExecutor (and the deprecated
-    // SingleDeviceTrainer shim over it) against an independent
-    // re-implementation of the old trainer's loop, on the same ideal
-    // backend stream — not against itself.
+fn sequential_on_ideal_matches_reference_single_device_sgd() {
+    // Compare the SequentialExecutor against an independent
+    // re-implementation of the historical single-device trainer's loop,
+    // on the same ideal backend stream — not against itself.
     let problem = VqeProblem::heisenberg_4q();
     let cfg = EqcConfig::paper_vqe().with_epochs(4).with_shots(256);
 
-    let mk_client = || {
-        ClientNode::new(
-            0,
-            ideal_backend(vqa::VqaProblem::num_qubits(&problem), cfg.seed ^ 0x5eed),
-            &problem,
-        )
-        .expect("ideal fits")
-    };
-    let (ref_params, ref_history) = reference_single_device_sgd(&problem, mk_client(), cfg);
+    let client = ClientNode::new(
+        0,
+        ideal_backend(vqa::VqaProblem::num_qubits(&problem), cfg.seed ^ 0x5eed),
+        &problem,
+    )
+    .expect("ideal fits");
+    let (ref_params, ref_history) = reference_single_device_sgd(&problem, client, cfg);
 
     let new = Ensemble::builder()
         .backend(ideal_backend(
@@ -149,19 +142,13 @@ fn sequential_on_ideal_matches_old_single_device_trainer() {
         .expect("trains");
 
     assert_eq!(new.final_params, ref_params, "identical final parameters");
+    assert_eq!(new.trainer, "ideal");
     let new_history: Vec<(usize, f64, f64)> = new
         .history
         .iter()
         .map(|h| (h.epoch, h.virtual_hours, h.ideal_loss))
         .collect();
     assert_eq!(new_history, ref_history, "identical loss trajectory");
-
-    // And the deprecated shim delegates to the same path.
-    let old = SingleDeviceTrainer::new(cfg)
-        .train(&problem, mk_client())
-        .expect("trains");
-    assert_eq!(old.final_params, ref_params);
-    assert_eq!(old.trainer, "ideal");
 }
 
 #[test]

@@ -1,0 +1,284 @@
+//! The multi-tenant fleet end to end: single-tenant runs replay the
+//! standalone session API byte for byte on every deterministic
+//! substrate, `Unshared` tenants are invariant to co-tenants, the
+//! pooled fleet substrate replays the discrete-event fleet exactly,
+//! and the arbiters split capacity the way they advertise.
+
+use eqc::prelude::*;
+
+fn cfg(epochs: usize) -> EqcConfig {
+    EqcConfig::paper_qaoa()
+        .with_epochs(epochs)
+        .with_shots(256)
+        .with_weights(WeightBounds::new(0.5, 1.5).expect("valid band"))
+}
+
+fn fleet_devices() -> Vec<&'static str> {
+    vec!["belem", "manila", "bogota", "quito"]
+}
+
+fn builder() -> FleetBuilder {
+    FleetRuntime::builder()
+        .devices(fleet_devices())
+        .device_seed(7)
+}
+
+fn standalone(config: EqcConfig) -> Ensemble {
+    Ensemble::builder()
+        .devices(fleet_devices())
+        .device_seed(7)
+        .config(config)
+        .build()
+        .expect("builds")
+}
+
+#[test]
+fn single_tenant_fleet_equals_standalone_across_executors() {
+    // The acceptance oracle: one tenant on the fleet must be
+    // byte-identical to today's `Ensemble::train` — on the
+    // discrete-event fleet substrate, the pooled fleet substrate, and
+    // through both deterministic single-session executors (which are
+    // now fleet-of-one wrappers themselves).
+    let problem = QaoaProblem::maxcut_ring4();
+    let config = cfg(5);
+    let ensemble = standalone(config);
+    let des = ensemble.train(&problem).expect("DES trains");
+    let pooled_exec = PooledExecutor::new().workers(3);
+    let pooled = ensemble
+        .train_with(&pooled_exec, &problem)
+        .expect("pooled trains");
+    assert_eq!(
+        format!("{des:?}"),
+        format!("{pooled:?}"),
+        "deterministic pool must stay byte-identical to DES"
+    );
+
+    for (name, fleet_builder) in [
+        ("discrete-event fleet", builder()),
+        ("pooled fleet", builder().pooled_workers(3)),
+    ] {
+        let mut fleet = fleet_builder.build().expect("builds");
+        fleet
+            .admit(&problem, TenantConfig::new(config))
+            .expect("admits");
+        let outcome = fleet.run().expect("runs");
+        assert_eq!(outcome.reports.len(), 1);
+        assert_eq!(
+            format!("{des:?}"),
+            format!("{:?}", outcome.reports[0]),
+            "{name}: single-tenant fleet must replay the standalone session byte for byte"
+        );
+        assert!(outcome.telemetry.tenants[0].results_absorbed > 0);
+        assert!(outcome.telemetry.tenants[0].epochs_per_hour > 0.0);
+    }
+}
+
+#[test]
+fn unshared_tenant_reports_are_invariant_to_co_tenants() {
+    // With capacity sharing disabled, a tenant's byte-exact trajectory
+    // must not depend on who else is on the fleet.
+    let problem = QaoaProblem::maxcut_ring4();
+    let vqe = VqeProblem::heisenberg_4q();
+
+    let solo = {
+        let mut fleet = builder().arbiter(Unshared).build().expect("builds");
+        fleet
+            .admit(&problem, TenantConfig::new(cfg(4)))
+            .expect("admits");
+        fleet.run().expect("runs").reports.remove(0)
+    };
+
+    let mut fleet = builder().arbiter(Unshared).build().expect("builds");
+    let a = fleet
+        .admit(&problem, TenantConfig::new(cfg(4)))
+        .expect("admits");
+    fleet
+        .admit(&problem, TenantConfig::new(cfg(3).with_seed(11)))
+        .expect("admits");
+    fleet
+        .admit(
+            &vqe,
+            TenantConfig::new(EqcConfig::paper_vqe().with_epochs(1).with_shots(64)),
+        )
+        .expect("admits a different problem");
+    let outcome = fleet.run().expect("runs");
+    assert_eq!(
+        format!("{solo:?}"),
+        format!("{:?}", outcome.report(a)),
+        "co-tenants must not perturb an unshared tenant"
+    );
+    // Every tenant trained its own problem to its own budget.
+    assert_eq!(outcome.reports[0].problem, outcome.reports[1].problem);
+    assert_ne!(
+        outcome.reports[0].final_params,
+        outcome.reports[1].final_params
+    );
+    assert_eq!(outcome.reports[2].epochs, 1);
+    assert_ne!(outcome.reports[2].problem, outcome.reports[0].problem);
+}
+
+#[test]
+fn fleet_runs_replay_byte_identically_and_pooled_matches_des() {
+    // A genuinely shared fleet (FairShare, more tenant demand than
+    // devices) must still be deterministic: same tenants, same seeds,
+    // same outcome — and the pooled substrate must replay the
+    // discrete-event fleet exactly, telemetry included.
+    let problem = QaoaProblem::maxcut_ring4();
+    let run = |fleet_builder: FleetBuilder| {
+        let mut fleet = fleet_builder.arbiter(FairShare).build().expect("builds");
+        for t in 0..3u64 {
+            fleet
+                .admit(
+                    &problem,
+                    TenantConfig::new(cfg(3).with_seed(7 + t)).weight((t + 1) as f64),
+                )
+                .expect("admits");
+        }
+        fleet.run().expect("runs")
+    };
+    let des_a = run(builder());
+    let des_b = run(builder());
+    assert_eq!(des_a, des_b, "fleet replay must be deterministic");
+
+    let pooled = run(builder().pooled_workers(2));
+    assert_eq!(
+        des_a.reports, pooled.reports,
+        "pooled fleet reports replay DES"
+    );
+    assert_eq!(
+        des_a.telemetry, pooled.telemetry,
+        "pooled fleet telemetry (grants, waits, shares) replays DES"
+    );
+    assert!(pooled.pool.is_some(), "pooled runs carry pool telemetry");
+    assert!(des_a.pool.is_none());
+}
+
+#[test]
+fn fair_share_splits_capacity_by_weight() {
+    // Two identical tenants, weights 3:1, on a fleet they each could
+    // saturate: the heavy tenant must hold more concurrent capacity,
+    // finish sooner in its own virtual time, and both must train to
+    // completion with nonzero throughput.
+    let problem = QaoaProblem::maxcut_ring4();
+    let mut fleet = builder().arbiter(FairShare).build().expect("builds");
+    let heavy = fleet
+        .admit(
+            &problem,
+            TenantConfig::new(cfg(4)).weight(3.0).label("heavy"),
+        )
+        .expect("admits");
+    let light = fleet
+        .admit(
+            &problem,
+            TenantConfig::new(cfg(4)).weight(1.0).label("light"),
+        )
+        .expect("admits");
+    let outcome = fleet.run().expect("runs");
+
+    assert_eq!(outcome.telemetry.arbiter, "fair-share");
+    assert_eq!(outcome.telemetry.devices, 4);
+    for id in [heavy, light] {
+        assert_eq!(outcome.report(id).epochs, 4, "every tenant completes");
+        assert!(outcome.tenant(id).results_absorbed > 0);
+        assert!(
+            outcome.tenant(id).epochs_per_hour > 0.0,
+            "nonzero throughput"
+        );
+    }
+    assert_eq!(outcome.tenant(heavy).label, "heavy");
+    let heavy_share: u64 = outcome.tenant(heavy).client_share.iter().sum();
+    let light_share: u64 = outcome.tenant(light).client_share.iter().sum();
+    assert!(heavy_share > 0 && light_share > 0, "both used the pool");
+    assert!(
+        outcome.tenant(heavy).virtual_hours <= outcome.tenant(light).virtual_hours,
+        "3x the capacity share should not finish later: heavy {:.3} h vs light {:.3} h",
+        outcome.tenant(heavy).virtual_hours,
+        outcome.tenant(light).virtual_hours
+    );
+    // The constrained tenants actually waited for capacity somewhere.
+    let waited: u64 = outcome
+        .telemetry
+        .tenants
+        .iter()
+        .map(|t| t.wait_rounds)
+        .sum();
+    assert!(
+        waited > 0,
+        "shared fleet with excess demand must defer work"
+    );
+}
+
+#[test]
+fn priority_arbiter_starves_visibly_but_everyone_finishes() {
+    let problem = QaoaProblem::maxcut_ring4();
+    let mut fleet = builder().arbiter(PriorityArbiter).build().expect("builds");
+    let high = fleet
+        .admit(&problem, TenantConfig::new(cfg(3)).priority(10))
+        .expect("admits");
+    let low = fleet
+        .admit(&problem, TenantConfig::new(cfg(3).with_seed(11)))
+        .expect("admits");
+    let outcome = fleet.run().expect("runs");
+    assert_eq!(outcome.telemetry.arbiter, "priority");
+    assert_eq!(outcome.report(high).epochs, 3);
+    assert_eq!(
+        outcome.report(low).epochs,
+        3,
+        "leftover capacity still serves"
+    );
+    assert_eq!(outcome.tenant(high).starved_rounds, 0);
+    assert!(
+        outcome.tenant(low).starved_rounds > 0,
+        "the low-priority tenant's starvation must be accounted: {:?}",
+        outcome.tenant(low)
+    );
+    assert!(outcome.tenant(low).wait_rounds >= outcome.tenant(high).wait_rounds);
+}
+
+#[test]
+fn tenants_carry_their_own_policy_stacks() {
+    // Per-tenant policies: one tenant on the default stack, one on
+    // equi-ensemble weighting — in the same fleet run, each report must
+    // carry its own stack's telemetry and trajectory.
+    let problem = QaoaProblem::maxcut_ring4();
+    let mut fleet = builder().build().expect("builds");
+    let fidelity = fleet
+        .admit(&problem, TenantConfig::new(cfg(3)))
+        .expect("admits");
+    let equi = fleet
+        .admit(
+            &problem,
+            TenantConfig::new(cfg(3))
+                .policies(PolicyConfig::default().with_weighting(EquiEnsemble)),
+        )
+        .expect("admits");
+    let outcome = fleet.run().expect("runs");
+    assert_eq!(outcome.report(fidelity).policy.weighting, "fidelity");
+    assert_eq!(outcome.report(equi).policy.weighting, "equi-ensemble");
+    assert!(outcome.report(equi).weight_trace.is_empty());
+    assert!(!outcome.report(fidelity).weight_trace.is_empty());
+    assert_ne!(
+        outcome.report(fidelity).final_params,
+        outcome.report(equi).final_params
+    );
+}
+
+#[test]
+fn fleet_outlives_its_tenant_batches() {
+    let problem = QaoaProblem::maxcut_ring4();
+    let mut fleet = builder().build().expect("builds");
+    assert_eq!(fleet.run().unwrap_err(), EqcError::NoTenants);
+    fleet
+        .admit(&problem, TenantConfig::new(cfg(2)))
+        .expect("admits");
+    let first = fleet.run().expect("first batch");
+    assert_eq!(fleet.num_tenants(), 0, "run consumes the batch");
+    fleet
+        .admit(&problem, TenantConfig::new(cfg(2)))
+        .expect("admits again");
+    let second = fleet.run().expect("second batch");
+    assert_eq!(
+        first.reports, second.reports,
+        "devices persist across batches: identical replay"
+    );
+}

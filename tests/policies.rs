@@ -214,6 +214,123 @@ fn least_loaded_scheduler_is_deterministic_and_changes_the_assignment() {
 }
 
 #[test]
+fn composed_weighting_band_rescale_times_decay() {
+    // The composed cell: weights must sit inside band * decay — never
+    // above the fidelity band alone — and the trajectory must differ
+    // from both parts on a fleet with staleness and quality spread.
+    let problem = QaoaProblem::maxcut_ring4();
+    let names = ["belem", "x2", "bogota", "quito"];
+    let composed = qaoa_ensemble(&names, 8)
+        .weighting(Composed(
+            FidelityWeighted,
+            StalenessDecay::new(0.5).expect("valid"),
+        ))
+        .build()
+        .expect("builds")
+        .train(&problem)
+        .expect("trains");
+    assert_eq!(composed.policy.weighting, "fidelity*staleness-decay");
+    assert_eq!(composed.epochs, 8);
+    for p in &composed.policy.weight_provenance {
+        assert_eq!(p.policy, "fidelity*staleness-decay");
+        assert!(
+            p.max_weight <= 1.5 + 1e-12,
+            "composition can only attenuate the band: {}",
+            p.max_weight
+        );
+    }
+    // Staleness existed, so some weight fell below the band floor the
+    // pure fidelity policy could never leave.
+    assert!(composed.max_staleness >= 1);
+    let min_weight = composed
+        .policy
+        .weight_provenance
+        .iter()
+        .map(|p| p.min_weight)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        min_weight < 0.5,
+        "decay should push below the band floor somewhere, got {min_weight}"
+    );
+    // The band trace still records the fidelity component, in band.
+    assert!(!composed.weight_trace.is_empty());
+    for sample in &composed.weight_trace {
+        for &w in &sample.weights {
+            assert!((0.5..=1.5).contains(&w), "trace weight {w} out of band");
+        }
+    }
+    // And it is a genuinely new cell: different from both parts.
+    let fidelity = qaoa_ensemble(&names, 8)
+        .build()
+        .expect("builds")
+        .train(&problem)
+        .expect("trains");
+    let decay = qaoa_ensemble(&names, 8)
+        .weighting(StalenessDecay::new(0.5).expect("valid"))
+        .build()
+        .expect("builds")
+        .train(&problem)
+        .expect("trains");
+    assert_ne!(composed.final_params, fidelity.final_params);
+    assert_ne!(composed.final_params, decay.final_params);
+}
+
+#[test]
+fn lookahead_scheduler_routes_around_an_upcoming_peak() {
+    // A device that is the cheapest queue *right now* but sits just
+    // before a steep congestion ramp (short-period cycle, deep
+    // amplitude): the instantaneous LeastLoaded primes it first, while
+    // the lookahead variant — forecasting at now + expected job latency
+    // — sees the 30-minute-ahead wait explode and primes the stable
+    // devices first. Deterministically.
+    let problem = QaoaProblem::maxcut_ring4();
+    let horizon_s = 1800.0;
+    let build = |lookahead: bool| {
+        let spec = catalog::by_name("quito").expect("catalog");
+        // Wait ~2 s at t=0 (cheapest in the fleet), ~117 s half an hour
+        // later: a 2-hour congestion cycle crossing its trough now.
+        let trap = QpuBackend::new(
+            "trap",
+            spec.topology(),
+            spec.calibration(),
+            qdevice::DriftModel::none(),
+            qdevice::QueueModel {
+                overhead_s: 1.0,
+                mean_wait_s: 30.0,
+                diurnal_amplitude: 3.0,
+                phase_hours: 1.65,
+                period_hours: 2.0,
+                reset_time_us: 250.0,
+            },
+            24.0,
+            5,
+        );
+        let mut b = Ensemble::builder()
+            .backend(trap)
+            .device("belem")
+            .device("manila")
+            .device_seed(7)
+            .config(EqcConfig::paper_qaoa().with_epochs(4).with_shots(128));
+        b = if lookahead {
+            b.scheduler(LookaheadLeastLoaded::new(horizon_s).expect("valid horizon"))
+        } else {
+            b.scheduler(LeastLoaded)
+        };
+        b.build().expect("builds")
+    };
+    let instant = build(false).train(&problem).expect("trains");
+    let ahead = build(true).train(&problem).expect("trains");
+    let ahead_again = build(true).train(&problem).expect("trains");
+    assert_eq!(ahead, ahead_again, "lookahead must stay deterministic");
+    assert_eq!(ahead.policy.scheduler, "lookahead-least-loaded");
+    assert_eq!(instant.policy.scheduler, "least-loaded");
+    assert_ne!(
+        instant.update_log, ahead.update_log,
+        "the forecast must change the assignment"
+    );
+}
+
+#[test]
 fn drift_eviction_benches_and_readmits_the_flaky_device() {
     let problem = QaoaProblem::maxcut_ring4();
     let build = || {
