@@ -1,0 +1,239 @@
+//! Always-on fleet service at scale: 32/128/512 tenants churning
+//! through a 256-device fleet with Poisson-seeded arrivals, under
+//! {fair-share, edf} arbitration.
+//!
+//! The batch `FleetRuntime` (see `fig_tenants`) drives one closed
+//! tenant set; this harness exercises the streaming `FleetService`
+//! instead — tenants arrive on a seeded admission queue mid-run, retire
+//! individually the moment their last gather absorbs, and the fleet
+//! clock idles deterministically over any gaps. Every fourth tenant
+//! carries a deadline, so the `edf` cells also exercise the SLO path.
+//!
+//! Oracles asserted per run: a service whose tenants all arrive at
+//! t = 0 replays `FleetRuntime::run` byte for byte; every tenant trains
+//! its full epoch budget; the peak number of concurrently-resident
+//! tenants reaches the cell's tenant count (the arrival window is tiny
+//! next to the contended makespan, so the whole cohort overlaps).
+//!
+//! Run with: `cargo run --release -p eqc-bench --bin fig_service`
+//!
+//! Environment: `EQC_FLEET_CLIENTS` (devices, default 256),
+//! `EQC_TENANTS` (max tenants, default 512), `EQC_EPOCHS` (default 2),
+//! `EQC_SHOTS` (default 64).
+//!
+//! Emits one machine-readable JSON line per (tenant count, arbiter)
+//! cell (`{"bench":"service32","arbiter":"fair-share",...}`) for the
+//! perf-trajectory dashboard; the CI smoke step greps the `service32`
+//! lines.
+
+use eqc_bench::{env_param, epochs_or, markdown_table, shots_or, tenant_fleet_builder, write_csv};
+use eqc_core::policy::arbiter::{EarliestDeadlineFirst, FairShare};
+use eqc_core::{EqcConfig, FleetBuilder, ServiceTelemetry, TenantConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+use vqa::QaoaProblem;
+
+/// One cell's arbiter: display name + builder configurator.
+type ArbiterCell = (&'static str, fn(FleetBuilder) -> FleetBuilder);
+
+/// Poisson process: exponential inter-arrival gaps with mean
+/// `mean_gap_h`, deterministic in the seed.
+fn poisson_arrivals(n: usize, mean_gap_h: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut at = 0.0f64;
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            at += -(1.0 - u).ln() * mean_gap_h;
+            at
+        })
+        .collect()
+}
+
+/// Peak number of tenants simultaneously resident on the fleet, from
+/// the service records' arrival/retirement intervals.
+fn peak_concurrency(service: &ServiceTelemetry) -> usize {
+    let mut edges: Vec<(f64, i64)> = Vec::with_capacity(2 * service.tenants.len());
+    for t in &service.tenants {
+        edges.push((t.arrival_h, 1));
+        edges.push((t.retired_h, -1));
+    }
+    // Retirements before arrivals at the same instant: the service
+    // frees capacity the moment the last gather absorbs.
+    edges.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let (mut live, mut peak) = (0i64, 0i64);
+    for (_, d) in edges {
+        live += d;
+        peak = peak.max(live);
+    }
+    peak as usize
+}
+
+fn tenant_config(cfg: EqcConfig, t: usize) -> TenantConfig {
+    let tc = TenantConfig::new(cfg.with_seed(7 + t as u64)).label(format!("tenant{t}"));
+    if t % 4 == 3 {
+        // Every fourth tenant carries an SLO; generous enough to be
+        // meetable solo, tight enough to bite under heavy contention.
+        tc.deadline(2000.0 + 500.0 * (t % 8) as f64)
+    } else {
+        tc
+    }
+}
+
+fn main() {
+    let devices = env_param("EQC_FLEET_CLIENTS", 256);
+    let max_tenants = env_param("EQC_TENANTS", 512);
+    let epochs = epochs_or(2);
+    let shots = shots_or(64);
+    let problem = QaoaProblem::maxcut_ring4();
+    let commit = std::env::var("GITHUB_SHA").unwrap_or_else(|_| "local".into());
+    println!(
+        "# Always-on fleet service — 32..{max_tenants} Poisson-admitted tenants x \
+         {{fair-share, edf}} on a {devices}-device pool ({epochs} epochs, {shots} shots each)\n"
+    );
+
+    let cfg = EqcConfig::paper_qaoa()
+        .with_epochs(epochs)
+        .with_shots(shots);
+
+    // Oracle: the streaming service with every tenant admitted at t = 0
+    // replays the closed-batch runtime byte for byte.
+    {
+        let oracle_tenants = 8.min(max_tenants).max(1);
+        let batch = {
+            let mut fleet = tenant_fleet_builder(devices)
+                .arbiter(FairShare)
+                .build()
+                .expect("fleet builds");
+            for t in 0..oracle_tenants {
+                fleet
+                    .admit(&problem, tenant_config(cfg, t))
+                    .expect("admits");
+            }
+            fleet.run().expect("batch runs")
+        };
+        let mut service = tenant_fleet_builder(devices)
+            .arbiter(FairShare)
+            .service()
+            .expect("service builds");
+        for t in 0..oracle_tenants {
+            service
+                .admit(&problem, tenant_config(cfg, t))
+                .expect("admits");
+        }
+        let streamed = service.close().expect("service closes");
+        assert_eq!(
+            format!("{batch:?}"),
+            format!("{:?}", streamed.fleet),
+            "t = 0 streaming must replay the batch runtime byte for byte"
+        );
+        println!("t = 0 oracle: streaming service == batch runtime (byte-identical, {oracle_tenants} tenants)\n");
+    }
+
+    let arbiters: [ArbiterCell; 2] = [
+        ("fair-share", |b| b.arbiter(FairShare)),
+        ("edf", |b| b.arbiter(EarliestDeadlineFirst)),
+    ];
+    let sizes: Vec<usize> = [32usize, 128, 512]
+        .into_iter()
+        .filter(|&k| k <= max_tenants)
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut csv = String::from(
+        "tenants,arbiter,wall_ms,grant_rounds,peak_concurrent,epochs_per_h,\
+         deadline_hits,deadline_misses,idle_h,span_h\n",
+    );
+    for &k in &sizes {
+        // Arrival window ~= k * mean gap: a sliver of the contended
+        // makespan, so the whole cohort overlaps in flight.
+        let arrivals = poisson_arrivals(k, 1.0e-6, 0xEC5EED ^ k as u64);
+        for &(arbiter_name, with_arbiter) in &arbiters {
+            let mut service = with_arbiter(tenant_fleet_builder(devices))
+                .service()
+                .expect("service builds");
+            for (t, &at_h) in arrivals.iter().enumerate() {
+                service
+                    .admit_at(&problem, tenant_config(cfg, t), at_h)
+                    .expect("admits");
+            }
+            let start = Instant::now();
+            let outcome = service.close().expect("service closes");
+            let wall_ms = start.elapsed().as_millis();
+
+            assert_eq!(outcome.fleet.reports.len(), k);
+            for (report, record) in outcome.fleet.reports.iter().zip(&outcome.service.tenants) {
+                assert_eq!(report.epochs, epochs, "{} under-trained", record.label);
+            }
+            let peak = peak_concurrency(&outcome.service);
+            assert!(
+                peak >= k,
+                "[{arbiter_name} x{k}] cohort never fully overlapped: peak {peak}"
+            );
+            let s = &outcome.service;
+            println!(
+                "  [{arbiter_name} x{k}] {} admitted, peak {peak} concurrent, \
+                 {:.2} epochs/h sustained, SLOs {}/{} met, span {:.2} h",
+                s.admissions,
+                s.sustained_epochs_per_hour,
+                s.deadline_hits,
+                s.deadline_hits + s.deadline_misses,
+                s.span_virtual_hours,
+            );
+
+            rows.push(vec![
+                k.to_string(),
+                arbiter_name.to_string(),
+                wall_ms.to_string(),
+                outcome.fleet.telemetry.grant_rounds.to_string(),
+                peak.to_string(),
+                format!("{:.3}", s.sustained_epochs_per_hour),
+                s.deadline_hits.to_string(),
+                s.deadline_misses.to_string(),
+                format!("{:.3}", s.idle_virtual_hours),
+                format!("{:.3}", s.span_virtual_hours),
+            ]);
+            csv.push_str(&format!(
+                "{k},{arbiter_name},{wall_ms},{},{peak},{:.6},{},{},{:.6},{:.6}\n",
+                outcome.fleet.telemetry.grant_rounds,
+                s.sustained_epochs_per_hour,
+                s.deadline_hits,
+                s.deadline_misses,
+                s.idle_virtual_hours,
+                s.span_virtual_hours,
+            ));
+            println!(
+                "{{\"bench\":\"service{k}\",\"arbiter\":\"{arbiter_name}\",\"devices\":{devices},\
+                 \"epochs\":{epochs},\"shots\":{shots},\"wall_ms\":{wall_ms},\
+                 \"peak_concurrent\":{peak},\"epochs_per_h\":{:.4},\"deadline_hits\":{},\
+                 \"deadline_misses\":{},\"idle_h\":{:.4},\"commit\":\"{commit}\"}}",
+                s.sustained_epochs_per_hour,
+                s.deadline_hits,
+                s.deadline_misses,
+                s.idle_virtual_hours,
+            );
+        }
+    }
+
+    println!("\n## Service scaling (deterministic streaming fleet)\n");
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "tenants",
+                "arbiter",
+                "wall ms",
+                "grant rounds",
+                "peak concurrent",
+                "epochs/h",
+                "SLO hits",
+                "SLO misses",
+                "idle h",
+                "span h"
+            ],
+            &rows
+        )
+    );
+    write_csv("fig_service.csv", &csv);
+}

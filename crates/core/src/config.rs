@@ -241,6 +241,12 @@ pub struct TenantConfig {
     pub priority: i64,
     /// Telemetry label; defaults to `tenant<i>` at admission.
     pub label: Option<String>,
+    /// Deadline budget in virtual hours on the tenant's own clock:
+    /// under
+    /// [`EarliestDeadlineFirst`](crate::policy::arbiter::EarliestDeadlineFirst)
+    /// the tenant's SLO is to finish its epoch budget within this many
+    /// virtual hours of its arrival. `None` (the default) means no SLO.
+    pub deadline_h: Option<f64>,
 }
 
 impl TenantConfig {
@@ -253,6 +259,7 @@ impl TenantConfig {
             weight: 1.0,
             priority: 0,
             label: None,
+            deadline_h: None,
         }
     }
 
@@ -280,12 +287,19 @@ impl TenantConfig {
         self
     }
 
+    /// Builder-style deadline budget (virtual hours from arrival).
+    pub fn deadline(mut self, hours: f64) -> Self {
+        self.deadline_h = Some(hours);
+        self
+    }
+
     /// Validates the tenant description.
     ///
     /// # Errors
     ///
-    /// [`EqcError::InvalidConfig`] on an invalid training configuration
-    /// or a non-positive / non-finite fair-share weight.
+    /// [`EqcError::InvalidConfig`] on an invalid training
+    /// configuration, a non-positive / non-finite fair-share weight, or
+    /// a non-positive / non-finite deadline budget.
     pub fn validate(&self) -> Result<(), EqcError> {
         self.config.validate()?;
         if !(self.weight.is_finite() && self.weight > 0.0) {
@@ -293,6 +307,13 @@ impl TenantConfig {
                 "tenant fair-share weight must be positive and finite, got {}",
                 self.weight
             )));
+        }
+        if let Some(d) = self.deadline_h {
+            if !(d.is_finite() && d > 0.0) {
+                return Err(EqcError::InvalidConfig(format!(
+                    "tenant deadline must be positive and finite virtual hours, got {d}"
+                )));
+            }
         }
         Ok(())
     }
@@ -360,6 +381,40 @@ impl Default for PoolConfig {
             workers: None,
             deterministic: true,
         }
+    }
+}
+
+/// Configuration of the always-on
+/// [`FleetService`](crate::fleet::service::FleetService).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Cap on tenants waiting in the admission queue between drains;
+    /// admissions beyond it fail with
+    /// [`EqcError::AdmissionQueueFull`]. `None` (the default) leaves
+    /// the queue unbounded.
+    pub max_pending: Option<usize>,
+}
+
+impl ServiceConfig {
+    /// Builder-style admission-queue bound.
+    pub fn with_max_pending(mut self, cap: usize) -> Self {
+        self.max_pending = Some(cap);
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`EqcError::InvalidConfig`] when an explicit pending cap is
+    /// zero (such a service could never admit anyone).
+    pub fn validate(&self) -> Result<(), EqcError> {
+        if self.max_pending == Some(0) {
+            return Err(EqcError::InvalidConfig(
+                "service admission-queue capacity must be positive".into(),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -441,6 +496,36 @@ mod tests {
         let labeled = TenantConfig::default().label("prod").priority(3);
         assert_eq!(labeled.label.as_deref(), Some("prod"));
         assert_eq!(labeled.priority, 3);
+    }
+
+    #[test]
+    fn tenant_deadlines_validate() {
+        let slo = TenantConfig::default().deadline(12.5);
+        assert_eq!(slo.deadline_h, Some(12.5));
+        assert!(slo.validate().is_ok());
+        assert!(TenantConfig::default().deadline_h.is_none());
+        for bad in [0.0, -3.0, f64::NAN, f64::INFINITY] {
+            assert!(
+                matches!(
+                    TenantConfig::default().deadline(bad).validate(),
+                    Err(EqcError::InvalidConfig(_))
+                ),
+                "deadline {bad} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn service_config_validates_the_pending_cap() {
+        assert!(ServiceConfig::default().validate().is_ok());
+        assert!(ServiceConfig::default().max_pending.is_none());
+        let bounded = ServiceConfig::default().with_max_pending(4);
+        assert_eq!(bounded.max_pending, Some(4));
+        assert!(bounded.validate().is_ok());
+        assert!(matches!(
+            ServiceConfig::default().with_max_pending(0).validate(),
+            Err(EqcError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -54,6 +54,19 @@ pub enum EqcError {
         /// Clients handed to the report.
         got: usize,
     },
+    /// A [`TenantId`](crate::fleet::TenantId) minted by one tenant
+    /// batch was used on the outcome of another batch.
+    StaleTenant {
+        /// Batch generation the id was minted in.
+        held: u64,
+        /// Batch generation of the outcome it was used on.
+        outcome: u64,
+    },
+    /// The service's admission queue is at its configured capacity.
+    AdmissionQueueFull {
+        /// The `max_pending` bound that rejected the admission.
+        capacity: usize,
+    },
     /// An internal invariant broke (e.g. a worker thread panicked).
     Internal(String),
 }
@@ -100,6 +113,18 @@ impl fmt::Display for EqcError {
                     "report requested over {got} clients but the master tracks {expected}"
                 )
             }
+            EqcError::StaleTenant { held, outcome } => {
+                write!(
+                    f,
+                    "TenantId from fleet batch {held} used on the outcome of batch {outcome}"
+                )
+            }
+            EqcError::AdmissionQueueFull { capacity } => {
+                write!(
+                    f,
+                    "admission queue is at capacity ({capacity} tenants pending); drain first"
+                )
+            }
             EqcError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -128,6 +153,17 @@ mod tests {
         assert!(EqcError::InvalidConfig("epochs must be positive".into())
             .to_string()
             .contains("epochs"));
+        assert_eq!(
+            EqcError::StaleTenant {
+                held: 0,
+                outcome: 2
+            }
+            .to_string(),
+            "TenantId from fleet batch 0 used on the outcome of batch 2"
+        );
+        assert!(EqcError::AdmissionQueueFull { capacity: 8 }
+            .to_string()
+            .contains("8 tenants pending"));
     }
 
     #[test]

@@ -47,6 +47,16 @@
 //! discrete-event total order via conservative queue-model lookahead —
 //! parallel wall-clock, byte-identical outcome.
 //!
+//! ## Streaming
+//!
+//! Both substrates' drive loops are wrappers over one resumable
+//! *stepper* that also accepts tenant **arrivals** at future virtual
+//! times. The [`service`] submodule layers the always-on
+//! [`FleetService`](service::FleetService) on that seam: admissions
+//! land mid-run, each tenant retires the moment its last gather
+//! absorbs, and a run whose tenants all arrive at `t = 0` replays
+//! [`FleetRuntime::run`] byte for byte (pinned by tests).
+//!
 //! ```
 //! use eqc_core::policy::arbiter::FairShare;
 //! use eqc_core::{EqcConfig, FleetRuntime, TenantConfig};
@@ -71,8 +81,10 @@
 //! [`EqcConfig`]: crate::EqcConfig
 //! [`MasterLoop`]: crate::MasterLoop
 
+pub mod service;
+
 use crate::client::ClientNode;
-use crate::config::{PoolConfig, TenantConfig};
+use crate::config::{PoolConfig, ServiceConfig, TenantConfig};
 use crate::ensemble::{clients_for, probes_for, resolve_devices, Device, DeviceChoice};
 use crate::error::EqcError;
 use crate::executor::Event;
@@ -85,6 +97,8 @@ use std::collections::{BinaryHeap, VecDeque};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use vqa::VqaProblem;
+
+pub use service::{FleetService, ServiceOutcome, TenantHandle};
 
 /// Handle to one admitted tenant, valid for the next [`FleetRuntime::run`].
 ///
@@ -132,34 +146,60 @@ impl FleetOutcome {
     ///
     /// Panics if `id` was issued for a different tenant batch (stale
     /// handle across [`FleetRuntime::run`] calls) — misattribution is
-    /// never silent.
+    /// never silent. Use [`FleetOutcome::try_report`] to handle the
+    /// mismatch as a value instead.
     pub fn report(&self, id: TenantId) -> &TrainingReport {
-        self.check_batch(id);
-        &self.reports[id.index()]
+        self.try_report(id).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The telemetry of one tenant.
     ///
     /// # Panics
     ///
-    /// As [`FleetOutcome::report`].
+    /// As [`FleetOutcome::report`]; [`FleetOutcome::try_tenant`] is the
+    /// non-panicking variant.
     pub fn tenant(&self, id: TenantId) -> &TenantTelemetry {
-        self.check_batch(id);
-        &self.telemetry.tenants[id.index()]
+        self.try_tenant(id).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    fn check_batch(&self, id: TenantId) {
-        assert_eq!(
-            id.batch, self.batch,
-            "TenantId from fleet batch {} used on the outcome of batch {}",
-            id.batch, self.batch
-        );
+    /// The training report of one tenant, rejecting stale handles as a
+    /// typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`EqcError::StaleTenant`] when `id` was issued for a different
+    /// tenant batch.
+    pub fn try_report(&self, id: TenantId) -> Result<&TrainingReport, EqcError> {
+        self.check_batch(id)?;
+        Ok(&self.reports[id.index()])
+    }
+
+    /// The telemetry of one tenant, rejecting stale handles as a typed
+    /// error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetOutcome::try_report`].
+    pub fn try_tenant(&self, id: TenantId) -> Result<&TenantTelemetry, EqcError> {
+        self.check_batch(id)?;
+        Ok(&self.telemetry.tenants[id.index()])
+    }
+
+    fn check_batch(&self, id: TenantId) -> Result<(), EqcError> {
+        if id.batch == self.batch {
+            Ok(())
+        } else {
+            Err(EqcError::StaleTenant {
+                held: id.batch,
+                outcome: self.batch,
+            })
+        }
     }
 }
 
 /// Which substrate executes dispatched tasks.
 #[derive(Clone, Copy, Debug)]
-enum Substrate {
+pub(crate) enum Substrate {
     /// Single-threaded: tasks run inline at dispatch (the reference).
     DiscreteEvent,
     /// Bounded worker pool; `None` resolves to the machine's available
@@ -176,6 +216,7 @@ struct TenantSlot<'p> {
     shots: usize,
     weight: f64,
     priority: i64,
+    deadline_h: Option<f64>,
     clients: Vec<ClientNode>,
     master: MasterLoop,
 }
@@ -274,6 +315,7 @@ impl<'p> FleetRuntime<'p> {
             shots: tenant.config.shots,
             weight: tenant.weight,
             priority: tenant.priority,
+            deadline_h: tenant.deadline_h,
             clients,
             master,
         });
@@ -306,11 +348,13 @@ impl<'p> FleetRuntime<'p> {
                     shots,
                     weight,
                     priority,
+                    deadline_h,
                     clients,
                     master,
                     ..
                 } = t;
                 Lane::new(*problem, *shots, clients, master, *weight, *priority)
+                    .with_deadline(*deadline_h)
             })
             .collect();
         let (driven, pool) = match self.substrate {
@@ -461,6 +505,14 @@ impl FleetBuilder {
         self
     }
 
+    /// Reverts to the single-threaded discrete-event substrate (the
+    /// default) — the inverse of [`FleetBuilder::pooled`], so substrate
+    /// choice can be toggled on a shared builder.
+    pub fn des(mut self) -> Self {
+        self.substrate = Substrate::DiscreteEvent;
+        self
+    }
+
     /// Validates and resolves the fleet's device pool.
     ///
     /// # Errors
@@ -481,6 +533,38 @@ impl FleetBuilder {
             tenants: Vec::new(),
             batch: 0,
         })
+    }
+
+    /// Builds an always-on [`FleetService`] over the same device pool,
+    /// arbiter and substrate, with the default [`ServiceConfig`].
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetBuilder::build`].
+    pub fn service<'p>(self) -> Result<FleetService<'p>, EqcError> {
+        self.service_with(ServiceConfig::default())
+    }
+
+    /// Builds an always-on [`FleetService`] with an explicit
+    /// [`ServiceConfig`].
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetBuilder::build`], plus [`EqcError::InvalidConfig`] for
+    /// an invalid service configuration.
+    pub fn service_with<'p>(self, config: ServiceConfig) -> Result<FleetService<'p>, EqcError> {
+        config.validate()?;
+        if let Substrate::Pooled { workers: Some(0) } = self.substrate {
+            return Err(EqcError::InvalidConfig(
+                "pool worker count must be positive".into(),
+            ));
+        }
+        Ok(FleetService::from_parts(
+            resolve_devices(self.devices, self.device_seed)?,
+            self.arbiter,
+            self.substrate,
+            config,
+        ))
     }
 }
 
@@ -520,6 +604,18 @@ pub(crate) struct Lane<'a, 'p> {
     shots: usize,
     weight: f64,
     priority: i64,
+    /// Deadline budget in virtual hours on the tenant's own clock, for
+    /// the arbiter's SLO introspection.
+    deadline_h: Option<f64>,
+    /// The lane's arrival offset on the fleet clock, in virtual
+    /// seconds: the tenant's local clock starts at zero (so its report
+    /// stays byte-identical to a standalone run), and the fleet orders
+    /// its events at `offset_s + local completion`. Zero for batch
+    /// lanes, making the global order coincide with the local one.
+    offset_s: f64,
+    /// Whether the lane's arrival has been processed. Only arrived
+    /// lanes hold ready clients or receive grants.
+    arrived: bool,
     clients: &'a mut Vec<ClientNode>,
     master: &'a mut MasterLoop,
     heap: BinaryHeap<Event>,
@@ -545,6 +641,9 @@ impl<'a, 'p> Lane<'a, 'p> {
             shots,
             weight,
             priority,
+            deadline_h: None,
+            offset_s: 0.0,
+            arrived: false,
             clients,
             master,
             heap: BinaryHeap::new(),
@@ -567,6 +666,40 @@ impl<'a, 'p> Lane<'a, 'p> {
         master: &'a mut MasterLoop,
     ) -> Self {
         Lane::new(problem, shots, clients, master, 1.0, 0)
+    }
+
+    /// Builder-style deadline budget for the arbiter's SLO view.
+    pub(crate) fn with_deadline(mut self, deadline_h: Option<f64>) -> Self {
+        self.deadline_h = deadline_h;
+        self
+    }
+
+    /// Builder-style arrival offset on the fleet clock (virtual
+    /// seconds).
+    pub(crate) fn arriving_at(mut self, offset_s: f64) -> Self {
+        self.offset_s = offset_s;
+        self
+    }
+
+    /// Processes the lane's arrival: queues its initial
+    /// one-task-per-client fan-out in scheduler-policy order (the
+    /// executors' prime loop), eligible from grant round `round`. A
+    /// tenant whose goal is already met retires at arrival.
+    fn activate(&mut self, round: u64) -> Result<(), EqcError> {
+        self.arrived = true;
+        self.done = self.master.is_complete();
+        if self.done {
+            return Ok(());
+        }
+        let now_h = self.master.now().as_hours();
+        for client in self.master.prime_order()? {
+            self.ready.push_back(ReadyClient {
+                client,
+                enqueued_hours: now_h,
+                enqueued_round: round,
+            });
+        }
+        Ok(())
     }
 
     /// Records the wait a ready client accumulated before dispatch and
@@ -628,52 +761,44 @@ fn loads_of(lanes: &[Lane<'_, '_>]) -> Vec<TenantLoad> {
             in_flight: lane.in_flight,
             ready: lane.ready.len(),
             complete: lane.done,
+            remaining_epochs: lane
+                .master
+                .epoch_budget()
+                .saturating_sub(lane.master.epochs_completed()),
+            elapsed_h: lane.master.now().as_hours(),
+            deadline_h: lane.deadline_h,
         })
         .collect()
 }
 
-/// Queues every lane's initial one-task-per-client fan-out, in
-/// scheduler-policy order — the multi-lane generalization of the
-/// executors' prime loop.
-fn prime(lanes: &mut [Lane<'_, '_>]) -> Result<(), EqcError> {
-    for lane in lanes.iter_mut() {
-        lane.done = lane.master.is_complete();
-        if lane.done {
-            continue;
-        }
-        let now_h = lane.master.now().as_hours();
-        for client in lane.master.prime_order()? {
-            lane.ready.push_back(ReadyClient {
-                client,
-                enqueued_hours: now_h,
-                enqueued_round: 0,
-            });
-        }
-    }
-    Ok(())
-}
-
 /// The lane holding the globally next event to absorb: earliest virtual
-/// completion, ties broken toward the lower tenant id (within a lane
-/// the heap already breaks ties toward the lower client id). The
-/// comparator is a total order — no two candidates share a lane index —
-/// so the pick is deterministic.
+/// completion *on the fleet clock* (the lane's arrival offset plus the
+/// event's local completion), ties broken toward the lower tenant id
+/// (within a lane the heap already breaks ties toward the lower client
+/// id). The comparator is a total order — no two candidates share a
+/// lane index — so the pick is deterministic. With every offset zero
+/// (the batch case) this coincides with the local-time order.
 fn next_lane(lanes: &[Lane<'_, '_>]) -> Option<usize> {
     lanes
         .iter()
         .enumerate()
         .filter(|(_, lane)| !lane.done)
-        .filter_map(|(t, lane)| lane.heap.peek().map(|e| (t, e.completed.as_secs())))
+        .filter_map(|(t, lane)| {
+            lane.heap
+                .peek()
+                .map(|e| (t, lane.offset_s + e.completed.as_secs()))
+        })
         .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
         .map(|(t, _)| t)
 }
 
 /// Absorbs lane `t`'s earliest event and queues the follow-up
 /// dispatches (the freed client plus any re-admissions) for grant round
-/// `round`.
-fn absorb_next(lanes: &mut [Lane<'_, '_>], t: usize, round: u64) -> Result<(), EqcError> {
+/// `round`. Returns the absorbed event's local completion time.
+fn absorb_next(lanes: &mut [Lane<'_, '_>], t: usize, round: u64) -> Result<SimTime, EqcError> {
     let lane = &mut lanes[t];
     let ev = lane.heap.pop().expect("next_lane implies a head");
+    let completed = ev.completed;
     lane.in_flight -= 1;
     lane.master.absorb(
         ev.client,
@@ -690,7 +815,7 @@ fn absorb_next(lanes: &mut [Lane<'_, '_>], t: usize, round: u64) -> Result<(), E
     } else {
         lane.enqueue_dispatches(ev.client, round)?;
     }
-    Ok(())
+    Ok(completed)
 }
 
 /// One arbiter grant round, shared verbatim by both substrates (the
@@ -713,7 +838,7 @@ fn grant_round(
         round,
     });
     for (t, lane) in lanes.iter_mut().enumerate() {
-        if lane.done {
+        if lane.done || !lane.arrived {
             continue;
         }
         let cap = caps.get(t).copied().unwrap_or(0);
@@ -745,35 +870,137 @@ fn grant_inline(
     })
 }
 
-/// The reference fleet drive: a seeded multi-lane discrete-event loop.
-/// With one lane and the [`Unshared`] arbiter this is exactly the
-/// historical [`DiscreteEventExecutor`](crate::DiscreteEventExecutor)
-/// loop (prime, pop-earliest, absorb, re-dispatch the freed client) —
-/// which is why that executor now delegates here.
-pub(crate) fn drive_des(
+/// The fleet clock a streaming drive advances across calls: grant
+/// rounds, the latest absorbed global event time (virtual seconds) and
+/// the virtual time the fleet sat empty waiting for an arrival.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct DriveClock {
+    pub(crate) round: u64,
+    pub(crate) now_s: f64,
+    pub(crate) idle_s: f64,
+}
+
+/// A pending tenant arrival: lane index and fleet-clock arrival time in
+/// virtual seconds. Arrival queues must be sorted ascending by `at_s`.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Arrival {
+    pub(crate) lane: usize,
+    pub(crate) at_s: f64,
+}
+
+/// The batch case: every lane arrives at fleet time zero, in lane
+/// order.
+fn arrivals_at_zero(n: usize) -> VecDeque<Arrival> {
+    (0..n).map(|lane| Arrival { lane, at_s: 0.0 }).collect()
+}
+
+/// Whether the streaming drive has nothing left to do: no pending
+/// arrivals and every arrived lane retired.
+fn quiescent(lanes: &[Lane<'_, '_>], arrivals: &VecDeque<Arrival>) -> bool {
+    arrivals.is_empty() && lanes.iter().all(|l| !l.arrived || l.done)
+}
+
+/// Processes every arrival due at the queue head's arrival time (ties
+/// activate together, in queue order), accounting idle fleet hours when
+/// the clock has to jump forward over an empty fleet. Tenants whose
+/// goal is already met retire at activation.
+fn activate_due(
+    lanes: &mut [Lane<'_, '_>],
+    arrivals: &mut VecDeque<Arrival>,
+    clock: &mut DriveClock,
+    on_retire: &mut dyn FnMut(usize, f64),
+) -> Result<(), EqcError> {
+    let head = arrivals.front().expect("caller checked a pending arrival");
+    let at_s = head.at_s;
+    let fleet_empty = lanes.iter().all(|l| !l.arrived || l.done);
+    if fleet_empty && at_s > clock.now_s {
+        clock.idle_s += at_s - clock.now_s;
+    }
+    clock.now_s = clock.now_s.max(at_s);
+    while let Some(a) = arrivals.front() {
+        if a.at_s > at_s {
+            break;
+        }
+        let a = arrivals.pop_front().expect("peeked");
+        lanes[a.lane].activate(clock.round)?;
+        if lanes[a.lane].done {
+            on_retire(a.lane, clock.now_s);
+        }
+    }
+    Ok(())
+}
+
+/// The resumable discrete-event stepper both fleet modes share. Batch
+/// runs ([`drive_des`]) feed it all-lanes-arrive-at-zero and drive to
+/// quiescence once; the streaming [`service`] keeps the clock across
+/// calls and feeds admissions as future arrivals.
+///
+/// Event order is the fleet total order over *global* times (arrival
+/// offset + local completion); an arrival due at or before the next
+/// event is processed first (so a tenant is live for the grant round
+/// that precedes any later absorb), and `on_retire` fires the moment a
+/// lane's last gather absorbs — co-tenants never pause.
+pub(crate) fn drive_stream_des(
     lanes: &mut [Lane<'_, '_>],
     arbiter: &dyn TenantArbiter,
     slots: usize,
-) -> Result<DriveStats, EqcError> {
-    prime(lanes)?;
-    let mut round: u64 = 0;
-    grant_inline(lanes, arbiter, slots, round)?;
-    round += 1;
-    while !lanes.iter().all(|l| l.done) {
+    clock: &mut DriveClock,
+    arrivals: &mut VecDeque<Arrival>,
+    on_retire: &mut dyn FnMut(usize, f64),
+) -> Result<(), EqcError> {
+    while !quiescent(lanes, arrivals) {
+        let next_event_s = next_lane(lanes)
+            .map(|t| lanes[t].offset_s + lanes[t].heap.peek().expect("head").completed.as_secs());
+        if let Some(a) = arrivals.front() {
+            if next_event_s.is_none_or(|e| a.at_s <= e) {
+                activate_due(lanes, arrivals, clock, on_retire)?;
+                grant_inline(lanes, arbiter, slots, clock.round)?;
+                clock.round += 1;
+                continue;
+            }
+        }
         let Some(t) = next_lane(lanes) else {
             return Err(EqcError::Internal(
                 "event queue drained before the epoch budget".into(),
             ));
         };
-        absorb_next(lanes, t, round)?;
-        if lanes.iter().all(|l| l.done) {
+        let completed = absorb_next(lanes, t, clock.round)?;
+        clock.now_s = clock.now_s.max(lanes[t].offset_s + completed.as_secs());
+        if lanes[t].done {
+            on_retire(t, clock.now_s);
+        }
+        if quiescent(lanes, arrivals) {
             break;
         }
-        grant_inline(lanes, arbiter, slots, round)?;
-        round += 1;
+        grant_inline(lanes, arbiter, slots, clock.round)?;
+        clock.round += 1;
     }
+    Ok(())
+}
+
+/// The reference fleet drive: a seeded multi-lane discrete-event loop.
+/// With one lane and the [`Unshared`] arbiter this is exactly the
+/// historical [`DiscreteEventExecutor`](crate::DiscreteEventExecutor)
+/// loop (prime, pop-earliest, absorb, re-dispatch the freed client) —
+/// which is why that executor now delegates here. A batch drive is the
+/// streaming stepper with every lane arriving at fleet time zero.
+pub(crate) fn drive_des(
+    lanes: &mut [Lane<'_, '_>],
+    arbiter: &dyn TenantArbiter,
+    slots: usize,
+) -> Result<DriveStats, EqcError> {
+    let mut clock = DriveClock::default();
+    let mut arrivals = arrivals_at_zero(lanes.len());
+    drive_stream_des(
+        lanes,
+        arbiter,
+        slots,
+        &mut clock,
+        &mut arrivals,
+        &mut |_, _| {},
+    )?;
     Ok(DriveStats {
-        grant_rounds: round,
+        grant_rounds: clock.round,
         lanes: lanes
             .iter_mut()
             .map(|l| std::mem::take(&mut l.counters))
@@ -793,6 +1020,27 @@ pub(crate) enum InflightBound {
     /// parameter is absent from the circuit returns at its submit time
     /// without touching the device).
     Exactly(f64),
+}
+
+impl InflightBound {
+    /// The bound shifted onto the fleet clock by a lane's arrival
+    /// offset (a zero offset is exact float identity, preserving the
+    /// batch replay).
+    fn offset_by(self, offset_s: f64) -> InflightBound {
+        match self {
+            InflightBound::Above(lb) => InflightBound::Above(lb + offset_s),
+            InflightBound::Exactly(t) => InflightBound::Exactly(t + offset_s),
+        }
+    }
+
+    /// The earliest completion the bound still allows, in the bound's
+    /// own clock.
+    fn floor_s(self) -> f64 {
+        match self {
+            InflightBound::Above(lb) => lb,
+            InflightBound::Exactly(t) => t,
+        }
+    }
 }
 
 /// Completion bound for a task dispatched at `submit` on a device with
@@ -871,14 +1119,51 @@ fn locate(offsets: &[usize], flat: usize) -> (usize, usize) {
 /// coordinator absorbs the globally earliest event only once the
 /// conservative queue-model lookahead proves no in-flight task can
 /// precede it — the [`crate::pool`] trick, generalized across lanes.
-/// Always returns pool telemetry, run outcome notwithstanding, and
-/// always hands every client back to its lane.
+/// A batch drive is the streaming stepper with every lane arriving at
+/// fleet time zero.
 pub(crate) fn drive_pooled(
     lanes: &mut [Lane<'_, '_>],
     arbiter: &dyn TenantArbiter,
     slots: usize,
     workers: usize,
 ) -> (Result<DriveStats, EqcError>, PoolTelemetry) {
+    let mut clock = DriveClock::default();
+    let mut arrivals = arrivals_at_zero(lanes.len());
+    let (driven, telemetry) = drive_stream_pooled(
+        lanes,
+        arbiter,
+        slots,
+        workers,
+        &mut clock,
+        &mut arrivals,
+        &mut |_, _| {},
+    );
+    (
+        driven.map(|()| DriveStats {
+            grant_rounds: clock.round,
+            lanes: lanes
+                .iter_mut()
+                .map(|l| std::mem::take(&mut l.counters))
+                .collect(),
+        }),
+        telemetry,
+    )
+}
+
+/// [`drive_stream_des`]'s pooled twin: spins up the worker scope, runs
+/// [`coordinate_stream`] to quiescence and hands every client back to
+/// its lane. Always returns pool telemetry, run outcome
+/// notwithstanding.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn drive_stream_pooled(
+    lanes: &mut [Lane<'_, '_>],
+    arbiter: &dyn TenantArbiter,
+    slots: usize,
+    workers: usize,
+    clock: &mut DriveClock,
+    arrivals: &mut VecDeque<Arrival>,
+    on_retire: &mut dyn FnMut(usize, f64),
+) -> (Result<(), EqcError>, PoolTelemetry) {
     // Flatten the lanes' clients into one mutex-guarded pool any worker
     // can execute against, remembering each lane's offset and queue
     // models (the lookahead inputs).
@@ -901,7 +1186,7 @@ pub(crate) fn drive_pooled(
     let runq: RunQueue<FleetTask> = RunQueue::new(workers);
     let (result_tx, result_rx) = mpsc::channel::<FleetMsg>();
 
-    let driven: Result<DriveStats, EqcError> = thread::scope(|scope| {
+    let driven: Result<(), EqcError> = thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
             let result_tx = result_tx.clone();
@@ -940,7 +1225,7 @@ pub(crate) fn drive_pooled(
         }
         drop(result_tx);
 
-        let outcome = coordinate(
+        let outcome = coordinate_stream(
             lanes,
             arbiter,
             slots,
@@ -948,6 +1233,9 @@ pub(crate) fn drive_pooled(
             &offsets,
             &runq,
             &result_rx,
+            clock,
+            arrivals,
+            on_retire,
         );
 
         runq.close();
@@ -957,15 +1245,7 @@ pub(crate) fn drive_pooled(
                 join_failure = Some(EqcError::Internal(format!("fleet worker {w} panicked")));
             }
         }
-        outcome.and_then(|rounds| {
-            join_failure.map_or(
-                Ok(DriveStats {
-                    grant_rounds: rounds,
-                    lanes: Vec::new(), // filled below, after clients return
-                }),
-                Err,
-            )
-        })
+        outcome.and_then(|()| join_failure.map_or(Ok(()), Err))
     });
 
     // Every client comes back to its lane on every path — poisoned
@@ -983,24 +1263,22 @@ pub(crate) fn drive_pooled(
         queue_depth_max,
         tasks_stolen,
     };
-    (
-        driven.map(|stats| DriveStats {
-            grant_rounds: stats.grant_rounds,
-            lanes: lanes
-                .iter_mut()
-                .map(|l| std::mem::take(&mut l.counters))
-                .collect(),
-        }),
-        telemetry,
-    )
+    (driven, telemetry)
 }
 
-/// The pooled coordinator: replays [`drive_des`]'s grant/absorb
-/// sequence exactly, blocking on worker arrivals only when the
-/// lookahead cannot yet prove the globally earliest event safe.
-/// Returns the grant-round count.
+/// The pooled coordinator: replays [`drive_stream_des`]'s
+/// activate/grant/absorb sequence exactly, blocking on worker arrivals
+/// only when the lookahead cannot yet prove the globally next step —
+/// be it a tenant activation or an event absorb — safe.
+///
+/// An arrival at fleet time `a` is processed before any event at `e`
+/// when `a <= e` (ties activate first), so activation is safe only
+/// once every known head and every live bound's floor sits at or past
+/// `a`; an absorb must additionally beat the arrival gate strictly.
+/// When neither is provable, a task is necessarily in the system, so
+/// receiving strictly grows what is known — no deadlock.
 #[allow(clippy::too_many_arguments)]
-fn coordinate(
+fn coordinate_stream(
     lanes: &mut [Lane<'_, '_>],
     arbiter: &dyn TenantArbiter,
     slots: usize,
@@ -1008,7 +1286,10 @@ fn coordinate(
     offsets: &[usize],
     runq: &RunQueue<FleetTask>,
     result_rx: &mpsc::Receiver<FleetMsg>,
-) -> Result<u64, EqcError> {
+    clock: &mut DriveClock,
+    arrivals: &mut VecDeque<Arrival>,
+    on_retire: &mut dyn FnMut(usize, f64),
+) -> Result<(), EqcError> {
     let total: usize = queue_models.iter().map(Vec::len).sum();
     let mut bounds: Vec<Option<InflightBound>> = vec![None; total];
     let mut in_system = 0usize;
@@ -1043,33 +1324,68 @@ fn coordinate(
         })
     };
 
-    prime(lanes)?;
-    let mut round: u64 = 0;
-    grant(lanes, &mut bounds, &mut in_system, round)?;
-    round += 1;
-    while !lanes.iter().all(|l| l.done) {
-        // Is the globally earliest queued event provably next in the
-        // fleet total order? (Bounds of completed lanes are ignored:
+    while !quiescent(lanes, arrivals) {
+        let next_event_s = next_lane(lanes)
+            .map(|t| lanes[t].offset_s + lanes[t].heap.peek().expect("head").completed.as_secs());
+        // Bound floors of live tasks on non-done lanes, globalized onto
+        // the fleet clock. (Bounds of completed lanes are ignored:
         // their remaining events are discarded on arrival, exactly as
         // the inline drive never pops a done lane's heap.)
-        let safe = next_lane(lanes).filter(|&t| {
-            let head = lanes[t].heap.peek().expect("next_lane implies a head");
-            let (completed, at) = (head.completed.as_secs(), (t, head.client));
+        let live_floor_ok = |gate: f64, lanes: &[Lane<'_, '_>]| {
             bounds.iter().enumerate().all(|(flat, b)| match b {
                 Some(bound) => {
-                    let bound_at = locate(offsets, flat);
-                    lanes[bound_at.0].done || precedes(completed, at, *bound, bound_at)
+                    let (bl, _) = locate(offsets, flat);
+                    lanes[bl].done || bound.offset_by(lanes[bl].offset_s).floor_s() >= gate
                 }
                 None => true,
             })
+        };
+
+        // Is the next pending arrival provably the globally next step?
+        // (Arrivals win ties with events, as in the inline stepper.)
+        let arrival_gate = arrivals.front().map(|a| a.at_s);
+        if let Some(at_s) = arrival_gate {
+            if next_event_s.is_none_or(|e| at_s <= e) && live_floor_ok(at_s, lanes) {
+                activate_due(lanes, arrivals, clock, on_retire)?;
+                grant(lanes, &mut bounds, &mut in_system, clock.round)?;
+                clock.round += 1;
+                continue;
+            }
+        }
+
+        // Is the globally earliest queued event provably next in the
+        // fleet total order? It must strictly beat the arrival gate
+        // and precede every completion a live bound still allows.
+        let safe = next_lane(lanes).filter(|&t| {
+            let head = lanes[t].heap.peek().expect("next_lane implies a head");
+            let completed = lanes[t].offset_s + head.completed.as_secs();
+            let at = (t, head.client);
+            arrival_gate.is_none_or(|a| completed < a)
+                && bounds.iter().enumerate().all(|(flat, b)| match b {
+                    Some(bound) => {
+                        let bound_at = locate(offsets, flat);
+                        lanes[bound_at.0].done
+                            || precedes(
+                                completed,
+                                at,
+                                bound.offset_by(lanes[bound_at.0].offset_s),
+                                bound_at,
+                            )
+                    }
+                    None => true,
+                })
         });
         if let Some(t) = safe {
-            absorb_next(lanes, t, round)?;
-            if lanes.iter().all(|l| l.done) {
+            let completed = absorb_next(lanes, t, clock.round)?;
+            clock.now_s = clock.now_s.max(lanes[t].offset_s + completed.as_secs());
+            if lanes[t].done {
+                on_retire(t, clock.now_s);
+            }
+            if quiescent(lanes, arrivals) {
                 break;
             }
-            grant(lanes, &mut bounds, &mut in_system, round)?;
-            round += 1;
+            grant(lanes, &mut bounds, &mut in_system, clock.round)?;
+            clock.round += 1;
             continue;
         }
         if in_system > 0 {
@@ -1102,17 +1418,18 @@ fn coordinate(
                     return Err(EqcError::Internal("fleet workers exited early".into()));
                 }
             }
-        } else if next_lane(lanes).is_none() {
+        } else if next_lane(lanes).is_none() && arrivals.is_empty() {
             return Err(EqcError::Internal(
                 "event queue drained before the epoch budget".into(),
             ));
         } else {
-            // Unreachable: an unsafe head implies a live bound, and a
-            // live bound implies a task in the system.
+            // Unreachable: with no tasks in the system every bound is
+            // clear, so a pending arrival or known head is provably
+            // next.
             return Err(EqcError::Internal("fleet lookahead wedged".into()));
         }
     }
-    Ok(round)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -112,22 +112,25 @@ pub mod stats;
 pub mod weighting;
 
 pub use client::{ClientNode, ClientTaskResult};
-pub use config::{EqcConfig, PolicyConfig, PoolConfig, TenantConfig};
+pub use config::{EqcConfig, PolicyConfig, PoolConfig, ServiceConfig, TenantConfig};
 pub use convergence::ConvergenceParams;
 pub use ensemble::{ideal_backend, Ensemble, EnsembleBuilder, EnsembleSession};
 pub use error::EqcError;
 pub use executor::{DiscreteEventExecutor, Executor, SequentialExecutor, ThreadedExecutor};
-pub use fleet::{FleetBuilder, FleetOutcome, FleetRuntime, TenantId};
+pub use fleet::{
+    FleetBuilder, FleetOutcome, FleetRuntime, FleetService, ServiceOutcome, TenantHandle, TenantId,
+};
 pub use master::{Assignment, MasterLoop};
 pub use policy::{
-    AlwaysHealthy, ArbiterContext, ClientHealth, Composed, Cyclic, DriftEviction, EquiEnsemble,
-    FairShare, FidelityWeighted, HealthContext, HealthVerdict, LeastLoaded, LookaheadLeastLoaded,
-    PriorityArbiter, ScheduleContext, Scheduler, StalenessDecay, TenantArbiter, TenantLoad,
-    Unshared, WeightContext, WeightDecision, Weighting,
+    AlwaysHealthy, ArbiterContext, ClientHealth, Composed, Cyclic, DriftEviction,
+    EarliestDeadlineFirst, EquiEnsemble, FairShare, FidelityWeighted, HealthContext, HealthVerdict,
+    LeastLoaded, LookaheadLeastLoaded, PriorityArbiter, ScheduleContext, Scheduler, StalenessDecay,
+    TenantArbiter, TenantLoad, Unshared, WeightContext, WeightDecision, Weighting,
 };
 pub use pool::PooledExecutor;
 pub use report::{
     ClientStats, EpochRecord, EvictionEvent, FleetTelemetry, MembershipChange, PolicyTelemetry,
-    PoolTelemetry, TenantTelemetry, TrainingReport, WeightProvenance, WeightSample,
+    PoolTelemetry, ServiceTelemetry, ServiceTenantRecord, TenantTelemetry, TrainingReport,
+    WeightProvenance, WeightSample,
 };
 pub use weighting::{normalize_weights, p_correct, WeightBounds};

@@ -181,6 +181,17 @@ impl MasterLoop {
         self.now
     }
 
+    /// Epochs recorded so far — the progress half of the deadline
+    /// introspection consumed by capacity arbiters.
+    pub fn epochs_completed(&self) -> usize {
+        self.epochs_recorded
+    }
+
+    /// The configured epoch budget this loop is training towards.
+    pub fn epoch_budget(&self) -> usize {
+        self.config.epochs
+    }
+
     /// Whether `client` is currently in the rotation (not evicted by
     /// the health policy). Executors must not dispatch to inactive
     /// clients.

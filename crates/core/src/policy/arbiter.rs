@@ -23,6 +23,12 @@
 //!   take all the capacity they can use; lower priorities get the
 //!   leftovers (and their starvation shows up in
 //!   [`TenantTelemetry`](crate::report::TenantTelemetry)).
+//! * [`EarliestDeadlineFirst`] — deadline/SLO-aware: tenants are served
+//!   in ascending slack (deadline budget minus elapsed virtual hours),
+//!   and the arbiter degrades to [`FairShare`] the moment the deadline
+//!   set becomes infeasible, so a blown SLO is time-sliced (and visible
+//!   as starvation telemetry) instead of cascading through every later
+//!   deadline.
 
 use std::fmt;
 
@@ -43,6 +49,13 @@ pub struct TenantLoad {
     pub ready: usize,
     /// Whether the tenant's training goal is already met.
     pub complete: bool,
+    /// Epochs still owed on the tenant's budget.
+    pub remaining_epochs: usize,
+    /// Virtual hours elapsed on the tenant's own clock.
+    pub elapsed_h: f64,
+    /// The tenant's deadline budget in virtual hours from its arrival;
+    /// `None` means no SLO.
+    pub deadline_h: Option<f64>,
 }
 
 impl TenantLoad {
@@ -54,6 +67,20 @@ impl TenantLoad {
     /// Whether the tenant wants capacity this round.
     pub fn wants_capacity(&self) -> bool {
         !self.complete && self.demand() > 0
+    }
+
+    /// Virtual hours left before the tenant's deadline; infinite when
+    /// no SLO was configured, negative once the budget is blown.
+    pub fn slack_h(&self) -> f64 {
+        self.deadline_h
+            .map_or(f64::INFINITY, |d| d - self.elapsed_h)
+    }
+
+    /// Whether the tenant still owes epochs but has exhausted its
+    /// deadline budget — the infeasibility signal
+    /// [`EarliestDeadlineFirst`] degrades on.
+    pub fn past_deadline(&self) -> bool {
+        self.remaining_epochs > 0 && self.slack_h() <= 0.0
     }
 }
 
@@ -230,6 +257,64 @@ impl TenantArbiter for PriorityArbiter {
     }
 }
 
+/// Deadline-aware capacity sharing: earliest deadline first, degrading
+/// to [`FairShare`] when the deadline set is infeasible.
+///
+/// Each tenant's urgency is its *slack* — the deadline budget from
+/// [`TenantConfig::deadline_h`](crate::config::TenantConfig::deadline_h)
+/// minus the virtual hours already elapsed on the tenant's own clock.
+/// Demanding tenants are served strictly in ascending slack (no-SLO
+/// tenants rank last with infinite slack; ties toward the lower tenant
+/// id), each taking as much capacity as it can use — classic EDF, which
+/// meets every deadline whenever any non-migrating policy can.
+///
+/// The moment any demanding tenant has blown its budget
+/// ([`TenantLoad::past_deadline`]), strict EDF would let the doomed
+/// tenant drag every later deadline down with it; instead the round is
+/// delegated verbatim to [`FairShare`], whose rotating guarantee bounds
+/// starvation and whose telemetry
+/// ([`TenantTelemetry::starved_rounds`]) is the safety signal that the
+/// degradation happened.
+///
+/// [`TenantTelemetry::starved_rounds`]: crate::report::TenantTelemetry::starved_rounds
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EarliestDeadlineFirst;
+
+impl TenantArbiter for EarliestDeadlineFirst {
+    fn name(&self) -> &'static str {
+        "edf"
+    }
+
+    fn allocate(&self, ctx: &ArbiterContext<'_>) -> Vec<usize> {
+        let mut caps = vec![0usize; ctx.loads.len()];
+        let mut order: Vec<usize> = (0..ctx.loads.len())
+            .filter(|&t| ctx.loads[t].wants_capacity())
+            .collect();
+        if order.is_empty() || ctx.total_slots == 0 {
+            return caps;
+        }
+        if order.iter().any(|&t| ctx.loads[t].past_deadline()) {
+            return FairShare.allocate(ctx);
+        }
+        order.sort_by(|&a, &b| {
+            ctx.loads[a]
+                .slack_h()
+                .total_cmp(&ctx.loads[b].slack_h())
+                .then(a.cmp(&b))
+        });
+        let mut remaining = ctx.total_slots;
+        for t in order {
+            if remaining == 0 {
+                break;
+            }
+            let grant = ctx.loads[t].demand().min(remaining);
+            caps[t] = grant;
+            remaining -= grant;
+        }
+        caps
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +327,17 @@ mod tests {
             in_flight: 0,
             ready: demand,
             complete: false,
+            remaining_epochs: if demand > 0 { 1 } else { 0 },
+            elapsed_h: 0.0,
+            deadline_h: None,
+        }
+    }
+
+    fn slo(tenant: usize, demand: usize, elapsed_h: f64, deadline_h: f64) -> TenantLoad {
+        TenantLoad {
+            elapsed_h,
+            deadline_h: Some(deadline_h),
+            ..load(tenant, 1.0, 0, demand)
         }
     }
 
@@ -314,9 +410,57 @@ mod tests {
     }
 
     #[test]
+    fn edf_serves_tightest_slack_first() {
+        // Slacks: t0 = 9, t1 = 2, t2 = inf (no SLO). Six slots cover
+        // t1 fully, then t0, and t2 gets the scraps.
+        let loads = [
+            slo(0, 4, 1.0, 10.0),
+            slo(1, 3, 8.0, 10.0),
+            load(2, 1.0, 0, 4),
+        ];
+        let caps = EarliestDeadlineFirst.allocate(&ctx(&loads, 6, 0));
+        assert_eq!(caps, vec![3, 3, 0]);
+    }
+
+    #[test]
+    fn edf_grants_full_demand_under_ample_capacity() {
+        let loads = [slo(0, 2, 0.0, 1.0), slo(1, 3, 0.0, 2.0)];
+        assert_eq!(
+            EarliestDeadlineFirst.allocate(&ctx(&loads, 8, 0)),
+            vec![2, 3]
+        );
+    }
+
+    #[test]
+    fn edf_degrades_to_fair_share_when_infeasible() {
+        // Tenant 1 blew its budget (elapsed 5 h of a 2 h deadline) with
+        // epochs still owed: the whole round must match FairShare
+        // exactly, rotation included.
+        let loads = [slo(0, 4, 0.0, 10.0), slo(1, 4, 5.0, 2.0)];
+        for round in 0..4 {
+            assert_eq!(
+                EarliestDeadlineFirst.allocate(&ctx(&loads, 3, round)),
+                FairShare.allocate(&ctx(&loads, 3, round)),
+                "infeasible round {round} must delegate to fair-share"
+            );
+        }
+        assert!(loads[1].past_deadline());
+        assert!(!loads[0].past_deadline());
+    }
+
+    #[test]
+    fn slack_is_infinite_without_an_slo() {
+        let l = load(0, 1.0, 0, 2);
+        assert_eq!(l.slack_h(), f64::INFINITY);
+        assert!(!l.past_deadline());
+        assert!(slo(0, 2, 3.0, 3.0).past_deadline(), "zero slack is blown");
+    }
+
+    #[test]
     fn names_are_stable() {
         assert_eq!(Unshared.name(), "unshared");
         assert_eq!(FairShare.name(), "fair-share");
         assert_eq!(PriorityArbiter.name(), "priority");
+        assert_eq!(EarliestDeadlineFirst.name(), "edf");
     }
 }

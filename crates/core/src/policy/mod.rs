@@ -14,7 +14,7 @@
 //! | task → client | [`Scheduler`] | [`Cyclic`] (historical first-free order), [`LeastLoaded`] (queue-aware, fed by [`qdevice::QueueModel`] estimates), [`LookaheadLeastLoaded`] (predictive: estimates at `now + expected_job_s`) |
 //! | gradient weight | [`Weighting`] | [`FidelityWeighted`] (the paper's Eq. 2/4 path, extracted verbatim), [`EquiEnsemble`] (uniform, arXiv:2509.17982), [`StalenessDecay`] (attenuates stale ASGD updates), [`Composed`] (multiplicative combinator, e.g. band rescale × decay) |
 //! | participation | [`ClientHealth`] | [`AlwaysHealthy`], [`DriftEviction`] (threshold eviction on degraded reported calibration, re-admission after recalibration) |
-//! | tenant → capacity | [`TenantArbiter`] | [`Unshared`] (sharing disabled — standalone-identical tenants), [`FairShare`] (weighted round-robin), [`PriorityArbiter`] (strict priority) |
+//! | tenant → capacity | [`TenantArbiter`] | [`Unshared`] (sharing disabled — standalone-identical tenants), [`FairShare`] (weighted round-robin), [`PriorityArbiter`] (strict priority), [`EarliestDeadlineFirst`] (deadline/SLO-aware, degrades to fair-share when infeasible) |
 //!
 //! The first three axes are consulted by the [`MasterLoop`] per tenant;
 //! the fourth is consulted by the multi-tenant
@@ -42,7 +42,8 @@ pub mod scheduler;
 pub mod weighting;
 
 pub use arbiter::{
-    ArbiterContext, FairShare, PriorityArbiter, TenantArbiter, TenantLoad, Unshared,
+    ArbiterContext, EarliestDeadlineFirst, FairShare, PriorityArbiter, TenantArbiter, TenantLoad,
+    Unshared,
 };
 pub use health::{AlwaysHealthy, ClientHealth, DriftEviction, HealthContext, HealthVerdict};
 pub use scheduler::{Cyclic, LeastLoaded, LookaheadLeastLoaded, ScheduleContext, Scheduler};

@@ -157,6 +157,94 @@ impl fmt::Display for FleetTelemetry {
     }
 }
 
+/// One tenant's lifecycle on the always-on
+/// [`FleetService`](crate::fleet::service::FleetService): when it
+/// arrived, when its last gather absorbed, and how it fared against its
+/// SLO.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceTenantRecord {
+    /// Tenant index in service admission order.
+    pub tenant: usize,
+    /// The tenant's label (defaults to `tenant<i>`).
+    pub label: String,
+    /// Arrival time on the fleet clock, virtual hours.
+    pub arrival_h: f64,
+    /// Retirement time on the fleet clock, virtual hours — the moment
+    /// the tenant's last gather absorbed.
+    pub retired_h: f64,
+    /// Configured deadline budget (virtual hours from arrival), if any.
+    pub deadline_h: Option<f64>,
+    /// Whether the deadline was met (`None` when no SLO was set):
+    /// makespan on the tenant's own clock within the budget.
+    pub deadline_met: Option<bool>,
+    /// Epochs the tenant completed before retiring.
+    pub epochs: usize,
+}
+
+/// Service-level telemetry of one
+/// [`FleetService`](crate::fleet::service::FleetService) lifetime:
+/// admissions, retirements, SLO outcomes, idle time and sustained
+/// throughput on the fleet clock.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceTelemetry {
+    /// Arbiter policy name.
+    pub arbiter: String,
+    /// Devices in the shared pool (= concurrent-task slots).
+    pub devices: usize,
+    /// Tenants admitted over the service lifetime.
+    pub admissions: usize,
+    /// Tenants retired (every admission retires by `close()`).
+    pub retirements: usize,
+    /// Tenants whose configured deadline was met.
+    pub deadline_hits: usize,
+    /// Tenants whose configured deadline was missed.
+    pub deadline_misses: usize,
+    /// Virtual hours the fleet sat empty between a retirement and the
+    /// next arrival.
+    pub idle_virtual_hours: f64,
+    /// Fleet-clock span from the first arrival to the last retirement,
+    /// virtual hours.
+    pub span_virtual_hours: f64,
+    /// Epochs completed across all tenants per fleet-clock virtual
+    /// hour — the service's sustained throughput.
+    pub sustained_epochs_per_hour: f64,
+    /// Per-tenant lifecycle records, indexed by admission order.
+    pub tenants: Vec<ServiceTenantRecord>,
+}
+
+impl fmt::Display for ServiceTelemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "service[{} devices, {} arbiter]: {} admitted, {} retired; \
+             {} deadline hits / {} misses; idle {:.2} h of {:.2} h span; \
+             sustained {:.2} epochs/h",
+            self.devices,
+            self.arbiter,
+            self.admissions,
+            self.retirements,
+            self.deadline_hits,
+            self.deadline_misses,
+            self.idle_virtual_hours,
+            self.span_virtual_hours,
+            self.sustained_epochs_per_hour
+        )?;
+        for t in &self.tenants {
+            write!(
+                f,
+                "  {}: arrived {:.2} h, retired {:.2} h, {} epochs",
+                t.label, t.arrival_h, t.retired_h, t.epochs
+            )?;
+            match (t.deadline_h, t.deadline_met) {
+                (Some(d), Some(true)) => writeln!(f, ", met {d:.2} h deadline")?,
+                (Some(d), _) => writeln!(f, ", missed {d:.2} h deadline")?,
+                _ => writeln!(f)?,
+            }
+        }
+        Ok(())
+    }
+}
+
 /// What happened to one client's ensemble membership, as recorded in
 /// [`PolicyTelemetry::eviction_log`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -476,5 +564,45 @@ mod tests {
         let s = sample_report().to_string();
         assert!(s.contains("epochs/h"));
         assert!(s.contains("error 1.250%"));
+    }
+
+    #[test]
+    fn service_telemetry_display_names_slo_outcomes() {
+        let t = ServiceTelemetry {
+            arbiter: "edf".into(),
+            devices: 4,
+            admissions: 2,
+            retirements: 2,
+            deadline_hits: 1,
+            deadline_misses: 1,
+            idle_virtual_hours: 0.5,
+            span_virtual_hours: 12.0,
+            sustained_epochs_per_hour: 0.66,
+            tenants: vec![
+                ServiceTenantRecord {
+                    tenant: 0,
+                    label: "met".into(),
+                    arrival_h: 0.0,
+                    retired_h: 4.0,
+                    deadline_h: Some(5.0),
+                    deadline_met: Some(true),
+                    epochs: 4,
+                },
+                ServiceTenantRecord {
+                    tenant: 1,
+                    label: "blown".into(),
+                    arrival_h: 1.0,
+                    retired_h: 12.0,
+                    deadline_h: Some(2.0),
+                    deadline_met: Some(false),
+                    epochs: 4,
+                },
+            ],
+        };
+        let s = t.to_string();
+        assert!(s.contains("1 deadline hits / 1 misses"));
+        assert!(s.contains("met 5.00 h deadline"));
+        assert!(s.contains("missed 2.00 h deadline"));
+        assert!(s.contains("idle 0.50 h"));
     }
 }

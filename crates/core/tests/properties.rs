@@ -4,7 +4,9 @@
 //! [`FairShare`] arbiter: conservation, demand caps, the no-starvation
 //! guarantee and convergence to the configured weight ratios.
 
-use eqc_core::policy::arbiter::{ArbiterContext, FairShare, TenantArbiter, TenantLoad};
+use eqc_core::policy::arbiter::{
+    ArbiterContext, EarliestDeadlineFirst, FairShare, TenantArbiter, TenantLoad,
+};
 use eqc_core::weighting::{bound_p_correct, normalize_weights, WeightBounds};
 use proptest::prelude::*;
 
@@ -111,6 +113,31 @@ fn arb_loads() -> impl Strategy<Value = Vec<TenantLoad>> {
                 in_flight: 0,
                 ready: demand,
                 complete: false,
+                remaining_epochs: if demand > 0 { 1 } else { 0 },
+                elapsed_h: 0.0,
+                deadline_h: None,
+            })
+            .collect()
+    })
+}
+
+/// Random SLO-annotated loads: every tenant demands capacity and the
+/// deadline set is *feasible* (no tenant past its deadline), so
+/// [`EarliestDeadlineFirst`] arbitrates by slack instead of degrading.
+fn arb_slo_loads() -> impl Strategy<Value = Vec<TenantLoad>> {
+    proptest::collection::vec((1usize..12, 0.0..48.0f64, 0u32..2), 2..6).prop_map(|ws| {
+        ws.into_iter()
+            .enumerate()
+            .map(|(tenant, (demand, slack, has_slo))| TenantLoad {
+                tenant,
+                weight: 1.0,
+                priority: 0,
+                in_flight: 0,
+                ready: demand,
+                complete: false,
+                remaining_epochs: 1,
+                elapsed_h: 2.0,
+                deadline_h: (has_slo == 1).then_some(2.0 + 0.5 + slack),
             })
             .collect()
     })
@@ -181,6 +208,9 @@ proptest! {
                 in_flight: 0,
                 ready: 4,
                 complete: false,
+                remaining_epochs: 1,
+                elapsed_h: 0.0,
+                deadline_h: None,
             })
             .collect();
         let mut granted = vec![0usize; n];
@@ -222,6 +252,9 @@ proptest! {
                 in_flight: 0,
                 ready: slots, // every tenant could absorb the whole fleet
                 complete: false,
+                remaining_epochs: 1,
+                elapsed_h: 0.0,
+                deadline_h: None,
             })
             .collect();
         let rounds = 64u64;
@@ -259,10 +292,18 @@ proptest! {
         slots in 4usize..64,
         round in 0u64..32,
     ) {
-        let loads = [
-            TenantLoad { tenant: 0, weight: wa as f64, priority: 0, in_flight: 0, ready: slots, complete: false },
-            TenantLoad { tenant: 1, weight: wb as f64, priority: 0, in_flight: 0, ready: slots, complete: false },
-        ];
+        let unslo = |tenant: usize, weight: f64, ready: usize| TenantLoad {
+            tenant,
+            weight,
+            priority: 0,
+            in_flight: 0,
+            ready,
+            complete: false,
+            remaining_epochs: 1,
+            elapsed_h: 0.0,
+            deadline_h: None,
+        };
+        let loads = [unslo(0, wa as f64, slots), unslo(1, wb as f64, slots)];
         let caps = FairShare.allocate(&ArbiterContext {
             loads: &loads,
             total_slots: slots,
@@ -273,6 +314,126 @@ proptest! {
                 caps[0] >= caps[1],
                 "heavier tenant got less: {:?} for weights ({}, {})",
                 caps, wa, wb
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// One [`EarliestDeadlineFirst`] allocation over a feasible
+    /// deadline set obeys the same conservation laws as fair share
+    /// (never more than the fleet, never beyond per-tenant demand,
+    /// work-conserving up to total demand) *and* is greedy by slack:
+    /// whenever a strictly looser tenant received anything, every
+    /// strictly tighter tenant already holds its whole demand.
+    #[test]
+    fn edf_allocation_is_sound_and_greedy_by_slack(
+        loads in arb_slo_loads(),
+        slots in 1usize..64,
+        round in 0u64..32,
+    ) {
+        let caps = EarliestDeadlineFirst.allocate(&ArbiterContext {
+            loads: &loads,
+            total_slots: slots,
+            round,
+        });
+        prop_assert_eq!(caps.len(), loads.len());
+        let granted: usize = caps.iter().sum();
+        let demand: usize = loads.iter().map(TenantLoad::demand).sum();
+        prop_assert!(granted <= slots, "over-allocated: {} > {}", granted, slots);
+        prop_assert_eq!(
+            granted,
+            slots.min(demand),
+            "not work-conserving: granted {} of min({}, {})",
+            granted, slots, demand
+        );
+        for (load, &cap) in loads.iter().zip(&caps) {
+            prop_assert!(cap <= load.demand(), "tenant {} over demand", load.tenant);
+        }
+        for tight in loads.iter().filter(|l| l.wants_capacity()) {
+            for loose in loads.iter().filter(|l| l.wants_capacity()) {
+                if tight.slack_h() < loose.slack_h() && caps[loose.tenant] > 0 {
+                    prop_assert_eq!(
+                        caps[tight.tenant],
+                        tight.demand(),
+                        "slack {:.2} h tenant {} shortchanged while slack {:.2} h tenant {} held {}",
+                        tight.slack_h(), tight.tenant, loose.slack_h(), loose.tenant,
+                        caps[loose.tenant]
+                    );
+                }
+            }
+        }
+    }
+
+    /// With capacity for everyone, a feasible deadline set is served in
+    /// full — no SLO tenant is throttled below its demand, so every
+    /// meetable deadline stays meetable.
+    #[test]
+    fn edf_serves_feasible_sets_in_full_under_capacity(
+        loads in arb_slo_loads(),
+        round in 0u64..32,
+        headroom in 0usize..16,
+    ) {
+        let demand: usize = loads.iter().map(TenantLoad::demand).sum();
+        let caps = EarliestDeadlineFirst.allocate(&ArbiterContext {
+            loads: &loads,
+            total_slots: demand + headroom,
+            round,
+        });
+        for (load, &cap) in loads.iter().zip(&caps) {
+            prop_assert_eq!(
+                cap,
+                load.demand(),
+                "tenant {} throttled to {} under ample capacity",
+                load.tenant, cap
+            );
+        }
+    }
+
+    /// An infeasible deadline set (some demanding tenant already past
+    /// its deadline) degrades to *exactly* the fair-share allocation —
+    /// round for round — which inherits the rotation guarantee: nobody
+    /// starves across a full rotation.
+    #[test]
+    fn edf_degrades_to_fair_share_when_infeasible(
+        base in arb_loads(),
+        slots in 1usize..8,
+        start in 0u64..16,
+    ) {
+        let loads: Vec<TenantLoad> = base
+            .into_iter()
+            .map(|mut l| {
+                if l.tenant == 0 {
+                    // Tenant 0 is hopeless: work left, deadline behind it.
+                    l.ready = l.ready.max(1);
+                    l.remaining_epochs = 1;
+                    l.elapsed_h = 5.0;
+                    l.deadline_h = Some(1.0);
+                }
+                l
+            })
+            .collect();
+        prop_assert!(loads.iter().any(TenantLoad::past_deadline));
+        let n = loads.len() as u64;
+        let mut granted = vec![0usize; loads.len()];
+        for round in start..start + n {
+            let ctx = ArbiterContext { loads: &loads, total_slots: slots, round };
+            let edf = EarliestDeadlineFirst.allocate(&ctx);
+            prop_assert_eq!(
+                &edf,
+                &FairShare.allocate(&ctx),
+                "infeasible round {} diverged from fair share", round
+            );
+            for (t, &c) in edf.iter().enumerate() {
+                granted[t] += c;
+            }
+        }
+        for load in loads.iter().filter(|l| l.wants_capacity()) {
+            prop_assert!(
+                granted[load.tenant] >= 1,
+                "tenant {} starved across a fallback rotation", load.tenant
             );
         }
     }

@@ -75,16 +75,18 @@ pub use vqa;
 /// [`FleetRuntime`](eqc_core::FleetRuntime) on a shared device pool).
 pub mod prelude {
     pub use eqc_core::policy::{
-        AlwaysHealthy, ClientHealth, Composed, Cyclic, DriftEviction, EquiEnsemble, FairShare,
-        FidelityWeighted, LeastLoaded, LookaheadLeastLoaded, PriorityArbiter, Scheduler,
-        StalenessDecay, TenantArbiter, Unshared, Weighting,
+        AlwaysHealthy, ClientHealth, Composed, Cyclic, DriftEviction, EarliestDeadlineFirst,
+        EquiEnsemble, FairShare, FidelityWeighted, LeastLoaded, LookaheadLeastLoaded,
+        PriorityArbiter, Scheduler, StalenessDecay, TenantArbiter, Unshared, Weighting,
     };
     pub use eqc_core::{
         ideal_backend, ClientNode, DiscreteEventExecutor, Ensemble, EnsembleBuilder,
         EnsembleSession, EqcConfig, EqcError, EvictionEvent, Executor, FleetBuilder, FleetOutcome,
-        FleetRuntime, FleetTelemetry, MembershipChange, PolicyConfig, PolicyTelemetry, PoolConfig,
-        PoolTelemetry, PooledExecutor, SequentialExecutor, TenantConfig, TenantId, TenantTelemetry,
-        ThreadedExecutor, TrainingReport, WeightBounds, WeightProvenance,
+        FleetRuntime, FleetService, FleetTelemetry, MembershipChange, PolicyConfig,
+        PolicyTelemetry, PoolConfig, PoolTelemetry, PooledExecutor, SequentialExecutor,
+        ServiceConfig, ServiceOutcome, ServiceTelemetry, ServiceTenantRecord, TenantConfig,
+        TenantHandle, TenantId, TenantTelemetry, ThreadedExecutor, TrainingReport, WeightBounds,
+        WeightProvenance,
     };
     pub use qcircuit::{Circuit, CircuitBuilder, Gate, Hamiltonian, PauliString};
     pub use qdevice::{catalog, DeviceSpec, QpuBackend, SimTime};

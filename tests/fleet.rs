@@ -264,6 +264,266 @@ fn tenants_carry_their_own_policy_stacks() {
 }
 
 #[test]
+fn streaming_service_at_t_zero_replays_the_batch_runtime() {
+    // The service acceptance oracle: a streaming run whose tenants all
+    // arrive at t = 0 must replay `FleetRuntime::run` byte for byte —
+    // reports and fleet telemetry — on both deterministic substrates.
+    // (Pool telemetry's steal counters are wall-clock scheduling noise,
+    // excluded here exactly as in the batch pooled-vs-DES test.)
+    let problem = QaoaProblem::maxcut_ring4();
+    let tenants = |t: u64| TenantConfig::new(cfg(3).with_seed(7 + t)).weight((t + 1) as f64);
+
+    for (name, batch_builder, service_builder) in [
+        ("discrete-event", builder(), builder()),
+        (
+            "pooled",
+            builder().pooled_workers(2),
+            builder().pooled_workers(2),
+        ),
+    ] {
+        let batch = {
+            let mut fleet = batch_builder.arbiter(FairShare).build().expect("builds");
+            for t in 0..3u64 {
+                fleet.admit(&problem, tenants(t)).expect("admits");
+            }
+            fleet.run().expect("runs")
+        };
+        let mut service = service_builder
+            .arbiter(FairShare)
+            .service()
+            .expect("builds");
+        let handles: Vec<TenantHandle> = (0..3u64)
+            .map(|t| service.admit(&problem, tenants(t)).expect("admits"))
+            .collect();
+        let streamed = service.close().expect("closes");
+        assert_eq!(
+            format!("{:?}", batch.reports),
+            format!("{:?}", streamed.fleet.reports),
+            "{name}: t = 0 streaming must replay the batch reports byte for byte"
+        );
+        assert_eq!(
+            format!("{:?}", batch.telemetry),
+            format!("{:?}", streamed.fleet.telemetry),
+            "{name}: t = 0 streaming must replay the batch telemetry byte for byte"
+        );
+        assert_eq!(batch.pool.is_some(), streamed.fleet.pool.is_some());
+        for (i, &h) in handles.iter().enumerate() {
+            assert_eq!(streamed.try_report(h).expect("fresh"), &batch.reports[i]);
+        }
+        assert_eq!(streamed.service.admissions, 3);
+        assert_eq!(streamed.service.retirements, 3);
+        assert_eq!(streamed.service.idle_virtual_hours, 0.0);
+        assert_eq!(streamed.service.deadline_hits, 0);
+        assert_eq!(streamed.service.deadline_misses, 0);
+    }
+}
+
+#[test]
+fn staggered_service_replays_and_pooled_matches_des() {
+    // Mid-run admissions: tenants arriving while co-tenants are in
+    // flight must still be deterministic (two DES runs byte-identical)
+    // and substrate-independent (pooled streaming replays DES exactly,
+    // service telemetry included).
+    let problem = QaoaProblem::maxcut_ring4();
+    let run = |fleet_builder: FleetBuilder| {
+        let mut service = fleet_builder.arbiter(FairShare).service().expect("builds");
+        for (t, arrival_h) in [(0u64, 0.0), (1, 0.3), (2, 0.7)] {
+            service
+                .admit_at(
+                    &problem,
+                    TenantConfig::new(cfg(3).with_seed(7 + t)).weight((t + 1) as f64),
+                    arrival_h,
+                )
+                .expect("admits");
+        }
+        service.close().expect("closes")
+    };
+    let des_a = run(builder());
+    let des_b = run(builder());
+    assert_eq!(des_a, des_b, "streaming replay must be deterministic");
+
+    let pooled = run(builder().pooled_workers(2));
+    assert_eq!(
+        des_a.fleet.reports, pooled.fleet.reports,
+        "pooled streaming reports replay DES"
+    );
+    assert_eq!(
+        des_a.fleet.telemetry, pooled.fleet.telemetry,
+        "pooled streaming fleet telemetry replays DES"
+    );
+    assert_eq!(
+        des_a.service, pooled.service,
+        "pooled streaming service telemetry replays DES"
+    );
+    assert!(pooled.fleet.pool.is_some());
+
+    // Arrivals actually landed mid-run: the last tenant arrived after
+    // the fleet clock started and everyone still trained to budget.
+    for record in &des_a.service.tenants {
+        assert_eq!(record.epochs, 3);
+        assert!(record.retired_h > record.arrival_h);
+    }
+    assert_eq!(des_a.service.tenants[2].arrival_h, 0.7);
+}
+
+#[test]
+fn edf_meets_deadlines_where_fair_share_misses() {
+    // The SLO fixture: tenant A's deadline sits between its solo
+    // makespan and its fair-share-pair makespan, so the deadline is
+    // capacity-feasible — EDF must meet it (A has the only finite
+    // slack, so it holds full demand) while FairShare, splitting
+    // capacity evenly, must miss it.
+    let problem = QaoaProblem::maxcut_ring4();
+    let a_cfg = || TenantConfig::new(cfg(4)).label("slo");
+    let b_cfg = || TenantConfig::new(cfg(4).with_seed(11)).label("besteffort");
+
+    let makespan = |arbiter: FairShare, pair: bool| {
+        let mut service = builder().arbiter(arbiter).service().expect("builds");
+        let a = service.admit(&problem, a_cfg()).expect("admits");
+        if pair {
+            service.admit(&problem, b_cfg()).expect("admits");
+        }
+        let outcome = service.close().expect("closes");
+        outcome.try_report(a).expect("fresh").total_hours
+    };
+    let solo_h = makespan(FairShare, false);
+    let fair_h = makespan(FairShare, true);
+    assert!(
+        fair_h > solo_h,
+        "fixture needs real contention: solo {solo_h:.3} h vs shared {fair_h:.3} h"
+    );
+    let deadline_h = (solo_h + fair_h) / 2.0;
+
+    let outcomes: Vec<ServiceOutcome> = [false, true]
+        .into_iter()
+        .map(|edf| {
+            let fleet_builder = if edf {
+                builder().arbiter(EarliestDeadlineFirst)
+            } else {
+                builder().arbiter(FairShare)
+            };
+            let mut service = fleet_builder.service().expect("builds");
+            let a = service
+                .admit(&problem, a_cfg().deadline(deadline_h))
+                .expect("admits");
+            service.admit(&problem, b_cfg()).expect("admits");
+            let outcome = service.close().expect("closes");
+            assert_eq!(
+                outcome.record(a).expect("recorded").deadline_h,
+                Some(deadline_h)
+            );
+            outcome
+        })
+        .collect();
+    let (fair, edf) = (&outcomes[0], &outcomes[1]);
+
+    assert_eq!(
+        (fair.service.deadline_hits, fair.service.deadline_misses),
+        (0, 1),
+        "fair share must miss the feasible deadline: {}",
+        fair.service
+    );
+    assert_eq!(
+        (edf.service.deadline_hits, edf.service.deadline_misses),
+        (1, 0),
+        "EDF must meet the feasible deadline: {}",
+        edf.service
+    );
+    // EDF grants the SLO tenant its full demand, so it replays its solo
+    // trajectory exactly; the best-effort tenant still completes.
+    assert_eq!(edf.fleet.reports[0].total_hours, solo_h);
+    assert_eq!(edf.fleet.reports[1].epochs, 4);
+    assert_eq!(edf.fleet.telemetry.arbiter, "edf");
+}
+
+#[test]
+fn service_idles_deterministically_between_arrivals() {
+    // An empty fleet fast-forwards to the next admission: the gap is
+    // accounted as idle hours, the fleet clock lands on the arrival,
+    // and tenants retired by earlier drains stay pollable.
+    let problem = QaoaProblem::maxcut_ring4();
+    let mut service = builder().service().expect("builds");
+    let first = service
+        .admit(&problem, TenantConfig::new(cfg(2)))
+        .expect("admits");
+    assert_eq!(service.drain().expect("drains"), vec![first]);
+    let resume_h = service.now_h();
+    assert!(resume_h > 0.0);
+
+    let second = service
+        .admit_at(&problem, TenantConfig::new(cfg(2)), resume_h + 5.0)
+        .expect("admits into the future");
+    assert!(service.poll(second).is_none());
+    assert_eq!(service.drain().expect("drains"), vec![second]);
+    assert!(service.poll(first).is_some(), "earlier retirees persist");
+
+    let outcome = service.close().expect("closes");
+    assert!(
+        (outcome.service.idle_virtual_hours - 5.0).abs() < 1e-6,
+        "the inter-arrival gap is idle time: {}",
+        outcome.service
+    );
+    assert!(outcome.service.span_virtual_hours > 5.0);
+    assert_eq!(
+        format!("{:?}", outcome.fleet.reports[0]),
+        format!("{:?}", outcome.fleet.reports[1]),
+        "same seed, own virtual clock: arrival time must not leak into the report"
+    );
+}
+
+#[test]
+fn stale_tenant_ids_surface_as_typed_errors() {
+    // `try_report` / `try_tenant` return the typed error the panicking
+    // accessors throw, so callers holding handles across batches can
+    // recover instead of crashing.
+    let problem = QaoaProblem::maxcut_ring4();
+    let mut fleet = builder().build().expect("builds");
+    let stale = fleet
+        .admit(&problem, TenantConfig::new(cfg(2)))
+        .expect("admits");
+    let first = fleet.run().expect("first batch");
+    assert!(first.try_report(stale).is_ok());
+
+    fleet
+        .admit(&problem, TenantConfig::new(cfg(2)))
+        .expect("admits again");
+    let second = fleet.run().expect("second batch");
+    assert_eq!(
+        second.try_report(stale).unwrap_err(),
+        EqcError::StaleTenant {
+            held: 0,
+            outcome: 1
+        }
+    );
+    assert_eq!(
+        second.try_tenant(stale).unwrap_err(),
+        EqcError::StaleTenant {
+            held: 0,
+            outcome: 1
+        }
+    );
+}
+
+#[test]
+fn des_builder_round_trips_the_substrate() {
+    // `pooled()` is no longer a one-way door: `.des()` undoes it, and
+    // the round-tripped fleet is byte-identical to one that never left
+    // the discrete-event substrate.
+    let problem = QaoaProblem::maxcut_ring4();
+    let run = |fleet_builder: FleetBuilder| {
+        let mut fleet = fleet_builder.build().expect("builds");
+        fleet
+            .admit(&problem, TenantConfig::new(cfg(3)))
+            .expect("admits");
+        fleet.run().expect("runs")
+    };
+    let des = run(builder());
+    let round_tripped = run(builder().pooled_workers(2).des());
+    assert_eq!(des, round_tripped, "des() must undo pooled_workers()");
+    assert!(round_tripped.pool.is_none(), "no pool telemetry on DES");
+}
+
+#[test]
 fn fleet_outlives_its_tenant_batches() {
     let problem = QaoaProblem::maxcut_ring4();
     let mut fleet = builder().build().expect("builds");
