@@ -8,7 +8,10 @@
 //! per-operator clones, per-shot map inserts) versus the engine path
 //! (per-cycle noise cache, compiled tape, scratch buffers), versus the
 //! client-style template path (compile once, rebind per job). The
-//! engine must clear >= 2x over legacy; the template path adds more.
+//! engine must clear >= 2x over legacy; the template path adds more,
+//! and the folded shift-pair path (one shared-prefix evolution per
+//! forward/backward pair) adds more still. `parallel_engine_*` pins
+//! the worker-team engine's overhead at sub-threshold widths.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use qcircuit::CircuitBuilder;
@@ -137,10 +140,20 @@ fn bench_job_throughput(c: &mut Criterion) {
         b.iter(|| engine.execute(&circuit, &active, 8192, SimTime::ZERO))
     });
 
+    // The engine with a worker team on the density kernels. The
+    // 4-qubit job sits below the parallel row-block threshold, so this
+    // doubles as the "parallelism is free when it cannot help" guard;
+    // wider jobs fan the row blocks out.
+    let mut parallel = backend(2);
+    parallel.set_parallelism(qsim::ParallelCtx::with_workers(4));
+    group.bench_function("parallel_engine_4q_vqe_8192", |b| {
+        b.iter(|| parallel.execute(&circuit, &active, 8192, SimTime::ZERO))
+    });
+
     // The client-style hot path: symbolic template compiled once per
-    // calibration cycle, parameter-shift pair rebound per job.
-    let mut with_templates = backend(2);
-    let mut template = CompiledTemplate::new(vqe_circuit_symbolic(4), active.to_vec());
+    // calibration cycle, parameter-shift pair rebound per job —
+    // unfolded (each run evolves its full tape) vs folded (the pair
+    // shares its prefix evolution).
     let params: Vec<f64> = (0..8).map(|i| 0.25 * i as f64 - 0.9).collect();
     let runs = [
         TemplateRun {
@@ -152,10 +165,20 @@ fn bench_job_throughput(c: &mut Criterion) {
             shift: Some((0, -vqa::gradient::SHIFT)),
         },
     ];
+    let mut unfolded = backend(2).without_shift_fold();
+    let mut template = CompiledTemplate::new(vqe_circuit_symbolic(4), active.to_vec());
     group.bench_function("template_shift_pair_8192", |b| {
         b.iter(|| {
             let mut refs = [&mut template];
-            with_templates.execute_templates(&mut refs, &runs, &params, 8192, SimTime::ZERO)
+            unfolded.execute_templates(&mut refs, &runs, &params, 8192, SimTime::ZERO)
+        })
+    });
+    let mut folded = backend(2);
+    let mut folded_template = CompiledTemplate::new(vqe_circuit_symbolic(4), active.to_vec());
+    group.bench_function("template_shift_pair_folded_8192", |b| {
+        b.iter(|| {
+            let mut refs = [&mut folded_template];
+            folded.execute_templates(&mut refs, &runs, &params, 8192, SimTime::ZERO)
         })
     });
     group.finish();

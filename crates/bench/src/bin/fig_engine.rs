@@ -1,0 +1,167 @@
+//! Engine-path perf trajectory on the Fig. 4 workload: legacy vs
+//! compiled engine vs worker-team engine vs folded shift pairs.
+//!
+//! The Fig. 4 harness is the densest engine-bound workload in the
+//! repo: 6 catalog devices x 7 calibration ages, one 5-qubit GHZ-class
+//! probe each. This harness re-runs that 42-job sweep as the *client*
+//! sees it — a compiled template executing parameter-shift pairs — once
+//! per execution path:
+//!
+//! * `legacy`   — the pre-engine reference (per-run bind + noise rebuild);
+//! * `engine`   — the compiled path with shift-pair folding disabled
+//!   (the PR-2 baseline, now with the fused sparse channel kernels);
+//! * `parallel` — the same plus a worker team on the density kernels
+//!   (the 5-qubit probe sits below the parallel row-block threshold, so
+//!   this row doubles as the "parallelism costs nothing when it cannot
+//!   help" guard);
+//! * `folded`   — shift-pair folding on: each forward/backward pair
+//!   evolves its shared tape prefix once.
+//!
+//! Every path must produce byte-identical counts (asserted). Emits one
+//! machine-readable JSON line (`{"bench":"fig_engine",...}`) for the
+//! perf-trajectory dashboard.
+//!
+//! Run with: `cargo run --release -p eqc-bench --bin fig_engine`
+
+use eqc_bench::{markdown_table, shots_or, write_csv};
+use qdevice::{catalog, CompiledTemplate, QpuBackend, SimTime, TemplateRun};
+use qsim::{Counts, ParallelCtx};
+use std::time::Instant;
+
+/// The 5-qubit GHZ-backbone probe with one symbolic RY per qubit, so
+/// every qubit contributes a parameter-shift pair.
+fn probe() -> qcircuit::Circuit {
+    let mut b = qcircuit::CircuitBuilder::new(5);
+    b.h(0);
+    for q in 0..4 {
+        b.cx(q, q + 1);
+    }
+    for q in 0..5 {
+        b.ry_sym(q, q);
+    }
+    b.build()
+}
+
+/// Gate indices of the symbolic RY layer (after H + 4 CX).
+const RY_GATES: [usize; 5] = [5, 6, 7, 8, 9];
+
+enum Mode {
+    Legacy,
+    Engine,
+    Parallel(usize),
+    Folded,
+}
+
+/// Runs the full 6-device x 7-age sweep under one execution path and
+/// returns (all counts in sweep order, elapsed ms).
+fn sweep(mode: &Mode, shots: usize) -> (Vec<Counts>, u128) {
+    let devices = ["lima", "x2", "belem", "quito", "manila", "bogota"];
+    let ages_h = [0.02, 4.0, 8.0, 12.0, 16.0, 20.0, 23.0];
+    let params = [0.3, -0.7, 1.1, 0.4, -0.2];
+    let runs: Vec<TemplateRun> = RY_GATES
+        .iter()
+        .flat_map(|&g| {
+            [
+                TemplateRun {
+                    template: 0,
+                    shift: Some((g, vqa::gradient::SHIFT)),
+                },
+                TemplateRun {
+                    template: 0,
+                    shift: Some((g, -vqa::gradient::SHIFT)),
+                },
+            ]
+        })
+        .collect();
+    let circuit = probe();
+    let mut backends: Vec<QpuBackend> = devices
+        .iter()
+        .map(|name| {
+            let spec = catalog::by_name(name).expect("catalog device");
+            let mut backend = spec.backend(0xF164 + name.len() as u64);
+            match *mode {
+                Mode::Legacy => backend = backend.with_legacy_execution().without_shift_fold(),
+                Mode::Engine => backend = backend.without_shift_fold(),
+                Mode::Parallel(workers) => {
+                    backend = backend.without_shift_fold();
+                    backend.set_parallelism(ParallelCtx::with_workers(workers));
+                }
+                Mode::Folded => {}
+            }
+            backend
+        })
+        .collect();
+    let mut all = Vec::new();
+    let start = Instant::now();
+    for backend in &mut backends {
+        let mut template = CompiledTemplate::new(circuit.clone(), vec![0, 1, 2, 3, 4]);
+        for &age in &ages_h {
+            let (counts, _) = backend.execute_templates(
+                &mut [&mut template],
+                &runs,
+                &params,
+                shots,
+                SimTime::from_hours(age),
+            );
+            all.extend(counts);
+        }
+    }
+    (all, start.elapsed().as_millis())
+}
+
+fn main() {
+    let shots = shots_or(8192);
+    let jobs = 6 * 7;
+    let runs_per_job = RY_GATES.len() * 2;
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(2);
+    let commit = std::env::var("GITHUB_SHA").unwrap_or_else(|_| "local".into());
+    println!(
+        "# Engine perf trajectory — Fig. 4 workload as shift-pair batches \
+         ({jobs} jobs x {runs_per_job} runs, {shots} shots)\n"
+    );
+
+    let (legacy_counts, legacy_ms) = sweep(&Mode::Legacy, shots);
+    let (engine_counts, engine_ms) = sweep(&Mode::Engine, shots);
+    let (parallel_counts, parallel_ms) = sweep(&Mode::Parallel(workers), shots);
+    let (folded_counts, folded_ms) = sweep(&Mode::Folded, shots);
+
+    // Every path is an oracle for every other path.
+    assert_eq!(legacy_counts, engine_counts, "engine diverged from legacy");
+    assert_eq!(engine_counts, parallel_counts, "worker team changed bits");
+    assert_eq!(engine_counts, folded_counts, "folding changed bits");
+
+    let per_run = |ms: u128| ms as f64 * 1000.0 / (jobs * runs_per_job) as f64;
+    let mut rows = Vec::new();
+    let mut csv = String::from("path,elapsed_ms,per_run_us,speedup_vs_legacy\n");
+    for (label, ms) in [
+        ("legacy", legacy_ms),
+        ("engine", engine_ms),
+        ("parallel", parallel_ms),
+        ("folded", folded_ms),
+    ] {
+        let speedup = legacy_ms as f64 / ms.max(1) as f64;
+        rows.push(vec![
+            label.to_string(),
+            format!("{ms}"),
+            format!("{:.1}", per_run(ms)),
+            format!("{speedup:.2}x"),
+        ]);
+        csv.push_str(&format!("{label},{ms},{:.3},{speedup:.4}\n", per_run(ms)));
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &["path", "wall ms", "per-run us", "speedup vs legacy"],
+            &rows
+        )
+    );
+    println!(
+        "{{\"bench\":\"fig_engine\",\"jobs\":{jobs},\"runs_per_job\":{runs_per_job},\
+         \"shots\":{shots},\"legacy_ms\":{legacy_ms},\"engine_ms\":{engine_ms},\
+         \"parallel_ms\":{parallel_ms},\"folded_ms\":{folded_ms},\"workers\":{workers},\
+         \"commit\":\"{commit}\"}}"
+    );
+    write_csv("fig_engine.csv", &csv);
+}

@@ -14,7 +14,10 @@
 //! Run with: `cargo run --release -p eqc-bench --bin fig_fleet`
 //!
 //! Environment:
-//! * `EQC_FLEET_CLIENTS` — run a single fleet size instead of 8/64/256;
+//! * `EQC_FLEET_CLIENTS` — run a single fleet size instead of 8/64/256
+//!   (the CI mega-smoke passes 1024; at 512+ clients the
+//!   thread-per-client substrate is skipped and its JSON field is
+//!   `null`);
 //! * `EQC_EPOCHS` / `EQC_SHOTS` — the usual budget overrides.
 //!
 //! Emits one machine-readable JSON line per size
@@ -51,10 +54,15 @@ fn main() {
         let ensemble = fleet_ensemble(n, cfg);
         let (des, des_ms) = timed(|| ensemble.train(&problem).expect("DES trains"));
 
-        let (threaded, threaded_ms) = timed(|| {
-            ensemble
-                .train_with(&ThreadedExecutor::new(), &problem)
-                .expect("threaded trains")
+        // Thread-per-client stops being a sane substrate somewhere
+        // around a thousand OS threads; the mega-fleet rows measure DES
+        // vs the bounded pool only.
+        let threaded = (n < 512).then(|| {
+            timed(|| {
+                ensemble
+                    .train_with(&ThreadedExecutor::new(), &problem)
+                    .expect("threaded trains")
+            })
         });
 
         let pooled_exec = PooledExecutor::new();
@@ -73,11 +81,12 @@ fn main() {
             "deterministic pool must replay the DES report at {n} clients"
         );
 
-        for (label, report, threads, ms) in [
-            ("des", &des, 1usize, des_ms),
-            ("threaded", &threaded, n, threaded_ms),
-            ("pooled", &pooled, telemetry.workers_spawned, pooled_ms),
-        ] {
+        let mut table_rows = vec![("des", &des, 1usize, des_ms)];
+        if let Some((ref threaded, threaded_ms)) = threaded {
+            table_rows.push(("threaded", threaded, n, threaded_ms));
+        }
+        table_rows.push(("pooled", &pooled, telemetry.workers_spawned, pooled_ms));
+        for (label, report, threads, ms) in table_rows {
             rows.push(vec![
                 n.to_string(),
                 label.to_string(),
@@ -93,13 +102,22 @@ fn main() {
             ));
         }
         println!(
-            "fleet[{n}]: pool ran {} workers (threaded spawned {n} threads), \
-             queue depth <= {}, {} tasks stolen",
-            telemetry.workers_spawned, telemetry.queue_depth_max, telemetry.tasks_stolen
+            "fleet[{n}]: pool ran {} workers{}, queue depth <= {}, {} tasks stolen",
+            telemetry.workers_spawned,
+            if threaded.is_some() {
+                format!(" (threaded spawned {n} threads)")
+            } else {
+                " (thread-per-client skipped at this width)".to_string()
+            },
+            telemetry.queue_depth_max,
+            telemetry.tasks_stolen
         );
+        let threaded_ms_json = threaded
+            .as_ref()
+            .map_or("null".to_string(), |&(_, ms)| ms.to_string());
         println!(
             "{{\"bench\":\"fleet{n}\",\"clients\":{n},\"epochs\":{epochs},\"shots\":{shots},\
-             \"des_ms\":{des_ms},\"threaded_ms\":{threaded_ms},\"pooled_ms\":{pooled_ms},\
+             \"des_ms\":{des_ms},\"threaded_ms\":{threaded_ms_json},\"pooled_ms\":{pooled_ms},\
              \"workers\":{},\"stolen\":{},\"commit\":\"{commit}\"}}",
             telemetry.workers_spawned, telemetry.tasks_stolen
         );

@@ -142,6 +142,18 @@ impl ClientNode {
         self.templates.iter().map(|t| t.compiled.cache_hits()).sum()
     }
 
+    /// Forward/backward shift pairs the backend evolved over a shared
+    /// tape prefix (engine telemetry; does not affect results).
+    pub fn folded_pairs(&self) -> u64 {
+        self.backend.folded_pairs()
+    }
+
+    /// Lanes of engine data-parallelism the backend simulates with (1
+    /// when serial; does not affect results).
+    pub fn sim_workers(&self) -> usize {
+        self.backend.sim_workers()
+    }
+
     /// Borrows the backend (e.g. for calibration queries in reports).
     pub fn backend(&self) -> &QpuBackend {
         &self.backend

@@ -3,7 +3,50 @@
 use crate::error::EqcError;
 use crate::policy::{AlwaysHealthy, ClientHealth, Cyclic, FidelityWeighted, Scheduler, Weighting};
 use crate::weighting::WeightBounds;
+use qsim::ParallelCtx;
 use std::sync::Arc;
+
+/// Data-parallelism of each client's simulation engines.
+///
+/// Controls the [`qsim::WorkerTeam`] a session attaches to its
+/// backends: density-kernel row blocks, Kraus accumulation and
+/// independent trajectories fan out over the team. Results are
+/// **byte-identical at any setting** — the engines partition work, never
+/// reorder arithmetic or RNG draws — so this is purely a wall-clock
+/// knob. It pays off from roughly six active qubits upward (below that
+/// the kernels stay serial regardless) and for trajectory simulation;
+/// the paper's 4–5 qubit workloads gain little.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SimParallelism {
+    /// Everything on the submitting thread (the default).
+    #[default]
+    Serial,
+    /// A worker team with this many total lanes (the submitting thread
+    /// plus `n - 1` spawned workers). `Workers(1)` is equivalent to
+    /// [`SimParallelism::Serial`].
+    Workers(usize),
+}
+
+impl SimParallelism {
+    /// Builds the parallel context this setting describes. Each call
+    /// spawns a fresh team for [`SimParallelism::Workers`]; callers
+    /// build one per session and share it across that session's
+    /// backends.
+    pub fn build_ctx(&self) -> ParallelCtx {
+        match *self {
+            SimParallelism::Serial => ParallelCtx::serial(),
+            SimParallelism::Workers(n) => ParallelCtx::with_workers(n),
+        }
+    }
+
+    /// Lanes of parallelism this setting resolves to (1 when serial).
+    pub fn lanes(&self) -> usize {
+        match *self {
+            SimParallelism::Serial => 1,
+            SimParallelism::Workers(n) => n.max(1),
+        }
+    }
+}
 
 /// Configuration of an EQC (or baseline) training run.
 ///
@@ -29,6 +72,9 @@ pub struct EqcConfig {
     /// completed task crosses it (the paper terminates single-machine
     /// experiments "beyond 2-weeks of running time", Fig. 6).
     pub max_virtual_hours: Option<f64>,
+    /// Data-parallelism of each client's simulation engines (default
+    /// serial; byte-identical results at any setting).
+    pub sim_parallelism: SimParallelism,
 }
 
 impl EqcConfig {
@@ -43,6 +89,7 @@ impl EqcConfig {
             seed: 7,
             gradient_clip: None,
             max_virtual_hours: None,
+            sim_parallelism: SimParallelism::Serial,
         }
     }
 
@@ -56,6 +103,7 @@ impl EqcConfig {
             seed: 7,
             gradient_clip: None,
             max_virtual_hours: None,
+            sim_parallelism: SimParallelism::Serial,
         }
     }
 
@@ -95,6 +143,13 @@ impl EqcConfig {
         self
     }
 
+    /// Builder-style engine-parallelism override (see
+    /// [`SimParallelism`]; byte-identical results at any setting).
+    pub fn with_sim_parallelism(mut self, parallelism: SimParallelism) -> Self {
+        self.sim_parallelism = parallelism;
+        self
+    }
+
     /// Validates ranges; called by [`Ensemble::builder`] and every
     /// session constructor before training starts.
     ///
@@ -128,6 +183,11 @@ impl EqcConfig {
                     "gradient clip must be positive, got {c}"
                 )));
             }
+        }
+        if self.sim_parallelism == SimParallelism::Workers(0) {
+            return Err(EqcError::InvalidConfig(
+                "engine worker-team lanes must be positive".into(),
+            ));
         }
         if let Some(h) = self.max_virtual_hours {
             if h.is_nan() || h <= 0.0 {

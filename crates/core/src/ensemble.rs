@@ -39,6 +39,7 @@ use crate::policy::health::HealthProbe;
 use crate::policy::{ClientHealth, Scheduler, Weighting};
 use crate::report::TrainingReport;
 use qdevice::{Calibration, DriftModel, QpuBackend, QueueModel};
+use qsim::ParallelCtx;
 use transpile::Topology;
 use vqa::VqaProblem;
 
@@ -128,17 +129,22 @@ pub(crate) fn resolve_devices(
 
 /// Transpiles every template of `problem` for every device slot — the
 /// client-construction path shared by [`Ensemble::session`] and
-/// [`FleetRuntime::admit`](crate::fleet::FleetRuntime::admit).
+/// [`FleetRuntime::admit`](crate::fleet::FleetRuntime::admit). Every
+/// backend's simulation engines attach to `par`'s worker team (one
+/// shared team per session; results are byte-identical at any worker
+/// count).
 pub(crate) fn clients_for(
     devices: &[Device],
     problem: &dyn VqaProblem,
+    par: &ParallelCtx,
 ) -> Result<Vec<ClientNode>, EqcError> {
     let mut clients = Vec::with_capacity(devices.len());
     for (i, device) in devices.iter().enumerate() {
-        let backend = match device {
+        let mut backend = match device {
             Device::Backend(b) => (**b).clone(),
             Device::Ideal { seed } => ideal_backend(problem.num_qubits(), *seed),
         };
+        backend.set_parallelism(par.clone());
         let device_name = backend.name().to_string();
         let client =
             ClientNode::new(i, backend, problem).map_err(|source| EqcError::Transpile {
@@ -221,7 +227,8 @@ impl Ensemble {
         if problem.num_params() == 0 || problem.tasks().is_empty() {
             return Err(EqcError::EmptyProblem(problem.name()));
         }
-        let clients = clients_for(&self.devices, problem)?;
+        let par = self.config.sim_parallelism.build_ctx();
+        let clients = clients_for(&self.devices, problem, &par)?;
         EnsembleSession::assemble(problem, self.config, self.policies.clone(), clients)
     }
 
@@ -504,6 +511,28 @@ impl<'p> EnsembleSession<'p> {
     /// the final report sees their counters.
     pub fn put_clients(&mut self, clients: Vec<ClientNode>) {
         self.clients = clients;
+    }
+
+    /// Engine-side telemetry across this session's clients: lanes of
+    /// data-parallelism, shift pairs folded over a shared prefix, and
+    /// jobs executed. Lives beside the report (see
+    /// [`EngineTelemetry`](crate::report::EngineTelemetry)) because the
+    /// report itself is byte-identical at any engine setting.
+    pub fn engine_telemetry(&self) -> crate::report::EngineTelemetry {
+        crate::report::EngineTelemetry {
+            workers: self
+                .clients
+                .iter()
+                .map(ClientNode::sim_workers)
+                .max()
+                .unwrap_or(1),
+            folded_pairs: self.clients.iter().map(ClientNode::folded_pairs).sum(),
+            jobs: self
+                .clients
+                .iter()
+                .map(|c| c.backend().jobs_executed())
+                .sum(),
+        }
     }
 
     /// Assembles the training report under the given trainer label.

@@ -287,7 +287,8 @@ impl<'p> FleetService<'p> {
         if problem.num_params() == 0 || problem.tasks().is_empty() {
             return Err(EqcError::EmptyProblem(problem.name()));
         }
-        let clients = clients_for(&self.devices, problem)?;
+        let par = tenant.config.sim_parallelism.build_ctx();
+        let clients = clients_for(&self.devices, problem, &par)?;
         let probes = probes_for(&tenant.policies, &clients);
         let master = MasterLoop::new(
             problem,

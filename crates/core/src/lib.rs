@@ -112,7 +112,9 @@ pub mod stats;
 pub mod weighting;
 
 pub use client::{ClientNode, ClientTaskResult};
-pub use config::{EqcConfig, PolicyConfig, PoolConfig, ServiceConfig, TenantConfig};
+pub use config::{
+    EqcConfig, PolicyConfig, PoolConfig, ServiceConfig, SimParallelism, TenantConfig,
+};
 pub use convergence::ConvergenceParams;
 pub use ensemble::{ideal_backend, Ensemble, EnsembleBuilder, EnsembleSession};
 pub use error::EqcError;
@@ -129,8 +131,8 @@ pub use policy::{
 };
 pub use pool::PooledExecutor;
 pub use report::{
-    ClientStats, EpochRecord, EvictionEvent, FleetTelemetry, MembershipChange, PolicyTelemetry,
-    PoolTelemetry, ServiceTelemetry, ServiceTenantRecord, TenantTelemetry, TrainingReport,
-    WeightProvenance, WeightSample,
+    ClientStats, EngineTelemetry, EpochRecord, EvictionEvent, FleetTelemetry, MembershipChange,
+    PolicyTelemetry, PoolTelemetry, ServiceTelemetry, ServiceTenantRecord, TenantTelemetry,
+    TrainingReport, WeightProvenance, WeightSample,
 };
 pub use weighting::{normalize_weights, p_correct, WeightBounds};

@@ -18,8 +18,10 @@
 //!   foreign shard; the [`PoolTelemetry`] counters (`workers_spawned`,
 //!   `queue_depth_max`, `tasks_stolen`) expose the pool's behaviour
 //!   after a run. The queue is generic over its task type: it started
-//!   as this executor's private scaffolding and is now the persistent
-//!   substrate under the multi-tenant [`crate::fleet`] runtime too.
+//!   as this executor's private scaffolding and now lives in
+//!   [`qsim::parallel`] as the workspace-wide substrate under the
+//!   multi-tenant [`crate::fleet`] runtime and the data-parallel
+//!   engines too.
 //! * **Clients behind mutexes** — the coordinator keeps at most one
 //!   task per client in flight, so the per-client locks are never
 //!   contended; they exist to let any worker execute any client's task.
@@ -64,10 +66,10 @@ use crate::master::Assignment;
 use crate::policy::arbiter::Unshared;
 use crate::report::{PoolTelemetry, TrainingReport};
 use qdevice::SimTime;
-use std::collections::VecDeque;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{mpsc, Condvar, Mutex};
+use std::sync::{mpsc, Mutex};
 use std::thread;
+
+pub(crate) use qsim::parallel::{drain_tasks, RunQueue};
 
 /// One dispatched task travelling through the arrival-mode run-queue.
 struct PoolTask {
@@ -88,119 +90,6 @@ struct TaskDone {
 enum WorkerMsg {
     Done(TaskDone),
     Panicked(usize),
-}
-
-/// All mutable run-queue state, guarded by one mutex: queue operations
-/// are microseconds against task executions of milliseconds, so a
-/// single lock is uncontended in practice and keeps the
-/// steal/shutdown/drain invariants trivially correct.
-struct ShardState<T> {
-    queues: Vec<VecDeque<T>>,
-    queued: usize,
-    shutdown: bool,
-    depth_max: usize,
-    stolen: u64,
-}
-
-/// The sharded, work-stealing run-queue shared by a coordinator and its
-/// workers — generic over the task type so the single-session pool and
-/// the multi-tenant fleet ride the same substrate.
-pub(crate) struct RunQueue<T> {
-    state: Mutex<ShardState<T>>,
-    signal: Condvar,
-}
-
-impl<T> RunQueue<T> {
-    pub(crate) fn new(workers: usize) -> Self {
-        RunQueue {
-            state: Mutex::new(ShardState {
-                queues: (0..workers).map(|_| VecDeque::new()).collect(),
-                queued: 0,
-                shutdown: false,
-                depth_max: 0,
-                stolen: 0,
-            }),
-            signal: Condvar::new(),
-        }
-    }
-
-    /// Queues a task on the shard `key % workers` — callers key by
-    /// client id so a client's jobs stay cache-warm on one worker.
-    pub(crate) fn push(&self, key: usize, task: T) {
-        let mut s = self.state.lock().expect("run-queue lock");
-        let shard = key % s.queues.len();
-        s.queues[shard].push_back(task);
-        s.queued += 1;
-        s.depth_max = s.depth_max.max(s.queued);
-        self.signal.notify_one();
-    }
-
-    /// Blocks for the next task: own shard first, else steal from the
-    /// deepest foreign shard. Returns `None` only after [`Self::close`]
-    /// **and** a fully drained queue — every dispatched task executes,
-    /// which the deterministic mode's client-counter equivalence relies
-    /// on.
-    pub(crate) fn pop(&self, worker: usize) -> Option<T> {
-        let mut s = self.state.lock().expect("run-queue lock");
-        loop {
-            if s.queued > 0 {
-                if let Some(t) = s.queues[worker].pop_front() {
-                    s.queued -= 1;
-                    return Some(t);
-                }
-                let victim = (0..s.queues.len())
-                    .filter(|&i| i != worker)
-                    .max_by_key(|&i| s.queues[i].len())
-                    .expect("queued > 0 implies a non-empty shard");
-                let t = s.queues[victim]
-                    .pop_back()
-                    .expect("deepest shard is non-empty under the lock");
-                s.queued -= 1;
-                s.stolen += 1;
-                return Some(t);
-            }
-            if s.shutdown {
-                return None;
-            }
-            s = self.signal.wait(s).expect("run-queue lock");
-        }
-    }
-
-    /// Signals workers to exit once the queue drains.
-    pub(crate) fn close(&self) {
-        self.state.lock().expect("run-queue lock").shutdown = true;
-        self.signal.notify_all();
-    }
-
-    /// `(queue_depth_max, tasks_stolen)` counters.
-    pub(crate) fn counters(&self) -> (usize, u64) {
-        let s = self.state.lock().expect("run-queue lock");
-        (s.depth_max, s.stolen)
-    }
-}
-
-/// The worker protocol shared by the arrival-mode pool and the pooled
-/// fleet substrate: pop tasks until the queue closes, execute each
-/// under panic containment, and report every outcome. The coordinator
-/// may already have failed and stopped listening, so sends are
-/// best-effort and the drain continues regardless — every dispatched
-/// task executes, which the deterministic client-counter equivalence
-/// relies on.
-pub(crate) fn drain_tasks<T, M>(
-    worker: usize,
-    runq: &RunQueue<T>,
-    result_tx: &mpsc::Sender<M>,
-    execute: impl Fn(&T) -> ClientTaskResult,
-    done: impl Fn(&T, ClientTaskResult) -> M,
-    panicked: impl Fn(&T) -> M,
-) {
-    while let Some(task) = runq.pop(worker) {
-        let msg = match catch_unwind(AssertUnwindSafe(|| execute(&task))) {
-            Ok(result) => done(&task, result),
-            Err(_) => panicked(&task),
-        };
-        let _ = result_tx.send(msg);
-    }
 }
 
 /// A fourth [`Executor`]: a bounded worker pool with a sharded,

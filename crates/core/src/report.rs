@@ -67,6 +67,35 @@ impl fmt::Display for PoolTelemetry {
     }
 }
 
+/// Engine-side counters of one session's clients.
+///
+/// Like [`PoolTelemetry`], engine telemetry lives *beside* the
+/// [`TrainingReport`]: the report is byte-identical at any
+/// [`SimParallelism`](crate::SimParallelism) setting and with or
+/// without shift-pair folding, while these counters describe the
+/// simulation machinery. Read with
+/// [`EnsembleSession::engine_telemetry`](crate::EnsembleSession::engine_telemetry).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineTelemetry {
+    /// Lanes of engine data-parallelism per client (1 when serial).
+    pub workers: usize,
+    /// Forward/backward parameter-shift pairs whose shared tape prefix
+    /// was evolved once instead of twice, summed over clients.
+    pub folded_pairs: u64,
+    /// Jobs executed across all client backends.
+    pub jobs: u64,
+}
+
+impl fmt::Display for EngineTelemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} engine lanes, {} folded pairs, {} jobs",
+            self.workers, self.folded_pairs, self.jobs
+        )
+    }
+}
+
 /// Per-tenant counters of one multi-tenant
 /// [`FleetRuntime`](crate::fleet::FleetRuntime) run.
 ///

@@ -28,7 +28,7 @@ use crate::drift::DriftModel;
 use crate::noise_model::{reference, NoiseModel, QubitNoise};
 use crate::queue::QueueModel;
 use qcircuit::Circuit;
-use qsim::{Counts, DensityEngine, DensityMatrix, TrajectoryEngine};
+use qsim::{Counts, DensityEngine, DensityMatrix, ParallelCtx, TrajectoryEngine};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -191,6 +191,14 @@ pub struct QpuBackend {
     noise_cache: NoiseCache,
     density_engine: DensityEngine,
     trajectory_engine: TrajectoryEngine,
+    /// Fold forward/backward shift pairs over their shared tape prefix
+    /// in [`QpuBackend::execute_templates`] (density engine only).
+    shift_fold: bool,
+    /// Shift pairs folded so far (telemetry).
+    folded_pairs: u64,
+    /// Per-run distribution scratch for the two-phase batched engine
+    /// path (reused across calls).
+    run_probs: Vec<Vec<f64>>,
 }
 
 impl QpuBackend {
@@ -238,6 +246,9 @@ impl QpuBackend {
             noise_cache: NoiseCache::default(),
             density_engine: DensityEngine::new(),
             trajectory_engine: TrajectoryEngine::new(1),
+            shift_fold: true,
+            folded_pairs: 0,
+            run_probs: Vec::new(),
         }
     }
 
@@ -255,6 +266,35 @@ impl QpuBackend {
     pub fn with_legacy_execution(mut self) -> Self {
         self.legacy_execution = true;
         self
+    }
+
+    /// Disables shared-prefix shift-pair folding in
+    /// [`QpuBackend::execute_templates`] (builder style). Folding is
+    /// byte-identical to the unfolded path; the toggle exists so
+    /// equivalence tests and benchmarks can compare both.
+    pub fn without_shift_fold(mut self) -> Self {
+        self.shift_fold = false;
+        self
+    }
+
+    /// Attaches a parallel context to both simulation engines: density
+    /// kernel passes and independent trajectories fan out over its
+    /// worker team. Serial by default; results are byte-identical at
+    /// any worker count.
+    pub fn set_parallelism(&mut self, ctx: ParallelCtx) {
+        self.density_engine.set_parallel_ctx(ctx.clone());
+        self.trajectory_engine.set_parallel_ctx(ctx);
+    }
+
+    /// Lanes of engine parallelism (1 when serial).
+    pub fn sim_workers(&self) -> usize {
+        self.density_engine.parallel_ctx().workers()
+    }
+
+    /// Forward/backward shift pairs evolved over a shared tape prefix
+    /// so far (telemetry for [`QpuBackend::execute_templates`]).
+    pub fn folded_pairs(&self) -> u64 {
+        self.folded_pairs
     }
 
     /// Overrides the maintenance downtime (builder style).
@@ -481,7 +521,7 @@ impl QpuBackend {
             }
             SimulatorKind::Trajectories(n) => {
                 trajectory_engine.set_trajectories(n);
-                trajectory_engine.run_program(&program, shots, rng)
+                trajectory_engine.run_program_par(&program, shots, rng)
             }
         };
         (counts, program.duration_ns())
@@ -674,6 +714,105 @@ impl QpuBackend {
                 last_duration_ns = duration;
                 all_counts.push(counts);
             }
+        } else if self.shift_fold && self.simulator == SimulatorKind::Density {
+            // The folded two-phase path. Density evolution is RNG-free,
+            // so the batch splits into an evolution phase (where a
+            // forward/backward shift pair evolves its shared tape prefix
+            // once) and a sampling phase that consumes the RNG in run
+            // order — preserving the exact draw sequence, cache-counter
+            // sequence and `f64` accumulation order of the run-at-a-time
+            // path above.
+            let token = self.noise_token(started);
+            // Greedy pair matching: a run shifted by `(g, d)` folds with
+            // the first later unpaired run of the same template shifted
+            // by `(g, -d)`.
+            let mut partner: Vec<Option<usize>> = vec![None; runs.len()];
+            let mut paired = vec![false; runs.len()];
+            for i in 0..runs.len() {
+                if paired[i] {
+                    continue;
+                }
+                if let Some((g, d)) = runs[i].shift {
+                    if let Some(j) = (i + 1..runs.len()).find(|&j| {
+                        !paired[j]
+                            && runs[j].template == runs[i].template
+                            && runs[j].shift == Some((g, -d))
+                    }) {
+                        partner[i] = Some(j);
+                        paired[i] = true;
+                        paired[j] = true;
+                    }
+                }
+            }
+            // Phase A — per run in order: noise/compile bookkeeping
+            // exactly as the unfolded path, then RNG-free evolution into
+            // the per-run distribution scratch (pair followers were
+            // already evolved by their leader).
+            let mut meta = Vec::with_capacity(runs.len());
+            let mut evolved = vec![false; runs.len()];
+            if self.run_probs.len() < runs.len() {
+                self.run_probs.resize_with(runs.len(), Vec::new);
+            }
+            for i in 0..runs.len() {
+                let entry =
+                    self.noise_entry(started, templates[runs[i].template].active_physical());
+                let QpuBackend {
+                    noise_cache,
+                    density_engine,
+                    run_probs,
+                    folded_pairs,
+                    ..
+                } = self;
+                let noise = &noise_cache.entries[entry].model;
+                let template = &mut *templates[runs[i].template];
+                template.ensure_compiled(noise, token);
+                let program = template.program();
+                assert!(
+                    program.num_qubits() <= DensityMatrix::MAX_QUBITS,
+                    "{} active qubits exceed the density engine cap; use trajectories",
+                    program.num_qubits()
+                );
+                meta.push((
+                    program.duration_ns(),
+                    noise.readout_time_ns,
+                    program.num_qubits(),
+                ));
+                if evolved[i] {
+                    continue;
+                }
+                match (runs[i].shift, partner[i]) {
+                    (Some((g, d)), Some(j)) => {
+                        let (slot, alt) = template.bind_pair(params, g, d);
+                        let (head, tail) = run_probs.split_at_mut(j);
+                        density_engine.evolve_shift_pair_probs(
+                            template.program(),
+                            slot,
+                            &alt,
+                            &mut head[i],
+                            &mut tail[0],
+                        );
+                        evolved[j] = true;
+                        *folded_pairs += 1;
+                    }
+                    _ => {
+                        template.bind(params, runs[i].shift);
+                        density_engine.evolve_probs(template.program(), &mut run_probs[i]);
+                    }
+                }
+                evolved[i] = true;
+            }
+            // Phase B — sample every run's distribution in run order.
+            for (i, &(duration_ns, readout_ns, n_qubits)) in meta.iter().enumerate() {
+                let counts = self.density_engine.sample_probs(
+                    &self.run_probs[i],
+                    n_qubits,
+                    shots,
+                    &mut self.rng,
+                );
+                total_exec_s += self.queue.execution_s(duration_ns, readout_ns, shots);
+                last_duration_ns = duration_ns;
+                all_counts.push(counts);
+            }
         } else {
             let token = self.noise_token(started);
             for run in runs {
@@ -703,7 +842,7 @@ impl QpuBackend {
                     }
                     SimulatorKind::Trajectories(n) => {
                         trajectory_engine.set_trajectories(n);
-                        trajectory_engine.run_program(program, shots, rng)
+                        trajectory_engine.run_program_par(program, shots, rng)
                     }
                 };
                 total_exec_s +=

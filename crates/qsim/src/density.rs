@@ -11,13 +11,83 @@ use crate::complex::C64;
 use crate::gates::Pauli;
 use crate::matrix::CMatrix;
 use crate::noise::KrausChannel;
+use crate::parallel::ParallelCtx;
 use crate::statevector::StateVector;
 use rand::Rng;
 
-/// Applies `rho -> U rho U^dag` for a 2x2 operator on qubit `q`, over
-/// raw row-major storage. Shared by [`DensityMatrix::apply_unitary_1q`]
-/// and the scratch-buffer channel path so their floating-point behavior
-/// is identical by construction.
+/// Minimum Hilbert dimension before a kernel pass fans out over a
+/// worker team: below this the per-job dispatch overhead exceeds the
+/// arithmetic. `64` means 6+ qubit states parallelize; the paper's 4-5
+/// qubit workloads stay on the serial fast path even under a team.
+const PAR_MIN_DIM: usize = 64;
+
+/// The context a kernel pass actually runs under: the caller's team for
+/// large states, inline-serial below [`PAR_MIN_DIM`].
+#[inline]
+fn gate_ctx(ctx: &ParallelCtx, dim: usize) -> &ParallelCtx {
+    if dim >= PAR_MIN_DIM {
+        ctx
+    } else {
+        &ParallelCtx::SERIAL
+    }
+}
+
+/// Raw row-major storage shared across a worker team. Every kernel pass
+/// partitions its row set so that concurrent indices touch disjoint
+/// rows; this wrapper only erases the borrow so the partition can cross
+/// threads.
+struct RowPtr(*mut C64);
+
+// SAFETY: all concurrent access goes through disjoint row partitions
+// (the caller's proof obligation on `row`/`at`).
+unsafe impl Sync for RowPtr {}
+
+impl RowPtr {
+    /// Mutable view of row `r`.
+    ///
+    /// # Safety
+    ///
+    /// Row `r` must be in bounds and not concurrently accessed.
+    #[inline(always)]
+    unsafe fn row<'a>(&self, r: usize, dim: usize) -> &'a mut [C64] {
+        std::slice::from_raw_parts_mut(self.0.add(r * dim), dim)
+    }
+
+    /// Mutable element at flat index `i`.
+    ///
+    /// # Safety
+    ///
+    /// `i` must be in bounds and its row not concurrently accessed.
+    #[inline(always)]
+    unsafe fn at<'a>(&self, i: usize) -> &'a mut C64 {
+        &mut *self.0.add(i)
+    }
+
+    /// Mutable view of the flat range `[i0, i0 + len)`.
+    ///
+    /// # Safety
+    ///
+    /// The range must be in bounds and not concurrently accessed.
+    #[inline(always)]
+    unsafe fn range<'a>(&self, i0: usize, len: usize) -> &'a mut [C64] {
+        std::slice::from_raw_parts_mut(self.0.add(i0), len)
+    }
+}
+
+/// Element-wise `dst += src`, partitioned over contiguous chunks (exact
+/// under any partition: each element is one independent add).
+fn accumulate(dst: &mut [C64], src: &[C64], ctx: &ParallelCtx) {
+    let len = dst.len();
+    let p = RowPtr(dst.as_mut_ptr());
+    ctx.run_chunks(len, |i0, i1| {
+        // SAFETY: chunks are disjoint.
+        let d = unsafe { p.range(i0, i1 - i0) };
+        for (x, s) in d.iter_mut().zip(&src[i0..i1]) {
+            *x += *s;
+        }
+    });
+}
+
 /// Rows of a small operator when every row has at most one nonzero
 /// entry: `rows[r] = Some((col, value))` or `None` for an all-zero row.
 ///
@@ -45,19 +115,38 @@ fn sparse_rows<const N: usize>(u: &CMatrix) -> Option<[Option<(usize, C64)>; N]>
     Some(rows)
 }
 
-fn kernel_1q(mat: &mut [C64], dim: usize, u: &CMatrix, q: usize) {
+/// Expands a base-row index `k` (enumeration of rows with bit `q`
+/// clear) back to the row number: inserts a zero bit at position `q`.
+/// Enumeration order is ascending, matching the serial `0..dim` filter.
+#[inline(always)]
+fn insert_bit(k: usize, q: usize) -> usize {
+    ((k >> q) << (q + 1)) | (k & ((1usize << q) - 1))
+}
+
+/// Applies `rho -> U rho U^dag` for a 2x2 operator on qubit `q`, over
+/// raw row-major storage. Shared by [`DensityMatrix::apply_unitary_1q`]
+/// and the scratch-buffer channel path so their floating-point behavior
+/// is identical by construction.
+///
+/// Both passes partition over disjoint row sets (left: base-row pairs,
+/// right: single rows) with per-element arithmetic independent of the
+/// partition, so any worker count produces byte-identical results.
+fn kernel_1q(mat: &mut [C64], dim: usize, u: &CMatrix, q: usize, ctx: &ParallelCtx) {
     if let Some(rows) = sparse_rows::<2>(u) {
-        return kernel_1q_sparse(mat, dim, &rows, q);
+        return kernel_1q_sparse(mat, dim, &rows, q, ctx);
     }
+    let ctx = gate_ctx(ctx, dim);
     let bit = 1usize << q;
     let (u00, u01, u10, u11) = (u[(0, 0)], u[(0, 1)], u[(1, 0)], u[(1, 1)]);
+    let p = RowPtr(mat.as_mut_ptr());
     // Left multiply: rows mix in pairs. Row-major storage, so walk row
     // pairs with contiguous inner slices (no per-element bounds checks).
-    for r in 0..dim {
-        if r & bit == 0 {
-            let (head, tail) = mat.split_at_mut((r | bit) * dim);
-            let row0 = &mut head[r * dim..r * dim + dim];
-            let row1 = &mut tail[..dim];
+    ctx.run_chunks(dim / 2, |k0, k1| {
+        for k in k0..k1 {
+            let r = insert_bit(k, q);
+            // SAFETY: distinct base rows yield disjoint (r, r|bit) pairs.
+            let row0 = unsafe { p.row(r, dim) };
+            let row1 = unsafe { p.row(r | bit, dim) };
             for (x0, x1) in row0.iter_mut().zip(row1.iter_mut()) {
                 let a0 = *x0;
                 let a1 = *x1;
@@ -65,89 +154,117 @@ fn kernel_1q(mat: &mut [C64], dim: usize, u: &CMatrix, q: usize) {
                 *x1 = u10 * a0 + u11 * a1;
             }
         }
-    }
+    });
     // Right multiply by U^dag: columns mix with conjugated coefficients.
     let (d00, d01, d10, d11) = (u00.conj(), u10.conj(), u01.conj(), u11.conj());
-    for row in mat.chunks_exact_mut(dim) {
-        for c in 0..dim {
-            if c & bit == 0 {
-                let c1 = c | bit;
-                let a0 = row[c];
-                let a1 = row[c1];
-                row[c] = a0 * d00 + a1 * d10;
-                row[c1] = a0 * d01 + a1 * d11;
+    ctx.run_chunks(dim, |r0, r1| {
+        for r in r0..r1 {
+            // SAFETY: row chunks are disjoint.
+            let row = unsafe { p.row(r, dim) };
+            for c in 0..dim {
+                if c & bit == 0 {
+                    let c1 = c | bit;
+                    let a0 = row[c];
+                    let a1 = row[c1];
+                    row[c] = a0 * d00 + a1 * d10;
+                    row[c1] = a0 * d01 + a1 * d11;
+                }
             }
         }
-    }
+    });
 }
 
 /// Sparse-operator fast path for [`kernel_1q`]: one multiply per
 /// element per pass instead of a full 2x2 product.
-fn kernel_1q_sparse(mat: &mut [C64], dim: usize, rows: &[Option<(usize, C64)>; 2], q: usize) {
+fn kernel_1q_sparse(
+    mat: &mut [C64],
+    dim: usize,
+    rows: &[Option<(usize, C64)>; 2],
+    q: usize,
+    ctx: &ParallelCtx,
+) {
+    let ctx = gate_ctx(ctx, dim);
     let bit = 1usize << q;
+    let p = RowPtr(mat.as_mut_ptr());
     // Left multiply: new[r] = u[r][c_r] * a[c_r].
-    for r in 0..dim {
-        if r & bit == 0 {
-            let (head, tail) = mat.split_at_mut((r | bit) * dim);
-            let row0 = &mut head[r * dim..r * dim + dim];
-            let row1 = &mut tail[..dim];
+    ctx.run_chunks(dim / 2, |k0, k1| {
+        for k in k0..k1 {
+            let r = insert_bit(k, q);
+            // SAFETY: distinct base rows yield disjoint (r, r|bit) pairs.
+            let row0 = unsafe { p.row(r, dim) };
+            let row1 = unsafe { p.row(r | bit, dim) };
             for (x0, x1) in row0.iter_mut().zip(row1.iter_mut()) {
                 let a = [*x0, *x1];
                 *x0 = rows[0].map_or(C64::ZERO, |(c, v)| v * a[c]);
                 *x1 = rows[1].map_or(C64::ZERO, |(c, v)| v * a[c]);
             }
         }
-    }
+    });
     // Right multiply by U^dag: new[j] = a[c_j] * conj(u[j][c_j]).
     let d = [
         rows[0].map(|(c, v)| (c, v.conj())),
         rows[1].map(|(c, v)| (c, v.conj())),
     ];
-    for row in mat.chunks_exact_mut(dim) {
-        for c in 0..dim {
-            if c & bit == 0 {
-                let c1 = c | bit;
-                let a = [row[c], row[c1]];
-                row[c] = d[0].map_or(C64::ZERO, |(i, v)| a[i] * v);
-                row[c1] = d[1].map_or(C64::ZERO, |(i, v)| a[i] * v);
+    ctx.run_chunks(dim, |r0, r1| {
+        for r in r0..r1 {
+            // SAFETY: row chunks are disjoint.
+            let row = unsafe { p.row(r, dim) };
+            for c in 0..dim {
+                if c & bit == 0 {
+                    let c1 = c | bit;
+                    let a = [row[c], row[c1]];
+                    row[c] = d[0].map_or(C64::ZERO, |(i, v)| a[i] * v);
+                    row[c1] = d[1].map_or(C64::ZERO, |(i, v)| a[i] * v);
+                }
             }
         }
-    }
+    });
 }
 
 /// Applies `rho -> U rho U^dag` for a 4x4 operator on the pair
 /// `(q0, q1)` over raw storage (see [`kernel_1q`]). The 4x4 matrix is
 /// hoisted into locals once so the inner loops run on registers.
-fn kernel_2q(mat: &mut [C64], dim: usize, u: &CMatrix, q0: usize, q1: usize) {
+fn kernel_2q(mat: &mut [C64], dim: usize, u: &CMatrix, q0: usize, q1: usize, ctx: &ParallelCtx) {
     if let Some(rows) = sparse_rows::<4>(u) {
-        return kernel_2q_sparse(mat, dim, &rows, q0, q1);
+        return kernel_2q_sparse(mat, dim, &rows, q0, q1, ctx);
     }
+    let ctx = gate_ctx(ctx, dim);
     let b0 = 1usize << q0;
     let b1 = 1usize << q1;
+    let (qa, qb) = if q0 < q1 { (q0, q1) } else { (q1, q0) };
     let mut m = [[C64::ZERO; 4]; 4];
     for (r, row) in m.iter_mut().enumerate() {
         for (c, entry) in row.iter_mut().enumerate() {
             *entry = u[(r, c)];
         }
     }
+    let p = RowPtr(mat.as_mut_ptr());
     // Left multiply U.
-    for r in 0..dim {
-        if r & b0 == 0 && r & b1 == 0 {
+    ctx.run_chunks(dim / 4, |k0, k1| {
+        for k in k0..k1 {
+            let r = insert_bit(insert_bit(k, qa), qb);
             let idx = [r, r | b0, r | b1, r | b0 | b1];
             for c in 0..dim {
-                let a = [
-                    mat[idx[0] * dim + c],
-                    mat[idx[1] * dim + c],
-                    mat[idx[2] * dim + c],
-                    mat[idx[3] * dim + c],
-                ];
+                // SAFETY: distinct base rows yield disjoint row quads.
+                let a = unsafe {
+                    [
+                        *p.at(idx[0] * dim + c),
+                        *p.at(idx[1] * dim + c),
+                        *p.at(idx[2] * dim + c),
+                        *p.at(idx[3] * dim + c),
+                    ]
+                };
                 for (row_i, &i) in idx.iter().enumerate() {
                     let mi = &m[row_i];
-                    mat[i * dim + c] = mi[0] * a[0] + mi[1] * a[1] + mi[2] * a[2] + mi[3] * a[3];
+                    // SAFETY: as above.
+                    unsafe {
+                        *p.at(i * dim + c) =
+                            mi[0] * a[0] + mi[1] * a[1] + mi[2] * a[2] + mi[3] * a[3];
+                    }
                 }
             }
         }
-    }
+    });
     // Right multiply U^dag: (rho U^dag)_{r j} = sum_i rho_{r i} conj(U_{j i}).
     let mut md = [[C64::ZERO; 4]; 4];
     for (j, row) in md.iter_mut().enumerate() {
@@ -155,18 +272,22 @@ fn kernel_2q(mat: &mut [C64], dim: usize, u: &CMatrix, q0: usize, q1: usize) {
             *entry = m[j][i].conj();
         }
     }
-    for row in mat.chunks_exact_mut(dim) {
-        for c in 0..dim {
-            if c & b0 == 0 && c & b1 == 0 {
-                let idx = [c, c | b0, c | b1, c | b0 | b1];
-                let a = [row[idx[0]], row[idx[1]], row[idx[2]], row[idx[3]]];
-                for (col_j, &j) in idx.iter().enumerate() {
-                    let dj = &md[col_j];
-                    row[j] = a[0] * dj[0] + a[1] * dj[1] + a[2] * dj[2] + a[3] * dj[3];
+    ctx.run_chunks(dim, |r0, r1| {
+        for r in r0..r1 {
+            // SAFETY: row chunks are disjoint.
+            let row = unsafe { p.row(r, dim) };
+            for c in 0..dim {
+                if c & b0 == 0 && c & b1 == 0 {
+                    let idx = [c, c | b0, c | b1, c | b0 | b1];
+                    let a = [row[idx[0]], row[idx[1]], row[idx[2]], row[idx[3]]];
+                    for (col_j, &j) in idx.iter().enumerate() {
+                        let dj = &md[col_j];
+                        row[j] = a[0] * dj[0] + a[1] * dj[1] + a[2] * dj[2] + a[3] * dj[3];
+                    }
                 }
             }
         }
-    }
+    });
 }
 
 /// Sparse-operator fast path for [`kernel_2q`] (see [`sparse_rows`]).
@@ -176,26 +297,37 @@ fn kernel_2q_sparse(
     rows: &[Option<(usize, C64)>; 4],
     q0: usize,
     q1: usize,
+    ctx: &ParallelCtx,
 ) {
+    let ctx = gate_ctx(ctx, dim);
     let b0 = 1usize << q0;
     let b1 = 1usize << q1;
+    let (qa, qb) = if q0 < q1 { (q0, q1) } else { (q1, q0) };
+    let p = RowPtr(mat.as_mut_ptr());
     // Left multiply: new[r] = u[r][c_r] * a[c_r].
-    for r in 0..dim {
-        if r & b0 == 0 && r & b1 == 0 {
+    ctx.run_chunks(dim / 4, |k0, k1| {
+        for k in k0..k1 {
+            let r = insert_bit(insert_bit(k, qa), qb);
             let idx = [r, r | b0, r | b1, r | b0 | b1];
             for c in 0..dim {
-                let a = [
-                    mat[idx[0] * dim + c],
-                    mat[idx[1] * dim + c],
-                    mat[idx[2] * dim + c],
-                    mat[idx[3] * dim + c],
-                ];
+                // SAFETY: distinct base rows yield disjoint row quads.
+                let a = unsafe {
+                    [
+                        *p.at(idx[0] * dim + c),
+                        *p.at(idx[1] * dim + c),
+                        *p.at(idx[2] * dim + c),
+                        *p.at(idx[3] * dim + c),
+                    ]
+                };
                 for (row_i, &i) in idx.iter().enumerate() {
-                    mat[i * dim + c] = rows[row_i].map_or(C64::ZERO, |(j, v)| v * a[j]);
+                    // SAFETY: as above.
+                    unsafe {
+                        *p.at(i * dim + c) = rows[row_i].map_or(C64::ZERO, |(j, v)| v * a[j]);
+                    }
                 }
             }
         }
-    }
+    });
     // Right multiply by U^dag: new[j] = a[c_j] * conj(u[j][c_j]).
     let d = [
         rows[0].map(|(c, v)| (c, v.conj())),
@@ -203,17 +335,120 @@ fn kernel_2q_sparse(
         rows[2].map(|(c, v)| (c, v.conj())),
         rows[3].map(|(c, v)| (c, v.conj())),
     ];
-    for row in mat.chunks_exact_mut(dim) {
-        for c in 0..dim {
-            if c & b0 == 0 && c & b1 == 0 {
-                let idx = [c, c | b0, c | b1, c | b0 | b1];
-                let a = [row[idx[0]], row[idx[1]], row[idx[2]], row[idx[3]]];
-                for (col_j, &j) in idx.iter().enumerate() {
-                    row[j] = d[col_j].map_or(C64::ZERO, |(i, v)| a[i] * v);
+    ctx.run_chunks(dim, |r0, r1| {
+        for r in r0..r1 {
+            // SAFETY: row chunks are disjoint.
+            let row = unsafe { p.row(r, dim) };
+            for c in 0..dim {
+                if c & b0 == 0 && c & b1 == 0 {
+                    let idx = [c, c | b0, c | b1, c | b0 | b1];
+                    let a = [row[idx[0]], row[idx[1]], row[idx[2]], row[idx[3]]];
+                    for (col_j, &j) in idx.iter().enumerate() {
+                        row[j] = d[col_j].map_or(C64::ZERO, |(i, v)| a[i] * v);
+                    }
                 }
             }
         }
-    }
+    });
+}
+
+/// Accumulates one *sparse* Kraus term `K rho K^dag` straight from the
+/// pre-channel state: with at most one nonzero per row of `K`, element
+/// `(r, c)` of the term is a single chain
+/// `(v_r * orig[src_r][src_c]) * conj(v_c)` — so the copy, left-pass,
+/// right-pass and accumulate sweeps of the buffered path fold into one
+/// output sweep. Per element the floating-point operations are exactly
+/// those of [`kernel_1q_sparse`] on a copy followed by `dst += term`
+/// (including the `0 * v` products of all-zero rows), so the result is
+/// bit-equal to that path.
+fn channel_term_1q_sparse(
+    dst: &mut [C64],
+    orig: &[C64],
+    dim: usize,
+    rows: &[Option<(usize, C64)>; 2],
+    q: usize,
+    ctx: &ParallelCtx,
+) {
+    let ctx = gate_ctx(ctx, dim);
+    let bit = 1usize << q;
+    let d = [
+        rows[0].map(|(c, v)| (c, v.conj())),
+        rows[1].map(|(c, v)| (c, v.conj())),
+    ];
+    let p = RowPtr(dst.as_mut_ptr());
+    ctx.run_chunks(dim, |r0, r1| {
+        for r in r0..r1 {
+            let r_base = r & !bit;
+            let left = rows[(r >> q) & 1];
+            // SAFETY: row chunks are disjoint.
+            let dst_row = unsafe { p.row(r, dim) };
+            for (c, x) in dst_row.iter_mut().enumerate() {
+                let val = match d[(c >> q) & 1] {
+                    None => C64::ZERO,
+                    Some((ci, vd)) => {
+                        let src_col = (c & !bit) | (ci << q);
+                        let inner = match left {
+                            None => C64::ZERO,
+                            Some((cl, vl)) => vl * orig[(r_base | (cl << q)) * dim + src_col],
+                        };
+                        inner * vd
+                    }
+                };
+                *x += val;
+            }
+        }
+    });
+}
+
+/// Two-qubit sibling of [`channel_term_1q_sparse`], bit-equal to
+/// [`kernel_2q_sparse`] on a copy followed by `dst += term`.
+fn channel_term_2q_sparse(
+    dst: &mut [C64],
+    orig: &[C64],
+    dim: usize,
+    rows: &[Option<(usize, C64)>; 4],
+    q0: usize,
+    q1: usize,
+    ctx: &ParallelCtx,
+) {
+    let ctx = gate_ctx(ctx, dim);
+    let b0 = 1usize << q0;
+    let b1 = 1usize << q1;
+    let mask = b0 | b1;
+    let d = [
+        rows[0].map(|(c, v)| (c, v.conj())),
+        rows[1].map(|(c, v)| (c, v.conj())),
+        rows[2].map(|(c, v)| (c, v.conj())),
+        rows[3].map(|(c, v)| (c, v.conj())),
+    ];
+    // Position `j` in a row quad `[i, i|b0, i|b1, i|b0|b1]` and back.
+    let loc = |i: usize| ((i >> q0) & 1) | (((i >> q1) & 1) << 1);
+    let sel = |base: usize, j: usize| {
+        base | (if j & 1 != 0 { b0 } else { 0 }) | (if j & 2 != 0 { b1 } else { 0 })
+    };
+    let p = RowPtr(dst.as_mut_ptr());
+    ctx.run_chunks(dim, |r0, r1| {
+        for r in r0..r1 {
+            let r_base = r & !mask;
+            let left = rows[loc(r)];
+            // SAFETY: row chunks are disjoint.
+            let dst_row = unsafe { p.row(r, dim) };
+            for (c, x) in dst_row.iter_mut().enumerate() {
+                let val = match d[loc(c)] {
+                    None => C64::ZERO,
+                    Some((ci, vd)) => {
+                        let src_col = sel(c & !mask, ci);
+                        let inner = match left {
+                            None => C64::ZERO,
+                            Some((cl, vl)) => vl * orig[sel(r_base, cl) * dim + src_col],
+                        };
+                        inner * vd
+                    }
+                };
+                *x += val;
+            }
+        }
+    });
 }
 
 /// The pre-optimization density kernels, preserved verbatim.
@@ -449,10 +684,21 @@ impl DensityMatrix {
     ///
     /// Panics if `q` is out of range or `u` is not 2x2.
     pub fn apply_unitary_1q(&mut self, u: &CMatrix, q: usize) {
+        self.apply_unitary_1q_ctx(u, q, &ParallelCtx::SERIAL);
+    }
+
+    /// [`DensityMatrix::apply_unitary_1q`] under an explicit
+    /// [`ParallelCtx`]: the two kernel passes partition over disjoint
+    /// row blocks, byte-identical to serial at any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`DensityMatrix::apply_unitary_1q`].
+    pub fn apply_unitary_1q_ctx(&mut self, u: &CMatrix, q: usize, ctx: &ParallelCtx) {
         assert!(q < self.n, "qubit {q} out of range");
         assert_eq!((u.rows(), u.cols()), (2, 2), "1q gate must be 2x2");
         let dim = self.dim();
-        kernel_1q(&mut self.mat, dim, u, q);
+        kernel_1q(&mut self.mat, dim, u, q, ctx);
     }
 
     /// Applies a 4x4 unitary to the ordered pair `(q0, q1)` in the
@@ -462,11 +708,21 @@ impl DensityMatrix {
     ///
     /// Panics if operands coincide, are out of range, or `u` is not 4x4.
     pub fn apply_unitary_2q(&mut self, u: &CMatrix, q0: usize, q1: usize) {
+        self.apply_unitary_2q_ctx(u, q0, q1, &ParallelCtx::SERIAL);
+    }
+
+    /// [`DensityMatrix::apply_unitary_2q`] under an explicit
+    /// [`ParallelCtx`] (see [`DensityMatrix::apply_unitary_1q_ctx`]).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`DensityMatrix::apply_unitary_2q`].
+    pub fn apply_unitary_2q_ctx(&mut self, u: &CMatrix, q0: usize, q1: usize, ctx: &ParallelCtx) {
         assert!(q0 != q1, "2q gate operands must differ");
         assert!(q0 < self.n && q1 < self.n, "qubit out of range");
         assert_eq!((u.rows(), u.cols()), (4, 4), "2q gate must be 4x4");
         let dim = self.dim();
-        kernel_2q(&mut self.mat, dim, u, q0, q1);
+        kernel_2q(&mut self.mat, dim, u, q0, q1, ctx);
     }
 
     /// Applies a Kraus channel to the listed qubits:
@@ -488,7 +744,10 @@ impl DensityMatrix {
 
     /// [`DensityMatrix::apply_channel`] through caller-owned scratch: the
     /// Kraus sum accumulates via two reused buffers instead of cloning
-    /// the full matrix once per operator. Bit-identical to the
+    /// the full matrix once per operator, and *sparse* Kraus operators
+    /// (every noise operator this workspace produces) skip the buffers
+    /// entirely — their term folds into a single accumulation sweep
+    /// straight from the pre-channel state. Bit-identical to the
     /// allocating form.
     ///
     /// # Panics
@@ -499,6 +758,22 @@ impl DensityMatrix {
         channel: &KrausChannel,
         qubits: &[usize],
         scratch: &mut ChannelScratch,
+    ) {
+        self.apply_channel_buffered_ctx(channel, qubits, scratch, &ParallelCtx::SERIAL);
+    }
+
+    /// [`DensityMatrix::apply_channel_buffered`] under an explicit
+    /// [`ParallelCtx`] (see [`DensityMatrix::apply_unitary_1q_ctx`]).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`DensityMatrix::apply_channel`].
+    pub fn apply_channel_buffered_ctx(
+        &mut self,
+        channel: &KrausChannel,
+        qubits: &[usize],
+        scratch: &mut ChannelScratch,
+        ctx: &ParallelCtx,
     ) {
         assert_eq!(
             qubits.len(),
@@ -518,15 +793,25 @@ impl DensityMatrix {
             *z = C64::ZERO;
         }
         for k in channel.operators() {
-            scratch.term.clear();
-            scratch.term.extend_from_slice(&scratch.orig);
-            match *qubits {
-                [q] => kernel_1q(&mut scratch.term, dim, k, q),
-                [q0, q1] => kernel_2q(&mut scratch.term, dim, k, q0, q1),
+            // Sparse operators accumulate in one fused sweep.
+            let fused = match *qubits {
+                [q] => sparse_rows::<2>(k).map(|rows| {
+                    channel_term_1q_sparse(&mut self.mat, &scratch.orig, dim, &rows, q, ctx);
+                }),
+                [q0, q1] => sparse_rows::<4>(k).map(|rows| {
+                    channel_term_2q_sparse(&mut self.mat, &scratch.orig, dim, &rows, q0, q1, ctx);
+                }),
                 _ => panic!("only 1- and 2-qubit channels are supported"),
-            }
-            for (dst, src) in self.mat.iter_mut().zip(&scratch.term) {
-                *dst += *src;
+            };
+            if fused.is_none() {
+                scratch.term.clear();
+                scratch.term.extend_from_slice(&scratch.orig);
+                match *qubits {
+                    [q] => kernel_1q(&mut scratch.term, dim, k, q, ctx),
+                    [q0, q1] => kernel_2q(&mut scratch.term, dim, k, q0, q1, ctx),
+                    _ => unreachable!("arity checked above"),
+                }
+                accumulate(&mut self.mat, &scratch.term, gate_ctx(ctx, dim));
             }
         }
     }
@@ -568,6 +853,15 @@ impl DensityMatrix {
         self.mat.clear();
         self.mat.resize(dim * dim, C64::ZERO);
         self.mat[0] = C64::ONE;
+    }
+
+    /// Overwrites this state with a copy of `other`, reusing the
+    /// allocation (the shift-pair fork path: snapshot and restore a
+    /// shared prefix without fresh matrices).
+    pub fn copy_from(&mut self, other: &DensityMatrix) {
+        self.n = other.n;
+        self.mat.clear();
+        self.mat.extend_from_slice(&other.mat);
     }
 
     /// Computational-basis measurement probabilities (the diagonal).
@@ -776,6 +1070,99 @@ mod tests {
         };
         rho.normalize();
         assert!((rho.trace() - 1.0).abs() < 1e-12);
+    }
+
+    /// A small noisy workload touching every kernel: sparse and dense
+    /// 1q/2q unitaries plus sparse channels (including an all-zero
+    /// Kraus row via amplitude damping) and a dense unitary channel.
+    fn drive(apply: &mut dyn FnMut(Step<'_>), n: usize) {
+        let dense_2q = gates::h().kron(&gates::ry(0.7));
+        for q in 0..n {
+            apply(Step::U1(&gates::ry(0.3 + q as f64), q));
+            apply(Step::U1(&gates::h(), q));
+        }
+        for q in 0..n.saturating_sub(1) {
+            apply(Step::U2(&gates::cx(), q, q + 1));
+            apply(Step::U2(&dense_2q, q, q + 1));
+        }
+        apply(Step::Ch(&KrausChannel::amplitude_damping(0.2), &[0]));
+        apply(Step::Ch(&KrausChannel::depolarizing_1q(0.05), &[n / 2]));
+        if n >= 2 {
+            apply(Step::Ch(&KrausChannel::depolarizing_2q(0.1), &[0, n - 1]));
+            let dense_ch = KrausChannel::new(vec![gates::h().kron(&gates::h())]);
+            apply(Step::Ch(&dense_ch, &[n - 1, 0]));
+        }
+    }
+
+    enum Step<'a> {
+        U1(&'a CMatrix, usize),
+        U2(&'a CMatrix, usize, usize),
+        Ch(&'a KrausChannel, &'a [usize]),
+    }
+
+    #[test]
+    fn parallel_kernels_are_bit_identical_to_serial() {
+        let ctx = ParallelCtx::with_workers(4);
+        for n in 1..=7 {
+            let mut serial = DensityMatrix::new(n);
+            let mut par = DensityMatrix::new(n);
+            let mut s_scratch = ChannelScratch::new();
+            let mut p_scratch = ChannelScratch::new();
+            drive(
+                &mut |step| match step {
+                    Step::U1(u, q) => {
+                        serial.apply_unitary_1q(u, q);
+                        par.apply_unitary_1q_ctx(u, q, &ctx);
+                    }
+                    Step::U2(u, a, b) => {
+                        serial.apply_unitary_2q(u, a, b);
+                        par.apply_unitary_2q_ctx(u, a, b, &ctx);
+                    }
+                    Step::Ch(ch, qs) => {
+                        serial.apply_channel_buffered(ch, qs, &mut s_scratch);
+                        par.apply_channel_buffered_ctx(ch, qs, &mut p_scratch, &ctx);
+                    }
+                },
+                n,
+            );
+            for (a, b) in serial.mat.iter().zip(&par.mat) {
+                assert!(
+                    a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                    "parallel diverges from serial at {n} qubits"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_channel_path_matches_baseline() {
+        for n in 1..=5 {
+            let mut fast = DensityMatrix::new(n);
+            let mut slow = DensityMatrix::new(n);
+            let mut scratch = ChannelScratch::new();
+            drive(
+                &mut |step| match step {
+                    Step::U1(u, q) => {
+                        fast.apply_unitary_1q(u, q);
+                        baseline::apply_unitary_1q(&mut slow, u, q);
+                    }
+                    Step::U2(u, a, b) => {
+                        fast.apply_unitary_2q(u, a, b);
+                        baseline::apply_unitary_2q(&mut slow, u, a, b);
+                    }
+                    Step::Ch(ch, qs) => {
+                        fast.apply_channel_buffered(ch, qs, &mut scratch);
+                        baseline::apply_channel(&mut slow, ch, qs);
+                    }
+                },
+                n,
+            );
+            assert!(
+                fast.matrix().approx_eq(&slow.matrix(), 1e-12),
+                "fused channel path diverges from baseline at {n} qubits"
+            );
+            assert!((fast.trace() - 1.0).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //!   gate matrices and interned Kraus channels) that the allocation-free
 //!   [`program::DensityEngine`] / [`program::TrajectoryEngine`] replay for
 //!   every job, byte-identically to the naive path;
+//! * [`parallel`] — the shared data-parallel substrate: the work-stealing
+//!   [`parallel::RunQueue`] plus the [`parallel::WorkerTeam`] behind
+//!   [`parallel::ParallelCtx`], which the engines fan density row-blocks
+//!   and independent trajectories over (serial by default, byte-identical
+//!   at any worker count);
 //! * [`linalg`] — exact Hermitian eigendecomposition for ground-truth
 //!   reference energies.
 //!
@@ -54,6 +59,7 @@ pub mod gates;
 pub mod linalg;
 pub mod matrix;
 pub mod noise;
+pub mod parallel;
 pub mod program;
 pub mod sampler;
 pub mod statevector;
@@ -63,6 +69,7 @@ pub use density::{ChannelScratch, DensityMatrix};
 pub use gates::Pauli;
 pub use matrix::CMatrix;
 pub use noise::KrausChannel;
+pub use parallel::{ParallelCtx, RunQueue, WorkerTeam};
 pub use program::{CompiledProgram, DensityEngine, ProgramBuilder, SimEngine, TrajectoryEngine};
 pub use sampler::{Counts, ReadoutError, ShotSampler};
 pub use statevector::StateVector;

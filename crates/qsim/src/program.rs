@@ -52,8 +52,10 @@
 use crate::density::{ChannelScratch, DensityMatrix};
 use crate::matrix::CMatrix;
 use crate::noise::KrausChannel;
+use crate::parallel::ParallelCtx;
 use crate::sampler::{Counts, ReadoutError, ShotSampler};
 use crate::statevector::StateVector;
+use rand::rngs::StdRng;
 use rand::{Rng, RngCore};
 
 /// One instruction of a compiled program's flat op-tape.
@@ -370,15 +372,78 @@ pub trait SimEngine {
 #[derive(Clone, Debug, Default)]
 pub struct DensityEngine {
     rho: Option<DensityMatrix>,
+    fork: Option<DensityMatrix>,
     scratch: ChannelScratch,
     probs: Vec<f64>,
     sampler: ShotSampler,
+    ctx: ParallelCtx,
 }
 
 impl DensityEngine {
     /// Creates an engine; buffers are sized lazily on first use.
+    /// Execution is serial until [`DensityEngine::set_parallel_ctx`]
+    /// attaches a worker team.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches (or detaches, with a serial context) the worker team
+    /// the kernel passes fan out over. Results are byte-identical at
+    /// any worker count.
+    pub fn set_parallel_ctx(&mut self, ctx: ParallelCtx) {
+        self.ctx = ctx;
+    }
+
+    /// The engine's current parallel context.
+    pub fn parallel_ctx(&self) -> &ParallelCtx {
+        &self.ctx
+    }
+
+    /// Resets the persistent state to `|0...0><0...0|` over `n` qubits.
+    fn reset(&mut self, n: usize) {
+        match &mut self.rho {
+            Some(r) => r.reset_to(n),
+            None => {
+                self.rho = Some(DensityMatrix::new(n));
+            }
+        }
+    }
+
+    /// Replays a tape segment over the persistent state.
+    fn evolve_ops(&mut self, program: &CompiledProgram, ops: &[TapeOp]) {
+        let rho = self.rho.as_mut().expect("state initialized by reset");
+        for op in ops {
+            match *op {
+                TapeOp::Unitary1q { slot, q } => {
+                    rho.apply_unitary_1q_ctx(program.unitary(slot), q, &self.ctx)
+                }
+                TapeOp::Unitary2q { slot, q0, q1 } => {
+                    rho.apply_unitary_2q_ctx(program.unitary(slot), q0, q1, &self.ctx)
+                }
+                TapeOp::Channel1q { channel, q } => rho.apply_channel_buffered_ctx(
+                    program.channel(channel),
+                    &[q],
+                    &mut self.scratch,
+                    &self.ctx,
+                ),
+                TapeOp::Channel2q { channel, q0, q1 } => rho.apply_channel_buffered_ctx(
+                    program.channel(channel),
+                    &[q0, q1],
+                    &mut self.scratch,
+                    &self.ctx,
+                ),
+            }
+        }
+    }
+
+    /// Normalizes, reads the diagonal, and applies readout confusion —
+    /// the post-evolution half of a run, leaving the distribution in
+    /// `self.probs`.
+    fn finish_probs(&mut self, program: &CompiledProgram) {
+        let rho = self.rho.as_mut().expect("state initialized by reset");
+        rho.normalize();
+        rho.probabilities_into(&mut self.probs);
+        program.readout().apply_in_place(&mut self.probs);
     }
 
     /// Generic-RNG entry point (monomorphized callers avoid the trait
@@ -394,33 +459,102 @@ impl DensityEngine {
         rng: &mut R,
     ) -> Counts {
         let n = program.num_qubits();
-        let rho = match &mut self.rho {
-            Some(r) => {
-                r.reset_to(n);
-                r
-            }
-            None => self.rho.insert(DensityMatrix::new(n)),
-        };
-        for op in program.ops() {
-            match *op {
-                TapeOp::Unitary1q { slot, q } => rho.apply_unitary_1q(program.unitary(slot), q),
-                TapeOp::Unitary2q { slot, q0, q1 } => {
-                    rho.apply_unitary_2q(program.unitary(slot), q0, q1)
-                }
-                TapeOp::Channel1q { channel, q } => {
-                    rho.apply_channel_buffered(program.channel(channel), &[q], &mut self.scratch)
-                }
-                TapeOp::Channel2q { channel, q0, q1 } => rho.apply_channel_buffered(
-                    program.channel(channel),
-                    &[q0, q1],
-                    &mut self.scratch,
-                ),
-            }
-        }
-        rho.normalize();
-        rho.probabilities_into(&mut self.probs);
-        program.readout().apply_in_place(&mut self.probs);
+        self.reset(n);
+        self.evolve_ops(program, program.ops());
+        self.finish_probs(program);
         self.sampler.sample_counts(&self.probs, n, shots, rng)
+    }
+
+    /// Evolves the program and writes its post-readout measurement
+    /// distribution into `out` *without sampling* — the batched
+    /// execution path: a backend evolves many runs RNG-free first, then
+    /// consumes the RNG in run order via
+    /// [`DensityEngine::sample_probs`], preserving the exact draw
+    /// sequence of interleaved [`DensityEngine::run_program`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program exceeds [`DensityMatrix::MAX_QUBITS`].
+    pub fn evolve_probs(&mut self, program: &CompiledProgram, out: &mut Vec<f64>) {
+        self.reset(program.num_qubits());
+        self.evolve_ops(program, program.ops());
+        self.finish_probs(program);
+        out.clear();
+        out.extend_from_slice(&self.probs);
+    }
+
+    /// Evolves a forward/backward parameter-shift pair in one pass.
+    ///
+    /// The two programs of a shift pair are identical except for the
+    /// matrix in `slot` (parameterized slots are never shared), so the
+    /// tape prefix before the op using `slot` is evolved *once*, the
+    /// state forked, and only the remainder runs twice: `fwd` receives
+    /// the distribution of the program as currently bound, `bck` the
+    /// distribution with `alt` substituted in `slot`. Byte-identical to
+    /// two full [`DensityEngine::evolve_probs`] calls — the shared
+    /// prefix computes the identical floating-point state either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no tape op uses `slot`.
+    pub fn evolve_shift_pair_probs(
+        &mut self,
+        program: &CompiledProgram,
+        slot: usize,
+        alt: &CMatrix,
+        fwd: &mut Vec<f64>,
+        bck: &mut Vec<f64>,
+    ) {
+        let ops = program.ops();
+        let split = ops
+            .iter()
+            .position(|op| {
+                matches!(
+                    *op,
+                    TapeOp::Unitary1q { slot: s, .. } | TapeOp::Unitary2q { slot: s, .. }
+                    if s == slot
+                )
+            })
+            .expect("shift slot must appear on the tape");
+        self.reset(program.num_qubits());
+        self.evolve_ops(program, &ops[..split]);
+        let rho = self.rho.as_ref().expect("state initialized by reset");
+        match &mut self.fork {
+            Some(f) => f.copy_from(rho),
+            None => self.fork = Some(rho.clone()),
+        }
+        // Forward: finish the tape as bound.
+        self.evolve_ops(program, &ops[split..]);
+        self.finish_probs(program);
+        fwd.clear();
+        fwd.extend_from_slice(&self.probs);
+        // Backward: restore the prefix, swap in the alternative matrix
+        // at the split op, finish the remainder.
+        let rho = self.rho.as_mut().expect("state initialized by reset");
+        rho.copy_from(self.fork.as_ref().expect("fork snapshot taken above"));
+        match ops[split] {
+            TapeOp::Unitary1q { q, .. } => rho.apply_unitary_1q_ctx(alt, q, &self.ctx),
+            TapeOp::Unitary2q { q0, q1, .. } => rho.apply_unitary_2q_ctx(alt, q0, q1, &self.ctx),
+            _ => unreachable!("split op is a unitary by construction"),
+        }
+        self.evolve_ops(program, &ops[split + 1..]);
+        self.finish_probs(program);
+        bck.clear();
+        bck.extend_from_slice(&self.probs);
+    }
+
+    /// Samples `shots` measurements from a distribution produced by
+    /// [`DensityEngine::evolve_probs`] or
+    /// [`DensityEngine::evolve_shift_pair_probs`]. Draw order is
+    /// exactly the sampling stage of [`DensityEngine::run_program`].
+    pub fn sample_probs<R: RngCore + ?Sized>(
+        &mut self,
+        probs: &[f64],
+        n_qubits: usize,
+        shots: usize,
+        rng: &mut R,
+    ) -> Counts {
+        self.sampler.sample_counts(probs, n_qubits, shots, rng)
     }
 }
 
@@ -448,10 +582,84 @@ pub struct TrajectoryEngine {
     sampler: ShotSampler,
     indices: Vec<usize>,
     hist: Vec<u64>,
+    ctx: ParallelCtx,
+    lanes: Vec<TrajLane>,
+}
+
+/// Per-worker scratch for the parallel trajectory fan-out: each lane
+/// owns a full set of the serial engine's reusable buffers plus the
+/// prefix-advanced RNG clone its chunk of trajectories consumes.
+#[derive(Clone, Debug, Default)]
+struct TrajLane {
+    state: Option<StateVector>,
+    candidate: Option<StateVector>,
+    probs: Vec<f64>,
+    sampler: ShotSampler,
+    indices: Vec<usize>,
+    hist: Vec<u64>,
+    rng: Option<StdRng>,
+}
+
+/// Runs one trajectory — evolve the tape with stochastic channel
+/// unraveling, then sample this trajectory's share of shots into
+/// `hist`. This is the serial loop body verbatim; the parallel path
+/// calls it per lane with a prefix-advanced RNG clone, so both paths
+/// execute identical operations on identical draws.
+#[allow(clippy::too_many_arguments)]
+fn run_trajectory<R: RngCore + ?Sized>(
+    program: &CompiledProgram,
+    state_slot: &mut Option<StateVector>,
+    candidate_slot: &mut Option<StateVector>,
+    probs: &mut Vec<f64>,
+    sampler: &mut ShotSampler,
+    indices: &mut Vec<usize>,
+    hist: &mut [u64],
+    traj_shots: usize,
+    rng: &mut R,
+) {
+    let n = program.num_qubits();
+    let state = match state_slot {
+        Some(s) => {
+            s.reset_to(n);
+            s
+        }
+        None => state_slot.insert(StateVector::new(n)),
+    };
+    let candidate = match candidate_slot {
+        Some(s) => {
+            s.reset_to(n);
+            s
+        }
+        None => candidate_slot.insert(StateVector::new(n)),
+    };
+    for op in program.ops() {
+        match *op {
+            TapeOp::Unitary1q { slot, q } => state.apply_1q(program.unitary(slot), q),
+            TapeOp::Unitary2q { slot, q0, q1 } => state.apply_2q(program.unitary(slot), q0, q1),
+            TapeOp::Channel1q { channel, q } => {
+                unravel_channel(state, candidate, program.channel(channel), &[q], rng)
+            }
+            TapeOp::Channel2q { channel, q0, q1 } => {
+                unravel_channel(state, candidate, program.channel(channel), &[q0, q1], rng)
+            }
+        }
+    }
+    if traj_shots == 0 {
+        return;
+    }
+    let readout = program.readout();
+    state.probabilities_into(probs);
+    sampler.sample_indices_into(probs, traj_shots, rng, indices);
+    for &idx in indices.iter() {
+        let corrupted = readout.corrupt(idx as u64, rng);
+        hist[corrupted as usize] += 1;
+    }
 }
 
 impl TrajectoryEngine {
     /// Creates an engine running `trajectories` unravelings per job.
+    /// Execution is serial until [`TrajectoryEngine::set_parallel_ctx`]
+    /// attaches a worker team.
     ///
     /// # Panics
     ///
@@ -466,7 +674,21 @@ impl TrajectoryEngine {
             sampler: ShotSampler::default(),
             indices: Vec::new(),
             hist: Vec::new(),
+            ctx: ParallelCtx::SERIAL,
+            lanes: Vec::new(),
         }
+    }
+
+    /// Attaches (or detaches, with a serial context) the worker team
+    /// that [`TrajectoryEngine::run_program_par`] fans trajectories
+    /// over.
+    pub fn set_parallel_ctx(&mut self, ctx: ParallelCtx) {
+        self.ctx = ctx;
+    }
+
+    /// The engine's current parallel context.
+    pub fn parallel_ctx(&self) -> &ParallelCtx {
+        &self.ctx
     }
 
     /// Trajectories per job.
@@ -492,59 +714,154 @@ impl TrajectoryEngine {
         rng: &mut R,
     ) -> Counts {
         let n = program.num_qubits();
-        let readout = program.readout();
         let base = shots / self.trajectories;
         let extra = shots % self.trajectories;
         self.hist.clear();
         self.hist.resize(1usize << n, 0);
         for t in 0..self.trajectories {
-            let state = match &mut self.state {
-                Some(s) => {
-                    s.reset_to(n);
-                    s
-                }
-                None => self.state.insert(StateVector::new(n)),
-            };
-            let candidate = match &mut self.candidate {
-                Some(s) => {
-                    s.reset_to(n);
-                    s
-                }
-                None => self.candidate.insert(StateVector::new(n)),
-            };
-            for op in program.ops() {
-                match *op {
-                    TapeOp::Unitary1q { slot, q } => state.apply_1q(program.unitary(slot), q),
-                    TapeOp::Unitary2q { slot, q0, q1 } => {
-                        state.apply_2q(program.unitary(slot), q0, q1)
-                    }
-                    TapeOp::Channel1q { channel, q } => {
-                        unravel_channel(state, candidate, program.channel(channel), &[q], rng)
-                    }
-                    TapeOp::Channel2q { channel, q0, q1 } => {
-                        unravel_channel(state, candidate, program.channel(channel), &[q0, q1], rng)
-                    }
-                }
-            }
             let traj_shots = base + usize::from(t < extra);
-            if traj_shots == 0 {
-                continue;
+            run_trajectory(
+                program,
+                &mut self.state,
+                &mut self.candidate,
+                &mut self.probs,
+                &mut self.sampler,
+                &mut self.indices,
+                &mut self.hist,
+                traj_shots,
+                rng,
+            );
+        }
+        self.collect_counts(n)
+    }
+
+    /// Parallel entry point: fans independent trajectories over the
+    /// attached worker team in contiguous chunks.
+    ///
+    /// Trajectories consume a statically known number of RNG draws
+    /// (one per channel op, plus — when the trajectory samples — one
+    /// per shot and one per readout qubit with a nonzero flip
+    /// probability per shot), so each lane starts from a clone of the
+    /// caller's [`StdRng`] advanced past the preceding trajectories'
+    /// draws. Counts are byte-identical to
+    /// [`TrajectoryEngine::run_program`] with the same seed, and the
+    /// caller's RNG leaves having consumed the exact serial stream.
+    /// Falls back to the serial path when no team is attached.
+    pub fn run_program_par(
+        &mut self,
+        program: &CompiledProgram,
+        shots: usize,
+        rng: &mut StdRng,
+    ) -> Counts {
+        if !self.ctx.is_parallel() || self.trajectories < 2 {
+            return self.run_program(program, shots, rng);
+        }
+        let n = program.num_qubits();
+        let dim = 1usize << n;
+        let total_traj = self.trajectories;
+        let base = shots / total_traj;
+        let extra = shots % total_traj;
+        let readout = program.readout();
+        let channel_draws = program
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, TapeOp::Channel1q { .. } | TapeOp::Channel2q { .. }))
+            .count() as u64;
+        let flip_qubits = (0..readout.num_qubits())
+            .filter(|&q| readout.flip_probability(q) > 0.0)
+            .count() as u64;
+        let n_chunks = self.ctx.workers().min(total_traj);
+        let per = total_traj.div_ceil(n_chunks);
+        let n_chunks = total_traj.div_ceil(per);
+        if self.lanes.len() < n_chunks {
+            self.lanes.resize_with(n_chunks, TrajLane::default);
+        }
+        let mut skipped: u64 = 0;
+        for c in 0..n_chunks {
+            let t0 = c * per;
+            let t1 = (t0 + per).min(total_traj);
+            let lane = &mut self.lanes[c];
+            lane.hist.clear();
+            lane.hist.resize(dim, 0);
+            let mut lane_rng = rng.clone();
+            for _ in 0..skipped {
+                let _: f64 = lane_rng.gen();
             }
-            state.probabilities_into(&mut self.probs);
-            self.sampler
-                .sample_indices_into(&self.probs, traj_shots, rng, &mut self.indices);
-            for &idx in &self.indices {
-                let corrupted = readout.corrupt(idx as u64, rng);
-                self.hist[corrupted as usize] += 1;
+            lane.rng = Some(lane_rng);
+            // Draws this chunk will consume, skipped by later lanes:
+            // channel unravelings for every trajectory plus sampling
+            // draws for the chunk's shot share.
+            let chunk_shots =
+                ((t1 - t0) * base + extra.min(t1).saturating_sub(extra.min(t0))) as u64;
+            skipped += (t1 - t0) as u64 * channel_draws + chunk_shots * (1 + flip_qubits);
+        }
+        let lanes_ptr = LanePtr(self.lanes.as_mut_ptr());
+        self.ctx.run(n_chunks, |c| {
+            // SAFETY: `run` hands each chunk index to exactly one
+            // worker, so each lane is mutated by a single thread.
+            let lane = unsafe { lanes_ptr.lane(c) };
+            let rng = lane.rng.as_mut().expect("lane rng seeded above");
+            let t0 = c * per;
+            let t1 = (t0 + per).min(total_traj);
+            for t in t0..t1 {
+                let traj_shots = base + usize::from(t < extra);
+                run_trajectory(
+                    program,
+                    &mut lane.state,
+                    &mut lane.candidate,
+                    &mut lane.probs,
+                    &mut lane.sampler,
+                    &mut lane.indices,
+                    &mut lane.hist,
+                    traj_shots,
+                    rng,
+                );
+            }
+        });
+        // The last lane's RNG has consumed exactly the full serial
+        // stream; hand it back so the caller observes the same draws as
+        // the serial path.
+        *rng = self.lanes[n_chunks - 1]
+            .rng
+            .take()
+            .expect("lane rng seeded above");
+        self.hist.clear();
+        self.hist.resize(dim, 0);
+        for lane in &self.lanes[..n_chunks] {
+            for (h, l) in self.hist.iter_mut().zip(&lane.hist) {
+                *h += *l;
             }
         }
-        let mut counts = Counts::new(n);
+        self.collect_counts(n)
+    }
+
+    /// Builds the `Counts` histogram from `self.hist` in ascending
+    /// basis-state order (shared by the serial and parallel paths).
+    fn collect_counts(&self, n: usize) -> Counts {
+        let distinct = self.hist.iter().filter(|&&c| c > 0).count();
+        let mut counts = Counts::with_capacity(n, distinct);
         for (basis, &c) in self.hist.iter().enumerate() {
             if c > 0 {
                 counts.record(basis as u64, c);
             }
         }
         counts
+    }
+}
+
+/// Shares the lane array across the team; chunk indices are claimed
+/// exactly once, so lanes are never aliased.
+struct LanePtr(*mut TrajLane);
+unsafe impl Sync for LanePtr {}
+
+impl LanePtr {
+    /// # Safety
+    ///
+    /// `c` must be in bounds and each index dereferenced by at most one
+    /// thread at a time.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn lane<'a>(&self, c: usize) -> &'a mut TrajLane {
+        &mut *self.0.add(c)
     }
 }
 
@@ -701,6 +1018,83 @@ mod tests {
         prog.set_unitary(slot, CMatrix::identity(2));
         let zeros = engine.run_program(&prog, 100, &mut StdRng::seed_from_u64(5));
         assert_eq!(zeros.get(0), 100);
+    }
+
+    fn noisy_program() -> CompiledProgram {
+        let mut b = ProgramBuilder::new(3);
+        b.push_unitary(gates::h(), &[0]);
+        b.push_unitary(gates::cx(), &[0, 1]);
+        b.push_unitary(gates::ry(0.3), &[2]);
+        b.push_channel(&KrausChannel::depolarizing_1q(0.05), &[0]);
+        b.push_channel(&KrausChannel::amplitude_damping(0.1), &[2]);
+        b.push_channel(&KrausChannel::depolarizing_2q(0.02), &[1, 2]);
+        b.finish(ReadoutError::new(vec![0.02, 0.0, 0.01]), 700.0)
+    }
+
+    #[test]
+    fn parallel_trajectory_engine_is_bit_identical_to_serial() {
+        let prog = noisy_program();
+        let ctx = crate::parallel::ParallelCtx::with_workers(4);
+        // (trajectories, shots): even split, remainder spread, and
+        // more trajectories than shots (zero-shot trajectories).
+        for &(traj, shots) in &[(8usize, 1024usize), (7, 1000), (16, 10)] {
+            let mut serial = TrajectoryEngine::new(traj);
+            let mut s_rng = StdRng::seed_from_u64(11);
+            let s_counts = serial.run_program(&prog, shots, &mut s_rng);
+            let s_after: f64 = s_rng.gen();
+
+            let mut par = TrajectoryEngine::new(traj);
+            par.set_parallel_ctx(ctx.clone());
+            let mut p_rng = StdRng::seed_from_u64(11);
+            let p_counts = par.run_program_par(&prog, shots, &mut p_rng);
+            let p_after: f64 = p_rng.gen();
+
+            assert_eq!(s_counts, p_counts, "traj={traj} shots={shots}");
+            assert_eq!(
+                s_after.to_bits(),
+                p_after.to_bits(),
+                "caller RNG must leave at the same stream position"
+            );
+        }
+    }
+
+    #[test]
+    fn evolve_then_sample_matches_run_program() {
+        let prog = noisy_program();
+        let mut engine = DensityEngine::new();
+        let direct = engine.run_program(&prog, 4096, &mut StdRng::seed_from_u64(21));
+        let mut probs = Vec::new();
+        engine.evolve_probs(&prog, &mut probs);
+        let split = engine.sample_probs(&probs, 3, 4096, &mut StdRng::seed_from_u64(21));
+        assert_eq!(direct, split, "evolve/sample split must be byte-identical");
+    }
+
+    #[test]
+    fn shift_pair_fold_matches_two_full_evolutions() {
+        let mut b = ProgramBuilder::new(2);
+        b.push_unitary(gates::h(), &[0]);
+        let slot = b.push_parameterized(CMatrix::identity(2), &[1]);
+        b.push_unitary(gates::cx(), &[0, 1]);
+        b.push_channel(&KrausChannel::depolarizing_1q(0.03), &[1]);
+        let mut prog = b.finish(ReadoutError::new(vec![0.01, 0.02]), 500.0);
+
+        let fwd_mat = gates::ry(0.7 + std::f64::consts::FRAC_PI_2);
+        let bck_mat = gates::ry(0.7 - std::f64::consts::FRAC_PI_2);
+        let mut engine = DensityEngine::new();
+
+        prog.set_unitary(slot, fwd_mat.clone());
+        let mut fwd_ref = Vec::new();
+        engine.evolve_probs(&prog, &mut fwd_ref);
+        prog.set_unitary(slot, bck_mat.clone());
+        let mut bck_ref = Vec::new();
+        engine.evolve_probs(&prog, &mut bck_ref);
+
+        prog.set_unitary(slot, fwd_mat);
+        let (mut fwd, mut bck) = (Vec::new(), Vec::new());
+        engine.evolve_shift_pair_probs(&prog, slot, &bck_mat, &mut fwd, &mut bck);
+        let bits = |v: &[f64]| v.iter().map(|p| p.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&fwd), bits(&fwd_ref), "forward leg");
+        assert_eq!(bits(&bck), bits(&bck_ref), "backward leg");
     }
 
     #[test]

@@ -44,6 +44,18 @@ impl Counts {
         }
     }
 
+    /// Creates an empty histogram pre-sized for `distinct` distinct
+    /// basis states — the hot path builds the whole histogram in one
+    /// pass and knows the bin count up front, so sizing here avoids
+    /// rehash-and-grow cycles per job. Capacity never affects equality.
+    pub fn with_capacity(n_qubits: usize, distinct: usize) -> Self {
+        Counts {
+            n_qubits,
+            map: HashMap::with_capacity(distinct),
+            total: 0,
+        }
+    }
+
     /// Number of measured qubits.
     pub fn num_qubits(&self) -> usize {
         self.n_qubits
@@ -297,7 +309,8 @@ impl ShotSampler {
             };
             self.hist[idx.min(top)] += 1;
         }
-        let mut counts = Counts::new(n_qubits);
+        let distinct = self.hist.iter().filter(|&&c| c > 0).count();
+        let mut counts = Counts::with_capacity(n_qubits, distinct);
         for (basis, &c) in self.hist.iter().enumerate() {
             if c > 0 {
                 counts.record(basis as u64, c);

@@ -80,13 +80,13 @@ pub mod prelude {
         PriorityArbiter, Scheduler, StalenessDecay, TenantArbiter, Unshared, Weighting,
     };
     pub use eqc_core::{
-        ideal_backend, ClientNode, DiscreteEventExecutor, Ensemble, EnsembleBuilder,
-        EnsembleSession, EqcConfig, EqcError, EvictionEvent, Executor, FleetBuilder, FleetOutcome,
-        FleetRuntime, FleetService, FleetTelemetry, MembershipChange, PolicyConfig,
-        PolicyTelemetry, PoolConfig, PoolTelemetry, PooledExecutor, SequentialExecutor,
-        ServiceConfig, ServiceOutcome, ServiceTelemetry, ServiceTenantRecord, TenantConfig,
-        TenantHandle, TenantId, TenantTelemetry, ThreadedExecutor, TrainingReport, WeightBounds,
-        WeightProvenance,
+        ideal_backend, ClientNode, DiscreteEventExecutor, EngineTelemetry, Ensemble,
+        EnsembleBuilder, EnsembleSession, EqcConfig, EqcError, EvictionEvent, Executor,
+        FleetBuilder, FleetOutcome, FleetRuntime, FleetService, FleetTelemetry, MembershipChange,
+        PolicyConfig, PolicyTelemetry, PoolConfig, PoolTelemetry, PooledExecutor,
+        SequentialExecutor, ServiceConfig, ServiceOutcome, ServiceTelemetry, ServiceTenantRecord,
+        SimParallelism, TenantConfig, TenantHandle, TenantId, TenantTelemetry, ThreadedExecutor,
+        TrainingReport, WeightBounds, WeightProvenance,
     };
     pub use qcircuit::{Circuit, CircuitBuilder, Gate, Hamiltonian, PauliString};
     pub use qdevice::{catalog, DeviceSpec, QpuBackend, SimTime};

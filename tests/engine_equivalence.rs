@@ -273,6 +273,159 @@ fn template_recompiles_when_moved_across_backends() {
     );
 }
 
+/// A parameterized template circuit: one `Ry(theta_q)` per qubit, a CX
+/// chain, one `Rz(theta_{n+q})` per qubit — every rotation is a
+/// shift-rule target.
+fn sym_circuit(n: usize) -> qcircuit::Circuit {
+    let mut b = CircuitBuilder::new(n);
+    for q in 0..n {
+        b.ry_sym(q, q);
+    }
+    for q in 0..n - 1 {
+        b.cx(q, q + 1);
+    }
+    for q in 0..n {
+        b.rz_sym(q, n + q);
+    }
+    b.build()
+}
+
+#[test]
+fn shift_pair_folding_is_byte_identical_across_recompile() {
+    // The folded path evolves a forward/backward shift pair's shared
+    // tape prefix once. It must stay byte-identical to the unfolded
+    // run-at-a-time path even while the drifting backend recompiles the
+    // template across noise epochs mid-walk.
+    use qdevice::{CompiledTemplate, TemplateRun};
+    use std::f64::consts::FRAC_PI_2;
+    let mut folded = stress_backend(33);
+    let mut unfolded = stress_backend(33).without_shift_fold();
+    let circuit = sym_circuit(4);
+    // Gate layout: ry_sym at 0..4, cx at 4..7, rz_sym at 7..11.
+    let runs = [
+        TemplateRun {
+            template: 0,
+            shift: Some((1, FRAC_PI_2)),
+        },
+        TemplateRun {
+            template: 0,
+            shift: None,
+        },
+        TemplateRun {
+            template: 0,
+            shift: Some((1, -FRAC_PI_2)),
+        },
+        TemplateRun {
+            template: 0,
+            shift: Some((9, FRAC_PI_2)),
+        },
+        TemplateRun {
+            template: 0,
+            shift: Some((9, -FRAC_PI_2)),
+        },
+        TemplateRun {
+            template: 0,
+            shift: Some((0, FRAC_PI_2)), // unpaired: must fall back to a solo bind
+        },
+    ];
+    let params: Vec<f64> = (0..8).map(|i| 0.2 + 0.15 * i as f64).collect();
+    let mut template_a = CompiledTemplate::new(circuit.clone(), vec![0, 1, 2, 3]);
+    let mut template_b = CompiledTemplate::new(circuit, vec![0, 1, 2, 3]);
+    let mut t = SimTime::ZERO;
+    for batch in 0..4 {
+        let (ca, ra) = folded.execute_templates(&mut [&mut template_a], &runs, &params, 512, t);
+        let (cb, rb) = unfolded.execute_templates(&mut [&mut template_b], &runs, &params, 512, t);
+        assert_eq!(ca, cb, "per-run counts diverge at batch {batch}");
+        assert_eq!(
+            ra.completed.as_secs().to_bits(),
+            rb.completed.as_secs().to_bits(),
+            "timing diverges at batch {batch}"
+        );
+        // Jump past the 3-minute recalibration period between batches.
+        t = ra.completed + 600.0;
+    }
+    assert!(
+        template_a.compiles() >= 2,
+        "the walk must straddle a noise-epoch recompile, saw {} compiles",
+        template_a.compiles()
+    );
+    assert_eq!(template_a.compiles(), template_b.compiles());
+    assert_eq!(
+        folded.folded_pairs(),
+        8,
+        "two foldable pairs per batch over four batches"
+    );
+    assert_eq!(unfolded.folded_pairs(), 0);
+}
+
+fn parallel_fleet(par: SimParallelism, simulator: SimulatorKind) -> Ensemble {
+    let mut builder = Ensemble::builder();
+    for (i, name) in ["belem", "manila", "bogota"].iter().enumerate() {
+        let spec = catalog::by_name(name).expect("catalog device");
+        builder = builder.backend(spec.backend(300 + i as u64).with_simulator(simulator));
+    }
+    builder
+        .config(
+            EqcConfig::paper_qaoa()
+                .with_epochs(6)
+                .with_shots(512)
+                .with_sim_parallelism(par),
+        )
+        .build()
+        .expect("fleet builds")
+}
+
+#[test]
+fn density_training_report_identical_under_worker_team() {
+    let problem = QaoaProblem::maxcut_ring4();
+    let fast = parallel_fleet(SimParallelism::Workers(4), SimulatorKind::Density)
+        .train(&problem)
+        .expect("parallel path trains");
+    let slow = parallel_fleet(SimParallelism::Serial, SimulatorKind::Density)
+        .train(&problem)
+        .expect("serial path trains");
+    assert_eq!(fast, slow, "structurally identical reports");
+    assert_eq!(format!("{fast:?}"), format!("{slow:?}"));
+}
+
+#[test]
+fn trajectory_training_report_identical_under_worker_team() {
+    let problem = QaoaProblem::maxcut_ring4();
+    let fast = parallel_fleet(SimParallelism::Workers(3), SimulatorKind::Trajectories(24))
+        .train(&problem)
+        .expect("parallel path trains");
+    let slow = parallel_fleet(SimParallelism::Serial, SimulatorKind::Trajectories(24))
+        .train(&problem)
+        .expect("serial path trains");
+    assert_eq!(fast, slow);
+    assert_eq!(format!("{fast:?}"), format!("{slow:?}"));
+}
+
+#[test]
+fn engine_telemetry_reports_lanes_and_folded_pairs() {
+    let problem = QaoaProblem::maxcut_ring4();
+    let ensemble = parallel_fleet(SimParallelism::Workers(3), SimulatorKind::Density);
+    let mut session = ensemble.session(&problem).expect("session binds");
+    let report = DiscreteEventExecutor::new()
+        .run(&mut session)
+        .expect("trains");
+    assert!(report.epochs > 0);
+    let telem = session.engine_telemetry();
+    assert_eq!(telem.workers, 3, "lanes follow the SimParallelism knob");
+    assert!(
+        telem.folded_pairs > 0,
+        "shift-rule gradient batches must fold forward/backward pairs"
+    );
+    assert!(telem.jobs > 0);
+    assert_eq!(
+        format!("{telem}"),
+        format!(
+            "{} engine lanes, {} folded pairs, {} jobs",
+            telem.workers, telem.folded_pairs, telem.jobs
+        )
+    );
+}
+
 #[test]
 fn wrapper_executors_match_reference_functions() {
     // The public execute_density / execute_trajectories wrappers (used
