@@ -1,0 +1,192 @@
+//! Shared-queue contention ablation: 2/8/32 concurrent tenants ×
+//! {unshared, shared} queue substrates on one 64-device fleet.
+//!
+//! The default fleet substrates give every tenant a byte-isolated copy
+//! of each device's cloud queue — co-tenants never lengthen each
+//! other's waits. The shared substrate replaces those copies with one
+//! occupancy ledger per physical device, so every tenant's bookings
+//! land on the same timeline. This harness scales the tenant count on
+//! both substrates and reports what contention costs: total and
+//! worst-tenant queue-wait hours, grant rounds and throughput spread.
+//!
+//! Oracles asserted per run: a single tenant on the shared substrate
+//! (zero exogenous load) replays the byte-isolated discrete-event
+//! fleet — and therefore the standalone ensemble — byte for byte;
+//! every tenant trains its full epoch budget; shared-substrate runs
+//! report one occupancy row per device; and at every size the shared
+//! substrate's total queue waits are at least the unshared total.
+//!
+//! Run with: `cargo run --release -p eqc-bench --bin fig_contention`
+//!
+//! Environment: `EQC_FLEET_CLIENTS` (devices, default 64),
+//! `EQC_TENANTS` (max tenants, default 32), `EQC_EPOCHS` (default 2),
+//! `EQC_SHOTS` (default 128).
+//!
+//! Emits one machine-readable JSON line per (tenant count, substrate)
+//! cell (`{"bench":"contention8","substrate":"shared",...}`) for the
+//! perf-trajectory dashboard.
+
+use eqc_bench::{env_param, epochs_or, markdown_table, shots_or, tenant_fleet_builder, write_csv};
+use eqc_core::{EqcConfig, FleetBuilder, FleetOutcome, TenantConfig};
+use std::time::Instant;
+use vqa::QaoaProblem;
+
+/// One ablation cell's substrate: display name + builder configurator.
+type SubstrateCell = (&'static str, fn(FleetBuilder) -> FleetBuilder);
+
+fn main() {
+    let devices = env_param("EQC_FLEET_CLIENTS", 64);
+    let max_tenants = env_param("EQC_TENANTS", 32);
+    let epochs = epochs_or(2);
+    let shots = shots_or(128);
+    let problem = QaoaProblem::maxcut_ring4();
+    let commit = std::env::var("GITHUB_SHA").unwrap_or_else(|_| "local".into());
+    println!(
+        "# Shared-queue contention — 2..{max_tenants} tenants x {{unshared, shared}} \
+         on a {devices}-device pool ({epochs} epochs, {shots} shots each)\n"
+    );
+
+    let cfg = EqcConfig::paper_qaoa()
+        .with_epochs(epochs)
+        .with_shots(shots);
+
+    // Oracle: one tenant over zero-load shared ledgers == the
+    // byte-isolated discrete-event fleet, byte for byte — the ledger
+    // path is a refactor of the isolated queue arithmetic, not a new
+    // latency model.
+    {
+        let run_single = |builder: FleetBuilder| -> FleetOutcome {
+            let mut fleet = builder.build().expect("fleet builds");
+            fleet
+                .admit(&problem, TenantConfig::new(cfg))
+                .expect("admits");
+            fleet.run().expect("single tenant runs")
+        };
+        let des = run_single(tenant_fleet_builder(devices));
+        let shared = run_single(tenant_fleet_builder(devices).shared());
+        assert_eq!(
+            format!("{:?}", des.reports),
+            format!("{:?}", shared.reports),
+            "zero-load single-tenant shared substrate must replay the DES fleet byte for byte"
+        );
+        assert_eq!(des.telemetry.tenants, shared.telemetry.tenants);
+        assert_eq!(shared.telemetry.occupancy.len(), devices);
+    }
+    println!("single-tenant oracle: shared substrate == DES fleet (byte-identical)\n");
+
+    let substrates: [SubstrateCell; 2] = [("unshared", |b| b), ("shared", FleetBuilder::shared)];
+    let sizes: Vec<usize> = [2usize, 8, 32]
+        .into_iter()
+        .filter(|&k| k <= max_tenants)
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut csv = String::from(
+        "tenants,substrate,wall_ms,grant_rounds,total_queue_wait_h,max_queue_wait_h,\
+         min_eph,max_eph\n",
+    );
+    for &k in &sizes {
+        let mut unshared_total = f64::NAN;
+        for &(substrate_name, with_substrate) in &substrates {
+            let mut fleet = with_substrate(tenant_fleet_builder(devices))
+                .build()
+                .expect("fleet builds");
+            for t in 0..k {
+                fleet
+                    .admit(
+                        &problem,
+                        TenantConfig::new(cfg.with_seed(7 + t as u64)).label(format!("tenant{t}")),
+                    )
+                    .expect("admits");
+            }
+            let start = Instant::now();
+            let outcome = fleet.run().expect("fleet runs");
+            let wall_ms = start.elapsed().as_millis();
+
+            assert_eq!(outcome.reports.len(), k);
+            for (report, tenant) in outcome.reports.iter().zip(&outcome.telemetry.tenants) {
+                assert_eq!(report.epochs, epochs, "{} under-trained", tenant.label);
+            }
+            let shared_run = substrate_name == "shared";
+            assert_eq!(
+                outcome.telemetry.occupancy.len(),
+                if shared_run { devices } else { 0 },
+                "only the shared substrate has per-device ledgers to report"
+            );
+
+            let waits: Vec<f64> = outcome
+                .telemetry
+                .tenants
+                .iter()
+                .map(|t| t.queue_wait_hours)
+                .collect();
+            let total_wait_h: f64 = waits.iter().sum();
+            let max_wait_h = waits.iter().copied().fold(0.0, f64::max);
+            if shared_run {
+                assert!(
+                    total_wait_h >= unshared_total,
+                    "sharing one queue timeline cannot shorten total waits: \
+                     shared {total_wait_h} vs unshared {unshared_total}"
+                );
+            } else {
+                unshared_total = total_wait_h;
+            }
+            let eph: Vec<f64> = outcome
+                .telemetry
+                .tenants
+                .iter()
+                .map(|t| t.epochs_per_hour)
+                .collect();
+            let min_eph = eph.iter().copied().fold(f64::INFINITY, f64::min);
+            let max_eph = eph.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+
+            println!(
+                "  [{substrate_name} x{k}] total queue wait {total_wait_h:.3} h, \
+                 worst tenant {max_wait_h:.3} h, {} grant rounds",
+                outcome.telemetry.grant_rounds,
+            );
+            rows.push(vec![
+                k.to_string(),
+                substrate_name.to_string(),
+                wall_ms.to_string(),
+                outcome.telemetry.grant_rounds.to_string(),
+                format!("{total_wait_h:.3}"),
+                format!("{max_wait_h:.3}"),
+                format!("{min_eph:.3}"),
+                format!("{max_eph:.3}"),
+            ]);
+            csv.push_str(&format!(
+                "{k},{substrate_name},{wall_ms},{},{total_wait_h:.6},{max_wait_h:.6},\
+                 {min_eph:.6},{max_eph:.6}\n",
+                outcome.telemetry.grant_rounds,
+            ));
+            println!(
+                "{{\"bench\":\"contention{k}\",\"substrate\":\"{substrate_name}\",\
+                 \"devices\":{devices},\"epochs\":{epochs},\"shots\":{shots},\
+                 \"wall_ms\":{wall_ms},\"grant_rounds\":{},\
+                 \"total_queue_wait_h\":{total_wait_h:.4},\"max_queue_wait_h\":{max_wait_h:.4},\
+                 \"min_eph\":{min_eph:.4},\"max_eph\":{max_eph:.4},\"commit\":\"{commit}\"}}",
+                outcome.telemetry.grant_rounds,
+            );
+        }
+    }
+
+    println!("\n## Contention scaling (deterministic discrete-event fleet)\n");
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "tenants",
+                "substrate",
+                "wall ms",
+                "grant rounds",
+                "total queue wait h",
+                "max queue wait h",
+                "min epochs/h",
+                "max epochs/h"
+            ],
+            &rows
+        )
+    );
+    write_csv("fig_contention.csv", &csv);
+}

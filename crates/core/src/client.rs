@@ -159,6 +159,12 @@ impl ClientNode {
         &self.backend
     }
 
+    /// Mutably borrows the backend — the fleet's shared substrate uses
+    /// this to attach/detach the per-device occupancy ledger.
+    pub(crate) fn backend_mut(&mut self) -> &mut QpuBackend {
+        &mut self.backend
+    }
+
     /// Number of problem templates this client prepared.
     pub fn num_templates(&self) -> usize {
         self.templates.len()

@@ -23,19 +23,35 @@ pub enum SimParallelism {
     Serial,
     /// A worker team with this many total lanes (the submitting thread
     /// plus `n - 1` spawned workers). `Workers(1)` is equivalent to
-    /// [`SimParallelism::Serial`].
+    /// [`SimParallelism::Serial`]. The fan-out threshold stays at the
+    /// engine default ([`qsim::DEFAULT_PAR_MIN_DIM`]).
     Workers(usize),
+    /// A worker team with an explicit fan-out threshold: kernel passes
+    /// on states of Hilbert dimension below `min_dim` stay on the
+    /// serial fast path even under the team. `Tuned { workers, min_dim:
+    /// qsim::DEFAULT_PAR_MIN_DIM }` is equivalent to
+    /// `Workers(workers)`; a smaller `min_dim` lets small-qubit
+    /// workloads fan out too. Byte-identical results at any setting.
+    Tuned {
+        /// Total lanes of parallelism (as in [`SimParallelism::Workers`]).
+        workers: usize,
+        /// Minimum Hilbert dimension before kernel passes use the team.
+        min_dim: usize,
+    },
 }
 
 impl SimParallelism {
     /// Builds the parallel context this setting describes. Each call
-    /// spawns a fresh team for [`SimParallelism::Workers`]; callers
-    /// build one per session and share it across that session's
-    /// backends.
+    /// spawns a fresh team for [`SimParallelism::Workers`] and
+    /// [`SimParallelism::Tuned`]; callers build one per session and
+    /// share it across that session's backends.
     pub fn build_ctx(&self) -> ParallelCtx {
         match *self {
             SimParallelism::Serial => ParallelCtx::serial(),
             SimParallelism::Workers(n) => ParallelCtx::with_workers(n),
+            SimParallelism::Tuned { workers, min_dim } => {
+                ParallelCtx::with_workers(workers).with_min_dim(min_dim)
+            }
         }
     }
 
@@ -44,6 +60,7 @@ impl SimParallelism {
         match *self {
             SimParallelism::Serial => 1,
             SimParallelism::Workers(n) => n.max(1),
+            SimParallelism::Tuned { workers, .. } => workers.max(1),
         }
     }
 }
@@ -184,7 +201,10 @@ impl EqcConfig {
                 )));
             }
         }
-        if self.sim_parallelism == SimParallelism::Workers(0) {
+        if matches!(
+            self.sim_parallelism,
+            SimParallelism::Workers(0) | SimParallelism::Tuned { workers: 0, .. }
+        ) {
             return Err(EqcError::InvalidConfig(
                 "engine worker-team lanes must be positive".into(),
             ));
@@ -586,6 +606,36 @@ mod tests {
             ServiceConfig::default().with_max_pending(0).validate(),
             Err(EqcError::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    fn tuned_parallelism_validates_and_resolves() {
+        use crate::error::EqcError;
+        let tuned = SimParallelism::Tuned {
+            workers: 4,
+            min_dim: 2,
+        };
+        assert_eq!(tuned.lanes(), 4);
+        assert!(EqcConfig::paper_qaoa()
+            .with_sim_parallelism(tuned)
+            .validate()
+            .is_ok());
+        assert!(matches!(
+            EqcConfig::paper_qaoa()
+                .with_sim_parallelism(SimParallelism::Tuned {
+                    workers: 0,
+                    min_dim: 64
+                })
+                .validate(),
+            Err(EqcError::InvalidConfig(_))
+        ));
+        let ctx = SimParallelism::Tuned {
+            workers: 2,
+            min_dim: 8,
+        }
+        .build_ctx();
+        assert_eq!(ctx.workers(), 2);
+        assert_eq!(ctx.min_dim(), 8);
     }
 
     #[test]

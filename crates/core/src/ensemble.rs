@@ -50,14 +50,7 @@ use vqa::VqaProblem;
 /// samples 8192 shots.
 pub fn ideal_backend(n_qubits: usize, seed: u64) -> QpuBackend {
     let cal = Calibration::uniform(n_qubits, f64::INFINITY, f64::INFINITY, 0.0, 0.0, 0.0);
-    let queue = QueueModel {
-        overhead_s: 0.0,
-        mean_wait_s: 0.0,
-        diurnal_amplitude: 0.0,
-        phase_hours: 0.0,
-        period_hours: 24.0,
-        reset_time_us: 0.0,
-    };
+    let queue = ideal_queue();
     QpuBackend::new(
         "ideal",
         Topology::fully_connected(n_qubits.max(2)),
@@ -70,6 +63,19 @@ pub fn ideal_backend(n_qubits: usize, seed: u64) -> QpuBackend {
     .with_downtime_hours(0.0)
 }
 
+/// The zero-wait queue model of the ideal simulator — also the base
+/// load curve of an ideal device's shared-substrate ledger.
+pub(crate) fn ideal_queue() -> QueueModel {
+    QueueModel {
+        overhead_s: 0.0,
+        mean_wait_s: 0.0,
+        diurnal_amplitude: 0.0,
+        phase_hours: 0.0,
+        period_hours: 24.0,
+        reset_time_us: 0.0,
+    }
+}
+
 /// One device slot of an ensemble or fleet, resolved lazily where
 /// needed.
 #[derive(Clone, Debug)]
@@ -79,6 +85,25 @@ pub(crate) enum Device {
     /// A noiseless zero-latency device, sized to the problem at session
     /// time.
     Ideal { seed: u64 },
+}
+
+impl Device {
+    /// The device's base-load queue model — the exogenous wait curve a
+    /// shared-substrate ledger starts from.
+    pub(crate) fn base_queue(&self) -> QueueModel {
+        match self {
+            Device::Backend(b) => b.queue().clone(),
+            Device::Ideal { .. } => ideal_queue(),
+        }
+    }
+
+    /// The device's display name (occupancy telemetry rows).
+    pub(crate) fn label(&self) -> String {
+        match self {
+            Device::Backend(b) => b.name().to_string(),
+            Device::Ideal { .. } => "ideal".to_string(),
+        }
+    }
 }
 
 /// A device request before catalog resolution, shared by
@@ -585,6 +610,45 @@ mod tests {
         assert!(first.is_ok());
         let second = DiscreteEventExecutor::new().run(&mut session);
         assert_eq!(second.unwrap_err(), EqcError::SessionConsumed);
+    }
+
+    #[test]
+    fn tuned_parallelism_is_byte_identical_to_serial() {
+        use crate::config::SimParallelism;
+        let problem = vqa::QaoaProblem::maxcut_ring4();
+        let train = |parallelism: SimParallelism| {
+            Ensemble::builder()
+                .devices(["belem", "manila"])
+                .device_seed(7)
+                .config(
+                    EqcConfig::paper_qaoa()
+                        .with_epochs(2)
+                        .with_shots(128)
+                        .with_sim_parallelism(parallelism),
+                )
+                .build()
+                .expect("builds")
+                .train(&problem)
+                .expect("trains")
+        };
+        let serial = train(SimParallelism::Serial);
+        // min_dim 2 forces the 4-qubit (dim-16) kernels onto the team —
+        // the default threshold of 64 would leave them serial and the
+        // equivalence vacuous.
+        let tuned = train(SimParallelism::Tuned {
+            workers: 2,
+            min_dim: 2,
+        });
+        assert_eq!(
+            format!("{serial:?}"),
+            format!("{tuned:?}"),
+            "kernel fan-out must partition work, never reorder arithmetic"
+        );
+        let default_threshold = train(SimParallelism::Tuned {
+            workers: 2,
+            min_dim: qsim::DEFAULT_PAR_MIN_DIM,
+        });
+        assert_eq!(format!("{serial:?}"), format!("{default_threshold:?}"));
     }
 
     #[test]

@@ -90,9 +90,12 @@ use crate::error::EqcError;
 use crate::executor::Event;
 use crate::master::{Assignment, MasterLoop};
 use crate::policy::arbiter::{ArbiterContext, FairShare, TenantArbiter, TenantLoad};
+use crate::policy::FleetOccupancy;
 use crate::pool::RunQueue;
-use crate::report::{FleetTelemetry, PoolTelemetry, TenantTelemetry, TrainingReport};
-use qdevice::{QueueModel, SimTime};
+use crate::report::{
+    DeviceOccupancy, FleetTelemetry, PoolTelemetry, TenantTelemetry, TrainingReport,
+};
+use qdevice::{DeviceQueue, LoadModel, QueueModel, SimTime};
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
@@ -205,6 +208,29 @@ pub(crate) enum Substrate {
     /// Bounded worker pool; `None` resolves to the machine's available
     /// parallelism. Byte-identical outcome to [`Substrate::DiscreteEvent`].
     Pooled { workers: Option<usize> },
+    /// One shared [`DeviceQueue`] timeline per *physical* device: every
+    /// tenant's clone of device `i` resolves its start times through
+    /// ledger `i`, so co-tenant bookings (and the optional exogenous
+    /// `load`) lengthen each other's waits. With `LoadModel::None` and a
+    /// single tenant this replays [`Substrate::DiscreteEvent`] byte for
+    /// byte (pinned by tests).
+    Shared { load: LoadModel },
+}
+
+impl Substrate {
+    /// Validates substrate parameters at build time: pooled worker
+    /// counts must be positive, exogenous load generators well-formed.
+    pub(crate) fn validate(&self) -> Result<(), EqcError> {
+        match self {
+            Substrate::Pooled { workers: Some(0) } => Err(EqcError::InvalidConfig(
+                "pool worker count must be positive".into(),
+            )),
+            Substrate::Shared { load } => load
+                .validate()
+                .map_err(|e| EqcError::InvalidConfig(e.to_string())),
+            _ => Ok(()),
+        }
+    }
 }
 
 /// One admitted tenant: its problem binding (clients transpiled per
@@ -358,8 +384,24 @@ impl<'p> FleetRuntime<'p> {
                     .with_deadline(*deadline_h)
             })
             .collect();
+        // Ledgers are built fresh per run: device state persists across
+        // runs only through the [`Device`] pool, so identical admissions
+        // replay identically (pinned by `fleet_is_reusable_across_runs`).
+        let shared_ledgers = match self.substrate {
+            Substrate::Shared { load } => Some(ledgers_for(&self.devices, load)?),
+            _ => None,
+        };
         let (driven, pool) = match self.substrate {
             Substrate::DiscreteEvent => (drive_des(&mut lanes, self.arbiter.as_ref(), slots), None),
+            Substrate::Shared { .. } => (
+                drive_shared(
+                    &mut lanes,
+                    self.arbiter.as_ref(),
+                    slots,
+                    shared_ledgers.as_deref().expect("ledgers built above"),
+                ),
+                None,
+            ),
             Substrate::Pooled { workers } => {
                 let total = lanes.iter().map(|l| l.clients.len()).sum();
                 let resolved = PoolConfig {
@@ -396,9 +438,26 @@ impl<'p> FleetRuntime<'p> {
                 wait_rounds: counters.wait_rounds,
                 starved_rounds: counters.starved_rounds,
                 client_share: counters.client_share,
+                queue_wait_hours: queue_wait_hours(&tenant.clients),
             });
             reports.push(report);
         }
+        let occupancy = match &shared_ledgers {
+            Some(ledgers) => {
+                // Per-device queue-wait across tenants, summed in
+                // admission order (a deterministic f64 reduction order).
+                let queued_s: Vec<f64> = (0..slots)
+                    .map(|d| {
+                        tenants
+                            .iter()
+                            .map(|t| t.clients[d].backend().queued_seconds())
+                            .sum()
+                    })
+                    .collect();
+                occupancy_rows(&self.devices, ledgers, &queued_s)
+            }
+            None => Vec::new(),
+        };
         Ok(FleetOutcome {
             reports,
             telemetry: FleetTelemetry {
@@ -406,6 +465,7 @@ impl<'p> FleetRuntime<'p> {
                 devices: slots,
                 grant_rounds: stats.grant_rounds,
                 tenants: per_tenant,
+                occupancy,
             },
             pool,
             batch,
@@ -514,19 +574,34 @@ impl FleetBuilder {
         self
     }
 
+    /// Runs the fleet on the shared-queue substrate: one occupancy
+    /// ledger per physical device, across tenants, with no exogenous
+    /// load. A zero-load single-tenant shared run replays the
+    /// discrete-event substrate byte for byte; with co-tenants, each
+    /// tenant's bookings lengthen the others' waits.
+    pub fn shared(self) -> Self {
+        self.shared_with_load(LoadModel::None)
+    }
+
+    /// Runs the fleet on the shared-queue substrate with an exogenous
+    /// [`LoadModel`] pressuring every device's ledger (the rest of the
+    /// cloud's users). The Poisson generator's seed is offset per device
+    /// so devices draw independent arrival streams.
+    pub fn shared_with_load(mut self, load: LoadModel) -> Self {
+        self.substrate = Substrate::Shared { load };
+        self
+    }
+
     /// Validates and resolves the fleet's device pool.
     ///
     /// # Errors
     ///
     /// [`EqcError::EmptyEnsemble`] with no devices,
     /// [`EqcError::UnknownDevice`] for names missing from the catalog,
-    /// [`EqcError::InvalidConfig`] for a zero pooled worker count.
+    /// [`EqcError::InvalidConfig`] for a zero pooled worker count or a
+    /// malformed shared-substrate load generator.
     pub fn build<'p>(self) -> Result<FleetRuntime<'p>, EqcError> {
-        if let Substrate::Pooled { workers: Some(0) } = self.substrate {
-            return Err(EqcError::InvalidConfig(
-                "pool worker count must be positive".into(),
-            ));
-        }
+        self.substrate.validate()?;
         Ok(FleetRuntime {
             devices: resolve_devices(self.devices, self.device_seed)?,
             arbiter: self.arbiter,
@@ -555,11 +630,7 @@ impl FleetBuilder {
     /// an invalid service configuration.
     pub fn service_with<'p>(self, config: ServiceConfig) -> Result<FleetService<'p>, EqcError> {
         config.validate()?;
-        if let Substrate::Pooled { workers: Some(0) } = self.substrate {
-            return Err(EqcError::InvalidConfig(
-                "pool worker count must be positive".into(),
-            ));
-        }
+        self.substrate.validate()?;
         Ok(FleetService::from_parts(
             resolve_devices(self.devices, self.device_seed)?,
             self.arbiter,
@@ -1009,6 +1080,268 @@ pub(crate) fn drive_des(
     })
 }
 
+/// One shared occupancy ledger per physical device, over the device's
+/// own base queue model and the fleet's exogenous load generator. The
+/// Poisson variant's seed is offset by the device index so devices draw
+/// independent arrival streams.
+pub(crate) fn ledgers_for(
+    devices: &[Device],
+    load: LoadModel,
+) -> Result<Vec<Arc<Mutex<DeviceQueue>>>, EqcError> {
+    devices
+        .iter()
+        .enumerate()
+        .map(|(d, dev)| {
+            let load = match load {
+                LoadModel::Poisson {
+                    jobs_per_hour,
+                    mean_job_s,
+                    seed,
+                } => LoadModel::Poisson {
+                    jobs_per_hour,
+                    mean_job_s,
+                    seed: seed.wrapping_add(d as u64),
+                },
+                other => other,
+            };
+            DeviceQueue::new(dev.base_queue(), load)
+                .map(|q| Arc::new(Mutex::new(q)))
+                .map_err(|e| EqcError::InvalidConfig(e.to_string()))
+        })
+        .collect()
+}
+
+/// One tenant's total device-queue wait (admission to start, all jobs
+/// on all devices), in hours.
+pub(crate) fn queue_wait_hours(clients: &[ClientNode]) -> f64 {
+    clients
+        .iter()
+        .map(|c| c.backend().queued_seconds())
+        .sum::<f64>()
+        / 3600.0
+}
+
+/// The per-device occupancy histogram read off the shared ledgers after
+/// a drive, with queue-wait hours supplied per device (summed across
+/// tenants by the caller, in a deterministic order).
+pub(crate) fn occupancy_rows(
+    devices: &[Device],
+    ledgers: &[Arc<Mutex<DeviceQueue>>],
+    queued_s: &[f64],
+) -> Vec<DeviceOccupancy> {
+    devices
+        .iter()
+        .zip(ledgers)
+        .enumerate()
+        .map(|(d, (dev, ledger))| {
+            let q = ledger.lock().expect("shared queue lock");
+            DeviceOccupancy {
+                device: dev.label(),
+                jobs: q.jobs_booked(),
+                booked_hours: q.booked_busy_s() / 3600.0,
+                queued_hours: queued_s.get(d).copied().unwrap_or(0.0) / 3600.0,
+            }
+        })
+        .collect()
+}
+
+/// A point-in-time [`FleetOccupancy`] snapshot of the shared ledgers.
+fn occupancy_snapshot(ledgers: &[Arc<Mutex<DeviceQueue>>]) -> FleetOccupancy {
+    let mut occ = FleetOccupancy::with_devices(ledgers.len());
+    for (d, ledger) in ledgers.iter().enumerate() {
+        let q = ledger.lock().expect("shared queue lock");
+        occ.booked_until_s[d] = q.horizon_s();
+        occ.backlog_s[d] = q.backlog_s();
+        occ.jobs_booked[d] = q.jobs_booked();
+    }
+    occ
+}
+
+/// Installs `snapshot` into one lane's master, shifted onto the lane's
+/// local clock (ledger horizons live on the fleet clock; the master
+/// compares pressure against its own virtual time).
+fn install_occupancy(lane: &mut Lane<'_, '_>, snapshot: &FleetOccupancy) {
+    let mut local = snapshot.clone();
+    if lane.offset_s != 0.0 {
+        for b in &mut local.booked_until_s {
+            *b -= lane.offset_s;
+        }
+    }
+    lane.master.set_fleet_occupancy(Some(local));
+}
+
+/// Refreshes the occupancy view of every lane whose scheduler actually
+/// consults queue estimates. Lanes under estimate-free schedulers (the
+/// paper's cyclic default) are never touched — their decision sequence,
+/// and hence the zero-load single-tenant oracle, stays byte-exact.
+fn refresh_occupancy(lanes: &mut [Lane<'_, '_>], ledgers: &[Arc<Mutex<DeviceQueue>>]) {
+    if !lanes.iter().any(|l| !l.done && l.master.wants_occupancy()) {
+        return;
+    }
+    let snapshot = occupancy_snapshot(ledgers);
+    for lane in lanes.iter_mut().filter(|l| !l.done) {
+        if lane.master.wants_occupancy() {
+            install_occupancy(lane, &snapshot);
+        }
+    }
+}
+
+/// [`grant_round`] over the shared substrate: identical capacity
+/// allocation, cap loop and starvation accounting, with one upgrade —
+/// a lane whose scheduler consults occupancy picks *which* ready client
+/// each grant dispatches via [`MasterLoop::pick_client`] over the whole
+/// ready set (refreshing the ledger snapshot per pick, so a co-tenant's
+/// booking earlier in the same round is already visible), instead of
+/// FIFO order. Estimate-free lanes keep the FIFO dispatch, byte for
+/// byte.
+fn grant_shared(
+    lanes: &mut [Lane<'_, '_>],
+    arbiter: &dyn TenantArbiter,
+    slots: usize,
+    round: u64,
+    ledgers: &[Arc<Mutex<DeviceQueue>>],
+) -> Result<(), EqcError> {
+    let loads = loads_of(lanes);
+    let caps = arbiter.allocate(&ArbiterContext {
+        loads: &loads,
+        total_slots: slots,
+        round,
+    });
+    for (t, lane) in lanes.iter_mut().enumerate() {
+        if lane.done || !lane.arrived {
+            continue;
+        }
+        let cap = caps.get(t).copied().unwrap_or(0);
+        let mut granted = 0usize;
+        while lane.in_flight < cap && !lane.ready.is_empty() {
+            let idx = if lane.master.wants_occupancy() && lane.ready.len() > 1 {
+                install_occupancy(lane, &occupancy_snapshot(ledgers));
+                let mut candidates: Vec<usize> = lane.ready.iter().map(|r| r.client).collect();
+                candidates.sort_unstable();
+                let pick = lane.master.pick_client(&candidates)?;
+                lane.ready
+                    .iter()
+                    .position(|r| r.client == pick)
+                    .expect("picked client comes from the ready set")
+            } else {
+                0
+            };
+            let r = lane.ready.remove(idx).expect("index within the ready set");
+            lane.dispatch_inline(r, round)?;
+            granted += 1;
+        }
+        if granted == 0 && lane.in_flight == 0 && !lane.ready.is_empty() {
+            lane.counters.starved_rounds += 1;
+        }
+    }
+    Ok(())
+}
+
+/// [`drive_stream_des`]'s shared-queue twin: the same resumable
+/// activate/grant/absorb stepper, with every lane's clone of physical
+/// device `d` attached to ledger `d` for the duration of the call (so
+/// start times resolve through one global timeline) and the occupancy
+/// view refreshed ahead of each scheduling decision point.
+pub(crate) fn drive_stream_shared(
+    lanes: &mut [Lane<'_, '_>],
+    arbiter: &dyn TenantArbiter,
+    slots: usize,
+    ledgers: &[Arc<Mutex<DeviceQueue>>],
+    clock: &mut DriveClock,
+    arrivals: &mut VecDeque<Arrival>,
+    on_retire: &mut dyn FnMut(usize, f64),
+) -> Result<(), EqcError> {
+    for lane in lanes.iter_mut() {
+        debug_assert_eq!(lane.clients.len(), ledgers.len());
+        for (d, client) in lane.clients.iter_mut().enumerate() {
+            client
+                .backend_mut()
+                .attach_shared_queue(Arc::clone(&ledgers[d]));
+        }
+    }
+    let driven = shared_stepper(lanes, arbiter, slots, ledgers, clock, arrivals, on_retire);
+    for lane in lanes.iter_mut() {
+        for client in lane.clients.iter_mut() {
+            client.backend_mut().detach_shared_queue();
+        }
+    }
+    driven
+}
+
+/// The stepper body behind [`drive_stream_shared`] — structurally the
+/// [`drive_stream_des`] loop with occupancy refreshes before the two
+/// multi-candidate scheduling points (priming at activation, capacity
+/// grants) and the shared grant loop in place of the inline one.
+fn shared_stepper(
+    lanes: &mut [Lane<'_, '_>],
+    arbiter: &dyn TenantArbiter,
+    slots: usize,
+    ledgers: &[Arc<Mutex<DeviceQueue>>],
+    clock: &mut DriveClock,
+    arrivals: &mut VecDeque<Arrival>,
+    on_retire: &mut dyn FnMut(usize, f64),
+) -> Result<(), EqcError> {
+    while !quiescent(lanes, arrivals) {
+        let next_event_s = next_lane(lanes)
+            .map(|t| lanes[t].offset_s + lanes[t].heap.peek().expect("head").completed.as_secs());
+        if let Some(a) = arrivals.front() {
+            if next_event_s.is_none_or(|e| a.at_s <= e) {
+                refresh_occupancy(lanes, ledgers);
+                activate_due(lanes, arrivals, clock, on_retire)?;
+                grant_shared(lanes, arbiter, slots, clock.round, ledgers)?;
+                clock.round += 1;
+                continue;
+            }
+        }
+        let Some(t) = next_lane(lanes) else {
+            return Err(EqcError::Internal(
+                "event queue drained before the epoch budget".into(),
+            ));
+        };
+        refresh_occupancy(lanes, ledgers);
+        let completed = absorb_next(lanes, t, clock.round)?;
+        clock.now_s = clock.now_s.max(lanes[t].offset_s + completed.as_secs());
+        if lanes[t].done {
+            on_retire(t, clock.now_s);
+        }
+        if quiescent(lanes, arrivals) {
+            break;
+        }
+        grant_shared(lanes, arbiter, slots, clock.round, ledgers)?;
+        clock.round += 1;
+    }
+    Ok(())
+}
+
+/// The batch shared-queue drive: the streaming stepper with every lane
+/// arriving at fleet time zero, exactly as [`drive_des`] wraps
+/// [`drive_stream_des`].
+pub(crate) fn drive_shared(
+    lanes: &mut [Lane<'_, '_>],
+    arbiter: &dyn TenantArbiter,
+    slots: usize,
+    ledgers: &[Arc<Mutex<DeviceQueue>>],
+) -> Result<DriveStats, EqcError> {
+    let mut clock = DriveClock::default();
+    let mut arrivals = arrivals_at_zero(lanes.len());
+    drive_stream_shared(
+        lanes,
+        arbiter,
+        slots,
+        ledgers,
+        &mut clock,
+        &mut arrivals,
+        &mut |_, _| {},
+    )?;
+    Ok(DriveStats {
+        grant_rounds: clock.round,
+        lanes: lanes
+            .iter_mut()
+            .map(|l| std::mem::take(&mut l.counters))
+            .collect(),
+    })
+}
+
 /// What the coordinator knows about one in-flight task's eventual
 /// virtual completion time.
 #[derive(Clone, Copy, Debug)]
@@ -1436,9 +1769,10 @@ fn coordinate_stream(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::EqcConfig;
+    use crate::config::{EqcConfig, PolicyConfig};
     use crate::ensemble::Ensemble;
-    use crate::policy::arbiter::{PriorityArbiter, Unshared};
+    use crate::policy::arbiter::{FairShare, PriorityArbiter, Unshared};
+    use crate::policy::ContentionAware;
     use vqa::QaoaProblem;
 
     fn fleet_cfg(epochs: usize) -> EqcConfig {
@@ -1579,6 +1913,120 @@ mod tests {
         assert_eq!(
             first.reports, second.reports,
             "persistent devices, fresh tenants: identical replay"
+        );
+    }
+
+    #[test]
+    fn shared_substrate_single_tenant_replays_des() {
+        let problem = QaoaProblem::maxcut_ring4();
+        let cfg = fleet_cfg(3);
+        let des = {
+            let mut fleet = FleetRuntime::builder()
+                .devices(["belem", "manila"])
+                .device_seed(7)
+                .build()
+                .expect("builds");
+            fleet
+                .admit(&problem, TenantConfig::new(cfg))
+                .expect("admits");
+            fleet.run().expect("runs")
+        };
+        let mut fleet = FleetRuntime::builder()
+            .devices(["belem", "manila"])
+            .device_seed(7)
+            .shared()
+            .build()
+            .expect("builds");
+        fleet
+            .admit(&problem, TenantConfig::new(cfg))
+            .expect("admits");
+        let shared = fleet.run().expect("runs");
+        assert_eq!(
+            format!("{:?}", des.reports),
+            format!("{:?}", shared.reports),
+            "zero exogenous load, one tenant: the shared ledger must replay DES byte for byte"
+        );
+        assert_eq!(des.telemetry.tenants, shared.telemetry.tenants);
+        assert_eq!(des.telemetry.grant_rounds, shared.telemetry.grant_rounds);
+        // Occupancy is the one deliberate divergence: the byte-isolated
+        // substrate has no per-device ledger to report.
+        assert!(des.telemetry.occupancy.is_empty());
+        assert_eq!(shared.telemetry.occupancy.len(), 2);
+        for row in &shared.telemetry.occupancy {
+            assert!(row.jobs > 0, "every device served jobs: {row:?}");
+            assert!(row.booked_hours > 0.0);
+        }
+        assert!(shared.telemetry.tenants[0].queue_wait_hours > 0.0);
+    }
+
+    #[test]
+    fn co_tenant_load_lengthens_waits_on_shared_substrate() {
+        let problem = QaoaProblem::maxcut_ring4();
+        let solo_wait = {
+            let mut fleet = FleetRuntime::builder()
+                .devices(["belem", "manila"])
+                .device_seed(7)
+                .arbiter(Unshared)
+                .shared()
+                .build()
+                .expect("builds");
+            fleet
+                .admit(&problem, TenantConfig::new(fleet_cfg(2).with_seed(11)))
+                .expect("admits");
+            fleet.run().expect("runs").telemetry.tenants[0].queue_wait_hours
+        };
+        // Same tenant B, but tenant A now books into the same device
+        // ledgers. The arbiter is still Unshared — the ledger is the
+        // only coupling — so any extra wait is pure queue contention.
+        let mut fleet = FleetRuntime::builder()
+            .devices(["belem", "manila"])
+            .device_seed(7)
+            .arbiter(Unshared)
+            .shared()
+            .build()
+            .expect("builds");
+        fleet
+            .admit(&problem, TenantConfig::new(fleet_cfg(3)))
+            .expect("admits");
+        fleet
+            .admit(&problem, TenantConfig::new(fleet_cfg(2).with_seed(11)))
+            .expect("admits");
+        let joint = fleet.run().expect("runs");
+        let joint_wait = joint.telemetry.tenants[1].queue_wait_hours;
+        assert!(
+            joint_wait > solo_wait,
+            "co-tenant load must lengthen B's queue waits: solo {solo_wait} vs joint {joint_wait}"
+        );
+    }
+
+    #[test]
+    fn contention_aware_routes_around_co_tenant_pressure() {
+        let problem = QaoaProblem::maxcut_ring4();
+        let wait_with = |scheduler: PolicyConfig| {
+            let mut fleet = FleetRuntime::builder()
+                .devices(["belem", "manila", "bogota", "quito"])
+                .device_seed(7)
+                .arbiter(FairShare)
+                .shared()
+                .build()
+                .expect("builds");
+            fleet
+                .admit(&problem, TenantConfig::new(fleet_cfg(3)))
+                .expect("admits");
+            fleet
+                .admit(
+                    &problem,
+                    TenantConfig::new(fleet_cfg(2).with_seed(11)).policies(scheduler),
+                )
+                .expect("admits");
+            fleet.run().expect("runs").telemetry.tenants[1].queue_wait_hours
+        };
+        let fifo = wait_with(PolicyConfig::default());
+        let aware = wait_with(PolicyConfig::default().with_scheduler(ContentionAware::default()));
+        assert!(
+            aware < fifo,
+            "contention-aware dispatch should route around the co-tenant's \
+             booked devices: aware {aware} vs cyclic {fifo}"
         );
     }
 

@@ -49,8 +49,8 @@
 //! ```
 
 use super::{
-    drive_stream_des, drive_stream_pooled, Arrival, DriveClock, FleetOutcome, Lane, LaneCounters,
-    Substrate, TenantId,
+    drive_stream_des, drive_stream_pooled, drive_stream_shared, ledgers_for, occupancy_rows,
+    queue_wait_hours, Arrival, DriveClock, FleetOutcome, Lane, LaneCounters, Substrate, TenantId,
 };
 use crate::client::ClientNode;
 use crate::config::{PoolConfig, ServiceConfig, TenantConfig};
@@ -62,8 +62,9 @@ use crate::report::{
     FleetTelemetry, PoolTelemetry, ServiceTelemetry, ServiceTenantRecord, TenantTelemetry,
     TrainingReport,
 };
+use qdevice::DeviceQueue;
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use vqa::VqaProblem;
 
 /// Handle to one tenant admitted to a [`FleetService`], valid for the
@@ -174,6 +175,15 @@ pub struct FleetService<'p> {
     clock: DriveClock,
     /// Pool telemetry merged across pooled drains.
     pool: Option<PoolTelemetry>,
+    /// The per-device occupancy ledgers of the shared substrate, built
+    /// lazily at the first drain and persistent across drains — the
+    /// devices' queue timelines outlive any one tenant batch, exactly
+    /// like the fleet clock.
+    shared_ledgers: Option<Vec<Arc<Mutex<DeviceQueue>>>>,
+    /// Per-device queue-wait seconds accumulated across retired tenants
+    /// (lane order within each drain, matching the batch runtime's
+    /// summation order bit for bit).
+    occupancy_queued_s: Vec<f64>,
 }
 
 impl std::fmt::Debug for FleetService<'_> {
@@ -196,6 +206,7 @@ impl<'p> FleetService<'p> {
         substrate: Substrate,
         config: ServiceConfig,
     ) -> Self {
+        let n = devices.len();
         FleetService {
             devices,
             arbiter,
@@ -205,6 +216,8 @@ impl<'p> FleetService<'p> {
             retired: Vec::new(),
             clock: DriveClock::default(),
             pool: None,
+            shared_ledgers: None,
+            occupancy_queued_s: vec![0.0; n],
         }
     }
 
@@ -331,6 +344,11 @@ impl<'p> FleetService<'p> {
         if self.pending.is_empty() {
             return Ok(Vec::new());
         }
+        if let Substrate::Shared { load } = self.substrate {
+            if self.shared_ledgers.is_none() {
+                self.shared_ledgers = Some(ledgers_for(&self.devices, load)?);
+            }
+        }
         let slots = self.devices.len();
         let mut batch = std::mem::take(&mut self.pending);
         // Stable by arrival: simultaneous arrivals activate in
@@ -374,6 +392,15 @@ impl<'p> FleetService<'p> {
                 &mut arrivals,
                 &mut on_retire,
             ),
+            Substrate::Shared { .. } => drive_stream_shared(
+                &mut lanes,
+                self.arbiter.as_ref(),
+                slots,
+                self.shared_ledgers.as_deref().expect("built above"),
+                &mut self.clock,
+                &mut arrivals,
+                &mut on_retire,
+            ),
             Substrate::Pooled { workers } => {
                 let total = lanes.iter().map(|l| l.clients.len()).sum();
                 let resolved = PoolConfig {
@@ -401,6 +428,17 @@ impl<'p> FleetService<'p> {
         drop(lanes);
         driven?;
         debug_assert_eq!(retired_at.len(), batch.len(), "drain retires every lane");
+        if self.shared_ledgers.is_some() {
+            // Accumulate in lane order, not retirement order: the batch
+            // runtime sums per-device queue waits over tenants in
+            // admission order, and a zero-arrival drain must replay it
+            // bit for bit.
+            for p in &batch {
+                for (d, client) in p.clients.iter().enumerate() {
+                    self.occupancy_queued_s[d] += client.backend().queued_seconds();
+                }
+            }
+        }
 
         // Retirement *times* were recorded eagerly; the reports are
         // assembled here, which is byte-identical because a retired
@@ -425,6 +463,7 @@ impl<'p> FleetService<'p> {
                 wait_rounds: c.wait_rounds,
                 starved_rounds: c.starved_rounds,
                 client_share: c.client_share.clone(),
+                queue_wait_hours: queue_wait_hours(&p.clients),
             };
             let record = ServiceTenantRecord {
                 tenant: p.index,
@@ -473,6 +512,10 @@ impl<'p> FleetService<'p> {
             return Err(EqcError::NoTenants);
         }
         let admissions = self.retired.len();
+        let occupancy = match &self.shared_ledgers {
+            Some(ledgers) => occupancy_rows(&self.devices, ledgers, &self.occupancy_queued_s),
+            None => Vec::new(),
+        };
         let mut reports = Vec::with_capacity(admissions);
         let mut per_tenant = Vec::with_capacity(admissions);
         let mut records = Vec::with_capacity(admissions);
@@ -501,6 +544,7 @@ impl<'p> FleetService<'p> {
                     devices: self.devices.len(),
                     grant_rounds: self.clock.round,
                     tenants: per_tenant,
+                    occupancy,
                 },
                 pool: self.pool,
                 batch: 0,
@@ -617,6 +661,40 @@ mod tests {
         assert_eq!(outcome.service.admissions, 1);
         assert_eq!(outcome.service.retirements, 1);
         assert!(outcome.service.sustained_epochs_per_hour > 0.0);
+    }
+
+    #[test]
+    fn zero_arrival_shared_service_replays_the_batch_runtime() {
+        let problem = QaoaProblem::maxcut_ring4();
+        let cfg = service_cfg(2);
+        let run = {
+            let mut fleet = builder().shared().build().expect("builds");
+            fleet
+                .admit(&problem, TenantConfig::new(cfg))
+                .expect("admits");
+            fleet
+                .admit(&problem, TenantConfig::new(cfg.with_seed(11)))
+                .expect("admits");
+            fleet.run().expect("runs")
+        };
+        let mut service = builder().shared().service().expect("builds");
+        service
+            .admit(&problem, TenantConfig::new(cfg))
+            .expect("admits");
+        service
+            .admit(&problem, TenantConfig::new(cfg.with_seed(11)))
+            .expect("admits");
+        let outcome = service.close().expect("closes");
+        assert_eq!(
+            format!("{:?}", run.reports),
+            format!("{:?}", outcome.fleet.reports),
+            "both tenants at t=0: the streaming drain must replay the batch runtime"
+        );
+        assert_eq!(run.telemetry.tenants, outcome.fleet.telemetry.tenants);
+        assert_eq!(
+            run.telemetry.occupancy, outcome.fleet.telemetry.occupancy,
+            "per-device ledgers must agree between batch run and streamed drain"
+        );
     }
 
     #[test]

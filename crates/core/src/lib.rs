@@ -124,15 +124,16 @@ pub use fleet::{
 };
 pub use master::{Assignment, MasterLoop};
 pub use policy::{
-    AlwaysHealthy, ArbiterContext, ClientHealth, Composed, Cyclic, DriftEviction,
-    EarliestDeadlineFirst, EquiEnsemble, FairShare, FidelityWeighted, HealthContext, HealthVerdict,
-    LeastLoaded, LookaheadLeastLoaded, PriorityArbiter, ScheduleContext, Scheduler, StalenessDecay,
-    TenantArbiter, TenantLoad, Unshared, WeightContext, WeightDecision, Weighting,
+    AlwaysHealthy, ArbiterContext, ClientHealth, Composed, ContentionAware, Cyclic, DriftEviction,
+    EarliestDeadlineFirst, EquiEnsemble, FairShare, FidelityWeighted, FleetOccupancy,
+    HealthContext, HealthVerdict, LeastLoaded, LookaheadLeastLoaded, PriorityArbiter,
+    ScheduleContext, Scheduler, StalenessDecay, TenantArbiter, TenantLoad, Unshared, WeightContext,
+    WeightDecision, Weighting,
 };
 pub use pool::PooledExecutor;
 pub use report::{
-    ClientStats, EngineTelemetry, EpochRecord, EvictionEvent, FleetTelemetry, MembershipChange,
-    PolicyTelemetry, PoolTelemetry, ServiceTelemetry, ServiceTenantRecord, TenantTelemetry,
-    TrainingReport, WeightProvenance, WeightSample,
+    ClientStats, DeviceOccupancy, EngineTelemetry, EpochRecord, EvictionEvent, FleetTelemetry,
+    MembershipChange, PolicyTelemetry, PoolTelemetry, ServiceTelemetry, ServiceTenantRecord,
+    TenantTelemetry, TrainingReport, WeightProvenance, WeightSample,
 };
 pub use weighting::{normalize_weights, p_correct, WeightBounds};

@@ -25,7 +25,7 @@ use crate::client::{ClientNode, ClientTaskResult};
 use crate::config::{EqcConfig, PolicyConfig};
 use crate::error::EqcError;
 use crate::policy::health::HealthProbe;
-use crate::policy::{HealthContext, HealthVerdict, ScheduleContext, WeightContext};
+use crate::policy::{FleetOccupancy, HealthContext, HealthVerdict, ScheduleContext, WeightContext};
 use crate::report::{
     ClientStats, EpochRecord, EvictionEvent, MembershipChange, PolicyTelemetry, TrainingReport,
     WeightProvenance, WeightSample,
@@ -102,6 +102,10 @@ pub struct MasterLoop {
     staleness_sum: u64,
     staleness_n: u64,
     now: SimTime,
+
+    // Shared-substrate occupancy view (fleet drives only; `None` for
+    // standalone sessions and byte-isolated substrates).
+    fleet_occupancy: Option<FleetOccupancy>,
 }
 
 impl MasterLoop {
@@ -167,7 +171,25 @@ impl MasterLoop {
             staleness_sum: 0,
             staleness_n: 0,
             now: SimTime::ZERO,
+            fleet_occupancy: None,
         }
+    }
+
+    /// Installs (or clears) the fleet-wide occupancy snapshot consulted
+    /// by queue-aware schedulers on the shared substrate. Advisory: it
+    /// biases [`MasterLoop::pick_client`] but never changes dispatch
+    /// legality.
+    pub(crate) fn set_fleet_occupancy(&mut self, occupancy: Option<FleetOccupancy>) {
+        self.fleet_occupancy = occupancy;
+    }
+
+    /// Whether refreshing the occupancy snapshot can affect this loop's
+    /// decisions. Schedulers that never read queue estimates (e.g. the
+    /// paper's cyclic default) keep their decision sequence regardless
+    /// of occupancy, so the fleet skips the refresh entirely — which is
+    /// also what keeps the shared-substrate oracle byte-exact.
+    pub(crate) fn wants_occupancy(&self) -> bool {
+        self.policies.scheduler.needs_queue_estimates()
     }
 
     /// Whether the training goal is met (epoch budget reached or the
@@ -294,9 +316,19 @@ impl MasterLoop {
             } else {
                 self.now
             };
+            let at_s = at.as_secs();
             candidates
                 .iter()
-                .map(|&c| self.probes.get(c).map_or(0.0, |p| p.queue_wait_s(at)))
+                .map(|&c| {
+                    let base = self.probes.get(c).map_or(0.0, |p| p.queue_wait_s(at));
+                    // On the shared substrate the per-device ledger's
+                    // cross-tenant pressure stacks on top of the
+                    // client's own base-load estimate.
+                    match &self.fleet_occupancy {
+                        Some(occ) => base + occ.pressure_s(c, at_s),
+                        None => base,
+                    }
+                })
                 .collect()
         } else {
             vec![0.0; candidates.len()]
@@ -305,6 +337,7 @@ impl MasterLoop {
             candidates,
             queue_wait_s: &queue_wait_s,
             now_hours: self.now.as_hours(),
+            occupancy: self.fleet_occupancy.as_ref(),
         });
         // An out-of-set pick would corrupt the executor's idle
         // bookkeeping; fall back to the first candidate instead.

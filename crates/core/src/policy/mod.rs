@@ -46,7 +46,10 @@ pub use arbiter::{
     Unshared,
 };
 pub use health::{AlwaysHealthy, ClientHealth, DriftEviction, HealthContext, HealthVerdict};
-pub use scheduler::{Cyclic, LeastLoaded, LookaheadLeastLoaded, ScheduleContext, Scheduler};
+pub use scheduler::{
+    ContentionAware, Cyclic, FleetOccupancy, LeastLoaded, LookaheadLeastLoaded, ScheduleContext,
+    Scheduler,
+};
 pub use weighting::{
     Composed, EquiEnsemble, FidelityWeighted, StalenessDecay, WeightContext, WeightDecision,
     Weighting,

@@ -11,6 +11,56 @@
 use crate::error::EqcError;
 use std::fmt;
 
+/// A per-physical-device snapshot of fleet-wide queue pressure, taken
+/// from the shared [`qdevice::DeviceQueue`] ledgers each grant round of
+/// the shared-queue fleet drive. Indexed by device id (which equals
+/// client id inside a fleet tenant — every tenant holds one client per
+/// fleet device).
+///
+/// The view is advisory: schedulers use it to route *around* co-tenant
+/// pressure, never to change what the ledger itself will charge. Under
+/// the unshared drives no snapshot is installed and every scheduler
+/// behaves exactly as before.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FleetOccupancy {
+    /// Latest booked completion per device, in fleet virtual seconds —
+    /// the ledger horizon a newly admitted job cannot start before.
+    pub booked_until_s: Vec<f64>,
+    /// Outstanding exogenous backlog per device, seconds of queued
+    /// foreign work at the snapshot instant.
+    pub backlog_s: Vec<f64>,
+    /// Jobs booked into each device's shared timeline so far — the
+    /// queue-depth histogram contention-aware policies weigh.
+    pub jobs_booked: Vec<u64>,
+}
+
+impl FleetOccupancy {
+    /// An all-zero snapshot over `devices` devices.
+    pub fn with_devices(devices: usize) -> Self {
+        FleetOccupancy {
+            booked_until_s: vec![0.0; devices],
+            backlog_s: vec![0.0; devices],
+            jobs_booked: vec![0; devices],
+        }
+    }
+
+    /// Extra wait a job submitted on `device` at `now_s` would see from
+    /// co-tenant pressure alone: the unexpired booked horizon plus the
+    /// exogenous backlog. Zero for devices outside the snapshot.
+    pub fn pressure_s(&self, device: usize, now_s: f64) -> f64 {
+        let booked = self
+            .booked_until_s
+            .get(device)
+            .map_or(0.0, |&b| (b - now_s).max(0.0));
+        booked + self.backlog_s.get(device).copied().unwrap_or(0.0)
+    }
+
+    /// Booked job count for `device` (0 outside the snapshot).
+    pub fn depth(&self, device: usize) -> u64 {
+        self.jobs_booked.get(device).copied().unwrap_or(0)
+    }
+}
+
 /// Everything a [`Scheduler`] may consult for one assignment decision.
 ///
 /// `candidates` and `queue_wait_s` are parallel slices: candidate `i`
@@ -19,16 +69,26 @@ use std::fmt;
 /// evaluation instant — "now" for instantaneous schedulers, `now +`
 /// [`Scheduler::lookahead_s`] for predictive ones. Candidates are
 /// idle, healthy clients in ascending id order, and never empty.
+///
+/// Under the shared-queue fleet drive, `queue_wait_s` already folds in
+/// each device's co-tenant pressure ([`FleetOccupancy::pressure_s`]),
+/// and `occupancy` carries the full snapshot for policies that weigh
+/// queue depth as well ([`ContentionAware`]). Standalone sessions and
+/// the unshared drives pass `None`.
 #[derive(Clone, Debug)]
 pub struct ScheduleContext<'a> {
     /// Idle, healthy clients eligible for the next task (ascending id).
     pub candidates: &'a [usize],
     /// Estimated queue wait in seconds per candidate (same indexing as
     /// `candidates`), from each device's [`qdevice::QueueModel`] at the
-    /// current virtual time.
+    /// current virtual time — plus fleet co-tenant pressure when an
+    /// occupancy snapshot is installed.
     pub queue_wait_s: &'a [f64],
     /// Current virtual time, hours.
     pub now_hours: f64,
+    /// Fleet-wide shared-queue occupancy, when the session runs under
+    /// the shared-queue fleet drive.
+    pub occupancy: Option<&'a FleetOccupancy>,
 }
 
 /// Picks the client for the next task of the cyclic schedule.
@@ -168,6 +228,72 @@ impl Scheduler for LookaheadLeastLoaded {
     }
 }
 
+/// Contention-aware assignment for the shared-queue fleet: like
+/// [`LeastLoaded`], but each candidate's estimated wait (which already
+/// folds in co-tenant booked-horizon pressure under the shared drive)
+/// is further penalized by the device's booked-job depth from the
+/// [`FleetOccupancy`] snapshot — `wait + depth_cost_s * jobs_booked`.
+/// A device that co-tenants book heavily stops attracting work even
+/// between horizon peaks. Without a snapshot (standalone sessions,
+/// unshared drives) this degrades to exactly [`LeastLoaded`].
+#[derive(Clone, Copy, Debug)]
+pub struct ContentionAware {
+    depth_cost_s: f64,
+}
+
+impl ContentionAware {
+    /// Creates the policy with the per-booked-job penalty (seconds) —
+    /// roughly one job's expected service time on the fleet.
+    ///
+    /// # Errors
+    ///
+    /// [`EqcError::InvalidConfig`] unless the penalty is finite and
+    /// non-negative (zero degrades to [`LeastLoaded`] plus pressure).
+    pub fn new(depth_cost_s: f64) -> Result<Self, EqcError> {
+        if !(depth_cost_s.is_finite() && depth_cost_s >= 0.0) {
+            return Err(EqcError::InvalidConfig(format!(
+                "contention depth cost must be finite and non-negative, got {depth_cost_s}"
+            )));
+        }
+        Ok(ContentionAware { depth_cost_s })
+    }
+
+    /// The per-booked-job penalty in seconds.
+    pub fn depth_cost_s(&self) -> f64 {
+        self.depth_cost_s
+    }
+}
+
+impl Default for ContentionAware {
+    /// Defaults the depth penalty to 60 s — the scale of one queued
+    /// job's wait-plus-execution on the catalog's faster devices.
+    fn default() -> Self {
+        ContentionAware { depth_cost_s: 60.0 }
+    }
+}
+
+impl Scheduler for ContentionAware {
+    fn name(&self) -> &'static str {
+        "contention-aware"
+    }
+
+    fn pick(&self, ctx: &ScheduleContext<'_>) -> usize {
+        let Some(occ) = ctx.occupancy else {
+            return argmin_wait(ctx);
+        };
+        let score = |i: usize| {
+            ctx.queue_wait_s[i] + self.depth_cost_s * occ.depth(ctx.candidates[i]) as f64
+        };
+        let mut best = 0usize;
+        for i in 1..ctx.candidates.len() {
+            if score(i).total_cmp(&score(best)) == std::cmp::Ordering::Less {
+                best = i;
+            }
+        }
+        ctx.candidates[best]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +303,7 @@ mod tests {
             candidates,
             queue_wait_s: waits,
             now_hours: 0.0,
+            occupancy: None,
         }
     }
 
@@ -224,5 +351,48 @@ mod tests {
             LookaheadLeastLoaded::new(60.0).expect("valid").name(),
             "lookahead-least-loaded"
         );
+        assert_eq!(ContentionAware::default().name(), "contention-aware");
+    }
+
+    #[test]
+    fn occupancy_pressure_and_depth_read_per_device() {
+        let occ = FleetOccupancy {
+            booked_until_s: vec![100.0, 10.0],
+            backlog_s: vec![5.0, 0.0],
+            jobs_booked: vec![3, 1],
+        };
+        assert_eq!(occ.pressure_s(0, 40.0), 65.0, "booked remainder + backlog");
+        assert_eq!(occ.pressure_s(1, 40.0), 0.0, "expired horizon clamps to 0");
+        assert_eq!(occ.pressure_s(9, 0.0), 0.0, "out-of-range device is quiet");
+        assert_eq!(occ.depth(0), 3);
+        assert_eq!(occ.depth(9), 0);
+        let empty = FleetOccupancy::with_devices(2);
+        assert_eq!(empty.pressure_s(0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn contention_aware_weighs_depth_and_degrades_to_least_loaded() {
+        let policy = ContentionAware::new(100.0).expect("valid");
+        assert_eq!(policy.depth_cost_s(), 100.0);
+        // Without a snapshot: pure argmin over the waits.
+        assert_eq!(policy.pick(&ctx(&[0, 1], &[60.0, 5.0])), 1);
+        // With a snapshot, a deep device loses even with a smaller wait.
+        let occ = FleetOccupancy {
+            booked_until_s: vec![0.0, 0.0],
+            backlog_s: vec![0.0, 0.0],
+            jobs_booked: vec![0, 4],
+        };
+        let mut c = ctx(&[0, 1], &[60.0, 5.0]);
+        c.occupancy = Some(&occ);
+        assert_eq!(policy.pick(&c), 0, "60 < 5 + 100*4");
+        assert!(policy.needs_queue_estimates());
+    }
+
+    #[test]
+    fn contention_aware_rejects_degenerate_costs() {
+        assert!(ContentionAware::new(-1.0).is_err());
+        assert!(ContentionAware::new(f64::NAN).is_err());
+        assert!(ContentionAware::new(f64::INFINITY).is_err());
+        assert!(ContentionAware::new(0.0).is_ok(), "zero cost is allowed");
     }
 }

@@ -141,6 +141,27 @@ pub struct TenantTelemetry {
     /// Tasks dispatched per fleet device (indexed by device/client id):
     /// the client-share histogram of how this tenant used the pool.
     pub client_share: Vec<u64>,
+    /// Total device-queue wait this tenant's jobs accrued, hours
+    /// (admission-to-start, summed over every job on every device). On
+    /// the shared substrate this includes cross-tenant contention; on
+    /// byte-isolated substrates it is the tenant's own base-load wait.
+    pub queue_wait_hours: f64,
+}
+
+/// Per-device occupancy histogram of one fleet run on the shared
+/// substrate: how much work landed on each physical device's queue
+/// timeline, summed across every tenant.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceOccupancy {
+    /// Device display name.
+    pub device: String,
+    /// Jobs booked onto the device's shared ledger (all tenants).
+    pub jobs: u64,
+    /// Execution hours booked onto the ledger (all tenants).
+    pub booked_hours: f64,
+    /// Queue-wait hours jobs spent between admission and start on this
+    /// device (all tenants).
+    pub queued_hours: f64,
 }
 
 /// Fleet-level telemetry of one [`FleetRuntime`](crate::fleet::FleetRuntime)
@@ -155,6 +176,10 @@ pub struct FleetTelemetry {
     pub grant_rounds: u64,
     /// Per-tenant counters, indexed by tenant id.
     pub tenants: Vec<TenantTelemetry>,
+    /// Per-device queue-occupancy histogram (shared substrate only;
+    /// empty on byte-isolated substrates, where no cross-tenant queue
+    /// timeline exists).
+    pub occupancy: Vec<DeviceOccupancy>,
 }
 
 impl fmt::Display for FleetTelemetry {
@@ -180,6 +205,13 @@ impl fmt::Display for FleetTelemetry {
                 t.wait_virtual_hours,
                 t.wait_rounds,
                 t.starved_rounds
+            )?;
+        }
+        for d in &self.occupancy {
+            writeln!(
+                f,
+                "  queue[{}]: {} jobs, {:.2} h booked, {:.3} h queued",
+                d.device, d.jobs, d.booked_hours, d.queued_hours
             )?;
         }
         Ok(())

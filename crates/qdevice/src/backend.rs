@@ -26,12 +26,13 @@ use crate::clock::SimTime;
 use crate::compile::{CompileOptions, CompiledTemplate, NoiseToken};
 use crate::drift::DriftModel;
 use crate::noise_model::{reference, NoiseModel, QubitNoise};
-use crate::queue::QueueModel;
+use crate::queue::{DeviceQueue, QueueModel};
 use qcircuit::Circuit;
 use qsim::{Counts, DensityEngine, DensityMatrix, ParallelCtx, TrajectoryEngine};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 use transpile::Topology;
 
 /// Which simulation engine executes circuits.
@@ -185,6 +186,15 @@ pub struct QpuBackend {
     jobs_executed: u64,
     /// Accumulated execution time (seconds the QPU actually ran shots).
     busy_seconds: f64,
+    /// Accumulated queue wait (seconds between submission and start).
+    queued_seconds: f64,
+    /// Shared occupancy ledger of the *physical* device behind this
+    /// (possibly per-tenant cloned) backend. When attached, job start
+    /// times resolve through the ledger's global timeline instead of
+    /// this clone's private `busy_until`, and completed jobs book their
+    /// occupancy back — the fleet's shared-queue substrate. Clones share
+    /// the attachment.
+    shared_queue: Option<Arc<Mutex<DeviceQueue>>>,
     /// Route execution through the preserved pre-engine path (the
     /// bit-equivalence oracle; slow).
     legacy_execution: bool,
@@ -242,6 +252,8 @@ impl QpuBackend {
             busy_until: SimTime::ZERO,
             jobs_executed: 0,
             busy_seconds: 0.0,
+            queued_seconds: 0.0,
+            shared_queue: None,
             legacy_execution: false,
             noise_cache: NoiseCache::default(),
             density_engine: DensityEngine::new(),
@@ -340,6 +352,30 @@ impl QpuBackend {
         self.busy_seconds
     }
 
+    /// Seconds this backend's jobs spent waiting between submission and
+    /// start — the capacity-wait figure contention telemetry reports.
+    pub fn queued_seconds(&self) -> f64 {
+        self.queued_seconds
+    }
+
+    /// Routes this backend's queue waits through a shared [`DeviceQueue`]
+    /// ledger (the physical device's global timeline across tenants).
+    /// Replaces any previous attachment.
+    pub fn attach_shared_queue(&mut self, ledger: Arc<Mutex<DeviceQueue>>) {
+        self.shared_queue = Some(ledger);
+    }
+
+    /// Detaches the shared ledger, reverting to this clone's private
+    /// `busy_until` serialization.
+    pub fn detach_shared_queue(&mut self) {
+        self.shared_queue = None;
+    }
+
+    /// The attached shared ledger, if any.
+    pub fn shared_queue(&self) -> Option<&Arc<Mutex<DeviceQueue>>> {
+        self.shared_queue.as_ref()
+    }
+
     /// Fraction of the elapsed virtual timeline the QPU spent executing —
     /// the utilization figure of the paper's third motivation
     /// ("quantum computers can be underutilized", Section I).
@@ -395,10 +431,20 @@ impl QpuBackend {
 
     /// Virtual time at which a job submitted at `t` would start, given
     /// queue wait, device serialization and maintenance downtime.
+    ///
+    /// The jitter uniform always comes from this clone's own RNG (one
+    /// draw per job, preserving the stream), but the serialization floor
+    /// comes from the shared [`DeviceQueue`] when one is attached — that
+    /// is how co-tenant bookings lengthen this tenant's waits.
     fn start_time(&mut self, submit: SimTime) -> SimTime {
         let u: f64 = self.rng.gen();
-        let wait = self.queue.wait_with_jitter_s(submit, u) + self.queue.overhead_s;
-        let mut start = (submit + wait).max(self.busy_until);
+        let mut start = match &self.shared_queue {
+            Some(ledger) => ledger.lock().expect("shared queue lock").admit(submit, u),
+            None => {
+                let wait = self.queue.wait_with_jitter_s(submit, u) + self.queue.overhead_s;
+                (submit + wait).max(self.busy_until)
+            }
+        };
         // Defer out of maintenance windows, which occupy the tail of each
         // calibration cycle (the device goes down, recalibrates, and the
         // next cycle starts fresh).
@@ -410,6 +456,24 @@ impl QpuBackend {
             }
         }
         start
+    }
+
+    /// The common job epilogue: advances this clone's `busy_until`,
+    /// accumulates wait/busy telemetry and books the occupancy into the
+    /// shared ledger when one is attached. Returns the completion time.
+    fn record_job(&mut self, submit: SimTime, started: SimTime, exec_s: f64) -> SimTime {
+        let completed = started + exec_s;
+        self.busy_until = completed;
+        self.jobs_executed += 1;
+        self.busy_seconds += exec_s;
+        self.queued_seconds += started - submit;
+        if let Some(ledger) = &self.shared_queue {
+            ledger
+                .lock()
+                .expect("shared queue lock")
+                .book(started, exec_s);
+        }
+        completed
     }
 
     /// Ensures the noise cache covers the cycle containing `t`,
@@ -588,10 +652,7 @@ impl QpuBackend {
         let exec_s = self
             .queue
             .execution_s(circuit_duration_ns, readout_time_ns, shots);
-        let completed = started + exec_s;
-        self.busy_until = completed;
-        self.jobs_executed += 1;
-        self.busy_seconds += exec_s;
+        let completed = self.record_job(submit, started, exec_s);
         JobResult {
             counts,
             submitted: submit,
@@ -651,10 +712,7 @@ impl QpuBackend {
             last_duration_ns = duration_ns;
             all_counts.push(counts);
         }
-        let completed = started + total_exec_s;
-        self.busy_until = completed;
-        self.jobs_executed += 1;
-        self.busy_seconds += total_exec_s;
+        let completed = self.record_job(submit, started, total_exec_s);
         let timing = JobResult {
             counts: all_counts.last().cloned().expect("non-empty batch"),
             submitted: submit,
@@ -851,10 +909,7 @@ impl QpuBackend {
                 all_counts.push(counts);
             }
         }
-        let completed = started + total_exec_s;
-        self.busy_until = completed;
-        self.jobs_executed += 1;
-        self.busy_seconds += total_exec_s;
+        let completed = self.record_job(submit, started, total_exec_s);
         let timing = JobResult {
             counts: all_counts.last().cloned().expect("non-empty batch"),
             submitted: submit,
@@ -991,6 +1046,57 @@ mod tests {
     fn hours_since_calibration_wraps() {
         let be = small_backend(6);
         assert!((be.hours_since_calibration(SimTime::from_hours(30.0)) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_ledger_makes_clones_contend() {
+        use crate::queue::{DeviceQueue, LoadModel};
+        // Two clones of one physical device (e.g. two tenants): without
+        // a shared ledger their timelines are independent; with one, the
+        // second clone's job queues behind the first clone's booking.
+        let base = small_backend(21);
+        let mut iso_a = base.clone();
+        let mut iso_b = base.clone();
+        let ia = iso_a.execute(&bell_compact(), &[0, 1], 1024, SimTime::ZERO);
+        let ib = iso_b.execute(&bell_compact(), &[0, 1], 1024, SimTime::ZERO);
+        assert!(ib.started < ia.completed, "isolated clones overlap");
+
+        let ledger = Arc::new(Mutex::new(
+            DeviceQueue::new(base.queue().clone(), LoadModel::None).unwrap(),
+        ));
+        let mut shared = base.clone();
+        shared.attach_shared_queue(ledger.clone());
+        let mut sh_a = shared.clone();
+        let mut sh_b = shared;
+        let sa = sh_a.execute(&bell_compact(), &[0, 1], 1024, SimTime::ZERO);
+        let sb = sh_b.execute(&bell_compact(), &[0, 1], 1024, SimTime::ZERO);
+        assert!(
+            sb.started >= sa.completed,
+            "shared clones must serialize on one timeline"
+        );
+        assert_eq!(ledger.lock().unwrap().jobs_booked(), 2);
+        assert!(sh_b.queued_seconds() > sh_a.queued_seconds());
+    }
+
+    #[test]
+    fn shared_ledger_single_clone_replays_isolated_path() {
+        use crate::queue::{DeviceQueue, LoadModel};
+        // One clone + zero exogenous load: the ledger's arithmetic is
+        // bit-identical to the private busy_until path — the fleet-level
+        // equivalence oracle, pinned here at the backend level.
+        let mut iso = small_backend(22);
+        let mut shared = small_backend(22);
+        shared.attach_shared_queue(Arc::new(Mutex::new(
+            DeviceQueue::new(shared.queue().clone(), LoadModel::None).unwrap(),
+        )));
+        for i in 0..4 {
+            let at = SimTime::from_hours(i as f64 * 2.0);
+            let a = iso.execute(&bell_compact(), &[0, 1], 512, at);
+            let b = shared.execute(&bell_compact(), &[0, 1], 512, at);
+            assert_eq!(a.counts, b.counts);
+            assert_eq!(a.started, b.started);
+            assert_eq!(a.completed, b.completed);
+        }
     }
 
     #[test]

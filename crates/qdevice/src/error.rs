@@ -15,6 +15,8 @@ pub enum DeviceError {
     InvalidEpisode(String),
     /// A queue model parameter is out of range.
     InvalidQueue(String),
+    /// An exogenous load generator parameter is out of range.
+    InvalidLoad(String),
     /// A multiprogramming configuration is out of range.
     InvalidMultiprogram(String),
 }
@@ -24,6 +26,7 @@ impl fmt::Display for DeviceError {
         match self {
             DeviceError::InvalidEpisode(msg) => write!(f, "invalid drift episode: {msg}"),
             DeviceError::InvalidQueue(msg) => write!(f, "invalid queue model: {msg}"),
+            DeviceError::InvalidLoad(msg) => write!(f, "invalid load generator: {msg}"),
             DeviceError::InvalidMultiprogram(msg) => {
                 write!(f, "invalid multiprogram config: {msg}")
             }
@@ -45,6 +48,9 @@ mod tests {
         assert!(DeviceError::InvalidQueue("negative wait".into())
             .to_string()
             .contains("queue"));
+        assert!(DeviceError::InvalidLoad("negative rate".into())
+            .to_string()
+            .contains("load"));
         assert!(DeviceError::InvalidMultiprogram("zero region".into())
             .to_string()
             .contains("multiprogram"));

@@ -52,4 +52,4 @@ pub use drift::{DriftEpisode, DriftModel};
 pub use error::DeviceError;
 pub use multiprog::{split as multiprogram_split, MultiprogramConfig, ProgramSlot};
 pub use noise_model::NoiseModel;
-pub use queue::QueueModel;
+pub use queue::{DeviceQueue, LoadCurve, LoadModel, QueueModel};

@@ -10,7 +10,76 @@
 
 use crate::clock::SimTime;
 use crate::error::DeviceError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::f64::consts::TAU;
+
+/// The composable base-load curve: a log-sinusoidal congestion cycle
+/// factored out of [`QueueModel`] so exogenous [`LoadModel`] generators
+/// and the queue-wait model share one shape.
+///
+/// The multiplicative factor at time `t` is
+/// `exp(amplitude * sin(TAU * (t_hours + phase) / period))`, so a curve
+/// swings any baseline within `[base/e^amp, base*e^amp]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LoadCurve {
+    /// Amplitude of the log-sinusoidal cycle.
+    pub amplitude: f64,
+    /// Phase of the cycle, hours.
+    pub phase_hours: f64,
+    /// Cycle period, hours (24 = daily load pattern).
+    pub period_hours: f64,
+}
+
+impl LoadCurve {
+    /// A flat curve: factor 1 everywhere.
+    pub const FLAT: LoadCurve = LoadCurve {
+        amplitude: 0.0,
+        phase_hours: 0.0,
+        period_hours: 24.0,
+    };
+
+    /// A daily cycle with the given amplitude and phase.
+    pub fn daily(amplitude: f64, phase_hours: f64) -> Self {
+        LoadCurve {
+            amplitude,
+            phase_hours,
+            period_hours: 24.0,
+        }
+    }
+
+    /// Multiplicative congestion factor at `t` (dimensionless, > 0).
+    pub fn factor(&self, t: SimTime) -> f64 {
+        let phase = TAU * (t.as_hours() + self.phase_hours) / self.period_hours;
+        (self.amplitude * phase.sin()).exp()
+    }
+
+    /// Validates the curve's parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::InvalidQueue`] naming the offending field when the
+    /// amplitude or phase is non-finite or the period is not positive.
+    pub fn validate(&self) -> Result<(), DeviceError> {
+        for (field, v) in [
+            ("diurnal_amplitude", self.amplitude),
+            ("phase_hours", self.phase_hours),
+        ] {
+            if !v.is_finite() {
+                return Err(DeviceError::InvalidQueue(format!(
+                    "{field} must be finite, got {v}"
+                )));
+            }
+        }
+        if !(self.period_hours.is_finite() && self.period_hours > 0.0) {
+            return Err(DeviceError::InvalidQueue(format!(
+                "period_hours must be positive, got {}",
+                self.period_hours
+            )));
+        }
+        Ok(())
+    }
+}
 
 /// Latency model of one device's submission queue.
 #[derive(Clone, Debug, PartialEq)]
@@ -82,29 +151,21 @@ impl QueueModel {
                 )));
             }
         }
-        for (field, v) in [
-            ("diurnal_amplitude", self.diurnal_amplitude),
-            ("phase_hours", self.phase_hours),
-        ] {
-            if !v.is_finite() {
-                return Err(DeviceError::InvalidQueue(format!(
-                    "{field} must be finite, got {v}"
-                )));
-            }
+        self.curve().validate()
+    }
+
+    /// The congestion cycle as a composable [`LoadCurve`].
+    pub fn curve(&self) -> LoadCurve {
+        LoadCurve {
+            amplitude: self.diurnal_amplitude,
+            phase_hours: self.phase_hours,
+            period_hours: self.period_hours,
         }
-        if !(self.period_hours.is_finite() && self.period_hours > 0.0) {
-            return Err(DeviceError::InvalidQueue(format!(
-                "period_hours must be positive, got {}",
-                self.period_hours
-            )));
-        }
-        Ok(())
     }
 
     /// Queue wait (seconds) for a job submitted at `t`, before jitter.
     pub fn wait_s(&self, t: SimTime) -> f64 {
-        let phase = TAU * (t.as_hours() + self.phase_hours) / self.period_hours;
-        self.mean_wait_s * (self.diurnal_amplitude * phase.sin()).exp()
+        self.mean_wait_s * self.curve().factor(t)
     }
 
     /// Queue wait with deterministic per-job jitter in `[0.8, 1.2]`,
@@ -133,6 +194,358 @@ impl QueueModel {
         self.wait_with_jitter_s(t, uniform)
             + self.overhead_s
             + self.execution_s(circuit_duration_ns, readout_ns, shots)
+    }
+}
+
+/// Exogenous (non-fleet) load arriving at one device's shared queue:
+/// the jobs submitted by the *rest of the cloud's users*, expressed as
+/// busy-seconds of backlog flowing into the [`DeviceQueue`] ledger.
+///
+/// Generators are pure configuration (`Copy`); the Poisson variant's
+/// arrival stream state lives inside the owning [`DeviceQueue`] so the
+/// model stays comparable and cheap to clone.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum LoadModel {
+    /// No exogenous load — only fleet tenants occupy the device. The
+    /// regime under which the shared drive replays the isolated one.
+    #[default]
+    None,
+    /// A fluid diurnal flow: `busy_per_hour` busy-seconds arrive per
+    /// hour, modulated by a [`LoadCurve`] (the paper's day/night queue
+    /// pressure swing, Fig. 1).
+    Diurnal {
+        /// Mean arriving busy-seconds per hour at neutral congestion.
+        busy_per_hour: f64,
+        /// Congestion cycle shaping the arrival rate.
+        curve: LoadCurve,
+    },
+    /// Periodic bursts: every `interval_s` seconds (offset `phase_s`),
+    /// `burst_busy_s` busy-seconds land at once.
+    Bursty {
+        /// Busy-seconds deposited per burst.
+        burst_busy_s: f64,
+        /// Seconds between bursts (must be positive).
+        interval_s: f64,
+        /// Offset of the first burst, seconds.
+        phase_s: f64,
+    },
+    /// Memoryless job arrivals: exponential inter-arrival times at
+    /// `jobs_per_hour`, each job contributing `mean_job_s` busy-seconds.
+    /// Deterministic per `seed`.
+    Poisson {
+        /// Mean arrival rate, jobs per hour (must be positive).
+        jobs_per_hour: f64,
+        /// Busy-seconds contributed per arriving job.
+        mean_job_s: f64,
+        /// Seed of the arrival stream.
+        seed: u64,
+    },
+}
+
+impl LoadModel {
+    /// Validates the generator's parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::InvalidLoad`] naming the offending field when a
+    /// rate, size or interval is negative or non-finite (so a malformed
+    /// generator surfaces as a typed error instead of silent NaN waits).
+    pub fn validate(&self) -> Result<(), DeviceError> {
+        let nonneg = |field: &str, v: f64| {
+            if v.is_finite() && v >= 0.0 {
+                Ok(())
+            } else {
+                Err(DeviceError::InvalidLoad(format!(
+                    "{field} must be finite and non-negative, got {v}"
+                )))
+            }
+        };
+        match self {
+            LoadModel::None => Ok(()),
+            LoadModel::Diurnal {
+                busy_per_hour,
+                curve,
+            } => {
+                nonneg("busy_per_hour", *busy_per_hour)?;
+                curve
+                    .validate()
+                    .map_err(|e| DeviceError::InvalidLoad(e.to_string()))
+            }
+            LoadModel::Bursty {
+                burst_busy_s,
+                interval_s,
+                phase_s,
+            } => {
+                nonneg("burst_busy_s", *burst_busy_s)?;
+                nonneg("phase_s", *phase_s)?;
+                if interval_s.is_finite() && *interval_s > 0.0 {
+                    Ok(())
+                } else {
+                    Err(DeviceError::InvalidLoad(format!(
+                        "interval_s must be finite and positive, got {interval_s}"
+                    )))
+                }
+            }
+            LoadModel::Poisson {
+                jobs_per_hour,
+                mean_job_s,
+                ..
+            } => {
+                nonneg("mean_job_s", *mean_job_s)?;
+                if jobs_per_hour.is_finite() && *jobs_per_hour > 0.0 {
+                    Ok(())
+                } else {
+                    Err(DeviceError::InvalidLoad(format!(
+                        "jobs_per_hour must be finite and positive, got {jobs_per_hour}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Instantaneous arrival rate at `t`, busy-seconds per second (the
+    /// Poisson variant reports its mean rate). Exposed so the diurnal
+    /// curve's periodicity is directly testable.
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        match self {
+            LoadModel::None => 0.0,
+            LoadModel::Diurnal {
+                busy_per_hour,
+                curve,
+            } => busy_per_hour / 3600.0 * curve.factor(t),
+            LoadModel::Bursty {
+                burst_busy_s,
+                interval_s,
+                ..
+            } => burst_busy_s / interval_s,
+            LoadModel::Poisson {
+                jobs_per_hour,
+                mean_job_s,
+                ..
+            } => jobs_per_hour / 3600.0 * mean_job_s,
+        }
+    }
+
+    /// Busy-seconds arriving in `(a_s, b_s]`, advancing `poisson` state
+    /// for the memoryless variant. The diurnal fluid flow is integrated
+    /// by midpoint rule (exact for the mean, deterministic always).
+    fn arrivals_between(&self, a_s: f64, b_s: f64, poisson: &mut Option<PoissonArrivals>) -> f64 {
+        if b_s <= a_s {
+            return 0.0;
+        }
+        match self {
+            LoadModel::None => 0.0,
+            LoadModel::Diurnal { .. } => {
+                let mid = SimTime::from_secs(0.5 * (a_s + b_s));
+                self.rate_at(mid) * (b_s - a_s)
+            }
+            LoadModel::Bursty {
+                burst_busy_s,
+                interval_s,
+                phase_s,
+            } => {
+                // Bursts land at phase + k*interval for k = 0, 1, ...;
+                // count those in (a, b].
+                let first = ((a_s - phase_s) / interval_s).floor() + 1.0;
+                let first = first.max(0.0);
+                let last = ((b_s - phase_s) / interval_s).floor();
+                if last >= first {
+                    burst_busy_s * (last - first + 1.0)
+                } else {
+                    0.0
+                }
+            }
+            LoadModel::Poisson {
+                jobs_per_hour,
+                mean_job_s,
+                seed,
+            } => {
+                let state = poisson
+                    .get_or_insert_with(|| PoissonArrivals::new(*seed, jobs_per_hour / 3600.0));
+                let mut total = 0.0;
+                while state.next_s <= b_s {
+                    total += mean_job_s;
+                    state.advance();
+                }
+                total
+            }
+        }
+    }
+}
+
+/// Runtime state of a Poisson arrival stream: the seeded RNG and the
+/// next pending arrival instant.
+#[derive(Clone, Debug)]
+struct PoissonArrivals {
+    rng: StdRng,
+    rate_per_s: f64,
+    next_s: f64,
+}
+
+impl PoissonArrivals {
+    fn new(seed: u64, rate_per_s: f64) -> Self {
+        let mut s = PoissonArrivals {
+            rng: StdRng::seed_from_u64(seed),
+            rate_per_s,
+            next_s: 0.0,
+        };
+        s.advance();
+        s
+    }
+
+    /// Draws the next exponential inter-arrival gap.
+    fn advance(&mut self) {
+        let u: f64 = self.rng.gen();
+        self.next_s += -(1.0 - u).ln() / self.rate_per_s;
+    }
+}
+
+/// The shared occupancy ledger of one *physical* device: every booked
+/// interval on the device's global virtual timeline, across all tenants
+/// plus an exogenous [`LoadModel`] backlog.
+///
+/// This is what makes the fleet one cloud: where each per-tenant backend
+/// clone used to keep an independent `busy_until`, the shared drive
+/// routes every clone of a physical device through one `DeviceQueue`,
+/// so tenant A's bookings push tenant B's start times (and vice versa).
+///
+/// With `LoadModel::None` and a single tenant the ledger's arithmetic is
+/// bit-identical to the isolated path — the equivalence oracle the fleet
+/// tests pin.
+#[derive(Clone, Debug)]
+pub struct DeviceQueue {
+    base: QueueModel,
+    load: LoadModel,
+    /// Earliest instant the device frees up (max booked end), seconds.
+    horizon_s: f64,
+    /// Exogenous backlog pending service, busy-seconds. Decays at one
+    /// served second per elapsed second.
+    backlog_s: f64,
+    /// How far exogenous arrivals have been integrated, seconds.
+    cursor_s: f64,
+    poisson: Option<PoissonArrivals>,
+    /// Booked `(start_s, end_s)` intervals, in booking order.
+    booked: Vec<(f64, f64)>,
+    booked_busy_s: f64,
+}
+
+impl DeviceQueue {
+    /// Builds a ledger over a validated base queue model and exogenous
+    /// load generator.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::InvalidQueue`] / [`DeviceError::InvalidLoad`] when
+    /// either component fails validation.
+    pub fn new(base: QueueModel, load: LoadModel) -> Result<Self, DeviceError> {
+        base.validate()?;
+        load.validate()?;
+        Ok(DeviceQueue {
+            base,
+            load,
+            horizon_s: 0.0,
+            backlog_s: 0.0,
+            cursor_s: 0.0,
+            poisson: None,
+            booked: Vec::new(),
+            booked_busy_s: 0.0,
+        })
+    }
+
+    /// The base queue-wait model.
+    pub fn base(&self) -> &QueueModel {
+        &self.base
+    }
+
+    /// The exogenous load generator.
+    pub fn load(&self) -> &LoadModel {
+        &self.load
+    }
+
+    /// Earliest instant the device frees up, seconds (0 when empty).
+    pub fn horizon_s(&self) -> f64 {
+        self.horizon_s
+    }
+
+    /// Exogenous backlog pending service as of the last advance, busy-seconds.
+    pub fn backlog_s(&self) -> f64 {
+        self.backlog_s
+    }
+
+    /// Number of intervals booked so far (the queue-depth counter).
+    pub fn jobs_booked(&self) -> u64 {
+        self.booked.len() as u64
+    }
+
+    /// Total booked busy-seconds.
+    pub fn booked_busy_s(&self) -> f64 {
+        self.booked_busy_s
+    }
+
+    /// The booked `(start_s, end_s)` intervals, in booking order.
+    pub fn booked(&self) -> &[(f64, f64)] {
+        &self.booked
+    }
+
+    /// Integrates exogenous arrivals up to `t` and decays the backlog at
+    /// one served second per elapsed second. Non-monotone queries clamp
+    /// (time never runs backwards in the ledger).
+    pub fn decay_to(&mut self, t: SimTime) {
+        let t_s = t.as_secs();
+        if t_s <= self.cursor_s {
+            return;
+        }
+        let arrived = self
+            .load
+            .arrivals_between(self.cursor_s, t_s, &mut self.poisson);
+        let served = t_s - self.cursor_s;
+        self.backlog_s = (self.backlog_s + arrived - served).max(0.0);
+        self.cursor_s = t_s;
+    }
+
+    /// Phase one of a booking: resolves the start time of a job
+    /// submitted at `submit` whose duration is not yet known, using a
+    /// caller-supplied jitter uniform (the tenant backend's own RNG
+    /// draw, preserving per-tenant noise streams).
+    ///
+    /// `start = (submit + jittered wait + overhead + backlog).max(horizon)`
+    /// — exactly the isolated backend's arithmetic when the backlog is
+    /// empty. Pair with [`DeviceQueue::book`] once the duration is known.
+    pub fn admit(&mut self, submit: SimTime, jitter_uniform: f64) -> SimTime {
+        self.decay_to(submit);
+        let mut wait = self.base.wait_with_jitter_s(submit, jitter_uniform) + self.base.overhead_s;
+        if self.backlog_s > 0.0 {
+            wait += self.backlog_s;
+        }
+        (submit + wait).max(SimTime::from_secs(self.horizon_s))
+    }
+
+    /// Phase two of a booking: records `duration_s` of occupancy from
+    /// `started` and advances the horizon. `started` must come from
+    /// [`DeviceQueue::admit`] (possibly deferred later by the caller, e.g.
+    /// around a maintenance window) so intervals never overlap.
+    pub fn book(&mut self, started: SimTime, duration_s: f64) {
+        let s = started.as_secs();
+        let e = s + duration_s.max(0.0);
+        if e > self.horizon_s {
+            self.horizon_s = e;
+        }
+        self.booked.push((s, e));
+        self.booked_busy_s += duration_s.max(0.0);
+    }
+
+    /// Books a job of known duration submitted at `t` and returns its
+    /// start instant — the one-shot [`DeviceQueue::admit`] +
+    /// [`DeviceQueue::book`] pair, using the nominal (unjittered) wait.
+    pub fn enqueue(&mut self, t: SimTime, duration_s: f64) -> SimTime {
+        self.decay_to(t);
+        let mut wait = self.base.wait_s(t) + self.base.overhead_s;
+        if self.backlog_s > 0.0 {
+            wait += self.backlog_s;
+        }
+        let start = (t + wait).max(SimTime::from_secs(self.horizon_s));
+        self.book(start, duration_s);
+        start
     }
 }
 
@@ -216,6 +629,140 @@ mod tests {
                 "{bad:?} should be rejected"
             );
         }
+    }
+
+    #[test]
+    fn curve_factor_matches_inline_wait_math() {
+        let q = QueueModel::congested(100.0, 1.0, 3.0);
+        for h in 0..48 {
+            let t = SimTime::from_hours(h as f64 * 0.37);
+            assert_eq!(q.wait_s(t), q.mean_wait_s * q.curve().factor(t));
+        }
+        assert_eq!(LoadCurve::FLAT.factor(SimTime::from_hours(11.0)), 1.0);
+    }
+
+    #[test]
+    fn load_models_validate() {
+        assert!(LoadModel::None.validate().is_ok());
+        assert!(LoadModel::Diurnal {
+            busy_per_hour: 1800.0,
+            curve: LoadCurve::daily(0.5, 2.0),
+        }
+        .validate()
+        .is_ok());
+        for bad in [
+            LoadModel::Diurnal {
+                busy_per_hour: -1.0,
+                curve: LoadCurve::FLAT,
+            },
+            LoadModel::Diurnal {
+                busy_per_hour: 1.0,
+                curve: LoadCurve::daily(f64::NAN, 0.0),
+            },
+            LoadModel::Bursty {
+                burst_busy_s: 60.0,
+                interval_s: 0.0,
+                phase_s: 0.0,
+            },
+            LoadModel::Poisson {
+                jobs_per_hour: f64::INFINITY,
+                mean_job_s: 30.0,
+                seed: 1,
+            },
+            LoadModel::Poisson {
+                jobs_per_hour: 6.0,
+                mean_job_s: f64::NAN,
+                seed: 1,
+            },
+        ] {
+            assert!(
+                matches!(bad.validate(), Err(DeviceError::InvalidLoad(_))),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn ledger_matches_isolated_arithmetic_without_load() {
+        // With no exogenous load the ledger's admit/book pair reproduces
+        // the isolated backend's (submit + wait).max(busy_until) exactly.
+        let q = QueueModel::light(5.0);
+        let mut ledger = DeviceQueue::new(q.clone(), LoadModel::None).unwrap();
+        let mut busy_until = SimTime::ZERO;
+        for (i, (submit_s, u, exec_s)) in [(0.0, 0.3, 40.0), (2.0, 0.9, 15.0), (100.0, 0.1, 5.0)]
+            .into_iter()
+            .enumerate()
+        {
+            let submit = SimTime::from_secs(submit_s);
+            let wait = q.wait_with_jitter_s(submit, u) + q.overhead_s;
+            let expect = (submit + wait).max(busy_until);
+            let start = ledger.admit(submit, u);
+            assert_eq!(start, expect, "job {i}");
+            ledger.book(start, exec_s);
+            busy_until = start + exec_s;
+            assert_eq!(ledger.horizon_s(), busy_until.as_secs());
+        }
+        assert_eq!(ledger.jobs_booked(), 3);
+        assert!((ledger.booked_busy_s() - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exogenous_backlog_delays_and_decays() {
+        let load = LoadModel::Bursty {
+            burst_busy_s: 600.0,
+            interval_s: 3600.0,
+            phase_s: 5.0,
+        };
+        let mut with_load = DeviceQueue::new(QueueModel::light(5.0), load).unwrap();
+        let mut without = DeviceQueue::new(QueueModel::light(5.0), LoadModel::None).unwrap();
+        // Just past the first burst: the backlog pushes the start later.
+        let t = SimTime::from_secs(10.0);
+        let delayed = with_load.enqueue(t, 1.0);
+        let clean = without.enqueue(t, 1.0);
+        assert!(
+            delayed - clean > 500.0,
+            "burst backlog should delay the start by most of its busy-seconds"
+        );
+        // Long idle stretch with no further arrivals: the backlog decays.
+        with_load.decay_to(SimTime::from_secs(3500.0));
+        assert_eq!(with_load.backlog_s(), 0.0);
+    }
+
+    #[test]
+    fn poisson_load_is_deterministic_per_seed() {
+        let load = LoadModel::Poisson {
+            jobs_per_hour: 120.0,
+            mean_job_s: 20.0,
+            seed: 9,
+        };
+        let run = |load| {
+            let mut q = DeviceQueue::new(QueueModel::light(2.0), load).unwrap();
+            (0..20)
+                .map(|i| {
+                    q.enqueue(SimTime::from_secs(i as f64 * 90.0), 5.0)
+                        .as_secs()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(load), run(load));
+        let other = LoadModel::Poisson {
+            jobs_per_hour: 120.0,
+            mean_job_s: 20.0,
+            seed: 10,
+        };
+        assert_ne!(run(load), run(other));
+    }
+
+    #[test]
+    fn booked_intervals_stay_ordered_even_for_stale_submits() {
+        let mut q = DeviceQueue::new(QueueModel::light(1.0), LoadModel::None).unwrap();
+        // Second submit is *earlier* than the first — the horizon still
+        // serializes the bookings.
+        let a = q.enqueue(SimTime::from_secs(500.0), 100.0);
+        let b = q.enqueue(SimTime::from_secs(0.0), 100.0);
+        assert!(b.as_secs() >= a.as_secs() + 100.0);
+        let booked = q.booked();
+        assert!(booked.windows(2).all(|w| w[0].1 <= w[1].0));
     }
 
     #[test]

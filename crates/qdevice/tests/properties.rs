@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 use qcircuit::{Circuit, Gate};
-use qdevice::{Calibration, DriftModel, QpuBackend, QueueModel, SimTime};
+use qdevice::{
+    Calibration, DeviceQueue, DriftModel, LoadCurve, LoadModel, QpuBackend, QueueModel, SimTime,
+};
 use transpile::Topology;
 
 fn small_backend(cx_error: f64, readout: f64, wait: f64, seed: u64) -> QpuBackend {
@@ -103,6 +105,86 @@ proptest! {
         let w = q.wait_s(SimTime::from_hours(h));
         prop_assert!(w >= mean * (-amp).exp() - 1e-9);
         prop_assert!(w <= mean * amp.exp() + 1e-9);
+    }
+
+    /// Shared-ledger admissions never start a job before its submission
+    /// and the exogenous backlog never decays below zero, whatever the
+    /// load model and however the query times jump around.
+    #[test]
+    fn ledger_waits_are_never_negative(
+        mean in 1.0..100.0f64,
+        busy in 0.0..3600.0f64,
+        amp in 0.0..1.5f64,
+        submits in proptest::collection::vec(0.0..200.0f64, 1..12),
+        u in 0.0..1.0f64,
+    ) {
+        for load in [
+            LoadModel::None,
+            LoadModel::Diurnal { busy_per_hour: busy, curve: LoadCurve::daily(amp, 3.0) },
+            LoadModel::Bursty { burst_busy_s: busy, interval_s: 7200.0, phase_s: 5.0 },
+            LoadModel::Poisson { jobs_per_hour: 4.0, mean_job_s: busy.max(1.0), seed: 9 },
+        ] {
+            let mut q = DeviceQueue::new(QueueModel::light(mean), load).expect("valid ledger");
+            for &h in &submits {
+                let submit = SimTime::from_hours(h);
+                let start = q.admit(submit, u);
+                prop_assert!(
+                    start >= submit,
+                    "start {:?} precedes submission {:?} under {:?}", start, submit, load
+                );
+                prop_assert!(q.backlog_s() >= 0.0);
+            }
+        }
+    }
+
+    /// The diurnal congestion curve — and the exogenous load rate built
+    /// on it — repeats exactly one period later.
+    #[test]
+    fn diurnal_curve_is_periodic(
+        amp in 0.0..2.0f64,
+        phase in 0.0..24.0f64,
+        busy in 0.0..3600.0f64,
+        h in 0.0..100.0f64,
+        k in 1u32..4,
+    ) {
+        let curve = LoadCurve::daily(amp, phase);
+        let t = SimTime::from_hours(h);
+        let shifted = SimTime::from_hours(h + 24.0 * f64::from(k));
+        let (a, b) = (curve.factor(t), curve.factor(shifted));
+        prop_assert!((a - b).abs() <= 1e-9 * a.max(1.0), "factor {} vs {} one period on", a, b);
+        let load = LoadModel::Diurnal { busy_per_hour: busy, curve };
+        let (ra, rb) = (load.rate_at(t), load.rate_at(shifted));
+        prop_assert!((ra - rb).abs() <= 1e-9 * ra.max(1.0), "rate {} vs {} one period on", ra, rb);
+    }
+
+    /// Bookings derived from admissions occupy disjoint intervals: the
+    /// ledger serializes the device no matter the submission pattern.
+    #[test]
+    fn booked_intervals_never_overlap(
+        jobs in proptest::collection::vec((0.0..5.0f64, 1.0..3600.0f64, 0.0..1.0f64), 1..16),
+        busy in 0.0..1800.0f64,
+    ) {
+        let mut q = DeviceQueue::new(
+            QueueModel::light(30.0),
+            LoadModel::Diurnal { busy_per_hour: busy, curve: LoadCurve::daily(0.8, 3.0) },
+        ).expect("valid ledger");
+        let mut t_h = 0.0;
+        for &(dt, dur, u) in &jobs {
+            t_h += dt;
+            let start = q.admit(SimTime::from_hours(t_h), u);
+            q.book(start, dur);
+        }
+        let booked = q.booked();
+        prop_assert_eq!(booked.len() as u64, q.jobs_booked());
+        for w in booked.windows(2) {
+            prop_assert!(
+                w[1].0 >= w[0].1 - 1e-6,
+                "interval {:?} overlaps its predecessor {:?}", w[1], w[0]
+            );
+        }
+        for &(s, e) in booked {
+            prop_assert!(e >= s, "inverted interval ({}, {})", s, e);
+        }
     }
 
     /// Batch execution returns one histogram per circuit and a single

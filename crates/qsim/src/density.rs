@@ -15,17 +15,13 @@ use crate::parallel::ParallelCtx;
 use crate::statevector::StateVector;
 use rand::Rng;
 
-/// Minimum Hilbert dimension before a kernel pass fans out over a
-/// worker team: below this the per-job dispatch overhead exceeds the
-/// arithmetic. `64` means 6+ qubit states parallelize; the paper's 4-5
-/// qubit workloads stay on the serial fast path even under a team.
-const PAR_MIN_DIM: usize = 64;
-
 /// The context a kernel pass actually runs under: the caller's team for
-/// large states, inline-serial below [`PAR_MIN_DIM`].
+/// states at or above its fan-out threshold
+/// ([`ParallelCtx::min_dim`], default
+/// [`crate::parallel::DEFAULT_PAR_MIN_DIM`]), inline-serial below it.
 #[inline]
 fn gate_ctx(ctx: &ParallelCtx, dim: usize) -> &ParallelCtx {
-    if dim >= PAR_MIN_DIM {
+    if dim >= ctx.min_dim() {
         ctx
     } else {
         &ParallelCtx::SERIAL

@@ -356,14 +356,30 @@ impl fmt::Debug for WorkerTeam {
 ///
 /// Cloning is cheap and shares the underlying team, so one team built
 /// per session serves every backend and engine of that session.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct ParallelCtx {
     team: Option<Arc<WorkerTeam>>,
+    min_dim: usize,
+}
+
+/// Default minimum Hilbert dimension before kernel passes fan out over
+/// an attached team: below this the per-job dispatch overhead exceeds
+/// the arithmetic. `64` means 6+ qubit states parallelize; 4-5 qubit
+/// workloads stay on the serial fast path even under a team.
+pub const DEFAULT_PAR_MIN_DIM: usize = 64;
+
+impl Default for ParallelCtx {
+    fn default() -> Self {
+        Self::SERIAL
+    }
 }
 
 impl ParallelCtx {
     /// The serial context as a constant (no team, zero overhead).
-    pub const SERIAL: ParallelCtx = ParallelCtx { team: None };
+    pub const SERIAL: ParallelCtx = ParallelCtx {
+        team: None,
+        min_dim: DEFAULT_PAR_MIN_DIM,
+    };
 
     /// Serial execution (the default).
     pub fn serial() -> Self {
@@ -379,13 +395,31 @@ impl ParallelCtx {
         } else {
             ParallelCtx {
                 team: Some(Arc::new(WorkerTeam::new(total - 1))),
+                min_dim: DEFAULT_PAR_MIN_DIM,
             }
         }
     }
 
     /// Wraps an existing team.
     pub fn from_team(team: Arc<WorkerTeam>) -> Self {
-        ParallelCtx { team: Some(team) }
+        ParallelCtx {
+            team: Some(team),
+            min_dim: DEFAULT_PAR_MIN_DIM,
+        }
+    }
+
+    /// Overrides the fan-out threshold: kernel passes on states of
+    /// Hilbert dimension below `min_dim` stay on the serial fast path
+    /// even when a team is attached. Results are byte-identical at any
+    /// setting — this only moves the overhead/arithmetic break-even.
+    pub fn with_min_dim(mut self, min_dim: usize) -> Self {
+        self.min_dim = min_dim;
+        self
+    }
+
+    /// The fan-out threshold kernel passes compare dimensions against.
+    pub fn min_dim(&self) -> usize {
+        self.min_dim
     }
 
     /// Lanes of parallelism (1 when serial).

@@ -75,13 +75,14 @@ pub use vqa;
 /// [`FleetRuntime`](eqc_core::FleetRuntime) on a shared device pool).
 pub mod prelude {
     pub use eqc_core::policy::{
-        AlwaysHealthy, ClientHealth, Composed, Cyclic, DriftEviction, EarliestDeadlineFirst,
-        EquiEnsemble, FairShare, FidelityWeighted, LeastLoaded, LookaheadLeastLoaded,
-        PriorityArbiter, Scheduler, StalenessDecay, TenantArbiter, Unshared, Weighting,
+        AlwaysHealthy, ClientHealth, Composed, ContentionAware, Cyclic, DriftEviction,
+        EarliestDeadlineFirst, EquiEnsemble, FairShare, FidelityWeighted, FleetOccupancy,
+        LeastLoaded, LookaheadLeastLoaded, PriorityArbiter, Scheduler, StalenessDecay,
+        TenantArbiter, Unshared, Weighting,
     };
     pub use eqc_core::{
-        ideal_backend, ClientNode, DiscreteEventExecutor, EngineTelemetry, Ensemble,
-        EnsembleBuilder, EnsembleSession, EqcConfig, EqcError, EvictionEvent, Executor,
+        ideal_backend, ClientNode, DeviceOccupancy, DiscreteEventExecutor, EngineTelemetry,
+        Ensemble, EnsembleBuilder, EnsembleSession, EqcConfig, EqcError, EvictionEvent, Executor,
         FleetBuilder, FleetOutcome, FleetRuntime, FleetService, FleetTelemetry, MembershipChange,
         PolicyConfig, PolicyTelemetry, PoolConfig, PoolTelemetry, PooledExecutor,
         SequentialExecutor, ServiceConfig, ServiceOutcome, ServiceTelemetry, ServiceTenantRecord,
@@ -89,7 +90,7 @@ pub mod prelude {
         TrainingReport, WeightBounds, WeightProvenance,
     };
     pub use qcircuit::{Circuit, CircuitBuilder, Gate, Hamiltonian, PauliString};
-    pub use qdevice::{catalog, DeviceSpec, QpuBackend, SimTime};
+    pub use qdevice::{catalog, DeviceSpec, LoadCurve, LoadModel, QpuBackend, SimTime};
     pub use qsim::{Counts, DensityMatrix, StateVector};
     pub use transpile::{transpile, Topology, TranspileOptions};
     pub use vqa::{Graph, QaoaProblem, QnnProblem, VqaProblem, VqeProblem};
