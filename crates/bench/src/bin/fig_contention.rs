@@ -26,7 +26,10 @@
 //! cell (`{"bench":"contention8","substrate":"shared",...}`) for the
 //! perf-trajectory dashboard.
 
-use eqc_bench::{env_param, epochs_or, markdown_table, shots_or, tenant_fleet_builder, write_csv};
+use eqc_bench::{
+    env_param, epochs_or, markdown_table, shots_or, tenant_fleet_builder, write_bench_snapshot,
+    write_csv, BenchRow,
+};
 use eqc_core::{EqcConfig, FleetBuilder, FleetOutcome, TenantConfig};
 use std::time::Instant;
 use vqa::QaoaProblem;
@@ -81,12 +84,14 @@ fn main() {
         .collect();
 
     let mut rows = Vec::new();
+    let mut bench_rows = Vec::new();
     let mut csv = String::from(
         "tenants,substrate,wall_ms,grant_rounds,total_queue_wait_h,max_queue_wait_h,\
          min_eph,max_eph\n",
     );
     for &k in &sizes {
         let mut unshared_total = f64::NAN;
+        let mut unshared_wall_us = 0u128;
         for &(substrate_name, with_substrate) in &substrates {
             let mut fleet = with_substrate(tenant_fleet_builder(devices))
                 .build()
@@ -130,7 +135,14 @@ fn main() {
                 );
             } else {
                 unshared_total = total_wait_h;
+                unshared_wall_us = (wall_ms * 1000).max(1);
             }
+            bench_rows.push(BenchRow::new(
+                &format!("contention{k}"),
+                substrate_name,
+                wall_ms * 1000,
+                unshared_wall_us as f64 / (wall_ms * 1000).max(1) as f64,
+            ));
             let eph: Vec<f64> = outcome
                 .telemetry
                 .tenants
@@ -189,4 +201,5 @@ fn main() {
         )
     );
     write_csv("fig_contention.csv", &csv);
+    write_bench_snapshot("BENCH_fleet.json", &bench_rows);
 }

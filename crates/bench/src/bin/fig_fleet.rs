@@ -23,7 +23,10 @@
 //! Emits one machine-readable JSON line per size
 //! (`{"bench":"fleet64",...}`) for the perf-trajectory dashboard.
 
-use eqc_bench::{env_param, epochs_or, fleet_ensemble, markdown_table, shots_or, write_csv};
+use eqc_bench::{
+    env_param, epochs_or, fleet_ensemble, markdown_table, shots_or, write_bench_snapshot,
+    write_csv, BenchRow,
+};
 use eqc_core::{EqcConfig, PooledExecutor, ThreadedExecutor, TrainingReport};
 use std::time::Instant;
 use vqa::QaoaProblem;
@@ -49,6 +52,7 @@ fn main() {
     println!("# Fleet scaling — DES vs Threaded vs Pooled ({epochs} epochs, {shots} shots)\n");
 
     let mut rows = Vec::new();
+    let mut bench_rows = Vec::new();
     let mut csv = String::from("clients,executor,threads,elapsed_ms,epochs_per_hour,final_loss\n");
     for &n in &sizes {
         let ensemble = fleet_ensemble(n, cfg);
@@ -86,6 +90,14 @@ fn main() {
             table_rows.push(("threaded", threaded, n, threaded_ms));
         }
         table_rows.push(("pooled", &pooled, telemetry.workers_spawned, pooled_ms));
+        for (label, _, _, ms) in &table_rows {
+            bench_rows.push(BenchRow::new(
+                &format!("fleet{n}"),
+                label,
+                ms * 1000,
+                des_ms as f64 / (*ms).max(1) as f64,
+            ));
+        }
         for (label, report, threads, ms) in table_rows {
             rows.push(vec![
                 n.to_string(),
@@ -139,4 +151,5 @@ fn main() {
         )
     );
     write_csv("fig_fleet.csv", &csv);
+    write_bench_snapshot("BENCH_fleet.json", &bench_rows);
 }

@@ -186,6 +186,85 @@ pub fn band(lo: f64, hi: f64) -> eqc_core::WeightBounds {
     eqc_core::WeightBounds::new(lo, hi).expect("valid weight band")
 }
 
+/// One measured row of a repo-root `BENCH_*.json` perf snapshot: which
+/// harness produced it, which execution path it timed, the wall-clock
+/// in microseconds, and the speedup against that harness's slowest
+/// reference path (`legacy` for the engine sweeps, `des`/`unshared`
+/// for the fleet harnesses).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRow {
+    /// Harness/series name (e.g. `fig_engine`, `fleet64`, `contention8`).
+    pub bench: String,
+    /// Execution-path label within the bench (e.g. `folded`, `batched`).
+    pub path: String,
+    /// Measured wall clock, microseconds.
+    pub wall_us: u128,
+    /// Speedup versus the bench's reference path (reference row = 1.0).
+    pub speedup_vs_legacy: f64,
+}
+
+impl BenchRow {
+    /// A row literal.
+    pub fn new(bench: &str, path: &str, wall_us: u128, speedup_vs_legacy: f64) -> Self {
+        BenchRow {
+            bench: bench.to_string(),
+            path: path.to_string(),
+            wall_us,
+            speedup_vs_legacy,
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"bench\":\"{}\",\"path\":\"{}\",\"wall_us\":{},\"speedup_vs_legacy\":{:.4}}}",
+            self.bench, self.path, self.wall_us, self.speedup_vs_legacy
+        )
+    }
+}
+
+/// Extracts the `"bench"` value from one row line of a snapshot file.
+fn bench_of_line(line: &str) -> Option<&str> {
+    let rest = line.split("\"bench\":\"").nth(1)?;
+    rest.split('"').next()
+}
+
+/// Merges fresh rows into an existing snapshot body: every old row
+/// whose bench name is re-measured by `rows` is replaced; rows of
+/// benches not in this run (e.g. `fig_fleet` sizes measured by an
+/// earlier pass, or `fig_contention` rows sharing the fleet snapshot)
+/// survive. Returns the full JSON document (one row object per line).
+pub fn merge_bench_rows(existing: &str, rows: &[BenchRow]) -> String {
+    let fresh: Vec<&str> = rows.iter().map(|r| r.bench.as_str()).collect();
+    let mut lines: Vec<String> = existing
+        .lines()
+        .map(str::trim)
+        .filter(|l| l.starts_with('{'))
+        .filter(|l| bench_of_line(l).is_none_or(|b| !fresh.contains(&b)))
+        .map(|l| l.trim_end_matches(',').to_string())
+        .collect();
+    lines.extend(rows.iter().map(BenchRow::json));
+    let mut out = String::from("[\n");
+    let n = lines.len();
+    for (i, line) in lines.into_iter().enumerate() {
+        out.push_str(&line);
+        out.push_str(if i + 1 < n { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Writes (merging) a repo-root `BENCH_*.json` snapshot and reports its
+/// path on stdout. Rows from benches not re-measured in this run are
+/// preserved, so `fig_fleet` and `fig_contention` can share one file.
+pub fn write_bench_snapshot(file: &str, rows: &[BenchRow]) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(file);
+    let existing = fs::read_to_string(&path).unwrap_or_default();
+    fs::write(&path, merge_bench_rows(&existing, rows)).expect("write bench snapshot");
+    println!("  [wrote {}]", path.display());
+}
+
 /// The `results/` directory (created on demand).
 pub fn results_dir() -> PathBuf {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -289,6 +368,40 @@ mod tests {
         let first = s.chars().next().unwrap();
         let last = s.chars().last().unwrap();
         assert_ne!(first, last);
+    }
+
+    #[test]
+    fn bench_rows_merge_by_bench_name() {
+        let first = merge_bench_rows(
+            "",
+            &[
+                BenchRow::new("fleet8", "des", 1000, 1.0),
+                BenchRow::new("fleet8", "pooled", 500, 2.0),
+            ],
+        );
+        assert!(first.starts_with("[\n"));
+        assert!(first.ends_with("]\n"));
+        assert!(first.contains("\"bench\":\"fleet8\",\"path\":\"pooled\",\"wall_us\":500"));
+
+        // A later harness re-measures fleet8 and adds contention2: the
+        // stale fleet8 rows are replaced, nothing else is lost.
+        let second = merge_bench_rows(
+            &first,
+            &[
+                BenchRow::new("fleet8", "des", 1200, 1.0),
+                BenchRow::new("contention2", "shared", 900, 0.9),
+            ],
+        );
+        assert!(!second.contains("\"wall_us\":500"));
+        assert!(second.contains("\"wall_us\":1200"));
+        assert!(second.contains("\"bench\":\"contention2\""));
+        assert_eq!(second.matches("fleet8").count(), 1);
+
+        // Merging fresh contention rows keeps the fleet8 snapshot.
+        let third = merge_bench_rows(&second, &[BenchRow::new("contention2", "shared", 800, 1.1)]);
+        assert!(third.contains("\"wall_us\":1200"));
+        assert!(third.contains("\"wall_us\":800"));
+        assert!(!third.contains("\"wall_us\":900"));
     }
 
     #[test]

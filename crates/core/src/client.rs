@@ -154,6 +154,24 @@ impl ClientNode {
         self.backend.sim_workers()
     }
 
+    /// Batch groups the backend resumed from a cached op-tape prefix
+    /// state (engine telemetry; does not affect results).
+    pub fn prefix_hits(&self) -> u64 {
+        self.backend.prefix_hits()
+    }
+
+    /// Runs the backend executed through the batched pipeline path
+    /// (engine telemetry; does not affect results).
+    pub fn batched_jobs(&self) -> u64 {
+        self.backend.batched_jobs()
+    }
+
+    /// Lanes of the shared batched-job pipeline this client's backend
+    /// is attached to (0 when the batched path is off).
+    pub fn pipeline_lanes(&self) -> usize {
+        self.backend.pipeline_lanes()
+    }
+
     /// Borrows the backend (e.g. for calibration queries in reports).
     pub fn backend(&self) -> &QpuBackend {
         &self.backend

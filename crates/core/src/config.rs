@@ -38,6 +38,20 @@ pub enum SimParallelism {
         /// Minimum Hilbert dimension before kernel passes use the team.
         min_dim: usize,
     },
+    /// The fleet-wide batched job pipeline: one shared
+    /// [`qsim::BatchPipeline`] with this many lanes drains *whole
+    /// simulation jobs* from every client of the session (and, on the
+    /// fleet drives, every tenant), instead of each client fanning the
+    /// row blocks of one kernel pass. This is the knob that
+    /// parallelizes the paper's 4–5 qubit workloads, which sit below
+    /// the row-block threshold; it also enables the cross-template
+    /// shared-prefix cache on every backend. `Pipeline { lanes: 1 }`
+    /// spawns no threads (batched path inline). Byte-identical results
+    /// at any lane count.
+    Pipeline {
+        /// Total lanes of execution (submitting threads help drain).
+        lanes: usize,
+    },
 }
 
 impl SimParallelism {
@@ -52,6 +66,20 @@ impl SimParallelism {
             SimParallelism::Tuned { workers, min_dim } => {
                 ParallelCtx::with_workers(workers).with_min_dim(min_dim)
             }
+            // The pipeline parallelizes across jobs, not row blocks —
+            // engines stay serial.
+            SimParallelism::Pipeline { .. } => ParallelCtx::serial(),
+        }
+    }
+
+    /// Builds the shared batched-job pipeline this setting describes
+    /// (`None` for every non-pipeline setting). Callers build one per
+    /// session — or one per fleet, shared across tenants — and attach
+    /// it to every backend.
+    pub fn build_pipeline(&self) -> Option<std::sync::Arc<qsim::BatchPipeline>> {
+        match *self {
+            SimParallelism::Pipeline { lanes } => Some(qsim::BatchPipeline::new(lanes)),
+            _ => None,
         }
     }
 
@@ -61,6 +89,7 @@ impl SimParallelism {
             SimParallelism::Serial => 1,
             SimParallelism::Workers(n) => n.max(1),
             SimParallelism::Tuned { workers, .. } => workers.max(1),
+            SimParallelism::Pipeline { lanes } => lanes.max(1),
         }
     }
 }
@@ -203,7 +232,9 @@ impl EqcConfig {
         }
         if matches!(
             self.sim_parallelism,
-            SimParallelism::Workers(0) | SimParallelism::Tuned { workers: 0, .. }
+            SimParallelism::Workers(0)
+                | SimParallelism::Tuned { workers: 0, .. }
+                | SimParallelism::Pipeline { lanes: 0 }
         ) {
             return Err(EqcError::InvalidConfig(
                 "engine worker-team lanes must be positive".into(),

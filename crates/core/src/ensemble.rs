@@ -40,6 +40,7 @@ use crate::policy::{ClientHealth, Scheduler, Weighting};
 use crate::report::TrainingReport;
 use qdevice::{Calibration, DriftModel, QpuBackend, QueueModel};
 use qsim::ParallelCtx;
+use std::sync::Arc;
 use transpile::Topology;
 use vqa::VqaProblem;
 
@@ -157,11 +158,14 @@ pub(crate) fn resolve_devices(
 /// [`FleetRuntime::admit`](crate::fleet::FleetRuntime::admit). Every
 /// backend's simulation engines attach to `par`'s worker team (one
 /// shared team per session; results are byte-identical at any worker
-/// count).
+/// count), and to the shared batched-job `pipeline` when one is
+/// configured — one pipeline per session, or per fleet across tenants,
+/// so every client's simulation jobs interleave on the same lanes.
 pub(crate) fn clients_for(
     devices: &[Device],
     problem: &dyn VqaProblem,
     par: &ParallelCtx,
+    pipeline: Option<&Arc<qsim::BatchPipeline>>,
 ) -> Result<Vec<ClientNode>, EqcError> {
     let mut clients = Vec::with_capacity(devices.len());
     for (i, device) in devices.iter().enumerate() {
@@ -170,6 +174,9 @@ pub(crate) fn clients_for(
             Device::Ideal { seed } => ideal_backend(problem.num_qubits(), *seed),
         };
         backend.set_parallelism(par.clone());
+        if let Some(p) = pipeline {
+            backend.set_batch_pipeline(p.clone());
+        }
         let device_name = backend.name().to_string();
         let client =
             ClientNode::new(i, backend, problem).map_err(|source| EqcError::Transpile {
@@ -253,7 +260,8 @@ impl Ensemble {
             return Err(EqcError::EmptyProblem(problem.name()));
         }
         let par = self.config.sim_parallelism.build_ctx();
-        let clients = clients_for(&self.devices, problem, &par)?;
+        let pipeline = self.config.sim_parallelism.build_pipeline();
+        let clients = clients_for(&self.devices, problem, &par, pipeline.as_ref())?;
         EnsembleSession::assemble(problem, self.config, self.policies.clone(), clients)
     }
 
@@ -557,6 +565,14 @@ impl<'p> EnsembleSession<'p> {
                 .iter()
                 .map(|c| c.backend().jobs_executed())
                 .sum(),
+            prefix_hits: self.clients.iter().map(ClientNode::prefix_hits).sum(),
+            batched_jobs: self.clients.iter().map(ClientNode::batched_jobs).sum(),
+            pipeline_lanes: self
+                .clients
+                .iter()
+                .map(ClientNode::pipeline_lanes)
+                .max()
+                .unwrap_or(0),
         }
     }
 

@@ -67,6 +67,13 @@ pub enum EqcError {
         /// The `max_pending` bound that rejected the admission.
         capacity: usize,
     },
+    /// A shared per-device occupancy ledger's mutex was poisoned — a
+    /// thread panicked while holding it, so its queue timeline can no
+    /// longer be trusted.
+    LedgerPoisoned {
+        /// Pool index of the device whose ledger is poisoned.
+        device: usize,
+    },
     /// An internal invariant broke (e.g. a worker thread panicked).
     Internal(String),
 }
@@ -123,6 +130,12 @@ impl fmt::Display for EqcError {
                 write!(
                     f,
                     "admission queue is at capacity ({capacity} tenants pending); drain first"
+                )
+            }
+            EqcError::LedgerPoisoned { device } => {
+                write!(
+                    f,
+                    "occupancy ledger of device {device} is poisoned (a holder panicked)"
                 )
             }
             EqcError::Internal(msg) => write!(f, "internal error: {msg}"),

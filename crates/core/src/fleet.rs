@@ -260,6 +260,12 @@ pub struct FleetRuntime<'p> {
     /// stamped into issued [`TenantId`]s and outcomes so stale handles
     /// are detected instead of misattributed.
     batch: u64,
+    /// The fleet-wide batched-job pipeline, built lazily by the first
+    /// admitted tenant configured with
+    /// [`SimParallelism::Pipeline`](crate::SimParallelism::Pipeline)
+    /// and shared by every later pipeline tenant — cross-tenant jobs
+    /// interleave on the same lanes.
+    pipeline: Option<Arc<qsim::BatchPipeline>>,
 }
 
 impl std::fmt::Debug for FleetRuntime<'_> {
@@ -321,7 +327,12 @@ impl<'p> FleetRuntime<'p> {
             return Err(EqcError::EmptyProblem(problem.name()));
         }
         let par = tenant.config.sim_parallelism.build_ctx();
-        let clients = clients_for(&self.devices, problem, &par)?;
+        let pipeline = tenant
+            .config
+            .sim_parallelism
+            .build_pipeline()
+            .map(|built| self.pipeline.get_or_insert(built).clone());
+        let clients = clients_for(&self.devices, problem, &par, pipeline.as_ref())?;
         let probes = probes_for(&tenant.policies, &clients);
         let master = MasterLoop::new(
             problem,
@@ -454,7 +465,7 @@ impl<'p> FleetRuntime<'p> {
                             .sum()
                     })
                     .collect();
-                occupancy_rows(&self.devices, ledgers, &queued_s)
+                occupancy_rows(&self.devices, ledgers, &queued_s)?
             }
             None => Vec::new(),
         };
@@ -608,6 +619,7 @@ impl FleetBuilder {
             substrate: self.substrate,
             tenants: Vec::new(),
             batch: 0,
+            pipeline: None,
         })
     }
 
@@ -1128,33 +1140,54 @@ pub(crate) fn occupancy_rows(
     devices: &[Device],
     ledgers: &[Arc<Mutex<DeviceQueue>>],
     queued_s: &[f64],
-) -> Vec<DeviceOccupancy> {
+) -> Result<Vec<DeviceOccupancy>, EqcError> {
     devices
         .iter()
         .zip(ledgers)
         .enumerate()
         .map(|(d, (dev, ledger))| {
-            let q = ledger.lock().expect("shared queue lock");
-            DeviceOccupancy {
+            // Copy the scalars under the lock; assemble the row (label
+            // allocation included) outside the critical section.
+            let (jobs, booked_s) = {
+                let q = ledger
+                    .lock()
+                    .map_err(|_| EqcError::LedgerPoisoned { device: d })?;
+                (q.jobs_booked(), q.booked_busy_s())
+            };
+            Ok(DeviceOccupancy {
                 device: dev.label(),
-                jobs: q.jobs_booked(),
-                booked_hours: q.booked_busy_s() / 3600.0,
+                jobs,
+                booked_hours: booked_s / 3600.0,
                 queued_hours: queued_s.get(d).copied().unwrap_or(0.0) / 3600.0,
-            }
+            })
         })
         .collect()
 }
 
 /// A point-in-time [`FleetOccupancy`] snapshot of the shared ledgers.
-fn occupancy_snapshot(ledgers: &[Arc<Mutex<DeviceQueue>>]) -> FleetOccupancy {
-    let mut occ = FleetOccupancy::with_devices(ledgers.len());
+/// Each device's three scalars are copied under its lock and the
+/// snapshot assembled outside the critical section, so a ledger is
+/// never held while another is taken (or while vectors grow). A
+/// poisoned ledger surfaces as [`EqcError::LedgerPoisoned`], not a
+/// panic.
+fn occupancy_snapshot(ledgers: &[Arc<Mutex<DeviceQueue>>]) -> Result<FleetOccupancy, EqcError> {
+    let mut scalars = Vec::with_capacity(ledgers.len());
     for (d, ledger) in ledgers.iter().enumerate() {
-        let q = ledger.lock().expect("shared queue lock");
-        occ.booked_until_s[d] = q.horizon_s();
-        occ.backlog_s[d] = q.backlog_s();
-        occ.jobs_booked[d] = q.jobs_booked();
+        let copied = {
+            let q = ledger
+                .lock()
+                .map_err(|_| EqcError::LedgerPoisoned { device: d })?;
+            (q.horizon_s(), q.backlog_s(), q.jobs_booked())
+        };
+        scalars.push(copied);
     }
-    occ
+    let mut occ = FleetOccupancy::with_devices(ledgers.len());
+    for (d, (horizon_s, backlog_s, jobs)) in scalars.into_iter().enumerate() {
+        occ.booked_until_s[d] = horizon_s;
+        occ.backlog_s[d] = backlog_s;
+        occ.jobs_booked[d] = jobs;
+    }
+    Ok(occ)
 }
 
 /// Installs `snapshot` into one lane's master, shifted onto the lane's
@@ -1174,16 +1207,20 @@ fn install_occupancy(lane: &mut Lane<'_, '_>, snapshot: &FleetOccupancy) {
 /// consults queue estimates. Lanes under estimate-free schedulers (the
 /// paper's cyclic default) are never touched — their decision sequence,
 /// and hence the zero-load single-tenant oracle, stays byte-exact.
-fn refresh_occupancy(lanes: &mut [Lane<'_, '_>], ledgers: &[Arc<Mutex<DeviceQueue>>]) {
+fn refresh_occupancy(
+    lanes: &mut [Lane<'_, '_>],
+    ledgers: &[Arc<Mutex<DeviceQueue>>],
+) -> Result<(), EqcError> {
     if !lanes.iter().any(|l| !l.done && l.master.wants_occupancy()) {
-        return;
+        return Ok(());
     }
-    let snapshot = occupancy_snapshot(ledgers);
+    let snapshot = occupancy_snapshot(ledgers)?;
     for lane in lanes.iter_mut().filter(|l| !l.done) {
         if lane.master.wants_occupancy() {
             install_occupancy(lane, &snapshot);
         }
     }
+    Ok(())
 }
 
 /// [`grant_round`] over the shared substrate: identical capacity
@@ -1215,7 +1252,7 @@ fn grant_shared(
         let mut granted = 0usize;
         while lane.in_flight < cap && !lane.ready.is_empty() {
             let idx = if lane.master.wants_occupancy() && lane.ready.len() > 1 {
-                install_occupancy(lane, &occupancy_snapshot(ledgers));
+                install_occupancy(lane, &occupancy_snapshot(ledgers)?);
                 let mut candidates: Vec<usize> = lane.ready.iter().map(|r| r.client).collect();
                 candidates.sort_unstable();
                 let pick = lane.master.pick_client(&candidates)?;
@@ -1286,7 +1323,7 @@ fn shared_stepper(
             .map(|t| lanes[t].offset_s + lanes[t].heap.peek().expect("head").completed.as_secs());
         if let Some(a) = arrivals.front() {
             if next_event_s.is_none_or(|e| a.at_s <= e) {
-                refresh_occupancy(lanes, ledgers);
+                refresh_occupancy(lanes, ledgers)?;
                 activate_due(lanes, arrivals, clock, on_retire)?;
                 grant_shared(lanes, arbiter, slots, clock.round, ledgers)?;
                 clock.round += 1;
@@ -1298,7 +1335,7 @@ fn shared_stepper(
                 "event queue drained before the epoch budget".into(),
             ));
         };
-        refresh_occupancy(lanes, ledgers);
+        refresh_occupancy(lanes, ledgers)?;
         let completed = absorb_next(lanes, t, clock.round)?;
         clock.now_s = clock.now_s.max(lanes[t].offset_s + completed.as_secs());
         if lanes[t].done {
@@ -1777,6 +1814,31 @@ mod tests {
 
     fn fleet_cfg(epochs: usize) -> EqcConfig {
         EqcConfig::paper_qaoa().with_epochs(epochs).with_shots(128)
+    }
+
+    #[test]
+    fn poisoned_ledger_surfaces_as_typed_error_not_panic() {
+        let ledgers: Vec<Arc<Mutex<DeviceQueue>>> = (0..3)
+            .map(|_| {
+                let queue = DeviceQueue::new(QueueModel::light(5.0), LoadModel::None)
+                    .expect("valid queue model");
+                Arc::new(Mutex::new(queue))
+            })
+            .collect();
+        // Poison the middle ledger by panicking while holding its lock.
+        let poisoned = ledgers[1].clone();
+        let _ = std::panic::catch_unwind(move || {
+            let _guard = poisoned.lock().expect("first lock");
+            panic!("poison the ledger");
+        });
+        match occupancy_snapshot(&ledgers) {
+            Err(EqcError::LedgerPoisoned { device: 1 }) => {}
+            other => panic!("expected LedgerPoisoned for device 1, got {other:?}"),
+        }
+        match occupancy_rows(&[], &ledgers[1..], &[]) {
+            Ok(rows) => assert!(rows.is_empty(), "no devices zipped, no rows"),
+            Err(e) => panic!("zip with no devices must not lock: {e}"),
+        }
     }
 
     #[test]

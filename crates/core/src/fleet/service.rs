@@ -184,6 +184,10 @@ pub struct FleetService<'p> {
     /// (lane order within each drain, matching the batch runtime's
     /// summation order bit for bit).
     occupancy_queued_s: Vec<f64>,
+    /// The fleet-wide batched-job pipeline, built lazily by the first
+    /// admitted pipeline tenant and shared by every later one (see
+    /// [`FleetRuntime`](super::FleetRuntime)).
+    pipeline: Option<Arc<qsim::BatchPipeline>>,
 }
 
 impl std::fmt::Debug for FleetService<'_> {
@@ -218,6 +222,7 @@ impl<'p> FleetService<'p> {
             pool: None,
             shared_ledgers: None,
             occupancy_queued_s: vec![0.0; n],
+            pipeline: None,
         }
     }
 
@@ -301,7 +306,12 @@ impl<'p> FleetService<'p> {
             return Err(EqcError::EmptyProblem(problem.name()));
         }
         let par = tenant.config.sim_parallelism.build_ctx();
-        let clients = clients_for(&self.devices, problem, &par)?;
+        let pipeline = tenant
+            .config
+            .sim_parallelism
+            .build_pipeline()
+            .map(|built| self.pipeline.get_or_insert(built).clone());
+        let clients = clients_for(&self.devices, problem, &par, pipeline.as_ref())?;
         let probes = probes_for(&tenant.policies, &clients);
         let master = MasterLoop::new(
             problem,
@@ -513,7 +523,7 @@ impl<'p> FleetService<'p> {
         }
         let admissions = self.retired.len();
         let occupancy = match &self.shared_ledgers {
-            Some(ledgers) => occupancy_rows(&self.devices, ledgers, &self.occupancy_queued_s),
+            Some(ledgers) => occupancy_rows(&self.devices, ledgers, &self.occupancy_queued_s)?,
             None => Vec::new(),
         };
         let mut reports = Vec::with_capacity(admissions);

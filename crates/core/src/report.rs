@@ -84,14 +84,29 @@ pub struct EngineTelemetry {
     pub folded_pairs: u64,
     /// Jobs executed across all client backends.
     pub jobs: u64,
+    /// Batch groups whose shared op-tape prefix was resumed from the
+    /// noise-epoch prefix cache instead of re-evolved, summed over
+    /// clients (batched path only).
+    pub prefix_hits: u64,
+    /// Runs executed through the batched pipeline path, summed over
+    /// clients.
+    pub batched_jobs: u64,
+    /// Lanes of the shared batched-job pipeline (0 when the batched
+    /// path is off, 1 when it runs inline).
+    pub pipeline_lanes: usize,
 }
 
 impl fmt::Display for EngineTelemetry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} engine lanes, {} folded pairs, {} jobs",
-            self.workers, self.folded_pairs, self.jobs
+            "{} engine lanes, {} folded pairs, {} jobs, {} pipeline lanes, {} batched jobs, {} prefix hits",
+            self.workers,
+            self.folded_pairs,
+            self.jobs,
+            self.pipeline_lanes,
+            self.batched_jobs,
+            self.prefix_hits
         )
     }
 }

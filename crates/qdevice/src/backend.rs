@@ -28,7 +28,7 @@ use crate::drift::DriftModel;
 use crate::noise_model::{reference, NoiseModel, QubitNoise};
 use crate::queue::{DeviceQueue, QueueModel};
 use qcircuit::Circuit;
-use qsim::{Counts, DensityEngine, DensityMatrix, ParallelCtx, TrajectoryEngine};
+use qsim::{BatchPipeline, Counts, DensityEngine, DensityMatrix, ParallelCtx, TrajectoryEngine};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -157,6 +157,42 @@ struct NoiseCache {
     model_builds: u64,
 }
 
+/// Noise-epoch-scoped cache of evolved op-tape prefix states, shared
+/// across templates and across `execute_templates` batches.
+///
+/// Keys are the *exact bit content* of the tape prefix (op kinds, qubit
+/// indices, every unitary and Kraus-operator entry — see
+/// [`qsim::CompiledProgram::prefix_fingerprint`]), never a lossy hash:
+/// a hit is a proof that re-evolving the prefix would reproduce the
+/// cached state bit-for-bit, so resuming from it is byte-identical.
+/// Entries are scoped to one [`NoiseToken`], so recalibration or drift
+/// invalidates the whole cache at once. Because the prefix ends at the
+/// first *parameterized* tape op, its content never depends on the
+/// bound parameter values — the same ansatz prefix hits across training
+/// epochs, across templates and across clients sharing a device clone
+/// within one noise epoch.
+#[derive(Clone, Debug, Default)]
+struct PrefixCache {
+    token: Option<NoiseToken>,
+    /// `(prefix fingerprint, prefix length in ops, evolved state)`,
+    /// oldest first.
+    entries: Vec<(Vec<u64>, usize, DensityMatrix)>,
+}
+
+/// Entry cap for [`PrefixCache`]; the oldest entry is evicted beyond
+/// it. Paper-scale sessions use a handful of distinct ansatz prefixes
+/// per device, so 32 is generous.
+const PREFIX_CACHE_CAP: usize = 32;
+
+/// Raw-pointer wrapper so pipeline jobs can write disjoint elements of
+/// buffers owned by the submitting backend (the trajectory engine's
+/// lane-pointer idiom). Safety rests on the strided job-to-index
+/// mapping: no two jobs touch the same element.
+struct BatchPtr<T>(*mut T);
+// SAFETY: see `BatchPtr` — disjointness is the caller's contract.
+unsafe impl<T> Sync for BatchPtr<T> {}
+unsafe impl<T> Send for BatchPtr<T> {}
+
 /// Source of unique per-construction backend identities for
 /// [`NoiseToken`]s. Clones share their original's identity, which is
 /// correct: a clone has the same calibration, seed and drift, hence
@@ -209,6 +245,21 @@ pub struct QpuBackend {
     /// Per-run distribution scratch for the two-phase batched engine
     /// path (reused across calls).
     run_probs: Vec<Vec<f64>>,
+    /// Route [`QpuBackend::execute_templates`] through the batched
+    /// N-way group-fork path (shared-prefix cache + pipeline lanes).
+    batch_exec: bool,
+    /// Shared fleet-wide lane pool for suffix evolutions. `None` runs
+    /// batched suffixes inline on the submitting thread.
+    batch_pipeline: Option<Arc<BatchPipeline>>,
+    /// Noise-epoch-scoped cache of evolved prefix states.
+    prefix_cache: PrefixCache,
+    /// One scratch engine per pipeline job slot, so suffix evolutions
+    /// never contend on the main engine's buffers.
+    lane_engines: Vec<DensityEngine>,
+    /// Batch groups resumed from a cached prefix state (telemetry).
+    prefix_hits: u64,
+    /// Runs executed through the batched pipeline path (telemetry).
+    batched_jobs: u64,
 }
 
 impl QpuBackend {
@@ -261,6 +312,12 @@ impl QpuBackend {
             shift_fold: true,
             folded_pairs: 0,
             run_probs: Vec::new(),
+            batch_exec: false,
+            batch_pipeline: None,
+            prefix_cache: PrefixCache::default(),
+            lane_engines: Vec::new(),
+            prefix_hits: 0,
+            batched_jobs: 0,
         }
     }
 
@@ -287,6 +344,47 @@ impl QpuBackend {
     pub fn without_shift_fold(mut self) -> Self {
         self.shift_fold = false;
         self
+    }
+
+    /// Routes [`QpuBackend::execute_templates`] through the batched
+    /// group-fork path (builder style): each batch binds every
+    /// template's base once, describes shifted runs as `(slot, matrix)`
+    /// variants forked N-way off one base walk, resumes shared ansatz
+    /// prefixes from the noise-epoch-scoped [`PrefixCache`], and fans
+    /// suffix evolutions over the attached [`BatchPipeline`] (inline
+    /// when none is attached). Byte-identical to the folded and
+    /// unfolded paths; density simulator only (trajectories fall back).
+    pub fn with_batch_exec(mut self) -> Self {
+        self.batch_exec = true;
+        self
+    }
+
+    /// Attaches the shared fleet-wide lane pool and enables the batched
+    /// path. Many backends (one per client, across tenants) share one
+    /// pipeline: their suffix jobs interleave on its lanes.
+    pub fn set_batch_pipeline(&mut self, pipeline: Arc<BatchPipeline>) {
+        self.batch_pipeline = Some(pipeline);
+        self.batch_exec = true;
+    }
+
+    /// Batch groups whose shared tape prefix was resumed from the
+    /// [`PrefixCache`] instead of re-evolved (telemetry).
+    pub fn prefix_hits(&self) -> u64 {
+        self.prefix_hits
+    }
+
+    /// Runs executed through the batched pipeline path (telemetry).
+    pub fn batched_jobs(&self) -> u64 {
+        self.batched_jobs
+    }
+
+    /// Lanes of the attached pipeline (1 when the batched path runs
+    /// inline, 0 when the batched path is off).
+    pub fn pipeline_lanes(&self) -> usize {
+        if !self.batch_exec {
+            return 0;
+        }
+        self.batch_pipeline.as_ref().map_or(1, |p| p.lanes())
     }
 
     /// Attaches a parallel context to both simulation engines: density
@@ -770,6 +868,187 @@ impl QpuBackend {
                 let (counts, duration) = self.run_circuit_reference(&bound, &noise, shots);
                 total_exec_s += self.queue.execution_s(duration, cal.readout_time_ns, shots);
                 last_duration_ns = duration;
+                all_counts.push(counts);
+            }
+        } else if self.batch_exec && self.simulator == SimulatorKind::Density {
+            // The batched N-way group-fork path. Like the folded path
+            // below, the batch splits into an RNG-free evolution phase
+            // and a sampling phase that consumes the RNG in run order —
+            // but instead of greedy forward/backward pairing, runs
+            // group by template: each group binds its base once, walks
+            // the tape once, and forks *every* shifted member off that
+            // walk; shared ansatz prefixes resume from the noise-epoch
+            // [`PrefixCache`] (across templates and batches), and the
+            // forked suffixes fan out over the shared [`BatchPipeline`]
+            // lanes. Byte-identity per run is the group-fork contract
+            // of [`DensityEngine::evolve_group_forks`]; identity of the
+            // whole batch follows because sampling, `f64` accumulation
+            // and every counter sequence stay in run order.
+            let token = self.noise_token(started);
+            // Bookkeeping pass — identical per-run order to the folded
+            // path, so noise and compile counter sequences match it.
+            let mut meta = Vec::with_capacity(runs.len());
+            for run in runs {
+                let entry = self.noise_entry(started, templates[run.template].active_physical());
+                let noise = &self.noise_cache.entries[entry].model;
+                let template = &mut *templates[run.template];
+                template.ensure_compiled(noise, token);
+                let program = template.program();
+                assert!(
+                    program.num_qubits() <= DensityMatrix::MAX_QUBITS,
+                    "{} active qubits exceed the density engine cap; use trajectories",
+                    program.num_qubits()
+                );
+                meta.push((
+                    program.duration_ns(),
+                    noise.readout_time_ns,
+                    program.num_qubits(),
+                ));
+            }
+            if self.run_probs.len() < runs.len() {
+                self.run_probs.resize_with(runs.len(), Vec::new);
+            }
+            // Group runs by template, in first-appearance order: one
+            // base walk per group serves every member.
+            let mut group_of: Vec<Option<usize>> = vec![None; templates.len()];
+            let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+            for (i, run) in runs.iter().enumerate() {
+                let g = match group_of[run.template] {
+                    Some(g) => g,
+                    None => {
+                        groups.push((run.template, Vec::new()));
+                        group_of[run.template] = Some(groups.len() - 1);
+                        groups.len() - 1
+                    }
+                };
+                groups[g].1.push(i);
+            }
+            let QpuBackend {
+                density_engine,
+                run_probs,
+                prefix_cache,
+                prefix_hits,
+                ..
+            } = self;
+            if prefix_cache.token != Some(token) {
+                prefix_cache.token = Some(token);
+                prefix_cache.entries.clear();
+            }
+            // Phase A1 — per group: bind the base binding once, fork
+            // every shifted member off one base walk, and route the
+            // shared prefix through the cache. Forked suffixes are
+            // parked for Phase A2; unshifted members share the base
+            // distribution bit-for-bit (evolution is deterministic, so
+            // a copy is byte-identical to re-evolving).
+            let mut suffixes: Vec<(usize, usize, usize, DensityMatrix)> = Vec::new();
+            let mut forks = Vec::new();
+            let mut fp = Vec::new();
+            for &(t, ref members) in &groups {
+                let template = &mut *templates[t];
+                template.bind(params, None);
+                let mut variants = Vec::new();
+                let mut variant_run = Vec::new();
+                let mut base_runs = Vec::new();
+                for &i in members {
+                    match runs[i].shift {
+                        Some((g, d)) => {
+                            variants.push(template.shift_matrix(params, g, d));
+                            variant_run.push(i);
+                        }
+                        None => base_runs.push(i),
+                    }
+                }
+                let slots = template.rebind_slots();
+                let program = template.program();
+                let k = program.first_op_using(&slots);
+                fp.clear();
+                let mut capture = None;
+                let mut resume_idx = None;
+                if k > 0 {
+                    program.prefix_fingerprint(k, &mut fp);
+                    match prefix_cache
+                        .entries
+                        .iter()
+                        .position(|e| e.1 == k && e.0 == fp)
+                    {
+                        Some(idx) => {
+                            resume_idx = Some(idx);
+                            *prefix_hits += 1;
+                        }
+                        None => capture = Some(k),
+                    }
+                }
+                let resume = resume_idx.map(|idx| (&prefix_cache.entries[idx].2, k));
+                let captured = density_engine.evolve_group_forks(
+                    program,
+                    &variants,
+                    resume,
+                    capture,
+                    &mut forks,
+                    base_runs.first().map(|&i| &mut run_probs[i]),
+                );
+                if let Some(state) = captured {
+                    if prefix_cache.entries.len() >= PREFIX_CACHE_CAP {
+                        prefix_cache.entries.remove(0);
+                    }
+                    prefix_cache.entries.push((fp.clone(), k, state));
+                }
+                if base_runs.len() > 1 {
+                    let src = run_probs[base_runs[0]].clone();
+                    for &i in &base_runs[1..] {
+                        run_probs[i].clear();
+                        run_probs[i].extend_from_slice(&src);
+                    }
+                }
+                for (v, at, state) in forks.drain(..) {
+                    suffixes.push((variant_run[v], t, at, state));
+                }
+            }
+            // Phase A2 — resume every fork's suffix, fanned across the
+            // shared pipeline lanes. Suffixes are independent, RNG-free
+            // and write disjoint run slots, so lane assignment cannot
+            // affect bits.
+            if !suffixes.is_empty() {
+                let lanes = self.batch_pipeline.as_ref().map_or(1, |p| p.lanes());
+                let jobs = lanes.min(suffixes.len()).max(1);
+                if self.lane_engines.len() < jobs {
+                    self.lane_engines.resize_with(jobs, DensityEngine::new);
+                }
+                let templates_ref: &[&mut CompiledTemplate] = &*templates;
+                let engines = BatchPtr(self.lane_engines.as_mut_ptr());
+                let probs = BatchPtr(self.run_probs.as_mut_ptr());
+                let suffixes_ref = &suffixes;
+                let f = move |j: usize| {
+                    // Capture the `Sync` wrappers whole (edition-2021
+                    // disjoint capture would otherwise grab the bare
+                    // pointers).
+                    let (engines, probs) = (&engines, &probs);
+                    // SAFETY: job j exclusively owns engine j and the
+                    // run slots of suffixes j, j + jobs, ... (strided,
+                    // disjoint by construction; run indices are unique
+                    // across suffixes).
+                    let engine = unsafe { &mut *engines.0.add(j) };
+                    for &(run_idx, t, at, ref state) in suffixes_ref.iter().skip(j).step_by(jobs) {
+                        let out = unsafe { &mut *probs.0.add(run_idx) };
+                        engine.resume_probs(templates_ref[t].program(), state, at, out);
+                    }
+                };
+                match &self.batch_pipeline {
+                    Some(p) => p.run_jobs(jobs, &f),
+                    None => f(0),
+                }
+            }
+            self.batched_jobs += runs.len() as u64;
+            // Phase B — sample every run's distribution in run order.
+            for (i, &(duration_ns, readout_ns, n_qubits)) in meta.iter().enumerate() {
+                let counts = self.density_engine.sample_probs(
+                    &self.run_probs[i],
+                    n_qubits,
+                    shots,
+                    &mut self.rng,
+                );
+                total_exec_s += self.queue.execution_s(duration_ns, readout_ns, shots);
+                last_duration_ns = duration_ns;
                 all_counts.push(counts);
             }
         } else if self.shift_fold && self.simulator == SimulatorKind::Density {

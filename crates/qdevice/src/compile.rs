@@ -280,6 +280,38 @@ impl CompiledTemplate {
         (slot, g.with_angle(Angle::Fixed(value)).matrix(&[]))
     }
 
+    /// The matrix [`CompiledTemplate::bind`] with `Some((gate_idx,
+    /// delta))` would place in the shifted occurrence's rebind slot,
+    /// together with that slot — computed without touching the bound
+    /// program. Bit-identical to what `bind` writes (`value += delta`
+    /// is IEEE `value + delta`), so a batched group can bind the base
+    /// once and describe every shifted run as a `(slot, matrix)`
+    /// variant for an N-way group fork.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate_idx` is not a parameterized gate occurrence.
+    pub fn shift_matrix(&self, params: &[f64], gate_idx: usize, delta: f64) -> (usize, CMatrix) {
+        let &(slot, _) = self
+            .param_slots
+            .iter()
+            .find(|&&(_, g)| g == gate_idx)
+            .expect("shift index must name a parameterized gate occurrence");
+        let g = self.circuit.gates()[gate_idx];
+        let angle = g.angle().expect("rebind slot maps to a parameterized gate");
+        let value = angle.resolve(params) + delta;
+        (slot, g.with_angle(Angle::Fixed(value)).matrix(&[]))
+    }
+
+    /// Rebind slots of every parameterized gate occurrence — the slots
+    /// [`CompiledTemplate::bind`] rewrites. Every tape op before the
+    /// first one using any of these slots is the template's
+    /// parameter-independent prefix, stable across bindings within a
+    /// noise epoch.
+    pub fn rebind_slots(&self) -> Vec<usize> {
+        self.param_slots.iter().map(|&(s, _)| s).collect()
+    }
+
     /// The compiled program (panics if never compiled).
     pub fn program(&self) -> &CompiledProgram {
         self.program

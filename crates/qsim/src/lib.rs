@@ -69,7 +69,7 @@ pub use density::{ChannelScratch, DensityMatrix};
 pub use gates::Pauli;
 pub use matrix::CMatrix;
 pub use noise::KrausChannel;
-pub use parallel::{ParallelCtx, RunQueue, WorkerTeam, DEFAULT_PAR_MIN_DIM};
+pub use parallel::{BatchPipeline, ParallelCtx, RunQueue, WorkerTeam, DEFAULT_PAR_MIN_DIM};
 pub use program::{CompiledProgram, DensityEngine, ProgramBuilder, SimEngine, TrajectoryEngine};
 pub use sampler::{Counts, ReadoutError, ShotSampler};
 pub use statevector::StateVector;

@@ -110,6 +110,31 @@ impl<T> RunQueue<T> {
         }
     }
 
+    /// Non-blocking [`RunQueue::pop`]: returns `None` immediately when
+    /// every shard is empty instead of waiting — the submitter-helping
+    /// path of [`BatchPipeline`] uses this so a thread that still has a
+    /// batch in flight can lend a hand without parking on the queue.
+    pub fn try_pop(&self, worker: usize) -> Option<T> {
+        let mut s = self.state.lock().expect("run-queue lock");
+        if s.queued == 0 {
+            return None;
+        }
+        if let Some(t) = s.queues[worker].pop_front() {
+            s.queued -= 1;
+            return Some(t);
+        }
+        let victim = (0..s.queues.len())
+            .filter(|&i| i != worker)
+            .max_by_key(|&i| s.queues[i].len())
+            .expect("queued > 0 implies a non-empty shard");
+        let t = s.queues[victim]
+            .pop_back()
+            .expect("deepest shard is non-empty under the lock");
+        s.queued -= 1;
+        s.stolen += 1;
+        Some(t)
+    }
+
     /// Signals workers to exit once the queue drains.
     pub fn close(&self) {
         self.state.lock().expect("run-queue lock").shutdown = true;
@@ -470,6 +495,211 @@ impl ParallelCtx {
     }
 }
 
+/// One batch of index-parallel simulation jobs in flight on a
+/// [`BatchPipeline`]: the type-erased job closure plus the completion
+/// latch its submitter blocks on. The raw pointer's referent is only
+/// guaranteed alive while the submitting [`BatchPipeline::run_jobs`]
+/// call is blocked — the submitter does not return until `remaining`
+/// reaches zero, after which no lane dereferences it.
+struct BatchGroup {
+    f: *const (dyn Fn(usize) + Sync),
+    /// `(jobs not yet completed, any job panicked)`.
+    state: Mutex<(usize, bool)>,
+    done: Condvar,
+}
+
+// SAFETY: the closure behind `f` is `Sync`, and the lifetime-erasure
+// contract above keeps the pointer valid for every dereference.
+unsafe impl Send for BatchGroup {}
+unsafe impl Sync for BatchGroup {}
+
+/// One simulation job queued on a [`BatchPipeline`]: an index into its
+/// batch's closure.
+struct PipelineJob {
+    group: Arc<BatchGroup>,
+    index: usize,
+}
+
+impl PipelineJob {
+    /// Executes the job under panic containment and settles the batch
+    /// latch.
+    fn run(self) {
+        // SAFETY: see the `BatchGroup` lifetime-erasure contract.
+        let f = unsafe { &*self.group.f };
+        let index = self.index;
+        let panicked = catch_unwind(AssertUnwindSafe(|| f(index))).is_err();
+        let mut s = self.group.state.lock().expect("pipeline batch lock");
+        s.0 -= 1;
+        s.1 |= panicked;
+        if s.0 == 0 {
+            self.group.done.notify_all();
+        }
+    }
+}
+
+/// The fleet-wide batched job pipeline: persistent lanes draining a
+/// cross-client [`RunQueue`] of simulation jobs.
+///
+/// Where [`WorkerTeam`] fans the *rows of one kernel pass* across
+/// threads (inert below [`DEFAULT_PAR_MIN_DIM`], i.e. on 4–5 qubit
+/// states), a `BatchPipeline` fans whole *simulation jobs* — one
+/// independent density evolution each — so small-circuit fleets
+/// parallelize at the job level. One pipeline is shared by every client
+/// (and, on the multi-tenant fleet drives, every tenant): concurrent
+/// [`BatchPipeline::run_jobs`] submitters enqueue their batches into
+/// the shared queue and the lanes interleave jobs from all of them; a
+/// submitting thread helps drain the queue while its own batch is in
+/// flight, so `lanes(1)` spawns no threads and runs inline.
+///
+/// Determinism: every job writes a disjoint output and performs
+/// identical floating-point work regardless of which lane runs it, so
+/// results are byte-identical at any lane count — the same contract as
+/// [`ParallelCtx::run`], pinned by the engine equivalence suites.
+pub struct BatchPipeline {
+    queue: Arc<RunQueue<PipelineJob>>,
+    handles: Vec<JoinHandle<()>>,
+    lanes: usize,
+    batch_seq: AtomicUsize,
+    jobs: std::sync::atomic::AtomicU64,
+    batches: std::sync::atomic::AtomicU64,
+}
+
+impl BatchPipeline {
+    /// Creates a pipeline with `lanes` total lanes of execution: the
+    /// submitting thread plus `lanes - 1` spawned workers. `lanes <= 1`
+    /// spawns nothing and [`BatchPipeline::run_jobs`] executes inline
+    /// (still counting jobs, so telemetry sees the batched path).
+    pub fn new(lanes: usize) -> Arc<Self> {
+        let lanes = lanes.max(1);
+        let shards = lanes.max(2); // shard count also serves submitters
+        let queue = Arc::new(RunQueue::<PipelineJob>::new(shards));
+        let handles = (1..lanes)
+            .map(|w| {
+                let queue = queue.clone();
+                thread::Builder::new()
+                    .name("qsim-pipeline".into())
+                    .spawn(move || {
+                        while let Some(job) = queue.pop(w % shards) {
+                            job.run();
+                        }
+                    })
+                    .expect("spawn pipeline lane")
+            })
+            .collect();
+        Arc::new(BatchPipeline {
+            queue,
+            handles,
+            lanes,
+            batch_seq: AtomicUsize::new(0),
+            jobs: std::sync::atomic::AtomicU64::new(0),
+            batches: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    /// Total lanes of execution (submitter included).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Simulation jobs executed through the pipeline so far.
+    pub fn jobs_executed(&self) -> u64 {
+        self.jobs.load(Ordering::Relaxed)
+    }
+
+    /// Batches submitted so far.
+    pub fn batches_submitted(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Runs `f(0), ..., f(n - 1)` as `n` independent jobs on the shared
+    /// lanes, blocking until every job of *this batch* has completed.
+    /// The submitting thread helps drain the queue (possibly executing
+    /// other submitters' jobs) while it waits.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises (as a single panic) if any job of this batch panicked.
+    pub fn run_jobs(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.jobs.fetch_add(n as u64, Ordering::Relaxed);
+        if n == 0 {
+            return;
+        }
+        if self.handles.is_empty() {
+            for i in 0..n {
+                f(i);
+            }
+            return;
+        }
+        // SAFETY: erases `f`'s lifetime; valid because this call blocks
+        // until the batch latch reaches zero, after which no lane
+        // dereferences it.
+        let erased = unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + '_),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(f as *const (dyn Fn(usize) + Sync))
+        };
+        let group = Arc::new(BatchGroup {
+            f: erased,
+            state: Mutex::new((n, false)),
+            done: Condvar::new(),
+        });
+        let key = self.batch_seq.fetch_add(1, Ordering::Relaxed);
+        for index in 0..n {
+            self.queue.push(
+                key,
+                PipelineJob {
+                    group: group.clone(),
+                    index,
+                },
+            );
+        }
+        // Help drain until this batch settles: the queue may hold our
+        // jobs, other submitters' jobs (executing them is what makes
+        // the pipeline fleet-wide), or nothing (our jobs are on lanes —
+        // park on the latch).
+        let shards = self.lanes.max(2);
+        loop {
+            {
+                let s = group.state.lock().expect("pipeline batch lock");
+                if s.0 == 0 {
+                    break;
+                }
+            }
+            match self.queue.try_pop(key % shards) {
+                Some(job) => job.run(),
+                None => {
+                    let mut s = group.state.lock().expect("pipeline batch lock");
+                    while s.0 > 0 {
+                        s = group.done.wait(s).expect("pipeline batch lock");
+                    }
+                    break;
+                }
+            }
+        }
+        let panicked = group.state.lock().expect("pipeline batch lock").1;
+        assert!(!panicked, "pipeline job panicked");
+    }
+}
+
+impl Drop for BatchPipeline {
+    fn drop(&mut self) {
+        self.queue.close();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl fmt::Debug for BatchPipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BatchPipeline")
+            .field("lanes", &self.lanes)
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -538,6 +768,65 @@ mod tests {
     fn with_workers_one_is_serial() {
         assert!(!ParallelCtx::with_workers(1).is_parallel());
         assert!(ParallelCtx::with_workers(2).is_parallel());
+    }
+
+    #[test]
+    fn try_pop_is_nonblocking_and_steals() {
+        let q: RunQueue<usize> = RunQueue::new(2);
+        assert_eq!(q.try_pop(0), None, "empty queue returns immediately");
+        q.push(1, 9);
+        assert_eq!(q.try_pop(0), Some(9), "steals from the foreign shard");
+        assert_eq!(q.try_pop(0), None);
+    }
+
+    #[test]
+    fn pipeline_executes_every_job_exactly_once() {
+        for lanes in [1, 2, 4] {
+            let pipeline = BatchPipeline::new(lanes);
+            let hits: Vec<AtomicU64> = (0..257).map(|_| AtomicU64::new(0)).collect();
+            pipeline.run_jobs(257, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "every job ran exactly once at {lanes} lanes"
+            );
+            assert_eq!(pipeline.jobs_executed(), 257);
+            assert_eq!(pipeline.batches_submitted(), 1);
+            assert_eq!(pipeline.lanes(), lanes);
+        }
+    }
+
+    #[test]
+    fn pipeline_interleaves_concurrent_submitters() {
+        let pipeline = BatchPipeline::new(3);
+        let total = AtomicU64::new(0);
+        thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    pipeline.run_jobs(50, &|_| {
+                        total.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 200);
+        assert_eq!(pipeline.jobs_executed(), 200);
+        assert_eq!(pipeline.batches_submitted(), 4);
+    }
+
+    #[test]
+    fn pipeline_panic_is_reraised_and_pipeline_survives() {
+        let pipeline = BatchPipeline::new(2);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pipeline.run_jobs(8, &|i| assert!(i != 3, "boom"));
+        }));
+        assert!(caught.is_err(), "panic must propagate to the submitter");
+        let count = AtomicU64::new(0);
+        pipeline.run_jobs(8, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 8);
     }
 
     #[test]

@@ -187,6 +187,74 @@ impl CompiledProgram {
     pub fn channel(&self, idx: usize) -> &KrausChannel {
         &self.channels[idx]
     }
+
+    /// Tape index of the first unitary op using any of `slots`
+    /// (`ops.len()` when none does) — the divergence point a batched
+    /// shift group forks at, and the boundary the shared-prefix cache
+    /// keys on.
+    pub fn first_op_using(&self, slots: &[usize]) -> usize {
+        self.ops
+            .iter()
+            .position(|op| {
+                matches!(
+                    *op,
+                    TapeOp::Unitary1q { slot: s, .. } | TapeOp::Unitary2q { slot: s, .. }
+                    if slots.contains(&s)
+                )
+            })
+            .unwrap_or(self.ops.len())
+    }
+
+    /// Appends a value-exact fingerprint of `ops[..k]` to `out`: op
+    /// kinds, qubit wiring, the bit patterns of every resolved matrix
+    /// entry and every Kraus operator entry, and the qubit count. Two
+    /// programs with equal fingerprints evolve `|0..0><0..0|` through
+    /// bit-identical floating-point work over that prefix — the
+    /// cross-template shared-prefix cache compares these (full content,
+    /// not a hash), so sharing is exact, never approximate.
+    pub fn prefix_fingerprint(&self, k: usize, out: &mut Vec<u64>) {
+        out.push(self.n_qubits as u64);
+        for op in &self.ops[..k] {
+            match *op {
+                TapeOp::Unitary1q { slot, q } => {
+                    out.push(1);
+                    out.push(q as u64);
+                    for c in self.unitaries[slot].as_slice() {
+                        out.push(c.re.to_bits());
+                        out.push(c.im.to_bits());
+                    }
+                }
+                TapeOp::Unitary2q { slot, q0, q1 } => {
+                    out.push(2);
+                    out.push((q0 as u64) << 32 | q1 as u64);
+                    for c in self.unitaries[slot].as_slice() {
+                        out.push(c.re.to_bits());
+                        out.push(c.im.to_bits());
+                    }
+                }
+                TapeOp::Channel1q { channel, q } => {
+                    out.push(3);
+                    out.push(q as u64);
+                    for m in self.channels[channel].operators() {
+                        for c in m.as_slice() {
+                            out.push(c.re.to_bits());
+                            out.push(c.im.to_bits());
+                        }
+                    }
+                }
+                TapeOp::Channel2q { channel, q0, q1 } => {
+                    out.push(4);
+                    out.push((q0 as u64) << 32 | q1 as u64);
+                    for m in self.channels[channel].operators() {
+                        for c in m.as_slice() {
+                            out.push(c.re.to_bits());
+                            out.push(c.im.to_bits());
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Builds a [`CompiledProgram`] op by op, interning channels and
@@ -541,6 +609,155 @@ impl DensityEngine {
         self.finish_probs(program);
         bck.clear();
         bck.extend_from_slice(&self.probs);
+    }
+
+    /// Walks the base-bound tape **once**, forking an N-way shift group
+    /// off it — the generalization of
+    /// [`DensityEngine::evolve_shift_pair_probs`] from one
+    /// forward/backward pair to a whole batch of variants.
+    ///
+    /// Each variant diverges from the base binding at exactly one tape
+    /// op (the op using its `slot`); when the walk reaches that op the
+    /// current state is forked, the variant's matrix applied, and the
+    /// forked state parked in `forks` as `(variant_index, resume_op,
+    /// state)` for [`DensityEngine::resume_probs`] to finish — on this
+    /// engine or on any pipeline lane's engine, in any order, since the
+    /// suffix evolutions are independent. The walk itself continues with
+    /// the base matrix.
+    ///
+    /// `resume` starts the walk from a cached prefix state instead of
+    /// `|0..0><0..0|` (the shared-prefix cache's hit path: the state is
+    /// a bit-exact snapshot of the same walk, so resuming is
+    /// byte-identical to re-evolving). `capture_at` clones the state
+    /// reached *before* that op index and returns it (the cache's
+    /// insert path). `base` receives the base binding's own
+    /// distribution; when `None` the walk stops at the last point any
+    /// output needs.
+    ///
+    /// Byte-identity: every variant's suffix sees exactly the
+    /// floating-point state a full [`DensityEngine::evolve_probs`] of
+    /// its binding would have computed, because the shared prefix
+    /// performs identical operations in identical order — the same
+    /// argument (and the same oracle pinning) as the pair-folded path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variant's slot never appears on the tape at or after
+    /// the walk's start, or if `capture_at`/`resume` indices are out of
+    /// range.
+    pub fn evolve_group_forks(
+        &mut self,
+        program: &CompiledProgram,
+        variants: &[(usize, CMatrix)],
+        resume: Option<(&DensityMatrix, usize)>,
+        capture_at: Option<usize>,
+        forks: &mut Vec<(usize, usize, DensityMatrix)>,
+        base: Option<&mut Vec<f64>>,
+    ) -> Option<DensityMatrix> {
+        let ops = program.ops();
+        let start = match resume {
+            Some((state, at)) => {
+                assert!(at <= ops.len(), "resume index out of range");
+                self.reset(program.num_qubits());
+                self.rho
+                    .as_mut()
+                    .expect("state initialized by reset")
+                    .copy_from(state);
+                at
+            }
+            None => {
+                self.reset(program.num_qubits());
+                0
+            }
+        };
+        let splits: Vec<usize> = variants
+            .iter()
+            .map(|&(slot, _)| {
+                start
+                    + ops[start..]
+                        .iter()
+                        .position(|op| {
+                            matches!(
+                                *op,
+                                TapeOp::Unitary1q { slot: s, .. } | TapeOp::Unitary2q { slot: s, .. }
+                                if s == slot
+                            )
+                        })
+                        .expect("variant slot must appear on the tape after the walk start")
+            })
+            .collect();
+        // Walk no further than the outputs require: through the whole
+        // tape when the base distribution is wanted, else to the last
+        // fork/capture point.
+        let end = match base {
+            Some(_) => ops.len(),
+            None => splits
+                .iter()
+                .copied()
+                .chain(capture_at)
+                .max()
+                .unwrap_or(start),
+        };
+        assert!(end <= ops.len(), "capture index out of range");
+        forks.clear();
+        for t in start..=end {
+            if capture_at == Some(t) {
+                let rho = self.rho.as_ref().expect("state initialized by reset");
+                match &mut self.fork {
+                    Some(f) => f.copy_from(rho),
+                    None => self.fork = Some(rho.clone()),
+                }
+            }
+            for (v, (_, matrix)) in variants.iter().enumerate() {
+                if splits[v] != t {
+                    continue;
+                }
+                let rho = self.rho.as_ref().expect("state initialized by reset");
+                let mut state = rho.clone();
+                match ops[t] {
+                    TapeOp::Unitary1q { q, .. } => state.apply_unitary_1q_ctx(matrix, q, &self.ctx),
+                    TapeOp::Unitary2q { q0, q1, .. } => {
+                        state.apply_unitary_2q_ctx(matrix, q0, q1, &self.ctx)
+                    }
+                    _ => unreachable!("split op is a unitary by construction"),
+                }
+                forks.push((v, t + 1, state));
+            }
+            if t < end {
+                self.evolve_ops(program, &ops[t..t + 1]);
+            }
+        }
+        let captured = capture_at.map(|_| self.fork.take().expect("capture point on the walk"));
+        if let Some(out) = base {
+            debug_assert_eq!(end, ops.len());
+            self.finish_probs(program);
+            out.clear();
+            out.extend_from_slice(&self.probs);
+        }
+        captured
+    }
+
+    /// Finishes one forked variant: restores `state`, replays
+    /// `ops[resume_at..]`, and writes the post-readout distribution into
+    /// `out` — the suffix half of [`DensityEngine::evolve_group_forks`],
+    /// safe to run on any engine (pipeline lanes keep one scratch engine
+    /// each).
+    pub fn resume_probs(
+        &mut self,
+        program: &CompiledProgram,
+        state: &DensityMatrix,
+        resume_at: usize,
+        out: &mut Vec<f64>,
+    ) {
+        self.reset(program.num_qubits());
+        self.rho
+            .as_mut()
+            .expect("state initialized by reset")
+            .copy_from(state);
+        self.evolve_ops(program, &program.ops()[resume_at..]);
+        self.finish_probs(program);
+        out.clear();
+        out.extend_from_slice(&self.probs);
     }
 
     /// Samples `shots` measurements from a distribution produced by
@@ -1095,6 +1312,105 @@ mod tests {
         let bits = |v: &[f64]| v.iter().map(|p| p.to_bits()).collect::<Vec<_>>();
         assert_eq!(bits(&fwd), bits(&fwd_ref), "forward leg");
         assert_eq!(bits(&bck), bits(&bck_ref), "backward leg");
+    }
+
+    /// Two parameterized slots with fixed ops before, between and after
+    /// them — forks must land at different tape positions.
+    fn two_slot_program() -> (CompiledProgram, usize, usize) {
+        let mut b = ProgramBuilder::new(3);
+        b.push_unitary(gates::h(), &[0]);
+        b.push_unitary(gates::cx(), &[0, 1]);
+        b.push_channel(&KrausChannel::depolarizing_1q(0.03), &[0]);
+        let s0 = b.push_parameterized(gates::ry(0.4), &[1]);
+        b.push_unitary(gates::cx(), &[1, 2]);
+        let s1 = b.push_parameterized(gates::ry(-0.2), &[2]);
+        b.push_channel(&KrausChannel::amplitude_damping(0.05), &[2]);
+        let prog = b.finish(ReadoutError::new(vec![0.01, 0.0, 0.02]), 600.0);
+        (prog, s0, s1)
+    }
+
+    #[test]
+    fn group_forks_match_full_evolutions() {
+        let (mut prog, s0, s1) = two_slot_program();
+        let d = std::f64::consts::FRAC_PI_2;
+        // N-way group off one base walk: ± shifts on both slots.
+        let variants = vec![
+            (s0, gates::ry(0.4 + d)),
+            (s0, gates::ry(0.4 - d)),
+            (s1, gates::ry(-0.2 + d)),
+            (s1, gates::ry(-0.2 - d)),
+        ];
+        let mut engine = DensityEngine::new();
+
+        // Reference: one full evolution per binding.
+        let base_matrices = [prog.unitary(s0).clone(), prog.unitary(s1).clone()];
+        let mut refs = Vec::new();
+        for (slot, m) in &variants {
+            prog.set_unitary(*slot, m.clone());
+            let mut p = Vec::new();
+            engine.evolve_probs(&prog, &mut p);
+            refs.push(p);
+            let base = if *slot == s0 { 0 } else { 1 };
+            prog.set_unitary(*slot, base_matrices[base].clone());
+        }
+        let mut base_ref = Vec::new();
+        engine.evolve_probs(&prog, &mut base_ref);
+
+        // Group-forked: one base walk + resumed suffixes.
+        let mut forks = Vec::new();
+        let mut base = Vec::new();
+        let captured =
+            engine.evolve_group_forks(&prog, &variants, None, None, &mut forks, Some(&mut base));
+        assert!(captured.is_none(), "no capture requested");
+        assert_eq!(forks.len(), variants.len());
+        let bits = |v: &[f64]| v.iter().map(|p| p.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&base), bits(&base_ref), "base binding");
+        let mut out = Vec::new();
+        for (v, resume_at, state) in &forks {
+            engine.resume_probs(&prog, state, *resume_at, &mut out);
+            assert_eq!(bits(&out), bits(&refs[*v]), "variant {v}");
+        }
+    }
+
+    #[test]
+    fn group_forks_resume_from_captured_prefix_byte_identically() {
+        let (prog, s0, s1) = two_slot_program();
+        let d = std::f64::consts::FRAC_PI_2;
+        let variants = vec![(s0, gates::ry(0.4 + d)), (s1, gates::ry(-0.2 - d))];
+        let k = prog.first_op_using(&[s0, s1]);
+        assert!(k > 0 && k < prog.ops().len(), "prefix must be nontrivial");
+        let mut engine = DensityEngine::new();
+
+        // Cold walk: capture the prefix state and record all outputs.
+        let mut forks = Vec::new();
+        let mut base = Vec::new();
+        let captured = engine
+            .evolve_group_forks(&prog, &variants, None, Some(k), &mut forks, Some(&mut base))
+            .expect("capture requested");
+        let bits = |v: &[f64]| v.iter().map(|p| p.to_bits()).collect::<Vec<_>>();
+        let cold_base = bits(&base);
+        let mut cold_forks = Vec::new();
+        let mut out = Vec::new();
+        for (_, at, state) in &forks {
+            engine.resume_probs(&prog, state, *at, &mut out);
+            cold_forks.push(bits(&out));
+        }
+
+        // Warm walk: resume from the captured state (the cache hit path).
+        let warm = engine.evolve_group_forks(
+            &prog,
+            &variants,
+            Some((&captured, k)),
+            None,
+            &mut forks,
+            Some(&mut base),
+        );
+        assert!(warm.is_none());
+        assert_eq!(bits(&base), cold_base, "base after resume");
+        for (i, (_, at, state)) in forks.iter().enumerate() {
+            engine.resume_probs(&prog, state, *at, &mut out);
+            assert_eq!(bits(&out), cold_forks[i], "fork {i} after resume");
+        }
     }
 
     #[test]

@@ -358,6 +358,137 @@ fn shift_pair_folding_is_byte_identical_across_recompile() {
     assert_eq!(unfolded.folded_pairs(), 0);
 }
 
+/// A template with a *fixed* ansatz prefix (H layer + CX chain) ahead
+/// of the first parameterized rotation — the shape the shared-prefix
+/// cache exists for. `extra_rz` appends a second symbolic layer so two
+/// such circuits share the prefix but diverge in the suffix.
+fn prefixed_circuit(n: usize, first_param: usize, extra_rz: bool) -> qcircuit::Circuit {
+    let mut b = CircuitBuilder::new(n);
+    for q in 0..n {
+        b.h(q);
+    }
+    for q in 0..n - 1 {
+        b.cx(q, q + 1);
+    }
+    for q in 0..n {
+        b.ry_sym(q, first_param + q);
+    }
+    if extra_rz {
+        for q in 0..n {
+            b.rz_sym(q, first_param + n + q);
+        }
+    }
+    b.build()
+}
+
+#[test]
+fn batched_group_fork_is_byte_identical_across_templates_and_recompile() {
+    // The batched path binds each template's base once, forks every
+    // shifted run N-way off one walk, and resumes shared prefixes from
+    // the noise-epoch cache — across templates and across batches. It
+    // must stay byte-identical to both the folded and the unfolded
+    // paths while the drifting backend recompiles mid-walk (every
+    // recompile starts a new noise epoch, which must invalidate the
+    // prefix cache rather than leak stale states).
+    use qdevice::{CompiledTemplate, TemplateRun};
+    use std::f64::consts::FRAC_PI_2;
+    let mut batched = stress_backend(47).with_batch_exec();
+    let mut folded = stress_backend(47);
+    let mut unfolded = stress_backend(47).without_shift_fold();
+    // Two templates sharing an identical fixed prefix (H + CX chain):
+    // the second template's batch group must *hit* the prefix state the
+    // first one cached, within every noise epoch.
+    let circuit_a = prefixed_circuit(4, 0, false);
+    let circuit_b = prefixed_circuit(4, 0, true);
+    // Gate layout: h at 0..4, cx at 4..7, ry_sym at 7..11 (rz_sym at
+    // 11..15 in circuit_b only).
+    let runs = [
+        TemplateRun {
+            template: 0,
+            shift: Some((7, FRAC_PI_2)),
+        },
+        TemplateRun {
+            template: 1,
+            shift: Some((12, FRAC_PI_2)),
+        },
+        TemplateRun {
+            template: 0,
+            shift: None,
+        },
+        TemplateRun {
+            template: 0,
+            shift: Some((7, -FRAC_PI_2)),
+        },
+        TemplateRun {
+            template: 1,
+            shift: Some((12, -FRAC_PI_2)),
+        },
+        TemplateRun {
+            template: 1,
+            shift: None,
+        },
+        TemplateRun {
+            template: 1,
+            shift: Some((9, FRAC_PI_2)), // unpaired in the folded path
+        },
+    ];
+    let params: Vec<f64> = (0..8).map(|i| 0.15 + 0.11 * i as f64).collect();
+    let mut templates = [0, 1, 2].map(|_| {
+        [
+            CompiledTemplate::new(circuit_a.clone(), vec![0, 1, 2, 3]),
+            CompiledTemplate::new(circuit_b.clone(), vec![0, 1, 2, 3]),
+        ]
+    });
+    let [ta, tb, tc] = &mut templates;
+    let mut t = SimTime::ZERO;
+    for batch in 0..4 {
+        let (a0, a1) = ta.split_at_mut(1);
+        let (ca, ra) =
+            batched.execute_templates(&mut [&mut a0[0], &mut a1[0]], &runs, &params, 512, t);
+        let (b0, b1) = tb.split_at_mut(1);
+        let (cb, rb) =
+            folded.execute_templates(&mut [&mut b0[0], &mut b1[0]], &runs, &params, 512, t);
+        let (c0, c1) = tc.split_at_mut(1);
+        let (cc, rc) =
+            unfolded.execute_templates(&mut [&mut c0[0], &mut c1[0]], &runs, &params, 512, t);
+        assert_eq!(ca, cb, "batched vs folded counts diverge at batch {batch}");
+        assert_eq!(
+            ca, cc,
+            "batched vs unfolded counts diverge at batch {batch}"
+        );
+        assert_eq!(
+            ra.completed.as_secs().to_bits(),
+            rb.completed.as_secs().to_bits(),
+            "batched vs folded timing diverges at batch {batch}"
+        );
+        assert_eq!(
+            ra.completed.as_secs().to_bits(),
+            rc.completed.as_secs().to_bits(),
+            "batched vs unfolded timing diverges at batch {batch}"
+        );
+        t = ra.completed + 600.0;
+    }
+    assert!(
+        ta[0].compiles() >= 2,
+        "the walk must straddle a noise-epoch recompile, saw {} compiles",
+        ta[0].compiles()
+    );
+    assert_eq!(ta[0].compiles(), tb[0].compiles());
+    assert_eq!(ta[0].compiles(), tc[0].compiles());
+    assert_eq!(
+        batched.batched_jobs(),
+        4 * runs.len() as u64,
+        "every run of every batch goes through the batched path"
+    );
+    assert!(
+        batched.prefix_hits() >= 4,
+        "template B must hit template A's cached prefix in every batch, saw {}",
+        batched.prefix_hits()
+    );
+    assert_eq!(folded.prefix_hits(), 0);
+    assert_eq!(batched.folded_pairs(), 0, "group forks replace pairing");
+}
+
 fn parallel_fleet(par: SimParallelism, simulator: SimulatorKind) -> Ensemble {
     let mut builder = Ensemble::builder();
     for (i, name) in ["belem", "manila", "bogota"].iter().enumerate() {
@@ -420,9 +551,10 @@ fn engine_telemetry_reports_lanes_and_folded_pairs() {
     assert_eq!(
         format!("{telem}"),
         format!(
-            "{} engine lanes, {} folded pairs, {} jobs",
+            "{} engine lanes, {} folded pairs, {} jobs, 0 pipeline lanes, 0 batched jobs, 0 prefix hits",
             telem.workers, telem.folded_pairs, telem.jobs
-        )
+        ),
+        "worker-team sessions leave the pipeline counters at zero"
     );
 }
 

@@ -91,6 +91,48 @@ fn seven_qubit_backend(seed: u64) -> qdevice::QpuBackend {
     spec.backend(seed)
 }
 
+/// A pseudorandom *parameterized* circuit: like [`seeded_circuit`] but
+/// roughly a third of the rotations are symbolic (fresh parameter
+/// each). Returns the circuit, its parameter count, and the gate
+/// indices of the symbolic occurrences (shift-rule targets).
+fn seeded_sym_circuit(n: usize, seed: u64, gates: usize) -> (Circuit, usize, Vec<usize>) {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    let mut params = 0usize;
+    let mut sym_gates = Vec::new();
+    for _ in 0..gates {
+        let q = rng.gen_range(0..n);
+        let g = match rng.gen_range(0..6usize) {
+            0 => Gate::H(q),
+            1 => Gate::Ry(q, Angle::Fixed(rng.gen_range(-3.0..3.0))),
+            2 => Gate::Rz(q, Angle::Fixed(rng.gen_range(-3.0..3.0))),
+            3 | 4 => {
+                let id = params;
+                params += 1;
+                sym_gates.push(c.gates().len());
+                if rng.gen_bool(0.5) {
+                    Gate::Ry(q, Angle::sym(id))
+                } else {
+                    Gate::Rz(q, Angle::sym(id))
+                }
+            }
+            _ if n >= 2 => {
+                let q2 = (q + rng.gen_range(1..n)) % n;
+                Gate::Cx(q, q2)
+            }
+            _ => Gate::H(q),
+        };
+        c.push(g).expect("generated gates are valid");
+    }
+    if params == 0 {
+        sym_gates.push(c.gates().len());
+        c.push(Gate::Ry(0, Angle::sym(0))).expect("valid gate");
+        params = 1;
+    }
+    (c, params, sym_gates)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -231,6 +273,83 @@ proptest! {
             // after the first job would surface here.
             t = a.completed + 60.0;
         }
+    }
+
+    /// The batched group-fork pipeline is byte-identical to the serial
+    /// folded engine path for arbitrary parameterized circuits, widths
+    /// 2–7 and any lane count: per-run counts, job timing, and the
+    /// backend RNG stream (a second batch from the same backends
+    /// surfaces any post-run divergence).
+    #[test]
+    fn batched_pipeline_is_byte_identical_to_serial(
+        n in 2usize..8,
+        seed in 0u64..128,
+        lanes in 1usize..5,
+        shots in 64usize..512,
+    ) {
+        use qdevice::{CompiledTemplate, TemplateRun};
+        use std::f64::consts::FRAC_PI_2;
+        let (circuit, num_params, sym_gates) = seeded_sym_circuit(n, seed, 12);
+        let active: Vec<usize> = (0..n).collect();
+        let params: Vec<f64> = (0..num_params).map(|i| 0.3 + 0.17 * i as f64).collect();
+        // The fig4 shape: a forward/backward pair per symbolic gate,
+        // plus one unshifted energy run.
+        let mut runs = vec![TemplateRun { template: 0, shift: None }];
+        for &g in &sym_gates {
+            runs.push(TemplateRun { template: 0, shift: Some((g, FRAC_PI_2)) });
+            runs.push(TemplateRun { template: 0, shift: Some((g, -FRAC_PI_2)) });
+        }
+        let mut serial = seven_qubit_backend(seed);
+        let mut batched = seven_qubit_backend(seed);
+        batched.set_batch_pipeline(qsim::BatchPipeline::new(lanes));
+        let mut ta = CompiledTemplate::new(circuit.clone(), active.clone());
+        let mut tb = CompiledTemplate::new(circuit, active);
+        let mut t = qdevice::SimTime::ZERO;
+        for _ in 0..2 {
+            let (ca, ra) = serial.execute_templates(&mut [&mut ta], &runs, &params, shots, t);
+            let (cb, rb) = batched.execute_templates(&mut [&mut tb], &runs, &params, shots, t);
+            prop_assert_eq!(&ca, &cb);
+            prop_assert_eq!(
+                ra.completed.as_secs().to_bits(),
+                rb.completed.as_secs().to_bits()
+            );
+            t = ra.completed + 60.0;
+        }
+        prop_assert_eq!(batched.batched_jobs(), 2 * runs.len() as u64);
+    }
+
+    /// A whole training session under the fleet-wide pipeline produces
+    /// a `TrainingReport` identical to the serial session, for any
+    /// client count and lane count.
+    #[test]
+    fn pipeline_training_report_identical_to_serial(
+        clients in 2usize..7,
+        lanes in 1usize..5,
+        device_seed in 0u64..64,
+    ) {
+        use eqc_core::{Ensemble, EqcConfig, SimParallelism};
+        let problem = vqa::VqeProblem::heisenberg_4q();
+        let session = |par: SimParallelism| {
+            let mut b = Ensemble::builder();
+            for i in 0..clients {
+                let spec = qdevice::catalog::by_name("belem").expect("catalog device");
+                b = b.backend(spec.backend(device_seed + i as u64));
+            }
+            b.config(
+                EqcConfig::paper_vqe()
+                    .with_epochs(2)
+                    .with_shots(128)
+                    .with_sim_parallelism(par),
+            )
+            .build()
+            .expect("fleet builds")
+            .train(&problem)
+            .expect("trains")
+        };
+        let serial = session(SimParallelism::Serial);
+        let piped = session(SimParallelism::Pipeline { lanes });
+        prop_assert_eq!(&serial, &piped);
+        prop_assert_eq!(format!("{serial:?}"), format!("{piped:?}"));
     }
 
     /// The sparse unitary/channel fast paths agree with the dense
