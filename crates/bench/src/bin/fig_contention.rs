@@ -30,7 +30,9 @@ use eqc_bench::{
     env_param, epochs_or, markdown_table, shots_or, tenant_fleet_builder, write_bench_snapshot,
     write_csv, BenchRow,
 };
-use eqc_core::{EqcConfig, FleetBuilder, FleetOutcome, TenantConfig};
+use eqc_core::{
+    ContentionAware, EqcConfig, FleetBuilder, FleetOutcome, PolicyConfig, TenantConfig,
+};
 use std::time::Instant;
 use vqa::QaoaProblem;
 
@@ -157,6 +159,22 @@ fn main() {
                  worst tenant {max_wait_h:.3} h, {} grant rounds",
                 outcome.telemetry.grant_rounds,
             );
+            if shared_run {
+                // Every co-tenant clone of a physical device shares one
+                // noise build per calibration cycle on this substrate.
+                assert!(
+                    outcome.telemetry.shared_noise_hits > 0,
+                    "co-tenants must reuse each other's noise models"
+                );
+                println!(
+                    "  [{substrate_name} x{k}] hot path: snapshot_rebuilds={} \
+                     snapshot_reuses={} shared_noise_builds={} shared_noise_hits={}",
+                    outcome.telemetry.snapshot_rebuilds,
+                    outcome.telemetry.snapshot_reuses,
+                    outcome.telemetry.shared_noise_builds,
+                    outcome.telemetry.shared_noise_hits,
+                );
+            }
             rows.push(vec![
                 k.to_string(),
                 substrate_name.to_string(),
@@ -177,10 +195,63 @@ fn main() {
                  \"devices\":{devices},\"epochs\":{epochs},\"shots\":{shots},\
                  \"wall_ms\":{wall_ms},\"grant_rounds\":{},\
                  \"total_queue_wait_h\":{total_wait_h:.4},\"max_queue_wait_h\":{max_wait_h:.4},\
-                 \"min_eph\":{min_eph:.4},\"max_eph\":{max_eph:.4},\"commit\":\"{commit}\"}}",
+                 \"min_eph\":{min_eph:.4},\"max_eph\":{max_eph:.4},\
+                 \"snapshot_rebuilds\":{},\"snapshot_reuses\":{},\
+                 \"shared_noise_builds\":{},\"shared_noise_hits\":{},\"commit\":\"{commit}\"}}",
                 outcome.telemetry.grant_rounds,
+                outcome.telemetry.snapshot_rebuilds,
+                outcome.telemetry.snapshot_reuses,
+                outcome.telemetry.shared_noise_builds,
+                outcome.telemetry.shared_noise_hits,
             );
         }
+    }
+
+    // A contention-aware tenant is what the incremental occupancy
+    // snapshots exist for: its scheduler reads the fleet view on every
+    // pick, so this cell is where the rebuild/reuse split shows up.
+    if let Some(&k) = sizes.last() {
+        let mut fleet = tenant_fleet_builder(devices)
+            .shared()
+            .build()
+            .expect("fleet builds");
+        for t in 0..k {
+            let mut tenant =
+                TenantConfig::new(cfg.with_seed(7 + t as u64)).label(format!("tenant{t}"));
+            if t == k - 1 {
+                tenant = tenant
+                    .policies(PolicyConfig::default().with_scheduler(ContentionAware::default()));
+            }
+            fleet.admit(&problem, tenant).expect("admits");
+        }
+        let start = Instant::now();
+        let outcome = fleet.run().expect("fleet runs");
+        let wall_ms = start.elapsed().as_millis();
+        let t = &outcome.telemetry;
+        assert!(
+            t.snapshot_rebuilds > 0,
+            "an occupancy-hungry tenant must force at least one snapshot refresh"
+        );
+        assert!(
+            t.snapshot_reuses > t.snapshot_rebuilds,
+            "most per-pick occupancy reads should hit unchanged ledger versions \
+             (got {} reuses vs {} rebuilds)",
+            t.snapshot_reuses,
+            t.snapshot_rebuilds,
+        );
+        println!(
+            "\n  [aware x{k}] one contention-aware tenant, {wall_ms} ms wall: \
+             snapshot_rebuilds={} snapshot_reuses={} shared_noise_builds={} \
+             shared_noise_hits={}",
+            t.snapshot_rebuilds, t.snapshot_reuses, t.shared_noise_builds, t.shared_noise_hits,
+        );
+        println!(
+            "{{\"bench\":\"contention{k}_aware\",\"substrate\":\"shared\",\
+             \"devices\":{devices},\"epochs\":{epochs},\"shots\":{shots},\
+             \"wall_ms\":{wall_ms},\"snapshot_rebuilds\":{},\"snapshot_reuses\":{},\
+             \"shared_noise_builds\":{},\"shared_noise_hits\":{},\"commit\":\"{commit}\"}}",
+            t.snapshot_rebuilds, t.snapshot_reuses, t.shared_noise_builds, t.shared_noise_hits,
+        );
     }
 
     println!("\n## Contention scaling (deterministic discrete-event fleet)\n");

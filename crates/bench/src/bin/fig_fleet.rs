@@ -24,10 +24,13 @@
 //! (`{"bench":"fleet64",...}`) for the perf-trajectory dashboard.
 
 use eqc_bench::{
-    env_param, epochs_or, fleet_ensemble, markdown_table, shots_or, write_bench_snapshot,
-    write_csv, BenchRow,
+    env_param, epochs_or, fleet_ensemble, markdown_table, shots_or, tenant_fleet_builder,
+    write_bench_snapshot, write_csv, BenchRow,
 };
-use eqc_core::{EqcConfig, PooledExecutor, ThreadedExecutor, TrainingReport};
+use eqc_core::{
+    ContentionAware, EqcConfig, PolicyConfig, PooledExecutor, TenantConfig, ThreadedExecutor,
+    TrainingReport,
+};
 use std::time::Instant;
 use vqa::QaoaProblem;
 
@@ -132,6 +135,45 @@ fn main() {
              \"des_ms\":{des_ms},\"threaded_ms\":{threaded_ms_json},\"pooled_ms\":{pooled_ms},\
              \"workers\":{},\"stolen\":{},\"commit\":\"{commit}\"}}",
             telemetry.workers_spawned, telemetry.tasks_stolen
+        );
+    }
+
+    // One small multi-tenant cell on the shared-queue substrate: the
+    // single-tenant scaling rows above never touch the fleet-drive hot
+    // path (occupancy snapshots, cross-tenant noise cache), so this is
+    // where its counters get printed for the CI smoke to grep.
+    {
+        let tenants = 4usize;
+        let mut fleet = tenant_fleet_builder(8)
+            .shared()
+            .build()
+            .expect("shared fleet builds");
+        for t in 0..tenants {
+            let mut tenant =
+                TenantConfig::new(cfg.with_seed(7 + t as u64)).label(format!("tenant{t}"));
+            if t == tenants - 1 {
+                tenant = tenant
+                    .policies(PolicyConfig::default().with_scheduler(ContentionAware::default()));
+            }
+            fleet.admit(&problem, tenant).expect("admits");
+        }
+        let start = Instant::now();
+        let outcome = fleet.run().expect("shared fleet runs");
+        let shared_ms = start.elapsed().as_millis();
+        let t = &outcome.telemetry;
+        assert!(t.snapshot_rebuilds > 0 && t.shared_noise_hits > 0);
+        println!(
+            "\nshared[{tenants} tenants x 8 devices]: {shared_ms} ms wall, hot path: \
+             snapshot_rebuilds={} snapshot_reuses={} shared_noise_builds={} \
+             shared_noise_hits={}",
+            t.snapshot_rebuilds, t.snapshot_reuses, t.shared_noise_builds, t.shared_noise_hits,
+        );
+        println!(
+            "{{\"bench\":\"fleet_shared{tenants}\",\"tenants\":{tenants},\"devices\":8,\
+             \"epochs\":{epochs},\"shots\":{shots},\"wall_ms\":{shared_ms},\
+             \"snapshot_rebuilds\":{},\"snapshot_reuses\":{},\"shared_noise_builds\":{},\
+             \"shared_noise_hits\":{},\"commit\":\"{commit}\"}}",
+            t.snapshot_rebuilds, t.snapshot_reuses, t.shared_noise_builds, t.shared_noise_hits,
         );
     }
 

@@ -95,7 +95,7 @@ use crate::pool::RunQueue;
 use crate::report::{
     DeviceOccupancy, FleetTelemetry, PoolTelemetry, TenantTelemetry, TrainingReport,
 };
-use qdevice::{DeviceQueue, LoadModel, QueueModel, SimTime};
+use qdevice::{DeviceQueue, LoadModel, QueueModel, QueueReadHandle, SharedNoiseCache, SimTime};
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
@@ -266,6 +266,10 @@ pub struct FleetRuntime<'p> {
     /// and shared by every later pipeline tenant — cross-tenant jobs
     /// interleave on the same lanes.
     pipeline: Option<Arc<qsim::BatchPipeline>>,
+    /// Whether co-tenant clones of one physical device share a noise
+    /// cache (the default) or each keep a private one (the equivalence
+    /// toggle behind [`FleetBuilder::without_noise_sharing`]).
+    share_noise: bool,
 }
 
 impl std::fmt::Debug for FleetRuntime<'_> {
@@ -288,6 +292,7 @@ impl<'p> FleetRuntime<'p> {
             device_seed: 0,
             arbiter: Arc::new(FairShare),
             substrate: Substrate::DiscreteEvent,
+            share_noise: true,
         }
     }
 
@@ -378,6 +383,33 @@ impl<'p> FleetRuntime<'p> {
         let batch = self.batch;
         self.batch += 1;
         let mut tenants = std::mem::take(&mut self.tenants);
+        // Cross-tenant noise/compile sharing: one value-keyed cache per
+        // physical device slot, attached to every tenant's clone of that
+        // slot, so each (device, calibration-cycle) noise projection is
+        // built once fleet-wide. Clones share seed, base calibration and
+        // drift, so the shared artifacts are bit-identical to per-clone
+        // builds. `without_noise_sharing` routes the same code path
+        // through a private cache per clone instead, making both build
+        // granularities observable through the same counters.
+        let mut noise_caches: Vec<Arc<SharedNoiseCache>> = Vec::new();
+        if self.share_noise {
+            noise_caches.extend((0..slots).map(|_| Arc::new(SharedNoiseCache::default())));
+            for tenant in tenants.iter_mut() {
+                for (d, client) in tenant.clients.iter_mut().enumerate() {
+                    client
+                        .backend_mut()
+                        .attach_shared_noise(Arc::clone(&noise_caches[d]));
+                }
+            }
+        } else {
+            for tenant in tenants.iter_mut() {
+                for client in tenant.clients.iter_mut() {
+                    let cache = Arc::new(SharedNoiseCache::default());
+                    client.backend_mut().attach_shared_noise(Arc::clone(&cache));
+                    noise_caches.push(cache);
+                }
+            }
+        }
         let mut lanes: Vec<Lane<'_, 'p>> = tenants
             .iter_mut()
             .map(|t| {
@@ -426,6 +458,13 @@ impl<'p> FleetRuntime<'p> {
             }
         };
         drop(lanes);
+        for tenant in tenants.iter_mut() {
+            for client in tenant.clients.iter_mut() {
+                client.backend_mut().detach_shared_noise();
+            }
+        }
+        let shared_noise_builds: u64 = noise_caches.iter().map(|c| c.builds()).sum();
+        let shared_noise_hits: u64 = noise_caches.iter().map(|c| c.hits()).sum();
         let stats = driven?;
 
         let mut reports = Vec::with_capacity(tenants.len());
@@ -477,6 +516,10 @@ impl<'p> FleetRuntime<'p> {
                 grant_rounds: stats.grant_rounds,
                 tenants: per_tenant,
                 occupancy,
+                snapshot_rebuilds: stats.snapshot_rebuilds,
+                snapshot_reuses: stats.snapshot_reuses,
+                shared_noise_builds,
+                shared_noise_hits,
             },
             pool,
             batch,
@@ -493,6 +536,7 @@ pub struct FleetBuilder {
     device_seed: u64,
     arbiter: Arc<dyn TenantArbiter>,
     substrate: Substrate,
+    share_noise: bool,
 }
 
 impl FleetBuilder {
@@ -603,6 +647,17 @@ impl FleetBuilder {
         self
     }
 
+    /// Gives every tenant's clone of a physical device a *private*
+    /// noise cache instead of the fleet-wide shared one (builder
+    /// style). Outcomes are byte-identical either way — the shared
+    /// cache serves bit-identical artifacts (pinned by tests); the
+    /// toggle exists so equivalence tests and benchmarks can compare
+    /// the build counts of both granularities.
+    pub fn without_noise_sharing(mut self) -> Self {
+        self.share_noise = false;
+        self
+    }
+
     /// Validates and resolves the fleet's device pool.
     ///
     /// # Errors
@@ -620,6 +675,7 @@ impl FleetBuilder {
             tenants: Vec::new(),
             batch: 0,
             pipeline: None,
+            share_noise: self.share_noise,
         })
     }
 
@@ -648,6 +704,7 @@ impl FleetBuilder {
             self.arbiter,
             self.substrate,
             config,
+            self.share_noise,
         ))
     }
 }
@@ -676,6 +733,10 @@ pub(crate) struct LaneCounters {
 pub(crate) struct DriveStats {
     pub(crate) grant_rounds: u64,
     pub(crate) lanes: Vec<LaneCounters>,
+    /// Per-device occupancy refreshes performed / skipped by the shared
+    /// drive's incremental tracker (zero off the shared substrate).
+    pub(crate) snapshot_rebuilds: u64,
+    pub(crate) snapshot_reuses: u64,
 }
 
 /// One tenant's lane through a fleet drive: the session halves
@@ -803,19 +864,21 @@ impl<'a, 'p> Lane<'a, 'p> {
     }
 
     /// Inline (discrete-event) dispatch: run the task now, queue its
-    /// completion event.
-    fn dispatch_inline(&mut self, r: ReadyClient, round: u64) -> Result<(), EqcError> {
+    /// completion event. Returns the event's local completion time so
+    /// the caller can index it.
+    fn dispatch_inline(&mut self, r: ReadyClient, round: u64) -> Result<SimTime, EqcError> {
         let (a, submit) = self.take_assignment(&r, round)?;
         let result =
             self.clients[r.client].run_task(self.problem, a.task, &a.params, self.shots, submit);
+        let completed = result.completed;
         self.heap.push(Event {
-            completed: result.completed,
+            completed,
             client: r.client,
             result,
             cycle: a.cycle,
             dispatched_at_update: a.dispatched_at_update,
         });
-        Ok(())
+        Ok(completed)
     }
 
     /// Marks every client the master wants dispatched after absorbing
@@ -833,12 +896,22 @@ impl<'a, 'p> Lane<'a, 'p> {
     }
 }
 
-/// Loads snapshot for the arbiter.
-fn loads_of(lanes: &[Lane<'_, '_>]) -> Vec<TenantLoad> {
-    lanes
-        .iter()
-        .enumerate()
-        .map(|(t, lane)| TenantLoad {
+/// Reusable per-round grant buffers: the arbiter's load snapshot and
+/// the shared grant loop's sorted candidate list. One instance lives
+/// for a whole drive, so the steady state of every grant round is
+/// allocation-free.
+#[derive(Debug, Default)]
+pub(crate) struct GrantScratch {
+    loads: Vec<TenantLoad>,
+    candidates: Vec<usize>,
+}
+
+/// Fills the arbiter's load snapshot in place (the buffer keeps its
+/// capacity across rounds).
+fn fill_loads(lanes: &[Lane<'_, '_>], loads: &mut Vec<TenantLoad>) {
+    loads.clear();
+    loads.extend(lanes.iter().enumerate().map(|(t, lane)| {
+        TenantLoad {
             tenant: t,
             weight: lane.weight,
             priority: lane.priority,
@@ -851,8 +924,8 @@ fn loads_of(lanes: &[Lane<'_, '_>]) -> Vec<TenantLoad> {
                 .saturating_sub(lane.master.epochs_completed()),
             elapsed_h: lane.master.now().as_hours(),
             deadline_h: lane.deadline_h,
-        })
-        .collect()
+        }
+    }));
 }
 
 /// The lane holding the globally next event to absorb: earliest virtual
@@ -862,6 +935,10 @@ fn loads_of(lanes: &[Lane<'_, '_>]) -> Vec<TenantLoad> {
 /// id). The comparator is a total order — no two candidates share a
 /// lane index — so the pick is deterministic. With every offset zero
 /// (the batch case) this coincides with the local-time order.
+///
+/// Kept as the from-scratch oracle the [`HeadIndex`] (the steppers' hot
+/// path) is pinned against.
+#[cfg(test)]
 fn next_lane(lanes: &[Lane<'_, '_>]) -> Option<usize> {
     lanes
         .iter()
@@ -874,6 +951,103 @@ fn next_lane(lanes: &[Lane<'_, '_>]) -> Option<usize> {
         })
         .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
         .map(|(t, _)| t)
+}
+
+/// Maps a global time onto the unsigned key whose `<` is exactly
+/// [`f64::total_cmp`] (sign-flip trick: negatives reverse, positives
+/// shift above them).
+fn order_key(global_s: f64) -> u64 {
+    let b = global_s.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | 0x8000_0000_0000_0000
+    }
+}
+
+/// Indexed replacement for the per-round linear min-scan over lane
+/// heads: a lazy min-heap keyed by `(total-order bits of the global
+/// completion, lane)` — exactly the fleet's `(completed, tenant,
+/// client)` total order, the within-lane client tiebreak living in each
+/// lane's own heap.
+///
+/// The index is *lazy*: mutations push fresh entries and never remove
+/// old ones; [`HeadIndex::next`] validates the top against the live
+/// lane head and discards entries that no longer describe it. Every
+/// head mutation (dispatch push, absorb pop, pooled receive) must be
+/// [`note`](HeadIndex::note)d — the current head of a non-done lane
+/// then always has a live entry, so the pick equals [`next_lane`]'s
+/// (pinned by a test). A drained index rebuilds from the lanes as a
+/// safety net.
+struct HeadIndex {
+    heap: BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
+}
+
+impl HeadIndex {
+    fn new(lanes: &[Lane<'_, '_>]) -> Self {
+        let mut index = HeadIndex {
+            heap: BinaryHeap::with_capacity(lanes.len().saturating_mul(2)),
+        };
+        index.rebuild(lanes);
+        index
+    }
+
+    fn rebuild(&mut self, lanes: &[Lane<'_, '_>]) {
+        for t in 0..lanes.len() {
+            self.note(lanes, t);
+        }
+    }
+
+    /// Re-indexes lane `t`'s current head (after an absorb pop or a
+    /// retirement).
+    fn note(&mut self, lanes: &[Lane<'_, '_>], t: usize) {
+        if lanes[t].done {
+            return;
+        }
+        if let Some(e) = lanes[t].heap.peek() {
+            self.note_at(t, lanes[t].offset_s + e.completed.as_secs());
+        }
+    }
+
+    /// Indexes a just-pushed event on lane `t` at global time
+    /// `global_s` (cheaper than re-peeking the lane heap when the
+    /// dispatcher already knows the completion).
+    fn note_at(&mut self, t: usize, global_s: f64) {
+        self.heap.push(std::cmp::Reverse((order_key(global_s), t)));
+    }
+
+    /// The globally next `(lane, global completion seconds)`, or `None`
+    /// when no non-done lane holds an event. Peeks only — the winning
+    /// entry stays indexed until a mutation invalidates it.
+    fn next(&mut self, lanes: &[Lane<'_, '_>]) -> Option<(usize, f64)> {
+        let mut rebuilt = false;
+        loop {
+            let Some(&std::cmp::Reverse((key, t))) = self.heap.peek() else {
+                // A missed note would strand a head; rebuilding from
+                // the lanes (once) restores the invariant.
+                if rebuilt || !lanes.iter().any(|l| !l.done && !l.heap.is_empty()) {
+                    return None;
+                }
+                self.rebuild(lanes);
+                rebuilt = true;
+                continue;
+            };
+            if lanes[t].done {
+                self.heap.pop();
+                continue;
+            }
+            let Some(e) = lanes[t].heap.peek() else {
+                self.heap.pop();
+                continue;
+            };
+            let global_s = lanes[t].offset_s + e.completed.as_secs();
+            if order_key(global_s) != key {
+                self.heap.pop();
+                continue;
+            }
+            return Some((t, global_s));
+        }
+    }
 }
 
 /// Absorbs lane `t`'s earliest event and queues the follow-up
@@ -913,11 +1087,12 @@ fn grant_round(
     arbiter: &dyn TenantArbiter,
     slots: usize,
     round: u64,
+    scratch: &mut GrantScratch,
     mut dispatch: impl FnMut(&mut Lane<'_, '_>, usize, ReadyClient, u64) -> Result<(), EqcError>,
 ) -> Result<(), EqcError> {
-    let loads = loads_of(lanes);
+    fill_loads(lanes, &mut scratch.loads);
     let caps = arbiter.allocate(&ArbiterContext {
-        loads: &loads,
+        loads: &scratch.loads,
         total_slots: slots,
         round,
     });
@@ -942,16 +1117,27 @@ fn grant_round(
 }
 
 /// [`grant_round`] over the discrete-event substrate: tasks run inline
-/// at dispatch.
+/// at dispatch, and every queued completion is indexed.
 fn grant_inline(
     lanes: &mut [Lane<'_, '_>],
     arbiter: &dyn TenantArbiter,
     slots: usize,
     round: u64,
+    scratch: &mut GrantScratch,
+    head: &mut HeadIndex,
 ) -> Result<(), EqcError> {
-    grant_round(lanes, arbiter, slots, round, |lane, _t, r, round| {
-        lane.dispatch_inline(r, round)
-    })
+    grant_round(
+        lanes,
+        arbiter,
+        slots,
+        round,
+        scratch,
+        |lane, t, r, round| {
+            let completed = lane.dispatch_inline(r, round)?;
+            head.note_at(t, lane.offset_s + completed.as_secs());
+            Ok(())
+        },
+    )
 }
 
 /// The fleet clock a streaming drive advances across calls: grant
@@ -1032,23 +1218,31 @@ pub(crate) fn drive_stream_des(
     arrivals: &mut VecDeque<Arrival>,
     on_retire: &mut dyn FnMut(usize, f64),
 ) -> Result<(), EqcError> {
+    let mut head = HeadIndex::new(lanes);
+    let mut scratch = GrantScratch::default();
     while !quiescent(lanes, arrivals) {
-        let next_event_s = next_lane(lanes)
-            .map(|t| lanes[t].offset_s + lanes[t].heap.peek().expect("head").completed.as_secs());
+        let next_event = head.next(lanes);
+        #[cfg(test)]
+        assert_eq!(
+            next_event.map(|(t, _)| t),
+            next_lane(lanes),
+            "head index diverged from the linear-scan oracle"
+        );
         if let Some(a) = arrivals.front() {
-            if next_event_s.is_none_or(|e| a.at_s <= e) {
+            if next_event.is_none_or(|(_, e)| a.at_s <= e) {
                 activate_due(lanes, arrivals, clock, on_retire)?;
-                grant_inline(lanes, arbiter, slots, clock.round)?;
+                grant_inline(lanes, arbiter, slots, clock.round, &mut scratch, &mut head)?;
                 clock.round += 1;
                 continue;
             }
         }
-        let Some(t) = next_lane(lanes) else {
+        let Some((t, _)) = next_event else {
             return Err(EqcError::Internal(
                 "event queue drained before the epoch budget".into(),
             ));
         };
         let completed = absorb_next(lanes, t, clock.round)?;
+        head.note(lanes, t);
         clock.now_s = clock.now_s.max(lanes[t].offset_s + completed.as_secs());
         if lanes[t].done {
             on_retire(t, clock.now_s);
@@ -1056,7 +1250,7 @@ pub(crate) fn drive_stream_des(
         if quiescent(lanes, arrivals) {
             break;
         }
-        grant_inline(lanes, arbiter, slots, clock.round)?;
+        grant_inline(lanes, arbiter, slots, clock.round, &mut scratch, &mut head)?;
         clock.round += 1;
     }
     Ok(())
@@ -1089,6 +1283,8 @@ pub(crate) fn drive_des(
             .iter_mut()
             .map(|l| std::mem::take(&mut l.counters))
             .collect(),
+        snapshot_rebuilds: 0,
+        snapshot_reuses: 0,
     })
 }
 
@@ -1170,6 +1366,10 @@ pub(crate) fn occupancy_rows(
 /// never held while another is taken (or while vectors grow). A
 /// poisoned ledger surfaces as [`EqcError::LedgerPoisoned`], not a
 /// panic.
+///
+/// Kept as the lock-and-allocate oracle the incremental
+/// [`OccupancyTracker`] (the drives' hot path) is pinned against.
+#[cfg(test)]
 fn occupancy_snapshot(ledgers: &[Arc<Mutex<DeviceQueue>>]) -> Result<FleetOccupancy, EqcError> {
     let mut scalars = Vec::with_capacity(ledgers.len());
     for (d, ledger) in ledgers.iter().enumerate() {
@@ -1190,57 +1390,108 @@ fn occupancy_snapshot(ledgers: &[Arc<Mutex<DeviceQueue>>]) -> Result<FleetOccupa
     Ok(occ)
 }
 
-/// Installs `snapshot` into one lane's master, shifted onto the lane's
-/// local clock (ledger horizons live on the fleet clock; the master
-/// compares pressure against its own virtual time).
-fn install_occupancy(lane: &mut Lane<'_, '_>, snapshot: &FleetOccupancy) {
-    let mut local = snapshot.clone();
-    if lane.offset_s != 0.0 {
-        for b in &mut local.booked_until_s {
-            *b -= lane.offset_s;
-        }
+/// Incremental [`FleetOccupancy`] maintenance over the ledgers'
+/// lock-free read handles: one long-lived fleet view per drive,
+/// refreshed per decision point by copying only the devices whose
+/// published version changed since the last refresh. The steady state
+/// (no co-tenant booked since the last look) is allocation-free and
+/// lock-free — the old path locked all N ledgers and allocated a fresh
+/// [`FleetOccupancy`] per scheduler pick.
+pub(crate) struct OccupancyTracker {
+    handles: Vec<QueueReadHandle>,
+    /// Last version folded into `view` per device (`u64::MAX` forces
+    /// the first refresh to copy everything).
+    versions: Vec<u64>,
+    view: FleetOccupancy,
+    rebuilds: u64,
+    reuses: u64,
+}
+
+impl OccupancyTracker {
+    /// Takes one read handle per ledger (each lock is held once, here,
+    /// never again). A poisoned ledger surfaces as
+    /// [`EqcError::LedgerPoisoned`].
+    pub(crate) fn new(ledgers: &[Arc<Mutex<DeviceQueue>>]) -> Result<Self, EqcError> {
+        let handles = ledgers
+            .iter()
+            .enumerate()
+            .map(|(d, ledger)| {
+                ledger
+                    .lock()
+                    .map(|q| q.read_handle())
+                    .map_err(|_| EqcError::LedgerPoisoned { device: d })
+            })
+            .collect::<Result<Vec<_>, EqcError>>()?;
+        let n = handles.len();
+        Ok(OccupancyTracker {
+            handles,
+            versions: vec![u64::MAX; n],
+            view: FleetOccupancy::with_devices(n),
+            rebuilds: 0,
+            reuses: 0,
+        })
     }
-    lane.master.set_fleet_occupancy(Some(local));
+
+    /// Brings the fleet view up to date and returns it. Devices whose
+    /// published version is unchanged are skipped entirely.
+    fn refresh(&mut self) -> &FleetOccupancy {
+        for (d, handle) in self.handles.iter().enumerate() {
+            if handle.version() == self.versions[d] {
+                self.reuses += 1;
+                continue;
+            }
+            let s = handle.read();
+            self.view.booked_until_s[d] = s.booked_until_s;
+            self.view.backlog_s[d] = s.backlog_s;
+            self.view.jobs_booked[d] = s.jobs_booked;
+            self.versions[d] = s.version;
+            self.rebuilds += 1;
+        }
+        &self.view
+    }
+
+    /// Per-device refreshes performed / skipped so far.
+    pub(crate) fn counters(&self) -> (u64, u64) {
+        (self.rebuilds, self.reuses)
+    }
 }
 
 /// Refreshes the occupancy view of every lane whose scheduler actually
 /// consults queue estimates. Lanes under estimate-free schedulers (the
 /// paper's cyclic default) are never touched — their decision sequence,
 /// and hence the zero-load single-tenant oracle, stays byte-exact.
-fn refresh_occupancy(
-    lanes: &mut [Lane<'_, '_>],
-    ledgers: &[Arc<Mutex<DeviceQueue>>],
-) -> Result<(), EqcError> {
+fn refresh_occupancy(lanes: &mut [Lane<'_, '_>], tracker: &mut OccupancyTracker) {
     if !lanes.iter().any(|l| !l.done && l.master.wants_occupancy()) {
-        return Ok(());
+        return;
     }
-    let snapshot = occupancy_snapshot(ledgers)?;
+    let view = tracker.refresh();
     for lane in lanes.iter_mut().filter(|l| !l.done) {
         if lane.master.wants_occupancy() {
-            install_occupancy(lane, &snapshot);
+            lane.master.install_fleet_occupancy(view, lane.offset_s);
         }
     }
-    Ok(())
 }
 
 /// [`grant_round`] over the shared substrate: identical capacity
 /// allocation, cap loop and starvation accounting, with one upgrade —
 /// a lane whose scheduler consults occupancy picks *which* ready client
 /// each grant dispatches via [`MasterLoop::pick_client`] over the whole
-/// ready set (refreshing the ledger snapshot per pick, so a co-tenant's
-/// booking earlier in the same round is already visible), instead of
-/// FIFO order. Estimate-free lanes keep the FIFO dispatch, byte for
-/// byte.
+/// ready set (refreshing the tracker per pick, so a co-tenant's booking
+/// earlier in the same round is already visible), instead of FIFO
+/// order. Estimate-free lanes keep the FIFO dispatch, byte for byte.
+#[allow(clippy::too_many_arguments)]
 fn grant_shared(
     lanes: &mut [Lane<'_, '_>],
     arbiter: &dyn TenantArbiter,
     slots: usize,
     round: u64,
-    ledgers: &[Arc<Mutex<DeviceQueue>>],
+    tracker: &mut OccupancyTracker,
+    scratch: &mut GrantScratch,
+    head: &mut HeadIndex,
 ) -> Result<(), EqcError> {
-    let loads = loads_of(lanes);
+    fill_loads(lanes, &mut scratch.loads);
     let caps = arbiter.allocate(&ArbiterContext {
-        loads: &loads,
+        loads: &scratch.loads,
         total_slots: slots,
         round,
     });
@@ -1252,10 +1503,13 @@ fn grant_shared(
         let mut granted = 0usize;
         while lane.in_flight < cap && !lane.ready.is_empty() {
             let idx = if lane.master.wants_occupancy() && lane.ready.len() > 1 {
-                install_occupancy(lane, &occupancy_snapshot(ledgers)?);
-                let mut candidates: Vec<usize> = lane.ready.iter().map(|r| r.client).collect();
+                lane.master
+                    .install_fleet_occupancy(tracker.refresh(), lane.offset_s);
+                let candidates = &mut scratch.candidates;
+                candidates.clear();
+                candidates.extend(lane.ready.iter().map(|r| r.client));
                 candidates.sort_unstable();
-                let pick = lane.master.pick_client(&candidates)?;
+                let pick = lane.master.pick_client(candidates)?;
                 lane.ready
                     .iter()
                     .position(|r| r.client == pick)
@@ -1264,7 +1518,8 @@ fn grant_shared(
                 0
             };
             let r = lane.ready.remove(idx).expect("index within the ready set");
-            lane.dispatch_inline(r, round)?;
+            let completed = lane.dispatch_inline(r, round)?;
+            head.note_at(t, lane.offset_s + completed.as_secs());
             granted += 1;
         }
         if granted == 0 && lane.in_flight == 0 && !lane.ready.is_empty() {
@@ -1279,11 +1534,13 @@ fn grant_shared(
 /// device `d` attached to ledger `d` for the duration of the call (so
 /// start times resolve through one global timeline) and the occupancy
 /// view refreshed ahead of each scheduling decision point.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn drive_stream_shared(
     lanes: &mut [Lane<'_, '_>],
     arbiter: &dyn TenantArbiter,
     slots: usize,
     ledgers: &[Arc<Mutex<DeviceQueue>>],
+    tracker: &mut OccupancyTracker,
     clock: &mut DriveClock,
     arrivals: &mut VecDeque<Arrival>,
     on_retire: &mut dyn FnMut(usize, f64),
@@ -1296,7 +1553,7 @@ pub(crate) fn drive_stream_shared(
                 .attach_shared_queue(Arc::clone(&ledgers[d]));
         }
     }
-    let driven = shared_stepper(lanes, arbiter, slots, ledgers, clock, arrivals, on_retire);
+    let driven = shared_stepper(lanes, arbiter, slots, tracker, clock, arrivals, on_retire);
     for lane in lanes.iter_mut() {
         for client in lane.clients.iter_mut() {
             client.backend_mut().detach_shared_queue();
@@ -1313,30 +1570,46 @@ fn shared_stepper(
     lanes: &mut [Lane<'_, '_>],
     arbiter: &dyn TenantArbiter,
     slots: usize,
-    ledgers: &[Arc<Mutex<DeviceQueue>>],
+    tracker: &mut OccupancyTracker,
     clock: &mut DriveClock,
     arrivals: &mut VecDeque<Arrival>,
     on_retire: &mut dyn FnMut(usize, f64),
 ) -> Result<(), EqcError> {
+    let mut head = HeadIndex::new(lanes);
+    let mut scratch = GrantScratch::default();
     while !quiescent(lanes, arrivals) {
-        let next_event_s = next_lane(lanes)
-            .map(|t| lanes[t].offset_s + lanes[t].heap.peek().expect("head").completed.as_secs());
+        let next_event = head.next(lanes);
+        #[cfg(test)]
+        assert_eq!(
+            next_event.map(|(t, _)| t),
+            next_lane(lanes),
+            "head index diverged from the linear-scan oracle"
+        );
         if let Some(a) = arrivals.front() {
-            if next_event_s.is_none_or(|e| a.at_s <= e) {
-                refresh_occupancy(lanes, ledgers)?;
+            if next_event.is_none_or(|(_, e)| a.at_s <= e) {
+                refresh_occupancy(lanes, tracker);
                 activate_due(lanes, arrivals, clock, on_retire)?;
-                grant_shared(lanes, arbiter, slots, clock.round, ledgers)?;
+                grant_shared(
+                    lanes,
+                    arbiter,
+                    slots,
+                    clock.round,
+                    tracker,
+                    &mut scratch,
+                    &mut head,
+                )?;
                 clock.round += 1;
                 continue;
             }
         }
-        let Some(t) = next_lane(lanes) else {
+        let Some((t, _)) = next_event else {
             return Err(EqcError::Internal(
                 "event queue drained before the epoch budget".into(),
             ));
         };
-        refresh_occupancy(lanes, ledgers)?;
+        refresh_occupancy(lanes, tracker);
         let completed = absorb_next(lanes, t, clock.round)?;
+        head.note(lanes, t);
         clock.now_s = clock.now_s.max(lanes[t].offset_s + completed.as_secs());
         if lanes[t].done {
             on_retire(t, clock.now_s);
@@ -1344,7 +1617,15 @@ fn shared_stepper(
         if quiescent(lanes, arrivals) {
             break;
         }
-        grant_shared(lanes, arbiter, slots, clock.round, ledgers)?;
+        grant_shared(
+            lanes,
+            arbiter,
+            slots,
+            clock.round,
+            tracker,
+            &mut scratch,
+            &mut head,
+        )?;
         clock.round += 1;
     }
     Ok(())
@@ -1361,17 +1642,22 @@ pub(crate) fn drive_shared(
 ) -> Result<DriveStats, EqcError> {
     let mut clock = DriveClock::default();
     let mut arrivals = arrivals_at_zero(lanes.len());
+    let mut tracker = OccupancyTracker::new(ledgers)?;
     drive_stream_shared(
         lanes,
         arbiter,
         slots,
         ledgers,
+        &mut tracker,
         &mut clock,
         &mut arrivals,
         &mut |_, _| {},
     )?;
+    let (snapshot_rebuilds, snapshot_reuses) = tracker.counters();
     Ok(DriveStats {
         grant_rounds: clock.round,
+        snapshot_rebuilds,
+        snapshot_reuses,
         lanes: lanes
             .iter_mut()
             .map(|l| std::mem::take(&mut l.counters))
@@ -1512,6 +1798,8 @@ pub(crate) fn drive_pooled(
     (
         driven.map(|()| DriveStats {
             grant_rounds: clock.round,
+            snapshot_rebuilds: 0,
+            snapshot_reuses: 0,
             lanes: lanes
                 .iter_mut()
                 .map(|l| std::mem::take(&mut l.counters))
@@ -1664,40 +1952,57 @@ fn coordinate_stream(
     let total: usize = queue_models.iter().map(Vec::len).sum();
     let mut bounds: Vec<Option<InflightBound>> = vec![None; total];
     let mut in_system = 0usize;
+    let mut head = HeadIndex::new(lanes);
+    let mut scratch = GrantScratch::default();
 
     // One grant round over the pool: [`grant_round`]'s shared
     // allocation and cap loop, with a dispatch that queues the task on
     // the workers instead of running it, registering its completion
-    // bound for the lookahead.
+    // bound for the lookahead. (Completions enter the head index on
+    // receive, not here — a pooled dispatch queues work, it does not
+    // yet know its event time.)
     let grant = |lanes: &mut [Lane<'_, '_>],
                  bounds: &mut Vec<Option<InflightBound>>,
                  in_system: &mut usize,
+                 scratch: &mut GrantScratch,
                  round: u64|
      -> Result<(), EqcError> {
-        grant_round(lanes, arbiter, slots, round, |lane, t, r, round| {
-            let client = r.client;
-            let (assignment, submit) = lane.take_assignment(&r, round)?;
-            let instant = is_instant(lane.problem, &assignment);
-            let flat = offsets[t] + client;
-            bounds[flat] = Some(bound_for(&queue_models[t][client], submit, instant));
-            *in_system += 1;
-            runq.push(
-                flat,
-                FleetTask {
-                    lane: t,
-                    client,
+        grant_round(
+            lanes,
+            arbiter,
+            slots,
+            round,
+            scratch,
+            |lane, t, r, round| {
+                let client = r.client;
+                let (assignment, submit) = lane.take_assignment(&r, round)?;
+                let instant = is_instant(lane.problem, &assignment);
+                let flat = offsets[t] + client;
+                bounds[flat] = Some(bound_for(&queue_models[t][client], submit, instant));
+                *in_system += 1;
+                runq.push(
                     flat,
-                    assignment,
-                    submit,
-                },
-            );
-            Ok(())
-        })
+                    FleetTask {
+                        lane: t,
+                        client,
+                        flat,
+                        assignment,
+                        submit,
+                    },
+                );
+                Ok(())
+            },
+        )
     };
 
     while !quiescent(lanes, arrivals) {
-        let next_event_s = next_lane(lanes)
-            .map(|t| lanes[t].offset_s + lanes[t].heap.peek().expect("head").completed.as_secs());
+        let next_event = head.next(lanes);
+        #[cfg(test)]
+        assert_eq!(
+            next_event.map(|(t, _)| t),
+            next_lane(lanes),
+            "head index diverged from the linear-scan oracle"
+        );
         // Bound floors of live tasks on non-done lanes, globalized onto
         // the fleet clock. (Bounds of completed lanes are ignored:
         // their remaining events are discarded on arrival, exactly as
@@ -1716,9 +2021,15 @@ fn coordinate_stream(
         // (Arrivals win ties with events, as in the inline stepper.)
         let arrival_gate = arrivals.front().map(|a| a.at_s);
         if let Some(at_s) = arrival_gate {
-            if next_event_s.is_none_or(|e| at_s <= e) && live_floor_ok(at_s, lanes) {
+            if next_event.is_none_or(|(_, e)| at_s <= e) && live_floor_ok(at_s, lanes) {
                 activate_due(lanes, arrivals, clock, on_retire)?;
-                grant(lanes, &mut bounds, &mut in_system, clock.round)?;
+                grant(
+                    lanes,
+                    &mut bounds,
+                    &mut in_system,
+                    &mut scratch,
+                    clock.round,
+                )?;
                 clock.round += 1;
                 continue;
             }
@@ -1727,10 +2038,10 @@ fn coordinate_stream(
         // Is the globally earliest queued event provably next in the
         // fleet total order? It must strictly beat the arrival gate
         // and precede every completion a live bound still allows.
-        let safe = next_lane(lanes).filter(|&t| {
-            let head = lanes[t].heap.peek().expect("next_lane implies a head");
-            let completed = lanes[t].offset_s + head.completed.as_secs();
-            let at = (t, head.client);
+        let safe = next_event.map(|(t, _)| t).filter(|&t| {
+            let ev = lanes[t].heap.peek().expect("indexed head implies a head");
+            let completed = lanes[t].offset_s + ev.completed.as_secs();
+            let at = (t, ev.client);
             arrival_gate.is_none_or(|a| completed < a)
                 && bounds.iter().enumerate().all(|(flat, b)| match b {
                     Some(bound) => {
@@ -1748,6 +2059,7 @@ fn coordinate_stream(
         });
         if let Some(t) = safe {
             let completed = absorb_next(lanes, t, clock.round)?;
+            head.note(lanes, t);
             clock.now_s = clock.now_s.max(lanes[t].offset_s + completed.as_secs());
             if lanes[t].done {
                 on_retire(t, clock.now_s);
@@ -1755,7 +2067,13 @@ fn coordinate_stream(
             if quiescent(lanes, arrivals) {
                 break;
             }
-            grant(lanes, &mut bounds, &mut in_system, clock.round)?;
+            grant(
+                lanes,
+                &mut bounds,
+                &mut in_system,
+                &mut scratch,
+                clock.round,
+            )?;
             clock.round += 1;
             continue;
         }
@@ -1771,6 +2089,7 @@ fn coordinate_stream(
                     bounds[offsets[lane] + client] = None;
                     in_system -= 1;
                     if !lanes[lane].done {
+                        let completed_s = result.completed.as_secs();
                         lanes[lane].heap.push(Event {
                             completed: result.completed,
                             client,
@@ -1778,6 +2097,7 @@ fn coordinate_stream(
                             cycle,
                             dispatched_at_update,
                         });
+                        head.note_at(lane, lanes[lane].offset_s + completed_s);
                     }
                 }
                 Ok(FleetMsg::Panicked { lane, client }) => {
@@ -1789,7 +2109,7 @@ fn coordinate_stream(
                     return Err(EqcError::Internal("fleet workers exited early".into()));
                 }
             }
-        } else if next_lane(lanes).is_none() && arrivals.is_empty() {
+        } else if next_event.is_none() && arrivals.is_empty() {
             return Err(EqcError::Internal(
                 "event queue drained before the epoch budget".into(),
             ));
@@ -1810,6 +2130,7 @@ mod tests {
     use crate::ensemble::Ensemble;
     use crate::policy::arbiter::{FairShare, PriorityArbiter, Unshared};
     use crate::policy::ContentionAware;
+    use proptest::prelude::*;
     use vqa::QaoaProblem;
 
     fn fleet_cfg(epochs: usize) -> EqcConfig {
@@ -2151,5 +2472,165 @@ mod tests {
         );
         assert!(outcome.tenant(low).wait_rounds > 0);
         assert_eq!(outcome.tenant(high).starved_rounds, 0);
+    }
+
+    #[test]
+    fn noise_sharing_is_byte_invisible_and_builds_less() {
+        // Two co-tenants on the shared substrate, once with the default
+        // fleet-wide per-device noise caches and once with a private
+        // cache per clone (the same code path at the other granularity).
+        // Reports, tenant telemetry and occupancy must agree byte for
+        // byte; only the build/hit accounting may differ.
+        let problem = QaoaProblem::maxcut_ring4();
+        let run = |share: bool| {
+            let mut builder = FleetRuntime::builder()
+                .devices(["belem", "manila"])
+                .device_seed(7)
+                .arbiter(FairShare)
+                .shared();
+            if !share {
+                builder = builder.without_noise_sharing();
+            }
+            let mut fleet = builder.build().expect("builds");
+            fleet
+                .admit(&problem, TenantConfig::new(fleet_cfg(3)))
+                .expect("admits");
+            fleet
+                .admit(&problem, TenantConfig::new(fleet_cfg(2).with_seed(11)))
+                .expect("admits");
+            fleet.run().expect("runs")
+        };
+        let shared = run(true);
+        let private = run(false);
+        assert_eq!(
+            format!("{:?}", shared.reports),
+            format!("{:?}", private.reports),
+            "noise-cache granularity must be invisible in the training results"
+        );
+        assert_eq!(shared.telemetry.tenants, private.telemetry.tenants);
+        assert_eq!(shared.telemetry.occupancy, private.telemetry.occupancy);
+        assert!(
+            shared.telemetry.shared_noise_builds < private.telemetry.shared_noise_builds,
+            "fleet-wide sharing must build strictly fewer artifacts: {} vs {}",
+            shared.telemetry.shared_noise_builds,
+            private.telemetry.shared_noise_builds
+        );
+        assert!(
+            shared.telemetry.shared_noise_hits > 0,
+            "co-tenant clones must hit each other's builds"
+        );
+    }
+
+    #[test]
+    fn shared_drive_hot_path_counters_are_live() {
+        // A contention-aware tenant forces per-pick occupancy refreshes,
+        // so both tracker counters and both noise-cache counters must
+        // move on a multi-tenant shared run.
+        let problem = QaoaProblem::maxcut_ring4();
+        let mut fleet = FleetRuntime::builder()
+            .devices(["belem", "manila", "bogota", "quito"])
+            .device_seed(7)
+            .arbiter(FairShare)
+            .shared()
+            .build()
+            .expect("builds");
+        fleet
+            .admit(&problem, TenantConfig::new(fleet_cfg(2)))
+            .expect("admits");
+        fleet
+            .admit(
+                &problem,
+                TenantConfig::new(fleet_cfg(2).with_seed(11))
+                    .policies(PolicyConfig::default().with_scheduler(ContentionAware::default())),
+            )
+            .expect("admits");
+        let outcome = fleet.run().expect("runs");
+        let t = &outcome.telemetry;
+        assert!(
+            t.snapshot_rebuilds > 0,
+            "refreshes must copy changed devices"
+        );
+        assert!(
+            t.snapshot_reuses > 0,
+            "most refreshes should find most devices unchanged: {t:?}"
+        );
+        assert!(t.shared_noise_builds > 0);
+        assert!(
+            t.shared_noise_hits > 0,
+            "co-tenants must share noise builds"
+        );
+        let printed = format!("{t}");
+        assert!(
+            printed.contains("snapshot_rebuilds=") && printed.contains("shared_noise_hits="),
+            "telemetry display must surface the hot-path counters: {printed}"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Random `admit`/`book`/`enqueue`/`decay_to` interleavings over
+        /// ledgers with three different load models: after every
+        /// mutation, the incremental tracker's refreshed view must equal
+        /// the from-scratch lock-and-allocate oracle field for field
+        /// (`decay_to` publishing only on backlog change included).
+        #[test]
+        fn incremental_occupancy_refresh_matches_the_snapshot_oracle(
+            ops in proptest::collection::vec(
+                (0..3usize, 0..4u32, 0.0..400.0f64, 0.0..1.0f64),
+                2..60,
+            ),
+        ) {
+            use qdevice::LoadCurve;
+            let ledgers: Vec<Arc<Mutex<DeviceQueue>>> = [
+                DeviceQueue::new(QueueModel::light(5.0), LoadModel::None),
+                DeviceQueue::new(
+                    QueueModel::light(30.0),
+                    LoadModel::Bursty {
+                        burst_busy_s: 40.0,
+                        interval_s: 90.0,
+                        phase_s: 10.0,
+                    },
+                ),
+                DeviceQueue::new(
+                    QueueModel::congested(20.0, 0.5, 3.0),
+                    LoadModel::Diurnal {
+                        busy_per_hour: 120.0,
+                        curve: LoadCurve::daily(0.5, 0.0),
+                    },
+                ),
+            ]
+            .into_iter()
+            .map(|q| Arc::new(Mutex::new(q.expect("valid queue model"))))
+            .collect();
+            let n_ops = ops.len();
+            let mut tracker = OccupancyTracker::new(&ledgers).expect("fresh ledgers");
+            for (d, kind, t, x) in ops {
+                let t = SimTime::from_secs(t);
+                {
+                    let mut q = ledgers[d].lock().expect("not poisoned");
+                    match kind {
+                        0 => {
+                            let _ = q.admit(t, x);
+                        }
+                        1 => q.book(t, x * 50.0),
+                        2 => {
+                            let _ = q.enqueue(t, x * 50.0);
+                        }
+                        _ => q.decay_to(t),
+                    }
+                }
+                let oracle = occupancy_snapshot(&ledgers).expect("not poisoned");
+                let view = tracker.refresh();
+                prop_assert_eq!(&view.booked_until_s, &oracle.booked_until_s);
+                prop_assert_eq!(&view.backlog_s, &oracle.backlog_s);
+                prop_assert_eq!(&view.jobs_booked, &oracle.jobs_booked);
+            }
+            let (rebuilds, reuses) = tracker.counters();
+            prop_assert!(rebuilds >= ledgers.len() as u64, "first refresh copies every device");
+            // Each op touches one ledger, so every later refresh reuses
+            // at least the other two devices' copies.
+            prop_assert!(reuses >= 2 * (n_ops as u64 - 1));
+        }
     }
 }

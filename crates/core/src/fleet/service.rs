@@ -50,7 +50,8 @@
 
 use super::{
     drive_stream_des, drive_stream_pooled, drive_stream_shared, ledgers_for, occupancy_rows,
-    queue_wait_hours, Arrival, DriveClock, FleetOutcome, Lane, LaneCounters, Substrate, TenantId,
+    queue_wait_hours, Arrival, DriveClock, FleetOutcome, Lane, LaneCounters, OccupancyTracker,
+    Substrate, TenantId,
 };
 use crate::client::ClientNode;
 use crate::config::{PoolConfig, ServiceConfig, TenantConfig};
@@ -62,7 +63,7 @@ use crate::report::{
     FleetTelemetry, PoolTelemetry, ServiceTelemetry, ServiceTenantRecord, TenantTelemetry,
     TrainingReport,
 };
-use qdevice::DeviceQueue;
+use qdevice::{DeviceQueue, SharedNoiseCache};
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 use vqa::VqaProblem;
@@ -180,6 +181,20 @@ pub struct FleetService<'p> {
     /// devices' queue timelines outlive any one tenant batch, exactly
     /// like the fleet clock.
     shared_ledgers: Option<Vec<Arc<Mutex<DeviceQueue>>>>,
+    /// The incremental occupancy view over `shared_ledgers`, built with
+    /// them and persistent across drains (its reuse/rebuild counters
+    /// span the service lifetime).
+    occupancy_tracker: Option<OccupancyTracker>,
+    /// Whether co-tenant clones of one physical device share a noise
+    /// cache (see [`FleetBuilder::without_noise_sharing`]).
+    ///
+    /// [`FleetBuilder::without_noise_sharing`]: super::FleetBuilder::without_noise_sharing
+    share_noise: bool,
+    /// Shared-mode: one cache per device slot, persistent across drains
+    /// (device noise is keyed by calibration cycle, which outlives any
+    /// one tenant batch). Private-mode: every per-clone cache ever
+    /// attached, so [`FleetService::close`] can sum build counts.
+    noise_caches: Vec<Arc<SharedNoiseCache>>,
     /// Per-device queue-wait seconds accumulated across retired tenants
     /// (lane order within each drain, matching the batch runtime's
     /// summation order bit for bit).
@@ -209,6 +224,7 @@ impl<'p> FleetService<'p> {
         arbiter: Arc<dyn TenantArbiter>,
         substrate: Substrate,
         config: ServiceConfig,
+        share_noise: bool,
     ) -> Self {
         let n = devices.len();
         FleetService {
@@ -221,6 +237,9 @@ impl<'p> FleetService<'p> {
             clock: DriveClock::default(),
             pool: None,
             shared_ledgers: None,
+            occupancy_tracker: None,
+            share_noise,
+            noise_caches: Vec::new(),
             occupancy_queued_s: vec![0.0; n],
             pipeline: None,
         }
@@ -356,7 +375,9 @@ impl<'p> FleetService<'p> {
         }
         if let Substrate::Shared { load } = self.substrate {
             if self.shared_ledgers.is_none() {
-                self.shared_ledgers = Some(ledgers_for(&self.devices, load)?);
+                let ledgers = ledgers_for(&self.devices, load)?;
+                self.occupancy_tracker = Some(OccupancyTracker::new(&ledgers)?);
+                self.shared_ledgers = Some(ledgers);
             }
         }
         let slots = self.devices.len();
@@ -364,6 +385,31 @@ impl<'p> FleetService<'p> {
         // Stable by arrival: simultaneous arrivals activate in
         // admission order, matching the batch runtime's lane order.
         batch.sort_by(|a, b| a.arrival_h.total_cmp(&b.arrival_h));
+        // Noise sharing mirrors the batch runtime: shared mode attaches
+        // the service's persistent per-device caches; private mode gives
+        // each clone a fresh cache, remembered so close() can sum
+        // builds.
+        if self.share_noise {
+            if self.noise_caches.is_empty() {
+                self.noise_caches
+                    .extend((0..slots).map(|_| Arc::new(SharedNoiseCache::default())));
+            }
+            for p in batch.iter_mut() {
+                for (d, client) in p.clients.iter_mut().enumerate() {
+                    client
+                        .backend_mut()
+                        .attach_shared_noise(Arc::clone(&self.noise_caches[d]));
+                }
+            }
+        } else {
+            for p in batch.iter_mut() {
+                for client in p.clients.iter_mut() {
+                    let cache = Arc::new(SharedNoiseCache::default());
+                    client.backend_mut().attach_shared_noise(Arc::clone(&cache));
+                    self.noise_caches.push(cache);
+                }
+            }
+        }
         let mut arrivals: VecDeque<Arrival> = batch
             .iter()
             .enumerate()
@@ -407,6 +453,7 @@ impl<'p> FleetService<'p> {
                 self.arbiter.as_ref(),
                 slots,
                 self.shared_ledgers.as_deref().expect("built above"),
+                self.occupancy_tracker.as_mut().expect("built above"),
                 &mut self.clock,
                 &mut arrivals,
                 &mut on_retire,
@@ -436,6 +483,11 @@ impl<'p> FleetService<'p> {
             .map(|l| std::mem::take(&mut l.counters))
             .collect();
         drop(lanes);
+        for p in batch.iter_mut() {
+            for client in p.clients.iter_mut() {
+                client.backend_mut().detach_shared_noise();
+            }
+        }
         driven?;
         debug_assert_eq!(retired_at.len(), batch.len(), "drain retires every lane");
         if self.shared_ledgers.is_some() {
@@ -546,6 +598,10 @@ impl<'p> FleetService<'p> {
             records.push(r.record);
         }
         let span_h = self.clock.now_s / 3600.0;
+        let (snapshot_rebuilds, snapshot_reuses) = self
+            .occupancy_tracker
+            .as_ref()
+            .map_or((0, 0), |t| t.counters());
         Ok(ServiceOutcome {
             fleet: FleetOutcome {
                 reports,
@@ -555,6 +611,10 @@ impl<'p> FleetService<'p> {
                     grant_rounds: self.clock.round,
                     tenants: per_tenant,
                     occupancy,
+                    snapshot_rebuilds,
+                    snapshot_reuses,
+                    shared_noise_builds: self.noise_caches.iter().map(|c| c.builds()).sum(),
+                    shared_noise_hits: self.noise_caches.iter().map(|c| c.hits()).sum(),
                 },
                 pool: self.pool,
                 batch: 0,

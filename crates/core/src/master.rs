@@ -175,12 +175,14 @@ impl MasterLoop {
         }
     }
 
-    /// Installs (or clears) the fleet-wide occupancy snapshot consulted
-    /// by queue-aware schedulers on the shared substrate. Advisory: it
-    /// biases [`MasterLoop::pick_client`] but never changes dispatch
-    /// legality.
-    pub(crate) fn set_fleet_occupancy(&mut self, occupancy: Option<FleetOccupancy>) {
-        self.fleet_occupancy = occupancy;
+    /// Refreshes the installed occupancy snapshot *in place* from the
+    /// fleet's shared view, shifting booked horizons by the tenant's
+    /// arrival offset. Reuses the existing snapshot's buffers, so
+    /// steady-state refreshes are allocation-free.
+    pub(crate) fn install_fleet_occupancy(&mut self, fleet_view: &FleetOccupancy, offset_s: f64) {
+        self.fleet_occupancy
+            .get_or_insert_with(FleetOccupancy::default)
+            .copy_shifted_from(fleet_view, offset_s);
     }
 
     /// Whether refreshing the occupancy snapshot can affect this loop's

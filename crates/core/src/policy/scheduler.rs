@@ -59,6 +59,25 @@ impl FleetOccupancy {
     pub fn depth(&self, device: usize) -> u64 {
         self.jobs_booked.get(device).copied().unwrap_or(0)
     }
+
+    /// Overwrites `self` with `src`, shifting every booked horizon into
+    /// a tenant-local timeline (`booked_until_s - offset_s`) — the
+    /// in-place equivalent of cloning a fleet snapshot and subtracting
+    /// the tenant's arrival offset, reusing `self`'s buffers so a
+    /// steady-state refresh allocates nothing once capacity is reached.
+    ///
+    /// With `offset_s == 0.0` the copy is bitwise (`b - 0.0 == b` for
+    /// every finite `b`), which is what keeps zero-offset shared runs
+    /// byte-identical to the snapshot-cloning path they replaced.
+    pub fn copy_shifted_from(&mut self, src: &FleetOccupancy, offset_s: f64) {
+        self.booked_until_s.clear();
+        self.booked_until_s
+            .extend(src.booked_until_s.iter().map(|&b| b - offset_s));
+        self.backlog_s.clear();
+        self.backlog_s.extend_from_slice(&src.backlog_s);
+        self.jobs_booked.clear();
+        self.jobs_booked.extend_from_slice(&src.jobs_booked);
+    }
 }
 
 /// Everything a [`Scheduler`] may consult for one assignment decision.

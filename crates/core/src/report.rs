@@ -195,6 +195,20 @@ pub struct FleetTelemetry {
     /// empty on byte-isolated substrates, where no cross-tenant queue
     /// timeline exists).
     pub occupancy: Vec<DeviceOccupancy>,
+    /// Per-device copies the incremental occupancy view performed
+    /// because a ledger's published version moved (shared substrate
+    /// with queue-estimate schedulers only; 0 otherwise).
+    pub snapshot_rebuilds: u64,
+    /// Per-device copies the incremental occupancy view *skipped*
+    /// because the ledger's version was unchanged — the allocation- and
+    /// lock-free steady state of the snapshot path.
+    pub snapshot_reuses: u64,
+    /// Noise artifacts (reported calibrations, projections, models)
+    /// built once fleet-wide in the cross-tenant shared noise cache.
+    pub shared_noise_builds: u64,
+    /// Shared-noise-cache lookups served from an artifact some clone
+    /// (usually a co-tenant's) already built for the same noise epoch.
+    pub shared_noise_hits: u64,
 }
 
 impl fmt::Display for FleetTelemetry {
@@ -229,6 +243,15 @@ impl fmt::Display for FleetTelemetry {
                 d.device, d.jobs, d.booked_hours, d.queued_hours
             )?;
         }
+        writeln!(
+            f,
+            "  hot path: snapshot_rebuilds={} snapshot_reuses={} \
+             shared_noise_builds={} shared_noise_hits={}",
+            self.snapshot_rebuilds,
+            self.snapshot_reuses,
+            self.shared_noise_builds,
+            self.shared_noise_hits
+        )?;
         Ok(())
     }
 }

@@ -139,22 +139,137 @@ impl BaseNoise {
 
 /// One cached noise model: the active set it covers, the projected base
 /// figures, and the model materialized for the last-seen drift factors.
+/// Base and model are `Arc`'d so co-tenant clones of the same physical
+/// device can share one build through a [`SharedNoiseCache`].
 #[derive(Clone, Debug)]
 struct NoiseEntry {
     active: Vec<usize>,
-    base: BaseNoise,
+    base: Arc<BaseNoise>,
     factors: (f64, f64),
-    model: NoiseModel,
+    model: Arc<NoiseModel>,
 }
 
 /// The per-calibration-cycle noise cache (see the module docs).
 #[derive(Clone, Debug, Default)]
 struct NoiseCache {
     cycle: Option<u64>,
-    reported: Option<Calibration>,
+    reported: Option<Arc<Calibration>>,
     entries: Vec<NoiseEntry>,
     reported_builds: u64,
     model_builds: u64,
+}
+
+/// Fleet-wide noise artifacts shared by every clone of one *physical*
+/// device (across tenants and clients). Clones of a device share its
+/// seed, base calibration and drift model, so the reported calibration
+/// of a cycle, the projected [`BaseNoise`] of a `(cycle, active)` pair
+/// and the drifted model of a `(cycle, factors, active)` triple are all
+/// pure functions of their keys — a shared build is bit-identical to a
+/// private one. The fleet drives attach one cache per physical device so
+/// each artifact is built once fleet-wide instead of once per clone.
+///
+/// Builds happen *under* the cache lock: exactly one build per key even
+/// when pooled workers race, so the `builds`/`hits` totals are
+/// deterministic. Entries are value-keyed and never evicted — a clone
+/// consults the cache only on a per-clone first-use miss (never on a
+/// drift-factor refresh), so growth is bounded by cycles touched, not
+/// jobs executed.
+#[derive(Debug, Default)]
+pub struct SharedNoiseCache {
+    state: Mutex<SharedNoiseState>,
+}
+
+/// `(cycle, ef bits, cf bits, active set)` — the key of one drifted
+/// model in a [`SharedNoiseCache`].
+type SharedModelKey = (u64, u64, u64, Vec<usize>);
+
+#[derive(Debug, Default)]
+struct SharedNoiseState {
+    /// `(cycle, reported calibration)`.
+    reported: Vec<(u64, Arc<Calibration>)>,
+    /// `(cycle, active set, projected base figures)`.
+    bases: Vec<(u64, Vec<usize>, Arc<BaseNoise>)>,
+    /// Drifted models by [`SharedModelKey`].
+    models: Vec<(SharedModelKey, Arc<NoiseModel>)>,
+    builds: u64,
+    hits: u64,
+}
+
+impl SharedNoiseCache {
+    /// Artifacts built into the cache so far (telemetry).
+    pub fn builds(&self) -> u64 {
+        self.state.lock().expect("shared noise lock").builds
+    }
+
+    /// Lookups served from the cache so far (telemetry).
+    pub fn hits(&self) -> u64 {
+        self.state.lock().expect("shared noise lock").hits
+    }
+
+    /// The reported calibration of `cycle`, building it with `build` on
+    /// the first fleet-wide request.
+    fn reported(&self, cycle: u64, build: impl FnOnce() -> Calibration) -> Arc<Calibration> {
+        let mut s = self.state.lock().expect("shared noise lock");
+        match s.reported.iter().position(|(c, _)| *c == cycle) {
+            Some(i) => {
+                s.hits += 1;
+                Arc::clone(&s.reported[i].1)
+            }
+            None => {
+                let cal = Arc::new(build());
+                s.builds += 1;
+                s.reported.push((cycle, Arc::clone(&cal)));
+                cal
+            }
+        }
+    }
+
+    /// The projected base figures and drifted model for
+    /// `(cycle, active, factors)`, building whichever piece is missing.
+    fn base_and_model(
+        &self,
+        cycle: u64,
+        active: &[usize],
+        factors: (f64, f64),
+        build_base: impl FnOnce() -> BaseNoise,
+    ) -> (Arc<BaseNoise>, Arc<NoiseModel>) {
+        let mut s = self.state.lock().expect("shared noise lock");
+        let base = match s
+            .bases
+            .iter()
+            .position(|(c, a, _)| *c == cycle && a == active)
+        {
+            Some(i) => {
+                s.hits += 1;
+                Arc::clone(&s.bases[i].2)
+            }
+            None => {
+                let base = Arc::new(build_base());
+                s.builds += 1;
+                s.bases.push((cycle, active.to_vec(), Arc::clone(&base)));
+                base
+            }
+        };
+        let (efb, cfb) = (factors.0.to_bits(), factors.1.to_bits());
+        let model = match s
+            .models
+            .iter()
+            .position(|((c, e, f, a), _)| *c == cycle && *e == efb && *f == cfb && a == active)
+        {
+            Some(i) => {
+                s.hits += 1;
+                Arc::clone(&s.models[i].1)
+            }
+            None => {
+                let model = Arc::new(base.drifted_model(factors.0, factors.1));
+                s.builds += 1;
+                s.models
+                    .push(((cycle, efb, cfb, active.to_vec()), Arc::clone(&model)));
+                model
+            }
+        };
+        (base, model)
+    }
 }
 
 /// Noise-epoch-scoped cache of evolved op-tape prefix states, shared
@@ -231,6 +346,12 @@ pub struct QpuBackend {
     /// occupancy back — the fleet's shared-queue substrate. Clones share
     /// the attachment.
     shared_queue: Option<Arc<Mutex<DeviceQueue>>>,
+    /// Fleet-wide noise-artifact cache of the *physical* device behind
+    /// this clone. When attached, per-clone cache misses resolve through
+    /// it so each (cycle, active, factors) artifact is built once
+    /// fleet-wide. Values are bit-identical either way; clones share the
+    /// attachment.
+    shared_noise: Option<Arc<SharedNoiseCache>>,
     /// Route execution through the preserved pre-engine path (the
     /// bit-equivalence oracle; slow).
     legacy_execution: bool,
@@ -305,6 +426,7 @@ impl QpuBackend {
             busy_seconds: 0.0,
             queued_seconds: 0.0,
             shared_queue: None,
+            shared_noise: None,
             legacy_execution: false,
             noise_cache: NoiseCache::default(),
             density_engine: DensityEngine::new(),
@@ -474,6 +596,24 @@ impl QpuBackend {
         self.shared_queue.as_ref()
     }
 
+    /// Routes this clone's per-cycle noise-cache misses through the
+    /// physical device's fleet-wide [`SharedNoiseCache`]. Replaces any
+    /// previous attachment. Results are bit-identical with or without
+    /// the attachment (see [`SharedNoiseCache`]).
+    pub fn attach_shared_noise(&mut self, cache: Arc<SharedNoiseCache>) {
+        self.shared_noise = Some(cache);
+    }
+
+    /// Detaches the shared noise cache, reverting to per-clone builds.
+    pub fn detach_shared_noise(&mut self) {
+        self.shared_noise = None;
+    }
+
+    /// The attached shared noise cache, if any.
+    pub fn shared_noise(&self) -> Option<&Arc<SharedNoiseCache>> {
+        self.shared_noise.as_ref()
+    }
+
     /// Fraction of the elapsed virtual timeline the QPU spent executing —
     /// the utilization figure of the paper's third motivation
     /// ("quantum computers can be underutilized", Section I).
@@ -575,11 +715,16 @@ impl QpuBackend {
     }
 
     /// Ensures the noise cache covers the cycle containing `t`,
-    /// rebuilding the reported calibration (once per cycle) on a miss.
+    /// rebuilding the reported calibration (once per cycle) on a miss —
+    /// served from the fleet-wide [`SharedNoiseCache`] when one is
+    /// attached, so the rebuild happens once per cycle *fleet-wide*.
     fn ensure_cycle(&mut self, t: SimTime) {
         let cycle = self.cycle_of(t);
         if self.noise_cache.cycle != Some(cycle) {
-            let reported = self.reported_calibration(t);
+            let reported = match self.shared_noise.clone() {
+                Some(shared) => shared.reported(cycle, || self.reported_calibration(t)),
+                None => Arc::new(self.reported_calibration(t)),
+            };
             self.noise_cache.cycle = Some(cycle);
             self.noise_cache.reported = Some(reported);
             self.noise_cache.entries.clear();
@@ -596,7 +741,7 @@ impl QpuBackend {
         self.ensure_cycle(t);
         self.noise_cache
             .reported
-            .as_ref()
+            .as_deref()
             .expect("cycle cache populated")
     }
 
@@ -605,26 +750,38 @@ impl QpuBackend {
     /// it only when the drift factors changed.
     fn noise_entry(&mut self, started: SimTime, active: &[usize]) -> usize {
         self.ensure_cycle(started);
+        let cycle = self.cycle_of(started);
         let factors = self
             .drift
             .factors(self.hours_since_calibration(started), started.as_hours());
+        let shared = self.shared_noise.clone();
         let cache = &mut self.noise_cache;
         match cache.entries.iter().position(|e| e.active == active) {
             Some(i) => {
+                // Drift-factor refreshes stay per-clone: on a drifting
+                // device the factors change per job, so routing them
+                // through the shared cache would serialize every job on
+                // its lock for entries no other clone can hit.
                 if cache.entries[i].factors != factors {
                     cache.entries[i].model =
-                        cache.entries[i].base.drifted_model(factors.0, factors.1);
+                        Arc::new(cache.entries[i].base.drifted_model(factors.0, factors.1));
                     cache.entries[i].factors = factors;
                     cache.model_builds += 1;
                 }
                 i
             }
             None => {
-                let base = BaseNoise::project(
-                    cache.reported.as_ref().expect("cycle cache populated"),
-                    active,
-                );
-                let model = base.drifted_model(factors.0, factors.1);
+                let reported = cache.reported.as_deref().expect("cycle cache populated");
+                let (base, model) = match &shared {
+                    Some(shared) => shared.base_and_model(cycle, active, factors, || {
+                        BaseNoise::project(reported, active)
+                    }),
+                    None => {
+                        let base = Arc::new(BaseNoise::project(reported, active));
+                        let model = Arc::new(base.drifted_model(factors.0, factors.1));
+                        (base, model)
+                    }
+                };
                 cache.model_builds += 1;
                 cache.entries.push(NoiseEntry {
                     active: active.to_vec(),
@@ -670,7 +827,7 @@ impl QpuBackend {
             simulator,
             ..
         } = self;
-        let noise = &noise_cache.entries[entry].model;
+        let noise = &*noise_cache.entries[entry].model;
         let program = crate::compile::compile_bound(circuit, noise, &CompileOptions::default());
         let counts = match *simulator {
             SimulatorKind::Density => {
@@ -890,7 +1047,7 @@ impl QpuBackend {
             let mut meta = Vec::with_capacity(runs.len());
             for run in runs {
                 let entry = self.noise_entry(started, templates[run.template].active_physical());
-                let noise = &self.noise_cache.entries[entry].model;
+                let noise = &*self.noise_cache.entries[entry].model;
                 let template = &mut *templates[run.template];
                 template.ensure_compiled(noise, token);
                 let program = template.program();
@@ -1100,7 +1257,7 @@ impl QpuBackend {
                     folded_pairs,
                     ..
                 } = self;
-                let noise = &noise_cache.entries[entry].model;
+                let noise = &*noise_cache.entries[entry].model;
                 let template = &mut *templates[runs[i].template];
                 template.ensure_compiled(noise, token);
                 let program = template.program();
@@ -1163,7 +1320,7 @@ impl QpuBackend {
                     queue,
                     ..
                 } = self;
-                let noise = &noise_cache.entries[entry].model;
+                let noise = &*noise_cache.entries[entry].model;
                 let template = &mut *templates[run.template];
                 template.ensure_compiled(noise, token);
                 template.bind(params, run.shift);
@@ -1384,5 +1541,75 @@ mod tests {
         let r = be.execute(&bell_compact(), &[0, 1], 4096, SimTime::ZERO);
         let p = r.counts.probability(0) + r.counts.probability(0b11);
         assert!(p > 0.8, "Bell correlation lost: {p}");
+    }
+
+    #[test]
+    fn shared_noise_cache_is_bit_invisible_across_recalibration() {
+        // Three identical clones of one physical device (the fleet's
+        // co-tenant view), each running jobs that straddle the hour-24
+        // recalibration boundary. Whether the per-cycle noise artifacts
+        // are built per clone or once through a fleet-wide shared cache
+        // must be invisible in the results, bit for bit.
+        let hours = [1.0, 23.0, 25.0, 30.0];
+        let run = |caches: &[Arc<SharedNoiseCache>]| -> Vec<JobResult> {
+            let mut results = Vec::new();
+            for cache in caches {
+                let mut be = small_backend(7);
+                be.attach_shared_noise(Arc::clone(cache));
+                for h in hours {
+                    results.push(be.execute(&bell_compact(), &[0, 1], 256, SimTime::from_hours(h)));
+                }
+            }
+            results
+        };
+        let detached: Vec<JobResult> = (0..3)
+            .flat_map(|_| {
+                let mut be = small_backend(7);
+                hours.map(|h| be.execute(&bell_compact(), &[0, 1], 256, SimTime::from_hours(h)))
+            })
+            .collect();
+        let private_caches: Vec<Arc<SharedNoiseCache>> =
+            (0..3).map(|_| Arc::<SharedNoiseCache>::default()).collect();
+        let private = run(&private_caches);
+        let shared_cache = Arc::<SharedNoiseCache>::default();
+        let shared = run(&[
+            Arc::clone(&shared_cache),
+            Arc::clone(&shared_cache),
+            Arc::clone(&shared_cache),
+        ]);
+        let same = |a: &[JobResult], b: &[JobResult]| {
+            a.len() == b.len()
+                && a.iter().zip(b).all(|(x, y)| {
+                    x.counts == y.counts
+                        && x.submitted == y.submitted
+                        && x.started == y.started
+                        && x.completed == y.completed
+                        && x.circuit_duration_ns.to_bits() == y.circuit_duration_ns.to_bits()
+                })
+        };
+        assert!(
+            same(&detached, &private),
+            "a private cache must replay the cache-free path byte for byte"
+        );
+        assert!(
+            same(&private, &shared),
+            "cross-clone sharing must replay per-clone builds byte for byte"
+        );
+        let private_builds: u64 = private_caches.iter().map(|c| c.builds()).sum();
+        assert!(
+            shared_cache.builds() < private_builds,
+            "sharing must build strictly fewer artifacts: shared {} vs per-clone {}",
+            shared_cache.builds(),
+            private_builds
+        );
+        assert!(
+            shared_cache.hits() > 0,
+            "later clones must hit the first clone's builds"
+        );
+        assert_eq!(
+            private_caches.iter().map(|c| c.hits()).sum::<u64>(),
+            0,
+            "a single-clone cache has no cross-clone hits to serve"
+        );
     }
 }

@@ -43,7 +43,7 @@ pub mod multiprog;
 pub mod noise_model;
 pub mod queue;
 
-pub use backend::{JobResult, QpuBackend, SimulatorKind, TemplateRun};
+pub use backend::{JobResult, QpuBackend, SharedNoiseCache, SimulatorKind, TemplateRun};
 pub use calibration::{Calibration, QubitCalibration};
 pub use catalog::{by_name, catalog, DeviceSpec, TopologyClass};
 pub use clock::SimTime;
@@ -52,4 +52,4 @@ pub use drift::{DriftEpisode, DriftModel};
 pub use error::DeviceError;
 pub use multiprog::{split as multiprogram_split, MultiprogramConfig, ProgramSlot};
 pub use noise_model::NoiseModel;
-pub use queue::{DeviceQueue, LoadCurve, LoadModel, QueueModel};
+pub use queue::{DeviceQueue, LedgerSnapshot, LoadCurve, LoadModel, QueueModel, QueueReadHandle};

@@ -13,6 +13,8 @@ use crate::error::DeviceError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::f64::consts::TAU;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The composable base-load curve: a log-sinusoidal congestion cycle
 /// factored out of [`QueueModel`] so exogenous [`LoadModel`] generators
@@ -400,6 +402,102 @@ impl PoissonArrivals {
     }
 }
 
+/// The atomically published read side of a [`DeviceQueue`]: a
+/// seqlock-guarded scalar triple (booked-until horizon, exogenous
+/// backlog, booked-job depth) plus a monotone version counter.
+///
+/// The booking side of a shared ledger lives behind a `Mutex`; fleet
+/// drives that only need occupancy *estimates* (scheduler snapshots,
+/// telemetry refreshes) read this side instead, so estimate reads never
+/// contend with co-tenant `admit`/`book` critical sections. Writers are
+/// always exclusive (`&mut DeviceQueue`, i.e. under the booking mutex),
+/// so the odd/even sequence protocol below has a single writer by
+/// construction.
+#[derive(Debug, Default)]
+struct ReadSide {
+    /// Sequence counter: odd while a publish is in flight, even once the
+    /// scalars are consistent. `seq >> 1` is the monotone version.
+    seq: AtomicU64,
+    horizon_bits: AtomicU64,
+    backlog_bits: AtomicU64,
+    jobs: AtomicU64,
+}
+
+impl ReadSide {
+    /// Publishes the scalar triple. Callers hold `&mut DeviceQueue`, so
+    /// there is exactly one publisher at a time.
+    fn publish(&self, horizon_s: f64, backlog_s: f64, jobs: u64) {
+        let s = self.seq.load(Ordering::Relaxed);
+        self.seq.store(s.wrapping_add(1), Ordering::Relaxed);
+        fence(Ordering::Release);
+        self.horizon_bits
+            .store(horizon_s.to_bits(), Ordering::Relaxed);
+        self.backlog_bits
+            .store(backlog_s.to_bits(), Ordering::Relaxed);
+        self.jobs.store(jobs, Ordering::Relaxed);
+        self.seq.store(s.wrapping_add(2), Ordering::Release);
+    }
+}
+
+/// One consistent read of a ledger's published scalars.
+///
+/// `version` is monotone per ledger and bumps exactly once per
+/// state-changing mutation, so incremental consumers (the fleet's
+/// reusable occupancy snapshot) can skip devices whose version has not
+/// moved since their last refresh.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LedgerSnapshot {
+    /// Monotone mutation counter as of this read.
+    pub version: u64,
+    /// Earliest instant the device frees up, seconds.
+    pub booked_until_s: f64,
+    /// Exogenous backlog pending service, busy-seconds.
+    pub backlog_s: f64,
+    /// Number of intervals booked so far.
+    pub jobs_booked: u64,
+}
+
+/// A clonable handle onto a ledger's lock-free read side.
+///
+/// Obtained once per drive via [`DeviceQueue::read_handle`]; reads never
+/// take the booking mutex and never allocate.
+#[derive(Clone, Debug)]
+pub struct QueueReadHandle {
+    side: Arc<ReadSide>,
+}
+
+impl QueueReadHandle {
+    /// Returns the current published version without reading the
+    /// scalars (cheapest possible staleness probe).
+    pub fn version(&self) -> u64 {
+        self.side.seq.load(Ordering::Acquire) >> 1
+    }
+
+    /// One consistent read of the published scalars (seqlock retry loop;
+    /// retries only while a booking is mid-publish).
+    pub fn read(&self) -> LedgerSnapshot {
+        loop {
+            let s1 = self.side.seq.load(Ordering::Acquire);
+            if s1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let horizon = self.side.horizon_bits.load(Ordering::Relaxed);
+            let backlog = self.side.backlog_bits.load(Ordering::Relaxed);
+            let jobs = self.side.jobs.load(Ordering::Relaxed);
+            fence(Ordering::Acquire);
+            if self.side.seq.load(Ordering::Relaxed) == s1 {
+                return LedgerSnapshot {
+                    version: s1 >> 1,
+                    booked_until_s: f64::from_bits(horizon),
+                    backlog_s: f64::from_bits(backlog),
+                    jobs_booked: jobs,
+                };
+            }
+        }
+    }
+}
+
 /// The shared occupancy ledger of one *physical* device: every booked
 /// interval on the device's global virtual timeline, across all tenants
 /// plus an exogenous [`LoadModel`] backlog.
@@ -412,7 +510,7 @@ impl PoissonArrivals {
 /// With `LoadModel::None` and a single tenant the ledger's arithmetic is
 /// bit-identical to the isolated path — the equivalence oracle the fleet
 /// tests pin.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct DeviceQueue {
     base: QueueModel,
     load: LoadModel,
@@ -427,6 +525,31 @@ pub struct DeviceQueue {
     /// Booked `(start_s, end_s)` intervals, in booking order.
     booked: Vec<(f64, f64)>,
     booked_busy_s: f64,
+    /// Atomically published read side; refreshed on every state change.
+    read_side: Arc<ReadSide>,
+}
+
+impl Clone for DeviceQueue {
+    /// A clone gets its *own* read side (publishing the current state):
+    /// the handle is an identity of one ledger instance, not of the
+    /// queue-model configuration.
+    fn clone(&self) -> Self {
+        let clone = DeviceQueue {
+            base: self.base.clone(),
+            load: self.load,
+            horizon_s: self.horizon_s,
+            backlog_s: self.backlog_s,
+            cursor_s: self.cursor_s,
+            poisson: self.poisson.clone(),
+            booked: self.booked.clone(),
+            booked_busy_s: self.booked_busy_s,
+            read_side: Arc::new(ReadSide::default()),
+        };
+        clone
+            .read_side
+            .publish(clone.horizon_s, clone.backlog_s, clone.booked.len() as u64);
+        clone
+    }
 }
 
 impl DeviceQueue {
@@ -449,7 +572,19 @@ impl DeviceQueue {
             poisson: None,
             booked: Vec::new(),
             booked_busy_s: 0.0,
+            read_side: Arc::new(ReadSide::default()),
         })
+    }
+
+    /// A lock-free handle onto this ledger's published read side.
+    ///
+    /// Snapshot consumers (fleet occupancy refreshes, telemetry) clone
+    /// one handle per device up front and never touch the booking mutex
+    /// again.
+    pub fn read_handle(&self) -> QueueReadHandle {
+        QueueReadHandle {
+            side: Arc::clone(&self.read_side),
+        }
     }
 
     /// The base queue-wait model.
@@ -499,8 +634,17 @@ impl DeviceQueue {
             .load
             .arrivals_between(self.cursor_s, t_s, &mut self.poisson);
         let served = t_s - self.cursor_s;
-        self.backlog_s = (self.backlog_s + arrived - served).max(0.0);
+        let backlog = (self.backlog_s + arrived - served).max(0.0);
         self.cursor_s = t_s;
+        // Publish (and bump the version) only when a *published* scalar
+        // actually changed: a zero-load cursor advance leaves the read
+        // side untouched, so incremental snapshot consumers keep
+        // reusing their copy.
+        if backlog.to_bits() != self.backlog_s.to_bits() {
+            self.backlog_s = backlog;
+            self.read_side
+                .publish(self.horizon_s, self.backlog_s, self.booked.len() as u64);
+        }
     }
 
     /// Phase one of a booking: resolves the start time of a job
@@ -532,6 +676,8 @@ impl DeviceQueue {
         }
         self.booked.push((s, e));
         self.booked_busy_s += duration_s.max(0.0);
+        self.read_side
+            .publish(self.horizon_s, self.backlog_s, self.booked.len() as u64);
     }
 
     /// Books a job of known duration submitted at `t` and returns its
@@ -763,6 +909,133 @@ mod tests {
         assert!(b.as_secs() >= a.as_secs() + 100.0);
         let booked = q.booked();
         assert!(booked.windows(2).all(|w| w[0].1 <= w[1].0));
+    }
+
+    #[test]
+    fn read_handle_tracks_every_mutation_and_versions_monotonically() {
+        let load = LoadModel::Bursty {
+            burst_busy_s: 300.0,
+            interval_s: 600.0,
+            phase_s: 5.0,
+        };
+        let mut q = DeviceQueue::new(QueueModel::light(5.0), load).unwrap();
+        let handle = q.read_handle();
+        let initial = handle.read();
+        assert_eq!(
+            (
+                initial.booked_until_s,
+                initial.backlog_s,
+                initial.jobs_booked
+            ),
+            (0.0, 0.0, 0)
+        );
+        let mut last_version = initial.version;
+        for i in 0..20 {
+            let t = SimTime::from_secs(i as f64 * 120.0);
+            let start = q.admit(t, 0.5);
+            q.book(start, 30.0);
+            let snap = handle.read();
+            assert_eq!(snap.booked_until_s, q.horizon_s(), "job {i}");
+            assert_eq!(snap.backlog_s, q.backlog_s(), "job {i}");
+            assert_eq!(snap.jobs_booked, q.jobs_booked(), "job {i}");
+            assert!(snap.version > last_version, "version must move on booking");
+            last_version = snap.version;
+        }
+    }
+
+    #[test]
+    fn zero_load_idle_advances_leave_the_version_alone() {
+        // With no exogenous load a decay_to is a pure cursor advance:
+        // nothing the read side publishes changes, so the version must
+        // not move — that is what makes occupancy refreshes
+        // allocation-free (and copy-free) at steady state.
+        let mut q = DeviceQueue::new(QueueModel::light(5.0), LoadModel::None).unwrap();
+        let handle = q.read_handle();
+        let start = q.enqueue(SimTime::from_secs(1.0), 10.0);
+        assert!(start.as_secs() > 0.0);
+        let v = handle.version();
+        for i in 2..100 {
+            q.decay_to(SimTime::from_secs(i as f64 * 50.0));
+        }
+        assert_eq!(handle.version(), v, "idle advances must not bump versions");
+        q.book(SimTime::from_secs(5000.0), 1.0);
+        assert!(handle.version() > v);
+    }
+
+    #[test]
+    fn clones_get_independent_read_sides() {
+        let mut q = DeviceQueue::new(QueueModel::light(5.0), LoadModel::None).unwrap();
+        q.enqueue(SimTime::from_secs(0.0), 60.0);
+        let mut c = q.clone();
+        let q_handle = q.read_handle();
+        let c_handle = c.read_handle();
+        assert_eq!(c_handle.read().jobs_booked, q_handle.read().jobs_booked);
+        c.enqueue(SimTime::from_secs(1.0), 60.0);
+        assert_eq!(q_handle.read().jobs_booked, 1, "clone must not alias");
+        assert_eq!(c_handle.read().jobs_booked, 2);
+    }
+
+    #[test]
+    fn concurrent_reads_never_tear() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Mutex;
+
+        // One writer books under a mutex while readers hammer the lock
+        // free side. Every triple a reader observes must be a state the
+        // writer actually published (recorded *before* publication), i.e.
+        // some prefix of the booking history — never a mix of two states.
+        let q = DeviceQueue::new(QueueModel::light(2.0), LoadModel::None).unwrap();
+        let handle = q.read_handle();
+        let history = Arc::new(Mutex::new(vec![(0u64, 0.0f64, 0.0f64, 0u64)]));
+        let ledger = Arc::new(Mutex::new(q));
+        let done = Arc::new(AtomicBool::new(false));
+
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let handle = handle.clone();
+                let history = Arc::clone(&history);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    // At least one read even if the writer finishes
+                    // before this thread is first scheduled.
+                    let mut seen = 0u64;
+                    loop {
+                        let s = handle.read();
+                        let quad = (s.version, s.booked_until_s, s.backlog_s, s.jobs_booked);
+                        assert!(
+                            history.lock().unwrap().contains(&quad),
+                            "torn read: {quad:?} was never published"
+                        );
+                        seen += 1;
+                        if done.load(Ordering::Acquire) {
+                            break;
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+
+        for i in 0..2000u64 {
+            let mut q = ledger.lock().unwrap();
+            let t = SimTime::from_secs(i as f64 * 3.0);
+            let start = q.admit(t, (i % 7) as f64 / 7.0);
+            // Record the post-book state before it becomes visible, so a
+            // reader can never observe a state missing from the history.
+            let next_version = q.read_handle().version() + 1;
+            let horizon = start.as_secs() + 1.5;
+            history.lock().unwrap().push((
+                next_version,
+                horizon.max(q.horizon_s()),
+                q.backlog_s(),
+                q.jobs_booked() + 1,
+            ));
+            q.book(start, 1.5);
+        }
+        done.store(true, Ordering::Release);
+        for r in readers {
+            assert!(r.join().unwrap() > 0, "readers must have made progress");
+        }
     }
 
     #[test]

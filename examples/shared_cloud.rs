@@ -70,9 +70,28 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("\n{}", shared.telemetry);
 
     // --- 2. Determinism: contention replays byte for byte. ----------
+    // The hot-path counters are part of the compared outcome, so the
+    // incremental snapshot cache and the cross-tenant noise cache must
+    // behave identically on replay too.
     let replay = run_pair(fleet_builder().shared())?;
     assert_eq!(shared, replay, "seeded shared-fleet runs replay exactly");
-    println!("replay: byte-identical outcome under contention\n");
+    println!("replay: byte-identical outcome under contention");
+    println!(
+        "hot path: snapshot_rebuilds={} snapshot_reuses={} \
+         shared_noise_builds={} shared_noise_hits={}\n",
+        shared.telemetry.snapshot_rebuilds,
+        shared.telemetry.snapshot_reuses,
+        shared.telemetry.shared_noise_builds,
+        shared.telemetry.shared_noise_hits,
+    );
+    assert!(
+        shared.telemetry.shared_noise_builds > 0,
+        "co-tenants on one device must build its noise model at least once"
+    );
+    assert!(
+        shared.telemetry.shared_noise_hits > 0,
+        "co-tenants on one device should reuse each other's noise models"
+    );
 
     // --- 3. A contention-aware light tenant routes around the heavy
     //        tenant's booked devices instead of queueing behind them. -
